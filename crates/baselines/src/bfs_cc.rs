@@ -1,0 +1,121 @@
+//! BFS-based connected components (Section II-B).
+//!
+//! Components are identified one at a time: scan for an unvisited vertex,
+//! run a *parallel* BFS from it labeling everything reached, repeat. High
+//! parallelism inside big components, but identification of distinct
+//! components is inherently serialized — the weakness Fig. 8c's
+//! many-component sweep exposes.
+
+use afforest_graph::{CsrGraph, Node};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Sentinel for "not yet visited".
+pub(crate) const UNVISITED: Node = Node::MAX;
+
+/// Runs BFS-CC; returns the representative labeling (each component is
+/// labeled by its lowest-index vertex, which is always the BFS source).
+pub fn bfs_cc(g: &CsrGraph) -> Vec<Node> {
+    let n = g.num_vertices();
+    let labels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNVISITED)).collect();
+
+    for root in 0..n as Node {
+        if labels[root as usize].load(Ordering::Relaxed) != UNVISITED {
+            continue;
+        }
+        labels[root as usize].store(root, Ordering::Relaxed);
+        let mut frontier = vec![root];
+        while !frontier.is_empty() {
+            frontier = top_down_step(g, &labels, &frontier, root);
+        }
+    }
+
+    labels.into_iter().map(|a| a.into_inner()).collect()
+}
+
+/// One parallel top-down BFS expansion: claims unvisited neighbors of the
+/// frontier via CAS and returns them as the next frontier.
+pub(crate) fn top_down_step(
+    g: &CsrGraph,
+    labels: &[AtomicU32],
+    frontier: &[Node],
+    root: Node,
+) -> Vec<Node> {
+    frontier
+        .par_iter()
+        .flat_map_iter(|&u| {
+            g.neighbors(u).iter().filter_map(move |&v| {
+                labels[v as usize]
+                    .compare_exchange(UNVISITED, root, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                    .then_some(v)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::union_find::union_find_cc;
+    use afforest_graph::generators::classic::{binary_tree, cycle, path, star};
+    use afforest_graph::generators::{rmat_scale, road_network, uniform_random};
+    use afforest_graph::GraphBuilder;
+
+    fn same_partition(a: &[Node], b: &[Node]) -> bool {
+        a.len() == b.len() && {
+            let mut map = vec![Node::MAX; a.len()];
+            (0..a.len()).all(|i| {
+                let x = a[i] as usize;
+                if map[x] == Node::MAX {
+                    map[x] = b[i];
+                    true
+                } else {
+                    map[x] == b[i]
+                }
+            })
+        }
+    }
+
+    fn check(g: &CsrGraph) {
+        assert!(same_partition(&bfs_cc(g), &union_find_cc(g)));
+    }
+
+    #[test]
+    fn classic_shapes() {
+        check(&path(256));
+        check(&cycle(100));
+        check(&star(64, 63));
+        check(&binary_tree(127));
+    }
+
+    #[test]
+    fn labels_equal_component_minimum() {
+        // BFS roots are discovered in index order, so the label is the
+        // component's minimum vertex — same convention as union-find.
+        let g = GraphBuilder::from_edges(6, &[(5, 4), (4, 3), (0, 1)]).build();
+        assert_eq!(bfs_cc(&g), union_find_cc(&g));
+    }
+
+    #[test]
+    fn random_graphs() {
+        check(&uniform_random(5_000, 30_000, 2));
+        check(&rmat_scale(12, 8, 6));
+        check(&road_network(70, 70, 0.6, 0.01, 1));
+    }
+
+    #[test]
+    fn isolated_vertices_label_themselves() {
+        let g = GraphBuilder::from_edges(4, &[(1, 2)]).build();
+        let labels = bfs_cc(&g);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[3], 3);
+        assert_eq!(labels[1], labels[2]);
+    }
+
+    #[test]
+    fn empty() {
+        let g = GraphBuilder::from_edges(0, &[]).build();
+        assert!(bfs_cc(&g).is_empty());
+    }
+}

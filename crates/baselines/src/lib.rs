@@ -1,0 +1,47 @@
+//! Baseline connected-components algorithms (Section II of the paper).
+//!
+//! Everything Afforest is compared against in the evaluation, implemented
+//! from scratch on the shared [`afforest_graph::CsrGraph`] substrate:
+//!
+//! - [`shiloach_vishkin`] — the classic tree-hooking algorithm as
+//!   formulated in the paper's Fig. 1 (the GAPBS SV variant).
+//! - [`sv_edgelist`] — edge-list-streaming SV in the style of Soman et
+//!   al.'s GPU code, the paper's GPU comparator.
+//! - [`shiloach_vishkin_1982`] — the original 1982 formulation with star
+//!   detection and unconditional star hooking (the step Section V-A notes
+//!   modern implementations omit).
+//! - [`label_prop`] / [`label_prop_sync`] — min-label propagation, both
+//!   the data-driven (frontier) and the synchronous full-sweep variants.
+//! - [`bfs_cc`] — parallel BFS per component, components processed
+//!   sequentially.
+//! - [`dobfs_cc`] — direction-optimizing BFS-CC (Beamer's top-down /
+//!   bottom-up switching), the CPU state of the art the paper measures
+//!   against.
+//! - [`parallel_uf`] — single-pass lock-free parallel union-find, a
+//!   modern control comparator that tree-hooks without any subgraph
+//!   sampling.
+//! - [`UnionFind`] — a serial union-find with path compression, used as
+//!   the ground-truth oracle by the test suites of every crate.
+//!
+//! All parallel algorithms return an [`afforest_core`]-compatible labeling:
+//! a `Vec<Node>` where two vertices share a value iff they are connected.
+
+pub mod bfs_cc;
+pub mod dobfs_cc;
+pub mod label_prop;
+pub mod parallel_uf;
+pub mod shiloach_vishkin;
+pub mod sv_edgelist;
+pub mod sv_original;
+pub mod union_find;
+pub mod union_find_variants;
+
+pub use bfs_cc::bfs_cc;
+pub use dobfs_cc::{dobfs_cc, DobfsConfig};
+pub use label_prop::{label_prop, label_prop_sync};
+pub use parallel_uf::parallel_uf;
+pub use shiloach_vishkin::{shiloach_vishkin, shiloach_vishkin_with_stats, SvStats};
+pub use sv_edgelist::sv_edgelist;
+pub use sv_original::shiloach_vishkin_1982;
+pub use union_find::UnionFind;
+pub use union_find_variants::{rem_cc, union_by_rank_cc, union_by_size_cc};

@@ -1,0 +1,169 @@
+//! Serial union-find — the ground-truth oracle.
+//!
+//! Union by "smaller index wins" with path halving. Not a baseline from
+//! the paper's evaluation (it is sequential), but the reference every
+//! parallel algorithm in this repository is verified against, and the
+//! provider of deterministic component structure for the harness.
+
+use afforest_graph::{CsrGraph, Node};
+
+/// Classic disjoint-set forest over `0..n`.
+///
+/// ```
+/// use afforest_baselines::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert_eq!(uf.num_components(), 2);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<Node>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as Node).collect(),
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Finds the representative of `x` (path halving).
+    pub fn find(&mut self, mut x: Node) -> Node {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `u` and `v`; the smaller root index becomes the
+    /// representative (matching Afforest's Invariant 1 direction). Returns
+    /// `true` if a merge happened.
+    pub fn union(&mut self, u: Node, v: Node) -> bool {
+        let (ru, rv) = (self.find(u), self.find(v));
+        if ru == rv {
+            return false;
+        }
+        let (lo, hi) = (ru.min(rv), ru.max(rv));
+        self.parent[hi as usize] = lo;
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `u` and `v` share a set.
+    pub fn connected(&mut self, u: Node, v: Node) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Fully-compressed representative labeling (each vertex labeled by
+    /// its set's minimum index; representatives label themselves).
+    pub fn into_labels(mut self) -> Vec<Node> {
+        let n = self.parent.len();
+        (0..n as Node).map(|v| self.find(v)).collect()
+    }
+
+    /// Builds the union-find of a whole graph.
+    pub fn from_graph(g: &CsrGraph) -> Self {
+        let mut uf = Self::new(g.num_vertices());
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                if u < v {
+                    uf.union(u, v);
+                }
+            }
+        }
+        uf
+    }
+}
+
+/// Connected components via serial union-find: the oracle labeling.
+pub fn union_find_cc(g: &CsrGraph) -> Vec<Node> {
+    UnionFind::from_graph(g).into_labels()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afforest_graph::GraphBuilder;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_components(), 4);
+        assert!(!uf.connected(0, 1));
+    }
+
+    #[test]
+    fn union_merges_once() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.connected(0, 1));
+    }
+
+    #[test]
+    fn min_index_is_representative() {
+        let mut uf = UnionFind::new(10);
+        uf.union(7, 3);
+        uf.union(3, 9);
+        assert_eq!(uf.find(9), 3);
+        uf.union(9, 1);
+        assert_eq!(uf.find(7), 1);
+    }
+
+    #[test]
+    fn labels_are_representative() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (4, 5)]).build();
+        let labels = union_find_cc(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 4, 4]);
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        let mut uf = UnionFind::new(100);
+        for v in 1..100 {
+            uf.union(v - 1, v);
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert!(uf.connected(0, 99));
+    }
+
+    #[test]
+    fn from_graph_counts() {
+        let g = GraphBuilder::from_edges(7, &[(0, 1), (2, 3), (3, 4)]).build();
+        let uf = UnionFind::from_graph(&g);
+        assert_eq!(uf.num_components(), 4); // {0,1} {2,3,4} {5} {6}
+    }
+
+    #[test]
+    fn empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_components(), 0);
+        assert!(uf.into_labels().is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Serial union-find variants.
+//!
+//! The paper groups union-find-based CC under "others [4]". Different
+//! union/find policies have measurably different constants (Patwary et
+//! al.'s classic study); this module implements the three standard
+//! serial variants so the harness can situate Afforest against the whole
+//! family — on a single core, a good serial union-find is the strongest
+//! possible baseline, which makes Afforest's work-efficiency argument
+//! sharper, not weaker.
+//!
+//! - [`union_by_rank_cc`] — union by rank + full path compression (the
+//!   textbook `O(α)` structure).
+//! - [`union_by_size_cc`] — union by size + path halving.
+//! - [`rem_cc`] — Rem's algorithm with splicing: find and union are
+//!   interleaved in a single upward zip, touching each visited node once.
+//!
+//! All return representative labelings (canonicalized so representatives
+//! label themselves with the component minimum, matching every other
+//! algorithm in this repository).
+
+use afforest_graph::{CsrGraph, Node};
+
+/// Canonicalizes an arbitrary disjoint-set parent forest into the
+/// repository-standard labeling: every vertex labeled by its component's
+/// minimum index.
+fn canonical_labels(mut parent: Vec<Node>) -> Vec<Node> {
+    let n = parent.len();
+    // Flatten to roots.
+    for v in 0..n {
+        let mut r = v as Node;
+        while parent[r as usize] != r {
+            r = parent[r as usize];
+        }
+        // Path-compress the walk.
+        let mut x = v as Node;
+        while parent[x as usize] != r {
+            let next = parent[x as usize];
+            parent[x as usize] = r;
+            x = next;
+        }
+    }
+    // Map each root to the minimum vertex of its class.
+    let mut min_of = vec![Node::MAX; n];
+    for v in 0..n as Node {
+        let r = parent[v as usize] as usize;
+        min_of[r] = min_of[r].min(v);
+    }
+    (0..n).map(|v| min_of[parent[v] as usize]).collect()
+}
+
+/// Union by rank + path compression.
+pub fn union_by_rank_cc(g: &CsrGraph) -> Vec<Node> {
+    let n = g.num_vertices();
+    let mut parent: Vec<Node> = (0..n as Node).collect();
+    let mut rank = vec![0u8; n];
+
+    fn find(parent: &mut [Node], mut x: Node) -> Node {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        while parent[x as usize] != root {
+            let next = parent[x as usize];
+            parent[x as usize] = root;
+            x = next;
+        }
+        root
+    }
+
+    for (u, v) in g.edges() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru == rv {
+            continue;
+        }
+        match rank[ru as usize].cmp(&rank[rv as usize]) {
+            std::cmp::Ordering::Less => parent[ru as usize] = rv,
+            std::cmp::Ordering::Greater => parent[rv as usize] = ru,
+            std::cmp::Ordering::Equal => {
+                parent[rv as usize] = ru;
+                rank[ru as usize] += 1;
+            }
+        }
+    }
+    canonical_labels(parent)
+}
+
+/// Union by size + path halving.
+pub fn union_by_size_cc(g: &CsrGraph) -> Vec<Node> {
+    let n = g.num_vertices();
+    let mut parent: Vec<Node> = (0..n as Node).collect();
+    let mut size = vec![1u32; n];
+
+    fn find(parent: &mut [Node], mut x: Node) -> Node {
+        while parent[x as usize] != x {
+            let gp = parent[parent[x as usize] as usize];
+            parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    for (u, v) in g.edges() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru == rv {
+            continue;
+        }
+        let (big, small) = if size[ru as usize] >= size[rv as usize] {
+            (ru, rv)
+        } else {
+            (rv, ru)
+        };
+        parent[small as usize] = big;
+        size[big as usize] += size[small as usize];
+    }
+    canonical_labels(parent)
+}
+
+/// Rem's algorithm with splicing (Patwary et al.'s `rem` formulation,
+/// with the `parent ≤ child` orientation this repository shares with
+/// Afforest's Invariant 1).
+pub fn rem_cc(g: &CsrGraph) -> Vec<Node> {
+    let n = g.num_vertices();
+    let mut parent: Vec<Node> = (0..n as Node).collect();
+
+    for (u, v) in g.edges() {
+        let (mut x, mut y) = (u, v);
+        while parent[x as usize] != parent[y as usize] {
+            // Work on the side with the larger parent, so pointers keep
+            // decreasing (Invariant 1 direction).
+            if parent[x as usize] > parent[y as usize] {
+                if x == parent[x as usize] {
+                    parent[x as usize] = parent[y as usize];
+                    break;
+                }
+                // Splice: redirect x to the other side's parent and climb.
+                let z = parent[x as usize];
+                parent[x as usize] = parent[y as usize];
+                x = z;
+            } else {
+                if y == parent[y as usize] {
+                    parent[y as usize] = parent[x as usize];
+                    break;
+                }
+                let z = parent[y as usize];
+                parent[y as usize] = parent[x as usize];
+                y = z;
+            }
+        }
+    }
+    canonical_labels(parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::union_find::union_find_cc;
+    use afforest_graph::generators::classic::{cycle, path, star};
+    use afforest_graph::generators::{
+        rmat_scale, road_network, uniform_random, urand_with_components, web_graph,
+    };
+    use afforest_graph::GraphBuilder;
+
+    type Variant = (&'static str, fn(&CsrGraph) -> Vec<Node>);
+
+    fn variants() -> Vec<Variant> {
+        vec![
+            ("by-rank", union_by_rank_cc),
+            ("by-size", union_by_size_cc),
+            ("rem", rem_cc),
+        ]
+    }
+
+    fn check(g: &CsrGraph) {
+        let oracle = union_find_cc(g);
+        for (name, run) in variants() {
+            // Canonical labeling makes exact equality the right check.
+            assert_eq!(run(g), oracle, "{name} differs from oracle");
+        }
+    }
+
+    #[test]
+    fn classic_shapes() {
+        check(&path(300));
+        check(&cycle(128));
+        check(&star(100, 99));
+        check(&star(100, 0));
+    }
+
+    #[test]
+    fn random_families() {
+        check(&uniform_random(4_000, 24_000, 3));
+        check(&rmat_scale(11, 8, 4));
+        check(&road_network(50, 50, 0.6, 0.02, 5));
+        check(&web_graph(2_000, 4, 0.7, 6.0, 6));
+        check(&urand_with_components(3_000, 4, 0.05, 7));
+    }
+
+    #[test]
+    fn degenerate() {
+        check(&GraphBuilder::from_edges(0, &[]).build());
+        check(&GraphBuilder::from_edges(5, &[]).build());
+        check(&GraphBuilder::from_edges(2, &[(0, 1)]).build());
+    }
+
+    #[test]
+    fn canonical_labels_flattens_arbitrary_forests() {
+        // Forest: 3 → 1 → 0 ← 2; 4 alone. Canonical labels: min per class.
+        let labels = canonical_labels(vec![0, 0, 0, 1, 4]);
+        assert_eq!(labels, vec![0, 0, 0, 0, 4]);
+    }
+
+    #[test]
+    fn canonical_labels_handles_non_min_roots() {
+        // Root 2 with members {0, 1, 2}: class minimum 0 must win.
+        let labels = canonical_labels(vec![2, 2, 2]);
+        assert_eq!(labels, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn rem_adversarial_orders() {
+        // Descending chains exercise the splice path heavily.
+        let n = 2_000;
+        let edges: Vec<(Node, Node)> = (1..n as Node).rev().map(|v| (v, v - 1)).collect();
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        check(&g);
+    }
+}

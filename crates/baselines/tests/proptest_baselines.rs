@@ -1,0 +1,118 @@
+//! Property-based agreement tests for every baseline.
+
+use afforest_baselines::{
+    bfs_cc, dobfs_cc, label_prop, label_prop_sync, parallel_uf, rem_cc, shiloach_vishkin,
+    shiloach_vishkin_1982, sv_edgelist, union_by_rank_cc, union_by_size_cc,
+    union_find::union_find_cc,
+};
+use afforest_graph::{CsrGraph, GraphBuilder, Node};
+use proptest::prelude::*;
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(Node, Node)>)> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as Node, 0..n as Node);
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+/// Partition equality up to relabeling (bidirectional label mapping).
+fn same_partition(a: &[Node], b: &[Node]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut fwd = vec![Node::MAX; a.len()];
+    let mut bwd = vec![Node::MAX; a.len()];
+    for i in 0..a.len() {
+        let (x, y) = (a[i] as usize, b[i] as usize);
+        if fwd[x] == Node::MAX {
+            fwd[x] = b[i];
+        } else if fwd[x] != b[i] {
+            return false;
+        }
+        if bwd[y] == Node::MAX {
+            bwd[y] = a[i];
+        } else if bwd[y] != a[i] {
+            return false;
+        }
+    }
+    true
+}
+
+type NamedAlgorithm = (&'static str, fn(&CsrGraph) -> Vec<Node>);
+
+fn all_algorithms() -> Vec<NamedAlgorithm> {
+    vec![
+        ("sv", shiloach_vishkin),
+        ("sv-edgelist", sv_edgelist),
+        ("sv-1982", shiloach_vishkin_1982),
+        ("lp", label_prop),
+        ("lp-sync", label_prop_sync),
+        ("bfs", bfs_cc),
+        ("dobfs", dobfs_cc),
+        ("parallel-uf", parallel_uf),
+        ("uf-rank", union_by_rank_cc),
+        ("uf-size", union_by_size_cc),
+        ("rem", rem_cc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn all_baselines_agree_with_oracle((n, edges) in arb_edges(120, 400)) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let oracle = union_find_cc(&g);
+        for (name, run) in all_algorithms() {
+            prop_assert!(
+                same_partition(&run(&g), &oracle),
+                "{} disagrees with oracle",
+                name
+            );
+        }
+    }
+
+    #[test]
+    fn min_labeled_algorithms_agree_exactly((n, edges) in arb_edges(120, 400)) {
+        // Algorithms whose representative is the component minimum must
+        // agree bit-for-bit, not just up to relabeling.
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let oracle = union_find_cc(&g);
+        for (name, run) in [
+            ("sv", shiloach_vishkin as fn(&CsrGraph) -> Vec<Node>),
+            ("lp", label_prop),
+            ("bfs", bfs_cc),
+            ("parallel-uf", parallel_uf),
+            ("uf-rank", union_by_rank_cc),
+            ("rem", rem_cc),
+        ] {
+            prop_assert_eq!(run(&g), oracle.clone(), "{} not min-labeled", name);
+        }
+    }
+
+    #[test]
+    fn oracle_respects_edges((n, edges) in arb_edges(150, 500)) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let labels = union_find_cc(&g);
+        for (u, v) in g.edges() {
+            prop_assert_eq!(labels[u as usize], labels[v as usize]);
+        }
+        // Representative labeling invariants.
+        for v in 0..n {
+            let l = labels[v] as usize;
+            prop_assert_eq!(labels[l], labels[v]);
+            prop_assert!(l <= v);
+        }
+    }
+
+    #[test]
+    fn component_count_matches_euler_bound((n, edges) in arb_edges(120, 400)) {
+        // C ≥ |V| − |E| for any graph (each edge kills at most one
+        // component).
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let labels = union_find_cc(&g);
+        let c = (0..n).filter(|&v| labels[v] as usize == v).count();
+        prop_assert!(c >= n.saturating_sub(g.num_edges()));
+        prop_assert!(c <= n);
+    }
+}

@@ -1,0 +1,90 @@
+//! Ablation benchmarks for the design decisions called out in DESIGN.md §5:
+//!
+//! - number of neighbor rounds (paper fixes 2),
+//! - compress-per-round (paper Fig. 5) vs single compress (GAPBS),
+//! - large-component skipping on/off,
+//! - most-frequent-element sample size.
+
+use afforest_bench::{datasets, Scale};
+use afforest_core::{afforest, AfforestConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+}
+
+fn bench_neighbor_rounds(c: &mut Criterion) {
+    let g = datasets::by_name("web").unwrap().build(Scale::Tiny);
+    let mut group = c.benchmark_group("ablation/neighbor_rounds");
+    configure(&mut group);
+    for rounds in [0usize, 1, 2, 4, 8] {
+        let cfg = AfforestConfig {
+            neighbor_rounds: rounds,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &cfg, |b, cfg| {
+            b.iter(|| afforest(&g, cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_compress_schedule(c: &mut Criterion) {
+    let g = datasets::by_name("kron").unwrap().build(Scale::Tiny);
+    let mut group = c.benchmark_group("ablation/compress_schedule");
+    configure(&mut group);
+    for (name, each_round) in [("per-round", true), ("once-after", false)] {
+        let cfg = AfforestConfig {
+            compress_each_round: each_round,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| afforest(&g, cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_component_skip(c: &mut Criterion) {
+    let g = datasets::by_name("urand").unwrap().build(Scale::Tiny);
+    let mut group = c.benchmark_group("ablation/component_skip");
+    configure(&mut group);
+    for (name, cfg) in [
+        ("skip", AfforestConfig::default()),
+        ("no-skip", AfforestConfig::without_skip()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| afforest(&g, cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample_size(c: &mut Criterion) {
+    let g = datasets::by_name("urand").unwrap().build(Scale::Tiny);
+    let mut group = c.benchmark_group("ablation/sample_size");
+    configure(&mut group);
+    for samples in [64usize, 256, 1024, 4096] {
+        let cfg = AfforestConfig {
+            sample_size: samples,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &cfg, |b, cfg| {
+            b.iter(|| afforest(&g, cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_neighbor_rounds,
+    bench_compress_schedule,
+    bench_component_skip,
+    bench_sample_size
+);
+criterion_main!(benches);

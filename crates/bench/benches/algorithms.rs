@@ -1,0 +1,30 @@
+//! Criterion benchmarks: every CC algorithm on every registry dataset
+//! (the microbenchmark companion to the `fig8a_perf` binary).
+//!
+//! Run a focused subset with e.g.
+//! `cargo bench -p afforest-bench --bench algorithms -- urand`.
+
+use afforest_bench::{registry, Algorithm, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_algorithms(c: &mut Criterion) {
+    for dataset in registry() {
+        let g = dataset.build(Scale::Tiny);
+        let mut group = c.benchmark_group(format!("cc/{}", dataset.name));
+        group
+            .sample_size(20)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_secs(1))
+            .throughput(Throughput::Elements(g.num_edges() as u64));
+        for alg in Algorithm::ALL {
+            group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &g, |b, g| {
+                b.iter(|| alg.run(g));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the extension subsystems: incremental CC,
+//! distributed CC, the union-find family, and the edge-list comparator.
+
+use afforest_baselines::{rem_cc, union_by_rank_cc, union_by_size_cc, union_find::union_find_cc};
+use afforest_core::incremental::IncrementalCc;
+use afforest_core::{afforest, AfforestConfig};
+use afforest_distrib::{distributed_cc_forest, distributed_cc_labels, PartitionKind, VertexPartition};
+use afforest_graph::generators::uniform_random;
+use afforest_graph::CsrGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn test_graph() -> CsrGraph {
+    uniform_random(1 << 12, 8 << 12, 7)
+}
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let g = test_graph();
+    let edges = g.collect_edges();
+    let mut group = c.benchmark_group("extensions/incremental");
+    configure(&mut group);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    for chunks in [1usize, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("stream", chunks),
+            &chunks,
+            |b, &chunks| {
+                b.iter(|| {
+                    let mut cc = IncrementalCc::new(g.num_vertices());
+                    for chunk in edges.chunks(edges.len().div_ceil(chunks)) {
+                        cc.insert_batch(chunk);
+                    }
+                    cc.into_labels()
+                });
+            },
+        );
+    }
+    group.bench_function("batch-afforest", |b| {
+        b.iter(|| afforest(&g, &AfforestConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let g = test_graph();
+    let mut group = c.benchmark_group("extensions/distributed");
+    configure(&mut group);
+    for ranks in [2usize, 8] {
+        let part = VertexPartition::new(g.num_vertices(), ranks, PartitionKind::Hash);
+        group.bench_with_input(
+            BenchmarkId::new("forest-merge", ranks),
+            &part,
+            |b, part| b.iter(|| distributed_cc_forest(&g, part)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("label-exchange", ranks),
+            &part,
+            |b, part| b.iter(|| distributed_cc_labels(&g, part)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_union_find_family(c: &mut Criterion) {
+    let g = test_graph();
+    let mut group = c.benchmark_group("extensions/union_find_family");
+    configure(&mut group);
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    group.bench_function("min-index", |b| b.iter(|| union_find_cc(&g)));
+    group.bench_function("by-rank", |b| b.iter(|| union_by_rank_cc(&g)));
+    group.bench_function("by-size", |b| b.iter(|| union_by_size_cc(&g)));
+    group.bench_function("rem-splicing", |b| b.iter(|| rem_cc(&g)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_incremental,
+    bench_distributed,
+    bench_union_find_family
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Microbenchmarks for the building blocks: `link`, `compress`, parent
+//! array probes, CSR construction, and the generators.
+
+use afforest_core::{compress_all, link, spanning_forest, ParentArray};
+use afforest_graph::generators::{rmat_scale, road_network, uniform_random, web_graph};
+use afforest_graph::{GraphBuilder, Node};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rayon::prelude::*;
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+}
+
+fn bench_link(c: &mut Criterion) {
+    let g = uniform_random(1 << 12, 1 << 15, 7);
+    let edges = g.collect_edges();
+    let mut group = c.benchmark_group("primitives/link");
+    configure(&mut group);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("full-pass", |b| {
+        b.iter(|| {
+            let pi = ParentArray::new(g.num_vertices());
+            edges.par_iter().for_each(|&(u, v)| {
+                link(u, v, &pi);
+            });
+            pi
+        });
+    });
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let n = 1usize << 14;
+    let mut group = c.benchmark_group("primitives/compress");
+    configure(&mut group);
+    group.throughput(Throughput::Elements(n as u64));
+    for (name, builder) in [
+        ("deep-path", build_path as fn(usize) -> Vec<Node>),
+        ("shallow-stars", build_stars as fn(usize) -> Vec<Node>),
+    ] {
+        let snapshot = builder(n);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &snapshot, |b, snap| {
+            b.iter(|| {
+                let pi = ParentArray::from_snapshot(snap);
+                compress_all(&pi);
+                pi
+            });
+        });
+    }
+    group.finish();
+}
+
+fn build_path(n: usize) -> Vec<Node> {
+    (0..n as Node).map(|v| v.saturating_sub(1)).collect()
+}
+
+fn build_stars(n: usize) -> Vec<Node> {
+    (0..n as Node).map(|v| v - v % 16).collect()
+}
+
+fn bench_builder(c: &mut Criterion) {
+    let g = uniform_random(1 << 12, 1 << 15, 3);
+    let edges = g.collect_edges();
+    let mut group = c.benchmark_group("primitives/csr_build");
+    configure(&mut group);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("build", |b| {
+        b.iter(|| GraphBuilder::from_edges(1 << 12, &edges).build());
+    });
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/generators");
+    configure(&mut group);
+    group.bench_function("uniform_2^12x8", |b| {
+        b.iter(|| uniform_random(1 << 12, 8 << 12, 1))
+    });
+    group.bench_function("rmat_2^12x8", |b| b.iter(|| rmat_scale(12, 8, 1)));
+    group.bench_function("road_64x64", |b| {
+        b.iter(|| road_network(64, 64, 0.9, 0.02, 1))
+    });
+    group.bench_function("web_2^12x4", |b| {
+        b.iter(|| web_graph(1 << 12, 4, 0.7, 8.0, 1))
+    });
+    group.finish();
+}
+
+fn bench_spanning_forest(c: &mut Criterion) {
+    let g = uniform_random(1 << 12, 1 << 15, 5);
+    let mut group = c.benchmark_group("primitives/spanning_forest");
+    configure(&mut group);
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    group.bench_function("parallel", |b| b.iter(|| spanning_forest(&g)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_link,
+    bench_compress,
+    bench_builder,
+    bench_generators,
+    bench_spanning_forest
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Unified algorithm dispatch for the cross-algorithm experiments
+//! (Figs. 6c, 8a, 8b, 8c).
+
+use afforest_baselines::{bfs_cc, dobfs_cc, label_prop, parallel_uf, shiloach_vishkin, sv_edgelist};
+use afforest_core::{afforest, AfforestConfig};
+use afforest_graph::{CsrGraph, Node};
+
+/// Every algorithm the harness can time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Afforest with subgraph sampling + component skip (the paper's
+    /// contribution, default configuration).
+    Afforest,
+    /// Afforest without large-component skipping.
+    AfforestNoSkip,
+    /// Shiloach–Vishkin on CSR (paper Fig. 1 / GAP).
+    Sv,
+    /// Edge-list SV (Soman et al. GPU comparator analogue).
+    SvEdgeList,
+    /// Data-driven min-label propagation.
+    LabelProp,
+    /// Plain BFS-CC.
+    Bfs,
+    /// Single-pass lock-free parallel union-find.
+    ParallelUf,
+    /// Direction-optimizing BFS-CC.
+    Dobfs,
+}
+
+impl Algorithm {
+    /// All algorithms in Fig. 8a's legend order.
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::Afforest,
+        Algorithm::AfforestNoSkip,
+        Algorithm::Sv,
+        Algorithm::SvEdgeList,
+        Algorithm::LabelProp,
+        Algorithm::Bfs,
+        Algorithm::ParallelUf,
+        Algorithm::Dobfs,
+    ];
+
+    /// The subset the paper plots in Fig. 6c.
+    pub const FIG6C: [Algorithm; 4] = [
+        Algorithm::Sv,
+        Algorithm::LabelProp,
+        Algorithm::Dobfs,
+        Algorithm::Afforest,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Afforest => "afforest",
+            Algorithm::AfforestNoSkip => "afforest-noskip",
+            Algorithm::Sv => "sv",
+            Algorithm::SvEdgeList => "sv-edgelist",
+            Algorithm::LabelProp => "label-prop",
+            Algorithm::Bfs => "bfs",
+            Algorithm::ParallelUf => "parallel-uf",
+            Algorithm::Dobfs => "dobfs",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        Self::ALL.into_iter().find(|a| a.name() == s)
+    }
+
+    /// Runs the algorithm, returning the raw representative labeling.
+    pub fn run(&self, g: &CsrGraph) -> Vec<Node> {
+        match self {
+            Algorithm::Afforest => afforest(g, &AfforestConfig::default()).as_slice().to_vec(),
+            Algorithm::AfforestNoSkip => afforest(g, &AfforestConfig::without_skip())
+                .as_slice()
+                .to_vec(),
+            Algorithm::Sv => shiloach_vishkin(g),
+            Algorithm::SvEdgeList => sv_edgelist(g),
+            Algorithm::LabelProp => label_prop(g),
+            Algorithm::Bfs => bfs_cc(g),
+            Algorithm::ParallelUf => parallel_uf(g),
+            Algorithm::Dobfs => dobfs_cc(g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afforest_core::ComponentLabels;
+    use afforest_graph::generators::uniform_random;
+
+    #[test]
+    fn all_algorithms_agree() {
+        let g = uniform_random(2_000, 12_000, 5);
+        let reference = ComponentLabels::from_vec(Algorithm::Afforest.run(&g));
+        assert!(reference.verify_against(&g));
+        for alg in Algorithm::ALL {
+            let labels = ComponentLabels::from_vec(alg.run(&g));
+            assert!(
+                labels.equivalent(&reference),
+                "{} disagrees with afforest",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for alg in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(alg.name()), Some(alg));
+        }
+        assert_eq!(Algorithm::parse("quantum"), None);
+    }
+
+    #[test]
+    fn fig6c_subset_is_from_all() {
+        for alg in Algorithm::FIG6C {
+            assert!(Algorithm::ALL.contains(&alg));
+        }
+    }
+}

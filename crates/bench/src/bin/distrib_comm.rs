@@ -1,0 +1,15 @@
+//! E10 (distributed communication) entry point — see
+//! `afforest_bench::experiments::distrib_comm`.
+
+use afforest_bench::experiments::distrib_comm;
+use afforest_bench::Options;
+
+fn main() {
+    let opts = Options::from_env("distrib_comm [--scale S] [--dataset NAME] [--csv PATH]");
+    let report = distrib_comm::run(opts.scale, opts.dataset.as_deref());
+    print!("{}", report.render());
+    if let Some(path) = &opts.csv {
+        report.primary_table().unwrap().write_csv(path).expect("write csv");
+        println!("csv written to {path}");
+    }
+}

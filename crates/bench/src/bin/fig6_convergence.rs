@@ -1,0 +1,20 @@
+//! Fig. 6a/6b entry point — see `afforest_bench::experiments::fig6`.
+
+use afforest_bench::experiments::fig6;
+use afforest_bench::Options;
+
+fn main() {
+    let opts = Options::from_env(
+        "fig6_convergence [--scale S] [--dataset NAME] [--batches N] [--csv PATH]",
+    );
+    let batches: usize = opts
+        .extra("batches")
+        .map(|v| v.parse().expect("--batches must be a number"))
+        .unwrap_or(10);
+    let report = fig6::run(opts.scale, opts.dataset.as_deref(), batches);
+    print!("{}", report.render());
+    if let Some(path) = &opts.csv {
+        report.primary_table().unwrap().write_csv(path).expect("write csv");
+        println!("csv written to {path}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Fig. 6c entry point — see `afforest_bench::experiments::fig6c`.
+
+use afforest_bench::experiments::fig6c;
+use afforest_bench::Options;
+
+fn main() {
+    let opts = Options::from_env("fig6c_degree_sweep [--scale S] [--trials N] [--csv PATH]");
+    let report = fig6c::run(opts.scale, opts.trials);
+    print!("{}", report.render());
+    if let Some(path) = &opts.csv {
+        report.primary_table().unwrap().write_csv(path).expect("write csv");
+        println!("csv written to {path}");
+    }
+}

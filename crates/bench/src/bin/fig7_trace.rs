@@ -1,0 +1,18 @@
+//! Fig. 7 entry point — see `afforest_bench::experiments::fig7`.
+
+use afforest_bench::experiments::fig7;
+use afforest_bench::Options;
+
+fn main() {
+    let opts = Options::from_env("fig7_trace [--vertices-log2 N] [--edges-log2 M]");
+    // Paper trace size: |V| = 2^12, |E| = 2^19.
+    let vlog: u32 = opts
+        .extra("vertices-log2")
+        .map(|v| v.parse().expect("--vertices-log2 must be a number"))
+        .unwrap_or(12);
+    let elog: u32 = opts
+        .extra("edges-log2")
+        .map(|v| v.parse().expect("--edges-log2 must be a number"))
+        .unwrap_or(19);
+    print!("{}", fig7::run(vlog, elog).render());
+}

@@ -1,0 +1,15 @@
+//! Fig. 8b entry point — see `afforest_bench::experiments::fig8b`.
+
+use afforest_bench::experiments::fig8b;
+use afforest_bench::Options;
+
+fn main() {
+    let opts =
+        Options::from_env("fig8b_scaling [--scale S] [--trials N] [--dataset NAME] [--csv PATH]");
+    let report = fig8b::run(opts.scale, opts.trials, opts.dataset.as_deref());
+    print!("{}", report.render());
+    if let Some(path) = &opts.csv {
+        report.primary_table().unwrap().write_csv(path).expect("write csv");
+        println!("csv written to {path}");
+    }
+}

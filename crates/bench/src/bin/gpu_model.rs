@@ -1,0 +1,15 @@
+//! E11 (GPU warp model) entry point — see
+//! `afforest_bench::experiments::gpu`.
+
+use afforest_bench::experiments::gpu;
+use afforest_bench::Options;
+
+fn main() {
+    let opts = Options::from_env("gpu_model [--scale S] [--dataset NAME] [--csv PATH]");
+    let report = gpu::run(opts.scale, opts.dataset.as_deref());
+    print!("{}", report.render());
+    if let Some(path) = &opts.csv {
+        report.primary_table().unwrap().write_csv(path).expect("write csv");
+        println!("csv written to {path}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Runs every experiment and assembles a combined markdown report —
+//! the generator behind `EXPERIMENTS.md`.
+
+use afforest_bench::experiments::{
+    ablation, distrib_comm, fig6, fig6c, fig7, fig8a, fig8b, fig8c, gpu, table2, table3, Report,
+};
+use afforest_bench::Options;
+use std::time::Instant;
+
+fn main() {
+    let opts = Options::from_env("run_all [--scale S] [--trials N] [--out PATH.md]");
+    let out_path = opts
+        .extra("out")
+        .map(str::to_string)
+        .unwrap_or_else(|| "experiments-report.md".to_string());
+
+    let (vlog, elog) = match opts.scale {
+        afforest_bench::Scale::Tiny => (9, 13),
+        _ => (12, 19), // the paper's Fig. 7 trace size
+    };
+
+    type Runner<'a> = Box<dyn FnOnce() -> Report + 'a>;
+    let runs: Vec<(&str, Runner)> = vec![
+        ("table2", Box::new(move || table2::run(opts.scale, None))),
+        ("table3", Box::new(move || table3::run(opts.scale, None))),
+        ("fig6", Box::new(move || fig6::run(opts.scale, None, 10))),
+        ("fig6c", Box::new(move || fig6c::run(opts.scale, opts.trials))),
+        ("fig7", Box::new(move || fig7::run(vlog, elog))),
+        ("fig8a", Box::new(move || fig8a::run(opts.scale, opts.trials, None))),
+        ("fig8b", Box::new(move || fig8b::run(opts.scale, opts.trials, None))),
+        ("fig8c", Box::new(move || fig8c::run(opts.scale, opts.trials))),
+        ("distrib", Box::new(move || distrib_comm::run(opts.scale, None))),
+        ("ablation", Box::new(move || ablation::run(opts.scale, opts.trials, None))),
+        ("gpu", Box::new(move || gpu::run(opts.scale, None))),
+    ];
+
+    let mut md = format!(
+        "# Afforest reproduction — experiment report (scale {:?}, {} trials)\n\n",
+        opts.scale, opts.trials
+    );
+    for (name, run) in runs {
+        eprintln!("running {name} …");
+        let t = Instant::now();
+        let report = run();
+        eprintln!("  {name} done in {:?}", t.elapsed());
+        print!("{}", report.render());
+        println!();
+        md.push_str(&report.to_markdown());
+    }
+
+    std::fs::write(&out_path, md).expect("write markdown report");
+    println!("markdown report written to {out_path}");
+}

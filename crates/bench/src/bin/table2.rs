@@ -1,0 +1,14 @@
+//! Table II entry point — see `afforest_bench::experiments::table2`.
+
+use afforest_bench::experiments::table2;
+use afforest_bench::Options;
+
+fn main() {
+    let opts = Options::from_env("table2 [--scale S] [--dataset NAME] [--csv PATH]");
+    let report = table2::run(opts.scale, opts.dataset.as_deref());
+    print!("{}", report.render());
+    if let Some(path) = &opts.csv {
+        report.primary_table().unwrap().write_csv(path).expect("write csv");
+        println!("csv written to {path}");
+    }
+}

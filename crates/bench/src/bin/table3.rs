@@ -1,0 +1,14 @@
+//! Table III entry point — see `afforest_bench::experiments::table3`.
+
+use afforest_bench::experiments::table3;
+use afforest_bench::Options;
+
+fn main() {
+    let opts = Options::from_env("table3 [--scale S] [--dataset NAME] [--csv PATH]");
+    let report = table3::run(opts.scale, opts.dataset.as_deref());
+    print!("{}", report.render());
+    if let Some(path) = &opts.csv {
+        report.primary_table().unwrap().write_csv(path).expect("write csv");
+        println!("csv written to {path}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Tiny flag parser shared by the experiment binaries (keeps the
+//! dependency closure free of a CLI crate).
+
+use crate::datasets::Scale;
+
+/// Parsed common options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Dataset scale preset (`--scale`, default `small`).
+    pub scale: Scale,
+    /// Timing trials per measurement (`--trials`, default 16 — the
+    /// paper's protocol).
+    pub trials: usize,
+    /// Optional CSV output path (`--csv`).
+    pub csv: Option<String>,
+    /// Restrict to one dataset (`--dataset`).
+    pub dataset: Option<String>,
+    /// Free-form extra key/value flags (`--key value`), for
+    /// binary-specific options.
+    pub extra: Vec<(String, String)>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Small,
+            trials: 16,
+            csv: None,
+            dataset: None,
+            extra: Vec::new(),
+        }
+    }
+}
+
+impl Options {
+    /// Parses `std::env::args`-style arguments (the first element is the
+    /// program name). Unknown `--key value` pairs land in `extra`.
+    ///
+    /// Returns `Err` with a usage message on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut it = args.into_iter().skip(1).peekable();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected positional argument '{arg}'"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} requires a value"))?;
+            match key {
+                "scale" => {
+                    opts.scale = Scale::parse(&value)
+                        .ok_or_else(|| format!("unknown scale '{value}' (tiny|small|medium|large)"))?;
+                }
+                "trials" => {
+                    opts.trials = value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&t| t > 0)
+                        .ok_or_else(|| format!("invalid trial count '{value}'"))?;
+                }
+                "csv" => opts.csv = Some(value),
+                "dataset" => opts.dataset = Some(value),
+                _ => opts.extra.push((key.to_string(), value)),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses from the process environment, exiting with the usage message
+    /// on error.
+    pub fn from_env(usage: &str) -> Options {
+        match Self::parse(std::env::args()) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}\n\nusage: {usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Looks up a binary-specific extra flag.
+    pub fn extra(&self, key: &str) -> Option<&str> {
+        self.extra
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let mut full = vec!["prog".to_string()];
+        full.extend(args.iter().map(|s| s.to_string()));
+        Options::parse(full)
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.scale, Scale::Small);
+        assert_eq!(o.trials, 16);
+        assert!(o.csv.is_none());
+    }
+
+    #[test]
+    fn all_flags() {
+        let o = parse(&[
+            "--scale", "large", "--trials", "3", "--csv", "/tmp/x.csv", "--dataset", "web",
+        ])
+        .unwrap();
+        assert_eq!(o.scale, Scale::Large);
+        assert_eq!(o.trials, 3);
+        assert_eq!(o.csv.as_deref(), Some("/tmp/x.csv"));
+        assert_eq!(o.dataset.as_deref(), Some("web"));
+    }
+
+    #[test]
+    fn extra_flags_pass_through() {
+        let o = parse(&["--measure", "coverage", "--measure", "linkage"]).unwrap();
+        // Last value wins in lookup.
+        assert_eq!(o.extra("measure"), Some("linkage"));
+        assert_eq!(o.extra("absent"), None);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["positional"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "galactic"]).is_err());
+        assert!(parse(&["--trials", "0"]).is_err());
+        assert!(parse(&["--trials", "x"]).is_err());
+    }
+}

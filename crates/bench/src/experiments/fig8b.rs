@@ -1,0 +1,95 @@
+//! Fig. 8b — strong scaling on the web graph.
+
+use super::Report;
+use crate::algorithms::Algorithm;
+use crate::datasets::{self, Scale};
+use crate::table::{self, Table};
+use crate::timing::measure;
+
+/// Algorithms plotted by the paper's Fig. 8b.
+pub const ALGS: [Algorithm; 4] = [
+    Algorithm::Sv,
+    Algorithm::Dobfs,
+    Algorithm::Afforest,
+    Algorithm::AfforestNoSkip,
+];
+
+/// Thread counts: powers of two up to the machine, plus the machine size.
+pub fn thread_counts() -> Vec<usize> {
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut counts = vec![1usize];
+    while *counts.last().unwrap() * 2 <= max_threads {
+        counts.push(counts.last().unwrap() * 2);
+    }
+    if *counts.last().unwrap() != max_threads {
+        counts.push(max_threads);
+    }
+    counts
+}
+
+/// Runs the scaling experiment.
+pub fn run(scale: Scale, trials: usize, dataset: Option<&str>) -> Report {
+    let name = dataset.unwrap_or("web");
+    let g = datasets::by_name(name)
+        .unwrap_or_else(|| panic!("unknown dataset '{name}'"))
+        .build(scale);
+
+    let counts = thread_counts();
+    let mut header: Vec<String> = vec!["threads".into()];
+    for a in ALGS {
+        header.push(format!("{}-ms", a.name()));
+        header.push(format!("{}-speedup", a.name()));
+    }
+    let mut t = Table::new(header);
+    let mut base_ms: Vec<f64> = Vec::new();
+
+    for (row_idx, &threads) in counts.iter().enumerate() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let mut row = vec![threads.to_string()];
+        for (ai, alg) in ALGS.into_iter().enumerate() {
+            let timing = pool.install(|| measure(trials, || alg.run(&g)));
+            let ms = timing.median_ms();
+            if row_idx == 0 {
+                base_ms.push(ms);
+            }
+            row.push(table::f2(ms));
+            row.push(format!("{}x", table::f2(base_ms[ai] / ms.max(1e-9))));
+        }
+        t.row(row);
+    }
+
+    let mut r = Report::new(format!(
+        "Fig. 8b — strong scaling on '{name}' (|V|={}, |E|={}, {trials} trials)",
+        table::count(g.num_vertices()),
+        table::count(g.num_edges()),
+    ));
+    r.table("", t);
+    r.note("paper: all algorithms scale comparably on the web graph");
+    if counts.len() == 1 {
+        r.note("host exposes a single hardware thread: scaling series is degenerate here");
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_thread_counts() {
+        let r = run(Scale::Tiny, 1, None);
+        assert_eq!(r.primary_table().unwrap().len(), thread_counts().len());
+    }
+
+    #[test]
+    fn thread_counts_start_at_one_and_grow() {
+        let c = thread_counts();
+        assert_eq!(c[0], 1);
+        assert!(c.windows(2).all(|w| w[1] > w[0]));
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 8c — runtime vs average component fraction `f`.
+
+use super::Report;
+use crate::algorithms::Algorithm;
+use crate::datasets::Scale;
+use crate::plot::{render, Series};
+use crate::table::{self, Table};
+use crate::timing::measure;
+use afforest_graph::generators::{components::expected_components, urand_with_components};
+
+/// Algorithms plotted by the paper's Fig. 8c.
+pub const ALGS: [Algorithm; 4] = [
+    Algorithm::Afforest,
+    Algorithm::AfforestNoSkip,
+    Algorithm::Sv,
+    Algorithm::Dobfs,
+];
+
+/// Component fractions swept (the paper's x-axis).
+pub const FRACTIONS: [f64; 7] = [1e-4, 1e-3, 1e-2, 1e-1, 0.25, 0.5, 1.0];
+
+/// Runs the component-fraction sweep.
+pub fn run(scale: Scale, trials: usize) -> Report {
+    let n = 1usize << scale.log_n();
+    let mut header: Vec<String> = vec!["f".into(), "components".into()];
+    header.extend(ALGS.iter().map(|a| format!("{}-ms", a.name())));
+    let mut t = Table::new(header);
+    let mut series: Vec<Series> = ALGS
+        .iter()
+        .map(|a| Series::new(a.name(), Vec::new()))
+        .collect();
+
+    for f in FRACTIONS {
+        let g = urand_with_components(n, 4, f, 0xF8C);
+        let mut row = vec![format!("{f:.0e}"), table::count(expected_components(n, f))];
+        for (i, alg) in ALGS.into_iter().enumerate() {
+            let timing = measure(trials, || alg.run(&g));
+            row.push(table::f2(timing.median_ms()));
+            series[i].points.push((f.log10(), timing.median_ms()));
+        }
+        t.row(row);
+    }
+
+    let mut r = Report::new(format!(
+        "Fig. 8c — runtime vs component fraction, urand |V|={} edge-factor 4 ({trials} trials)",
+        table::count(n),
+    ));
+    r.chart(
+        "runtime (ms, log) vs log10(f)",
+        render(&series, 64, 14, true),
+    );
+    r.table("", t);
+    r.note("paper: tree-hooking flat in f; dobfs degrades as components multiply, wins at f≈1");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_all_fractions() {
+        let r = run(Scale::Tiny, 1);
+        assert_eq!(r.primary_table().unwrap().len(), FRACTIONS.len());
+        assert_eq!(r.charts.len(), 1);
+    }
+
+    #[test]
+    fn component_counts_decrease_with_f() {
+        let r = run(Scale::Tiny, 1);
+        let csv = r.primary_table().unwrap().to_csv();
+        let counts: Vec<usize> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().replace('_', "").parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(*counts.last().unwrap(), 1);
+    }
+}

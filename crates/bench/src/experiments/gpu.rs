@@ -1,0 +1,88 @@
+//! E11 (extension) — GPU execution-model study (Section VI-B).
+//!
+//! Replays the three competing GPU kernels through the warp simulator on
+//! every dataset: edge-list SV (Soman et al.), CSR vertex-centric SV, and
+//! Afforest's neighbor rounds. Reports SIMD efficiency, memory
+//! transactions, and bytes — the model-level quantities behind the
+//! paper's GPU results.
+
+use super::Report;
+use crate::datasets::{registry, Scale};
+use crate::table::{self, Table};
+use afforest_gpu_model::{
+    simulate_afforest_rounds, simulate_csr_sv_hook, simulate_edgelist_sv_full,
+    simulate_edgelist_sv_hook, KernelStats,
+};
+
+/// Runs the GPU-model study over the registry.
+pub fn run(scale: Scale, dataset: Option<&str>) -> Report {
+    let mut t = Table::new([
+        "graph",
+        "kernel",
+        "simd-eff",
+        "transactions",
+        "bytes-req",
+        "lockstep-work",
+    ]);
+
+    for d in registry() {
+        if dataset.is_some_and(|n| n != d.name) {
+            continue;
+        }
+        let g = d.build(scale);
+        let kernels: [KernelStats; 4] = [
+            simulate_edgelist_sv_hook(&g),
+            simulate_edgelist_sv_full(&g).1,
+            simulate_csr_sv_hook(&g),
+            simulate_afforest_rounds(&g, 2),
+        ];
+        for k in &kernels {
+            t.row([
+                d.name.to_string(),
+                k.name.clone(),
+                table::f3(k.simd_efficiency()),
+                table::count(k.acc.transactions as usize),
+                table::count(k.acc.bytes_requested as usize),
+                table::count(k.acc.lockstep_work as usize),
+            ]);
+        }
+    }
+
+    let mut r = Report::new(format!(
+        "E11 — GPU warp-model comparison (scale {scale:?}): hook passes vs two Afforest rounds"
+    ));
+    r.table("", t);
+    r.note("paper Section VI-B: edge lists stream homogeneously (eff ≈ 1) but load more data;");
+    r.note("CSR-SV diverges on skewed degrees (wins only on narrow road networks);");
+    r.note("Afforest's per-round single-neighbor kernels stay balanced on every graph");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_kernels_per_dataset() {
+        let r = run(Scale::Tiny, None);
+        assert_eq!(r.primary_table().unwrap().len(), 4 * registry().len());
+    }
+
+    #[test]
+    fn qualitative_shape_on_kron() {
+        let r = run(Scale::Tiny, Some("kron"));
+        let csv = r.primary_table().unwrap().to_csv();
+        let eff = |kernel: &str| -> f64 {
+            csv.lines()
+                .find(|l| l.contains(kernel))
+                .unwrap()
+                .split(',')
+                .nth(2)
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(eff("edgelist-sv-hook") > 0.9);
+        assert!(eff("afforest-2-rounds") > eff("csr-sv-hook"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Experiment implementations behind the per-figure binaries.
+//!
+//! Each submodule exposes a `run(...) -> Report` function containing the
+//! full experiment logic, so the experiments themselves are unit-testable
+//! at tiny scale; the `src/bin/*` entry points are thin wrappers that
+//! parse flags, call `run`, and print.
+
+pub mod ablation;
+pub mod distrib_comm;
+pub mod fig6;
+pub mod fig6c;
+pub mod fig7;
+pub mod fig8a;
+pub mod fig8b;
+pub mod fig8c;
+pub mod gpu;
+pub mod table2;
+pub mod table3;
+
+use crate::table::Table;
+
+/// A rendered experiment: titled tables, optional ASCII charts, and
+/// interpretation notes (the paper-claim each artifact checks).
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Headline, e.g. `"Table II — …"`.
+    pub title: String,
+    /// Named tables in presentation order.
+    pub tables: Vec<(String, Table)>,
+    /// Named ASCII charts.
+    pub charts: Vec<(String, String)>,
+    /// Free-form notes (paper expectations, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Starts an empty report.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a table.
+    pub fn table(&mut self, name: impl Into<String>, t: Table) -> &mut Self {
+        self.tables.push((name.into(), t));
+        self
+    }
+
+    /// Adds a chart.
+    pub fn chart(&mut self, name: impl Into<String>, c: String) -> &mut Self {
+        self.charts.push((name.into(), c));
+        self
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, n: impl Into<String>) -> &mut Self {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// Renders for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        for (name, t) in &self.tables {
+            if !name.is_empty() {
+                out.push('\n');
+                out.push_str(name);
+                out.push('\n');
+            }
+            out.push_str(&t.render());
+        }
+        for (name, c) in &self.charts {
+            out.push('\n');
+            out.push_str(name);
+            out.push('\n');
+            out.push_str(c);
+        }
+        for n in &self.notes {
+            out.push_str(&format!("({n})\n"));
+        }
+        out
+    }
+
+    /// Renders as a markdown section (used by `run_all` to assemble
+    /// `EXPERIMENTS.md`-style reports).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {}\n\n", self.title);
+        for (name, t) in &self.tables {
+            if !name.is_empty() {
+                out.push_str(&format!("**{name}**\n\n"));
+            }
+            out.push_str("```text\n");
+            out.push_str(&t.render());
+            out.push_str("```\n\n");
+        }
+        for (name, c) in &self.charts {
+            out.push_str(&format!("**{name}**\n\n```text\n{c}```\n\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("> {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// The first table (most experiments have exactly one), for CSV
+    /// emission from the binaries.
+    pub fn primary_table(&self) -> Option<&Table> {
+        self.tables.first().map(|(_, t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("Title");
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        r.table("main", t);
+        r.chart("curve", "***\n".to_string());
+        r.note("expectation holds");
+        r
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = sample().render();
+        assert!(s.contains("Title"));
+        assert!(s.contains("main"));
+        assert!(s.contains("curve"));
+        assert!(s.contains("(expectation holds)"));
+    }
+
+    #[test]
+    fn markdown_is_structured() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("## Title"));
+        assert!(md.contains("```text"));
+        assert!(md.contains("> expectation holds"));
+    }
+
+    #[test]
+    fn primary_table() {
+        assert!(sample().primary_table().is_some());
+        assert!(Report::new("empty").primary_table().is_none());
+    }
+}

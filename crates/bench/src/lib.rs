@@ -1,0 +1,34 @@
+//! Experiment harness for the Afforest reproduction.
+//!
+//! Reproduces every table and figure of the paper's evaluation on
+//! laptop-scale synthetic stand-ins of the original datasets:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `table2` | Table II — SV vs Afforest iterations & tree depth |
+//! | `table3` | Table III — dataset statistics |
+//! | `fig6_convergence` | Fig. 6a/6b — Linkage & Coverage per strategy |
+//! | `fig6c_degree_sweep` | Fig. 6c — runtime vs average degree |
+//! | `fig7_trace` | Fig. 7 — π memory-access patterns |
+//! | `fig8a_perf` | Fig. 8a — cross-algorithm performance |
+//! | `fig8b_scaling` | Fig. 8b — strong scaling |
+//! | `fig8c_components` | Fig. 8c — runtime vs component fraction |
+//!
+//! Each binary accepts `--scale tiny|small|medium|large` (default `small`)
+//! and `--trials N`, prints a human-readable table mirroring the paper's
+//! rows/series, and optionally emits CSV via `--csv <path>`.
+
+pub mod algorithms;
+pub mod cli;
+pub mod datasets;
+pub mod experiments;
+pub mod plot;
+pub mod table;
+pub mod timing;
+
+pub use algorithms::Algorithm;
+pub use cli::Options;
+pub use datasets::{registry, Dataset, Scale};
+pub use plot::{render as render_chart, Series};
+pub use table::Table;
+pub use timing::{measure, Timing};

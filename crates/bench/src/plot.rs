@@ -1,0 +1,187 @@
+//! Terminal line charts for the figure experiments.
+//!
+//! The paper's figures are line plots; the harness renders the same
+//! series as ASCII charts so the shape (who wins, where the crossover
+//! falls) is visible directly in the terminal and in `EXPERIMENTS.md`.
+
+/// One named series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in ascending-x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Marker characters assigned to series in order.
+const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders series into a `width × height` ASCII chart with axis ranges
+/// derived from the data. Later series draw over earlier ones where they
+/// collide; a legend line maps markers to labels.
+///
+/// `log_y` plots `log10(y)` (clamping non-positive values to the axis
+/// minimum), matching the paper's log-scale runtime figures.
+pub fn render(series: &[Series], width: usize, height: usize, log_y: bool) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .map(|(x, y)| (x, transform(y, log_y)))
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            let ty = transform(y, log_y);
+            if !x.is_finite() || !ty.is_finite() {
+                continue;
+            }
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((ty - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy.min(height - 1)][cx.min(width - 1)] = mark;
+        }
+    }
+
+    let y_top = if log_y { format!("1e{y1:.1}") } else { format!("{y1:.3}") };
+    let y_bot = if log_y { format!("1e{y0:.1}") } else { format!("{y0:.3}") };
+    let label_w = y_top.len().max(y_bot.len());
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_top:>label_w$}")
+        } else if i == height - 1 {
+            format!("{y_bot:>label_w$}")
+        } else {
+            " ".repeat(label_w)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(label_w));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&" ".repeat(label_w + 1));
+    out.push_str(&format!("{x0:<.3}{:>pad$.3}\n", x1, pad = width.saturating_sub(6)));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "  {} {}\n",
+            MARKS[si % MARKS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+fn transform(y: f64, log_y: bool) -> f64 {
+    if log_y {
+        if y > 0.0 {
+            y.log10()
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_single_series() {
+        let s = Series::new("line", vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        let chart = render(&[s], 20, 8, false);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("line"));
+        // Axis frame present.
+        assert!(chart.contains('+'));
+        assert!(chart.contains('|'));
+    }
+
+    #[test]
+    fn ascending_line_slopes_up() {
+        let s = Series::new("up", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let chart = render(&[s], 20, 6, false);
+        let rows: Vec<&str> = chart.lines().collect();
+        // First data row (top) contains the max point at the right edge;
+        // the bottom data row has the min point at the left.
+        let top = rows[0];
+        let bottom = rows[5];
+        assert!(top.rfind('*') > bottom.rfind('*'));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_marks() {
+        let a = Series::new("a", vec![(0.0, 0.0), (1.0, 0.0)]);
+        let b = Series::new("b", vec![(0.0, 1.0), (1.0, 1.0)]);
+        let chart = render(&[a, b], 20, 6, false);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("  * a"));
+        assert!(chart.contains("  o b"));
+    }
+
+    #[test]
+    fn log_scale_labels() {
+        let s = Series::new("runtime", vec![(1.0, 10.0), (2.0, 1000.0)]);
+        let chart = render(&[s], 20, 6, true);
+        assert!(chart.contains("1e3.0"));
+        assert!(chart.contains("1e1.0"));
+    }
+
+    #[test]
+    fn empty_series_safe() {
+        assert_eq!(render(&[], 20, 6, false), "(no data)\n");
+        let s = Series::new("empty", vec![]);
+        assert_eq!(render(&[s], 20, 6, false), "(no data)\n");
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = Series::new("flat", vec![(0.0, 5.0), (1.0, 5.0)]);
+        let chart = render(&[s], 20, 6, false);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn nonpositive_values_on_log_scale_are_dropped() {
+        let s = Series::new("mixed", vec![(0.0, 0.0), (1.0, 100.0)]);
+        let chart = render(&[s], 20, 6, true);
+        assert!(chart.contains('*')); // the positive point still renders
+    }
+}

@@ -1,0 +1,134 @@
+//! Timing protocol (Section VI): median over N trials with quartiles.
+//!
+//! "All results report the median running time … over 16 measurements";
+//! Fig. 8a's error bars are the 25th/75th percentiles. We reproduce both.
+
+use std::time::{Duration, Instant};
+
+/// Median + quartiles of a set of trials.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Timing {
+    /// Median wall-clock time.
+    pub median: Duration,
+    /// 25th percentile.
+    pub p25: Duration,
+    /// 75th percentile.
+    pub p75: Duration,
+    /// Number of trials aggregated.
+    pub trials: usize,
+}
+
+impl Timing {
+    /// Milliseconds, for table rendering.
+    pub fn median_ms(&self) -> f64 {
+        self.median.as_secs_f64() * 1e3
+    }
+
+    /// Speedup of `self` over `other` (`other.median / self.median`).
+    pub fn speedup_over(&self, other: &Timing) -> f64 {
+        other.median.as_secs_f64() / self.median.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Aggregates raw durations into a [`Timing`].
+///
+/// Percentiles use the nearest-rank method on the sorted samples.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn aggregate(mut samples: Vec<Duration>) -> Timing {
+    assert!(!samples.is_empty(), "need at least one sample");
+    samples.sort_unstable();
+    let rank = |q: f64| -> Duration {
+        let idx = ((samples.len() as f64) * q).ceil() as usize;
+        samples[idx.clamp(1, samples.len()) - 1]
+    };
+    Timing {
+        median: rank(0.5),
+        p25: rank(0.25),
+        p75: rank(0.75),
+        trials: samples.len(),
+    }
+}
+
+/// Runs `f` `trials` times and aggregates the wall-clock samples. The
+/// return value of `f` is passed to a black-box sink so the optimizer
+/// cannot elide the work.
+pub fn measure<T>(trials: usize, mut f: impl FnMut() -> T) -> Timing {
+    assert!(trials > 0, "need at least one trial");
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let t = Instant::now();
+        let out = f();
+        samples.push(t.elapsed());
+        std::hint::black_box(&out);
+    }
+    aggregate(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    #[test]
+    fn aggregate_odd() {
+        let t = aggregate(vec![ms(5), ms(1), ms(3)]);
+        assert_eq!(t.median, ms(3));
+        assert_eq!(t.p25, ms(1));
+        assert_eq!(t.p75, ms(5));
+        assert_eq!(t.trials, 3);
+    }
+
+    #[test]
+    fn aggregate_single() {
+        let t = aggregate(vec![ms(7)]);
+        assert_eq!(t.median, ms(7));
+        assert_eq!(t.p25, ms(7));
+        assert_eq!(t.p75, ms(7));
+    }
+
+    #[test]
+    fn aggregate_sixteen_matches_paper_protocol() {
+        let samples: Vec<Duration> = (1..=16).map(ms).collect();
+        let t = aggregate(samples);
+        assert_eq!(t.median, ms(8));
+        assert_eq!(t.p25, ms(4));
+        assert_eq!(t.p75, ms(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn aggregate_empty_panics() {
+        let _ = aggregate(vec![]);
+    }
+
+    #[test]
+    fn measure_runs_f() {
+        let mut count = 0;
+        let t = measure(5, || {
+            count += 1;
+            count
+        });
+        assert_eq!(count, 5);
+        assert_eq!(t.trials, 5);
+    }
+
+    #[test]
+    fn speedup() {
+        let fast = aggregate(vec![ms(10)]);
+        let slow = aggregate(vec![ms(40)]);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_ms_conversion() {
+        let t = aggregate(vec![Duration::from_micros(1500)]);
+        assert!((t.median_ms() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimal argument parsing: positionals plus `--key value` flags.
+
+use std::collections::BTreeMap;
+
+/// Parsed positionals and flags.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedArgs {
+    positionals: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses `argv` (after the subcommand). Every `--key` must be
+    /// followed by a value.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} requires a value"))?;
+                out.flags.insert(key.to_string(), value.clone());
+            } else {
+                out.positionals.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional, or an error naming it.
+    pub fn positional(&self, i: usize, name: &str) -> Result<&str, String> {
+        self.positionals
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required argument <{name}>"))
+    }
+
+    /// Number of positionals supplied.
+    pub fn num_positionals(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// A string flag.
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A parsed flag with default.
+    pub fn flag_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+
+    /// Errors if any flag is not in the allowed set (typo guard).
+    pub fn allow_flags(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown flag --{key} (allowed: {})",
+                    allowed
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<ParsedArgs, String> {
+        ParsedArgs::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = parse(&["input.el", "--trials", "5", "out.el"]).unwrap();
+        assert_eq!(a.positional(0, "in").unwrap(), "input.el");
+        assert_eq!(a.positional(1, "out").unwrap(), "out.el");
+        assert_eq!(a.flag("trials"), Some("5"));
+        assert_eq!(a.num_positionals(), 2);
+    }
+
+    #[test]
+    fn missing_positional() {
+        let a = parse(&[]).unwrap();
+        assert!(a.positional(0, "graph").unwrap_err().contains("<graph>"));
+    }
+
+    #[test]
+    fn flag_needs_value() {
+        assert!(parse(&["--seed"]).unwrap_err().contains("requires a value"));
+    }
+
+    #[test]
+    fn flag_parsed_with_default() {
+        let a = parse(&["--n", "100"]).unwrap();
+        assert_eq!(a.flag_parsed("n", 5usize).unwrap(), 100);
+        assert_eq!(a.flag_parsed("seed", 7u64).unwrap(), 7);
+        assert!(a.flag_parsed::<usize>("n", 0).is_ok());
+        let b = parse(&["--n", "oops"]).unwrap();
+        assert!(b.flag_parsed::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn allow_flags_catches_typos() {
+        let a = parse(&["--trails", "5"]).unwrap();
+        let err = a.allow_flags(&["trials"]).unwrap_err();
+        assert!(err.contains("--trails"));
+        assert!(err.contains("--trials"));
+    }
+}

@@ -1,0 +1,416 @@
+//! Subcommand implementations. Every `run` takes the post-subcommand
+//! `argv` and returns the text to print.
+
+use crate::args::ParsedArgs;
+use crate::load::{load_graph, save_graph};
+use afforest_baselines::{
+    bfs_cc, dobfs_cc, label_prop, parallel_uf, rem_cc, shiloach_vishkin,
+    shiloach_vishkin_1982, sv_edgelist, union_by_rank_cc, union_by_size_cc,
+    union_find::union_find_cc,
+};
+use afforest_core::{afforest, AfforestConfig, ComponentLabels};
+use afforest_graph::{CsrGraph, Node};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Algorithm name → runner, shared by `cc` and `bench`.
+pub fn algorithm_by_name(name: &str) -> Option<fn(&CsrGraph) -> Vec<Node>> {
+    fn aff(g: &CsrGraph) -> Vec<Node> {
+        afforest(g, &AfforestConfig::default()).as_slice().to_vec()
+    }
+    fn aff_noskip(g: &CsrGraph) -> Vec<Node> {
+        afforest(g, &AfforestConfig::without_skip())
+            .as_slice()
+            .to_vec()
+    }
+    Some(match name {
+        "afforest" => aff,
+        "afforest-noskip" => aff_noskip,
+        "sv" => shiloach_vishkin,
+        "sv-edgelist" => sv_edgelist,
+        "sv-1982" => shiloach_vishkin_1982,
+        "label-prop" => label_prop,
+        "bfs" => bfs_cc,
+        "dobfs" => dobfs_cc,
+        "parallel-uf" => parallel_uf,
+        "union-find" => union_find_cc,
+        "uf-rank" => union_by_rank_cc,
+        "uf-size" => union_by_size_cc,
+        "rem" => rem_cc,
+        _ => return None,
+    })
+}
+
+/// Every algorithm name, in `bench` display order.
+pub const ALGORITHM_NAMES: [&str; 13] = [
+    "afforest",
+    "afforest-noskip",
+    "sv",
+    "sv-edgelist",
+    "sv-1982",
+    "label-prop",
+    "bfs",
+    "dobfs",
+    "parallel-uf",
+    "union-find",
+    "uf-rank",
+    "uf-size",
+    "rem",
+];
+
+/// `afforest stats <graph>`.
+pub mod stats {
+    use super::*;
+    use afforest_graph::{DegreeDistribution, GraphStats};
+
+    pub fn run(argv: &[String]) -> Result<String, String> {
+        let args = ParsedArgs::parse(argv)?;
+        args.allow_flags(&[])?;
+        let path = args.positional(0, "graph")?;
+        let g = load_graph(path)?;
+        let s = GraphStats::compute(&g);
+        let d = DegreeDistribution::compute(&g);
+
+        let mut out = String::new();
+        let _ = writeln!(out, "graph: {path}");
+        let _ = writeln!(out, "vertices:            {}", s.num_vertices);
+        let _ = writeln!(out, "edges:               {}", s.num_edges);
+        let _ = writeln!(out, "avg degree:          {:.2}", s.avg_degree);
+        let _ = writeln!(out, "max degree:          {}", s.max_degree);
+        let _ = writeln!(out, "median degree:       {}", d.median);
+        let _ = writeln!(out, "degree cv:           {:.3}", d.cv);
+        let _ = writeln!(out, "isolated vertices:   {}", d.isolated());
+        let _ = writeln!(out, "components:          {}", s.num_components);
+        let _ = writeln!(out, "largest component:   {} ({:.2}%)", s.largest_component, 100.0 * s.largest_component_fraction());
+        let _ = writeln!(out, "approx diameter:     {}", s.approx_diameter);
+        Ok(out)
+    }
+}
+
+/// `afforest cc <graph> [--algorithm NAME] [--labels-out PATH] [--trials N]`.
+pub mod cc {
+    use super::*;
+
+    pub fn run(argv: &[String]) -> Result<String, String> {
+        let args = ParsedArgs::parse(argv)?;
+        args.allow_flags(&["algorithm", "labels-out", "trials"])?;
+        let path = args.positional(0, "graph")?;
+        let alg_name = args.flag("algorithm").unwrap_or("afforest");
+        let trials: usize = args.flag_parsed("trials", 1)?;
+        if trials == 0 {
+            return Err("--trials must be positive".into());
+        }
+        let alg = algorithm_by_name(alg_name)
+            .ok_or_else(|| format!("unknown algorithm '{alg_name}' (see `afforest help`)"))?;
+        let g = load_graph(path)?;
+
+        let mut labels_vec = Vec::new();
+        let mut best = f64::INFINITY;
+        for _ in 0..trials {
+            let t = Instant::now();
+            labels_vec = alg(&g);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        let labels = ComponentLabels::from_vec(labels_vec);
+
+        let mut out = String::new();
+        let _ = writeln!(out, "graph:       {path}");
+        let _ = writeln!(out, "algorithm:   {alg_name}");
+        let _ = writeln!(out, "components:  {}", labels.num_components());
+        let _ = writeln!(
+            out,
+            "largest:     {} of {} vertices",
+            labels.largest_component_size(),
+            labels.len()
+        );
+        let _ = writeln!(out, "best time:   {:.3} ms ({} trial(s))", best * 1e3, trials);
+
+        if let Some(dest) = args.flag("labels-out") {
+            let mut text = String::with_capacity(labels.len() * 8);
+            for v in 0..labels.len() as Node {
+                let _ = writeln!(text, "{v} {}", labels.label(v));
+            }
+            std::fs::write(dest, text).map_err(|e| format!("{dest}: {e}"))?;
+            let _ = writeln!(out, "labels written to {dest}");
+        }
+        Ok(out)
+    }
+}
+
+/// `afforest generate <family> --out PATH [--n N] [--edge-factor K] …`.
+pub mod generate {
+    use super::*;
+    use afforest_graph::generators;
+
+    pub fn run(argv: &[String]) -> Result<String, String> {
+        let args = ParsedArgs::parse(argv)?;
+        args.allow_flags(&[
+            "out",
+            "n",
+            "edge-factor",
+            "seed",
+            "radius",
+            "locality",
+            "beta",
+            "k",
+            "fraction",
+            "keep",
+        ])?;
+        let family = args.positional(0, "family")?;
+        let out_path = args
+            .flag("out")
+            .ok_or_else(|| "generate requires --out PATH".to_string())?;
+        let n: usize = args.flag_parsed("n", 1 << 14)?;
+        let ef: usize = args.flag_parsed("edge-factor", 16)?;
+        let seed: u64 = args.flag_parsed("seed", 42u64)?;
+        if n == 0 {
+            return Err("--n must be positive".into());
+        }
+
+        let g = match family {
+            "urand" => generators::uniform_random(n, n * ef, seed),
+            "kron" => {
+                let scale = n.next_power_of_two().trailing_zeros();
+                generators::rmat_scale(scale, ef, seed)
+            }
+            "road" => {
+                let side = (n as f64).sqrt().ceil() as usize;
+                let keep: f64 = args.flag_parsed("keep", 0.93)?;
+                generators::road_network(side, side, keep, 0.02, seed)
+            }
+            "web" => {
+                let locality: f64 = args.flag_parsed("locality", 0.75)?;
+                generators::web_graph(n, ef.clamp(1, 64), locality, 16.0, seed)
+            }
+            "ba" => generators::barabasi_albert(n, ef.clamp(1, n.saturating_sub(1)), seed),
+            "ws" => {
+                let beta: f64 = args.flag_parsed("beta", 0.1)?;
+                let k: usize = args.flag_parsed("k", 4)?;
+                generators::watts_strogatz(n, k, beta, seed)
+            }
+            "geometric" => {
+                let default_r = (ef as f64 / (n as f64 * std::f64::consts::PI)).sqrt();
+                let radius: f64 = args.flag_parsed("radius", default_r)?;
+                generators::random_geometric(n, radius, seed)
+            }
+            "components" => {
+                let f: f64 = args.flag_parsed("fraction", 0.1)?;
+                generators::urand_with_components(n, ef, f, seed)
+            }
+            other => {
+                return Err(format!(
+                    "unknown family '{other}' (urand|kron|road|web|ba|ws|geometric|components)"
+                ))
+            }
+        };
+
+        save_graph(&g, out_path)?;
+        Ok(format!(
+            "generated {family}: {} vertices, {} edges -> {out_path}\n",
+            g.num_vertices(),
+            g.num_edges()
+        ))
+    }
+}
+
+/// `afforest convert <in> <out>`.
+pub mod convert {
+    use super::*;
+
+    pub fn run(argv: &[String]) -> Result<String, String> {
+        let args = ParsedArgs::parse(argv)?;
+        args.allow_flags(&[])?;
+        let src = args.positional(0, "in")?;
+        let dst = args.positional(1, "out")?;
+        let g = load_graph(src)?;
+        save_graph(&g, dst)?;
+        Ok(format!(
+            "converted {src} -> {dst} ({} vertices, {} edges)\n",
+            g.num_vertices(),
+            g.num_edges()
+        ))
+    }
+}
+
+/// `afforest bench <graph> [--trials N]`.
+pub mod bench {
+    use super::*;
+
+    pub fn run(argv: &[String]) -> Result<String, String> {
+        let args = ParsedArgs::parse(argv)?;
+        args.allow_flags(&["trials"])?;
+        let path = args.positional(0, "graph")?;
+        let trials: usize = args.flag_parsed("trials", 3)?;
+        if trials == 0 {
+            return Err("--trials must be positive".into());
+        }
+        let g = load_graph(path)?;
+
+        let reference = ComponentLabels::from_vec(
+            algorithm_by_name("union-find").expect("oracle exists")(&g),
+        );
+
+        let mut out = format!(
+            "graph: {path} ({} vertices, {} edges)\n{:<18} {:>12}  {}\n",
+            g.num_vertices(),
+            g.num_edges(),
+            "algorithm",
+            "best-ms",
+            "components"
+        );
+        for name in ALGORITHM_NAMES {
+            let alg = algorithm_by_name(name).expect("registered");
+            let mut best = f64::INFINITY;
+            let mut labels = Vec::new();
+            for _ in 0..trials {
+                let t = Instant::now();
+                labels = alg(&g);
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            let labels = ComponentLabels::from_vec(labels);
+            if !labels.equivalent(&reference) {
+                return Err(format!("{name} produced an inconsistent labeling"));
+            }
+            let _ = writeln!(
+                out,
+                "{:<18} {:>12.3}  {}",
+                name,
+                best * 1e3,
+                labels.num_components()
+            );
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afforest_graph::generators::uniform_random;
+
+    fn tempfile(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("afforest-cli-cmd-{}-{}", std::process::id(), name));
+        p.to_string_lossy().into_owned()
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn sample_graph_file(name: &str) -> String {
+        let g = uniform_random(200, 1_000, 5);
+        let p = tempfile(name);
+        crate::load::save_graph(&g, &p).unwrap();
+        p
+    }
+
+    #[test]
+    fn stats_reports_counts() {
+        let p = sample_graph_file("stats.el");
+        let out = stats::run(&argv(&[&p])).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert!(out.contains("vertices:            200"));
+        assert!(out.contains("components:"));
+        assert!(out.contains("approx diameter:"));
+    }
+
+    #[test]
+    fn cc_default_algorithm_and_labels_out() {
+        let p = sample_graph_file("cc.el");
+        let labels_path = tempfile("labels.txt");
+        let out = cc::run(&argv(&[&p, "--labels-out", &labels_path])).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert!(out.contains("algorithm:   afforest"));
+        let labels = std::fs::read_to_string(&labels_path).unwrap();
+        std::fs::remove_file(&labels_path).unwrap();
+        assert_eq!(labels.lines().count(), 200);
+        assert!(labels.lines().next().unwrap().starts_with("0 "));
+    }
+
+    #[test]
+    fn cc_every_algorithm_runs() {
+        let p = sample_graph_file("ccall.el");
+        for name in ALGORITHM_NAMES {
+            let out = cc::run(&argv(&[&p, "--algorithm", name])).unwrap();
+            assert!(out.contains(name), "{name} missing from output");
+        }
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn cc_rejects_unknown_algorithm() {
+        let p = sample_graph_file("ccbad.el");
+        let err = cc::run(&argv(&[&p, "--algorithm", "quantum"])).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(err.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn generate_all_families() {
+        for family in [
+            "urand",
+            "kron",
+            "road",
+            "web",
+            "ba",
+            "ws",
+            "geometric",
+            "components",
+        ] {
+            let p = tempfile(&format!("gen-{family}.el"));
+            let out = generate::run(&argv(&[
+                family, "--out", &p, "--n", "256", "--edge-factor", "4", "--seed", "1",
+            ]))
+            .unwrap();
+            assert!(out.contains(family), "{family}");
+            let g = crate::load::load_graph(&p).unwrap();
+            std::fs::remove_file(&p).unwrap();
+            assert!(g.num_edges() > 0, "{family} generated no edges");
+        }
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        let err = generate::run(&argv(&["urand"])).unwrap_err();
+        assert!(err.contains("--out"));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_family() {
+        let p = tempfile("gen-bad.el");
+        let err = generate::run(&argv(&["hypercube", "--out", &p])).unwrap_err();
+        assert!(err.contains("unknown family"));
+    }
+
+    #[test]
+    fn convert_between_formats() {
+        let src = sample_graph_file("conv.el");
+        let dst = tempfile("conv.graph");
+        let out = convert::run(&argv(&[&src, &dst])).unwrap();
+        assert!(out.contains("converted"));
+        let a = crate::load::load_graph(&src).unwrap();
+        let b = crate::load::load_graph(&dst).unwrap();
+        std::fs::remove_file(&src).unwrap();
+        std::fs::remove_file(&dst).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn bench_times_everything() {
+        let p = sample_graph_file("bench.el");
+        let out = bench::run(&argv(&[&p, "--trials", "1"])).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        for name in ALGORITHM_NAMES {
+            assert!(out.contains(name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn typo_flags_are_rejected() {
+        let p = sample_graph_file("typo.el");
+        let err = cc::run(&argv(&[&p, "--algorthm", "sv"])).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(err.contains("unknown flag"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Library backing the `afforest` command-line tool.
+//!
+//! ```text
+//! afforest stats    <graph>
+//! afforest cc       <graph> [--algorithm NAME] [--labels-out PATH] [--trials N]
+//! afforest generate <family> --out PATH [--n N] [--edge-factor K] [--seed S] …
+//! afforest convert  <in> <out>
+//! afforest bench    <graph> [--trials N]
+//! afforest help
+//! ```
+//!
+//! Graph files are recognized by extension: `.el`/`.txt` (edge list),
+//! `.gr`/`.dimacs`/`.col` (DIMACS), `.graph`/`.metis` (METIS), and
+//! `.acsr` (this repo's binary CSR).
+
+pub mod args;
+pub mod commands;
+pub mod load;
+
+pub use args::ParsedArgs;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: afforest <command> [arguments]
+
+commands:
+  stats    <graph>                          graph statistics (Table III columns)
+  cc       <graph> [--algorithm NAME]       connected components
+           [--labels-out PATH] [--trials N]
+  generate <family> --out PATH [--n N]      synthetic graph (urand|kron|road|web|
+           [--edge-factor K] [--seed S]     ba|ws|geometric|components)
+  convert  <in> <out>                       format conversion by extension
+  bench    <graph> [--trials N]             time every algorithm on the graph
+  help                                      this message
+
+formats by extension: .el/.txt  .gr/.dimacs/.col  .graph/.metis  .acsr
+algorithms: afforest afforest-noskip sv sv-edgelist sv-1982 label-prop
+            bfs dobfs parallel-uf union-find uf-rank uf-size rem";
+
+/// Runs a full command line (without the program name); returns the text
+/// to print on success.
+pub fn dispatch(argv: &[String]) -> Result<String, String> {
+    let Some(command) = argv.first() else {
+        return Ok(format!("{USAGE}\n"));
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "stats" => commands::stats::run(rest),
+        "cc" => commands::cc::run(rest),
+        "generate" => commands::generate::run(rest),
+        "convert" => commands::convert::run(rest),
+        "bench" => commands::bench::run(rest),
+        "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_prints_usage() {
+        let out = dispatch(&[]).unwrap();
+        assert!(out.contains("usage: afforest"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        for h in ["help", "--help", "-h"] {
+            assert!(dispatch(&argv(&[h])).unwrap().contains("usage"));
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = dispatch(&argv(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+}

@@ -1,0 +1,17 @@
+//! `afforest` — the command-line entry point.
+//!
+//! All logic lives in [`afforest_cli`] so it is unit-testable; this
+//! binary only forwards `argv` and prints.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match afforest_cli::dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", afforest_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

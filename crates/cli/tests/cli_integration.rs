@@ -1,0 +1,146 @@
+//! End-to-end CLI tests: full `dispatch` invocations chained through the
+//! filesystem, exactly as a shell user would drive them.
+
+use afforest_cli::dispatch;
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("afforest-cli-e2e-{}-{}", std::process::id(), name));
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn generate_stats_cc_pipeline() {
+    let graph_path = tmp("pipeline.el");
+    let labels_path = tmp("pipeline-labels.txt");
+
+    let out = dispatch(&argv(&[
+        "generate",
+        "urand",
+        "--out",
+        &graph_path,
+        "--n",
+        "2000",
+        "--edge-factor",
+        "8",
+        "--seed",
+        "3",
+    ]))
+    .unwrap();
+    assert!(out.contains("generated urand: 2000 vertices"));
+
+    let stats = dispatch(&argv(&["stats", &graph_path])).unwrap();
+    assert!(stats.contains("vertices:            2000"));
+
+    let cc = dispatch(&argv(&[
+        "cc",
+        &graph_path,
+        "--algorithm",
+        "afforest",
+        "--labels-out",
+        &labels_path,
+    ]))
+    .unwrap();
+    assert!(cc.contains("components:  1"));
+
+    let labels = std::fs::read_to_string(&labels_path).unwrap();
+    assert_eq!(labels.lines().count(), 2000);
+
+    std::fs::remove_file(&graph_path).unwrap();
+    std::fs::remove_file(&labels_path).unwrap();
+}
+
+#[test]
+fn generate_convert_cc_consistency_across_formats() {
+    let el = tmp("conv.el");
+    let gr = tmp("conv.gr");
+    let metis = tmp("conv.graph");
+    let acsr = tmp("conv.acsr");
+
+    dispatch(&argv(&[
+        "generate", "components", "--out", &el, "--n", "3000", "--edge-factor", "4",
+        "--fraction", "0.05", "--seed", "8",
+    ]))
+    .unwrap();
+    dispatch(&argv(&["convert", &el, &gr])).unwrap();
+    dispatch(&argv(&["convert", &gr, &metis])).unwrap();
+    dispatch(&argv(&["convert", &metis, &acsr])).unwrap();
+
+    // Component counts must agree across all four representations.
+    let count_of = |path: &str| -> String {
+        let out = dispatch(&argv(&["cc", path, "--algorithm", "union-find"])).unwrap();
+        out.lines()
+            .find(|l| l.starts_with("components:"))
+            .unwrap()
+            .to_string()
+    };
+    let reference = count_of(&el);
+    for p in [&gr, &metis, &acsr] {
+        assert_eq!(count_of(p), reference);
+    }
+
+    for p in [el, gr, metis, acsr] {
+        std::fs::remove_file(p).unwrap();
+    }
+}
+
+#[test]
+fn bench_cross_validates_all_algorithms() {
+    let graph_path = tmp("bench.el");
+    dispatch(&argv(&[
+        "generate", "kron", "--out", &graph_path, "--n", "1024", "--edge-factor", "8",
+        "--seed", "4",
+    ]))
+    .unwrap();
+    // `bench` errors out if any algorithm disagrees with the oracle.
+    let out = dispatch(&argv(&["bench", &graph_path, "--trials", "1"])).unwrap();
+    std::fs::remove_file(&graph_path).unwrap();
+    assert!(out.contains("afforest"));
+    assert!(out.contains("rem"));
+    // All rows report the same component count.
+    let counts: Vec<&str> = out
+        .lines()
+        .skip(2)
+        .filter_map(|l| l.split_whitespace().last())
+        .collect();
+    assert!(!counts.is_empty());
+    assert!(counts.iter().all(|&c| c == counts[0]));
+}
+
+#[test]
+fn errors_are_user_legible() {
+    // Missing file.
+    let err = dispatch(&argv(&["stats", "/nope/missing.el"])).unwrap_err();
+    assert!(err.contains("missing.el"));
+    // Bad extension.
+    let err = dispatch(&argv(&["stats", "/tmp/whatever.xlsx"])).unwrap_err();
+    assert!(err.contains("unrecognized graph extension"));
+    // Unknown algorithm (needs an existing file to get that far).
+    let p = tmp("err.el");
+    dispatch(&argv(&["generate", "urand", "--out", &p, "--n", "64"])).unwrap();
+    let err = dispatch(&argv(&["cc", &p, "--algorithm", "magic"])).unwrap_err();
+    std::fs::remove_file(&p).unwrap();
+    assert!(err.contains("unknown algorithm 'magic'"));
+}
+
+#[test]
+fn geometric_and_ws_families_through_cli() {
+    for (family, extra) in [
+        ("geometric", vec!["--radius", "0.08"]),
+        ("ws", vec!["--k", "6", "--beta", "0.2"]),
+        ("ba", vec![]),
+        ("road", vec!["--keep", "0.9"]),
+    ] {
+        let p = tmp(&format!("fam-{family}.el"));
+        let mut args = vec!["generate", family, "--out", &p, "--n", "512", "--seed", "2"];
+        args.extend(extra.iter().copied());
+        dispatch(&argv(&args)).unwrap();
+        let out = dispatch(&argv(&["cc", &p])).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert!(out.contains("components:"), "{family}");
+    }
+}

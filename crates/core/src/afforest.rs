@@ -1,0 +1,429 @@
+//! The full Afforest algorithm with subgraph sampling (paper Fig. 5).
+//!
+//! Phases:
+//!
+//! 1. **Init** — `π(v) ← v` for all vertices.
+//! 2. **Neighbor rounds** — for round `i`, every vertex links its `i`-th
+//!    neighbor (the vertex-neighborhood sampling of Section IV-C, which
+//!    distributes `O(|V|)` sampled edges evenly across vertices and
+//!    components), each round followed by a `compress`.
+//! 3. **Find largest** — probabilistic most-frequent-element search over
+//!    `π` identifies the giant intermediate component (Fig. 5 line 10).
+//! 4. **Final link** — every vertex *not* in the giant component links its
+//!    remaining neighbors (`neighbor_rounds..degree`); edges incident to
+//!    the giant component are skipped, which is exact by Theorem 3.
+//! 5. **Final compress** — flatten to depth-one trees; `π` is the labeling.
+
+use crate::compress::compress_all;
+use crate::labels::ComponentLabels;
+use crate::link::link;
+use crate::parents::ParentArray;
+use crate::sampling::{sample_frequent_element, DEFAULT_SAMPLES};
+use afforest_graph::{CsrGraph, Node};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`afforest`]. `Default` reproduces the paper's
+/// configuration (2 neighbor rounds, 1024 samples, skipping enabled,
+/// compress between rounds).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AfforestConfig {
+    /// Number of neighbor-sampling rounds (paper Section VI-A fixes 2).
+    pub neighbor_rounds: usize,
+    /// Probes used by the most-frequent-element search.
+    pub sample_size: usize,
+    /// Whether to skip edges incident to the identified giant component.
+    pub skip_largest: bool,
+    /// Whether to compress after every neighbor round (paper Fig. 5) or
+    /// only once after all rounds (the GAPBS variant) — an ablation knob.
+    pub compress_each_round: bool,
+    /// Seed for the probabilistic component search.
+    pub seed: u64,
+}
+
+impl Default for AfforestConfig {
+    fn default() -> Self {
+        Self {
+            neighbor_rounds: 2,
+            sample_size: DEFAULT_SAMPLES,
+            skip_largest: true,
+            compress_each_round: true,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl AfforestConfig {
+    /// Paper configuration but with large-component skipping disabled
+    /// ("Afforest w/o skip" in Figs. 7b and 8b).
+    pub fn without_skip() -> Self {
+        Self {
+            skip_largest: false,
+            ..Self::default()
+        }
+    }
+
+    /// Pure subgraph-free configuration: zero neighbor rounds and no
+    /// skipping — processes all edges in one pass (useful as a control).
+    pub fn exhaustive() -> Self {
+        Self {
+            neighbor_rounds: 0,
+            skip_largest: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Execution phases, used for timing breakdowns and the Fig. 7 traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// `π(v) ← v` initialization.
+    Init,
+    /// Neighbor-sampling link round `i` (0-based).
+    LinkRound(usize),
+    /// Compress following round `i`, or the final compress.
+    Compress(usize),
+    /// Probabilistic largest-component search.
+    FindLargest,
+    /// Final link pass over remaining edges.
+    FinalLink,
+    /// Final compress producing the labeling.
+    FinalCompress,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Init => write!(f, "init"),
+            Phase::LinkRound(i) => write!(f, "link[{i}]"),
+            Phase::Compress(i) => write!(f, "compress[{i}]"),
+            Phase::FindLargest => write!(f, "find-largest"),
+            Phase::FinalLink => write!(f, "final-link"),
+            Phase::FinalCompress => write!(f, "final-compress"),
+        }
+    }
+}
+
+/// Wall-clock duration of one phase.
+#[derive(Clone, Debug)]
+pub struct PhaseTiming {
+    /// Which phase.
+    pub phase: Phase,
+    /// Elapsed wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Statistics from an instrumented [`afforest_with_stats`] run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Per-phase wall-clock timings in execution order.
+    pub phases: Vec<PhaseTiming>,
+    /// Directed edge slots processed by `link` (lower = more work saved).
+    pub edges_processed: usize,
+    /// Vertices whose remaining neighborhood was skipped (Theorem 3).
+    pub vertices_skipped: usize,
+    /// The root identified as the giant component (if the search ran).
+    pub giant_root: Option<Node>,
+    /// Number of trees after each neighbor round (for Linkage curves).
+    pub trees_after_round: Vec<usize>,
+}
+
+impl RunStats {
+    /// Total wall-clock time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.phases.iter().map(|p| p.elapsed).sum()
+    }
+
+    /// Fraction of the graph's directed arcs that `link` actually touched.
+    pub fn edge_fraction(&self, g: &CsrGraph) -> f64 {
+        if g.num_arcs() == 0 {
+            0.0
+        } else {
+            self.edges_processed as f64 / g.num_arcs() as f64
+        }
+    }
+}
+
+/// Runs Afforest and returns the component labeling.
+pub fn afforest(g: &CsrGraph, cfg: &AfforestConfig) -> ComponentLabels {
+    let (labels, _) = run(g, cfg, false);
+    labels
+}
+
+/// Runs Afforest, additionally collecting [`RunStats`] (timings, work
+/// counters, skip effectiveness). The labeling is identical to
+/// [`afforest`]'s.
+pub fn afforest_with_stats(g: &CsrGraph, cfg: &AfforestConfig) -> (ComponentLabels, RunStats) {
+    run(g, cfg, true)
+}
+
+fn run(g: &CsrGraph, cfg: &AfforestConfig, collect: bool) -> (ComponentLabels, RunStats) {
+    let n = g.num_vertices();
+    let mut stats = RunStats::default();
+    let record = |stats: &mut RunStats, phase: Phase, t: Instant| {
+        if collect {
+            stats.phases.push(PhaseTiming {
+                phase,
+                elapsed: t.elapsed(),
+            });
+        }
+    };
+
+    let t = Instant::now();
+    let pi = ParentArray::new(n);
+    record(&mut stats, Phase::Init, t);
+
+    if n == 0 {
+        return (ComponentLabels::from_vec(Vec::new()), stats);
+    }
+
+    // Phase 2: neighbor rounds (Fig. 5 lines 2–9).
+    for round in 0..cfg.neighbor_rounds {
+        let t = Instant::now();
+        let processed: usize = (0..n as Node)
+            .into_par_iter()
+            .map(|v| {
+                if round < g.degree(v) {
+                    link(v, g.neighbor(v, round), &pi);
+                    1
+                } else {
+                    0
+                }
+            })
+            .sum();
+        record(&mut stats, Phase::LinkRound(round), t);
+        if collect {
+            stats.edges_processed += processed;
+        }
+
+        if cfg.compress_each_round {
+            let t = Instant::now();
+            compress_all(&pi);
+            record(&mut stats, Phase::Compress(round), t);
+        }
+        if collect {
+            stats.trees_after_round.push(pi.count_trees());
+        }
+    }
+    if !cfg.compress_each_round && cfg.neighbor_rounds > 0 {
+        let t = Instant::now();
+        compress_all(&pi);
+        record(&mut stats, Phase::Compress(cfg.neighbor_rounds - 1), t);
+    }
+
+    // Phase 3: identify the giant intermediate component (Fig. 5 line 10).
+    let giant = if cfg.skip_largest {
+        let t = Instant::now();
+        let c = sample_frequent_element(&pi, cfg.sample_size.min(16 * n).max(1), cfg.seed);
+        record(&mut stats, Phase::FindLargest, t);
+        if collect {
+            stats.giant_root = Some(c);
+        }
+        Some(c)
+    } else {
+        None
+    };
+
+    // Phase 4: final link over remaining edges, skipping the giant
+    // component's neighborhoods (Fig. 5 lines 11–15).
+    let t = Instant::now();
+    let (processed, skipped) = (0..n as Node)
+        .into_par_iter()
+        .map(|v| {
+            if giant == Some(pi.get(v)) {
+                (0usize, 1usize)
+            } else {
+                let deg = g.degree(v);
+                let start = cfg.neighbor_rounds.min(deg);
+                for i in start..deg {
+                    link(v, g.neighbor(v, i), &pi);
+                }
+                (deg - start, 0)
+            }
+        })
+        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    record(&mut stats, Phase::FinalLink, t);
+    if collect {
+        stats.edges_processed += processed;
+        stats.vertices_skipped = skipped;
+    }
+
+    // Phase 5: final compress (Fig. 5 lines 16–18).
+    let t = Instant::now();
+    compress_all(&pi);
+    record(&mut stats, Phase::FinalCompress, t);
+
+    debug_assert!(pi.check_invariant(), "Invariant 1 violated");
+    (ComponentLabels::from_vec(pi.snapshot()), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afforest_graph::generators::classic::{complete, cycle, path, star};
+    use afforest_graph::generators::{
+        rmat_scale, road_network, uniform_random, urand_with_components, web_graph,
+    };
+    use afforest_graph::GraphBuilder;
+
+    fn check(g: &CsrGraph, cfg: &AfforestConfig) -> ComponentLabels {
+        let labels = afforest(g, cfg);
+        assert!(labels.verify_against(g), "incorrect labeling");
+        labels
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::from_edges(0, &[]).build();
+        let labels = afforest(&g, &AfforestConfig::default());
+        assert_eq!(labels.num_components(), 0);
+    }
+
+    #[test]
+    fn singletons_only() {
+        let g = GraphBuilder::from_edges(5, &[]).build();
+        let labels = check(&g, &AfforestConfig::default());
+        assert_eq!(labels.num_components(), 5);
+    }
+
+    #[test]
+    fn classic_graphs_all_configs() {
+        let configs = [
+            AfforestConfig::default(),
+            AfforestConfig::without_skip(),
+            AfforestConfig::exhaustive(),
+            AfforestConfig {
+                compress_each_round: false,
+                ..Default::default()
+            },
+            AfforestConfig {
+                neighbor_rounds: 5,
+                ..Default::default()
+            },
+        ];
+        for g in [path(100), cycle(64), star(50, 49), complete(20)] {
+            for cfg in &configs {
+                let labels = check(&g, cfg);
+                assert_eq!(labels.num_components(), 1, "cfg {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_components() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).build();
+        let labels = check(&g, &AfforestConfig::default());
+        assert_eq!(labels.num_components(), 2);
+        assert!(labels.same_component(0, 2));
+        assert!(!labels.same_component(2, 3));
+    }
+
+    #[test]
+    fn urand_matches_oracle() {
+        let g = uniform_random(20_000, 100_000, 11);
+        check(&g, &AfforestConfig::default());
+    }
+
+    #[test]
+    fn rmat_matches_oracle() {
+        let g = rmat_scale(14, 8, 5);
+        check(&g, &AfforestConfig::default());
+    }
+
+    #[test]
+    fn road_matches_oracle() {
+        let g = road_network(120, 120, 0.6, 0.02, 3);
+        let with_skip = check(&g, &AfforestConfig::default());
+        let without = check(&g, &AfforestConfig::without_skip());
+        assert!(with_skip.equivalent(&without));
+    }
+
+    #[test]
+    fn web_matches_oracle() {
+        let g = web_graph(10_000, 4, 0.7, 8.0, 7);
+        check(&g, &AfforestConfig::default());
+    }
+
+    #[test]
+    fn component_fraction_graphs() {
+        for &f in &[1.0, 0.5, 0.1, 0.01] {
+            let g = urand_with_components(5_000, 4, f, 9);
+            check(&g, &AfforestConfig::default());
+        }
+    }
+
+    #[test]
+    fn stats_edges_saved_on_giant_component() {
+        let g = uniform_random(10_000, 100_000, 2);
+        let (labels, stats) = afforest_with_stats(&g, &AfforestConfig::default());
+        assert!(labels.verify_against(&g));
+        assert!(stats.giant_root.is_some());
+        // A single giant component means the vast majority of arcs are
+        // skipped after two neighbor rounds.
+        assert!(
+            stats.edge_fraction(&g) < 0.5,
+            "processed fraction {}",
+            stats.edge_fraction(&g)
+        );
+        assert!(stats.vertices_skipped > 9_000);
+    }
+
+    #[test]
+    fn stats_without_skip_processes_everything() {
+        let g = uniform_random(2_000, 10_000, 4);
+        let (_, stats) = afforest_with_stats(&g, &AfforestConfig::without_skip());
+        // Neighbor rounds + final pass cover every directed arc exactly once.
+        assert_eq!(stats.edges_processed, g.num_arcs());
+        assert_eq!(stats.vertices_skipped, 0);
+    }
+
+    #[test]
+    fn stats_phase_timings_present() {
+        let g = uniform_random(1_000, 4_000, 6);
+        let (_, stats) = afforest_with_stats(&g, &AfforestConfig::default());
+        let phases: Vec<Phase> = stats.phases.iter().map(|p| p.phase).collect();
+        assert!(phases.contains(&Phase::Init));
+        assert!(phases.contains(&Phase::LinkRound(0)));
+        assert!(phases.contains(&Phase::FindLargest));
+        assert!(phases.contains(&Phase::FinalCompress));
+        assert!(stats.total_time() > Duration::ZERO);
+        assert_eq!(stats.trees_after_round.len(), 2);
+    }
+
+    #[test]
+    fn trees_shrink_across_rounds() {
+        let g = uniform_random(10_000, 80_000, 8);
+        let (_, stats) = afforest_with_stats(&g, &AfforestConfig::default());
+        assert!(stats.trees_after_round[1] <= stats.trees_after_round[0]);
+        assert!(stats.trees_after_round[0] < 10_000);
+    }
+
+    #[test]
+    fn deterministic_labeling() {
+        // The labeling (min-index roots) is deterministic even though the
+        // execution is concurrent.
+        let g = uniform_random(5_000, 30_000, 14);
+        let a = afforest(&g, &AfforestConfig::default());
+        let b = afforest(&g, &AfforestConfig::default());
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn zero_rounds_with_skip_still_correct() {
+        // Degenerate config: sampling before any linking finds a singleton
+        // "giant"; skipping must remain sound (Theorem 3 holds for any
+        // intermediate component).
+        let g = uniform_random(3_000, 15_000, 1);
+        let cfg = AfforestConfig {
+            neighbor_rounds: 0,
+            ..Default::default()
+        };
+        check(&g, &cfg);
+    }
+
+    #[test]
+    fn phase_display_strings() {
+        assert_eq!(Phase::LinkRound(1).to_string(), "link[1]");
+        assert_eq!(Phase::FinalCompress.to_string(), "final-compress");
+    }
+}

@@ -1,0 +1,280 @@
+//! Cache simulation over π access traces.
+//!
+//! Section V-C argues Afforest's memory access pattern is "geared towards
+//! modern parallel architectures" — sequential neighbor rounds, hot root
+//! region, structured sampling — while SV "exhibits seemingly random
+//! access". Fig. 7 shows this visually; this module quantifies it by
+//! replaying an [`AccessTrace`](crate::instrument::AccessTrace) through a
+//! set-associative LRU cache model and reporting hit rates, overall and
+//! per phase.
+//!
+//! The model is a single shared cache (the last-level view; per-core
+//! private levels would only amplify the locality differences) with
+//! configurable line size, set count, and associativity.
+
+use crate::instrument::{AccessTrace, TracePhase};
+
+/// Set-associative LRU cache geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Number of sets.
+    pub num_sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Bytes per traced element (π entries are 4-byte `u32`s).
+    pub element_bytes: usize,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 8-way, 64-byte-line cache — typical L1d geometry.
+    pub const L1: Self = Self {
+        line_bytes: 64,
+        num_sets: 64,
+        ways: 8,
+        element_bytes: 4,
+    };
+
+    /// A 1 MiB, 16-way cache — typical per-core L2 geometry.
+    pub const L2: Self = Self {
+        line_bytes: 64,
+        num_sets: 1024,
+        ways: 16,
+        element_bytes: 4,
+    };
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.line_bytes * self.num_sets * self.ways
+    }
+
+    fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(self.num_sets > 0 && self.ways > 0, "degenerate geometry");
+        assert!(self.element_bytes > 0, "element size must be positive");
+    }
+}
+
+/// Hit/miss counts, overall and per phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses replayed.
+    pub accesses: u64,
+    /// Total hits.
+    pub hits: u64,
+    /// Per-phase `(phase, accesses, hits)` in first-seen order.
+    pub per_phase: Vec<(TracePhase, u64, u64)>,
+}
+
+impl CacheStats {
+    /// Overall hit rate in `[0, 1]` (1.0 for an empty trace).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit rate of one phase, if it appears in the trace.
+    pub fn phase_hit_rate(&self, phase: TracePhase) -> Option<f64> {
+        self.per_phase
+            .iter()
+            .find(|&&(p, _, _)| p == phase)
+            .map(|&(_, a, h)| if a == 0 { 1.0 } else { h as f64 / a as f64 })
+    }
+}
+
+/// A set-associative LRU cache over element indices.
+pub struct CacheSim {
+    cfg: CacheConfig,
+    /// Per set: resident line tags, most-recently-used last.
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// Creates an empty (cold) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            sets: vec![Vec::with_capacity(cfg.ways); cfg.num_sets],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Replays one access to element `index`; returns `true` on hit.
+    pub fn access(&mut self, index: u64, phase: TracePhase) -> bool {
+        let byte = index * self.cfg.element_bytes as u64;
+        let line = byte / self.cfg.line_bytes as u64;
+        let set = (line % self.cfg.num_sets as u64) as usize;
+        let ways = self.cfg.ways;
+        let set_lines = &mut self.sets[set];
+
+        let hit = if let Some(pos) = set_lines.iter().position(|&t| t == line) {
+            let tag = set_lines.remove(pos);
+            set_lines.push(tag); // refresh LRU position
+            true
+        } else {
+            if set_lines.len() == ways {
+                set_lines.remove(0); // evict least-recently-used
+            }
+            set_lines.push(line);
+            false
+        };
+
+        self.stats.accesses += 1;
+        self.stats.hits += hit as u64;
+        match self
+            .stats
+            .per_phase
+            .iter_mut()
+            .find(|(p, _, _)| *p == phase)
+        {
+            Some((_, a, h)) => {
+                *a += 1;
+                *h += hit as u64;
+            }
+            None => self.stats.per_phase.push((phase, 1, hit as u64)),
+        }
+        hit
+    }
+
+    /// Consumes the simulator, returning the accumulated statistics.
+    pub fn into_stats(self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Replays a full trace (in `seq` order) through a cold cache.
+pub fn simulate_trace(trace: &AccessTrace, cfg: CacheConfig) -> CacheStats {
+    let mut sim = CacheSim::new(cfg);
+    for e in &trace.events {
+        sim.access(e.index as u64, e.phase);
+    }
+    sim.into_stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::afforest::AfforestConfig;
+    use crate::instrument::{trace_afforest, trace_sv};
+    use afforest_graph::generators::uniform_random;
+
+    fn tiny_cache() -> CacheConfig {
+        CacheConfig {
+            line_bytes: 64,
+            num_sets: 4,
+            ways: 2,
+            element_bytes: 4,
+        }
+    }
+
+    #[test]
+    fn sequential_scan_is_spatially_local() {
+        // 16 u32 per 64-byte line ⇒ 15/16 of a cold sequential scan hits.
+        let mut sim = CacheSim::new(tiny_cache());
+        for i in 0..1_024u64 {
+            sim.access(i, TracePhase::Init);
+        }
+        let stats = sim.into_stats();
+        let expected = 1.0 - 1.0 / 16.0;
+        assert!(
+            (stats.hit_rate() - expected).abs() < 1e-9,
+            "hit rate {}",
+            stats.hit_rate()
+        );
+    }
+
+    #[test]
+    fn strided_scan_misses_every_line() {
+        let mut sim = CacheSim::new(tiny_cache());
+        for i in 0..512u64 {
+            sim.access(i * 16, TracePhase::Init); // one access per line
+        }
+        assert_eq!(sim.into_stats().hits, 0);
+    }
+
+    #[test]
+    fn repeated_access_hits_after_warmup() {
+        let mut sim = CacheSim::new(tiny_cache());
+        assert!(!sim.access(0, TracePhase::Init));
+        assert!(sim.access(0, TracePhase::Init));
+        assert!(sim.access(1, TracePhase::Init)); // same line
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // tiny cache: 4 sets × 2 ways; lines mapping to the same set are
+        // 4 lines apart (line = idx/16, set = line % 4) → indices 0, 64·4?
+        // Use line numbers directly: elements 0, 256, 512 share set 0
+        // (lines 0, 4, 8).
+        let mut sim = CacheSim::new(tiny_cache());
+        sim.access(0, TracePhase::Init); // line 0 → set 0
+        sim.access(256, TracePhase::Init); // line 4 → set 0
+        sim.access(512, TracePhase::Init); // line 8 → set 0, evicts line 0
+        assert!(!sim.access(0, TracePhase::Init), "line 0 must be evicted");
+        assert!(sim.access(512, TracePhase::Init), "line 8 still resident");
+    }
+
+    #[test]
+    fn capacity_and_presets() {
+        assert_eq!(CacheConfig::L1.capacity(), 32 * 1024);
+        assert_eq!(CacheConfig::L2.capacity(), 1024 * 1024);
+    }
+
+    #[test]
+    fn per_phase_accounting_sums_to_total() {
+        let g = uniform_random(512, 4_096, 3);
+        let trace = trace_afforest(&g, &AfforestConfig::default());
+        let stats = simulate_trace(&trace, CacheConfig::L1);
+        assert_eq!(stats.accesses, trace.len() as u64);
+        let phase_sum: u64 = stats.per_phase.iter().map(|&(_, a, _)| a).sum();
+        assert_eq!(phase_sum, stats.accesses);
+        assert!(stats.phase_hit_rate(TracePhase::Init).is_some());
+    }
+
+    #[test]
+    fn afforest_beats_sv_on_hit_rate() {
+        // Section V-C quantified: on a urand graph whose π (64 KiB)
+        // exceeds the simulated L1 (32 KiB), Afforest's hit rate clearly
+        // beats SV's (measured ≈0.99 vs ≈0.81).
+        let g = uniform_random(1 << 14, 1 << 17, 7);
+        let sv = simulate_trace(&trace_sv(&g), CacheConfig::L1);
+        let aff = simulate_trace(
+            &trace_afforest(&g, &AfforestConfig::default()),
+            CacheConfig::L1,
+        );
+        assert!(
+            aff.hit_rate() > sv.hit_rate(),
+            "afforest {:.3} should beat sv {:.3}",
+            aff.hit_rate(),
+            sv.hit_rate()
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let stats = simulate_trace(&AccessTrace::default(), CacheConfig::L1);
+        assert_eq!(stats.accesses, 0);
+        assert_eq!(stats.hit_rate(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn rejects_bad_line_size() {
+        let _ = CacheSim::new(CacheConfig {
+            line_bytes: 48,
+            num_sets: 4,
+            ways: 2,
+            element_bytes: 4,
+        });
+    }
+}

@@ -1,0 +1,138 @@
+//! The `compress` procedure (paper Fig. 2b).
+//!
+//! Repeatedly replaces `π(v)` by `π(π(v))` until `v`'s parent is a root,
+//! flattening every component tree to depth one (Theorem 2). Each
+//! processor writes exclusively to its own `π(v)`, so there are no write
+//! conflicts; concurrent reads of other entries can only observe a
+//! *shorter* path to the same root, never a different root.
+//!
+//! Interleaving `compress` between `link` phases is sound because the
+//! procedure is idempotent and preserves tree connectivity (Lemma 2,
+//! Theorem 2); Afforest uses it after every neighbor round to keep
+//! subsequent `link` walks short.
+
+use crate::parents::ParentArray;
+use afforest_graph::Node;
+use rayon::prelude::*;
+
+/// Compresses the path from `v`: on return, `π(v)` is a root.
+#[inline]
+pub fn compress(v: Node, pi: &ParentArray) {
+    while pi.get(pi.get(v)) != pi.get(v) {
+        pi.set(v, pi.get(pi.get(v)));
+    }
+}
+
+/// Applies [`compress`] to every vertex in parallel, producing a forest of
+/// depth-one trees.
+///
+/// ```
+/// use afforest_core::{compress_all, link, ParentArray};
+///
+/// let pi = ParentArray::new(4);
+/// link(3, 2, &pi);
+/// link(2, 1, &pi);
+/// link(1, 0, &pi);
+/// compress_all(&pi);
+/// assert!(pi.max_depth() <= 1);
+/// assert_eq!(pi.get(3), 0);
+/// ```
+pub fn compress_all(pi: &ParentArray) {
+    (0..pi.len() as Node)
+        .into_par_iter()
+        .for_each(|v| compress(v, pi));
+}
+
+/// Instrumented variant: returns the number of pointer-jump store
+/// operations performed for `v` (0 when `v` already points at a root).
+#[inline]
+pub fn compress_counted(v: Node, pi: &ParentArray) -> u32 {
+    let mut stores = 0u32;
+    while pi.get(pi.get(v)) != pi.get(v) {
+        pi.set(v, pi.get(pi.get(v)));
+        stores += 1;
+    }
+    stores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_chain() {
+        let pi = ParentArray::new(5);
+        for v in 1..5u32 {
+            pi.set(v, v - 1);
+        }
+        compress_all(&pi);
+        assert_eq!(pi.max_depth(), 1);
+        assert!((1..5u32).all(|v| pi.get(v) == 0));
+    }
+
+    #[test]
+    fn idempotent() {
+        let pi = ParentArray::new(5);
+        for v in 1..5u32 {
+            pi.set(v, v - 1);
+        }
+        compress_all(&pi);
+        let first = pi.snapshot();
+        compress_all(&pi);
+        assert_eq!(pi.snapshot(), first);
+    }
+
+    #[test]
+    fn roots_unchanged() {
+        let pi = ParentArray::new(6);
+        pi.set(5, 3);
+        pi.set(3, 1);
+        compress_all(&pi);
+        assert!(pi.is_root(0));
+        assert!(pi.is_root(1));
+        assert_eq!(pi.get(5), 1);
+        assert_eq!(pi.get(3), 1);
+    }
+
+    #[test]
+    fn preserves_invariant() {
+        let pi = ParentArray::new(10);
+        for v in (1..10u32).rev() {
+            pi.set(v, v / 2);
+        }
+        compress_all(&pi);
+        assert!(pi.check_invariant());
+        assert_eq!(pi.max_depth(), 1);
+    }
+
+    #[test]
+    fn counted_zero_when_flat() {
+        let pi = ParentArray::new(3);
+        pi.set(2, 0);
+        assert_eq!(compress_counted(2, &pi), 0);
+    }
+
+    #[test]
+    fn counted_measures_depth_reduction() {
+        let pi = ParentArray::new(8);
+        for v in 1..8u32 {
+            pi.set(v, v - 1);
+        }
+        let stores = compress_counted(7, &pi);
+        assert!(stores >= 1);
+        assert_eq!(pi.get(7), 0);
+    }
+
+    #[test]
+    fn parallel_compress_on_deep_forest() {
+        let n = 100_000u32;
+        let pi = ParentArray::new(n as usize);
+        // Single path of depth n-1: the compress worst case of Section V-A.
+        for v in 1..n {
+            pi.set(v, v - 1);
+        }
+        compress_all(&pi);
+        assert_eq!(pi.max_depth(), 1);
+        assert!((1..n).all(|v| pi.get(v) == 0));
+    }
+}

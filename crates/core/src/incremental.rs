@@ -1,0 +1,229 @@
+//! Incremental connectivity — a natural extension of Afforest.
+//!
+//! Theorem 1 shows `link` never needs to revisit an edge, and Lemma 2 /
+//! Theorem 2 show `compress` can be interleaved anywhere. Together these
+//! make the parent array a *mergeable, append-only* structure: new edges
+//! can be linked into an already-converged forest at any time, in
+//! parallel, without reprocessing old edges. This module packages that
+//! capability as a dynamic data structure (insert edges / query
+//! connectivity), the "subgraph batch" idea of Section III-B taken to its
+//! streaming limit.
+
+use crate::compress::compress_all;
+use crate::labels::ComponentLabels;
+use crate::link::link;
+use crate::parents::ParentArray;
+use afforest_graph::{Edge, Node};
+use rayon::prelude::*;
+
+/// A dynamic (insert-only) connectivity structure over `n` vertices.
+///
+/// ```
+/// use afforest_core::incremental::IncrementalCc;
+///
+/// let mut cc = IncrementalCc::new(4);
+/// assert!(!cc.connected(0, 3));
+/// cc.insert_batch(&[(0, 1), (2, 3)]);
+/// cc.insert(1, 2);
+/// assert!(cc.connected(0, 3));
+/// assert_eq!(cc.num_components(), 1);
+/// ```
+pub struct IncrementalCc {
+    pi: ParentArray,
+    /// Edges inserted since the last compress (compression amortizer).
+    dirty: usize,
+    /// Compress once `dirty` exceeds this (None = only on demand).
+    compress_threshold: Option<usize>,
+}
+
+impl IncrementalCc {
+    /// Creates the structure with `n` isolated vertices. Auto-compresses
+    /// every `n` insertions by default.
+    pub fn new(n: usize) -> Self {
+        Self {
+            pi: ParentArray::new(n),
+            dirty: 0,
+            compress_threshold: Some(n.max(64)),
+        }
+    }
+
+    /// Overrides the auto-compression threshold (`None` disables it).
+    pub fn with_compress_threshold(mut self, threshold: Option<usize>) -> Self {
+        self.compress_threshold = threshold;
+        self
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// Whether the structure tracks zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.pi.is_empty()
+    }
+
+    /// Inserts one edge. Returns `true` if it connected two previously
+    /// separate components.
+    pub fn insert(&mut self, u: Node, v: Node) -> bool {
+        let merged = link(u, v, &self.pi);
+        self.bump(1);
+        merged
+    }
+
+    /// Inserts a batch of edges in parallel (each edge linked exactly
+    /// once, any order — Theorem 1).
+    pub fn insert_batch(&mut self, edges: &[Edge]) {
+        edges.par_iter().for_each(|&(u, v)| {
+            link(u, v, &self.pi);
+        });
+        self.bump(edges.len());
+    }
+
+    fn bump(&mut self, count: usize) {
+        self.dirty += count;
+        if let Some(t) = self.compress_threshold {
+            if self.dirty >= t {
+                compress_all(&self.pi);
+                self.dirty = 0;
+            }
+        }
+    }
+
+    /// Whether `u` and `v` are currently connected.
+    pub fn connected(&self, u: Node, v: Node) -> bool {
+        // Walk to roots; no mutation needed for a query.
+        self.pi.find_root(u) == self.pi.find_root(v)
+    }
+
+    /// The current representative (component-minimum once compressed;
+    /// between compressions, the root of `v`'s tree).
+    pub fn find(&self, v: Node) -> Node {
+        self.pi.find_root(v)
+    }
+
+    /// Current number of components.
+    pub fn num_components(&self) -> usize {
+        self.pi.count_trees()
+    }
+
+    /// Forces a full compression (after which every `find` is O(1)).
+    pub fn compress(&mut self) {
+        compress_all(&self.pi);
+        self.dirty = 0;
+    }
+
+    /// Extracts the final labeling (compresses first).
+    pub fn into_labels(mut self) -> ComponentLabels {
+        self.compress();
+        ComponentLabels::from_vec(self.pi.snapshot())
+    }
+}
+
+impl std::fmt::Debug for IncrementalCc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalCc")
+            .field("vertices", &self.len())
+            .field("components", &self.num_components())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afforest_graph::generators::uniform_random;
+    use afforest_graph::GraphBuilder;
+
+    #[test]
+    fn starts_disconnected() {
+        let cc = IncrementalCc::new(5);
+        assert_eq!(cc.num_components(), 5);
+        assert!(!cc.connected(0, 4));
+        assert_eq!(cc.len(), 5);
+    }
+
+    #[test]
+    fn insert_reports_merges() {
+        let mut cc = IncrementalCc::new(4);
+        assert!(cc.insert(0, 1));
+        assert!(!cc.insert(0, 1)); // already connected
+        assert!(cc.insert(2, 3));
+        assert!(cc.insert(1, 2));
+        assert_eq!(cc.num_components(), 1);
+    }
+
+    #[test]
+    fn batch_insert_matches_static_run() {
+        let g = uniform_random(3_000, 18_000, 7);
+        let edges = g.collect_edges();
+        let mut cc = IncrementalCc::new(g.num_vertices());
+        // Insert in three uneven chunks, with queries interleaved.
+        let (a, rest) = edges.split_at(edges.len() / 5);
+        let (b, c) = rest.split_at(rest.len() / 2);
+        cc.insert_batch(a);
+        let _ = cc.connected(0, 1);
+        cc.insert_batch(b);
+        cc.compress();
+        cc.insert_batch(c);
+        let labels = cc.into_labels();
+        assert!(labels.verify_against(&g));
+    }
+
+    #[test]
+    fn queries_between_compressions_are_correct() {
+        let mut cc = IncrementalCc::new(6).with_compress_threshold(None);
+        cc.insert(5, 4);
+        cc.insert(4, 3);
+        cc.insert(1, 0);
+        assert!(cc.connected(5, 3));
+        assert!(!cc.connected(5, 0));
+        cc.insert(3, 1);
+        assert!(cc.connected(5, 0));
+    }
+
+    #[test]
+    fn auto_compress_keeps_depth_small() {
+        let mut cc = IncrementalCc::new(1_000).with_compress_threshold(Some(100));
+        for v in 1..1_000u32 {
+            cc.insert(v, v - 1);
+        }
+        // After threshold-triggered compressions, find is shallow but the
+        // answer is the same.
+        assert_eq!(cc.find(999), 0);
+        assert_eq!(cc.num_components(), 1);
+    }
+
+    #[test]
+    fn into_labels_is_canonical() {
+        let mut cc = IncrementalCc::new(5);
+        cc.insert(4, 2);
+        cc.insert(2, 0);
+        let labels = cc.into_labels();
+        let g = GraphBuilder::from_edges(5, &[(4, 2), (2, 0)]).build();
+        assert!(labels.verify_against(&g));
+        assert_eq!(labels.label(4), 0);
+    }
+
+    #[test]
+    fn streaming_vs_oneshot_equivalence() {
+        // Insert edges one at a time in adversarial descending order.
+        let n = 500;
+        let mut cc = IncrementalCc::new(n);
+        let mut edges = Vec::new();
+        for v in (1..n as Node).rev() {
+            cc.insert(v, v - 1);
+            edges.push((v, v - 1));
+        }
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        assert!(cc.into_labels().verify_against(&g));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let cc = IncrementalCc::new(0);
+        assert!(cc.is_empty());
+        assert_eq!(cc.num_components(), 0);
+        assert!(cc.into_labels().is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Convergence measures (Section V-B): **Linkage** and **Coverage**.
+//!
+//! For a tree-hooking execution, let `T_t` be the number of trees in `π`
+//! after batch `t` (`T_0 = |V|`, `T_∞ = C`):
+//!
+//! ```text
+//! Linkage(t)  = (|V| − T_t) / (|V| − C)
+//! Coverage(t) = τ_max^(t) / |c_max|
+//! ```
+//!
+//! where `τ_max^(t)` is the number of `c_max` vertices already gathered in
+//! a single tree. Linkage measures global merge progress; Coverage
+//! measures how much of the giant component has coalesced — the quantity
+//! that decides when large-component skipping becomes profitable.
+
+use crate::compress::compress_all;
+use crate::labels::ComponentLabels;
+use crate::link::link;
+use crate::parents::ParentArray;
+use afforest_graph::{CsrGraph, Edge, Node};
+use rayon::prelude::*;
+
+/// One measurement after processing a batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConvergencePoint {
+    /// Cumulative fraction of edges processed so far, in `[0, 1]`.
+    pub edge_fraction: f64,
+    /// Linkage measure in `[0, 1]`.
+    pub linkage: f64,
+    /// Coverage measure in `[0, 1]`.
+    pub coverage: f64,
+    /// Raw tree count `T_t`.
+    pub trees: usize,
+}
+
+/// A full convergence curve for one strategy.
+#[derive(Clone, Debug, Default)]
+pub struct ConvergenceCurve {
+    /// Measurements in batch order (first entry is the pre-processing
+    /// state at `edge_fraction = 0`).
+    pub points: Vec<ConvergencePoint>,
+}
+
+impl ConvergenceCurve {
+    /// First edge fraction at which linkage reaches `threshold`
+    /// (`None` if never).
+    pub fn linkage_reaches(&self, threshold: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.linkage >= threshold)
+            .map(|p| p.edge_fraction)
+    }
+
+    /// First edge fraction at which coverage reaches `threshold`.
+    pub fn coverage_reaches(&self, threshold: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.coverage >= threshold)
+            .map(|p| p.edge_fraction)
+    }
+
+    /// The final point (post-convergence).
+    pub fn last(&self) -> Option<&ConvergencePoint> {
+        self.points.last()
+    }
+}
+
+/// Runs `link` over the given batches (with `compress` interleaved, as in
+/// Section III-B), measuring Linkage and Coverage after every batch.
+///
+/// `ground_truth` supplies `C` and the membership of `c_max`; obtain it
+/// from any verified algorithm (e.g. [`crate::afforest`]).
+///
+/// # Panics
+///
+/// Panics if `ground_truth.len() != g.num_vertices()`.
+pub fn convergence_curve(
+    g: &CsrGraph,
+    batches: &[Vec<Edge>],
+    ground_truth: &ComponentLabels,
+) -> ConvergenceCurve {
+    assert_eq!(
+        ground_truth.len(),
+        g.num_vertices(),
+        "ground truth size mismatch"
+    );
+    let n = g.num_vertices();
+    let total_edges: usize = batches.iter().map(|b| b.len()).sum();
+    let c = ground_truth.num_components();
+
+    // Members of the true largest component.
+    let sizes = ground_truth.component_sizes();
+    let dense = ground_truth.dense_ids();
+    let (cmax_id, &cmax_size) = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, s)| (i as Node, s))
+        .unwrap_or((0, &0));
+
+    let pi = ParentArray::new(n);
+    let mut curve = ConvergenceCurve::default();
+    let mut processed = 0usize;
+
+    let measure = |pi: &ParentArray, processed: usize| -> ConvergencePoint {
+        let trees = pi.count_trees();
+        let linkage = if n == c {
+            1.0
+        } else {
+            (n - trees) as f64 / (n - c) as f64
+        };
+        let coverage = if cmax_size == 0 {
+            1.0
+        } else {
+            coverage_of(pi, &dense, cmax_id, cmax_size)
+        };
+        ConvergencePoint {
+            edge_fraction: if total_edges == 0 {
+                1.0
+            } else {
+                processed as f64 / total_edges as f64
+            },
+            linkage,
+            coverage,
+            trees,
+        }
+    };
+
+    curve.points.push(measure(&pi, 0));
+    for batch in batches {
+        batch.par_iter().for_each(|&(u, v)| {
+            link(u, v, &pi);
+        });
+        compress_all(&pi);
+        processed += batch.len();
+        curve.points.push(measure(&pi, processed));
+    }
+    curve
+}
+
+/// `τ_max / |c_max|`: the largest fraction of the true giant component
+/// already gathered under one root.
+fn coverage_of(pi: &ParentArray, dense: &[Node], cmax_id: Node, cmax_size: usize) -> f64 {
+    use std::collections::HashMap;
+    let mut counts: HashMap<Node, usize> = HashMap::new();
+    for (v, &d) in dense.iter().enumerate() {
+        if d == cmax_id {
+            *counts.entry(pi.find_root(v as Node)).or_insert(0) += 1;
+        }
+    }
+    let tau_max = counts.values().copied().max().unwrap_or(0);
+    tau_max as f64 / cmax_size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::afforest::{afforest, AfforestConfig};
+    use crate::strategies::{partition, Strategy};
+    use afforest_graph::generators::{uniform_random, web_graph};
+
+    fn truth(g: &CsrGraph) -> ComponentLabels {
+        let l = afforest(g, &AfforestConfig::default());
+        assert!(l.verify_against(g));
+        l
+    }
+
+    #[test]
+    fn starts_at_zero_ends_at_one() {
+        let g = uniform_random(500, 3_000, 3);
+        let gt = truth(&g);
+        let batches = partition(&g, Strategy::RowSampling, 8, 0);
+        let curve = convergence_curve(&g, &batches, &gt);
+        let first = curve.points.first().unwrap();
+        let last = curve.last().unwrap();
+        assert_eq!(first.edge_fraction, 0.0);
+        assert_eq!(first.linkage, 0.0);
+        assert!((last.edge_fraction - 1.0).abs() < 1e-12);
+        assert!((last.linkage - 1.0).abs() < 1e-12, "linkage {}", last.linkage);
+        assert!((last.coverage - 1.0).abs() < 1e-12);
+        assert_eq!(last.trees, gt.num_components());
+    }
+
+    #[test]
+    fn linkage_monotone_nondecreasing() {
+        let g = uniform_random(400, 2_000, 5);
+        let gt = truth(&g);
+        for s in Strategy::ALL {
+            let curve = convergence_curve(&g, &partition(&g, s, 10, 1), &gt);
+            assert!(
+                curve
+                    .points
+                    .windows(2)
+                    .all(|w| w[1].linkage >= w[0].linkage - 1e-12),
+                "strategy {s:?} linkage not monotone"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbor_sampling_converges_fastest_early() {
+        // Fig. 6a's qualitative claim on a web-like graph: after the first
+        // two neighbor rounds, neighbor sampling's linkage beats row
+        // sampling at a comparable edge fraction.
+        let g = web_graph(3_000, 6, 0.8, 8.0, 2);
+        let gt = truth(&g);
+
+        let ns = convergence_curve(&g, &partition(&g, Strategy::NeighborSampling, 10, 1), &gt);
+        let row = convergence_curve(&g, &partition(&g, Strategy::RowSampling, 10, 1), &gt);
+
+        // Edge fraction needed to reach 80% linkage.
+        let ns80 = ns.linkage_reaches(0.8).unwrap();
+        let row80 = row.linkage_reaches(0.8).unwrap();
+        assert!(
+            ns80 < row80,
+            "neighbor sampling ({ns80:.3}) should reach 80% linkage before row sampling ({row80:.3})"
+        );
+    }
+
+    #[test]
+    fn spanning_forest_is_optimal() {
+        let g = uniform_random(500, 4_000, 7);
+        let gt = truth(&g);
+        let sf = convergence_curve(&g, &partition(&g, Strategy::SpanningForest, 1, 0), &gt);
+        // After the SF batch (its first batch), linkage is already 1.
+        assert!((sf.points[1].linkage - 1.0).abs() < 1e-12);
+        // And the SF holds |V| − C edges out of |E|.
+        let expected_frac = (500 - gt.num_components()) as f64 / g.num_edges() as f64;
+        assert!((sf.points[1].edge_fraction - expected_frac).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_component_coverage_tracks_linkage() {
+        let g = uniform_random(300, 3_000, 9);
+        let gt = truth(&g);
+        assert_eq!(gt.num_components(), 1);
+        let curve = convergence_curve(&g, &partition(&g, Strategy::UniformEdge, 10, 2), &gt);
+        for p in &curve.points {
+            assert!(p.coverage >= 0.0 && p.coverage <= 1.0);
+        }
+    }
+
+    #[test]
+    fn reaches_helpers() {
+        let g = uniform_random(200, 1_200, 4);
+        let gt = truth(&g);
+        let curve = convergence_curve(&g, &partition(&g, Strategy::RowSampling, 5, 0), &gt);
+        assert!(curve.linkage_reaches(0.5).is_some());
+        assert!(curve.coverage_reaches(0.5).is_some());
+        assert!(curve.linkage_reaches(2.0).is_none());
+    }
+
+    #[test]
+    fn edgeless_graph_trivially_converged() {
+        let g = afforest_graph::GraphBuilder::from_edges(5, &[]).build();
+        let gt = truth(&g);
+        let curve = convergence_curve(&g, &[], &gt);
+        let p = curve.points[0];
+        assert_eq!(p.linkage, 1.0); // n == C
+        assert_eq!(p.edge_fraction, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn rejects_mismatched_truth() {
+        let g = uniform_random(10, 20, 0);
+        let gt = ComponentLabels::from_vec(vec![0, 0]);
+        let _ = convergence_curve(&g, &[], &gt);
+    }
+}

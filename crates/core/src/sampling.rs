@@ -1,0 +1,124 @@
+//! Probabilistic giant-component identification (paper Fig. 5, line 10).
+//!
+//! After the neighbor rounds plus compression, most vertices of the giant
+//! component already point at a single root. Sampling `π` a constant
+//! number of times and taking the most frequent value identifies that root
+//! with overwhelming probability — at `O(sample_size)` cost, independent
+//! of graph size. A wrong answer only costs performance (fewer edges are
+//! skipped), never correctness, because Theorem 3 holds for *any* fixed
+//! intermediate component.
+
+use crate::parents::ParentArray;
+use afforest_graph::Node;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Default number of `π` samples (matches the GAP implementation).
+pub const DEFAULT_SAMPLES: usize = 1024;
+
+/// Returns the most frequent parent value among `samples` random probes of
+/// `π`, i.e. the likely root of the largest intermediate component.
+///
+/// Assumes trees are depth-1 (call after `compress_all`); with deeper
+/// trees the estimate degrades gracefully — sampled values are still
+/// tree-internal labels, and ties merely shrink the skipped set.
+///
+/// # Panics
+///
+/// Panics if `π` is empty or `samples == 0`.
+pub fn sample_frequent_element(pi: &ParentArray, samples: usize, seed: u64) -> Node {
+    assert!(!pi.is_empty(), "cannot sample an empty parent array");
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let n = pi.len();
+    let mut counts: HashMap<Node, u32> = HashMap::with_capacity(samples.min(n));
+    for _ in 0..samples {
+        let v = rng.random_range(0..n as u64) as Node;
+        *counts.entry(pi.get(v)).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(label, count)| (count, std::cmp::Reverse(label)))
+        .map(|(label, _)| label)
+        .expect("samples > 0")
+}
+
+/// Exact most-frequent element (full scan) — the deterministic reference
+/// the sampler is tested against and an option for small graphs.
+pub fn exact_frequent_element(pi: &ParentArray) -> Node {
+    assert!(!pi.is_empty(), "cannot scan an empty parent array");
+    let mut counts: HashMap<Node, u32> = HashMap::new();
+    for v in 0..pi.len() as Node {
+        *counts.entry(pi.get(v)).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(label, count)| (count, std::cmp::Reverse(label)))
+        .map(|(label, _)| label)
+        .expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Depth-1 forest where the first `giant_frac` of vertices point at
+    /// `giant_root` and the rest stay singletons.
+    fn skewed_parents(n: usize, giant_root: Node, giant_frac: f64) -> ParentArray {
+        let pi = ParentArray::new(n);
+        let cutoff = (n as f64 * giant_frac) as usize;
+        for v in 0..cutoff as Node {
+            if v > giant_root {
+                pi.set(v, giant_root);
+            }
+        }
+        pi
+    }
+
+    #[test]
+    fn finds_dominant_root() {
+        let pi = skewed_parents(10_000, 0, 0.9);
+        assert_eq!(sample_frequent_element(&pi, 1024, 7), 0);
+    }
+
+    #[test]
+    fn exact_matches_sampling_on_dominant() {
+        let pi = skewed_parents(5_000, 0, 0.8);
+        assert_eq!(
+            exact_frequent_element(&pi),
+            sample_frequent_element(&pi, 2048, 3)
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pi = skewed_parents(1000, 0, 0.5);
+        assert_eq!(
+            sample_frequent_element(&pi, 64, 9),
+            sample_frequent_element(&pi, 64, 9)
+        );
+    }
+
+    #[test]
+    fn exact_on_uniform_singletons() {
+        // All self-pointing: every value appears once; tie-break picks the
+        // lowest label.
+        let pi = ParentArray::new(10);
+        assert_eq!(exact_frequent_element(&pi), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        let pi = ParentArray::new(0);
+        let _ = sample_frequent_element(&pi, 8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn rejects_zero_samples() {
+        let pi = ParentArray::new(4);
+        let _ = sample_frequent_element(&pi, 0, 0);
+    }
+}

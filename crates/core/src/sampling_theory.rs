@@ -1,0 +1,244 @@
+//! Executable version of the paper's Section IV-B sampling analysis.
+//!
+//! The section argues three things, all reproducible here:
+//!
+//! 1. **Claim 1**: uniformly sampling each edge of a `d`-regular graph
+//!    with probability `p = (1 + ε)/d` yields an expected `O(n)` edges,
+//!    and (Frieze et al.) the sampled subgraph contains a `Θ(n)`
+//!    component almost surely — [`uniform_edge_sample`] +
+//!    [`giant_fraction`] let tests and experiments check both sides of
+//!    the threshold.
+//! 2. **Degree bias**: on graphs with skewed degree distributions,
+//!    uniform edge sampling over-covers high-degree vertices and misses
+//!    degree-one vertices whose single edge is mandatory in any spanning
+//!    forest — quantified by [`coverage_by_degree`].
+//! 3. **Neighbor sampling fixes the bias**: [`neighbor_sample`] selects a
+//!    fixed number of edges per *vertex*, spreading `O(|V|)` samples
+//!    evenly across vertices and components.
+
+use afforest_graph::{CsrGraph, Edge, Node};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Samples each undirected edge independently with probability `p`
+/// (the `G'_p` construction of Section IV-B). Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn uniform_edge_sample(g: &CsrGraph, p: f64, seed: u64) -> Vec<Edge> {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    g.edges()
+        .filter(|_| rng.random::<f64>() < p)
+        .collect()
+}
+
+/// The first `rounds` neighbors of every vertex, deduplicated — the
+/// vertex-neighborhood sample of Section IV-C (exactly the edges
+/// Afforest's neighbor rounds process).
+pub fn neighbor_sample(g: &CsrGraph, rounds: usize) -> Vec<Edge> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for r in 0..rounds {
+        for v in g.vertices() {
+            if r < g.degree(v) {
+                let w = g.neighbor(v, r);
+                let e = (v.min(w), v.max(w));
+                if e.0 != e.1 && seen.insert(e) {
+                    out.push(e);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Expected sampled edge count under Claim 1's parameters: for average
+/// degree `d` and `p = (1 + eps)/d`, returns `p · |E|` — which the claim
+/// shows equals `(1 + eps) · n / 2 = O(n)`.
+pub fn claim1_expected_edges(g: &CsrGraph, eps: f64) -> f64 {
+    let d = g.avg_degree();
+    if d == 0.0 {
+        return 0.0;
+    }
+    ((1.0 + eps) / d) * g.num_edges() as f64
+}
+
+/// Fraction of all vertices inside the largest component of the subgraph
+/// formed by `edges` over `n` vertices.
+pub fn giant_fraction(n: usize, edges: &[Edge]) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let mut parent: Vec<Node> = (0..n as Node).collect();
+    fn find(p: &mut [Node], mut x: Node) -> Node {
+        while p[x as usize] != x {
+            p[x as usize] = p[p[x as usize] as usize];
+            x = p[x as usize];
+        }
+        x
+    }
+    for &(u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru.max(rv) as usize] = ru.min(rv);
+        }
+    }
+    let mut sizes = std::collections::HashMap::new();
+    for v in 0..n as Node {
+        *sizes.entry(find(&mut parent, v)).or_insert(0usize) += 1;
+    }
+    *sizes.values().max().unwrap_or(&0) as f64 / n as f64
+}
+
+/// Per-degree coverage of a sampled edge set: `result[d]` is the fraction
+/// of degree-`d` vertices touched by at least one sampled edge
+/// (`None` when the graph has no degree-`d` vertices).
+///
+/// Section IV-B's bias argument in numbers: under uniform sampling,
+/// coverage at low degrees is far below coverage at high degrees;
+/// neighbor sampling covers every vertex with `degree ≥ 1` fully.
+pub fn coverage_by_degree(g: &CsrGraph, edges: &[Edge]) -> Vec<Option<f64>> {
+    let mut touched = vec![false; g.num_vertices()];
+    for &(u, v) in edges {
+        touched[u as usize] = true;
+        touched[v as usize] = true;
+    }
+    let max_deg = g.max_degree();
+    let mut total = vec![0usize; max_deg + 1];
+    let mut covered = vec![0usize; max_deg + 1];
+    for v in g.vertices() {
+        let d = g.degree(v);
+        total[d] += 1;
+        if touched[v as usize] {
+            covered[d] += 1;
+        }
+    }
+    total
+        .into_iter()
+        .zip(covered)
+        .map(|(t, c)| (t > 0).then(|| c as f64 / t as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afforest_graph::generators::{rmat_scale, uniform_random};
+
+    /// A urand graph with concentrated degree ≈ d, standing in for the
+    /// d-regular graphs of the Frieze et al. result.
+    fn near_regular(n: usize, d: usize, seed: u64) -> CsrGraph {
+        uniform_random(n, n * d / 2, seed)
+    }
+
+    #[test]
+    fn claim1_expected_edges_is_linear_in_n() {
+        let g = near_regular(20_000, 16, 1);
+        let expected = claim1_expected_edges(&g, 0.5);
+        // (1 + ε) n / 2 = 15_000.
+        let target = 1.5 * 20_000.0 / 2.0;
+        assert!(
+            (expected - target).abs() / target < 0.05,
+            "expected {expected}, target {target}"
+        );
+    }
+
+    #[test]
+    fn sample_size_matches_expectation() {
+        let g = near_regular(20_000, 16, 2);
+        let p = 1.5 / g.avg_degree();
+        let edges = uniform_edge_sample(&g, p, 7);
+        let expected = claim1_expected_edges(&g, 0.5);
+        assert!(
+            (edges.len() as f64 - expected).abs() / expected < 0.1,
+            "sampled {} vs expected {expected}",
+            edges.len()
+        );
+    }
+
+    #[test]
+    fn above_threshold_has_giant_component() {
+        // p = 1.5/d ⇒ Θ(n) component (Frieze et al., Section IV-B).
+        let g = near_regular(30_000, 16, 3);
+        let p = 1.5 / g.avg_degree();
+        let edges = uniform_edge_sample(&g, p, 11);
+        let frac = giant_fraction(g.num_vertices(), &edges);
+        assert!(frac > 0.3, "giant fraction {frac} too small above threshold");
+    }
+
+    #[test]
+    fn below_threshold_shatters() {
+        // p = 0.5/d ⇒ sub-critical: all components are tiny.
+        let g = near_regular(30_000, 16, 4);
+        let p = 0.5 / g.avg_degree();
+        let edges = uniform_edge_sample(&g, p, 11);
+        let frac = giant_fraction(g.num_vertices(), &edges);
+        assert!(frac < 0.01, "giant fraction {frac} too large below threshold");
+    }
+
+    #[test]
+    fn uniform_sampling_is_degree_biased_on_skewed_graphs() {
+        let g = rmat_scale(14, 8, 5);
+        let p = 1.5 / g.avg_degree();
+        let edges = uniform_edge_sample(&g, p, 9);
+        let cov = coverage_by_degree(&g, &edges);
+        let low = cov[1].expect("degree-1 vertices exist in RMAT");
+        let high_bucket = cov
+            .iter()
+            .skip(32)
+            .flatten()
+            .copied()
+            .fold(0.0f64, f64::max);
+        assert!(
+            high_bucket > low + 0.2,
+            "expected bias: high-degree coverage {high_bucket:.2} vs degree-1 {low:.2}"
+        );
+    }
+
+    #[test]
+    fn neighbor_sampling_covers_every_nonisolated_vertex() {
+        let g = rmat_scale(13, 8, 6);
+        let edges = neighbor_sample(&g, 1);
+        let cov = coverage_by_degree(&g, &edges);
+        for (d, c) in cov.iter().enumerate().skip(1) {
+            if let Some(c) = c {
+                assert!(
+                    (*c - 1.0).abs() < 1e-12,
+                    "degree-{d} coverage {c} below 1.0"
+                );
+            }
+        }
+        // And the sample is O(|V|): at most one edge per vertex.
+        assert!(edges.len() <= g.num_vertices());
+    }
+
+    #[test]
+    fn neighbor_sample_grows_with_rounds() {
+        let g = uniform_random(5_000, 40_000, 8);
+        let one = neighbor_sample(&g, 1).len();
+        let two = neighbor_sample(&g, 2).len();
+        let all = neighbor_sample(&g, g.max_degree()).len();
+        assert!(one <= two && two <= all);
+        assert_eq!(all, g.num_edges(), "all rounds must cover E");
+    }
+
+    #[test]
+    fn sample_determinism_and_bounds() {
+        let g = uniform_random(1_000, 8_000, 10);
+        assert_eq!(
+            uniform_edge_sample(&g, 0.3, 5),
+            uniform_edge_sample(&g, 0.3, 5)
+        );
+        assert!(uniform_edge_sample(&g, 0.0, 5).is_empty());
+        assert_eq!(uniform_edge_sample(&g, 1.0, 5).len(), g.num_edges());
+    }
+
+    #[test]
+    fn giant_fraction_edge_cases() {
+        assert_eq!(giant_fraction(0, &[]), 0.0);
+        assert_eq!(giant_fraction(4, &[]), 0.25);
+        assert_eq!(giant_fraction(4, &[(0, 1), (1, 2), (2, 3)]), 1.0);
+    }
+}

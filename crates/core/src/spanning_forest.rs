@@ -1,0 +1,181 @@
+//! Spanning-forest extraction (Section IV-A).
+//!
+//! The paper notes a duality: tree-hooking CC algorithms can extract a
+//! spanning forest by tracking the edges that contribute a tree merge.
+//! [`crate::link`] performs at most one successful compare-and-swap per
+//! call, each merging exactly two trees, so over a full pass exactly
+//! `|V| − C` calls succeed — and the corresponding edges form a spanning
+//! forest.
+
+use crate::link::link;
+use crate::parents::ParentArray;
+use afforest_graph::{CsrGraph, Edge, Node};
+use rayon::prelude::*;
+
+/// Extracts a spanning forest by running `link` over all edges in parallel
+/// and keeping those whose call merged two trees.
+///
+/// Returns `|V| − C` edges; which edges depends on the race outcomes, but
+/// the result is always a valid spanning forest (connectivity-preserving
+/// and acyclic).
+///
+/// ```
+/// use afforest_core::spanning_forest;
+/// use afforest_graph::generators::classic::cycle;
+///
+/// let g = cycle(10);                       // 10 edges, 1 component
+/// assert_eq!(spanning_forest(&g).len(), 9); // |V| − C
+/// ```
+pub fn spanning_forest(g: &CsrGraph) -> Vec<Edge> {
+    let pi = &ParentArray::new(g.num_vertices());
+    g.par_vertices()
+        .flat_map_iter(move |u| {
+            g.neighbors(u)
+                .iter()
+                .filter(move |&&v| u <= v && link(u, v, pi))
+                .map(move |&v| (u, v))
+        })
+        .collect()
+}
+
+/// Deterministic serial spanning forest via union-find (used by the
+/// spanning-forest partitioning strategy and as the parallel version's
+/// test oracle).
+pub fn spanning_forest_serial(g: &CsrGraph) -> Vec<Edge> {
+    let n = g.num_vertices();
+    let mut parent: Vec<Node> = (0..n as Node).collect();
+    fn find(p: &mut [Node], mut x: Node) -> Node {
+        while p[x as usize] != x {
+            p[x as usize] = p[p[x as usize] as usize];
+            x = p[x as usize];
+        }
+        x
+    }
+    let mut forest = Vec::new();
+    for u in g.vertices() {
+        for &v in g.neighbors(u) {
+            if u < v {
+                let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+                if ru != rv {
+                    parent[ru.max(rv) as usize] = ru.min(rv);
+                    forest.push((u, v));
+                }
+            }
+        }
+    }
+    forest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afforest_graph::generators::classic::{complete, cycle, path};
+    use afforest_graph::generators::{rmat_scale, uniform_random};
+    use afforest_graph::GraphBuilder;
+
+    /// Number of components via serial union-find.
+    fn component_count(n: usize, edges: &[Edge]) -> usize {
+        let mut parent: Vec<Node> = (0..n as Node).collect();
+        fn find(p: &mut [Node], mut x: Node) -> Node {
+            while p[x as usize] != x {
+                p[x as usize] = p[p[x as usize] as usize];
+                x = p[x as usize];
+            }
+            x
+        }
+        for &(u, v) in edges {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru.max(rv) as usize] = ru.min(rv);
+            }
+        }
+        (0..n as Node).filter(|&v| find(&mut parent, v) == v).count()
+    }
+
+    fn check_forest(g: &CsrGraph, forest: &[Edge]) {
+        // Size: |V| − C.
+        let c = component_count(g.num_vertices(), &g.collect_edges());
+        assert_eq!(forest.len(), g.num_vertices() - c, "forest size");
+        // Connectivity preserved: the forest alone yields the same C.
+        assert_eq!(component_count(g.num_vertices(), forest), c);
+        // Edges must come from the graph.
+        assert!(forest.iter().all(|&(u, v)| g.has_edge(u, v)));
+        // Acyclic: |edges| = |V| − components(forest) is exactly the tree
+        // condition, already implied by the two counts above.
+    }
+
+    #[test]
+    fn parallel_forest_on_random_graph() {
+        let g = uniform_random(2_000, 12_000, 3);
+        check_forest(&g, &spanning_forest(&g));
+    }
+
+    #[test]
+    fn serial_forest_on_random_graph() {
+        let g = uniform_random(2_000, 12_000, 3);
+        check_forest(&g, &spanning_forest_serial(&g));
+    }
+
+    #[test]
+    fn forest_of_tree_is_whole_tree() {
+        let g = path(100);
+        let f = spanning_forest(&g);
+        assert_eq!(f.len(), 99);
+        check_forest(&g, &f);
+    }
+
+    #[test]
+    fn forest_of_cycle_drops_one_edge() {
+        let g = cycle(50);
+        let f = spanning_forest(&g);
+        assert_eq!(f.len(), 49);
+        check_forest(&g, &f);
+    }
+
+    #[test]
+    fn forest_of_complete_graph() {
+        let g = complete(30);
+        let f = spanning_forest(&g);
+        assert_eq!(f.len(), 29);
+        check_forest(&g, &f);
+    }
+
+    #[test]
+    fn forest_with_multiple_components() {
+        let g = GraphBuilder::from_edges(8, &[(0, 1), (1, 2), (2, 0), (4, 5), (5, 6)]).build();
+        // Components: {0,1,2}, {3}, {4,5,6}, {7} → C = 4, forest = 4 edges.
+        let f = spanning_forest(&g);
+        assert_eq!(f.len(), 4);
+        check_forest(&g, &f);
+    }
+
+    #[test]
+    fn forest_on_skewed_graph() {
+        let g = rmat_scale(12, 8, 5);
+        check_forest(&g, &spanning_forest(&g));
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let empty = GraphBuilder::from_edges(0, &[]).build();
+        assert!(spanning_forest(&empty).is_empty());
+        let edgeless = GraphBuilder::from_edges(5, &[]).build();
+        assert!(spanning_forest(&edgeless).is_empty());
+        assert!(spanning_forest_serial(&edgeless).is_empty());
+    }
+
+    #[test]
+    fn serial_is_deterministic() {
+        let g = uniform_random(500, 2_500, 9);
+        assert_eq!(spanning_forest_serial(&g), spanning_forest_serial(&g));
+    }
+
+    #[test]
+    fn repeated_parallel_runs_always_valid() {
+        // The edge set may vary run to run; validity must not.
+        let g = uniform_random(1_000, 8_000, 11);
+        for _ in 0..5 {
+            check_forest(&g, &spanning_forest(&g));
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Subgraph partitioning strategies (Section V-B, Fig. 6a/6b).
+//!
+//! Since `link` never revisits an edge, the edge set can be split into
+//! disjoint batches processed in any order (Section III-B). The *choice*
+//! of batches governs the convergence rate; the paper compares four
+//! strategies on the Linkage/Coverage measures:
+//!
+//! - **Row sampling** — adjacency-matrix rows in index order (the naive
+//!   blocked traversal; slowest convergence in the paper).
+//! - **Uniform edge sampling** — a random permutation of `E` processed in
+//!   slices of increasing cumulative probability `p`.
+//! - **Neighbor sampling** — round `i` takes the `i`-th neighbor of every
+//!   vertex (Section IV-C; what Afforest uses). Each batch touches every
+//!   vertex and component, covering `O(|V|)` edges spread evenly.
+//! - **Spanning forest** — a spanning forest first (the optimal subgraph:
+//!   its `|V| − C` edges already decide full connectivity).
+//!
+//! Every strategy emits each undirected edge exactly once across all
+//! batches (neighbor sampling tracks already-emitted edges exactly as the
+//! paper's implementation tracks processed neighbors), so the union of the
+//! batches is `E` and convergence is guaranteed at the 100% mark.
+
+use crate::spanning_forest::spanning_forest_serial;
+use afforest_graph::{CsrGraph, Edge};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A partitioning strategy for the convergence experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Adjacency-matrix rows, index order, equal-size batches.
+    RowSampling,
+    /// Random edge permutation, equal-size batches.
+    UniformEdge,
+    /// `i`-th-neighbor rounds, then the remainder in row order.
+    NeighborSampling,
+    /// Spanning-forest edges first, then the remainder in row order.
+    SpanningForest,
+}
+
+impl Strategy {
+    /// All strategies, in the order plotted by Fig. 6.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::RowSampling,
+        Strategy::UniformEdge,
+        Strategy::NeighborSampling,
+        Strategy::SpanningForest,
+    ];
+
+    /// Display name matching the paper's figure legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::RowSampling => "row-sampling",
+            Strategy::UniformEdge => "uniform-edge",
+            Strategy::NeighborSampling => "neighbor-sampling",
+            Strategy::SpanningForest => "spanning-forest",
+        }
+    }
+}
+
+/// Partitions `g`'s undirected edge set into ordered batches according to
+/// `strategy`.
+///
+/// - `num_batches` controls the granularity of the equal-size splits (row
+///   and uniform sampling, and the remainder phases). Neighbor sampling
+///   additionally produces one batch per neighbor round for the first
+///   [`NEIGHBOR_ROUND_BATCHES`] rounds.
+/// - `seed` feeds the random permutation of [`Strategy::UniformEdge`].
+///
+/// Every edge appears in exactly one batch; empty batches are dropped.
+///
+/// ```
+/// use afforest_core::strategies::{partition, Strategy};
+/// use afforest_graph::generators::uniform_random;
+///
+/// let g = uniform_random(100, 500, 1);
+/// let batches = partition(&g, Strategy::NeighborSampling, 4, 0);
+/// let total: usize = batches.iter().map(|b| b.len()).sum();
+/// assert_eq!(total, g.num_edges()); // exact cover of E
+/// ```
+pub fn partition(g: &CsrGraph, strategy: Strategy, num_batches: usize, seed: u64) -> Vec<Vec<Edge>> {
+    let num_batches = num_batches.max(1);
+    let batches = match strategy {
+        Strategy::RowSampling => chunk(row_order_edges(g), num_batches),
+        Strategy::UniformEdge => {
+            let mut edges = row_order_edges(g);
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            for i in (1..edges.len()).rev() {
+                edges.swap(i, rng.random_range(0..=i));
+            }
+            chunk(edges, num_batches)
+        }
+        Strategy::NeighborSampling => neighbor_round_batches(g, num_batches),
+        Strategy::SpanningForest => {
+            let sf = spanning_forest_serial(g);
+            let mut in_sf = EdgeMarks::new(g);
+            for &e in &sf {
+                in_sf.mark(e);
+            }
+            let rest: Vec<Edge> = row_order_edges(g)
+                .into_iter()
+                .filter(|&e| !in_sf.is_marked(e))
+                .collect();
+            let mut batches = chunk(sf, num_batches);
+            batches.extend(chunk(rest, num_batches));
+            batches
+        }
+    };
+    batches.into_iter().filter(|b| !b.is_empty()).collect()
+}
+
+/// Maximum number of dedicated per-round batches for neighbor sampling;
+/// later rounds are folded into equal-size remainder batches.
+pub const NEIGHBOR_ROUND_BATCHES: usize = 8;
+
+/// All unique edges in row (adjacency-matrix) order.
+fn row_order_edges(g: &CsrGraph) -> Vec<Edge> {
+    let mut edges = Vec::with_capacity(g.num_edges());
+    for u in g.vertices() {
+        for &v in g.neighbors(u) {
+            if u <= v {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+/// Splits edges into `k` near-equal contiguous chunks.
+fn chunk(edges: Vec<Edge>, k: usize) -> Vec<Vec<Edge>> {
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let per = edges.len().div_ceil(k);
+    edges
+        .chunks(per.max(1))
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+/// Bitmap over canonical arc positions, used to emit each undirected edge
+/// exactly once during neighbor-round batching.
+struct EdgeMarks<'g> {
+    g: &'g CsrGraph,
+    marked: Vec<bool>,
+}
+
+impl<'g> EdgeMarks<'g> {
+    fn new(g: &'g CsrGraph) -> Self {
+        Self {
+            g,
+            marked: vec![false; g.num_arcs()],
+        }
+    }
+
+    /// Canonical arc slot of `{u, v}`: the position of `max` within
+    /// `min`'s adjacency list.
+    fn slot(&self, (u, v): Edge) -> usize {
+        let (lo, hi) = (u.min(v), u.max(v));
+        let base = self.g.offsets()[lo as usize];
+        let idx = self
+            .g
+            .neighbors(lo)
+            .binary_search(&hi)
+            .expect("edge must exist in the graph");
+        base + idx
+    }
+
+    fn mark(&mut self, e: Edge) {
+        let s = self.slot(e);
+        self.marked[s] = true;
+    }
+
+    fn is_marked(&self, e: Edge) -> bool {
+        self.marked[self.slot(e)]
+    }
+
+    /// Marks and reports whether the edge was fresh.
+    fn mark_fresh(&mut self, e: Edge) -> bool {
+        let s = self.slot(e);
+        !std::mem::replace(&mut self.marked[s], true)
+    }
+}
+
+/// Neighbor-sampling batches: round `i` emits `(v, N(v)[i])` for every
+/// vertex with degree `> i`, skipping edges already emitted from the other
+/// endpoint; rounds past [`NEIGHBOR_ROUND_BATCHES`] collapse into
+/// equal-size remainder chunks.
+fn neighbor_round_batches(g: &CsrGraph, num_batches: usize) -> Vec<Vec<Edge>> {
+    let mut marks = EdgeMarks::new(g);
+    let mut batches: Vec<Vec<Edge>> = Vec::new();
+    let max_deg = g.max_degree();
+
+    for round in 0..max_deg.min(NEIGHBOR_ROUND_BATCHES) {
+        let mut batch = Vec::new();
+        for v in g.vertices() {
+            if round < g.degree(v) {
+                let w = g.neighbor(v, round);
+                if v != w && marks.mark_fresh((v, w)) {
+                    // Canonical (min, max) form, matching the other
+                    // strategies' edge representation.
+                    batch.push((v.min(w), v.max(w)));
+                }
+            }
+        }
+        batches.push(batch);
+    }
+
+    // Remainder: everything not yet emitted, in row order.
+    let rest: Vec<Edge> = row_order_edges(g)
+        .into_iter()
+        .filter(|&e| !marks.is_marked(e))
+        .collect();
+    batches.extend(chunk(rest, num_batches));
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afforest_graph::generators::classic::star;
+    use afforest_graph::generators::{uniform_random, web_graph};
+
+    fn flatten_sorted(batches: &[Vec<Edge>]) -> Vec<Edge> {
+        let mut all: Vec<Edge> = batches.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all
+    }
+
+    fn all_edges_sorted(g: &CsrGraph) -> Vec<Edge> {
+        let mut all = g.collect_edges();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn every_strategy_is_a_partition() {
+        let g = uniform_random(500, 2_500, 3);
+        for s in Strategy::ALL {
+            let batches = partition(&g, s, 10, 42);
+            assert_eq!(
+                flatten_sorted(&batches),
+                all_edges_sorted(&g),
+                "strategy {s:?} must cover E exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn row_sampling_is_ordered() {
+        let g = uniform_random(200, 1_000, 1);
+        let batches = partition(&g, Strategy::RowSampling, 4, 0);
+        let flat: Vec<Edge> = batches.iter().flatten().copied().collect();
+        assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn uniform_edge_is_shuffled_deterministically() {
+        let g = uniform_random(200, 1_000, 1);
+        let a = partition(&g, Strategy::UniformEdge, 4, 7);
+        let b = partition(&g, Strategy::UniformEdge, 4, 7);
+        let c = partition(&g, Strategy::UniformEdge, 4, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Shuffled ≠ row order (overwhelmingly likely at 1000 edges).
+        let row = partition(&g, Strategy::RowSampling, 4, 0);
+        assert_ne!(a, row);
+    }
+
+    #[test]
+    fn neighbor_sampling_first_batch_touches_every_nonisolated_vertex() {
+        let g = uniform_random(300, 3_000, 5);
+        let batches = partition(&g, Strategy::NeighborSampling, 4, 0);
+        let first = &batches[0];
+        let mut touched = vec![false; 300];
+        for &(u, v) in first {
+            touched[u as usize] = true;
+            touched[v as usize] = true;
+        }
+        // Every vertex's 0-th neighbor edge is in batch 0 (either emitted
+        // from it or from the other endpoint).
+        for v in g.vertices() {
+            if g.degree(v) > 0 {
+                assert!(touched[v as usize], "vertex {v} untouched in round 0");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_sampling_no_duplicates() {
+        let g = star(50, 49);
+        let batches = partition(&g, Strategy::NeighborSampling, 4, 0);
+        // The star's 49 edges all share the hub; round 0 emits each leaf's
+        // only edge once (and the hub's first), with dedup.
+        assert_eq!(flatten_sorted(&batches).len(), 49);
+        assert_eq!(flatten_sorted(&batches), all_edges_sorted(&g));
+    }
+
+    #[test]
+    fn spanning_forest_batches_lead_with_sf() {
+        let g = uniform_random(400, 2_000, 9);
+        let batches = partition(&g, Strategy::SpanningForest, 5, 0);
+        let sf = crate::spanning_forest::spanning_forest_serial(&g);
+        let lead: Vec<Edge> = batches
+            .iter()
+            .flatten()
+            .copied()
+            .take(sf.len())
+            .collect();
+        let mut lead_sorted = lead.clone();
+        lead_sorted.sort_unstable();
+        let mut sf_sorted = sf.clone();
+        sf_sorted.sort_unstable();
+        assert_eq!(lead_sorted, sf_sorted);
+    }
+
+    #[test]
+    fn batch_counts_reasonable() {
+        let g = uniform_random(300, 1_500, 2);
+        let batches = partition(&g, Strategy::RowSampling, 10, 0);
+        assert!(batches.len() <= 10);
+        assert!(!batches.is_empty());
+        assert!(batches.iter().all(|b| !b.is_empty()));
+    }
+
+    #[test]
+    fn empty_graph_gives_no_batches() {
+        let g = afforest_graph::GraphBuilder::from_edges(4, &[]).build();
+        for s in Strategy::ALL {
+            assert!(partition(&g, s, 4, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn web_graph_partitions_cover() {
+        let g = web_graph(1_000, 4, 0.7, 6.0, 3);
+        for s in Strategy::ALL {
+            let batches = partition(&g, s, 8, 1);
+            assert_eq!(flatten_sorted(&batches), all_edges_sorted(&g));
+        }
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::NeighborSampling.name(), "neighbor-sampling");
+        assert_eq!(Strategy::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,146 @@
+//! Executable worst-case constructions (Section V-A).
+//!
+//! The paper exhibits adversarial scenarios bounding the core procedures:
+//!
+//! - **`link` worst case**: a depth-one tree whose root has the *highest*
+//!   index; leaves hook in descending index order, so each hook makes the
+//!   previous root a child and the final, lowest-index leaf must walk a
+//!   linear-depth chain — `O(|V|)` work for one edge.
+//! - **`compress` worst case**: a linear-depth tree compressed by every
+//!   processor simultaneously — `O(|V|²)` total traversal on the first
+//!   invocation.
+//!
+//! These builders create exactly those states so tests (and curious
+//! users) can measure the bounds, and verify the paper's observation that
+//! the scenarios require an adversarial *order*, not just an adversarial
+//! *graph*.
+
+use crate::link::{link, link_counted};
+use crate::parents::ParentArray;
+use afforest_graph::Node;
+
+/// Builds the `link` worst-case state over `n` vertices: hooks the star
+/// `{(n−1, v)}` in descending leaf order, producing a linear-depth chain
+/// under Invariant 1. Returns the parent array *before* the final
+/// adversarial edge is linked.
+///
+/// After this call, `link(0, n-1, π)` must walk `Θ(n)` ancestors.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn link_adversarial_state(n: usize) -> ParentArray {
+    assert!(n >= 3, "need at least 3 vertices");
+    let pi = ParentArray::new(n);
+    let hub = (n - 1) as Node;
+    // Descending order: each hook attaches the current root under the
+    // next-lower leaf, growing the chain by one.
+    for v in (1..hub).rev() {
+        link(hub, v, &pi);
+    }
+    pi
+}
+
+/// Measures the local iterations of the final adversarial `link` edge on
+/// the state from [`link_adversarial_state`].
+pub fn link_worst_case_iterations(n: usize) -> u32 {
+    let pi = link_adversarial_state(n);
+    let (_, iters) = link_counted(0, (n - 1) as Node, &pi);
+    iters
+}
+
+/// Builds the `compress` worst case: a single path `v → v−1 → … → 0` of
+/// depth `n − 1`.
+pub fn compress_adversarial_state(n: usize) -> ParentArray {
+    let pi = ParentArray::new(n);
+    for v in 1..n as Node {
+        pi.set(v, v - 1);
+    }
+    pi
+}
+
+/// The same star graph linked in *ascending* leaf order — the benign
+/// schedule, showing the bound needs the adversarial order.
+pub fn link_benign_state(n: usize) -> ParentArray {
+    assert!(n >= 3, "need at least 3 vertices");
+    let pi = ParentArray::new(n);
+    let hub = (n - 1) as Node;
+    for v in 1..hub {
+        link(hub, v, &pi);
+    }
+    pi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{compress_counted, compress_all};
+
+    #[test]
+    fn adversarial_link_walk_is_linear() {
+        // Iterations grow linearly with n: doubling n roughly doubles the
+        // final link's local iteration count.
+        let small = link_worst_case_iterations(1_000);
+        let large = link_worst_case_iterations(2_000);
+        assert!(small > 400, "small {small}");
+        assert!(
+            (large as f64) > 1.8 * small as f64,
+            "not linear: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn adversarial_state_is_a_deep_chain() {
+        let pi = link_adversarial_state(500);
+        assert!(pi.check_invariant());
+        assert!(pi.max_depth() > 400, "depth {}", pi.max_depth());
+    }
+
+    #[test]
+    fn benign_order_stays_shallow() {
+        // Ascending hooks always attach under the fixed minimum leaf, so
+        // the tree stays flat and the final link is cheap.
+        let pi = link_benign_state(2_000);
+        assert!(pi.max_depth() <= 3, "depth {}", pi.max_depth());
+        let (_, iters) = crate::link::link_counted(0, 1_999, &pi);
+        assert!(iters <= 4, "iters {iters}");
+    }
+
+    #[test]
+    fn compress_worst_case_is_linear_per_vertex() {
+        let n = 4_000;
+        let pi = compress_adversarial_state(n);
+        // The deepest vertex performs Θ(n) pointer jumps when compressed
+        // alone from the cold state.
+        let stores = compress_counted((n - 1) as Node, &pi);
+        assert!(stores as usize > n / 2, "stores {stores}");
+    }
+
+    #[test]
+    fn compress_recovers_in_one_parallel_pass() {
+        // And yet a single compress_all resolves the pathology (Theorem 2):
+        // afterwards every access is O(1).
+        let n = 4_000;
+        let pi = compress_adversarial_state(n);
+        compress_all(&pi);
+        assert_eq!(pi.max_depth(), 1);
+        assert_eq!(compress_counted((n - 1) as Node, &pi), 0);
+    }
+
+    #[test]
+    fn worst_case_never_breaks_correctness() {
+        // The adversarial state still converges to one component.
+        let n = 1_000;
+        let pi = link_adversarial_state(n);
+        crate::link::link(0, (n - 1) as Node, &pi);
+        compress_all(&pi);
+        let root = pi.get(0);
+        assert!((0..n as Node).all(|v| pi.get(v) == root));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn rejects_tiny_n() {
+        let _ = link_adversarial_state(2);
+    }
+}

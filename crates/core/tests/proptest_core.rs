@@ -1,0 +1,170 @@
+//! Property-based tests for the core algorithm components.
+
+use afforest_core::batched::{afforest_batched, BatchedConfig};
+use afforest_core::compress::compress_all;
+use afforest_core::link::{link, link_counted};
+use afforest_core::parents::ParentArray;
+use afforest_core::sampling::{exact_frequent_element, sample_frequent_element};
+use afforest_core::strategies::{partition, Strategy as PartitionStrategy};
+use afforest_core::{afforest, AfforestConfig, ComponentLabels, IncrementalCc};
+use afforest_graph::{GraphBuilder, Node};
+use proptest::prelude::*;
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(Node, Node)>)> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as Node, 0..n as Node);
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn link_sequence_maintains_invariant_any_order(
+        (n, edges) in arb_edges(120, 400),
+    ) {
+        // Sequential adversarial order (exactly as given, duplicates and
+        // self-loops included).
+        let pi = ParentArray::new(n);
+        for &(u, v) in &edges {
+            link(u, v, &pi);
+            // Invariant 1 after *every* call, not just at the end.
+        }
+        prop_assert!(pi.check_invariant());
+    }
+
+    #[test]
+    fn link_counted_matches_link_semantics((n, edges) in arb_edges(100, 300)) {
+        let pi1 = ParentArray::new(n);
+        let pi2 = ParentArray::new(n);
+        for &(u, v) in &edges {
+            let merged1 = link(u, v, &pi1);
+            let (merged2, iters) = link_counted(u, v, &pi2);
+            prop_assert_eq!(merged1, merged2);
+            prop_assert!(iters >= 1);
+        }
+        prop_assert_eq!(pi1.snapshot(), pi2.snapshot());
+    }
+
+    #[test]
+    fn compress_preserves_roots_and_membership((n, edges) in arb_edges(120, 400)) {
+        let pi = ParentArray::new(n);
+        for &(u, v) in &edges {
+            link(u, v, &pi);
+        }
+        let roots_before: Vec<Node> = (0..n as Node).map(|v| pi.find_root(v)).collect();
+        compress_all(&pi);
+        let roots_after: Vec<Node> = (0..n as Node).map(|v| pi.find_root(v)).collect();
+        prop_assert_eq!(roots_before, roots_after);
+        prop_assert!(pi.max_depth() <= 1);
+    }
+
+    #[test]
+    fn batched_equals_monolithic_for_any_batching(
+        (n, edges) in arb_edges(120, 400),
+        num_batches in 1usize..12,
+        strategy_idx in 0usize..4,
+    ) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let truth = afforest(&g, &AfforestConfig::default());
+        let strategy = PartitionStrategy::ALL[strategy_idx];
+        let batches = partition(&g, strategy, num_batches, 7);
+        let (labels, _) = afforest_batched(&g, &batches, &BatchedConfig::default());
+        prop_assert!(labels.equivalent(&truth));
+    }
+
+    #[test]
+    fn incremental_equals_batch_for_any_split(
+        (n, edges) in arb_edges(120, 400),
+        split_pct in 0usize..=100,
+    ) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let truth = afforest(&g, &AfforestConfig::default());
+        let all = g.collect_edges();
+        let cut = all.len() * split_pct / 100;
+        let mut cc = IncrementalCc::new(n);
+        cc.insert_batch(&all[..cut]);
+        cc.insert_batch(&all[cut..]);
+        prop_assert!(cc.into_labels().equivalent(&truth));
+    }
+
+    #[test]
+    fn sampler_agrees_with_exact_on_dominant_forests(
+        n in 64usize..512,
+        dominant_frac in 0.6f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        // Depth-1 forest with one clearly dominant root.
+        let pi = ParentArray::new(n);
+        let cutoff = (n as f64 * dominant_frac) as Node;
+        for v in 1..cutoff {
+            pi.set(v, 0);
+        }
+        let exact = exact_frequent_element(&pi);
+        prop_assert_eq!(exact, 0);
+        let sampled = sample_frequent_element(&pi, 512, seed);
+        prop_assert_eq!(sampled, 0);
+    }
+
+    #[test]
+    fn labels_equivalence_is_an_equivalence_relation((n, edges) in arb_edges(100, 300)) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let a = afforest(&g, &AfforestConfig::default());
+        let b = afforest(&g, &AfforestConfig::without_skip());
+        let c = afforest(&g, &AfforestConfig::exhaustive());
+        // Reflexive, symmetric, transitive on actual instances.
+        prop_assert!(a.equivalent(&a));
+        prop_assert!(a.equivalent(&b) == b.equivalent(&a));
+        if a.equivalent(&b) && b.equivalent(&c) {
+            prop_assert!(a.equivalent(&c));
+        }
+    }
+
+    #[test]
+    fn component_labels_roundtrip_dense_ids((n, edges) in arb_edges(100, 300)) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let labels = afforest(&g, &AfforestConfig::default());
+        let dense = labels.dense_ids();
+        // Dense ids induce the same partition.
+        for u in 0..n as Node {
+            for v in 0..n as Node {
+                if u < v && (u as usize) < 40 && (v as usize) < 40 {
+                    prop_assert_eq!(
+                        labels.same_component(u, v),
+                        dense[u as usize] == dense[v as usize]
+                    );
+                }
+            }
+        }
+        // Ids are contiguous 0..C.
+        let max_id = dense.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+        prop_assert_eq!(max_id, labels.num_components());
+    }
+
+    #[test]
+    fn neighbor_rounds_monotonically_reduce_trees(
+        (n, edges) in arb_edges(150, 600),
+    ) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let cfg = AfforestConfig { neighbor_rounds: 4, ..Default::default() };
+        let (labels, stats) = afforest_core::afforest_with_stats(&g, &cfg);
+        prop_assert!(labels.verify_against(&g));
+        prop_assert!(stats
+            .trees_after_round
+            .windows(2)
+            .all(|w| w[1] <= w[0]));
+        if let Some(&last) = stats.trees_after_round.last() {
+            prop_assert!(last >= labels.num_components());
+        }
+    }
+}
+
+/// ComponentLabels::from_vec round-trips through a verified run.
+#[test]
+fn labels_constructor_accepts_algorithm_output() {
+    let g = afforest_graph::generators::uniform_random(1_000, 5_000, 3);
+    let labels = afforest(&g, &AfforestConfig::default());
+    let rebuilt = ComponentLabels::from_vec(labels.as_slice().to_vec());
+    assert!(rebuilt.equivalent(&labels));
+}

@@ -1,0 +1,218 @@
+//! Distributed CC by spanning-forest reduction.
+//!
+//! The Afforest-side insight (Section IV-A): a component labeling needs
+//! only a spanning forest, never the full edge set. Distributed, this
+//! means a rank never ships raw edges — it ships its *local spanning
+//! forest* (≤ `|V| − 1` edges however large its edge subset is), and
+//! merged forests are re-reduced at every step:
+//!
+//! 1. Every rank links its local edge subset with Afforest's `link`
+//!    primitive (in parallel, via rayon) and keeps the merge edges — its
+//!    local spanning forest.
+//! 2. Forests flow up a binomial reduction tree: in round `r`, rank
+//!    `p` with `p mod 2^{r+1} = 2^r` sends its forest to `p − 2^r`, and
+//!    the receiver merges + re-extracts. After `⌈log₂ P⌉` rounds, rank 0
+//!    holds a spanning forest of the whole graph.
+//! 3. Rank 0 derives the labeling.
+//!
+//! Total communication is at most `(P − 1)(|V| − 1)` words, and any
+//! single rank's critical path carries at most `(|V| − 1)·⌈log₂ P⌉` — in
+//! both cases independent of `|E|`, the distributed analogue of the
+//! paper's work-efficiency argument.
+
+use crate::bsp::{run_bsp, CommStats};
+use crate::partition::VertexPartition;
+use afforest_core::labels::ComponentLabels;
+use afforest_core::link::link;
+use afforest_core::parents::ParentArray;
+use afforest_graph::{CsrGraph, Edge, Node};
+use rayon::prelude::*;
+
+/// Per-rank state: the current (partial) spanning forest.
+struct RankState {
+    forest: Vec<Edge>,
+}
+
+/// Runs distributed CC via spanning-forest reduction.
+///
+/// Returns the labeling (identical partition to any shared-memory
+/// algorithm) plus exact communication statistics.
+pub fn distributed_cc_forest(
+    g: &CsrGraph,
+    part: &VertexPartition,
+) -> (ComponentLabels, CommStats) {
+    assert_eq!(part.len(), g.num_vertices(), "partition size mismatch");
+    let n = g.num_vertices();
+    let p = part.num_ranks();
+
+    // Step 1: local spanning forests via parallel link merge-tracking.
+    let per_rank_edges = part.partition_edges(g);
+    let states: Vec<RankState> = per_rank_edges
+        .into_iter()
+        .map(|edges| RankState {
+            forest: local_forest(n, &edges),
+        })
+        .collect();
+
+    // Step 2: binomial reduction over BSP supersteps.
+    let rounds = p.next_power_of_two().trailing_zeros() as usize;
+    let (states, stats) = run_bsp(
+        states,
+        rounds + 2,
+        move |rank, superstep, state, inbox: Vec<Edge>, out| {
+            // Merge everything received last superstep, re-reducing to a
+            // forest so the payload stays ≤ |V| − 1 edges.
+            if !inbox.is_empty() {
+                let mut combined = std::mem::take(&mut state.forest);
+                combined.extend(inbox);
+                state.forest = forest_of(n, &combined);
+            }
+            // Send for round `superstep` if this rank is that round's sender.
+            if superstep < rounds {
+                let bit = 1usize << superstep;
+                if rank & (2 * bit - 1) == bit {
+                    let dst = rank - bit;
+                    for &e in &state.forest {
+                        out.send(dst, e);
+                    }
+                    state.forest.clear();
+                }
+                return true;
+            }
+            false
+        },
+    );
+
+    // Step 3: rank 0 derives the labeling from the global forest.
+    let labels = labels_from_forest(n, &states[0].forest);
+    (ComponentLabels::from_vec(labels), stats)
+}
+
+/// Spanning forest of an edge subset via Afforest's parallel `link`
+/// (successful-CAS tracking, exactly as `afforest_core::spanning_forest`).
+fn local_forest(n: usize, edges: &[Edge]) -> Vec<Edge> {
+    let pi = ParentArray::new(n);
+    edges
+        .par_iter()
+        .filter(|&&(u, v)| link(u, v, &pi))
+        .copied()
+        .collect()
+}
+
+/// Serial union-find spanning forest of an arbitrary edge list.
+fn forest_of(n: usize, edges: &[Edge]) -> Vec<Edge> {
+    let mut parent: Vec<Node> = (0..n as Node).collect();
+    let mut forest = Vec::new();
+    for &(u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru.max(rv) as usize] = ru.min(rv);
+            forest.push((u, v));
+        }
+    }
+    forest
+}
+
+/// Component-minimum labeling induced by a forest.
+fn labels_from_forest(n: usize, forest: &[Edge]) -> Vec<Node> {
+    let mut parent: Vec<Node> = (0..n as Node).collect();
+    for &(u, v) in forest {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru.max(rv) as usize] = ru.min(rv);
+        }
+    }
+    (0..n as Node).map(|v| find(&mut parent, v)).collect()
+}
+
+fn find(parent: &mut [Node], mut x: Node) -> Node {
+    while parent[x as usize] != x {
+        parent[x as usize] = parent[parent[x as usize] as usize];
+        x = parent[x as usize];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionKind;
+    use afforest_graph::generators::classic::{cycle, path};
+    use afforest_graph::generators::{rmat_scale, road_network, uniform_random};
+
+    fn oracle(g: &CsrGraph) -> ComponentLabels {
+        ComponentLabels::from_vec(afforest_baselines::union_find::union_find_cc(g))
+    }
+
+    fn check(g: &CsrGraph, ranks: usize, kind: PartitionKind) -> CommStats {
+        let part = VertexPartition::new(g.num_vertices(), ranks, kind);
+        let (labels, stats) = distributed_cc_forest(g, &part);
+        assert!(
+            labels.equivalent(&oracle(g)),
+            "P={ranks} {kind:?} disagrees"
+        );
+        stats
+    }
+
+    #[test]
+    fn single_rank_no_communication() {
+        let g = uniform_random(1_000, 6_000, 1);
+        let stats = check(&g, 1, PartitionKind::Block);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn correctness_across_rank_counts() {
+        let g = uniform_random(2_000, 12_000, 2);
+        for ranks in [2, 3, 4, 7, 8, 16] {
+            check(&g, ranks, PartitionKind::Block);
+            check(&g, ranks, PartitionKind::Hash);
+        }
+    }
+
+    #[test]
+    fn classic_and_structured_graphs() {
+        check(&path(500), 4, PartitionKind::Block);
+        check(&cycle(512), 8, PartitionKind::Hash);
+        check(&road_network(60, 60, 0.6, 0.01, 3), 5, PartitionKind::Block);
+        check(&rmat_scale(11, 8, 4), 6, PartitionKind::Hash);
+    }
+
+    #[test]
+    fn communication_bounded_by_forest_times_rounds() {
+        // Messages ≤ (P − 1) · (|V| − 1): each of the P − 1 senders ships
+        // a re-reduced forest exactly once.
+        let g = uniform_random(4_000, 40_000, 5);
+        let p = 8;
+        let stats = check(&g, p, PartitionKind::Hash);
+        let bound = (p as u64 - 1) * (g.num_vertices() as u64 - 1);
+        assert!(
+            stats.messages <= bound,
+            "messages {} exceed bound {bound}",
+            stats.messages
+        );
+        // And crucially, far below shipping all edges once.
+        assert!(stats.messages < g.num_edges() as u64);
+    }
+
+    #[test]
+    fn superstep_count_is_logarithmic() {
+        let g = uniform_random(1_000, 5_000, 7);
+        let stats = check(&g, 16, PartitionKind::Block);
+        assert!(stats.supersteps <= 6, "supersteps {}", stats.supersteps);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = road_network(50, 50, 0.45, 0.0, 9); // heavily fragmented
+        check(&g, 4, PartitionKind::Hash);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = afforest_graph::GraphBuilder::from_edges(0, &[]).build();
+        let part = VertexPartition::new(0, 3, PartitionKind::Block);
+        let (labels, _) = distributed_cc_forest(&g, &part);
+        assert!(labels.is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Distributed CC by iterative boundary-label exchange.
+//!
+//! The natural distributed baseline (the LP-style approach the paper
+//! credits with distributed-memory scalability in Section II-B): every
+//! rank keeps a replicated label array, locally propagates minimum labels
+//! over its own edge subset to a fixpoint, then ships the labels that
+//! changed to the ranks that can observe them (ranks with incident edges,
+//! plus the vertex's owner). The algorithm quiesces when no rank changes
+//! any label.
+//!
+//! Communication depends on convergence behaviour — `O(changes)` per
+//! superstep over diameter-ish many supersteps — in contrast to
+//! [`crate::forest_merge`]'s fixed `O(|V| log P)`, which is the point the
+//! comparison experiment makes.
+
+use crate::bsp::{run_bsp, CommStats};
+use crate::partition::VertexPartition;
+use afforest_core::labels::ComponentLabels;
+use afforest_graph::{CsrGraph, Edge, Node};
+
+/// Per-rank state.
+struct RankState {
+    /// Replicated label array.
+    labels: Vec<Node>,
+    /// This rank's edge subset.
+    edges: Vec<Edge>,
+    /// Vertices whose labels changed since the last exchange.
+    dirty: Vec<Node>,
+}
+
+/// An update message: vertex + new (smaller) label.
+type Update = (Node, Node);
+
+/// Runs distributed CC via iterative label exchange.
+pub fn distributed_cc_labels(
+    g: &CsrGraph,
+    part: &VertexPartition,
+) -> (ComponentLabels, CommStats) {
+    assert_eq!(part.len(), g.num_vertices(), "partition size mismatch");
+    let n = g.num_vertices();
+
+    // Interest map: which ranks hold edges incident to each vertex.
+    let per_rank_edges = part.partition_edges(g);
+    let mut interested: Vec<Vec<u16>> = vec![Vec::new(); n];
+    for (rank, edges) in per_rank_edges.iter().enumerate() {
+        for &(u, v) in edges {
+            for w in [u, v] {
+                let list = &mut interested[w as usize];
+                if list.last() != Some(&(rank as u16)) && !list.contains(&(rank as u16)) {
+                    list.push(rank as u16);
+                }
+            }
+        }
+    }
+    // Owners always hear about their vertices (needed for final gather).
+    for (v, list) in interested.iter_mut().enumerate() {
+        let o = part.owner(v as Node) as u16;
+        if !list.contains(&o) {
+            list.push(o);
+        }
+    }
+
+    let states: Vec<RankState> = per_rank_edges
+        .into_iter()
+        .map(|edges| RankState {
+            labels: (0..n as Node).collect(),
+            edges,
+            dirty: Vec::new(),
+        })
+        .collect();
+
+    let interested = &interested;
+    let (states, stats) = run_bsp(
+        states,
+        4 * n + 16, // label propagation converges within diameter rounds
+        move |rank, superstep, state, inbox: Vec<Update>, out| {
+            // Apply remote updates.
+            for (v, l) in inbox {
+                if l < state.labels[v as usize] {
+                    state.labels[v as usize] = l;
+                    state.dirty.push(v);
+                }
+            }
+            // Local min-label fixpoint over this rank's edges.
+            let mut changed_any = superstep == 0; // first round: everything fresh
+            loop {
+                let mut changed = false;
+                for &(u, v) in &state.edges {
+                    let (lu, lv) = (state.labels[u as usize], state.labels[v as usize]);
+                    if lu < lv {
+                        state.labels[v as usize] = lu;
+                        state.dirty.push(v);
+                        changed = true;
+                    } else if lv < lu {
+                        state.labels[u as usize] = lv;
+                        state.dirty.push(u);
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+                changed_any = true;
+            }
+            // Ship every dirty vertex's final label to interested peers.
+            state.dirty.sort_unstable();
+            state.dirty.dedup();
+            for &v in &state.dirty {
+                for &peer in &interested[v as usize] {
+                    if peer as usize != rank {
+                        out.send(peer as usize, (v, state.labels[v as usize]));
+                    }
+                }
+            }
+            state.dirty.clear();
+            changed_any && out.queued() > 0
+        },
+    );
+
+    // Gather: each vertex's label from its owner (guaranteed current).
+    let labels: Vec<Node> = (0..n as Node)
+        .map(|v| states[part.owner(v)].labels[v as usize])
+        .collect();
+    (ComponentLabels::from_vec(labels), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest_merge::distributed_cc_forest;
+    use crate::partition::PartitionKind;
+    use afforest_graph::generators::classic::{cycle, path, star};
+    use afforest_graph::generators::{rmat_scale, road_network, uniform_random};
+
+    fn oracle(g: &CsrGraph) -> ComponentLabels {
+        ComponentLabels::from_vec(afforest_baselines::union_find::union_find_cc(g))
+    }
+
+    fn check(g: &CsrGraph, ranks: usize, kind: PartitionKind) -> CommStats {
+        let part = VertexPartition::new(g.num_vertices(), ranks, kind);
+        let (labels, stats) = distributed_cc_labels(g, &part);
+        assert!(
+            labels.equivalent(&oracle(g)),
+            "P={ranks} {kind:?} disagrees"
+        );
+        stats
+    }
+
+    #[test]
+    fn single_rank_no_communication() {
+        let g = uniform_random(500, 3_000, 1);
+        let stats = check(&g, 1, PartitionKind::Block);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn correctness_across_rank_counts() {
+        let g = uniform_random(1_500, 9_000, 2);
+        for ranks in [2, 3, 4, 8] {
+            check(&g, ranks, PartitionKind::Block);
+            check(&g, ranks, PartitionKind::Hash);
+        }
+    }
+
+    #[test]
+    fn classic_graphs() {
+        check(&path(300), 4, PartitionKind::Block);
+        check(&cycle(256), 4, PartitionKind::Hash);
+        check(&star(200, 199), 3, PartitionKind::Block);
+    }
+
+    #[test]
+    fn structured_graphs() {
+        check(&road_network(40, 40, 0.6, 0.01, 3), 4, PartitionKind::Block);
+        check(&rmat_scale(10, 8, 4), 5, PartitionKind::Hash);
+    }
+
+    #[test]
+    fn forest_merge_communicates_less_on_cut_heavy_partitions() {
+        // With hash partitioning on a path graph nearly every edge is cut:
+        // label exchange pays per-update messages over many rounds while
+        // forest merge ships at most |V| log P words.
+        let g = path(2_000);
+        let part = VertexPartition::new(2_000, 8, PartitionKind::Hash);
+        let (l1, lp_stats) = distributed_cc_labels(&g, &part);
+        let (l2, fm_stats) = distributed_cc_forest(&g, &part);
+        assert!(l1.equivalent(&l2));
+        assert!(
+            fm_stats.supersteps < lp_stats.supersteps,
+            "forest-merge rounds {} should beat label-exchange rounds {}",
+            fm_stats.supersteps,
+            lp_stats.supersteps
+        );
+    }
+
+    #[test]
+    fn block_partition_on_path_converges_fast() {
+        // Only block-border labels cross ranks; supersteps stay ≈ P.
+        let g = path(1_000);
+        let stats = check(&g, 4, PartitionKind::Block);
+        assert!(stats.supersteps <= 16, "supersteps {}", stats.supersteps);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = road_network(40, 40, 0.45, 0.0, 9);
+        check(&g, 4, PartitionKind::Hash);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = afforest_graph::GraphBuilder::from_edges(0, &[]).build();
+        let part = VertexPartition::new(0, 2, PartitionKind::Block);
+        let (labels, _) = distributed_cc_labels(&g, &part);
+        assert!(labels.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Distributed-memory connected components — the extension direction the
+//! paper names in its conclusions ("it may be possible to use insights
+//! gained from this paper to generalize the algorithm to distributed
+//! memory environments").
+//!
+//! Since no cluster is available (or needed) for a laptop-scale
+//! reproduction, the crate simulates a distributed system faithfully
+//! enough to study the *algorithmic* questions — communication volume,
+//! round counts, partition sensitivity:
+//!
+//! - [`partition`]: vertex-to-rank assignment (contiguous blocks, hashed,
+//!   or explicit), plus the induced edge ownership.
+//! - [`bsp`]: a bulk-synchronous message-passing engine with exact
+//!   message/byte/round accounting.
+//! - [`forest_merge`]: distributed CC by spanning-forest reduction — each
+//!   rank runs Afforest-style linking locally, extracts its spanning
+//!   forest (the Section IV-A duality), and forests are merged up a
+//!   binomial tree in `⌈log₂ P⌉` rounds. Communication is
+//!   `O(|V| log P)` words, independent of `|E|` — the same
+//!   work-avoidance idea as subgraph sampling, applied across machines.
+//! - [`label_exchange`]: the natural baseline — replicated parent arrays
+//!   with iterative boundary-label exchange (distributed min-label
+//!   hooking), whose communication depends on convergence behaviour.
+
+pub mod bsp;
+pub mod forest_merge;
+pub mod label_exchange;
+pub mod partition;
+
+pub use bsp::{run_bsp, CommStats, Outbox};
+pub use forest_merge::distributed_cc_forest;
+pub use label_exchange::distributed_cc_labels;
+pub use partition::{PartitionKind, VertexPartition};

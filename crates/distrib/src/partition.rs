@@ -1,0 +1,317 @@
+//! Vertex partitioning across simulated ranks.
+//!
+//! Distributed graph systems assign each vertex an owning rank; an
+//! undirected edge is stored by the owner of its lower endpoint (single
+//! ownership keeps the global edge multiset a partition, so each edge is
+//! linked exactly once — the invariant Theorem 1 needs). Edges whose
+//! endpoints live on different ranks are *cut* edges; the cut fraction is
+//! the classic proxy for communication pressure.
+
+use afforest_graph::{CsrGraph, Edge, Node};
+use std::collections::VecDeque;
+
+/// Partitioning scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PartitionKind {
+    /// Contiguous index blocks (`n / p` vertices each) — preserves any
+    /// locality present in the vertex numbering.
+    Block,
+    /// Multiplicative hash of the vertex id — destroys locality,
+    /// approximating a random partition without RNG state.
+    Hash,
+}
+
+/// A vertex-to-rank assignment.
+///
+/// ```
+/// use afforest_distrib::{PartitionKind, VertexPartition};
+///
+/// let p = VertexPartition::new(10, 2, PartitionKind::Block);
+/// assert_eq!(p.owner(0), 0);
+/// assert_eq!(p.owner(9), 1);
+/// assert_eq!(p.rank_sizes(), vec![5, 5]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexPartition {
+    owner: Vec<u16>,
+    num_ranks: usize,
+}
+
+impl VertexPartition {
+    /// Builds a partition of `n` vertices across `num_ranks` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ranks` is 0 or exceeds `u16::MAX`.
+    pub fn new(n: usize, num_ranks: usize, kind: PartitionKind) -> Self {
+        assert!(num_ranks > 0, "need at least one rank");
+        assert!(num_ranks <= u16::MAX as usize, "too many ranks");
+        let owner = (0..n)
+            .map(|v| match kind {
+                PartitionKind::Block => {
+                    // Even blocks with remainder spread over the first ranks.
+                    let per = n / num_ranks;
+                    let extra = n % num_ranks;
+                    let cutoff = (per + 1) * extra;
+                    if v < cutoff {
+                        (v / (per + 1)) as u16
+                    } else {
+                        match (v - cutoff).checked_div(per) {
+                            Some(q) => (extra + q) as u16,
+                            None => (num_ranks - 1) as u16,
+                        }
+                    }
+                }
+                PartitionKind::Hash => {
+                    let h = (v as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+                    (h as usize % num_ranks) as u16
+                }
+            })
+            .collect();
+        Self { owner, num_ranks }
+    }
+
+    /// Builds a partition by growing `num_ranks` regions with a
+    /// multi-source BFS from index-spread seeds: regions expand in
+    /// lockstep, so each rank gets a connected, roughly ball-shaped
+    /// region — the classic low-cut heuristic for spatial graphs
+    /// (unreached vertices, e.g. isolated ones, are dealt round-robin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ranks` is 0 or exceeds `u16::MAX`.
+    pub fn bfs_grow(g: &CsrGraph, num_ranks: usize) -> Self {
+        assert!(num_ranks > 0, "need at least one rank");
+        assert!(num_ranks <= u16::MAX as usize, "too many ranks");
+        let n = g.num_vertices();
+        let mut owner = vec![u16::MAX; n];
+        let mut queues: Vec<VecDeque<Node>> = (0..num_ranks).map(|_| VecDeque::new()).collect();
+        for (r, queue) in queues.iter_mut().enumerate() {
+            let seed = (r * n / num_ranks) as Node;
+            if n > 0 && owner[seed as usize] == u16::MAX {
+                owner[seed as usize] = r as u16;
+                queue.push_back(seed);
+            }
+        }
+        // Lockstep expansion: each rank claims one frontier layer per turn.
+        let mut active = true;
+        while active {
+            active = false;
+            for (r, queue) in queues.iter_mut().enumerate() {
+                let layer = queue.len();
+                for _ in 0..layer {
+                    let v = queue.pop_front().expect("layer counted");
+                    for &w in g.neighbors(v) {
+                        if owner[w as usize] == u16::MAX {
+                            owner[w as usize] = r as u16;
+                            queue.push_back(w);
+                        }
+                    }
+                }
+                active |= !queue.is_empty();
+            }
+        }
+        // Round-robin the unreached remainder.
+        let mut next = 0u16;
+        for o in owner.iter_mut() {
+            if *o == u16::MAX {
+                *o = next;
+                next = (next + 1) % num_ranks as u16;
+            }
+        }
+        Self {
+            owner,
+            num_ranks,
+        }
+    }
+
+    /// Builds a partition from an explicit owner table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any owner is `>= num_ranks`.
+    pub fn from_owners(owner: Vec<u16>, num_ranks: usize) -> Self {
+        assert!(
+            owner.iter().all(|&o| (o as usize) < num_ranks),
+            "owner out of range"
+        );
+        Self { owner, num_ranks }
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Whether the partition covers zero vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+
+    /// The rank owning vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: Node) -> usize {
+        self.owner[v as usize] as usize
+    }
+
+    /// Vertices per rank.
+    pub fn rank_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_ranks];
+        for &o in &self.owner {
+            sizes[o as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Assigns every undirected edge to the rank owning its lower
+    /// endpoint; returns per-rank edge lists.
+    pub fn partition_edges(&self, g: &CsrGraph) -> Vec<Vec<Edge>> {
+        let mut per_rank: Vec<Vec<Edge>> = vec![Vec::new(); self.num_ranks];
+        for (u, v) in g.edges() {
+            per_rank[self.owner(u.min(v))].push((u, v));
+        }
+        per_rank
+    }
+
+    /// Fraction of edges whose endpoints live on different ranks.
+    pub fn cut_fraction(&self, g: &CsrGraph) -> f64 {
+        if g.num_edges() == 0 {
+            return 0.0;
+        }
+        let cut = g
+            .edges()
+            .filter(|&(u, v)| self.owner(u) != self.owner(v))
+            .count();
+        cut as f64 / g.num_edges() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afforest_graph::generators::classic::path;
+    use afforest_graph::generators::uniform_random;
+
+    #[test]
+    fn block_partition_is_contiguous_and_even() {
+        let p = VertexPartition::new(10, 3, PartitionKind::Block);
+        let owners: Vec<usize> = (0..10).map(|v| p.owner(v)).collect();
+        assert_eq!(owners, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        assert_eq!(p.rank_sizes(), vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn block_partition_exact_division() {
+        let p = VertexPartition::new(12, 4, PartitionKind::Block);
+        assert_eq!(p.rank_sizes(), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn hash_partition_is_balanced() {
+        let p = VertexPartition::new(100_000, 8, PartitionKind::Hash);
+        let sizes = p.rank_sizes();
+        let (min, max) = (
+            *sizes.iter().min().unwrap(),
+            *sizes.iter().max().unwrap(),
+        );
+        assert!(
+            (max - min) as f64 / (100_000.0 / 8.0) < 0.1,
+            "imbalance: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn edges_partition_exactly_once() {
+        let g = uniform_random(1_000, 5_000, 3);
+        let p = VertexPartition::new(1_000, 4, PartitionKind::Hash);
+        let per_rank = p.partition_edges(&g);
+        let total: usize = per_rank.iter().map(|e| e.len()).sum();
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn block_cut_is_low_on_paths() {
+        // A path with block partitioning cuts only at block borders.
+        let g = path(1_000);
+        let p = VertexPartition::new(1_000, 4, PartitionKind::Block);
+        let cut = p.cut_fraction(&g);
+        assert!(cut < 0.01, "cut {cut}");
+        // Hash partitioning cuts almost everything.
+        let h = VertexPartition::new(1_000, 4, PartitionKind::Hash);
+        assert!(h.cut_fraction(&g) > 0.5);
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let p = VertexPartition::new(50, 1, PartitionKind::Hash);
+        assert!((0..50).all(|v| p.owner(v) == 0));
+        let g = path(50);
+        assert_eq!(p.cut_fraction(&g), 0.0);
+    }
+
+    #[test]
+    fn more_ranks_than_vertices() {
+        let p = VertexPartition::new(3, 8, PartitionKind::Block);
+        assert_eq!(p.rank_sizes().iter().sum::<usize>(), 3);
+        assert!((0..3).all(|v| p.owner(v) < 8));
+    }
+
+    #[test]
+    fn from_owners_validates() {
+        let p = VertexPartition::from_owners(vec![0, 1, 0], 2);
+        assert_eq!(p.owner(1), 1);
+        assert!(std::panic::catch_unwind(|| {
+            VertexPartition::from_owners(vec![0, 5], 2)
+        })
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn rejects_zero_ranks() {
+        let _ = VertexPartition::new(10, 0, PartitionKind::Block);
+    }
+
+    #[test]
+    fn bfs_grow_covers_everything() {
+        let g = uniform_random(2_000, 8_000, 5);
+        let p = VertexPartition::bfs_grow(&g, 6);
+        assert_eq!(p.rank_sizes().iter().sum::<usize>(), 2_000);
+        assert!((0..2_000u32).all(|v| p.owner(v) < 6));
+    }
+
+    #[test]
+    fn bfs_grow_beats_hash_on_spatial_graphs() {
+        use afforest_graph::generators::grid::full_grid;
+        let g = full_grid(48, 48);
+        let grown = VertexPartition::bfs_grow(&g, 8).cut_fraction(&g);
+        let hashed =
+            VertexPartition::new(g.num_vertices(), 8, PartitionKind::Hash).cut_fraction(&g);
+        assert!(
+            grown < hashed / 2.0,
+            "bfs-grow cut {grown} vs hash cut {hashed}"
+        );
+    }
+
+    #[test]
+    fn bfs_grow_handles_isolated_vertices() {
+        let g = afforest_graph::GraphBuilder::from_edges(10, &[(0, 1)]).build();
+        let p = VertexPartition::bfs_grow(&g, 3);
+        assert_eq!(p.rank_sizes().iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn bfs_grow_single_rank() {
+        let g = path(20);
+        let p = VertexPartition::bfs_grow(&g, 1);
+        assert!((0..20u32).all(|v| p.owner(v) == 0));
+    }
+}

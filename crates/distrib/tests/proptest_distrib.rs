@@ -1,0 +1,81 @@
+//! Property-based tests for partitioning and the distributed algorithms.
+
+use afforest_baselines::union_find::union_find_cc;
+use afforest_core::ComponentLabels;
+use afforest_distrib::{
+    distributed_cc_forest, distributed_cc_labels, PartitionKind, VertexPartition,
+};
+use afforest_graph::{GraphBuilder, Node};
+use proptest::prelude::*;
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(Node, Node)>)> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as Node, 0..n as Node);
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partition_covers_all_vertices_and_edges(
+        (n, edges) in arb_edges(150, 400),
+        ranks in 1usize..12,
+        hash in any::<bool>(),
+    ) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let kind = if hash { PartitionKind::Hash } else { PartitionKind::Block };
+        let part = VertexPartition::new(n, ranks, kind);
+        // Every vertex owned by a valid rank.
+        prop_assert_eq!(part.rank_sizes().iter().sum::<usize>(), n);
+        for v in 0..n as Node {
+            prop_assert!(part.owner(v) < ranks);
+        }
+        // Edges partition exactly.
+        let per_rank = part.partition_edges(&g);
+        prop_assert_eq!(per_rank.len(), ranks);
+        let total: usize = per_rank.iter().map(|e| e.len()).sum();
+        prop_assert_eq!(total, g.num_edges());
+        // Cut fraction within bounds.
+        let cut = part.cut_fraction(&g);
+        prop_assert!((0.0..=1.0).contains(&cut));
+        if ranks == 1 {
+            prop_assert_eq!(cut, 0.0);
+        }
+    }
+
+    #[test]
+    fn block_partition_is_monotone(n in 1usize..500, ranks in 1usize..16) {
+        // Owners are non-decreasing in vertex index for block partitions.
+        let part = VertexPartition::new(n, ranks, PartitionKind::Block);
+        let owners: Vec<usize> = (0..n as Node).map(|v| part.owner(v)).collect();
+        prop_assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        // Sizes differ by at most one.
+        let sizes = part.rank_sizes();
+        let nonzero: Vec<usize> = sizes.iter().copied().filter(|&s| s > 0).collect();
+        if let (Some(&min), Some(&max)) = (nonzero.iter().min(), nonzero.iter().max()) {
+            prop_assert!(max - min <= 1, "sizes {:?}", sizes);
+        }
+    }
+
+    #[test]
+    fn distributed_algorithms_match_oracle(
+        (n, edges) in arb_edges(120, 350),
+        ranks in 1usize..9,
+        hash in any::<bool>(),
+    ) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let kind = if hash { PartitionKind::Hash } else { PartitionKind::Block };
+        let part = VertexPartition::new(n, ranks, kind);
+        let oracle = ComponentLabels::from_vec(union_find_cc(&g));
+        let (fm, fm_stats) = distributed_cc_forest(&g, &part);
+        let (lx, _) = distributed_cc_labels(&g, &part);
+        prop_assert!(fm.equivalent(&oracle), "forest-merge wrong");
+        prop_assert!(lx.equivalent(&oracle), "label-exchange wrong");
+        // Forest-merge communication never exceeds (P−1)(|V|−1).
+        prop_assert!(
+            fm_stats.messages <= (ranks as u64).saturating_sub(1) * (n as u64 - 1)
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! GPU execution-model simulation.
+//!
+//! The paper's third platform is an NVIDIA Pascal GPU, and its Section
+//! VI-B explains the key trade-off there: Soman et al.'s SV uses **edge
+//! lists** — "although more data is loaded, this representation exhibits
+//! higher data-parallelism … trading memory access round-trips for
+//! homogeneous-work edge streaming" — while **CSR Afforest** "balances
+//! the load by processing the same neighbor index during each link
+//! round", and plain CSR-SV wins only where "vertex degrees are narrowly
+//! dispersed" (road networks).
+//!
+//! No GPU is available (or needed) to examine those *model-level* claims:
+//! they are statements about warp lockstep, SIMD efficiency, and memory
+//! coalescing, all of which this crate simulates exactly:
+//!
+//! - [`warp`]: the 32-lane warp model — per-warp execution time is the
+//!   *maximum* lane work (lockstep divergence), and a warp's simultaneous
+//!   memory accesses coalesce into 128-byte transactions.
+//! - [`kernels`]: cost models of the three competing kernels — edge-list
+//!   SV hook, CSR vertex-centric SV hook, and Afforest's neighbor-round
+//!   link — driven by the *actual* algorithm state so the measured work
+//!   distributions are real, not synthetic.
+
+pub mod kernels;
+pub mod warp;
+
+pub use kernels::{
+    simulate_afforest_rounds, simulate_csr_sv_hook, simulate_edgelist_sv_full,
+    simulate_edgelist_sv_hook, KernelStats,
+};
+pub use warp::{coalesced_transactions, WarpAccounting, LANES, SEGMENT_BYTES};

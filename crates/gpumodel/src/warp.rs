@@ -1,0 +1,167 @@
+//! The warp model: lockstep lanes, divergence, and coalescing.
+//!
+//! A warp is 32 lanes executing in lockstep: its wall-clock cost is the
+//! **maximum** work across active lanes (divergent lanes wait), and the
+//! loads its lanes issue in one step coalesce — distinct 128-byte
+//! segments touched = memory transactions issued.
+
+/// Lanes per warp (NVIDIA's fixed warp width).
+pub const LANES: usize = 32;
+
+/// Coalescing granularity in bytes (global-memory transaction segment).
+pub const SEGMENT_BYTES: u64 = 128;
+
+/// Number of memory transactions for one warp-step of loads: distinct
+/// 128-byte segments across the lanes' byte addresses.
+///
+/// ```
+/// use afforest_gpu_model::coalesced_transactions;
+///
+/// // 32 consecutive u32 loads fit one 128-byte transaction…
+/// let seq: Vec<u64> = (0..32).map(|i| 4 * i).collect();
+/// assert_eq!(coalesced_transactions(&seq), 1);
+/// // …while a scattered pattern needs one each.
+/// let scattered: Vec<u64> = (0..32).map(|i| 1_000 * i).collect();
+/// assert_eq!(coalesced_transactions(&scattered), 32);
+/// ```
+pub fn coalesced_transactions(addresses: &[u64]) -> u64 {
+    let mut segments: Vec<u64> = addresses.iter().map(|&a| a / SEGMENT_BYTES).collect();
+    segments.sort_unstable();
+    segments.dedup();
+    segments.len() as u64
+}
+
+/// Aggregate execution accounting for a kernel launch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarpAccounting {
+    /// Warps launched.
+    pub warps: u64,
+    /// Sum over warps of the maximum lane work — lockstep cycles.
+    pub lockstep_work: u64,
+    /// Sum of per-lane work — the useful work actually needed.
+    pub useful_work: u64,
+    /// Global-memory transactions issued.
+    pub transactions: u64,
+    /// Bytes requested by lanes (before coalescing).
+    pub bytes_requested: u64,
+}
+
+impl WarpAccounting {
+    /// SIMD efficiency: useful work ÷ (lockstep work × lanes). 1.0 means
+    /// perfectly uniform lanes; heavy divergence drives it toward 0.
+    pub fn simd_efficiency(&self) -> f64 {
+        if self.lockstep_work == 0 {
+            1.0
+        } else {
+            self.useful_work as f64 / (self.lockstep_work * LANES as u64) as f64
+        }
+    }
+
+    /// Bytes actually moved by the issued transactions.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.transactions * SEGMENT_BYTES
+    }
+
+    /// Merges another accounting into this one.
+    pub fn merge(&mut self, other: &WarpAccounting) {
+        self.warps += other.warps;
+        self.lockstep_work += other.lockstep_work;
+        self.useful_work += other.useful_work;
+        self.transactions += other.transactions;
+        self.bytes_requested += other.bytes_requested;
+    }
+
+    /// Accounts one warp whose lanes performed `lane_work` units each
+    /// (inactive lanes contribute 0).
+    pub fn record_warp(&mut self, lane_work: &[u64]) {
+        debug_assert!(lane_work.len() <= LANES);
+        self.warps += 1;
+        self.lockstep_work += lane_work.iter().copied().max().unwrap_or(0);
+        self.useful_work += lane_work.iter().sum::<u64>();
+    }
+
+    /// Accounts one warp-step of 4-byte loads at the given element
+    /// indices of an array starting at byte offset `base`.
+    pub fn record_loads(&mut self, base: u64, element_indices: &[u64]) {
+        let addresses: Vec<u64> = element_indices.iter().map(|&i| base + 4 * i).collect();
+        self.transactions += coalesced_transactions(&addresses);
+        self.bytes_requested += 4 * addresses.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_loads_coalesce_to_one_transaction() {
+        // 32 consecutive u32s span exactly 128 bytes.
+        let addrs: Vec<u64> = (0..32u64).map(|i| 4 * i).collect();
+        assert_eq!(coalesced_transactions(&addrs), 1);
+    }
+
+    #[test]
+    fn scattered_loads_do_not_coalesce() {
+        let addrs: Vec<u64> = (0..32u64).map(|i| i * 1000).collect();
+        assert_eq!(coalesced_transactions(&addrs), 32);
+    }
+
+    #[test]
+    fn duplicate_addresses_share_a_transaction() {
+        assert_eq!(coalesced_transactions(&[0, 0, 4, 8]), 1);
+        assert_eq!(coalesced_transactions(&[]), 0);
+    }
+
+    #[test]
+    fn straddling_segments() {
+        // 120 and 132 are in different 128-byte segments.
+        assert_eq!(coalesced_transactions(&[120, 132]), 2);
+    }
+
+    #[test]
+    fn efficiency_uniform_work_is_one() {
+        let mut acc = WarpAccounting::default();
+        acc.record_warp(&[3; 32]);
+        assert!((acc.simd_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_divergent_work_collapses() {
+        // One lane does 32 units, the rest do 1: lockstep cost 32,
+        // useful 63 → efficiency 63/1024.
+        let mut work = [1u64; 32];
+        work[0] = 32;
+        let mut acc = WarpAccounting::default();
+        acc.record_warp(&work);
+        assert!((acc.simd_efficiency() - 63.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_warp_is_free() {
+        let mut acc = WarpAccounting::default();
+        acc.record_warp(&[]);
+        assert_eq!(acc.lockstep_work, 0);
+        assert_eq!(acc.simd_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn record_loads_counts_bytes_and_transactions() {
+        let mut acc = WarpAccounting::default();
+        acc.record_loads(0, &(0..32u64).collect::<Vec<_>>());
+        assert_eq!(acc.transactions, 1);
+        assert_eq!(acc.bytes_requested, 128);
+        assert_eq!(acc.bytes_transferred(), 128);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = WarpAccounting::default();
+        a.record_warp(&[2; 32]);
+        let mut b = WarpAccounting::default();
+        b.record_warp(&[4; 32]);
+        a.merge(&b);
+        assert_eq!(a.warps, 2);
+        assert_eq!(a.lockstep_work, 6);
+        assert_eq!(a.useful_work, 2 * 32 + 4 * 32);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the warp model.
+
+use afforest_gpu_model::{
+    coalesced_transactions, simulate_afforest_rounds, simulate_csr_sv_hook,
+    simulate_edgelist_sv_hook, LANES, SEGMENT_BYTES,
+};
+use afforest_graph::{GraphBuilder, Node};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transaction_count_bounds(addrs in proptest::collection::vec(0u64..1_000_000, 0..32)) {
+        let t = coalesced_transactions(&addrs);
+        // Never more transactions than addresses; never fewer than the
+        // span demands.
+        prop_assert!(t <= addrs.len() as u64);
+        if !addrs.is_empty() {
+            let min = addrs.iter().min().unwrap() / SEGMENT_BYTES;
+            let max = addrs.iter().max().unwrap() / SEGMENT_BYTES;
+            prop_assert!(t >= 1);
+            prop_assert!(t <= max - min + 1);
+        } else {
+            prop_assert_eq!(t, 0);
+        }
+    }
+
+    #[test]
+    fn transactions_are_permutation_invariant(
+        mut addrs in proptest::collection::vec(0u64..100_000, 1..32),
+    ) {
+        let a = coalesced_transactions(&addrs);
+        addrs.reverse();
+        prop_assert_eq!(a, coalesced_transactions(&addrs));
+    }
+
+    #[test]
+    fn kernel_invariants_hold_on_random_graphs(
+        n in 33usize..300,
+        edges in proptest::collection::vec((0u32..300, 0u32..300), 1..600),
+    ) {
+        let edges: Vec<(Node, Node)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as Node, v % n as Node))
+            .collect();
+        let g = GraphBuilder::from_edges(n, &edges).build();
+
+        for stats in [
+            simulate_edgelist_sv_hook(&g),
+            simulate_csr_sv_hook(&g),
+            simulate_afforest_rounds(&g, 2),
+        ] {
+            // Efficiency is a ratio in (0, 1].
+            let eff = stats.simd_efficiency();
+            prop_assert!(eff > 0.0 && eff <= 1.0 + 1e-12, "{}: eff {eff}", stats.name);
+            // Lockstep work can never be less than useful work / LANES.
+            prop_assert!(
+                stats.acc.lockstep_work * LANES as u64 >= stats.acc.useful_work,
+                "{}", stats.name
+            );
+            // Transferred bytes ≥ requested bytes / duplicates ≥ 0; and
+            // transactions imply transfer.
+            prop_assert_eq!(
+                stats.acc.bytes_transferred(),
+                stats.acc.transactions * SEGMENT_BYTES
+            );
+        }
+    }
+
+    #[test]
+    fn edgelist_efficiency_always_near_one(
+        n in 33usize..300,
+        edges in proptest::collection::vec((0u32..300, 0u32..300), 32..600),
+    ) {
+        let edges: Vec<(Node, Node)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as Node, v % n as Node))
+            .collect();
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let stats = simulate_edgelist_sv_hook(&g);
+        // Streaming lockstep: every warp costs exactly one step, so the
+        // only efficiency loss is the final partial warp.
+        prop_assert_eq!(stats.acc.lockstep_work, stats.acc.warps);
+        let m = g.num_edges() as u64;
+        if m > 0 {
+            let expected = m as f64 / (m.div_ceil(LANES as u64) * LANES as u64) as f64;
+            prop_assert!((stats.simd_efficiency() - expected).abs() < 1e-12);
+        }
+    }
+}

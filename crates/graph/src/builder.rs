@@ -1,0 +1,283 @@
+//! Parallel CSR construction.
+//!
+//! The builder mirrors GAPBS's `BuilderBase`: accumulate edges, symmetrize
+//! (insert the reverse of every arc), count degrees, prefix-sum into
+//! offsets, scatter targets, then sort each adjacency list and optionally
+//! deduplicate. Everything after accumulation is parallel.
+
+use crate::{CsrGraph, Edge, EdgeList, Node};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configurable builder from edges to [`CsrGraph`].
+///
+/// ```
+/// use afforest_graph::GraphBuilder;
+/// let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (1, 2)]).build();
+/// assert_eq!(g.num_edges(), 2); // duplicates removed by default
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+    dedup: bool,
+    drop_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Starts an empty builder over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+            dedup: true,
+            drop_self_loops: true,
+        }
+    }
+
+    /// Builder seeded from a slice of undirected edges.
+    pub fn from_edges(num_vertices: usize, edges: &[Edge]) -> Self {
+        let mut b = Self::new(num_vertices);
+        b.edges.extend_from_slice(edges);
+        b
+    }
+
+    /// Builder consuming an [`EdgeList`].
+    pub fn from_edge_list(el: EdgeList) -> Self {
+        let num_vertices = el.num_vertices();
+        let mut b = Self::new(num_vertices);
+        b.edges = el.into_edges();
+        b
+    }
+
+    /// Adds one undirected edge.
+    pub fn add_edge(&mut self, u: Node, v: Node) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Whether to remove parallel (duplicate) edges. Default `true`.
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Whether to remove self-loops. Default `true`.
+    ///
+    /// Self-loops never affect connectivity; dropping them matches the GAP
+    /// benchmark preprocessing.
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Builds the symmetrized CSR graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge endpoint is `>= num_vertices`.
+    pub fn build(self) -> CsrGraph {
+        let n = self.num_vertices;
+        assert!(
+            self.edges
+                .par_iter()
+                .all(|&(u, v)| (u as usize) < n && (v as usize) < n),
+            "edge endpoint out of range for {} vertices",
+            n
+        );
+
+        // Filter self-loops up front (cheap, avoids two scatter slots each).
+        let edges: Vec<Edge> = if self.drop_self_loops {
+            self.edges
+                .into_par_iter()
+                .filter(|&(u, v)| u != v)
+                .collect()
+        } else {
+            self.edges
+        };
+
+        // Degree counting over both arc directions, atomically.
+        let degrees: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        edges.par_iter().for_each(|&(u, v)| {
+            degrees[u as usize].fetch_add(1, Ordering::Relaxed);
+            if u != v {
+                degrees[v as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+
+        // Exclusive prefix sum into offsets.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d.load(Ordering::Relaxed);
+            offsets.push(acc);
+        }
+
+        // Scatter arcs. `cursor[v]` is the next free slot in v's adjacency.
+        let cursor: Vec<AtomicUsize> = offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
+        let total = acc;
+        let mut targets = vec![0 as Node; total];
+        {
+            // SAFETY-free parallel scatter: each slot index is claimed
+            // exclusively via fetch_add, so we hand out disjoint &mut access
+            // through a raw pointer wrapper.
+            struct SharedSlice(*mut Node);
+            unsafe impl Sync for SharedSlice {}
+            let shared = SharedSlice(targets.as_mut_ptr());
+            let shared_ref = &shared;
+            edges.par_iter().for_each(move |&(u, v)| {
+                let iu = cursor[u as usize].fetch_add(1, Ordering::Relaxed);
+                // Each iu is unique, so this write is race-free.
+                unsafe { *shared_ref.0.add(iu) = v };
+                if u != v {
+                    let iv = cursor[v as usize].fetch_add(1, Ordering::Relaxed);
+                    unsafe { *shared_ref.0.add(iv) = u };
+                }
+            });
+        }
+
+        // Sort each adjacency list; optionally dedup (which requires
+        // rebuilding offsets).
+        if self.dedup {
+            let mut lists: Vec<Vec<Node>> = offsets
+                .par_windows(2)
+                .map(|w| {
+                    let mut list = targets[w[0]..w[1]].to_vec();
+                    list.sort_unstable();
+                    list.dedup();
+                    list
+                })
+                .collect();
+            let mut new_offsets = Vec::with_capacity(n + 1);
+            let mut acc = 0usize;
+            new_offsets.push(0);
+            for l in &lists {
+                acc += l.len();
+                new_offsets.push(acc);
+            }
+            let mut new_targets = Vec::with_capacity(acc);
+            for l in &mut lists {
+                new_targets.append(l);
+            }
+            CsrGraph::from_parts(new_offsets, new_targets)
+        } else {
+            sort_ranges(&mut targets, &offsets);
+            CsrGraph::from_parts(offsets, targets)
+        }
+    }
+}
+
+/// Sorts each `targets[offsets[v]..offsets[v+1]]` range in parallel.
+fn sort_ranges(targets: &mut [Node], offsets: &[usize]) {
+    // Split the slice into per-vertex chunks without aliasing by walking the
+    // offsets and using split_at_mut iteratively, then sort chunks in
+    // parallel via rayon scope over the collected &mut slices.
+    let mut rest = targets;
+    let mut prev = 0usize;
+    let mut chunks: Vec<&mut [Node]> = Vec::with_capacity(offsets.len() - 1);
+    for &off in &offsets[1..] {
+        let (chunk, tail) = rest.split_at_mut(off - prev);
+        chunks.push(chunk);
+        rest = tail;
+        prev = off;
+    }
+    chunks.par_iter_mut().for_each(|c| c.sort_unstable());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetrizes() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1)]).build();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn dedups_parallel_edges() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1), (0, 1), (1, 0)]).build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn keeps_parallel_edges_when_asked() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1), (0, 1)])
+            .dedup(false)
+            .build();
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn drops_self_loops_by_default() {
+        let g = GraphBuilder::from_edges(2, &[(0, 0), (0, 1)]).build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn keeps_self_loops_when_asked() {
+        let g = GraphBuilder::from_edges(2, &[(0, 0), (0, 1)])
+            .drop_self_loops(false)
+            .dedup(false)
+            .build();
+        // Self-loop contributes one arc slot.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[0, 1]);
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let g = GraphBuilder::from_edges(5, &[(0, 4), (0, 2), (0, 3), (0, 1)]).build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_edge_list_roundtrip() {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1);
+        el.push(2, 3);
+        let g = GraphBuilder::from_edge_list(el).build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn add_edge_chains() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = GraphBuilder::from_edges(2, &[(0, 5)]).build();
+    }
+
+    #[test]
+    fn large_random_build_is_consistent() {
+        // Deterministic pseudo-random edges; verify arc count and symmetry.
+        let n = 1000u32;
+        let mut edges = Vec::new();
+        let mut x = 12345u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((x >> 33) % n as u64) as Node;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((x >> 33) % n as u64) as Node;
+            edges.push((u, v));
+        }
+        let g = GraphBuilder::from_edges(n as usize, &edges).build();
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                assert!(g.has_edge(v, u), "asymmetric edge ({u},{v})");
+            }
+            assert!(g.neighbors(u).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Degree-distribution analysis.
+//!
+//! The paper's datasets are chosen by degree structure (Table III lists
+//! average and maximum degree; Section IV-B's uniform-sampling argument
+//! hinges on regularity; Fig. 6c sweeps average degree). This module
+//! provides the distribution tooling the harness and tests use to verify
+//! that the synthetic stand-ins land in the intended structural class.
+
+use crate::CsrGraph;
+use rayon::prelude::*;
+
+/// Summary of a graph's degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeDistribution {
+    /// `histogram[d]` = number of vertices with degree `d`.
+    pub histogram: Vec<usize>,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// Coefficient of variation (stddev / mean); ≈0 for regular graphs,
+    /// large for power-law graphs.
+    pub cv: f64,
+}
+
+impl DegreeDistribution {
+    /// Computes the distribution of `g`.
+    ///
+    /// ```
+    /// use afforest_graph::DegreeDistribution;
+    /// use afforest_graph::generators::classic::star;
+    ///
+    /// let d = DegreeDistribution::compute(&star(9, 0));
+    /// assert_eq!(d.max, 8);
+    /// assert_eq!(d.count(1), 8); // leaves
+    /// ```
+    pub fn compute(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Self {
+                histogram: Vec::new(),
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+                cv: 0.0,
+            };
+        }
+        let degrees: Vec<usize> = g.par_vertices().map(|v| g.degree(v)).collect();
+        let max = degrees.par_iter().copied().max().unwrap_or(0);
+        let min = degrees.par_iter().copied().min().unwrap_or(0);
+        let mut histogram = vec![0usize; max + 1];
+        for &d in &degrees {
+            histogram[d] += 1;
+        }
+        let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+        let var = degrees
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        // Median from the histogram.
+        let mut seen = 0usize;
+        let mut median = 0usize;
+        for (d, &count) in histogram.iter().enumerate() {
+            seen += count;
+            if seen > n / 2 {
+                median = d;
+                break;
+            }
+        }
+        Self {
+            histogram,
+            min,
+            max,
+            mean,
+            median,
+            cv,
+        }
+    }
+
+    /// Number of vertices with degree exactly `d`.
+    pub fn count(&self, d: usize) -> usize {
+        self.histogram.get(d).copied().unwrap_or(0)
+    }
+
+    /// Number of isolated (degree-0) vertices.
+    pub fn isolated(&self) -> usize {
+        self.count(0)
+    }
+
+    /// Fraction of vertices with degree ≥ `d`.
+    pub fn tail_fraction(&self, d: usize) -> f64 {
+        let n: usize = self.histogram.iter().sum();
+        if n == 0 {
+            return 0.0;
+        }
+        let tail: usize = self.histogram.iter().skip(d).sum();
+        tail as f64 / n as f64
+    }
+
+    /// Crude power-law check: log-log linear regression slope over the
+    /// non-empty histogram buckets with degree ≥ 1. Returns `None` when
+    /// fewer than three buckets are populated.
+    pub fn log_log_slope(&self) -> Option<f64> {
+        let points: Vec<(f64, f64)> = self
+            .histogram
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(d, &c)| ((d as f64).ln(), (c as f64).ln()))
+            .collect();
+        if points.len() < 3 {
+            return None;
+        }
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        Some((n * sxy - sx * sy) / denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::{complete, cycle, star};
+    use crate::generators::{barabasi_albert, rmat_scale, uniform_random};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn cycle_is_regular() {
+        let d = DegreeDistribution::compute(&cycle(50));
+        assert_eq!(d.min, 2);
+        assert_eq!(d.max, 2);
+        assert_eq!(d.median, 2);
+        assert!((d.mean - 2.0).abs() < 1e-12);
+        assert!(d.cv < 1e-12);
+        assert_eq!(d.count(2), 50);
+    }
+
+    #[test]
+    fn star_is_bimodal() {
+        let d = DegreeDistribution::compute(&star(10, 0));
+        assert_eq!(d.count(1), 9);
+        assert_eq!(d.count(9), 1);
+        assert_eq!(d.max, 9);
+        assert!(d.cv > 1.0);
+    }
+
+    #[test]
+    fn complete_histogram() {
+        let d = DegreeDistribution::compute(&complete(8));
+        assert_eq!(d.count(7), 8);
+        assert_eq!(d.histogram.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn isolated_counting() {
+        let g = GraphBuilder::from_edges(10, &[(0, 1)]).build();
+        let d = DegreeDistribution::compute(&g);
+        assert_eq!(d.isolated(), 8);
+        assert_eq!(d.min, 0);
+    }
+
+    #[test]
+    fn tail_fraction_monotone() {
+        let d = DegreeDistribution::compute(&uniform_random(2_000, 16_000, 3));
+        assert!((d.tail_fraction(0) - 1.0).abs() < 1e-12);
+        assert!(d.tail_fraction(8) >= d.tail_fraction(16));
+        assert_eq!(d.tail_fraction(d.max + 1), 0.0);
+    }
+
+    #[test]
+    fn urand_concentrates_rmat_spreads() {
+        let urand = DegreeDistribution::compute(&uniform_random(1 << 13, 16 << 13, 1));
+        let kron = DegreeDistribution::compute(&rmat_scale(13, 16, 1));
+        assert!(urand.cv < 0.5, "urand cv {}", urand.cv);
+        assert!(kron.cv > 1.5, "kron cv {}", kron.cv);
+    }
+
+    #[test]
+    fn power_law_slope_is_negative_for_ba() {
+        let d = DegreeDistribution::compute(&barabasi_albert(10_000, 3, 7));
+        let slope = d.log_log_slope().expect("enough buckets");
+        assert!(
+            slope < -1.0,
+            "expected steep negative log-log slope, got {slope}"
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = DegreeDistribution::compute(&GraphBuilder::from_edges(0, &[]).build());
+        assert_eq!(d.max, 0);
+        assert!(d.histogram.is_empty());
+        assert!(d.log_log_slope().is_none());
+        assert_eq!(d.tail_fraction(1), 0.0);
+    }
+}

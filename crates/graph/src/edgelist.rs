@@ -1,0 +1,186 @@
+//! Mutable edge-list representation.
+//!
+//! Generators and I/O produce an [`EdgeList`]; [`crate::GraphBuilder`]
+//! converts it to CSR. The edge-list form is also consumed directly by the
+//! Soman-style edge-list Shiloach–Vishkin baseline (the paper's GPU
+//! comparator), which streams edges rather than walking adjacencies.
+
+use crate::{Edge, Node};
+use rayon::prelude::*;
+
+/// A growable multiset of undirected edges over vertices `0..num_vertices`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates an edge list with reserved capacity.
+    pub fn with_capacity(num_vertices: usize, capacity: usize) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Wraps an existing vector of edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn from_vec(num_vertices: usize, edges: Vec<Edge>) -> Self {
+        assert!(
+            edges
+                .iter()
+                .all(|&(u, v)| (u as usize) < num_vertices && (v as usize) < num_vertices),
+            "edge endpoint out of range"
+        );
+        Self {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Appends the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    #[inline]
+    pub fn push(&mut self, u: Node, v: Node) {
+        debug_assert!(
+            (u as usize) < self.num_vertices && (v as usize) < self.num_vertices,
+            "edge endpoint out of range"
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of stored edges (duplicates and self-loops included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Borrow the raw edges.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Consume into the raw edge vector.
+    pub fn into_edges(self) -> Vec<Edge> {
+        self.edges
+    }
+
+    /// Grows the vertex universe (never shrinks).
+    pub fn ensure_vertices(&mut self, num_vertices: usize) {
+        self.num_vertices = self.num_vertices.max(num_vertices);
+    }
+
+    /// Extends with edges from an iterator.
+    pub fn extend<I: IntoIterator<Item = Edge>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.push(u, v);
+        }
+    }
+
+    /// Canonicalizes every edge to `(min, max)`, drops self-loops, sorts,
+    /// and removes duplicates — producing the unique undirected edge set.
+    pub fn dedup(&mut self) {
+        self.edges.par_iter_mut().for_each(|e| {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        });
+        self.edges.retain(|&(u, v)| u != v);
+        self.edges.par_sort_unstable();
+        self.edges.dedup();
+    }
+}
+
+impl FromIterator<Edge> for EdgeList {
+    /// Builds an edge list sized to the maximum endpoint seen.
+    fn from_iter<T: IntoIterator<Item = Edge>>(iter: T) -> Self {
+        let edges: Vec<Edge> = iter.into_iter().collect();
+        let num_vertices = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        Self {
+            num_vertices,
+            edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1);
+        el.push(2, 3);
+        assert_eq!(el.len(), 2);
+        assert_eq!(el.num_vertices(), 4);
+    }
+
+    #[test]
+    fn dedup_canonicalizes_and_drops_loops() {
+        let mut el = EdgeList::from_vec(4, vec![(1, 0), (0, 1), (2, 2), (3, 2), (2, 3)]);
+        el.dedup();
+        assert_eq!(el.edges(), &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_universe() {
+        let el: EdgeList = vec![(0, 5), (2, 1)].into_iter().collect();
+        assert_eq!(el.num_vertices(), 6);
+        assert_eq!(el.len(), 2);
+    }
+
+    #[test]
+    fn from_iterator_empty() {
+        let el: EdgeList = std::iter::empty().collect();
+        assert_eq!(el.num_vertices(), 0);
+        assert!(el.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_vec_validates() {
+        let _ = EdgeList::from_vec(2, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn ensure_vertices_grows_only() {
+        let mut el = EdgeList::new(4);
+        el.ensure_vertices(2);
+        assert_eq!(el.num_vertices(), 4);
+        el.ensure_vertices(10);
+        assert_eq!(el.num_vertices(), 10);
+    }
+}

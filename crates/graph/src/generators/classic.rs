@@ -1,0 +1,113 @@
+//! Deterministic classic graphs.
+//!
+//! Small structured graphs used throughout the test suite and as adversarial
+//! inputs for the worst-case analyses of Section V-A (long paths stress
+//! `compress`; high-index-hub stars stress `link`).
+
+use crate::{CsrGraph, GraphBuilder, Node};
+
+/// Path graph `0 — 1 — … — (n-1)`. Diameter `n - 1`.
+pub fn path(n: usize) -> CsrGraph {
+    let edges: Vec<_> = (1..n as Node).map(|v| (v - 1, v)).collect();
+    GraphBuilder::from_edges(n, &edges).build()
+}
+
+/// Cycle graph on `n ≥ 3` vertices.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut edges: Vec<_> = (1..n as Node).map(|v| (v - 1, v)).collect();
+    edges.push((n as Node - 1, 0));
+    GraphBuilder::from_edges(n, &edges).build()
+}
+
+/// Star with the hub at the given index and `n - 1` leaves.
+///
+/// With `hub = n - 1` this is the `link` worst case sketched in Section V-A:
+/// every leaf competes to hook the highest-index root.
+///
+/// # Panics
+///
+/// Panics if `hub >= n`.
+pub fn star(n: usize, hub: Node) -> CsrGraph {
+    assert!((hub as usize) < n, "hub out of range");
+    let edges: Vec<_> = (0..n as Node).filter(|&v| v != hub).map(|v| (hub, v)).collect();
+    GraphBuilder::from_edges(n, &edges).build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as Node {
+        for v in (u + 1)..n as Node {
+            edges.push((u, v));
+        }
+    }
+    GraphBuilder::from_edges(n, &edges).build()
+}
+
+/// Complete binary tree: vertex `v > 0` is connected to parent `(v - 1) / 2`.
+pub fn binary_tree(n: usize) -> CsrGraph {
+    let edges: Vec<_> = (1..n as Node).map(|v| ((v - 1) / 2, v)).collect();
+    GraphBuilder::from_edges(n, &edges).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn path_trivial() {
+        assert_eq!(path(0).num_edges(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(path(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn cycle_too_small() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10, 9);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.degree(9), 9);
+        assert!((0..9).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3); // parent 0, children 3 and 4
+        assert_eq!(g.degree(6), 1);
+    }
+}

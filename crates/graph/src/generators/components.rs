@@ -1,0 +1,167 @@
+//! Component-fraction random graphs (Fig. 8c).
+//!
+//! Section VI-C generates uniformly random graphs "with an additional
+//! parameter — average component fraction f ∈ (0, 1] — such that the
+//! resulting graph has (in expectation) ⌊1/f⌋ components of size
+//! ⌊|V| · f⌋ and a component with the remaining vertices."
+//!
+//! We realize this by splitting the vertex set into ⌊1/f⌋ blocks of size
+//! ⌊|V| · f⌋ (plus a remainder block), generating an independent uniform
+//! random graph inside each block with the requested edge factor, then
+//! augmenting each block with an internal Hamiltonian-path backbone over a
+//! random block permutation so every block forms exactly one component.
+//! Vertex ids are finally scrambled by a global permutation so the
+//! component structure is not index-contiguous (which would interact
+//! artificially with Afforest's index-ordered hooking).
+
+use super::stream_rng;
+use crate::perm::random_permutation;
+use crate::{CsrGraph, Edge, GraphBuilder};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Generates a `urand`-style graph whose component-size distribution is
+/// controlled by `f`.
+///
+/// - `n`: total vertices.
+/// - `edge_factor`: edges per vertex drawn inside each block.
+/// - `f`: average component fraction in `(0, 1]`; `f = 1` yields one
+///   connected component spanning everything.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `f` is outside `(0, 1]` or `n == 0`.
+pub fn urand_with_components(n: usize, edge_factor: usize, f: f64, seed: u64) -> CsrGraph {
+    assert!(f > 0.0 && f <= 1.0, "component fraction must be in (0,1]");
+    assert!(n > 0, "need at least one vertex");
+
+    let block_size = ((n as f64 * f).floor() as usize).max(1);
+    let num_full_blocks = (n / block_size).max(1);
+    let perm = random_permutation(n, seed ^ 0xC0FFEE);
+
+    let edges: Vec<Edge> = (0..num_full_blocks)
+        .into_par_iter()
+        .flat_map_iter(|b| {
+            let lo = b * block_size;
+            let hi = if b + 1 == num_full_blocks {
+                n // remainder joins the last block
+            } else {
+                lo + block_size
+            };
+            let size = hi - lo;
+            let mut rng = stream_rng(seed, b as u64 + 1);
+            let mut block_edges = Vec::with_capacity(size * (edge_factor + 1));
+            // Backbone: random spanning path guarantees the block is one
+            // component regardless of the random draws below.
+            let mut order: Vec<usize> = (lo..hi).collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.random_range(0..=i));
+            }
+            for w in order.windows(2) {
+                block_edges.push((perm[w[0]], perm[w[1]]));
+            }
+            // Uniform random intra-block edges.
+            for _ in 0..size * edge_factor {
+                let u = lo + rng.random_range(0..size);
+                let v = lo + rng.random_range(0..size);
+                block_edges.push((perm[u], perm[v]));
+            }
+            block_edges
+        })
+        .collect();
+
+    GraphBuilder::from_edges(n, &edges).build()
+}
+
+/// Expected number of components for a given `n` and `f` (for tests and the
+/// Fig. 8c harness's sanity output): full blocks, with the remainder merged
+/// into the last.
+pub fn expected_components(n: usize, f: f64) -> usize {
+    let block_size = ((n as f64 * f).floor() as usize).max(1);
+    (n / block_size).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serial union-find for test verification (the real oracle lives in
+    /// afforest-baselines; a tiny local copy avoids a dev-dependency cycle).
+    fn count_components(g: &CsrGraph) -> usize {
+        let mut parent: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        fn find(p: &mut [u32], mut x: u32) -> u32 {
+            while p[x as usize] != x {
+                p[x as usize] = p[p[x as usize] as usize];
+                x = p[x as usize];
+            }
+            x
+        }
+        for (u, v) in g.edges() {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru.max(rv) as usize] = ru.min(rv);
+            }
+        }
+        (0..g.num_vertices() as u32)
+            .filter(|&v| find(&mut parent, v) == v)
+            .count()
+    }
+
+    #[test]
+    fn f_one_is_connected() {
+        let g = urand_with_components(2000, 4, 1.0, 5);
+        assert_eq!(count_components(&g), 1);
+    }
+
+    #[test]
+    fn component_count_matches_expectation() {
+        let n = 10_000;
+        for &f in &[0.5, 0.1, 0.01] {
+            let g = urand_with_components(n, 4, f, 9);
+            assert_eq!(
+                count_components(&g),
+                expected_components(n, f),
+                "f = {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = urand_with_components(3000, 4, 0.1, 17);
+        let b = urand_with_components(3000, 4, 0.1, 17);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_f_many_components() {
+        let g = urand_with_components(5000, 2, 0.001, 3);
+        // block_size = 5 → 1000 components.
+        assert_eq!(count_components(&g), 1000);
+    }
+
+    #[test]
+    fn expected_components_formula() {
+        assert_eq!(expected_components(1000, 1.0), 1);
+        assert_eq!(expected_components(1000, 0.25), 4);
+        assert_eq!(expected_components(1000, 0.0001), 1000); // block size 1... floor(0.1)=0→max(1)
+    }
+
+    #[test]
+    #[should_panic(expected = "component fraction")]
+    fn rejects_bad_f() {
+        let _ = urand_with_components(10, 2, 0.0, 0);
+    }
+
+    #[test]
+    fn ids_are_scrambled() {
+        // With a global permutation the first block should not simply be
+        // vertices 0..block_size; check that at least one edge crosses the
+        // midpoint of the id space even with small f.
+        let g = urand_with_components(1000, 4, 0.01, 23);
+        let crosses = g.edges().any(|(u, v)| (u < 500) != (v < 500));
+        assert!(crosses, "expected permuted component placement");
+    }
+}

@@ -1,0 +1,164 @@
+//! Random geometric graphs (unit-disk model).
+//!
+//! `n` points placed uniformly in the unit square; two points are
+//! adjacent iff their Euclidean distance is below `radius`. Produces the
+//! planar-ish, high-diameter, locally-clustered structure of physical
+//! infrastructure networks (an alternative road/sensor-network stand-in
+//! with organic rather than lattice geometry).
+//!
+//! Neighbor search uses a uniform grid of cell size `radius`, so
+//! generation is `O(n + edges)` in expectation rather than `O(n²)`.
+
+use super::stream_rng;
+use crate::{CsrGraph, Edge, GraphBuilder, Node};
+use rand::Rng;
+
+/// Generates a random geometric graph.
+///
+/// Deterministic in `seed`. The expected average degree is
+/// `n · π · radius²` (away from the boundary).
+///
+/// # Panics
+///
+/// Panics if `radius` is not in `(0, 1]`.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> CsrGraph {
+    assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0,1]");
+    let mut rng = stream_rng(seed, 0);
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+
+    // Bucket points into a grid with cell edge = radius.
+    let cells_per_side = (1.0 / radius).floor().max(1.0) as usize;
+    let cell_of = |x: f64, y: f64| -> (usize, usize) {
+        let cx = ((x * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        let cy = ((y * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        (cx, cy)
+    };
+    let mut grid: Vec<Vec<Node>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(x, y);
+        grid[cy * cells_per_side + cx].push(i as Node);
+    }
+
+    let r2 = radius * radius;
+    let mut edges: Vec<Edge> = Vec::new();
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(x, y);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64 {
+                    continue;
+                }
+                for &j in &grid[ny as usize * cells_per_side + nx as usize] {
+                    if (j as usize) <= i {
+                        continue; // emit each pair once
+                    }
+                    let (px, py) = points[j as usize];
+                    let (ddx, ddy) = (px - x, py - y);
+                    if ddx * ddx + ddy * ddy <= r2 {
+                        edges.push((i as Node, j));
+                    }
+                }
+            }
+        }
+    }
+    GraphBuilder::from_edges(n, &edges).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            random_geometric(1_000, 0.05, 3),
+            random_geometric(1_000, 0.05, 3)
+        );
+        assert_ne!(
+            random_geometric(1_000, 0.05, 3),
+            random_geometric(1_000, 0.05, 4)
+        );
+    }
+
+    #[test]
+    fn degree_matches_expectation() {
+        let n = 20_000;
+        let r = 0.02;
+        let g = random_geometric(n, r, 1);
+        let expected = n as f64 * std::f64::consts::PI * r * r;
+        let actual = g.avg_degree();
+        // Boundary effects lower the average slightly.
+        assert!(
+            actual > 0.7 * expected && actual < 1.05 * expected,
+            "avg degree {actual}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn grid_matches_brute_force() {
+        // Exhaustive check on a small instance: bucketing must not lose
+        // or invent edges.
+        let n = 300;
+        let r = 0.13;
+        let g = random_geometric(n, r, 7);
+        // Recompute points with the same RNG stream.
+        let mut rng = crate::generators::stream_rng(7, 0);
+        use rand::Rng;
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+            .collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (dx, dy) = (points[i].0 - points[j].0, points[i].1 - points[j].1);
+                let within = dx * dx + dy * dy <= r * r;
+                assert_eq!(
+                    g.has_edge(i as Node, j as Node),
+                    within,
+                    "pair ({i},{j}) mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn supercritical_radius_connects() {
+        // r well above the connectivity threshold ~sqrt(ln n / (π n)).
+        let n = 5_000;
+        let r = 0.06;
+        let s = GraphStats::compute(&random_geometric(n, r, 2));
+        assert!(s.largest_component_fraction() > 0.95);
+    }
+
+    #[test]
+    fn subcritical_radius_shatters() {
+        let n = 5_000;
+        let r = 0.004;
+        let s = GraphStats::compute(&random_geometric(n, r, 2));
+        assert!(s.num_components > 1_000);
+    }
+
+    #[test]
+    fn high_diameter_structure() {
+        let s = GraphStats::compute(&random_geometric(4_000, 0.04, 5));
+        // Spatial graphs have diameter Θ(1/r).
+        assert!(s.approx_diameter > 15, "diameter {}", s.approx_diameter);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be in")]
+    fn rejects_bad_radius() {
+        let _ = random_geometric(10, 0.0, 0);
+    }
+
+    #[test]
+    fn radius_one_is_near_complete() {
+        // Every pair is within distance √2 > 1, but radius 1 covers most.
+        let g = random_geometric(50, 1.0, 9);
+        assert!(g.avg_degree() > 30.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Road-network stand-ins (`road`, `osm-eur` in Table III).
+//!
+//! Real road networks are near-planar with degree ≈ 2–4 and diameter
+//! Θ(√|V|) — the regime where traversal-based CC serializes on depth and
+//! tree-hooking shines. We model them as a 2-D grid where each lattice edge
+//! survives with probability `keep`, plus a sprinkle of short "diagonal"
+//! shortcuts. `keep < 1` breaks the grid into many components of varying
+//! size, matching the multi-component structure of `road`/`osm-eur`
+//! (Table III lists 4.5M components for osm-eur).
+
+use super::stream_rng;
+use crate::{CsrGraph, Edge, GraphBuilder, Node};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Generates a road-like graph on a `width × height` lattice.
+///
+/// - `keep`: probability each lattice edge survives (1.0 = full grid).
+/// - `shortcut_prob`: probability a vertex gains one diagonal shortcut.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `keep` or `shortcut_prob` is outside `[0, 1]`.
+pub fn road_network(width: usize, height: usize, keep: f64, shortcut_prob: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&keep), "keep must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&shortcut_prob),
+        "shortcut_prob must be in [0,1]"
+    );
+    let n = width * height;
+    let idx = |x: usize, y: usize| (y * width + x) as Node;
+
+    // One parallel stream per row keeps determinism under rayon.
+    let edges: Vec<Edge> = (0..height)
+        .into_par_iter()
+        .flat_map_iter(|y| {
+            let mut rng = stream_rng(seed, y as u64);
+            let mut row_edges = Vec::with_capacity(width * 2 + 2);
+            for x in 0..width {
+                if x + 1 < width && rng.random::<f64>() < keep {
+                    row_edges.push((idx(x, y), idx(x + 1, y)));
+                }
+                if y + 1 < height && rng.random::<f64>() < keep {
+                    row_edges.push((idx(x, y), idx(x, y + 1)));
+                }
+                if x + 1 < width && y + 1 < height && rng.random::<f64>() < shortcut_prob {
+                    row_edges.push((idx(x, y), idx(x + 1, y + 1)));
+                }
+            }
+            row_edges
+        })
+        .collect();
+    GraphBuilder::from_edges(n, &edges).build()
+}
+
+/// A full (every lattice edge present) `width × height` grid.
+pub fn full_grid(width: usize, height: usize) -> CsrGraph {
+    road_network(width, height, 1.0, 0.0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_shape() {
+        let g = full_grid(4, 3);
+        assert_eq!(g.num_vertices(), 12);
+        // Horizontal: 3 per row × 3 rows; vertical: 4 per column pair × 2.
+        assert_eq!(g.num_edges(), 3 * 3 + 4 * 2);
+        // Corner degree 2, interior degree 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = road_network(50, 50, 0.9, 0.05, 11);
+        let b = road_network(50, 50, 0.9, 0.05, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keep_zero_gives_no_lattice_edges() {
+        let g = road_network(10, 10, 0.0, 0.0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn low_degree() {
+        let g = road_network(100, 100, 0.95, 0.05, 3);
+        // Up to 4 lattice edges plus one incoming and one outgoing diagonal.
+        assert!(g.max_degree() <= 6);
+        assert!(g.avg_degree() < 5.0);
+    }
+
+    #[test]
+    fn partial_keep_reduces_edges() {
+        let full = full_grid(64, 64);
+        let partial = road_network(64, 64, 0.5, 0.0, 3);
+        assert!(partial.num_edges() < full.num_edges());
+        assert!(partial.num_edges() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep must be in")]
+    fn rejects_bad_keep() {
+        let _ = road_network(4, 4, 1.5, 0.0, 0);
+    }
+
+    #[test]
+    fn shortcuts_add_diagonals() {
+        let g = road_network(20, 20, 0.0, 1.0, 2);
+        // Only diagonals present: vertex (0,0) connects to (1,1) = index 21.
+        assert!(g.has_edge(0, 21));
+    }
+}

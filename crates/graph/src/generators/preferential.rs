@@ -1,0 +1,102 @@
+//! Barabási–Albert preferential attachment (social-network stand-in).
+//!
+//! Each arriving vertex attaches to `m` existing vertices chosen with
+//! probability proportional to their current degree, yielding the power-law
+//! degree distribution and single giant component typical of social graphs
+//! such as the paper's `twitter` dataset.
+
+use super::stream_rng;
+use crate::{CsrGraph, GraphBuilder, Node};
+use rand::Rng;
+
+/// Generates a Barabási–Albert graph with `n` vertices, each new vertex
+/// attaching to `m` existing ones.
+///
+/// Uses the classic repeated-endpoint trick: sampling a uniform element of
+/// the flat endpoint list is equivalent to degree-proportional sampling.
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m > 0, "attachment count must be positive");
+    assert!(n > m, "need more vertices than the attachment count");
+    let mut rng = stream_rng(seed, 0);
+    let mut edges: Vec<(Node, Node)> = Vec::with_capacity(n * m);
+    // Flat list where each vertex appears once per incident edge endpoint.
+    let mut endpoints: Vec<Node> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique over the first m+1 vertices so early sampling has mass.
+    for u in 0..=(m as Node) {
+        for v in (u + 1)..=(m as Node) {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    for u in (m as Node + 1)..(n as Node) {
+        let mut added = 0usize;
+        let mut guard = 0usize;
+        while added < m && guard < 50 * m {
+            guard += 1;
+            let v = endpoints[rng.random_range(0..endpoints.len())];
+            if v != u && !edges[edges.len() - added..].iter().any(|&(_, t)| t == v) {
+                edges.push((u, v));
+                added += 1;
+            }
+        }
+        // Register this vertex's endpoints once its edges are final, so
+        // within-step duplicates stay rare and sampling remains unbiased.
+        for &(s, t) in &edges[edges.len() - added..] {
+            endpoints.push(s);
+            endpoints.push(t);
+        }
+    }
+    GraphBuilder::from_edges(n, &edges).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = barabasi_albert(1000, 3, 21);
+        let b = barabasi_albert(1000, 3, 21);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn size_is_correct() {
+        let g = barabasi_albert(500, 2, 1);
+        assert_eq!(g.num_vertices(), 500);
+        // Clique edges + ~2 per arrival.
+        assert!(g.num_edges() >= 2 * (500 - 3));
+    }
+
+    #[test]
+    fn power_law_hub() {
+        let g = barabasi_albert(5000, 3, 2);
+        assert!(g.max_degree() as f64 > 8.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn no_isolated_vertices() {
+        let g = barabasi_albert(1000, 2, 3);
+        assert!(g.vertices().all(|v| g.degree(v) >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_m() {
+        let _ = barabasi_albert(10, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn rejects_tiny_n() {
+        let _ = barabasi_albert(3, 3, 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! A ring lattice (every vertex connected to its `k` nearest neighbors)
+//! with each edge rewired to a random endpoint with probability `beta`.
+//! Interpolates between the high-diameter regular regime (`beta = 0`,
+//! road-like) and the random regime (`beta = 1`, urand-like) — useful for
+//! sweeping Afforest's behaviour across the diameter spectrum with a
+//! single knob.
+
+use super::stream_rng;
+use crate::{CsrGraph, Edge, GraphBuilder, Node};
+use rand::Rng;
+
+/// Generates a Watts–Strogatz graph with `n` vertices, `k` nearest
+/// neighbors per side is `k / 2` (so `k` must be even), rewiring
+/// probability `beta`.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k.is_multiple_of(2), "k must be even");
+    assert!(k < n, "k must be below n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    let mut rng = stream_rng(seed, 0);
+    let mut edges: Vec<Edge> = Vec::with_capacity(n * k / 2);
+    for u in 0..n as Node {
+        for j in 1..=(k / 2) as Node {
+            let v = (u + j) % n as Node;
+            if rng.random::<f64>() < beta {
+                // Rewire the far endpoint uniformly (avoiding the trivial
+                // self loop; duplicate edges are removed by the builder).
+                let mut w = rng.random_range(0..n as u64) as Node;
+                if w == u {
+                    w = (w + 1) % n as Node;
+                }
+                edges.push((u, w));
+            } else {
+                edges.push((u, v));
+            }
+        }
+    }
+    GraphBuilder::from_edges(n, &edges).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.num_edges(), 40);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(0, 19));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            watts_strogatz(500, 6, 0.2, 9),
+            watts_strogatz(500, 6, 0.2, 9)
+        );
+    }
+
+    #[test]
+    fn rewiring_changes_structure() {
+        let lattice = watts_strogatz(500, 6, 0.0, 9);
+        let rewired = watts_strogatz(500, 6, 0.5, 9);
+        assert_ne!(lattice, rewired);
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        use crate::stats::GraphStats;
+        let d0 = GraphStats::compute(&watts_strogatz(1_000, 4, 0.0, 5)).approx_diameter;
+        let d1 = GraphStats::compute(&watts_strogatz(1_000, 4, 0.3, 5)).approx_diameter;
+        assert!(d1 < d0, "rewired diameter {d1} should be below lattice {d0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn rejects_odd_k() {
+        let _ = watts_strogatz(10, 3, 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be below n")]
+    fn rejects_large_k() {
+        let _ = watts_strogatz(4, 4, 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in")]
+    fn rejects_bad_beta() {
+        let _ = watts_strogatz(10, 2, 1.5, 0);
+    }
+}

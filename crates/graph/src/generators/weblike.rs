@@ -1,0 +1,130 @@
+//! Web-graph stand-in (`web` / sk-2005 in Table III).
+//!
+//! Web crawls are *locally connected*: pages link mostly within their own
+//! site (nearby crawl order), with occasional long-range links, a skewed
+//! in-degree distribution, and one giant component covering most vertices.
+//! We reproduce this with a copying/locality model: vertices arrive in
+//! order; each new vertex draws `out_degree` links, each of which is
+//!
+//! - with probability `locality`, a short-range link to a vertex at a
+//!   geometrically distributed distance behind it (same-"site" link), and
+//! - otherwise, a copying-model link: pick a uniformly random earlier
+//!   vertex and copy one of its link targets (this is what yields the
+//!   power-law in-degree tail of web graphs).
+//!
+//! The crawl-order locality is exactly the property the paper exploits in
+//! Fig. 6a/6b, where the `web` graph is the slowest-converging dataset for
+//! naive row sampling but converges quickly under neighbor sampling.
+
+use super::stream_rng;
+use crate::{CsrGraph, GraphBuilder, Node};
+use rand::Rng;
+
+/// Generates a web-like graph.
+///
+/// - `n`: number of vertices (crawl order = index order).
+/// - `out_degree`: links drawn per new vertex.
+/// - `locality`: fraction of links that are short-range (`0..=1`).
+/// - `mean_distance`: mean of the geometric short-range distance.
+///
+/// Sequential by construction (the copying model depends on earlier state),
+/// but fast: O(n · out_degree). Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `locality` is outside `[0, 1]` or `mean_distance < 1`.
+pub fn web_graph(n: usize, out_degree: usize, locality: f64, mean_distance: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&locality), "locality must be in [0,1]");
+    assert!(mean_distance >= 1.0, "mean_distance must be >= 1");
+    let mut rng = stream_rng(seed, 0);
+    let mut edges: Vec<(Node, Node)> = Vec::with_capacity(n * out_degree);
+    // Flat list of all previously created link targets, for copying.
+    let mut targets_pool: Vec<Node> = Vec::with_capacity(n * out_degree);
+    let p_stop = 1.0 / mean_distance;
+
+    for u in 1..n as Node {
+        for _ in 0..out_degree {
+            let v = if rng.random::<f64>() < locality || targets_pool.is_empty() {
+                // Geometric back-distance, clamped to valid range.
+                let mut d = 1u64;
+                while rng.random::<f64>() > p_stop && d < u as u64 {
+                    d += 1;
+                }
+                u - (d.min(u as u64) as Node)
+            } else {
+                // Copying model: replicate a random existing link target.
+                targets_pool[rng.random_range(0..targets_pool.len())]
+            };
+            if v != u {
+                edges.push((u, v));
+                targets_pool.push(v);
+            }
+        }
+    }
+    GraphBuilder::from_edges(n, &edges).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = web_graph(2000, 4, 0.7, 8.0, 13);
+        let b = web_graph(2000, 4, 0.7, 8.0, 13);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn size_bounds() {
+        let g = web_graph(1000, 5, 0.7, 8.0, 1);
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(g.num_edges() <= 5 * 999);
+        assert!(g.num_edges() > 2000); // dedup removes some but not most
+    }
+
+    #[test]
+    fn skewed_in_degree() {
+        let g = web_graph(5000, 5, 0.5, 8.0, 2);
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn mostly_local_links() {
+        let g = web_graph(5000, 4, 0.9, 4.0, 3);
+        let mut short = 0usize;
+        let mut total = 0usize;
+        for (u, v) in g.edges() {
+            total += 1;
+            if u.abs_diff(v) <= 16 {
+                short += 1;
+            }
+        }
+        assert!(
+            short as f64 > 0.6 * total as f64,
+            "expected locality: {short}/{total} short links"
+        );
+    }
+
+    #[test]
+    fn giant_component_by_construction() {
+        // Every vertex links backwards, so vertex 0's component includes
+        // nearly everything reachable through the chain of back-links.
+        let g = web_graph(2000, 3, 0.8, 4.0, 4);
+        // Vertex degrees are non-zero for all but possibly vertex 0.
+        let isolated = g.vertices().filter(|&v| g.degree(v) == 0).count();
+        assert!(isolated <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "locality must be in")]
+    fn rejects_bad_locality() {
+        let _ = web_graph(10, 2, 1.5, 4.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean_distance")]
+    fn rejects_bad_distance() {
+        let _ = web_graph(10, 2, 0.5, 0.5, 0);
+    }
+}

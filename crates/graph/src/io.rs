@@ -1,0 +1,209 @@
+//! Graph serialization.
+//!
+//! Two formats:
+//!
+//! - **Text edge list** (`.el`): one `u v` pair per line, `#` comments and
+//!   blank lines ignored — the interchange format used by GAPBS and most
+//!   public graph repositories (so real datasets can be dropped in when
+//!   available).
+//! - **Binary CSR** (`.acsr`): a little-endian dump of the offsets/targets
+//!   arrays with a magic header, for fast reload of generated benchmarks.
+
+use crate::{CsrGraph, EdgeList, GraphBuilder, Node};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying the binary CSR format, followed by a version.
+const MAGIC: &[u8; 8] = b"AFCSR\x00\x00\x01";
+
+/// Reads a text edge list. Lines are `u v` (whitespace separated);
+/// `#`-prefixed lines and blank lines are skipped. The vertex universe is
+/// `max endpoint + 1` unless `min_vertices` demands more.
+pub fn read_edge_list<P: AsRef<Path>>(path: P, min_vertices: usize) -> io::Result<EdgeList> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut edges: Vec<(Node, Node)> = Vec::new();
+    let mut max_v = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<Node> {
+            tok.ok_or_else(|| bad_line(lineno))?
+                .parse::<Node>()
+                .map_err(|_| bad_line(lineno))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_v = max_v.max(u.max(v) as usize + 1);
+        edges.push((u, v));
+    }
+    let n = max_v.max(min_vertices);
+    Ok(EdgeList::from_vec(n, edges))
+}
+
+fn bad_line(lineno: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed edge on line {}", lineno + 1),
+    )
+}
+
+/// Writes a graph as a text edge list (each undirected edge once, `u <= v`).
+pub fn write_edge_list<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# {} vertices, {} undirected edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{} {}", u, v)?;
+    }
+    w.flush()
+}
+
+/// Writes a graph in the binary CSR format.
+pub fn write_binary<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_arcs() as u64).to_le_bytes())?;
+    for &o in g.offsets() {
+        w.write_all(&(o as u64).to_le_bytes())?;
+    }
+    for &t in g.targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a graph from the binary CSR format.
+pub fn read_binary<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an AFCSR file (bad magic)",
+        ));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let arcs = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)? as usize);
+    }
+    let mut targets = Vec::with_capacity(arcs);
+    let mut buf = [0u8; 4];
+    for _ in 0..arcs {
+        r.read_exact(&mut buf)?;
+        targets.push(Node::from_le_bytes(buf));
+    }
+    if offsets.last().copied() != Some(arcs) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "AFCSR offsets inconsistent with arc count",
+        ));
+    }
+    Ok(CsrGraph::from_parts(offsets, targets))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Loads a text edge list straight into a CSR graph.
+///
+/// ```no_run
+/// let g = afforest_graph::io::load_edge_list_graph("graph.el").unwrap();
+/// println!("{} vertices", g.num_vertices());
+/// ```
+pub fn load_edge_list_graph<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
+    let el = read_edge_list(path, 0)?;
+    Ok(GraphBuilder::from_edge_list(el).build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform_random;
+
+    fn tempfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("afforest-io-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = uniform_random(200, 600, 4);
+        let p = tempfile("roundtrip.el");
+        write_edge_list(&g, &p).unwrap();
+        let g2 = load_edge_list_graph(&p).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        // Vertex universe can shrink if trailing vertices are isolated;
+        // compare edges instead.
+        let mut e1 = g.collect_edges();
+        let mut e2 = g2.collect_edges();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn binary_roundtrip_exact() {
+        let g = uniform_random(300, 1500, 6);
+        let p = tempfile("roundtrip.acsr");
+        write_binary(&g, &p).unwrap();
+        let g2 = read_binary(&p).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn text_parser_skips_comments_and_blanks() {
+        let p = tempfile("comments.el");
+        {
+            let mut f = File::create(&p).unwrap();
+            writeln!(f, "# header").unwrap();
+            writeln!(f).unwrap();
+            writeln!(f, "0 1").unwrap();
+            writeln!(f, "  2   3  ").unwrap();
+        }
+        let el = read_edge_list(&p, 0).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(el.edges(), &[(0, 1), (2, 3)]);
+        assert_eq!(el.num_vertices(), 4);
+    }
+
+    #[test]
+    fn text_parser_reports_bad_lines() {
+        let p = tempfile("bad.el");
+        std::fs::write(&p, "0 1\nnot numbers\n").unwrap();
+        let err = read_edge_list(&p, 0).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn min_vertices_grows_universe() {
+        let p = tempfile("minv.el");
+        std::fs::write(&p, "0 1\n").unwrap();
+        let el = read_edge_list(&p, 10).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(el.num_vertices(), 10);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        let p = tempfile("garbage.acsr");
+        std::fs::write(&p, b"definitely not a graph").unwrap();
+        let err = read_binary(&p).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(err.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Additional interchange formats: DIMACS and METIS.
+//!
+//! Public graph repositories distribute the paper's dataset class in two
+//! more formats beyond plain edge lists:
+//!
+//! - **DIMACS** (`.col`-style): `c` comment lines, one `p edge N M`
+//!   problem line, then `e u v` edge lines, 1-indexed — used by the
+//!   DIMACS implementation challenges (the road networks the paper
+//!   evaluates originate from the 9th DIMACS challenge).
+//! - **METIS** (`.graph`): header `N M`, then line `i` lists the
+//!   (1-indexed) neighbors of vertex `i` — the format of the METIS
+//!   partitioner ecosystem.
+
+use crate::{CsrGraph, EdgeList, Node};
+#[cfg(test)]
+use crate::GraphBuilder;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads a DIMACS `p edge` file.
+pub fn read_dimacs<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut declared: Option<(usize, usize)> = None;
+    let mut edges: Vec<(Node, Node)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let mut it = line.split_whitespace();
+        match it.next() {
+            None | Some("c") => continue,
+            Some("p") => {
+                if declared.is_some() {
+                    return Err(invalid(format!("duplicate problem line at {}", lineno + 1)));
+                }
+                let kind = it.next().ok_or_else(|| invalid("missing problem kind"))?;
+                if kind != "edge" && kind != "sp" {
+                    return Err(invalid(format!("unsupported DIMACS kind '{kind}'")));
+                }
+                let n: usize = parse_tok(it.next(), lineno)?;
+                let m: usize = parse_tok(it.next(), lineno)?;
+                declared = Some((n, m));
+                edges.reserve(m);
+            }
+            Some("e") | Some("a") => {
+                let (n, _) = declared
+                    .ok_or_else(|| invalid(format!("edge before problem line at {}", lineno + 1)))?;
+                let u: usize = parse_tok(it.next(), lineno)?;
+                let v: usize = parse_tok(it.next(), lineno)?;
+                if u == 0 || v == 0 || u > n || v > n {
+                    return Err(invalid(format!(
+                        "endpoint out of 1..={n} on line {}",
+                        lineno + 1
+                    )));
+                }
+                edges.push(((u - 1) as Node, (v - 1) as Node));
+            }
+            Some(other) => {
+                return Err(invalid(format!(
+                    "unknown DIMACS record '{other}' on line {}",
+                    lineno + 1
+                )))
+            }
+        }
+    }
+    let (n, _) = declared.ok_or_else(|| invalid("no problem line found"))?;
+    Ok(EdgeList::from_vec(n, edges))
+}
+
+/// Writes a graph as a DIMACS `p edge` file (1-indexed).
+pub fn write_dimacs<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "c afforest-rs export")?;
+    writeln!(w, "p edge {} {}", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "e {} {}", u + 1, v + 1)?;
+    }
+    w.flush()
+}
+
+/// Reads a METIS `.graph` file (unweighted; the optional `fmt` field must
+/// be absent or `0`).
+pub fn read_metis<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| match l {
+            Ok(s) => !s.trim_start().starts_with('%'),
+            Err(_) => true,
+        });
+    let (hline, header) = lines
+        .next()
+        .ok_or_else(|| invalid("empty METIS file"))
+        .and_then(|(i, l)| Ok((i, l?)))?;
+    let mut it = header.split_whitespace();
+    let n: usize = parse_tok(it.next(), hline)?;
+    let m: usize = parse_tok(it.next(), hline)?;
+    if let Some(fmt) = it.next() {
+        if fmt != "0" && fmt != "000" {
+            return Err(invalid(format!("unsupported METIS fmt '{fmt}'")));
+        }
+    }
+    let mut edges: Vec<(Node, Node)> = Vec::with_capacity(m);
+    let mut vertex = 0usize;
+    for (lineno, line) in lines {
+        let line = line?;
+        if vertex >= n {
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Err(invalid(format!(
+                "more adjacency lines than vertices at line {}",
+                lineno + 1
+            )));
+        }
+        for tok in line.split_whitespace() {
+            let w: usize = parse_tok(Some(tok), lineno)?;
+            if w == 0 || w > n {
+                return Err(invalid(format!(
+                    "neighbor out of 1..={n} on line {}",
+                    lineno + 1
+                )));
+            }
+            // Each undirected edge appears in both adjacency lines; keep
+            // one direction.
+            if vertex < w {
+                edges.push((vertex as Node, (w - 1) as Node));
+            }
+        }
+        vertex += 1;
+    }
+    if vertex != n {
+        return Err(invalid(format!(
+            "expected {n} adjacency lines, found {vertex}"
+        )));
+    }
+    Ok(EdgeList::from_vec(n, edges))
+}
+
+/// Writes a graph as a METIS `.graph` file.
+pub fn write_metis<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "{} {}", g.num_vertices(), g.num_edges())?;
+    for v in g.vertices() {
+        let line: Vec<String> = g.neighbors(v).iter().map(|&x| (x + 1).to_string()).collect();
+        writeln!(w, "{}", line.join(" "))?;
+    }
+    w.flush()
+}
+
+fn parse_tok<T: std::str::FromStr>(tok: Option<&str>, lineno: usize) -> io::Result<T> {
+    tok.ok_or_else(|| invalid(format!("missing field on line {}", lineno + 1)))?
+        .parse::<T>()
+        .map_err(|_| invalid(format!("malformed number on line {}", lineno + 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform_random;
+
+    fn tempfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("afforest-fmt-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn edges_sorted(g: &CsrGraph) -> Vec<(Node, Node)> {
+        let mut e = g.collect_edges();
+        e.sort_unstable();
+        e
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = uniform_random(300, 1_500, 1);
+        let p = tempfile("rt.dimacs");
+        write_dimacs(&g, &p).unwrap();
+        let g2 = GraphBuilder::from_edge_list(read_dimacs(&p).unwrap()).build();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(edges_sorted(&g2), edges_sorted(&g));
+    }
+
+    #[test]
+    fn metis_roundtrip() {
+        let g = uniform_random(200, 900, 2);
+        let p = tempfile("rt.metis");
+        write_metis(&g, &p).unwrap();
+        let g2 = GraphBuilder::from_edge_list(read_metis(&p).unwrap()).build();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(g2, g);
+    }
+
+    #[test]
+    fn dimacs_parses_comments_and_sp() {
+        let p = tempfile("sp.dimacs");
+        std::fs::write(&p, "c road graph\np sp 3 2\na 1 2\na 2 3\n").unwrap();
+        let el = read_dimacs(&p).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(el.num_vertices(), 3);
+        assert_eq!(el.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn dimacs_rejects_bad_input() {
+        for (name, content, needle) in [
+            ("noproblem", "e 1 2\n", "before problem line"),
+            ("badkind", "p matrix 3 1\ne 1 2\n", "unsupported"),
+            ("oob", "p edge 2 1\ne 1 5\n", "out of"),
+            ("dup", "p edge 2 1\np edge 2 1\n", "duplicate"),
+            ("garbage", "x 1 2\n", "unknown"),
+            ("empty", "c nothing\n", "no problem line"),
+        ] {
+            let p = tempfile(name);
+            std::fs::write(&p, content).unwrap();
+            let err = read_dimacs(&p).unwrap_err();
+            std::fs::remove_file(&p).unwrap();
+            assert!(
+                err.to_string().contains(needle),
+                "{name}: '{err}' missing '{needle}'"
+            );
+        }
+    }
+
+    #[test]
+    fn metis_parses_comments_and_isolated() {
+        let p = tempfile("iso.metis");
+        // 4 vertices, 2 edges; vertex 3 isolated.
+        std::fs::write(&p, "% comment\n4 2\n2\n1 4\n\n2\n").unwrap();
+        let el = read_metis(&p).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(el.num_vertices(), 4);
+        let g = GraphBuilder::from_edge_list(el).build();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 3));
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn metis_rejects_bad_input() {
+        for (name, content, needle) in [
+            ("oob", "2 1\n5\n1\n", "out of"),
+            ("toofew", "3 1\n2\n1\n", "expected 3"),
+            ("badfmt", "2 1 011\n2\n1\n", "unsupported METIS fmt"),
+        ] {
+            let p = tempfile(name);
+            std::fs::write(&p, content).unwrap();
+            let err = read_metis(&p).unwrap_err();
+            std::fs::remove_file(&p).unwrap();
+            assert!(
+                err.to_string().contains(needle),
+                "{name}: '{err}' missing '{needle}'"
+            );
+        }
+    }
+}

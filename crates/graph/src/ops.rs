@@ -1,0 +1,173 @@
+//! Graph operations: induced subgraphs, disjoint unions, and edge-subset
+//! extraction.
+//!
+//! Used by the harness to compose workloads (e.g. giant-plus-dust
+//! mixtures), by the Fig. 6 experiments to materialize sampled subgraphs
+//! as standalone graphs, and by downstream users who want to analyze a
+//! component in isolation after a CC run.
+
+use crate::{CsrGraph, Edge, GraphBuilder, Node};
+use rayon::prelude::*;
+
+/// The subgraph induced by `keep` (vertices with `keep[v] == true`),
+/// with vertices renumbered densely in index order.
+///
+/// Returns the new graph and the mapping `old -> new` (`Node::MAX` for
+/// dropped vertices).
+///
+/// # Panics
+///
+/// Panics if `keep.len() != g.num_vertices()`.
+pub fn induced_subgraph(g: &CsrGraph, keep: &[bool]) -> (CsrGraph, Vec<Node>) {
+    assert_eq!(keep.len(), g.num_vertices(), "mask size mismatch");
+    let mut remap = vec![Node::MAX; g.num_vertices()];
+    let mut next = 0 as Node;
+    for v in 0..g.num_vertices() {
+        if keep[v] {
+            remap[v] = next;
+            next += 1;
+        }
+    }
+    let edges: Vec<Edge> = g
+        .par_vertices()
+        .flat_map_iter(|u| {
+            let remap = &remap;
+            g.neighbors(u)
+                .iter()
+                .filter(move |&&v| u <= v && keep[u as usize] && keep[v as usize])
+                .map(move |&v| (remap[u as usize], remap[v as usize]))
+        })
+        .collect();
+    (
+        GraphBuilder::from_edges(next as usize, &edges).build(),
+        remap,
+    )
+}
+
+/// Extracts one component (all vertices labeled `rep` in `labels`) as a
+/// standalone graph.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != g.num_vertices()`.
+pub fn extract_component(g: &CsrGraph, labels: &[Node], rep: Node) -> (CsrGraph, Vec<Node>) {
+    assert_eq!(labels.len(), g.num_vertices(), "label size mismatch");
+    let keep: Vec<bool> = labels.par_iter().map(|&l| l == rep).collect();
+    induced_subgraph(g, &keep)
+}
+
+/// Places `b` next to `a` with all of `b`'s vertex ids shifted past `a`'s:
+/// the disjoint union. Component counts add.
+///
+/// ```
+/// use afforest_graph::generators::classic::{cycle, path};
+/// use afforest_graph::ops::disjoint_union;
+///
+/// let u = disjoint_union(&cycle(4), &path(3));
+/// assert_eq!(u.num_vertices(), 7);
+/// assert_eq!(u.num_edges(), 4 + 2);
+/// ```
+pub fn disjoint_union(a: &CsrGraph, b: &CsrGraph) -> CsrGraph {
+    let offset = a.num_vertices() as Node;
+    let mut edges = a.collect_edges();
+    edges.extend(
+        b.collect_edges()
+            .into_iter()
+            .map(|(u, v)| (u + offset, v + offset)),
+    );
+    GraphBuilder::from_edges(a.num_vertices() + b.num_vertices(), &edges).build()
+}
+
+/// Builds a standalone graph from an edge subset of `g` (same vertex
+/// universe) — e.g. a sampled subgraph or a spanning forest.
+pub fn subgraph_from_edges(g: &CsrGraph, edges: &[Edge]) -> CsrGraph {
+    GraphBuilder::from_edges(g.num_vertices(), edges).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::{cycle, path};
+    use crate::generators::uniform_random;
+
+    #[test]
+    fn induced_subgraph_basic() {
+        let g = path(5); // 0-1-2-3-4
+        let keep = [true, true, false, true, true];
+        let (h, remap) = induced_subgraph(&g, &keep);
+        assert_eq!(h.num_vertices(), 4);
+        // Edge 0-1 survives (remapped 0-1); edges through vertex 2 die;
+        // edge 3-4 survives as 2-3.
+        assert_eq!(h.num_edges(), 2);
+        assert!(h.has_edge(0, 1));
+        assert!(h.has_edge(2, 3));
+        assert_eq!(remap[2], Node::MAX);
+        assert_eq!(remap[3], 2);
+    }
+
+    #[test]
+    fn induced_subgraph_keep_all_is_identity() {
+        let g = cycle(10);
+        let keep = vec![true; 10];
+        let (h, _) = induced_subgraph(&g, &keep);
+        assert_eq!(h, g);
+    }
+
+    #[test]
+    fn induced_subgraph_keep_none() {
+        let g = cycle(10);
+        let keep = vec![false; 10];
+        let (h, remap) = induced_subgraph(&g, &keep);
+        assert_eq!(h.num_vertices(), 0);
+        assert!(remap.iter().all(|&r| r == Node::MAX));
+    }
+
+    #[test]
+    fn extract_component_pulls_one_piece() {
+        // Two triangles: {0,1,2} and {3,4,5}.
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .build();
+        let labels = vec![0, 0, 0, 3, 3, 3];
+        let (h, remap) = extract_component(&g, &labels, 3);
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(remap[3], 0);
+        assert_eq!(remap[0], Node::MAX);
+    }
+
+    #[test]
+    fn disjoint_union_adds_components() {
+        let a = cycle(5);
+        let b = path(4);
+        let u = disjoint_union(&a, &b);
+        assert_eq!(u.num_vertices(), 9);
+        assert_eq!(u.num_edges(), 5 + 3);
+        // b's edge 0-1 landed at 5-6.
+        assert!(u.has_edge(5, 6));
+        assert!(!u.has_edge(4, 5));
+    }
+
+    #[test]
+    fn disjoint_union_with_empty() {
+        let a = cycle(5);
+        let empty = GraphBuilder::from_edges(0, &[]).build();
+        assert_eq!(disjoint_union(&a, &empty), a);
+        assert_eq!(disjoint_union(&empty, &a), a);
+    }
+
+    #[test]
+    fn subgraph_from_edges_keeps_universe() {
+        let g = uniform_random(100, 500, 1);
+        let some: Vec<Edge> = g.collect_edges().into_iter().take(10).collect();
+        let h = subgraph_from_edges(&g, &some);
+        assert_eq!(h.num_vertices(), 100);
+        assert_eq!(h.num_edges(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask size mismatch")]
+    fn induced_subgraph_checks_size() {
+        let g = path(3);
+        let _ = induced_subgraph(&g, &[true]);
+    }
+}

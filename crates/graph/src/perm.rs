@@ -1,0 +1,133 @@
+//! Vertex permutation utilities.
+//!
+//! Afforest's hooking direction is index-ordered (higher roots hook under
+//! lower roots — Invariant 1), so vertex numbering can influence constant
+//! factors. These helpers produce random relabelings both for generator
+//! scrambling and for the harness's numbering-sensitivity ablation.
+
+use crate::generators::stream_rng;
+use crate::{CsrGraph, GraphBuilder, Node};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates), deterministic
+/// in `seed`.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<Node> {
+    let mut perm: Vec<Node> = (0..n as Node).collect();
+    let mut rng = stream_rng(seed, 0);
+    for i in (1..n).rev() {
+        perm.swap(i, rng.random_range(0..=i));
+    }
+    perm
+}
+
+/// The inverse of a permutation: `inv[perm[i]] == i`.
+///
+/// # Panics
+///
+/// Panics (in debug builds, via index checks) if `perm` is not a
+/// permutation of `0..perm.len()`.
+pub fn invert_permutation(perm: &[Node]) -> Vec<Node> {
+    let mut inv = vec![0 as Node; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p as usize] = i as Node;
+    }
+    inv
+}
+
+/// Relabels a graph's vertices: vertex `v` becomes `perm[v]`.
+///
+/// The result is structurally isomorphic; connectivity labelings computed
+/// before and after correspond through `perm`.
+///
+/// # Panics
+///
+/// Panics if `perm.len() != g.num_vertices()`.
+pub fn relabel(g: &CsrGraph, perm: &[Node]) -> CsrGraph {
+    assert_eq!(perm.len(), g.num_vertices(), "permutation size mismatch");
+    let edges: Vec<(Node, Node)> = g
+        .par_vertices()
+        .flat_map_iter(|u| {
+            g.neighbors(u)
+                .iter()
+                .filter(move |&&v| u <= v)
+                .map(move |&v| (perm[u as usize], perm[v as usize]))
+        })
+        .collect();
+    GraphBuilder::from_edges(g.num_vertices(), &edges).build()
+}
+
+/// Checks whether `perm` is a valid permutation of `0..perm.len()`.
+pub fn is_permutation(perm: &[Node]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        let p = p as usize;
+        if p >= perm.len() || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::path;
+
+    #[test]
+    fn random_permutation_is_valid() {
+        let p = random_permutation(1000, 5);
+        assert!(is_permutation(&p));
+    }
+
+    #[test]
+    fn random_permutation_deterministic() {
+        assert_eq!(random_permutation(100, 1), random_permutation(100, 1));
+        assert_ne!(random_permutation(100, 1), random_permutation(100, 2));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let p = random_permutation(200, 7);
+        let inv = invert_permutation(&p);
+        for i in 0..200 {
+            assert_eq!(inv[p[i] as usize], i as Node);
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = path(50);
+        let p = random_permutation(50, 3);
+        let h = relabel(&g, &p);
+        assert_eq!(h.num_vertices(), 50);
+        assert_eq!(h.num_edges(), 49);
+        // Degrees transfer through the permutation.
+        for v in 0..50u32 {
+            assert_eq!(g.degree(v), h.degree(p[v as usize]));
+        }
+    }
+
+    #[test]
+    fn relabel_identity_is_noop() {
+        let g = path(20);
+        let id: Vec<Node> = (0..20).collect();
+        assert_eq!(relabel(&g, &id), g);
+    }
+
+    #[test]
+    fn is_permutation_rejects() {
+        assert!(!is_permutation(&[0, 0]));
+        assert!(!is_permutation(&[1, 2]));
+        assert!(is_permutation(&[1, 0]));
+        assert!(is_permutation(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn relabel_size_checked() {
+        let g = path(5);
+        let _ = relabel(&g, &[0, 1]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Graph statistics (Table III).
+//!
+//! Computes the columns the paper reports for every dataset: vertex and
+//! edge counts, average/maximum degree, number of connected components `C`,
+//! the size of the largest component `|c_max|`, and an approximate diameter
+//! `D` (double-sweep BFS lower bound — the standard estimator; exact
+//! diameter is infeasible on large instances and the paper itself reports
+//! approximate values).
+
+use crate::{CsrGraph, Node};
+use std::collections::VecDeque;
+
+/// Summary statistics for one graph, mirroring a Table III row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices `|V|`.
+    pub num_vertices: usize,
+    /// Number of undirected edges `|E|`.
+    pub num_edges: usize,
+    /// Average degree `2|E| / |V|`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of connected components `C`.
+    pub num_components: usize,
+    /// Vertices in the largest component `|c_max|`.
+    pub largest_component: usize,
+    /// Approximate diameter (double-sweep BFS lower bound over the largest
+    /// component).
+    pub approx_diameter: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics for `g`.
+    ///
+    /// ```
+    /// use afforest_graph::{GraphBuilder, GraphStats};
+    ///
+    /// let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).build();
+    /// let s = GraphStats::compute(&g);
+    /// assert_eq!(s.num_components, 2);
+    /// assert_eq!(s.largest_component, 3);
+    /// assert_eq!(s.approx_diameter, 2);
+    /// ```
+    pub fn compute(g: &CsrGraph) -> Self {
+        let (num_components, comp_of, largest_component, largest_rep) = component_structure(g);
+        let approx_diameter = if largest_component <= 1 {
+            0
+        } else {
+            double_sweep_diameter(g, largest_rep, &comp_of)
+        };
+        Self {
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+            avg_degree: g.avg_degree(),
+            max_degree: g.max_degree(),
+            num_components,
+            largest_component,
+            approx_diameter,
+        }
+    }
+
+    /// Fraction of vertices inside the largest component.
+    pub fn largest_component_fraction(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.largest_component as f64 / self.num_vertices as f64
+        }
+    }
+}
+
+/// Sequential union-find over all edges; returns
+/// `(component count, component id per vertex, |c_max|, a vertex of c_max)`.
+fn component_structure(g: &CsrGraph) -> (usize, Vec<Node>, usize, Node) {
+    let n = g.num_vertices();
+    let mut parent: Vec<Node> = (0..n as Node).collect();
+
+    fn find(parent: &mut [Node], mut x: Node) -> Node {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+
+    for u in g.vertices() {
+        for &v in g.neighbors(u) {
+            if u < v {
+                let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+                if ru != rv {
+                    let (lo, hi) = (ru.min(rv), ru.max(rv));
+                    parent[hi as usize] = lo;
+                }
+            }
+        }
+    }
+
+    let mut comp_of = vec![0 as Node; n];
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut count = 0usize;
+    // Roots get ids in index order; map every vertex through `find`.
+    let mut root_id = vec![Node::MAX; n];
+    for v in 0..n as Node {
+        let r = find(&mut parent, v);
+        let id = if root_id[r as usize] == Node::MAX {
+            root_id[r as usize] = count as Node;
+            sizes.push(0);
+            count += 1;
+            root_id[r as usize]
+        } else {
+            root_id[r as usize]
+        };
+        comp_of[v as usize] = id;
+        sizes[id as usize] += 1;
+    }
+
+    if n == 0 {
+        return (0, comp_of, 0, 0);
+    }
+    let (best_id, &best_size) = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .expect("non-empty");
+    let rep = comp_of
+        .iter()
+        .position(|&c| c as usize == best_id)
+        .expect("component has a member") as Node;
+    (count, comp_of, best_size, rep)
+}
+
+/// Exact diameter by all-pairs BFS — `O(|V| · |E|)`, intended for
+/// validating the double-sweep estimate on small graphs. Returns `None`
+/// when the graph exceeds `max_vertices` (the cost guard) or is empty.
+///
+/// ```
+/// use afforest_graph::generators::grid::full_grid;
+/// use afforest_graph::stats::exact_diameter;
+///
+/// let g = full_grid(5, 4);
+/// assert_eq!(exact_diameter(&g, 1_000), Some(7)); // (5−1) + (4−1)
+/// ```
+pub fn exact_diameter(g: &CsrGraph, max_vertices: usize) -> Option<usize> {
+    let n = g.num_vertices();
+    if n == 0 || n > max_vertices {
+        return None;
+    }
+    use rayon::prelude::*;
+    let diameter = (0..n as Node)
+        .into_par_iter()
+        .map(|start| {
+            let mut dist = vec![u32::MAX; n];
+            let mut q = VecDeque::new();
+            dist[start as usize] = 0;
+            q.push_back(start);
+            let mut ecc = 0usize;
+            while let Some(u) = q.pop_front() {
+                let du = dist[u as usize];
+                ecc = ecc.max(du as usize);
+                for &v in g.neighbors(u) {
+                    if dist[v as usize] == u32::MAX {
+                        dist[v as usize] = du + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            ecc
+        })
+        .max()
+        .unwrap_or(0);
+    Some(diameter)
+}
+
+/// Double-sweep BFS: run BFS from `start`, then from the farthest vertex
+/// found; the second eccentricity lower-bounds the component diameter and
+/// is exact on trees.
+fn double_sweep_diameter(g: &CsrGraph, start: Node, comp_of: &[Node]) -> usize {
+    let (far, _) = bfs_farthest(g, start, comp_of);
+    let (_, dist) = bfs_farthest(g, far, comp_of);
+    dist
+}
+
+/// BFS within `start`'s component; returns the farthest vertex and its
+/// distance.
+fn bfs_farthest(g: &CsrGraph, start: Node, comp_of: &[Node]) -> (Node, usize) {
+    let comp = comp_of[start as usize];
+    let mut dist: Vec<u32> = vec![u32::MAX; g.num_vertices()];
+    let mut q = VecDeque::new();
+    dist[start as usize] = 0;
+    q.push_back(start);
+    let mut far = (start, 0usize);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        if (du as usize) > far.1 {
+            far = (u, du as usize);
+        }
+        for &v in g.neighbors(u) {
+            if comp_of[v as usize] == comp && dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    far
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::{complete, cycle, path, star};
+    use crate::generators::{road_network, uniform_random};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn path_stats() {
+        let s = GraphStats::compute(&path(10));
+        assert_eq!(s.num_vertices, 10);
+        assert_eq!(s.num_edges, 9);
+        assert_eq!(s.num_components, 1);
+        assert_eq!(s.largest_component, 10);
+        assert_eq!(s.approx_diameter, 9);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn cycle_diameter_lower_bound() {
+        let s = GraphStats::compute(&cycle(10));
+        // Double sweep on a cycle gives the exact diameter 5.
+        assert_eq!(s.approx_diameter, 5);
+    }
+
+    #[test]
+    fn star_stats() {
+        let s = GraphStats::compute(&star(8, 0));
+        assert_eq!(s.approx_diameter, 2);
+        assert_eq!(s.max_degree, 7);
+        assert_eq!(s.num_components, 1);
+    }
+
+    #[test]
+    fn complete_diameter_one() {
+        let s = GraphStats::compute(&complete(6));
+        assert_eq!(s.approx_diameter, 1);
+    }
+
+    #[test]
+    fn multi_component() {
+        let g = GraphBuilder::from_edges(7, &[(0, 1), (1, 2), (3, 4)]).build();
+        let s = GraphStats::compute(&g);
+        // Components: {0,1,2}, {3,4}, {5}, {6}.
+        assert_eq!(s.num_components, 4);
+        assert_eq!(s.largest_component, 3);
+        assert!((s.largest_component_fraction() - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::from_edges(0, &[]).build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_components, 0);
+        assert_eq!(s.approx_diameter, 0);
+        assert_eq!(s.largest_component_fraction(), 0.0);
+    }
+
+    #[test]
+    fn singleton_vertices() {
+        let g = GraphBuilder::from_edges(3, &[]).build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_components, 3);
+        assert_eq!(s.largest_component, 1);
+        assert_eq!(s.approx_diameter, 0);
+    }
+
+    #[test]
+    fn grid_diameter_scales_like_sqrt_n() {
+        let s = GraphStats::compute(&crate::generators::grid::full_grid(30, 30));
+        // True diameter of a 30×30 grid is 58; double sweep finds it.
+        assert_eq!(s.approx_diameter, 58);
+    }
+
+    #[test]
+    fn urand_has_giant_component() {
+        let s = GraphStats::compute(&uniform_random(5000, 40_000, 1));
+        assert!(s.largest_component_fraction() > 0.99);
+    }
+
+    #[test]
+    fn road_network_is_fragmented() {
+        let s = GraphStats::compute(&road_network(80, 80, 0.55, 0.0, 2));
+        assert!(s.num_components > 10, "components: {}", s.num_components);
+    }
+
+    #[test]
+    fn exact_diameter_validates_double_sweep() {
+        use crate::generators::uniform_random;
+        // Double sweep is a lower bound on the exact diameter, and exact
+        // on the structured cases above.
+        for g in [
+            crate::generators::grid::full_grid(12, 9),
+            uniform_random(300, 1_200, 3),
+            crate::generators::classic::binary_tree(127),
+        ] {
+            let exact = exact_diameter(&g, 10_000).unwrap();
+            let approx = GraphStats::compute(&g).approx_diameter;
+            assert!(approx <= exact, "approx {approx} > exact {exact}");
+            // Double sweep is known-tight on these families.
+            assert!(
+                exact <= approx + 2,
+                "double sweep too loose: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_diameter_guard() {
+        let g = path(10);
+        assert_eq!(exact_diameter(&g, 5), None); // over the size guard
+        assert_eq!(exact_diameter(&g, 100), Some(9));
+        let empty = GraphBuilder::from_edges(0, &[]).build();
+        assert_eq!(exact_diameter(&empty, 100), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the graph substrate.
+
+use afforest_graph::generators::{
+    random_geometric, rmat, uniform_random, watts_strogatz, RmatParams,
+};
+use afforest_graph::perm::{invert_permutation, is_permutation, random_permutation, relabel};
+use afforest_graph::{CsrGraph, DegreeDistribution, GraphBuilder, Node};
+use proptest::prelude::*;
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(Node, Node)>)> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as Node, 0..n as Node);
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_structural_laws((n, edges) in arb_edges(150, 500)) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        // Handshake lemma.
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, g.num_arcs());
+        prop_assert_eq!(g.num_arcs(), 2 * g.num_edges());
+        // edges() yields canonical unique pairs.
+        let es: Vec<_> = g.edges().collect();
+        prop_assert!(es.iter().all(|&(u, v)| u <= v));
+        let mut sorted = es.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), es.len());
+        // has_edge agrees with neighbor lists.
+        for &(u, v) in es.iter().take(50) {
+            prop_assert!(g.has_edge(u, v) && g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn builder_is_idempotent((n, edges) in arb_edges(120, 400)) {
+        // Rebuilding from a built graph's edges reproduces it exactly.
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let again = GraphBuilder::from_edges(n, &g.collect_edges()).build();
+        prop_assert_eq!(g, again);
+    }
+
+    #[test]
+    fn binary_io_roundtrip((n, edges) in arb_edges(100, 300)) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let mut path = std::env::temp_dir();
+        path.push(format!("afforest-pt-{}-{}.acsr", std::process::id(), n));
+        afforest_graph::io::write_binary(&g, &path).unwrap();
+        let g2 = afforest_graph::io::read_binary(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn degree_distribution_consistency((n, edges) in arb_edges(120, 400)) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let d = DegreeDistribution::compute(&g);
+        prop_assert_eq!(d.histogram.iter().sum::<usize>(), n);
+        prop_assert_eq!(d.max, g.max_degree());
+        prop_assert!((d.mean - g.avg_degree()).abs() < 1e-9);
+        prop_assert_eq!(
+            d.isolated(),
+            g.vertices().filter(|&v| g.degree(v) == 0).count()
+        );
+    }
+
+    #[test]
+    fn permutation_laws(n in 1usize..300, seed in any::<u64>()) {
+        let p = random_permutation(n, seed);
+        prop_assert!(is_permutation(&p));
+        let inv = invert_permutation(&p);
+        prop_assert!(is_permutation(&inv));
+        for i in 0..n {
+            prop_assert_eq!(inv[p[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_degree_multiset((n, edges) in arb_edges(100, 300), seed in any::<u64>()) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let p = random_permutation(n, seed);
+        let h = relabel(&g, &p);
+        let mut dg: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        let mut dh: Vec<usize> = h.vertices().map(|v| h.degree(v)).collect();
+        dg.sort_unstable();
+        dh.sort_unstable();
+        prop_assert_eq!(dg, dh);
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_sized(
+        scale in 6u32..10,
+        ef in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let a = uniform_random(1 << scale, ef << scale, seed);
+        let b = uniform_random(1 << scale, ef << scale, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.num_vertices(), 1 << scale);
+        prop_assert!(a.num_edges() <= ef << scale);
+
+        let k = rmat(scale, ef << scale, RmatParams::GRAPH500, seed);
+        prop_assert_eq!(k.num_vertices(), 1 << scale);
+        prop_assert!(k.num_edges() <= ef << scale);
+    }
+
+    #[test]
+    fn watts_strogatz_edge_count_invariant(
+        n in 10usize..200,
+        beta in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        // WS draws exactly n·k/2 edges; dedup can only shrink slightly.
+        let k = 4;
+        let g = watts_strogatz(n, k, beta, seed);
+        prop_assert!(g.num_edges() <= n * k / 2);
+        prop_assert!(g.num_edges() >= n * k / 2 - n / 2); // collisions are rare
+    }
+
+    #[test]
+    fn geometric_symmetry_by_distance(n in 20usize..150, seed in any::<u64>()) {
+        let g = random_geometric(n, 0.2, seed);
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+    }
+}
+
+/// Non-proptest sanity: a CSR built from another CSR's raw parts is valid.
+#[test]
+fn from_parts_roundtrip() {
+    let g = uniform_random(500, 2_500, 3);
+    let h = CsrGraph::from_parts(g.offsets().to_vec(), g.targets().to_vec());
+    assert_eq!(g, h);
+}

@@ -1,0 +1,69 @@
+//! Quantifying the Section V-C locality claim with the cache simulator.
+//!
+//! Traces every π access of SV and Afforest on the same graph, replays
+//! the traces through L1/L2 cache models, and prints hit rates — turning
+//! Fig. 7's qualitative heat-maps into numbers.
+//!
+//! ```sh
+//! cargo run --release --example cache_locality
+//! ```
+
+use afforest_repro::core::cachesim::{simulate_trace, CacheConfig};
+use afforest_repro::core::instrument::{trace_afforest, trace_sv, TracePhase};
+use afforest_repro::graph::generators::uniform_random;
+use afforest_repro::prelude::*;
+
+fn main() {
+    // π = 64 KiB: twice the simulated L1, well under the simulated L2.
+    let graph = uniform_random(1 << 14, 1 << 17, 99);
+    println!(
+        "graph: {} vertices, {} edges (π = {} KiB)\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        4 * graph.num_vertices() / 1024
+    );
+
+    let traces = [
+        ("shiloach-vishkin", trace_sv(&graph)),
+        (
+            "afforest (no skip)",
+            trace_afforest(&graph, &AfforestConfig::without_skip()),
+        ),
+        (
+            "afforest",
+            trace_afforest(&graph, &AfforestConfig::default()),
+        ),
+    ];
+
+    println!(
+        "{:<20} {:>12} {:>9} {:>9}",
+        "algorithm", "π accesses", "L1 hit%", "L2 hit%"
+    );
+    for (name, trace) in &traces {
+        let l1 = simulate_trace(trace, CacheConfig::L1);
+        let l2 = simulate_trace(trace, CacheConfig::L2);
+        println!(
+            "{:<20} {:>12} {:>8.1}% {:>8.1}%",
+            name,
+            trace.len(),
+            100.0 * l1.hit_rate(),
+            100.0 * l2.hit_rate()
+        );
+    }
+
+    // Per-phase view for Afforest: the sequential neighbor rounds and
+    // compress passes should be the most cache-friendly stages.
+    println!("\nafforest per-phase L1 hit rates:");
+    let stats = simulate_trace(&traces[2].1, CacheConfig::L1);
+    for phase in [
+        TracePhase::Init,
+        TracePhase::Link,
+        TracePhase::Compress,
+        TracePhase::FindLargest,
+        TracePhase::FinalLink,
+    ] {
+        if let Some(rate) = stats.phase_hit_rate(phase) {
+            println!("  {:<14} {:>6.1}%", format!("{phase:?}"), 100.0 * rate);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Convergence explorer: watch Linkage/Coverage evolve per strategy.
+//!
+//! Interactive companion to Fig. 6a/6b — pick a generator family on the
+//! command line and see how each subgraph-partitioning strategy converges.
+//!
+//! ```sh
+//! cargo run --release --example convergence_explorer -- web
+//! cargo run --release --example convergence_explorer -- urand
+//! cargo run --release --example convergence_explorer -- road
+//! ```
+
+use afforest_repro::core::metrics::convergence_curve;
+use afforest_repro::core::strategies::{partition, Strategy};
+use afforest_repro::graph::generators::{road_network, uniform_random, web_graph};
+use afforest_repro::graph::CsrGraph;
+use afforest_repro::prelude::*;
+
+const BAR_WIDTH: usize = 40;
+
+fn bar(frac: f64) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * BAR_WIDTH as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(BAR_WIDTH - filled))
+}
+
+fn build(family: &str) -> CsrGraph {
+    match family {
+        "web" => web_graph(20_000, 6, 0.8, 10.0, 1),
+        "urand" => uniform_random(20_000, 160_000, 1),
+        "road" => road_network(160, 160, 0.9, 0.02, 1),
+        other => {
+            eprintln!("unknown family '{other}' (web|urand|road)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let family = std::env::args().nth(1).unwrap_or_else(|| "web".to_string());
+    let graph = build(&family);
+    println!(
+        "{family}: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let truth = afforest(&graph, &AfforestConfig::default());
+    assert!(truth.verify_against(&graph));
+    println!("{} components, |c_max| = {}\n", truth.num_components(), truth.largest_component_size());
+
+    for strategy in Strategy::ALL {
+        let batches = partition(&graph, strategy, 10, 7);
+        let curve = convergence_curve(&graph, &batches, &truth);
+        println!("== {} ==", strategy.name());
+        println!("{:>9}  {:<BAR_WIDTH$}  linkage", "% edges", "");
+        for p in &curve.points {
+            println!(
+                "{:>8.1}%  {}  {:.3} (coverage {:.3})",
+                100.0 * p.edge_fraction,
+                bar(p.linkage),
+                p.linkage,
+                p.coverage
+            );
+        }
+        println!();
+    }
+}

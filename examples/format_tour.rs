@@ -1,0 +1,76 @@
+//! Format tour: generate once, serialize everywhere, verify everywhere.
+//!
+//! Exercises the full I/O surface (text edge list, DIMACS, METIS, binary
+//! CSR) and checks the component structure survives every round trip —
+//! the workflow for importing real datasets (e.g. the DIMACS road
+//! networks the paper evaluates) when you have them.
+//!
+//! ```sh
+//! cargo run --release --example format_tour
+//! ```
+
+use afforest_repro::graph::generators::road_network;
+use afforest_repro::graph::{io, io_formats, GraphBuilder};
+use afforest_repro::prelude::*;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("afforest-tour-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    let graph = road_network(120, 120, 0.8, 0.01, 7);
+    let truth = afforest(&graph, &AfforestConfig::default());
+    println!(
+        "source: {} vertices, {} edges, {} components",
+        graph.num_vertices(),
+        graph.num_edges(),
+        truth.num_components()
+    );
+
+    // Text edge list.
+    let el_path = dir.join("tour.el");
+    io::write_edge_list(&graph, &el_path).unwrap();
+    let from_el = GraphBuilder::from_edge_list(io::read_edge_list(&el_path, graph.num_vertices()).unwrap()).build();
+    report("edge list (.el)", &el_path, &from_el, &truth);
+
+    // DIMACS.
+    let gr_path = dir.join("tour.gr");
+    io_formats::write_dimacs(&graph, &gr_path).unwrap();
+    let from_gr = GraphBuilder::from_edge_list(io_formats::read_dimacs(&gr_path).unwrap()).build();
+    report("DIMACS (.gr)", &gr_path, &from_gr, &truth);
+
+    // METIS.
+    let metis_path = dir.join("tour.graph");
+    io_formats::write_metis(&graph, &metis_path).unwrap();
+    let from_metis =
+        GraphBuilder::from_edge_list(io_formats::read_metis(&metis_path).unwrap()).build();
+    report("METIS (.graph)", &metis_path, &from_metis, &truth);
+
+    // Binary CSR.
+    let bin_path = dir.join("tour.acsr");
+    io::write_binary(&graph, &bin_path).unwrap();
+    let from_bin = io::read_binary(&bin_path).unwrap();
+    assert_eq!(from_bin, graph, "binary round trip must be exact");
+    report("binary CSR (.acsr)", &bin_path, &from_bin, &truth);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    println!("\nall four formats reproduced the component structure exactly");
+}
+
+fn report(
+    format: &str,
+    path: &std::path::Path,
+    g: &CsrGraph,
+    truth: &afforest_repro::core::ComponentLabels,
+) {
+    let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let labels = afforest(g, &AfforestConfig::default());
+    assert_eq!(
+        labels.num_components(),
+        truth.num_components(),
+        "{format}: component count changed"
+    );
+    println!(
+        "{format:<20} {size:>9} bytes  -> {} components ok",
+        labels.num_components()
+    );
+}

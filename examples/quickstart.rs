@@ -1,0 +1,47 @@
+//! Quickstart: build a graph, run Afforest, inspect the components.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use afforest_repro::prelude::*;
+
+fn main() {
+    // A small social circle: two triangles bridged by one edge, plus an
+    // isolated pair and a loner.
+    let edges = [
+        (0, 1), (1, 2), (2, 0), // triangle A
+        (3, 4), (4, 5), (5, 3), // triangle B
+        (2, 3),                 // bridge
+        (6, 7),                 // isolated pair
+                                // vertex 8: loner
+    ];
+    let graph = GraphBuilder::from_edges(9, &edges).build();
+
+    // Run Afforest with the paper's default configuration
+    // (2 neighbor rounds, component skipping enabled).
+    let labels = afforest(&graph, &AfforestConfig::default());
+
+    println!("vertices:   {}", graph.num_vertices());
+    println!("edges:      {}", graph.num_edges());
+    println!("components: {}", labels.num_components());
+    for v in graph.vertices() {
+        println!("  vertex {v} -> component {}", labels.label(v));
+    }
+
+    assert_eq!(labels.num_components(), 3);
+    assert!(labels.same_component(0, 5)); // bridged triangles
+    assert!(!labels.same_component(0, 6));
+
+    // Want the work/timing breakdown? Use the instrumented entry point.
+    let (_, stats) = afforest_with_stats(&graph, &AfforestConfig::default());
+    println!(
+        "\nprocessed {} of {} directed edges ({} vertices skipped via the giant-component heuristic)",
+        stats.edges_processed,
+        graph.num_arcs(),
+        stats.vertices_skipped,
+    );
+    for pt in &stats.phases {
+        println!("  {:<16} {:?}", pt.phase.to_string(), pt.elapsed);
+    }
+}

@@ -1,0 +1,80 @@
+//! Social-network scenario: connectivity analysis of a power-law graph.
+//!
+//! Models the paper's `twitter` workload: generate a preferential-
+//! attachment network with injected fragmentation, identify its
+//! communities of connectivity, and compare Afforest against the
+//! baselines the paper evaluates — all on the same labeling contract.
+//!
+//! ```sh
+//! cargo run --release --example social_network
+//! ```
+
+use afforest_repro::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // A 50k-user network: one big preferential-attachment core plus a
+    // constellation of small isolated friend groups.
+    let core = afforest_repro::graph::generators::barabasi_albert(50_000, 3, 42);
+    let mut edges = core.collect_edges();
+    let n = core.num_vertices() + 5_000;
+    // 1000 isolated cliques of 5 (index range above the core).
+    for group in 0..1_000u32 {
+        let base = 50_000 + group * 5;
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((base + i, base + j));
+            }
+        }
+    }
+    let graph = GraphBuilder::from_edges(n, &edges).build();
+    println!(
+        "network: {} users, {} friendships",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Connectivity via Afforest.
+    let t = Instant::now();
+    let labels = afforest(&graph, &AfforestConfig::default());
+    let afforest_time = t.elapsed();
+    println!(
+        "afforest: {} components in {:?}",
+        labels.num_components(),
+        afforest_time
+    );
+
+    // Component-size profile — the skew the skip heuristic exploits.
+    let mut sizes = labels.component_sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!(
+        "largest component: {} users ({:.1}% of the network)",
+        sizes[0],
+        100.0 * sizes[0] as f64 / graph.num_vertices() as f64
+    );
+    println!("next largest: {:?}", &sizes[1..6.min(sizes.len())]);
+
+    // Sanity: every baseline agrees (up to relabeling).
+    for (name, run) in [
+        ("shiloach-vishkin", shiloach_vishkin as fn(&CsrGraph) -> Vec<Node>),
+        ("label-prop", label_prop),
+        ("bfs-cc", bfs_cc),
+        ("dobfs-cc", dobfs_cc),
+    ] {
+        let t = Instant::now();
+        let other = ComponentLabels::from_vec(run(&graph));
+        let elapsed = t.elapsed();
+        assert!(labels.equivalent(&other), "{name} disagrees!");
+        println!("{name:<18} {:>6} components  {elapsed:?}", other.num_components());
+    }
+
+    // Typical downstream use: answer reachability queries in O(1).
+    let (a, b) = (0, 52_501);
+    println!(
+        "\ncan user {a} reach user {b}? {}",
+        labels.same_component(a, b)
+    );
+}
+
+use afforest_repro::core::ComponentLabels;
+use afforest_repro::graph::CsrGraph;

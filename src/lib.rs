@@ -1,0 +1,40 @@
+//! Umbrella crate for the Afforest reproduction workspace.
+//!
+//! This crate re-exports the public API of the three member crates so that
+//! the examples and integration tests in this repository (and downstream
+//! users who want a single dependency) can write:
+//!
+//! ```
+//! use afforest_repro::prelude::*;
+//!
+//! let graph = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]).build();
+//! let labels = afforest(&graph, &AfforestConfig::default());
+//! assert_eq!(labels.num_components(), 2);
+//! ```
+//!
+//! The heavy lifting lives in:
+//!
+//! - [`afforest_graph`] — CSR graph substrate, generators, I/O, statistics.
+//! - [`afforest_core`] — the paper's contribution: `link`/`compress`,
+//!   subgraph sampling, convergence metrics, instrumentation.
+//! - [`afforest_baselines`] — Shiloach–Vishkin, label propagation, BFS-CC,
+//!   direction-optimizing BFS-CC, and a serial union-find oracle.
+
+pub use afforest_baselines as baselines;
+pub use afforest_core as core;
+pub use afforest_distrib as distrib;
+pub use afforest_gpu_model as gpumodel;
+pub use afforest_graph as graph;
+
+/// Convenient glob-import surface covering the common 90% of the API.
+pub mod prelude {
+    pub use afforest_baselines::{
+        bfs_cc, dobfs_cc, label_prop, label_prop_sync, shiloach_vishkin, sv_edgelist, UnionFind,
+    };
+    pub use afforest_core::{
+        afforest, afforest_with_stats, AfforestConfig, ComponentLabels, RunStats,
+    };
+    pub use afforest_graph::{
+        generators, CsrGraph, EdgeList, GraphBuilder, GraphStats, Node,
+    };
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration: every algorithm on every workload family must
+//! produce the same partition as the serial union-find oracle.
+
+use afforest_repro::baselines::union_find::union_find_cc;
+use afforest_repro::graph::generators::{
+    barabasi_albert, binary_tree, complete, cycle, path, rmat_scale, road_network, star,
+    uniform_random, urand_with_components, web_graph,
+};
+use afforest_repro::prelude::*;
+
+/// A named CC algorithm entry point.
+type NamedAlgorithm = (&'static str, fn(&CsrGraph) -> Vec<Node>);
+
+/// All parallel algorithms under test, by name.
+fn algorithms() -> Vec<NamedAlgorithm> {
+    fn aff(g: &CsrGraph) -> Vec<Node> {
+        afforest(g, &AfforestConfig::default()).as_slice().to_vec()
+    }
+    fn aff_noskip(g: &CsrGraph) -> Vec<Node> {
+        afforest(g, &AfforestConfig::without_skip())
+            .as_slice()
+            .to_vec()
+    }
+    vec![
+        ("afforest", aff),
+        ("afforest-noskip", aff_noskip),
+        ("sv", shiloach_vishkin),
+        ("sv-edgelist", sv_edgelist),
+        ("label-prop", label_prop),
+        ("label-prop-sync", label_prop_sync),
+        ("bfs", bfs_cc),
+        ("dobfs", dobfs_cc),
+    ]
+}
+
+fn check_all(g: &CsrGraph, context: &str) {
+    let oracle = ComponentLabels::from_vec(union_find_cc(g));
+    assert!(oracle.verify_against(g), "{context}: oracle inconsistent");
+    for (name, run) in algorithms() {
+        let labels = ComponentLabels::from_vec(run(g));
+        assert!(
+            labels.equivalent(&oracle),
+            "{context}: {name} disagrees with union-find \
+             ({} vs {} components)",
+            labels.num_components(),
+            oracle.num_components()
+        );
+    }
+}
+
+#[test]
+fn classic_graphs() {
+    check_all(&path(500), "path(500)");
+    check_all(&cycle(256), "cycle(256)");
+    check_all(&star(200, 199), "star high hub");
+    check_all(&star(200, 0), "star low hub");
+    check_all(&complete(40), "complete(40)");
+    check_all(&binary_tree(511), "binary_tree(511)");
+}
+
+#[test]
+fn degenerate_graphs() {
+    check_all(&GraphBuilder::from_edges(0, &[]).build(), "empty");
+    check_all(&GraphBuilder::from_edges(1, &[]).build(), "single vertex");
+    check_all(&GraphBuilder::from_edges(64, &[]).build(), "all isolated");
+    check_all(
+        &GraphBuilder::from_edges(2, &[(0, 1)]).build(),
+        "single edge",
+    );
+}
+
+#[test]
+fn uniform_random_family() {
+    for seed in 0..3 {
+        check_all(
+            &uniform_random(8_000, 50_000, seed),
+            &format!("urand seed {seed}"),
+        );
+    }
+    // Sub-critical density: many small components.
+    check_all(&uniform_random(10_000, 4_000, 9), "sparse urand");
+}
+
+#[test]
+fn kronecker_family() {
+    check_all(&rmat_scale(13, 8, 1), "rmat 2^13");
+    check_all(&rmat_scale(11, 32, 2), "dense rmat");
+}
+
+#[test]
+fn road_family() {
+    check_all(&road_network(100, 100, 0.55, 0.0, 3), "fragmented road");
+    check_all(&road_network(64, 64, 1.0, 0.0, 0), "full grid");
+}
+
+#[test]
+fn web_family() {
+    check_all(&web_graph(8_000, 5, 0.8, 10.0, 4), "web");
+}
+
+#[test]
+fn social_family() {
+    check_all(&barabasi_albert(5_000, 3, 5), "barabasi-albert");
+}
+
+#[test]
+fn component_fraction_family() {
+    for &f in &[1.0, 0.3, 0.05, 0.005] {
+        check_all(
+            &urand_with_components(6_000, 4, f, 11),
+            &format!("components f={f}"),
+        );
+    }
+}
+
+#[test]
+fn parallel_unions_of_disjoint_graphs() {
+    // Two copies of a graph placed side by side: component count doubles.
+    let g = uniform_random(2_000, 10_000, 6);
+    let mut edges = g.collect_edges();
+    let offset = g.num_vertices() as Node;
+    let more: Vec<_> = edges.iter().map(|&(u, v)| (u + offset, v + offset)).collect();
+    edges.extend(more);
+    let doubled = GraphBuilder::from_edges(2 * g.num_vertices(), &edges).build();
+
+    let single = afforest(&g, &AfforestConfig::default());
+    let double = afforest(&doubled, &AfforestConfig::default());
+    assert_eq!(double.num_components(), 2 * single.num_components());
+    check_all(&doubled, "doubled graph");
+}

@@ -1,0 +1,111 @@
+//! Differential testing across thread-pool sizes.
+//!
+//! Rayon interleaving differs with worker count even on one hardware
+//! thread; running every parallel algorithm under pools of 1, 2, 4 and 8
+//! workers and demanding identical partitions (and for tree-hooking
+//! algorithms, identical *labelings*) flushes out ordering assumptions.
+
+use afforest_repro::baselines::union_find::union_find_cc;
+use afforest_repro::graph::generators::{rmat_scale, road_network, uniform_random, web_graph};
+use afforest_repro::prelude::*;
+
+const POOLS: [usize; 4] = [1, 2, 4, 8];
+
+fn with_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+fn graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("urand", uniform_random(3_000, 20_000, 1)),
+        ("kron", rmat_scale(11, 8, 2)),
+        ("road", road_network(50, 50, 0.6, 0.01, 3)),
+        ("web", web_graph(2_500, 4, 0.75, 8.0, 4)),
+    ]
+}
+
+#[test]
+fn afforest_labeling_is_schedule_independent() {
+    // The final labeling is the component minimum, so it must be
+    // *bit-identical* across pool sizes, not just equivalent.
+    for (name, g) in graphs() {
+        let reference = with_pool(1, || afforest(&g, &AfforestConfig::default()));
+        for threads in POOLS {
+            let labels = with_pool(threads, || afforest(&g, &AfforestConfig::default()));
+            assert_eq!(
+                labels.as_slice(),
+                reference.as_slice(),
+                "{name} differs at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_parallel_algorithm_correct_under_every_pool() {
+    for (name, g) in graphs() {
+        let oracle = ComponentLabels::from_vec(union_find_cc(&g));
+        for threads in POOLS {
+            let runs: Vec<(&str, Vec<Node>)> = with_pool(threads, || {
+                vec![
+                    ("sv", shiloach_vishkin(&g)),
+                    ("sv-edgelist", sv_edgelist(&g)),
+                    ("lp", label_prop(&g)),
+                    ("bfs", bfs_cc(&g)),
+                    ("dobfs", dobfs_cc(&g)),
+                    (
+                        "parallel-uf",
+                        afforest_repro::baselines::parallel_uf(&g),
+                    ),
+                    (
+                        "sv-1982",
+                        afforest_repro::baselines::shiloach_vishkin_1982(&g),
+                    ),
+                ]
+            });
+            for (alg, labels) in runs {
+                assert!(
+                    ComponentLabels::from_vec(labels).equivalent(&oracle),
+                    "{alg} wrong on {name} at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spanning_forest_valid_under_every_pool() {
+    let g = uniform_random(2_000, 14_000, 9);
+    let c = ComponentLabels::from_vec(union_find_cc(&g)).num_components();
+    for threads in POOLS {
+        let forest = with_pool(threads, || afforest_repro::core::spanning_forest(&g));
+        assert_eq!(forest.len(), g.num_vertices() - c, "{threads} threads");
+    }
+}
+
+#[test]
+fn giant_root_and_skip_effectiveness_are_stable() {
+    // The sampled giant root is deterministic (fixed seed over the
+    // deterministic post-compress π). The per-vertex skip decisions race
+    // with concurrent links, so exact counters may wiggle — but the
+    // effectiveness must not: on a giant-component graph, the heuristic
+    // always skips the overwhelming majority of vertices.
+    let g = uniform_random(4_000, 40_000, 6);
+    let reference = with_pool(1, || afforest_with_stats(&g, &AfforestConfig::default()).1);
+    for threads in POOLS {
+        let stats = with_pool(threads, || {
+            afforest_with_stats(&g, &AfforestConfig::default()).1
+        });
+        assert_eq!(stats.giant_root, reference.giant_root);
+        assert!(
+            stats.vertices_skipped > 3_600,
+            "{threads} threads skipped only {}",
+            stats.vertices_skipped
+        );
+        assert!(stats.edge_fraction(&g) < 0.25);
+    }
+}

@@ -1,0 +1,70 @@
+//! Golden regression corpus: frozen structural facts about the dataset
+//! registry and the deterministic labelings.
+//!
+//! These values were captured from a verified build; any drift means a
+//! generator, builder, or labeling semantics changed — which silently
+//! invalidates EXPERIMENTS.md. Update them only deliberately, alongside a
+//! fresh experiments run.
+
+use afforest_bench::{datasets, Scale};
+use afforest_repro::prelude::*;
+
+/// (name, |V|, |E|, components, largest component) at tiny scale.
+const REGISTRY_GOLDEN: [(&str, usize, usize, usize, usize); 6] = [
+    ("road", 1_024, 1_846, 1, 1_024),
+    ("osm-eur", 2_304, 3_398, 16, 2_273),
+    ("twitter", 1_024, 11_236, 24, 1_001),
+    ("web", 1_024, 7_580, 1, 1_024),
+    ("urand", 1_024, 16_144, 1, 1_024),
+    ("kron", 1_024, 10_566, 125, 900),
+];
+
+fn tiny(name: &str) -> CsrGraph {
+    datasets::by_name(name)
+        .unwrap_or_else(|| panic!("dataset {name}"))
+        .build(Scale::Tiny)
+}
+
+#[test]
+fn registry_structure_is_frozen() {
+    for (name, n, m, c, largest) in REGISTRY_GOLDEN {
+        let g = tiny(name);
+        assert_eq!(g.num_vertices(), n, "{name}: |V| drifted");
+        assert_eq!(g.num_edges(), m, "{name}: |E| drifted");
+        let labels = afforest(&g, &AfforestConfig::default());
+        assert_eq!(labels.num_components(), c, "{name}: C drifted");
+        assert_eq!(
+            labels.largest_component_size(),
+            largest,
+            "{name}: |c_max| drifted"
+        );
+    }
+}
+
+#[test]
+fn labeling_matches_oracle_fingerprint() {
+    // The min-index labeling of a fixed generator output is fully
+    // deterministic and must coincide exactly with the serial oracle's.
+    for name in ["kron", "road", "web"] {
+        let g = tiny(name);
+        let labels = afforest(&g, &AfforestConfig::default());
+        let oracle = afforest_repro::baselines::union_find::union_find_cc(&g);
+        assert_eq!(labels.as_slice(), &oracle[..], "{name}: labeling drifted");
+    }
+}
+
+#[test]
+fn table_ii_values_are_frozen() {
+    // The instrumented counters behind Table II are deterministic for
+    // deterministic inputs (sequential-equivalent counting): freeze the
+    // SV iteration counts at tiny scale.
+    use afforest_repro::baselines::shiloach_vishkin_with_stats;
+    for (name, expected_iters) in [("road", 2usize), ("urand", 2), ("kron", 2)] {
+        let g = tiny(name);
+        let (_, stats) = shiloach_vishkin_with_stats(&g);
+        assert_eq!(
+            stats.iterations, expected_iters,
+            "{name}: SV iteration count drifted"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests over random edge lists: algorithm agreement,
+//! the paper's invariants, spanning-forest properties, relabeling
+//! equivariance, and CSR construction laws.
+
+use afforest_repro::baselines::union_find::union_find_cc;
+use afforest_repro::core::spanning_forest::{spanning_forest, spanning_forest_serial};
+use afforest_repro::core::{compress_all, link, ParentArray};
+use afforest_repro::graph::perm::{invert_permutation, random_permutation, relabel};
+use afforest_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random graph as (n, edge list).
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(Node, Node)>)> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as Node, 0..n as Node);
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_algorithms_match_oracle((n, edges) in arb_graph(200, 600)) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let oracle = ComponentLabels::from_vec(union_find_cc(&g));
+        let runs: Vec<(&str, Vec<Node>)> = vec![
+            ("afforest", afforest(&g, &AfforestConfig::default()).as_slice().to_vec()),
+            ("afforest-noskip", afforest(&g, &AfforestConfig::without_skip()).as_slice().to_vec()),
+            ("sv", shiloach_vishkin(&g)),
+            ("sv-edgelist", sv_edgelist(&g)),
+            ("lp", label_prop(&g)),
+            ("bfs", bfs_cc(&g)),
+            ("dobfs", dobfs_cc(&g)),
+        ];
+        for (name, labels) in runs {
+            let l = ComponentLabels::from_vec(labels);
+            prop_assert!(l.equivalent(&oracle), "{} disagrees", name);
+        }
+    }
+
+    #[test]
+    fn afforest_verifies_against_graph((n, edges) in arb_graph(300, 900)) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let labels = afforest(&g, &AfforestConfig::default());
+        prop_assert!(labels.verify_against(&g));
+    }
+
+    #[test]
+    fn invariant_one_holds_after_links((n, edges) in arb_graph(200, 600)) {
+        // π(x) ≤ x after any sequence of parallel link calls.
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let pi = ParentArray::new(g.num_vertices());
+        use rayon::prelude::*;
+        g.collect_edges().par_iter().for_each(|&(u, v)| { link(u, v, &pi); });
+        prop_assert!(pi.check_invariant());
+        // And after compression too (Lemma 2).
+        compress_all(&pi);
+        prop_assert!(pi.check_invariant());
+        prop_assert!(pi.max_depth() <= 1);
+    }
+
+    #[test]
+    fn compress_is_idempotent((n, edges) in arb_graph(150, 400)) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let pi = ParentArray::new(g.num_vertices());
+        for (u, v) in g.edges() { link(u, v, &pi); }
+        compress_all(&pi);
+        let once = pi.snapshot();
+        compress_all(&pi);
+        prop_assert_eq!(once, pi.snapshot());
+    }
+
+    #[test]
+    fn spanning_forest_laws((n, edges) in arb_graph(150, 500)) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let oracle = ComponentLabels::from_vec(union_find_cc(&g));
+        let c = oracle.num_components();
+        for forest in [spanning_forest(&g), spanning_forest_serial(&g)] {
+            // Exactly |V| − C edges.
+            prop_assert_eq!(forest.len(), g.num_vertices() - c);
+            // All edges from the graph.
+            prop_assert!(forest.iter().all(|&(u, v)| g.has_edge(u, v)));
+            // Connectivity preserved.
+            let fg = GraphBuilder::from_edges(g.num_vertices(), &forest).build();
+            let flabels = ComponentLabels::from_vec(union_find_cc(&fg));
+            prop_assert!(flabels.equivalent(&oracle));
+        }
+    }
+
+    #[test]
+    fn relabeling_equivariance((n, edges) in arb_graph(120, 400), seed in 0u64..1000) {
+        // afforest(relabel(g)) must equal relabel(afforest(g)) as a partition.
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let perm = random_permutation(n, seed);
+        let h = relabel(&g, &perm);
+        let lg = afforest(&g, &AfforestConfig::default());
+        let lh = afforest(&h, &AfforestConfig::default());
+        prop_assert_eq!(lg.num_components(), lh.num_components());
+        let inv = invert_permutation(&perm);
+        for a in 0..n as Node {
+            for b in (a + 1)..n as Node {
+                // a, b in h correspond to inv[a], inv[b] in g.
+                prop_assert_eq!(
+                    lh.same_component(a, b),
+                    lg.same_component(inv[a as usize], inv[b as usize])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_builder_laws((n, edges) in arb_graph(200, 600)) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        // Symmetry.
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u));
+            }
+            // Sorted + deduped adjacency.
+            let nb = g.neighbors(u);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
+            // No self loops.
+            prop_assert!(!g.has_edge(u, u));
+        }
+        // Arc count is exactly twice the undirected edge count.
+        prop_assert_eq!(g.num_arcs(), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn component_labels_counts_are_consistent((n, edges) in arb_graph(150, 500)) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let labels = afforest(&g, &AfforestConfig::default());
+        let sizes = labels.component_sizes();
+        prop_assert_eq!(sizes.len(), labels.num_components());
+        prop_assert_eq!(sizes.iter().sum::<usize>(), g.num_vertices());
+        prop_assert_eq!(
+            labels.largest_component_size(),
+            sizes.iter().copied().max().unwrap_or(0)
+        );
+    }
+
+    #[test]
+    fn config_knobs_never_change_the_answer(
+        (n, edges) in arb_graph(150, 500),
+        rounds in 0usize..6,
+        skip in any::<bool>(),
+        per_round in any::<bool>(),
+        sample in 1usize..64,
+    ) {
+        let g = GraphBuilder::from_edges(n, &edges).build();
+        let reference = afforest(&g, &AfforestConfig::default());
+        let cfg = AfforestConfig {
+            neighbor_rounds: rounds,
+            skip_largest: skip,
+            compress_each_round: per_round,
+            sample_size: sample,
+            seed: 1,
+        };
+        let labels = afforest(&g, &cfg);
+        prop_assert!(labels.equivalent(&reference), "cfg {:?} changed the partition", cfg);
+    }
+}

@@ -1,0 +1,141 @@
+//! Concurrency stress tests: adversarial structures and repeated runs.
+//!
+//! Section V-A constructs worst cases for `link` (a depth-one tree whose
+//! root has the highest index, hooked in descending order) and `compress`
+//! (linear-depth trees). These tests hammer those shapes plus racy
+//! configurations to shake out ordering bugs.
+
+use afforest_repro::baselines::union_find::union_find_cc;
+use afforest_repro::prelude::*;
+
+fn oracle_check(g: &CsrGraph, labels: &ComponentLabels, context: &str) {
+    let oracle = ComponentLabels::from_vec(union_find_cc(g));
+    assert!(labels.equivalent(&oracle), "{context}");
+}
+
+#[test]
+fn star_with_highest_index_hub_repeated() {
+    // The paper's link worst case. Run many times to catch race windows.
+    let n = 20_000;
+    let edges: Vec<(Node, Node)> = (0..n as Node - 1).map(|v| (n as Node - 1, v)).collect();
+    let g = GraphBuilder::from_edges(n, &edges).build();
+    for trial in 0..10 {
+        let labels = afforest(&g, &AfforestConfig::default());
+        assert_eq!(labels.num_components(), 1, "trial {trial}");
+    }
+}
+
+#[test]
+fn long_path_compress_worst_case() {
+    // Linear-depth trees stress compress.
+    let n = 200_000;
+    let edges: Vec<(Node, Node)> = (1..n as Node).map(|v| (v - 1, v)).collect();
+    let g = GraphBuilder::from_edges(n, &edges).build();
+    let labels = afforest(&g, &AfforestConfig::default());
+    assert_eq!(labels.num_components(), 1);
+    oracle_check(&g, &labels, "long path");
+}
+
+#[test]
+fn descending_chain_adversarial_order() {
+    // Edges connecting (v, v-1) — hooking proceeds in the adversarial
+    // direction where every link touches the current root.
+    let n = 50_000;
+    let edges: Vec<(Node, Node)> = (1..n as Node).rev().map(|v| (v, v - 1)).collect();
+    let g = GraphBuilder::from_edges(n, &edges).build();
+    for _ in 0..5 {
+        let labels = afforest(&g, &AfforestConfig::default());
+        assert_eq!(labels.num_components(), 1);
+    }
+}
+
+#[test]
+fn butterfly_contention() {
+    // Many vertices all connected through two hubs — maximal CAS
+    // contention on the hubs' roots.
+    let n: Node = 30_000;
+    let mut edges = Vec::new();
+    for v in 2..n {
+        edges.push((v, v % 2));
+    }
+    edges.push((0, 1));
+    let g = GraphBuilder::from_edges(n as usize, &edges).build();
+    for _ in 0..10 {
+        let labels = afforest(&g, &AfforestConfig::default());
+        assert_eq!(labels.num_components(), 1);
+    }
+}
+
+#[test]
+fn repeated_runs_are_label_identical() {
+    // Afforest's final labeling is the component-minimum, hence
+    // deterministic regardless of interleaving.
+    let g = afforest_repro::graph::generators::rmat_scale(13, 8, 3);
+    let first = afforest(&g, &AfforestConfig::default());
+    for _ in 0..8 {
+        let again = afforest(&g, &AfforestConfig::default());
+        assert_eq!(first.as_slice(), again.as_slice());
+    }
+}
+
+#[test]
+fn all_baselines_on_adversarial_star() {
+    let n = 10_000;
+    let edges: Vec<(Node, Node)> = (0..n as Node - 1).map(|v| (n as Node - 1, v)).collect();
+    let g = GraphBuilder::from_edges(n, &edges).build();
+    let oracle = ComponentLabels::from_vec(union_find_cc(&g));
+    for (name, labels) in [
+        ("sv", shiloach_vishkin(&g)),
+        ("sv-edgelist", sv_edgelist(&g)),
+        ("lp", label_prop(&g)),
+        ("bfs", bfs_cc(&g)),
+        ("dobfs", dobfs_cc(&g)),
+    ] {
+        assert!(
+            ComponentLabels::from_vec(labels).equivalent(&oracle),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn interleaved_components_stress_skip_heuristic() {
+    // Two equal-size components interleaved by index parity: the
+    // most-frequent-element sample is ambiguous, and skipping must remain
+    // correct whichever component wins.
+    let n: Node = 20_000;
+    let mut edges = Vec::new();
+    for v in (2..n).step_by(2) {
+        edges.push((v, v - 2)); // even chain
+    }
+    for v in (3..n).step_by(2) {
+        edges.push((v, v - 2)); // odd chain
+    }
+    let g = GraphBuilder::from_edges(n as usize, &edges).build();
+    for seed in 0..10 {
+        let cfg = AfforestConfig {
+            seed,
+            ..Default::default()
+        };
+        let labels = afforest(&g, &cfg);
+        assert_eq!(labels.num_components(), 2, "seed {seed}");
+        assert!(labels.same_component(0, n - 2));
+        assert!(labels.same_component(1, n - 1));
+        assert!(!labels.same_component(0, 1));
+    }
+}
+
+#[test]
+fn giant_plus_dust() {
+    // One giant component plus thousands of singletons — the regime the
+    // skip heuristic targets (Section IV-D).
+    let giant = afforest_repro::graph::generators::uniform_random(30_000, 300_000, 8);
+    let mut edges = giant.collect_edges();
+    let n = giant.num_vertices() + 10_000; // dust: isolated vertices
+    edges.push((0, 1));
+    let g = GraphBuilder::from_edges(n, &edges).build();
+    let (labels, stats) = afforest_with_stats(&g, &AfforestConfig::default());
+    oracle_check(&g, &labels, "giant plus dust");
+    // Skip must have fired on the giant component's vertices.
+    assert!(stats.vertices_skipped > 25_000);
+}
