@@ -1,0 +1,12 @@
+#!/bin/sh
+# One-command verification gate. Thin wrapper so CI systems and humans run
+# the exact same battery; the actual sequencing lives in `cargo xtask ci`:
+#
+#   1. concurrency lints   (SAFETY comments, ordering allowlist, no SeqCst)
+#   2. cargo fmt --check
+#   3. cargo clippy --workspace --all-targets -- -D warnings
+#   4. cargo test --workspace
+#   5. the schedule-exploring model checker (crates/modelcheck)
+set -eu
+cd "$(dirname "$0")"
+exec cargo xtask ci

@@ -80,7 +80,10 @@ pub fn dobfs_cc_with(g: &CsrGraph, cfg: &DobfsConfig) -> Vec<Node> {
                     let (next_bitmap, next_frontier) = bottom_up_step(g, &labels, &bitmap, root);
                     let frontier_size = next_frontier.len();
                     remaining_arcs.fetch_sub(
-                        next_frontier.par_iter().map(|&v| g.degree(v)).sum::<usize>(),
+                        next_frontier
+                            .par_iter()
+                            .map(|&v| g.degree(v))
+                            .sum::<usize>(),
                         Ordering::Relaxed,
                     );
                     frontier = next_frontier;

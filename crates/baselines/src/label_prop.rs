@@ -106,7 +106,10 @@ mod tests {
 
     fn check(g: &CsrGraph) {
         let oracle = union_find_cc(g);
-        assert!(same_partition(&label_prop_sync(g), &oracle), "sync LP wrong");
+        assert!(
+            same_partition(&label_prop_sync(g), &oracle),
+            "sync LP wrong"
+        );
         assert!(same_partition(&label_prop(g), &oracle), "frontier LP wrong");
     }
 

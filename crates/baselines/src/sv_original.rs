@@ -196,10 +196,7 @@ mod tests {
     fn star_detection_identifies_stars() {
         // Manually shaped forest: {0} root with leaf 1 (star); chain
         // 4→3→2 (not a star).
-        let pi: Vec<AtomicU32> = [0u32, 0, 2, 2, 3]
-            .into_iter()
-            .map(AtomicU32::new)
-            .collect();
+        let pi: Vec<AtomicU32> = [0u32, 0, 2, 2, 3].into_iter().map(AtomicU32::new).collect();
         let star = compute_stars(&pi);
         let flags: Vec<bool> = star.iter().map(|s| s.load(Ordering::Relaxed)).collect();
         assert!(flags[0] && flags[1], "depth-1 tree is a star");

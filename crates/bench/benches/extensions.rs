@@ -4,7 +4,9 @@
 use afforest_baselines::{rem_cc, union_by_rank_cc, union_by_size_cc, union_find::union_find_cc};
 use afforest_core::incremental::IncrementalCc;
 use afforest_core::{afforest, AfforestConfig};
-use afforest_distrib::{distributed_cc_forest, distributed_cc_labels, PartitionKind, VertexPartition};
+use afforest_distrib::{
+    distributed_cc_forest, distributed_cc_labels, PartitionKind, VertexPartition,
+};
 use afforest_graph::generators::uniform_random;
 use afforest_graph::CsrGraph;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -28,19 +30,15 @@ fn bench_incremental(c: &mut Criterion) {
     configure(&mut group);
     group.throughput(Throughput::Elements(edges.len() as u64));
     for chunks in [1usize, 8, 64] {
-        group.bench_with_input(
-            BenchmarkId::new("stream", chunks),
-            &chunks,
-            |b, &chunks| {
-                b.iter(|| {
-                    let mut cc = IncrementalCc::new(g.num_vertices());
-                    for chunk in edges.chunks(edges.len().div_ceil(chunks)) {
-                        cc.insert_batch(chunk);
-                    }
-                    cc.into_labels()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("stream", chunks), &chunks, |b, &chunks| {
+            b.iter(|| {
+                let mut cc = IncrementalCc::new(g.num_vertices());
+                for chunk in edges.chunks(edges.len().div_ceil(chunks)) {
+                    cc.insert_batch(chunk);
+                }
+                cc.into_labels()
+            });
+        });
     }
     group.bench_function("batch-afforest", |b| {
         b.iter(|| afforest(&g, &AfforestConfig::default()))
@@ -54,11 +52,9 @@ fn bench_distributed(c: &mut Criterion) {
     configure(&mut group);
     for ranks in [2usize, 8] {
         let part = VertexPartition::new(g.num_vertices(), ranks, PartitionKind::Hash);
-        group.bench_with_input(
-            BenchmarkId::new("forest-merge", ranks),
-            &part,
-            |b, part| b.iter(|| distributed_cc_forest(&g, part)),
-        );
+        group.bench_with_input(BenchmarkId::new("forest-merge", ranks), &part, |b, part| {
+            b.iter(|| distributed_cc_forest(&g, part))
+        });
         group.bench_with_input(
             BenchmarkId::new("label-exchange", ranks),
             &part,

@@ -1,7 +1,9 @@
 //! Unified algorithm dispatch for the cross-algorithm experiments
 //! (Figs. 6c, 8a, 8b, 8c).
 
-use afforest_baselines::{bfs_cc, dobfs_cc, label_prop, parallel_uf, shiloach_vishkin, sv_edgelist};
+use afforest_baselines::{
+    bfs_cc, dobfs_cc, label_prop, parallel_uf, shiloach_vishkin, sv_edgelist,
+};
 use afforest_core::{afforest, AfforestConfig};
 use afforest_graph::{CsrGraph, Node};
 

@@ -4,8 +4,7 @@ use afforest_bench::experiments::ablation;
 use afforest_bench::Options;
 
 fn main() {
-    let opts =
-        Options::from_env("ablation_report [--scale S] [--trials N] [--dataset NAME]");
+    let opts = Options::from_env("ablation_report [--scale S] [--trials N] [--dataset NAME]");
     print!(
         "{}",
         ablation::run(opts.scale, opts.trials, opts.dataset.as_deref()).render()

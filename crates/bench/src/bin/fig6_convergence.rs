@@ -14,7 +14,11 @@ fn main() {
     let report = fig6::run(opts.scale, opts.dataset.as_deref(), batches);
     print!("{}", report.render());
     if let Some(path) = &opts.csv {
-        report.primary_table().unwrap().write_csv(path).expect("write csv");
+        report
+            .primary_table()
+            .unwrap()
+            .write_csv(path)
+            .expect("write csv");
         println!("csv written to {path}");
     }
 }

@@ -9,7 +9,11 @@ fn main() {
     let report = fig8a::run(opts.scale, opts.trials, opts.dataset.as_deref());
     print!("{}", report.render());
     if let Some(path) = &opts.csv {
-        report.primary_table().unwrap().write_csv(path).expect("write csv");
+        report
+            .primary_table()
+            .unwrap()
+            .write_csv(path)
+            .expect("write csv");
         println!("csv written to {path}");
     }
 }

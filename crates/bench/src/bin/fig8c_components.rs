@@ -8,7 +8,11 @@ fn main() {
     let report = fig8c::run(opts.scale, opts.trials);
     print!("{}", report.render());
     if let Some(path) = &opts.csv {
-        report.primary_table().unwrap().write_csv(path).expect("write csv");
+        report
+            .primary_table()
+            .unwrap()
+            .write_csv(path)
+            .expect("write csv");
         println!("csv written to {path}");
     }
 }

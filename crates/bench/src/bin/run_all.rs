@@ -24,13 +24,31 @@ fn main() {
         ("table2", Box::new(move || table2::run(opts.scale, None))),
         ("table3", Box::new(move || table3::run(opts.scale, None))),
         ("fig6", Box::new(move || fig6::run(opts.scale, None, 10))),
-        ("fig6c", Box::new(move || fig6c::run(opts.scale, opts.trials))),
+        (
+            "fig6c",
+            Box::new(move || fig6c::run(opts.scale, opts.trials)),
+        ),
         ("fig7", Box::new(move || fig7::run(vlog, elog))),
-        ("fig8a", Box::new(move || fig8a::run(opts.scale, opts.trials, None))),
-        ("fig8b", Box::new(move || fig8b::run(opts.scale, opts.trials, None))),
-        ("fig8c", Box::new(move || fig8c::run(opts.scale, opts.trials))),
-        ("distrib", Box::new(move || distrib_comm::run(opts.scale, None))),
-        ("ablation", Box::new(move || ablation::run(opts.scale, opts.trials, None))),
+        (
+            "fig8a",
+            Box::new(move || fig8a::run(opts.scale, opts.trials, None)),
+        ),
+        (
+            "fig8b",
+            Box::new(move || fig8b::run(opts.scale, opts.trials, None)),
+        ),
+        (
+            "fig8c",
+            Box::new(move || fig8c::run(opts.scale, opts.trials)),
+        ),
+        (
+            "distrib",
+            Box::new(move || distrib_comm::run(opts.scale, None)),
+        ),
+        (
+            "ablation",
+            Box::new(move || ablation::run(opts.scale, opts.trials, None)),
+        ),
         ("gpu", Box::new(move || gpu::run(opts.scale, None))),
     ];
 

@@ -49,8 +49,9 @@ impl Options {
                 .ok_or_else(|| format!("flag --{key} requires a value"))?;
             match key {
                 "scale" => {
-                    opts.scale = Scale::parse(&value)
-                        .ok_or_else(|| format!("unknown scale '{value}' (tiny|small|medium|large)"))?;
+                    opts.scale = Scale::parse(&value).ok_or_else(|| {
+                        format!("unknown scale '{value}' (tiny|small|medium|large)")
+                    })?;
                 }
                 "trials" => {
                     opts.trials = value
@@ -110,7 +111,14 @@ mod tests {
     #[test]
     fn all_flags() {
         let o = parse(&[
-            "--scale", "large", "--trials", "3", "--csv", "/tmp/x.csv", "--dataset", "web",
+            "--scale",
+            "large",
+            "--trials",
+            "3",
+            "--csv",
+            "/tmp/x.csv",
+            "--dataset",
+            "web",
         ])
         .unwrap();
         assert_eq!(o.scale, Scale::Large);

@@ -16,9 +16,7 @@
 //! suite in seconds (default for CI and examples), `Large` approaches the
 //! biggest sizes a laptop handles comfortably.
 
-use afforest_graph::generators::{
-    rmat, road_network, uniform_random, web_graph, RmatParams,
-};
+use afforest_graph::generators::{rmat, road_network, uniform_random, web_graph, RmatParams};
 use afforest_graph::CsrGraph;
 
 /// Dataset size preset. Controls `|V|` per dataset; edge factors stay

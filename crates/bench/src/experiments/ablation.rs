@@ -55,7 +55,12 @@ pub fn run(scale: Scale, trials: usize, dataset: Option<&str>) -> Report {
     r.table("1. Neighbor rounds (paper default: 2)", t);
 
     // 2. Skip on/off.
-    let mut t = Table::new(["skip-largest", "edges-processed", "edge-fraction-%", "median-ms"]);
+    let mut t = Table::new([
+        "skip-largest",
+        "edges-processed",
+        "edge-fraction-%",
+        "median-ms",
+    ]);
     for (label, cfg) in [
         ("on", AfforestConfig::default()),
         ("off", AfforestConfig::without_skip()),
@@ -99,9 +104,14 @@ pub fn run(scale: Scale, trials: usize, dataset: Option<&str>) -> Report {
             table::f2(timing.median_ms()),
         ]);
     }
-    r.table("4. Most-frequent-element sample size (paper default: 1024)", t);
+    r.table(
+        "4. Most-frequent-element sample size (paper default: 1024)",
+        t,
+    );
 
-    r.note("every configuration produces the identical verified partition; only work and time vary");
+    r.note(
+        "every configuration produces the identical verified partition; only work and time vary",
+    );
     r
 }
 

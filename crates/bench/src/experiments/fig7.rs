@@ -92,7 +92,10 @@ pub fn run(vlog: u32, elog: u32) -> Report {
             "(b) Afforest without component skipping",
             trace_afforest(&g, &AfforestConfig::without_skip()),
         ),
-        ("(c) Afforest", trace_afforest(&g, &AfforestConfig::default())),
+        (
+            "(c) Afforest",
+            trace_afforest(&g, &AfforestConfig::default()),
+        ),
     ];
 
     for (name, trace) in &variants {
@@ -166,7 +169,10 @@ mod tests {
             .unwrap()
             .parse()
             .unwrap();
-        assert!(ratio > 1.0, "SV/Afforest access ratio {ratio} should exceed 1");
+        assert!(
+            ratio > 1.0,
+            "SV/Afforest access ratio {ratio} should exceed 1"
+        );
     }
 
     #[test]

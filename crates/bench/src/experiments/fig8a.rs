@@ -57,7 +57,11 @@ pub fn run(scale: Scale, trials: usize, dataset: Option<&str>) -> Report {
             .expect("non-empty competitor set");
 
         let mut row: Vec<String> = vec![d.name.to_string()];
-        row.extend(Algorithm::ALL.iter().map(|&a| table::f2(get(a).median_ms())));
+        row.extend(
+            Algorithm::ALL
+                .iter()
+                .map(|&a| table::f2(get(a).median_ms())),
+        );
         row.push(format!(
             "{}/{}",
             table::f2(aff.p25.as_secs_f64() * 1e3),

@@ -72,7 +72,14 @@ mod tests {
         let counts: Vec<usize> = csv
             .lines()
             .skip(1)
-            .map(|l| l.split(',').nth(1).unwrap().replace('_', "").parse().unwrap())
+            .map(|l| {
+                l.split(',')
+                    .nth(1)
+                    .unwrap()
+                    .replace('_', "")
+                    .parse()
+                    .unwrap()
+            })
             .collect();
         assert!(counts.windows(2).all(|w| w[1] <= w[0]));
         assert_eq!(*counts.last().unwrap(), 1);

@@ -73,8 +73,16 @@ pub fn render(series: &[Series], width: usize, height: usize, log_y: bool) -> St
         }
     }
 
-    let y_top = if log_y { format!("1e{y1:.1}") } else { format!("{y1:.3}") };
-    let y_bot = if log_y { format!("1e{y0:.1}") } else { format!("{y0:.3}") };
+    let y_top = if log_y {
+        format!("1e{y1:.1}")
+    } else {
+        format!("{y1:.3}")
+    };
+    let y_bot = if log_y {
+        format!("1e{y0:.1}")
+    } else {
+        format!("{y0:.3}")
+    };
     let label_w = y_top.len().max(y_bot.len());
     let mut out = String::new();
     for (i, row) in grid.iter().enumerate() {
@@ -95,13 +103,13 @@ pub fn render(series: &[Series], width: usize, height: usize, log_y: bool) -> St
     out.push_str(&"-".repeat(width));
     out.push('\n');
     out.push_str(&" ".repeat(label_w + 1));
-    out.push_str(&format!("{x0:<.3}{:>pad$.3}\n", x1, pad = width.saturating_sub(6)));
+    out.push_str(&format!(
+        "{x0:<.3}{:>pad$.3}\n",
+        x1,
+        pad = width.saturating_sub(6)
+    ));
     for (si, s) in series.iter().enumerate() {
-        out.push_str(&format!(
-            "  {} {}\n",
-            MARKS[si % MARKS.len()],
-            s.label
-        ));
+        out.push_str(&format!("  {} {}\n", MARKS[si % MARKS.len()], s.label));
     }
     out
 }

@@ -4,9 +4,8 @@
 use crate::args::ParsedArgs;
 use crate::load::{load_graph, save_graph};
 use afforest_baselines::{
-    bfs_cc, dobfs_cc, label_prop, parallel_uf, rem_cc, shiloach_vishkin,
-    shiloach_vishkin_1982, sv_edgelist, union_by_rank_cc, union_by_size_cc,
-    union_find::union_find_cc,
+    bfs_cc, dobfs_cc, label_prop, parallel_uf, rem_cc, shiloach_vishkin, shiloach_vishkin_1982,
+    sv_edgelist, union_by_rank_cc, union_by_size_cc, union_find::union_find_cc,
 };
 use afforest_core::{afforest, AfforestConfig, ComponentLabels};
 use afforest_graph::{CsrGraph, Node};
@@ -81,7 +80,12 @@ pub mod stats {
         let _ = writeln!(out, "degree cv:           {:.3}", d.cv);
         let _ = writeln!(out, "isolated vertices:   {}", d.isolated());
         let _ = writeln!(out, "components:          {}", s.num_components);
-        let _ = writeln!(out, "largest component:   {} ({:.2}%)", s.largest_component, 100.0 * s.largest_component_fraction());
+        let _ = writeln!(
+            out,
+            "largest component:   {} ({:.2}%)",
+            s.largest_component,
+            100.0 * s.largest_component_fraction()
+        );
         let _ = writeln!(out, "approx diameter:     {}", s.approx_diameter);
         Ok(out)
     }
@@ -123,7 +127,12 @@ pub mod cc {
             labels.largest_component_size(),
             labels.len()
         );
-        let _ = writeln!(out, "best time:   {:.3} ms ({} trial(s))", best * 1e3, trials);
+        let _ = writeln!(
+            out,
+            "best time:   {:.3} ms ({} trial(s))",
+            best * 1e3,
+            trials
+        );
 
         if let Some(dest) = args.flag("labels-out") {
             let mut text = String::with_capacity(labels.len() * 8);
@@ -246,9 +255,8 @@ pub mod bench {
         }
         let g = load_graph(path)?;
 
-        let reference = ComponentLabels::from_vec(
-            algorithm_by_name("union-find").expect("oracle exists")(&g),
-        );
+        let reference =
+            ComponentLabels::from_vec(algorithm_by_name("union-find").expect("oracle exists")(&g));
 
         let mut out = format!(
             "graph: {path} ({} vertices, {} edges)\n{:<18} {:>12}  {}\n",
@@ -360,7 +368,15 @@ mod tests {
         ] {
             let p = tempfile(&format!("gen-{family}.el"));
             let out = generate::run(&argv(&[
-                family, "--out", &p, "--n", "256", "--edge-factor", "4", "--seed", "1",
+                family,
+                "--out",
+                &p,
+                "--n",
+                "256",
+                "--edge-factor",
+                "4",
+                "--seed",
+                "1",
             ]))
             .unwrap();
             assert!(out.contains(family), "{family}");

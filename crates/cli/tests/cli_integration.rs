@@ -62,8 +62,18 @@ fn generate_convert_cc_consistency_across_formats() {
     let acsr = tmp("conv.acsr");
 
     dispatch(&argv(&[
-        "generate", "components", "--out", &el, "--n", "3000", "--edge-factor", "4",
-        "--fraction", "0.05", "--seed", "8",
+        "generate",
+        "components",
+        "--out",
+        &el,
+        "--n",
+        "3000",
+        "--edge-factor",
+        "4",
+        "--fraction",
+        "0.05",
+        "--seed",
+        "8",
     ]))
     .unwrap();
     dispatch(&argv(&["convert", &el, &gr])).unwrap();
@@ -92,8 +102,16 @@ fn generate_convert_cc_consistency_across_formats() {
 fn bench_cross_validates_all_algorithms() {
     let graph_path = tmp("bench.el");
     dispatch(&argv(&[
-        "generate", "kron", "--out", &graph_path, "--n", "1024", "--edge-factor", "8",
-        "--seed", "4",
+        "generate",
+        "kron",
+        "--out",
+        &graph_path,
+        "--n",
+        "1024",
+        "--edge-factor",
+        "8",
+        "--seed",
+        "4",
     ]))
     .unwrap();
     // `bench` errors out if any algorithm disagrees with the oracle.

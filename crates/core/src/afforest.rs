@@ -196,10 +196,22 @@ fn run(g: &CsrGraph, cfg: &AfforestConfig, collect: bool) -> (ComponentLabels, R
             stats.edges_processed += processed;
         }
 
+        // Invariant 1 must hold at every round boundary, not just at the
+        // end: a violation here pinpoints the round (and therefore the
+        // sampled neighbor slice) that produced an upward edge.
+        debug_assert!(
+            pi.check_invariant(),
+            "Invariant 1 violated after link round {round}"
+        );
+
         if cfg.compress_each_round {
             let t = Instant::now();
             compress_all(&pi);
             record(&mut stats, Phase::Compress(round), t);
+            debug_assert!(
+                pi.check_invariant(),
+                "Invariant 1 violated by compress after round {round}"
+            );
         }
         if collect {
             stats.trees_after_round.push(pi.count_trees());
@@ -209,6 +221,10 @@ fn run(g: &CsrGraph, cfg: &AfforestConfig, collect: bool) -> (ComponentLabels, R
         let t = Instant::now();
         compress_all(&pi);
         record(&mut stats, Phase::Compress(cfg.neighbor_rounds - 1), t);
+        debug_assert!(
+            pi.check_invariant(),
+            "Invariant 1 violated by deferred compress"
+        );
     }
 
     // Phase 3: identify the giant intermediate component (Fig. 5 line 10).
@@ -247,6 +263,10 @@ fn run(g: &CsrGraph, cfg: &AfforestConfig, collect: bool) -> (ComponentLabels, R
         stats.edges_processed += processed;
         stats.vertices_skipped = skipped;
     }
+    debug_assert!(
+        pi.check_invariant(),
+        "Invariant 1 violated by the final link pass"
+    );
 
     // Phase 5: final compress (Fig. 5 lines 16–18).
     let t = Instant::now();

@@ -83,10 +83,7 @@ pub fn afforest_link_stats(g: &CsrGraph, cfg: &AfforestConfig) -> LinkIterationS
                     (0, 0, 0)
                 }
             })
-            .reduce(
-                || (0, 0, 0),
-                |a, b| (a.0 + b.0, a.1 + b.1, a.2.max(b.2)),
-            );
+            .reduce(|| (0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2.max(b.2)));
         absorb(acc);
         stats.max_tree_depth = stats.max_tree_depth.max(pi.max_depth());
         if cfg.compress_each_round {
@@ -307,9 +304,7 @@ impl TracedParents {
 
     #[inline]
     fn log(&self, index: Node, op: AccessOp) {
-        let thread = rayon::current_thread_index()
-            .map(|i| i + 1)
-            .unwrap_or(0) as u16;
+        let thread = rayon::current_thread_index().map(|i| i + 1).unwrap_or(0) as u16;
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let phase = TracePhase::from_u8(self.phase.load(Ordering::Relaxed));
         self.buffers[thread as usize]

@@ -126,7 +126,9 @@ impl ComponentLabels {
             }
         }
         for &l in &self.labels {
-            let idx = sizes.binary_search_by_key(&l, |&(r, _)| r).expect("rep present");
+            let idx = sizes
+                .binary_search_by_key(&l, |&(r, _)| r)
+                .expect("rep present");
             sizes[idx].1 += 1;
         }
         sizes.into_iter()
@@ -153,9 +155,7 @@ impl ComponentLabels {
     /// Whether two labelings induce the same partition of vertices
     /// (equality up to relabeling).
     pub fn equivalent(&self, other: &ComponentLabels) -> bool {
-        if self.labels.len() != other.labels.len()
-            || self.num_components != other.num_components
-        {
+        if self.labels.len() != other.labels.len() || self.num_components != other.num_components {
             return false;
         }
         // Representatives biject: map self-rep → other-label, checked both

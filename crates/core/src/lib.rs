@@ -58,7 +58,9 @@ pub mod spanning_forest;
 pub mod strategies;
 pub mod worst_case;
 
-pub use crate::afforest::{afforest, afforest_with_stats, AfforestConfig, Phase, PhaseTiming, RunStats};
+pub use crate::afforest::{
+    afforest, afforest_with_stats, AfforestConfig, Phase, PhaseTiming, RunStats,
+};
 pub use crate::batched::{afforest_batched, BatchedConfig, BatchedStats};
 pub use crate::compress::{compress, compress_all};
 pub use crate::incremental::IncrementalCc;

@@ -176,7 +176,11 @@ mod tests {
         assert_eq!(first.edge_fraction, 0.0);
         assert_eq!(first.linkage, 0.0);
         assert!((last.edge_fraction - 1.0).abs() < 1e-12);
-        assert!((last.linkage - 1.0).abs() < 1e-12, "linkage {}", last.linkage);
+        assert!(
+            (last.linkage - 1.0).abs() < 1e-12,
+            "linkage {}",
+            last.linkage
+        );
         assert!((last.coverage - 1.0).abs() < 1e-12);
         assert_eq!(last.trees, gt.num_components());
     }

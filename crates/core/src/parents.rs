@@ -14,6 +14,12 @@
 //! only when the observed root is still its own parent. The final
 //! happens-before edge that makes the result visible to the caller is the
 //! rayon join at the end of every parallel phase.
+//!
+//! The full per-site justification lives in DESIGN.md §8
+//! ("Memory-ordering audit"), which `cargo xtask lint` enforces
+//! mechanically (ordering allowlist, SeqCst ban) and `crates/modelcheck`
+//! verifies by exhaustively exploring every interleaving of
+//! `link`/`compress`/`find_root` under coherence-only semantics.
 
 use afforest_graph::Node;
 use std::sync::atomic::{AtomicU32, Ordering};

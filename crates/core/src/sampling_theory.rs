@@ -29,9 +29,7 @@ use rand::SeedableRng;
 pub fn uniform_edge_sample(g: &CsrGraph, p: f64, seed: u64) -> Vec<Edge> {
     assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-    g.edges()
-        .filter(|_| rng.random::<f64>() < p)
-        .collect()
+    g.edges().filter(|_| rng.random::<f64>() < p).collect()
 }
 
 /// The first `rounds` neighbors of every vertex, deduplicated — the
@@ -165,7 +163,10 @@ mod tests {
         let p = 1.5 / g.avg_degree();
         let edges = uniform_edge_sample(&g, p, 11);
         let frac = giant_fraction(g.num_vertices(), &edges);
-        assert!(frac > 0.3, "giant fraction {frac} too small above threshold");
+        assert!(
+            frac > 0.3,
+            "giant fraction {frac} too small above threshold"
+        );
     }
 
     #[test]
@@ -175,7 +176,10 @@ mod tests {
         let p = 0.5 / g.avg_degree();
         let edges = uniform_edge_sample(&g, p, 11);
         let frac = giant_fraction(g.num_vertices(), &edges);
-        assert!(frac < 0.01, "giant fraction {frac} too large below threshold");
+        assert!(
+            frac < 0.01,
+            "giant fraction {frac} too large below threshold"
+        );
     }
 
     #[test]

@@ -89,7 +89,9 @@ mod tests {
                 parent[ru.max(rv) as usize] = ru.min(rv);
             }
         }
-        (0..n as Node).filter(|&v| find(&mut parent, v) == v).count()
+        (0..n as Node)
+            .filter(|&v| find(&mut parent, v) == v)
+            .count()
     }
 
     fn check_forest(g: &CsrGraph, forest: &[Edge]) {

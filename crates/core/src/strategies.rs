@@ -78,7 +78,12 @@ impl Strategy {
 /// let total: usize = batches.iter().map(|b| b.len()).sum();
 /// assert_eq!(total, g.num_edges()); // exact cover of E
 /// ```
-pub fn partition(g: &CsrGraph, strategy: Strategy, num_batches: usize, seed: u64) -> Vec<Vec<Edge>> {
+pub fn partition(
+    g: &CsrGraph,
+    strategy: Strategy,
+    num_batches: usize,
+    seed: u64,
+) -> Vec<Vec<Edge>> {
     let num_batches = num_batches.max(1);
     let batches = match strategy {
         Strategy::RowSampling => chunk(row_order_edges(g), num_batches),
@@ -132,10 +137,7 @@ fn chunk(edges: Vec<Edge>, k: usize) -> Vec<Vec<Edge>> {
         return Vec::new();
     }
     let per = edges.len().div_ceil(k);
-    edges
-        .chunks(per.max(1))
-        .map(|c| c.to_vec())
-        .collect()
+    edges.chunks(per.max(1)).map(|c| c.to_vec()).collect()
 }
 
 /// Bitmap over canonical arc positions, used to emit each undirected edge
@@ -301,12 +303,7 @@ mod tests {
         let g = uniform_random(400, 2_000, 9);
         let batches = partition(&g, Strategy::SpanningForest, 5, 0);
         let sf = crate::spanning_forest::spanning_forest_serial(&g);
-        let lead: Vec<Edge> = batches
-            .iter()
-            .flatten()
-            .copied()
-            .take(sf.len())
-            .collect();
+        let lead: Vec<Edge> = batches.iter().flatten().copied().take(sf.len()).collect();
         let mut lead_sorted = lead.clone();
         lead_sorted.sort_unstable();
         let mut sf_sorted = sf.clone();

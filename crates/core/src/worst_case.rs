@@ -74,7 +74,7 @@ pub fn link_benign_state(n: usize) -> ParentArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compress::{compress_counted, compress_all};
+    use crate::compress::{compress_all, compress_counted};
 
     #[test]
     fn adversarial_link_walk_is_linear() {

@@ -153,14 +153,18 @@ mod tests {
     #[test]
     fn messages_delivered_next_superstep_only() {
         // A rank must not see its own same-superstep sends.
-        let (states, _) = run_bsp(vec![Vec::<usize>::new(); 2], 8, |rank, step, state, inbox, out| {
-            state.extend(inbox.iter().map(|_| step));
-            if step == 0 && rank == 0 {
-                out.send(0, 7usize);
-                out.send(1, 7usize);
-            }
-            false
-        });
+        let (states, _) = run_bsp(
+            vec![Vec::<usize>::new(); 2],
+            8,
+            |rank, step, state, inbox, out| {
+                state.extend(inbox.iter().map(|_| step));
+                if step == 0 && rank == 0 {
+                    out.send(0, 7usize);
+                    out.send(1, 7usize);
+                }
+                false
+            },
+        );
         // Both ranks received at superstep 1, not 0.
         assert_eq!(states[0], vec![1]);
         assert_eq!(states[1], vec![1]);

@@ -37,10 +37,7 @@ struct RankState {
 ///
 /// Returns the labeling (identical partition to any shared-memory
 /// algorithm) plus exact communication statistics.
-pub fn distributed_cc_forest(
-    g: &CsrGraph,
-    part: &VertexPartition,
-) -> (ComponentLabels, CommStats) {
+pub fn distributed_cc_forest(g: &CsrGraph, part: &VertexPartition) -> (ComponentLabels, CommStats) {
     assert_eq!(part.len(), g.num_vertices(), "partition size mismatch");
     let n = g.num_vertices();
     let p = part.num_ranks();

@@ -32,10 +32,7 @@ struct RankState {
 type Update = (Node, Node);
 
 /// Runs distributed CC via iterative label exchange.
-pub fn distributed_cc_labels(
-    g: &CsrGraph,
-    part: &VertexPartition,
-) -> (ComponentLabels, CommStats) {
+pub fn distributed_cc_labels(g: &CsrGraph, part: &VertexPartition) -> (ComponentLabels, CommStats) {
     assert_eq!(part.len(), g.num_vertices(), "partition size mismatch");
     let n = g.num_vertices();
 

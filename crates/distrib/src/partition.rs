@@ -119,10 +119,7 @@ impl VertexPartition {
                 next = (next + 1) % num_ranks as u16;
             }
         }
-        Self {
-            owner,
-            num_ranks,
-        }
+        Self { owner, num_ranks }
     }
 
     /// Builds a partition from an explicit owner table.
@@ -218,10 +215,7 @@ mod tests {
     fn hash_partition_is_balanced() {
         let p = VertexPartition::new(100_000, 8, PartitionKind::Hash);
         let sizes = p.rank_sizes();
-        let (min, max) = (
-            *sizes.iter().min().unwrap(),
-            *sizes.iter().max().unwrap(),
-        );
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
         assert!(
             (max - min) as f64 / (100_000.0 / 8.0) < 0.1,
             "imbalance: {sizes:?}"
@@ -268,10 +262,9 @@ mod tests {
     fn from_owners_validates() {
         let p = VertexPartition::from_owners(vec![0, 1, 0], 2);
         assert_eq!(p.owner(1), 1);
-        assert!(std::panic::catch_unwind(|| {
-            VertexPartition::from_owners(vec![0, 5], 2)
-        })
-        .is_err());
+        assert!(
+            std::panic::catch_unwind(|| { VertexPartition::from_owners(vec![0, 5], 2) }).is_err()
+        );
     }
 
     #[test]

@@ -98,7 +98,10 @@ pub fn simulate_csr_sv_hook(g: &CsrGraph) -> KernelStats {
         acc.record_warp(&lane_work);
 
         // Offset loads (contiguous).
-        acc.record_loads(OFFSETS_BASE, &warp.iter().map(|&v| v as u64).collect::<Vec<_>>());
+        acc.record_loads(
+            OFFSETS_BASE,
+            &warp.iter().map(|&v| v as u64).collect::<Vec<_>>(),
+        );
 
         // Lockstep adjacency iteration: at step j, lanes with degree > j
         // load targets[offset(v) + j] and labels[neighbor].
@@ -314,10 +317,7 @@ mod tests {
         assert_eq!(el.acc.useful_work, g.num_edges() as u64);
         let sv = simulate_csr_sv_hook(&g);
         // 1 (offset) + degree per vertex.
-        assert_eq!(
-            sv.acc.useful_work,
-            (g.num_vertices() + g.num_arcs()) as u64
-        );
+        assert_eq!(sv.acc.useful_work, (g.num_vertices() + g.num_arcs()) as u64);
     }
 
     #[test]

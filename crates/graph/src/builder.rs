@@ -5,6 +5,7 @@
 //! offsets, scatter targets, then sort each adjacency list and optionally
 //! deduplicate. Everything after accumulation is parallel.
 
+use crate::disjoint::DisjointWriter;
 use crate::{CsrGraph, Edge, EdgeList, Node};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -114,25 +115,25 @@ impl GraphBuilder {
             offsets.push(acc);
         }
 
-        // Scatter arcs. `cursor[v]` is the next free slot in v's adjacency.
+        // Scatter arcs. `cursor[v]` is the next free slot in v's adjacency:
+        // fetch_add hands each slot index in [offsets[v], offsets[v+1]) to
+        // exactly one arc (the prefix sum sized the ranges from the same
+        // degree counts), which is the disjointness contract DisjointWriter
+        // requires.
         let cursor: Vec<AtomicUsize> = offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
         let total = acc;
         let mut targets = vec![0 as Node; total];
         {
-            // SAFETY-free parallel scatter: each slot index is claimed
-            // exclusively via fetch_add, so we hand out disjoint &mut access
-            // through a raw pointer wrapper.
-            struct SharedSlice(*mut Node);
-            unsafe impl Sync for SharedSlice {}
-            let shared = SharedSlice(targets.as_mut_ptr());
-            let shared_ref = &shared;
-            edges.par_iter().for_each(move |&(u, v)| {
+            let writer = DisjointWriter::new(&mut targets);
+            edges.par_iter().for_each(|&(u, v)| {
                 let iu = cursor[u as usize].fetch_add(1, Ordering::Relaxed);
-                // Each iu is unique, so this write is race-free.
-                unsafe { *shared_ref.0.add(iu) = v };
+                // SAFETY: `iu` was claimed exclusively by this arc via
+                // fetch_add; no other write can receive the same index.
+                unsafe { writer.write(iu, v) };
                 if u != v {
                     let iv = cursor[v as usize].fetch_add(1, Ordering::Relaxed);
-                    unsafe { *shared_ref.0.add(iv) = u };
+                    // SAFETY: as above — `iv` is exclusively claimed.
+                    unsafe { writer.write(iv, u) };
                 }
             });
         }
@@ -266,9 +267,13 @@ mod tests {
         let mut edges = Vec::new();
         let mut x = 12345u64;
         for _ in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((x >> 33) % n as u64) as Node;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((x >> 33) % n as u64) as Node;
             edges.push((u, v));
         }

@@ -1,0 +1,151 @@
+//! Disjoint parallel writes into a single slice.
+//!
+//! The CSR scatter phase ([`crate::builder`]) claims one slot per arc with
+//! an atomic `fetch_add` cursor and then writes each slot from whichever
+//! rayon worker claimed it. The claim protocol guarantees every index is
+//! handed out exactly once, so the writes are race-free — but the borrow
+//! checker cannot see a protocol, only a `&mut [T]` crossing thread
+//! boundaries. [`DisjointWriter`] packages the one unsafe capability the
+//! scatter needs ("write this index I exclusively own") behind an explicit
+//! contract, instead of scattering raw-pointer arithmetic through
+//! algorithm code.
+//!
+//! Bounds are always checked: an out-of-range index panics rather than
+//! touching memory. The `unsafe` contract is therefore exactly one
+//! clause — index disjointness across concurrent writers — which is the
+//! part only the surrounding claim protocol can guarantee.
+
+use std::cell::UnsafeCell;
+
+/// A shared handle for writing disjoint elements of a borrowed slice from
+/// many threads at once.
+///
+/// ```
+/// use afforest_graph::disjoint::DisjointWriter;
+/// let mut data = vec![0u32; 4];
+/// let w = DisjointWriter::new(&mut data);
+/// // Each index written at most once — the contract `write` requires.
+/// // SAFETY: indices 0..4 are all distinct.
+/// unsafe {
+///     w.write(0, 10);
+///     w.write(3, 40);
+/// }
+/// drop(w);
+/// assert_eq!(data, [10, 0, 0, 40]);
+/// ```
+pub struct DisjointWriter<'a, T> {
+    /// The borrowed storage. `UnsafeCell` makes interior writes through a
+    /// shared reference defined behaviour at the language level; the
+    /// disjointness contract of [`DisjointWriter::write`] rules out the
+    /// data races that shared mutation could otherwise cause.
+    slots: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: sharing a `DisjointWriter` across threads exposes exactly one
+// operation, `write`, whose contract requires that no two threads ever
+// touch the same index. Under that contract, concurrent `write` calls
+// access disjoint memory locations, so there are no data races; `T: Send`
+// is required because values of `T` are moved into the slice from foreign
+// threads. No `&T` to the contents is ever handed out while writers run,
+// so `T: Sync` is not needed.
+unsafe impl<T: Send> Sync for DisjointWriter<'_, T> {}
+
+// SAFETY: the writer is just a borrow of the slice plus no thread-affine
+// state; moving it to another thread moves nothing but the reference.
+// `T: Send` for the same reason as in the `Sync` impl.
+unsafe impl<T: Send> Send for DisjointWriter<'_, T> {}
+
+impl<'a, T> DisjointWriter<'a, T> {
+    /// Wraps a mutable slice for disjoint parallel writing. The exclusive
+    /// borrow is held for the writer's whole lifetime, so no other safe
+    /// access to `slice` can coexist with it.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T` (it is
+        // `repr(transparent)`), so reinterpreting `&mut [T]` as
+        // `&[UnsafeCell<T>]` is sound; the exclusive borrow we consume
+        // guarantees nobody else can observe the slice while the writer
+        // (and the shared references derived from it) lives.
+        let slots = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        Self { slots }
+    }
+
+    /// Number of writable slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Writes `value` into slot `index`.
+    ///
+    /// Bounds are checked: `index >= self.len()` panics.
+    ///
+    /// # Safety
+    ///
+    /// No other call — on this or any other thread — may write the same
+    /// `index` concurrently or at any other time during this writer's
+    /// lifetime, and the previous value at `index` must not be read until
+    /// the writer is dropped. In the CSR scatter this holds because each
+    /// index is claimed exactly once via `fetch_add` on a per-vertex
+    /// cursor.
+    pub unsafe fn write(&self, index: usize, value: T) {
+        let cell = &self.slots[index];
+        // SAFETY: caller guarantees exclusive access to this index, so the
+        // raw write through the cell cannot race with any other access.
+        unsafe { *cell.get() = value };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sequential_disjoint_writes() {
+        let mut data = vec![0usize; 16];
+        {
+            let w = DisjointWriter::new(&mut data);
+            assert_eq!(w.len(), 16);
+            assert!(!w.is_empty());
+            for i in 0..16 {
+                // SAFETY: each index written exactly once.
+                unsafe { w.write(i, i * i) };
+            }
+        }
+        assert_eq!(data[5], 25);
+        assert_eq!(data[15], 225);
+    }
+
+    #[test]
+    fn parallel_scatter_with_cursor_claims() {
+        // The exact claim protocol the CSR builder uses: an atomic cursor
+        // hands out each slot once; writers fill slots from many threads.
+        let n = 10_000usize;
+        let mut data = vec![usize::MAX; n];
+        let cursor = AtomicUsize::new(0);
+        {
+            let w = DisjointWriter::new(&mut data);
+            (0..n).into_par_iter().for_each(|_| {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                // SAFETY: fetch_add yields each index exactly once.
+                unsafe { w.write(i, i + 1) };
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let mut data = vec![0u8; 4];
+        let w = DisjointWriter::new(&mut data);
+        // SAFETY: index 4 is never written by anyone else; the call panics
+        // on the bounds check before touching memory.
+        unsafe { w.write(4, 1) };
+    }
+}

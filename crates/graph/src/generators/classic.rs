@@ -34,7 +34,10 @@ pub fn cycle(n: usize) -> CsrGraph {
 /// Panics if `hub >= n`.
 pub fn star(n: usize, hub: Node) -> CsrGraph {
     assert!((hub as usize) < n, "hub out of range");
-    let edges: Vec<_> = (0..n as Node).filter(|&v| v != hub).map(|v| (hub, v)).collect();
+    let edges: Vec<_> = (0..n as Node)
+        .filter(|&v| v != hub)
+        .map(|v| (hub, v))
+        .collect();
     GraphBuilder::from_edges(n, &edges).build()
 }
 

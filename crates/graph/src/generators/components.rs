@@ -120,11 +120,7 @@ mod tests {
         let n = 10_000;
         for &f in &[0.5, 0.1, 0.01] {
             let g = urand_with_components(n, 4, f, 9);
-            assert_eq!(
-                count_components(&g),
-                expected_components(n, f),
-                "f = {f}"
-            );
+            assert_eq!(count_components(&g), expected_components(n, f), "f = {f}");
         }
     }
 

@@ -23,7 +23,13 @@ use rayon::prelude::*;
 /// # Panics
 ///
 /// Panics if `keep` or `shortcut_prob` is outside `[0, 1]`.
-pub fn road_network(width: usize, height: usize, keep: f64, shortcut_prob: f64, seed: u64) -> CsrGraph {
+pub fn road_network(
+    width: usize,
+    height: usize,
+    keep: f64,
+    shortcut_prob: f64,
+    seed: u64,
+) -> CsrGraph {
     assert!((0.0..=1.0).contains(&keep), "keep must be in [0,1]");
     assert!(
         (0.0..=1.0).contains(&shortcut_prob),

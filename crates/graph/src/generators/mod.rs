@@ -30,7 +30,7 @@ pub mod smallworld;
 pub mod uniform;
 pub mod weblike;
 
-pub use classic::{complete, cycle, path, star, binary_tree};
+pub use classic::{binary_tree, complete, cycle, path, star};
 pub use components::urand_with_components;
 pub use geometric::random_geometric;
 pub use grid::road_network;

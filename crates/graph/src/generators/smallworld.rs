@@ -79,7 +79,10 @@ mod tests {
         use crate::stats::GraphStats;
         let d0 = GraphStats::compute(&watts_strogatz(1_000, 4, 0.0, 5)).approx_diameter;
         let d1 = GraphStats::compute(&watts_strogatz(1_000, 4, 0.3, 5)).approx_diameter;
-        assert!(d1 < d0, "rewired diameter {d1} should be below lattice {d0}");
+        assert!(
+            d1 < d0,
+            "rewired diameter {d1} should be below lattice {d0}"
+        );
     }
 
     #[test]

@@ -33,7 +33,13 @@ use rand::Rng;
 /// # Panics
 ///
 /// Panics if `locality` is outside `[0, 1]` or `mean_distance < 1`.
-pub fn web_graph(n: usize, out_degree: usize, locality: f64, mean_distance: f64, seed: u64) -> CsrGraph {
+pub fn web_graph(
+    n: usize,
+    out_degree: usize,
+    locality: f64,
+    mean_distance: f64,
+    seed: u64,
+) -> CsrGraph {
     assert!((0.0..=1.0).contains(&locality), "locality must be in [0,1]");
     assert!(mean_distance >= 1.0, "mean_distance must be >= 1");
     let mut rng = stream_rng(seed, 0);

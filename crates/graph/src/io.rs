@@ -56,7 +56,12 @@ fn bad_line(lineno: usize) -> io::Error {
 /// Writes a graph as a text edge list (each undirected edge once, `u <= v`).
 pub fn write_edge_list<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
-    writeln!(w, "# {} vertices, {} undirected edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# {} vertices, {} undirected edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{} {}", u, v)?;
     }

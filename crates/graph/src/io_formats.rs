@@ -11,9 +11,9 @@
 //!   (1-indexed) neighbors of vertex `i` — the format of the METIS
 //!   partitioner ecosystem.
 
-use crate::{CsrGraph, EdgeList, Node};
 #[cfg(test)]
 use crate::GraphBuilder;
+use crate::{CsrGraph, EdgeList, Node};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -46,8 +46,9 @@ pub fn read_dimacs<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
                 edges.reserve(m);
             }
             Some("e") | Some("a") => {
-                let (n, _) = declared
-                    .ok_or_else(|| invalid(format!("edge before problem line at {}", lineno + 1)))?;
+                let (n, _) = declared.ok_or_else(|| {
+                    invalid(format!("edge before problem line at {}", lineno + 1))
+                })?;
                 let u: usize = parse_tok(it.next(), lineno)?;
                 let v: usize = parse_tok(it.next(), lineno)?;
                 if u == 0 || v == 0 || u > n || v > n {
@@ -85,13 +86,10 @@ pub fn write_dimacs<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
 /// be absent or `0`).
 pub fn read_metis<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
     let reader = BufReader::new(File::open(path)?);
-    let mut lines = reader
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| match l {
-            Ok(s) => !s.trim_start().starts_with('%'),
-            Err(_) => true,
-        });
+    let mut lines = reader.lines().enumerate().filter(|(_, l)| match l {
+        Ok(s) => !s.trim_start().starts_with('%'),
+        Err(_) => true,
+    });
     let (hline, header) = lines
         .next()
         .ok_or_else(|| invalid("empty METIS file"))
@@ -146,7 +144,11 @@ pub fn write_metis<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     writeln!(w, "{} {}", g.num_vertices(), g.num_edges())?;
     for v in g.vertices() {
-        let line: Vec<String> = g.neighbors(v).iter().map(|&x| (x + 1).to_string()).collect();
+        let line: Vec<String> = g
+            .neighbors(v)
+            .iter()
+            .map(|&x| (x + 1).to_string())
+            .collect();
         writeln!(w, "{}", line.join(" "))?;
     }
     w.flush()

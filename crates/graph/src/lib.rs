@@ -30,9 +30,15 @@
 //! assert_eq!(g.neighbors(3), &[4]);
 //! ```
 
+// The only unsafe code in the workspace (outside vendored shims) lives in
+// `disjoint`; force every unsafe operation inside unsafe fns to carry its
+// own explicit unsafe block + SAFETY comment.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod builder;
 pub mod csr;
 pub mod degrees;
+pub mod disjoint;
 pub mod edgelist;
 pub mod generators;
 pub mod io;

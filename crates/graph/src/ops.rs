@@ -125,8 +125,8 @@ mod tests {
     #[test]
     fn extract_component_pulls_one_piece() {
         // Two triangles: {0,1,2} and {3,4,5}.
-        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-            .build();
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).build();
         let labels = vec![0, 0, 0, 3, 3, 3];
         let (h, remap) = extract_component(&g, &labels, 3);
         assert_eq!(h.num_vertices(), 3);

@@ -1,0 +1,317 @@
+//! Memoized DFS over all interleavings of the thread machines.
+//!
+//! A checker state is `(π memory, thread states)`. From each state, every
+//! runnable thread may take the next shared-memory access; the explorer
+//! branches on all of them, deduplicating states it has already expanded
+//! (two different schedule prefixes reaching the same state have identical
+//! futures, so one expansion suffices — this is what keeps the search
+//! tractable despite the factorial number of schedules).
+//!
+//! Safety properties (Invariant 1, acyclicity) are checked on **every**
+//! reached state; functional properties (partition correctness, the
+//! merge-count duality of Theorem 1) are checked on terminal states where
+//! all threads have finished.
+
+use crate::machine::{Memory, Node, Thread};
+use crate::oracle::sequential_components;
+use std::collections::HashSet;
+
+/// A scenario to exhaustively check: `n` vertices (initially `π(v) = v`)
+/// and one machine per logical thread.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Number of vertices.
+    pub n: usize,
+    /// Concurrent calls, one per thread.
+    pub threads: Vec<Thread>,
+}
+
+impl Scenario {
+    /// Scenario running `link` on each edge, one thread per edge.
+    pub fn links(n: usize, edges: &[(Node, Node)]) -> Self {
+        Self {
+            n,
+            threads: edges
+                .iter()
+                .map(|&(u, v)| Thread::Link(crate::machine::LinkMachine::new(u, v)))
+                .collect(),
+        }
+    }
+
+    /// Like [`Scenario::links`] but with the deliberately broken
+    /// load+store hook on every edge.
+    pub fn broken_links(n: usize, edges: &[(Node, Node)]) -> Self {
+        Self {
+            n,
+            threads: edges
+                .iter()
+                .map(|&(u, v)| Thread::Link(crate::machine::LinkMachine::new_broken(u, v)))
+                .collect(),
+        }
+    }
+}
+
+/// A property violation discovered during exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// `π(x) > x` observed in some reachable state.
+    InvariantBroken {
+        /// The offending vertex.
+        vertex: Node,
+        /// Its parent at the time.
+        parent: Node,
+        /// Full memory snapshot.
+        memory: Memory,
+    },
+    /// A parent-pointer cycle (other than a root's self-loop) observed.
+    Cycle {
+        /// A vertex on the cycle.
+        vertex: Node,
+        /// Full memory snapshot.
+        memory: Memory,
+    },
+    /// A terminal state whose partition differs from sequential union-find.
+    WrongPartition {
+        /// Terminal memory.
+        memory: Memory,
+        /// Component id per vertex reached by the model.
+        got: Vec<Node>,
+        /// Component id per vertex from the sequential oracle.
+        expected: Vec<Node>,
+    },
+    /// A terminal state where the number of `link` calls that returned
+    /// `true` differs from `|V| - C` (Theorem 1).
+    MergeCountMismatch {
+        /// Merges observed.
+        got: usize,
+        /// `|V| - C` from the oracle.
+        expected: usize,
+        /// Terminal memory.
+        memory: Memory,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::InvariantBroken {
+                vertex,
+                parent,
+                memory,
+            } => write!(
+                f,
+                "Invariant 1 broken: pi({vertex}) = {parent} > {vertex} in {memory:?}"
+            ),
+            Violation::Cycle { vertex, memory } => {
+                write!(f, "cycle through vertex {vertex} in {memory:?}")
+            }
+            Violation::WrongPartition {
+                memory,
+                got,
+                expected,
+            } => write!(
+                f,
+                "terminal partition {got:?} != sequential {expected:?} (pi = {memory:?})"
+            ),
+            Violation::MergeCountMismatch {
+                got,
+                expected,
+                memory,
+            } => write!(
+                f,
+                "{got} links merged, expected |V|-C = {expected} (pi = {memory:?})"
+            ),
+        }
+    }
+}
+
+/// Result of exhausting a scenario's interleavings.
+#[derive(Clone, Debug, Default)]
+pub struct Outcome {
+    /// Distinct states expanded.
+    pub states: usize,
+    /// Distinct terminal states (all threads finished).
+    pub terminal_states: usize,
+    /// Violations found (capped at [`MAX_VIOLATIONS`]).
+    pub violations: Vec<Violation>,
+}
+
+impl Outcome {
+    /// Whether every property held on every interleaving.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Exploration stops collecting after this many violations (the state
+/// space downstream of a bug usually contains thousands of equivalent
+/// failures; a handful is enough to diagnose).
+pub const MAX_VIOLATIONS: usize = 8;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    mem: Memory,
+    threads: Vec<Thread>,
+}
+
+/// Exhaustively explores every interleaving of the scenario's threads.
+pub fn explore(scenario: &Scenario) -> Outcome {
+    let mem: Memory = (0..scenario.n as Node).collect();
+    let edges: Vec<(Node, Node)> = scenario
+        .threads
+        .iter()
+        .filter_map(|t| match t {
+            Thread::Link(m) => Some(m.edge()),
+            _ => None,
+        })
+        .collect();
+    let expected = sequential_components(scenario.n, &edges);
+    let expected_merges = scenario.n - count_components(&expected);
+
+    let mut outcome = Outcome::default();
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut stack: Vec<State> = vec![State {
+        mem,
+        threads: scenario.threads.clone(),
+    }];
+
+    while let Some(state) = stack.pop() {
+        if !visited.insert(state.clone()) {
+            continue;
+        }
+        outcome.states += 1;
+
+        check_safety(&state.mem, &mut outcome);
+        if outcome.violations.len() >= MAX_VIOLATIONS {
+            break;
+        }
+
+        let mut terminal = true;
+        for i in 0..state.threads.len() {
+            if !state.threads[i].is_runnable() {
+                continue;
+            }
+            terminal = false;
+            let mut next = state.clone();
+            next.threads[i].step(&mut next.mem);
+            stack.push(next);
+        }
+
+        if terminal {
+            outcome.terminal_states += 1;
+            check_terminal(&state, &expected, expected_merges, &mut outcome);
+            if outcome.violations.len() >= MAX_VIOLATIONS {
+                break;
+            }
+        }
+    }
+    outcome
+}
+
+/// Checks Invariant 1 and acyclicity on one reachable state.
+fn check_safety(mem: &Memory, outcome: &mut Outcome) {
+    for (x, &p) in mem.iter().enumerate() {
+        if p > x as Node {
+            outcome.violations.push(Violation::InvariantBroken {
+                vertex: x as Node,
+                parent: p,
+                memory: mem.clone(),
+            });
+            return;
+        }
+    }
+    // With Invariant 1 intact, only self-loops can close cycles, but check
+    // independently so broken variants that preserve the invariant still
+    // get cycle coverage: walk each chain at most |V| steps.
+    for start in 0..mem.len() {
+        let mut x = start;
+        for _ in 0..=mem.len() {
+            let p = mem[x] as usize;
+            if p == x {
+                break;
+            }
+            x = p;
+        }
+        if mem[x] as usize != x {
+            outcome.violations.push(Violation::Cycle {
+                vertex: start as Node,
+                memory: mem.clone(),
+            });
+            return;
+        }
+    }
+}
+
+/// Checks partition correctness and the merge-count duality on a terminal
+/// state.
+fn check_terminal(state: &State, expected: &[Node], expected_merges: usize, out: &mut Outcome) {
+    let got: Vec<Node> = (0..state.mem.len())
+        .map(|v| chase_root(&state.mem, v as Node))
+        .collect();
+    if !same_partition(&got, expected) {
+        out.violations.push(Violation::WrongPartition {
+            memory: state.mem.clone(),
+            got,
+            expected: expected.to_vec(),
+        });
+        return;
+    }
+    let merges = state
+        .threads
+        .iter()
+        .filter(|t| matches!(t, Thread::Done { merged: true }))
+        .count();
+    if merges != expected_merges {
+        out.violations.push(Violation::MergeCountMismatch {
+            got: merges,
+            expected: expected_merges,
+            memory: state.mem.clone(),
+        });
+    }
+}
+
+fn chase_root(mem: &Memory, v: Node) -> Node {
+    let mut x = v;
+    loop {
+        let p = mem[x as usize];
+        if p == x {
+            return x;
+        }
+        x = p;
+    }
+}
+
+fn count_components(roots: &[Node]) -> usize {
+    let mut seen = vec![false; roots.len()];
+    let mut c = 0;
+    for &r in roots {
+        if !seen[r as usize] {
+            seen[r as usize] = true;
+            c += 1;
+        }
+    }
+    c
+}
+
+/// Whether two root labelings induce the same partition.
+fn same_partition(a: &[Node], b: &[Node]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut a_to_b = vec![Node::MAX; n];
+    let mut b_to_a = vec![Node::MAX; n];
+    for i in 0..n {
+        let (ra, rb) = (a[i] as usize, b[i]);
+        if a_to_b[ra] == Node::MAX {
+            a_to_b[ra] = rb;
+        } else if a_to_b[ra] != rb {
+            return false;
+        }
+        let rb = rb as usize;
+        if b_to_a[rb] == Node::MAX {
+            b_to_a[rb] = a[i];
+        } else if b_to_a[rb] != a[i] {
+            return false;
+        }
+    }
+    true
+}

@@ -1,0 +1,30 @@
+//! CLI entry point: runs the standard scenario battery and exits non-zero
+//! on any violation. Wired into `cargo xtask ci` and `ci.sh`.
+
+use afforest_modelcheck::run_standard_battery;
+
+fn main() {
+    let mut failed = 0usize;
+    let results = run_standard_battery();
+    let width = results.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    println!(
+        "model-checking {} scenarios (exhaustive DFS over interleavings):",
+        results.len()
+    );
+    for (name, out) in &results {
+        let status = if out.passed() { "ok" } else { "FAILED" };
+        println!(
+            "  {name:width$}  {:>7} states  {:>5} terminal  {status}",
+            out.states, out.terminal_states
+        );
+        for v in &out.violations {
+            println!("      violation: {v}");
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!("model check FAILED: {failed} violation(s)");
+        std::process::exit(1);
+    }
+    println!("model check passed: all scenarios hold on every interleaving");
+}

@@ -1,0 +1,65 @@
+//! Sequential union-find oracle the model's terminal states are compared
+//! against (self-contained — the checker must not share code with the
+//! implementation under test).
+
+use crate::machine::Node;
+
+/// Root label per vertex after sequentially uniting `edges` over `n`
+/// vertices, with every root being its component's minimum index.
+pub fn sequential_components(n: usize, edges: &[(Node, Node)]) -> Vec<Node> {
+    let mut parent: Vec<Node> = (0..n as Node).collect();
+
+    fn find(parent: &mut [Node], v: Node) -> Node {
+        let mut root = v;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        // Path compression.
+        let mut x = v;
+        while parent[x as usize] != root {
+            let next = parent[x as usize];
+            parent[x as usize] = root;
+            x = next;
+        }
+        root
+    }
+
+    for &(u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        // Union by min index, matching link's "hook high under low".
+        if ru < rv {
+            parent[rv as usize] = ru;
+        } else if rv < ru {
+            parent[ru as usize] = rv;
+        }
+    }
+    (0..n as Node).map(|v| find(&mut parent, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_single_component() {
+        let roots = sequential_components(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(roots, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn disjoint_pairs() {
+        let roots = sequential_components(4, &[(0, 1), (2, 3)]);
+        assert_eq!(roots, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn no_edges() {
+        assert_eq!(sequential_components(3, &[]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn min_index_roots() {
+        let roots = sequential_components(5, &[(4, 3), (3, 2), (2, 1), (1, 0)]);
+        assert!(roots.iter().all(|&r| r == 0));
+    }
+}

@@ -1,0 +1,13 @@
+// Seeded lint fixture: everything in here must be flagged. Never compiled —
+// the `fixtures` directory is excluded from the workspace and the scan; the
+// lint's unit tests feed this file through `lint_source` directly.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn lost_update(counter: &AtomicU32, p: *mut u32) {
+    // A load in a file outside the ordering allowlist.
+    let x = counter.load(Ordering::Relaxed);
+    // A full fence nobody justified.
+    counter.store(x + 1, Ordering::SeqCst);
+    unsafe { *p = x };
+}

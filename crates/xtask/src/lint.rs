@@ -1,0 +1,453 @@
+//! Static concurrency lints for the workspace sources.
+//!
+//! Three rules, all motivated by the memory-ordering audit in DESIGN.md:
+//!
+//! 1. **SAFETY comments** — every `unsafe` keyword in code must carry a
+//!    justification: a `// SAFETY:` comment on the same line or in the
+//!    contiguous comment/attribute block immediately above (doc-comment
+//!    `# Safety` sections count for `unsafe fn` declarations).
+//! 2. **Ordering allowlist** — atomic memory orderings may appear only in
+//!    the files that the audit covers ([`ORDERING_ALLOWLIST`]). Any new
+//!    atomic site must be added to the audit *and* the allowlist,
+//!    making "sprinkle an atomic somewhere" a reviewed decision.
+//! 3. **No SeqCst** — the algorithm's correctness argument never needs
+//!    sequential consistency; a SeqCst anywhere means someone is patching
+//!    over a race they don't understand (and paying full fences for it).
+//!
+//! Additionally, every crate that contains `unsafe` code must opt into
+//! `#![deny(unsafe_op_in_unsafe_fn)]` so unsafe operations inside unsafe
+//! fns still need their own block and SAFETY comment.
+//!
+//! The scanner is line-oriented and deliberately simple: it strips `//`
+//! comments before matching and skips pure comment lines, which is exact
+//! for this codebase's style (no `unsafe` or `Ordering` tokens inside
+//! string literals). Vendored shims (`vendor/`), generated output
+//! (`target/`), lint fixtures (`fixtures/`), and this crate itself are
+//! excluded from the scan.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Files (by `/`-normalized path suffix) where atomic orderings are
+/// allowed. Each entry must have a matching subsection in DESIGN.md's
+/// "Memory-ordering audit".
+pub const ORDERING_ALLOWLIST: &[&str] = &[
+    // The parent array: the audit's centerpiece (Relaxed loads/stores/CAS).
+    "crates/core/src/parents.rs",
+    // Per-thread counter buffers aggregated after the parallel phase.
+    "crates/core/src/instrument.rs",
+    // CSR scatter cursors (fetch_add slot claiming).
+    "crates/graph/src/builder.rs",
+    // DisjointWriter's tests replay the builder's claim protocol.
+    "crates/graph/src/disjoint.rs",
+    // Baseline algorithms (SV, parallel UF, BFS, label propagation) use
+    // atomics as published; they are comparison subjects, not the
+    // contribution under audit.
+    "crates/baselines/src/",
+];
+
+/// Atomic-ordering variant names. `cmp::Ordering`'s variants (`Less`,
+/// `Equal`, `Greater`) do not collide, so matching variants keeps
+/// comparison code out of scope.
+const ATOMIC_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintError {
+    /// `/`-normalized path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `unsafe` without a SAFETY justification.
+    MissingSafetyComment,
+    /// Atomic ordering outside the allowlist.
+    OrderingOutsideAllowlist,
+    /// Any use of `Ordering::SeqCst`.
+    SeqCstForbidden,
+    /// Crate has unsafe code but no `#![deny(unsafe_op_in_unsafe_fn)]`.
+    MissingUnsafeOpLint,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rule = match self.rule {
+            Rule::MissingSafetyComment => "missing-safety-comment",
+            Rule::OrderingOutsideAllowlist => "ordering-outside-allowlist",
+            Rule::SeqCstForbidden => "seqcst-forbidden",
+            Rule::MissingUnsafeOpLint => "missing-unsafe-op-lint",
+        };
+        write!(f, "{}:{}: [{rule}] {}", self.file, self.line, self.message)
+    }
+}
+
+/// Splits a source line into (code, comment) at the first `//` outside
+/// nothing fancier than this codebase uses.
+fn split_comment(line: &str) -> (&str, &str) {
+    match line.find("//") {
+        Some(i) => (&line[..i], &line[i..]),
+        None => (line, ""),
+    }
+}
+
+/// Whether the trimmed line is purely a comment (`//`, `///`, `//!`).
+fn is_comment_line(line: &str) -> bool {
+    line.trim_start().starts_with("//")
+}
+
+/// Whether the trimmed line is an attribute (`#[...]` / `#![...]`).
+fn is_attr_line(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("#[") || t.starts_with("#![")
+}
+
+/// Whether `word` occurs in `code` delimited by non-identifier characters.
+fn contains_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + word.len();
+        let after_ok = after >= code.len()
+            || !code[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}
+
+/// Whether the comment/attribute block ending at `line_idx - 1` (walking
+/// upward through contiguous comments and attributes) contains a SAFETY
+/// justification.
+fn block_above_has_safety(lines: &[&str], line_idx: usize) -> bool {
+    let mut i = line_idx;
+    while i > 0 {
+        i -= 1;
+        let line = lines[i];
+        if is_comment_line(line) {
+            if line.contains("SAFETY:") || line.contains("# Safety") {
+                return true;
+            }
+        } else if !is_attr_line(line) {
+            break;
+        }
+    }
+    false
+}
+
+/// Lints one file's content. `rel_path` must be `/`-normalized and
+/// relative to the workspace root (used for allowlist matching and
+/// reporting).
+pub fn lint_source(rel_path: &str, content: &str) -> Vec<LintError> {
+    let mut errors = Vec::new();
+    let lines: Vec<&str> = content.lines().collect();
+    let allowlisted = ORDERING_ALLOWLIST
+        .iter()
+        .any(|prefix| rel_path.starts_with(prefix) || rel_path == prefix.trim_end_matches('/'));
+
+    for (idx, &line) in lines.iter().enumerate() {
+        if is_comment_line(line) {
+            continue;
+        }
+        let (code, trailing_comment) = split_comment(line);
+
+        // Rule 3: SeqCst is banned outright, allowlist or not.
+        if code.contains("SeqCst") {
+            errors.push(LintError {
+                file: rel_path.to_string(),
+                line: idx + 1,
+                rule: Rule::SeqCstForbidden,
+                message: "Ordering::SeqCst is banned: no property of the \
+                          algorithm requires sequential consistency (see \
+                          DESIGN.md, Memory-ordering audit)"
+                    .to_string(),
+            });
+        }
+
+        // Rule 2: atomic orderings only in audited files.
+        if !allowlisted && ATOMIC_ORDERINGS.iter().any(|o| code.contains(o)) {
+            errors.push(LintError {
+                file: rel_path.to_string(),
+                line: idx + 1,
+                rule: Rule::OrderingOutsideAllowlist,
+                message: "atomic memory ordering outside the audited \
+                          allowlist; add the site to DESIGN.md's \
+                          Memory-ordering audit and to ORDERING_ALLOWLIST \
+                          in crates/xtask/src/lint.rs"
+                    .to_string(),
+            });
+        }
+
+        // Rule 1: unsafe needs a SAFETY justification. Lint-control
+        // attributes mentioning unsafe are not unsafe code.
+        if contains_word(code, "unsafe")
+            && !code.contains("unsafe_op_in_unsafe_fn")
+            && !code.contains("unsafe_code")
+        {
+            let justified =
+                trailing_comment.contains("SAFETY:") || block_above_has_safety(&lines, idx);
+            if !justified {
+                errors.push(LintError {
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: Rule::MissingSafetyComment,
+                    message: "`unsafe` without a `// SAFETY:` comment (same \
+                              line or the comment block directly above)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    errors
+}
+
+/// Whether the file contains `unsafe` in code position (not comments).
+fn has_code_unsafe(content: &str) -> bool {
+    content.lines().any(|line| {
+        if is_comment_line(line) {
+            return false;
+        }
+        let (code, _) = split_comment(line);
+        contains_word(code, "unsafe") && !code.contains("unsafe_op_in_unsafe_fn")
+    })
+}
+
+/// Recursively collects workspace `.rs` files to scan, excluding vendored
+/// shims, build output, fixtures, and the lint's own sources (they contain
+/// every banned token as pattern data).
+pub fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if matches!(
+                    name.as_ref(),
+                    "target" | "vendor" | ".git" | "fixtures" | "xtask"
+                ) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Runs all lints over the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> Vec<LintError> {
+    let mut errors = Vec::new();
+    let mut crates_with_unsafe: Vec<PathBuf> = Vec::new();
+
+    for path in collect_sources(root) {
+        let Ok(content) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        errors.extend(lint_source(&rel, &content));
+
+        if has_code_unsafe(&content) {
+            // Crate root = the directory holding the Cargo.toml above src/.
+            let mut dir = path.parent();
+            while let Some(d) = dir {
+                if d.join("Cargo.toml").exists() {
+                    if !crates_with_unsafe.contains(&d.to_path_buf()) {
+                        crates_with_unsafe.push(d.to_path_buf());
+                    }
+                    break;
+                }
+                dir = d.parent();
+            }
+        }
+    }
+
+    // Crates containing unsafe must deny unsafe_op_in_unsafe_fn at the root.
+    for crate_dir in crates_with_unsafe {
+        let lib = crate_dir.join("src/lib.rs");
+        let root_file = if lib.exists() {
+            lib
+        } else {
+            crate_dir.join("src/main.rs")
+        };
+        let opted_in = fs::read_to_string(&root_file)
+            .map(|c| c.contains("deny(unsafe_op_in_unsafe_fn)"))
+            .unwrap_or(false);
+        if !opted_in {
+            let rel = root_file
+                .strip_prefix(root)
+                .unwrap_or(&root_file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            errors.push(LintError {
+                file: rel,
+                line: 1,
+                rule: Rule::MissingUnsafeOpLint,
+                message: "crate contains unsafe code but its root module \
+                          does not declare #![deny(unsafe_op_in_unsafe_fn)]"
+                    .to_string(),
+            });
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The seeded bad fixture: an uncommented unsafe block, a SeqCst, and
+    /// an atomic ordering — in a path outside the allowlist. The lint must
+    /// fail on it (acceptance criterion).
+    const BAD_FIXTURE: &str = include_str!("../fixtures/bad_unsafe.rs");
+
+    #[test]
+    fn bad_fixture_fails_all_three_rules() {
+        let errors = lint_source("crates/core/src/evil.rs", BAD_FIXTURE);
+        assert!(
+            errors.iter().any(|e| e.rule == Rule::MissingSafetyComment),
+            "uncommented unsafe not caught: {errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.rule == Rule::SeqCstForbidden),
+            "SeqCst not caught: {errors:?}"
+        );
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.rule == Rule::OrderingOutsideAllowlist),
+            "ordering outside allowlist not caught: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn safety_comment_on_block_above_passes() {
+        let src = "fn f(p: *mut u8) {\n    // SAFETY: caller guarantees exclusivity.\n    unsafe { *p = 1 };\n}\n";
+        assert!(lint_source("crates/graph/src/x.rs", src)
+            .iter()
+            .all(|e| e.rule != Rule::MissingSafetyComment));
+    }
+
+    #[test]
+    fn safety_comment_on_same_line_passes() {
+        let src = "fn f(p: *mut u8) {\n    unsafe { *p = 1 }; // SAFETY: exclusive.\n}\n";
+        assert!(lint_source("crates/graph/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_safety_section_covers_unsafe_fn() {
+        let src = "/// Does a thing.\n///\n/// # Safety\n///\n/// Caller must own `index`.\n#[inline]\npub unsafe fn write(i: usize) {}\n";
+        assert!(lint_source("crates/graph/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_without_comment_fails() {
+        let src = "fn f(p: *mut u8) {\n    unsafe { *p = 1 };\n}\n";
+        let errors = lint_source("crates/graph/src/x.rs", src);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].rule, Rule::MissingSafetyComment);
+        assert_eq!(errors[0].line, 2);
+    }
+
+    #[test]
+    fn interrupted_comment_block_does_not_justify() {
+        // A SAFETY comment separated from the unsafe by real code must not
+        // count as justification for the later unsafe.
+        let src = "fn f(p: *mut u8) {\n    // SAFETY: for the first one.\n    unsafe { *p = 1 };\n    let x = 3;\n    unsafe { *p = x };\n}\n";
+        let errors = lint_source("crates/graph/src/x.rs", src);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].line, 5);
+    }
+
+    #[test]
+    fn ordering_in_allowlisted_file_passes() {
+        let src = "use std::sync::atomic::Ordering;\nfn f(a: &std::sync::atomic::AtomicU32) { a.load(Ordering::Relaxed); }\n";
+        assert!(lint_source("crates/core/src/parents.rs", src).is_empty());
+        assert!(lint_source("crates/baselines/src/label_prop.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ordering_outside_allowlist_fails() {
+        let src = "fn f(a: &std::sync::atomic::AtomicU32) { a.load(Ordering::Relaxed); }\n";
+        let errors = lint_source("crates/bench/src/sneaky.rs", src);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].rule, Rule::OrderingOutsideAllowlist);
+    }
+
+    #[test]
+    fn seqcst_fails_even_in_allowlisted_file() {
+        let src = "fn f(a: &std::sync::atomic::AtomicU32) { a.load(Ordering::SeqCst); }\n";
+        let errors = lint_source("crates/core/src/parents.rs", src);
+        assert!(errors.iter().any(|e| e.rule == Rule::SeqCstForbidden));
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_flagged() {
+        let src = "fn f(a: u32, b: u32) { match a.cmp(&b) { std::cmp::Ordering::Less => {}, _ => {} } }\n";
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_comments_and_lint_attrs_ignored() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n// this mentions unsafe casually\n/// docs about unsafe code\nfn safe() {}\n";
+        assert!(lint_source("crates/graph/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn identifier_containing_unsafe_not_flagged() {
+        let src = "fn f() { let unsafely_named = 3; let _ = unsafely_named; }\n";
+        assert!(lint_source("crates/graph/src/x.rs", src).is_empty());
+    }
+
+    /// The real workspace passes the lint (run from the repo root).
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let errors = lint_workspace(&root);
+        assert!(
+            errors.is_empty(),
+            "workspace lint failures:\n{}",
+            errors
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

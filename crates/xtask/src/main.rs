@@ -1,0 +1,110 @@
+//! Workspace automation, runnable as `cargo xtask <command>` (aliased in
+//! `.cargo/config.toml`).
+//!
+//! - `cargo xtask lint` — the static concurrency lints ([`lint`]):
+//!   SAFETY-comment coverage for `unsafe`, the atomic-ordering allowlist,
+//!   the SeqCst ban, and `#![deny(unsafe_op_in_unsafe_fn)]` opt-in.
+//! - `cargo xtask ci` — the full gate: fmt, clippy (`-D warnings`), the
+//!   lints, the test suite, and the schedule-exploring model checker
+//!   (`ci.sh` is a thin wrapper around this).
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    let errors = lint::lint_workspace(&root);
+    let files = lint::collect_sources(&root).len();
+    if errors.is_empty() {
+        println!(
+            "xtask lint: {files} files clean (SAFETY comments, ordering allowlist, no SeqCst)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("{e}");
+        }
+        eprintln!(
+            "xtask lint: {} violation(s) in {files} scanned files",
+            errors.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs one CI step, echoing the command line.
+fn step(root: &Path, name: &str, program: &str, args: &[&str]) -> bool {
+    println!("==> {name}: {program} {}", args.join(" "));
+    let status = Command::new(program).args(args).current_dir(root).status();
+    match status {
+        Ok(s) if s.success() => true,
+        Ok(s) => {
+            eprintln!("==> {name} failed ({s})");
+            false
+        }
+        Err(e) => {
+            eprintln!("==> {name} could not start: {e}");
+            false
+        }
+    }
+}
+
+fn run_ci() -> ExitCode {
+    let root = workspace_root();
+    let steps: &[(&str, &str, &[&str])] = &[
+        ("format", "cargo", &["fmt", "--all", "--", "--check"]),
+        (
+            "clippy",
+            "cargo",
+            &[
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ],
+        ),
+        ("tests", "cargo", &["test", "--workspace", "-q"]),
+        (
+            "model check",
+            "cargo",
+            &["run", "-q", "-p", "afforest-modelcheck"],
+        ),
+    ];
+
+    // Lint first: it is the cheapest step and the most likely to catch a
+    // concurrency-relevant edit.
+    println!("==> concurrency lints");
+    if run_lint() != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
+    for &(name, program, args) in steps {
+        if !step(&root, name, program, args) {
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("==> ci passed");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let task = std::env::args().nth(1);
+    match task.as_deref() {
+        Some("lint") => run_lint(),
+        Some("ci") => run_ci(),
+        _ => {
+            eprintln!("usage: cargo xtask <lint|ci>");
+            eprintln!("  lint  static concurrency lints (SAFETY comments, ordering allowlist, SeqCst ban)");
+            eprintln!("  ci    fmt --check + clippy -D warnings + lints + tests + model checker");
+            ExitCode::FAILURE
+        }
+    }
+}

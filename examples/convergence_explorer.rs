@@ -45,7 +45,11 @@ fn main() {
 
     let truth = afforest(&graph, &AfforestConfig::default());
     assert!(truth.verify_against(&graph));
-    println!("{} components, |c_max| = {}\n", truth.num_components(), truth.largest_component_size());
+    println!(
+        "{} components, |c_max| = {}\n",
+        truth.num_components(),
+        truth.largest_component_size()
+    );
 
     for strategy in Strategy::ALL {
         let batches = partition(&graph, strategy, 10, 7);

@@ -24,7 +24,10 @@ fn main() {
     );
 
     let reference = afforest(&graph, &AfforestConfig::default());
-    println!("shared-memory afforest: {} components\n", reference.num_components());
+    println!(
+        "shared-memory afforest: {} components\n",
+        reference.num_components()
+    );
 
     for kind in [PartitionKind::Block, PartitionKind::Hash] {
         let part = VertexPartition::new(graph.num_vertices(), 8, kind);

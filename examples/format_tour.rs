@@ -29,7 +29,9 @@ fn main() {
     // Text edge list.
     let el_path = dir.join("tour.el");
     io::write_edge_list(&graph, &el_path).unwrap();
-    let from_el = GraphBuilder::from_edge_list(io::read_edge_list(&el_path, graph.num_vertices()).unwrap()).build();
+    let from_el =
+        GraphBuilder::from_edge_list(io::read_edge_list(&el_path, graph.num_vertices()).unwrap())
+            .build();
     report("edge list (.el)", &el_path, &from_el, &truth);
 
     // DIMACS.

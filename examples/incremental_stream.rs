@@ -22,7 +22,12 @@ fn main() {
     let batches: Vec<&[_]> = edges.chunks(edges.len() / 24 + 1).collect();
 
     let mut cc = IncrementalCc::new(n);
-    println!("streaming {} edges over {} batches into {} vertices\n", edges.len(), batches.len(), n);
+    println!(
+        "streaming {} edges over {} batches into {} vertices\n",
+        edges.len(),
+        batches.len(),
+        n
+    );
 
     let t = Instant::now();
     for (hour, batch) in batches.iter().enumerate() {

@@ -10,11 +10,15 @@ fn main() {
     // A small social circle: two triangles bridged by one edge, plus an
     // isolated pair and a loner.
     let edges = [
-        (0, 1), (1, 2), (2, 0), // triangle A
-        (3, 4), (4, 5), (5, 3), // triangle B
-        (2, 3),                 // bridge
-        (6, 7),                 // isolated pair
-                                // vertex 8: loner
+        (0, 1),
+        (1, 2),
+        (2, 0), // triangle A
+        (3, 4),
+        (4, 5),
+        (5, 3), // triangle B
+        (2, 3), // bridge
+        (6, 7), // isolated pair
+                // vertex 8: loner
     ];
     let graph = GraphBuilder::from_edges(9, &edges).build();
 

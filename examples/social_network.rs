@@ -56,7 +56,10 @@ fn main() {
 
     // Sanity: every baseline agrees (up to relabeling).
     for (name, run) in [
-        ("shiloach-vishkin", shiloach_vishkin as fn(&CsrGraph) -> Vec<Node>),
+        (
+            "shiloach-vishkin",
+            shiloach_vishkin as fn(&CsrGraph) -> Vec<Node>,
+        ),
         ("label-prop", label_prop),
         ("bfs-cc", bfs_cc),
         ("dobfs-cc", dobfs_cc),
@@ -65,7 +68,10 @@ fn main() {
         let other = ComponentLabels::from_vec(run(&graph));
         let elapsed = t.elapsed();
         assert!(labels.equivalent(&other), "{name} disagrees!");
-        println!("{name:<18} {:>6} components  {elapsed:?}", other.num_components());
+        println!(
+            "{name:<18} {:>6} components  {elapsed:?}",
+            other.num_components()
+        );
     }
 
     // Typical downstream use: answer reachability queries in O(1).

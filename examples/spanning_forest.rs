@@ -28,10 +28,7 @@ fn main() {
         forest.len(),
         graph.num_vertices() - labels.num_components()
     );
-    assert_eq!(
-        forest.len(),
-        graph.num_vertices() - labels.num_components()
-    );
+    assert_eq!(forest.len(), graph.num_vertices() - labels.num_components());
 
     // Direction 2: SF → CC. The forest alone yields the exact labeling —
     // with only |V| - C edges processed instead of |E|.

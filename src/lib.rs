@@ -34,7 +34,5 @@ pub mod prelude {
     pub use afforest_core::{
         afforest, afforest_with_stats, AfforestConfig, ComponentLabels, RunStats,
     };
-    pub use afforest_graph::{
-        generators, CsrGraph, EdgeList, GraphBuilder, GraphStats, Node,
-    };
+    pub use afforest_graph::{generators, CsrGraph, EdgeList, GraphBuilder, GraphStats, Node};
 }

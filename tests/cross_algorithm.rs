@@ -119,7 +119,10 @@ fn parallel_unions_of_disjoint_graphs() {
     let g = uniform_random(2_000, 10_000, 6);
     let mut edges = g.collect_edges();
     let offset = g.num_vertices() as Node;
-    let more: Vec<_> = edges.iter().map(|&(u, v)| (u + offset, v + offset)).collect();
+    let more: Vec<_> = edges
+        .iter()
+        .map(|&(u, v)| (u + offset, v + offset))
+        .collect();
     edges.extend(more);
     let doubled = GraphBuilder::from_edges(2 * g.num_vertices(), &edges).build();
 

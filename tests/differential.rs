@@ -57,10 +57,7 @@ fn every_parallel_algorithm_correct_under_every_pool() {
                     ("lp", label_prop(&g)),
                     ("bfs", bfs_cc(&g)),
                     ("dobfs", dobfs_cc(&g)),
-                    (
-                        "parallel-uf",
-                        afforest_repro::baselines::parallel_uf(&g),
-                    ),
+                    ("parallel-uf", afforest_repro::baselines::parallel_uf(&g)),
                     (
                         "sv-1982",
                         afforest_repro::baselines::shiloach_vishkin_1982(&g),

@@ -83,10 +83,7 @@ fn sampling_theory_predicts_afforest_behaviour() {
     let skewed = rmat_scale(13, 8, 6);
     let budget_p = (neighbor_sample(&skewed, 2).len() as f64) / skewed.num_edges() as f64;
     let uniform = uniform_edge_sample(&skewed, budget_p, 9);
-    let ns_frac = giant_fraction(
-        skewed.num_vertices(),
-        &neighbor_sample(&skewed, 2),
-    );
+    let ns_frac = giant_fraction(skewed.num_vertices(), &neighbor_sample(&skewed, 2));
     let un_frac = giant_fraction(skewed.num_vertices(), &uniform);
     assert!(
         ns_frac >= un_frac,
@@ -139,9 +136,7 @@ fn format_pipeline_preserves_components() {
     let relabeled = afforest(&g3, &AfforestConfig::default());
     // Vertex universes can differ by trailing isolated vertices; compare
     // component counts of non-trivial components.
-    let nontrivial = |l: &ComponentLabels| {
-        l.component_sizes().iter().filter(|&&s| s > 1).count()
-    };
+    let nontrivial = |l: &ComponentLabels| l.component_sizes().iter().filter(|&&s| s > 1).count();
     assert_eq!(nontrivial(&relabeled), nontrivial(&truth));
 }
 

@@ -5,6 +5,11 @@
 //! generator, builder, or labeling semantics changed — which silently
 //! invalidates EXPERIMENTS.md. Update them only deliberately, alongside a
 //! fresh experiments run.
+//!
+//! Last re-frozen when the workspace switched to the vendored offline
+//! `rand` (vendor/rand): the generator bit-streams changed, so `web` and
+//! `urand` edge counts shifted slightly. Structure and labeling semantics
+//! are unchanged.
 
 use afforest_bench::{datasets, Scale};
 use afforest_repro::prelude::*;
@@ -14,8 +19,8 @@ const REGISTRY_GOLDEN: [(&str, usize, usize, usize, usize); 6] = [
     ("road", 1_024, 1_846, 1, 1_024),
     ("osm-eur", 2_304, 3_398, 16, 2_273),
     ("twitter", 1_024, 11_236, 24, 1_001),
-    ("web", 1_024, 7_580, 1, 1_024),
-    ("urand", 1_024, 16_144, 1, 1_024),
+    ("web", 1_024, 7_588, 1, 1_024),
+    ("urand", 1_024, 16_105, 1, 1_024),
     ("kron", 1_024, 10_566, 125, 900),
 ];
 

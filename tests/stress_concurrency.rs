@@ -126,6 +126,55 @@ fn interleaved_components_stress_skip_heuristic() {
 }
 
 #[test]
+fn shuffled_edge_links_match_union_find() {
+    // Raw `link` (no rounds, no sampling, no compress in between) over the
+    // whole edge list, shuffled differently per seed and linked from many
+    // rayon threads at once, must always produce the sequential union-find
+    // partition — and, by Theorem 1, exactly |V| − C calls return true no
+    // matter the schedule. Shuffles are seeded, so failures replay.
+    use afforest_repro::core::{compress_all, link, ParentArray};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rayon::prelude::*;
+
+    for (name, g) in [
+        (
+            "urand",
+            afforest_repro::graph::generators::uniform_random(20_000, 120_000, 5),
+        ),
+        (
+            "kron",
+            afforest_repro::graph::generators::rmat_scale(13, 8, 11),
+        ),
+    ] {
+        let base = g.collect_edges();
+        let oracle = ComponentLabels::from_vec(union_find_cc(&g));
+        let expected_merges = g.num_vertices() - oracle.num_components();
+        for seed in 0..4u64 {
+            let mut edges = base.clone();
+            let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ seed);
+            // Fisher–Yates; the vendored rand has no SliceRandom.
+            for i in (1..edges.len()).rev() {
+                let j: usize = rng.random_range(0..i + 1);
+                edges.swap(i, j);
+            }
+            let pi = ParentArray::new(g.num_vertices());
+            let merges: usize = edges
+                .par_iter()
+                .map(|&(u, v)| usize::from(link(u, v, &pi)))
+                .sum();
+            compress_all(&pi);
+            let labels = ComponentLabels::from_vec(pi.snapshot());
+            assert!(labels.equivalent(&oracle), "{name} seed {seed}: partition");
+            assert_eq!(
+                merges, expected_merges,
+                "{name} seed {seed}: merge count vs Theorem 1"
+            );
+        }
+    }
+}
+
+#[test]
 fn giant_plus_dust() {
     // One giant component plus thousands of singletons — the regime the
     // skip heuristic targets (Section IV-D).

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access and no registry cache, so the
+//! workspace vendors the API subset its property tests use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`],
+//! - [`strategy::Strategy`] with `prop_flat_map` / `prop_map`, range and
+//!   tuple strategies, [`strategy::Just`], [`strategy::any`],
+//! - [`collection::vec`].
+//!
+//! Each test runs `ProptestConfig::cases` iterations with inputs drawn from
+//! a generator seeded by the test's module path and name, so failures are
+//! deterministic and reproducible. Unlike real proptest there is **no
+//! shrinking**: a failing case reports the case number and message only.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (rather than panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// item becomes a `#[test]` running `cases` sampled iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strat = ($($strat,)+);
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    let ($($pat,)+) = $crate::strategy::Strategy::sample(&strat, &mut rng);
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })()
+                };
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest {}: case {}/{} failed: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in 0usize..=5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        #[test]
+        fn flat_map_dependent_values(
+            (n, v) in (1usize..50).prop_flat_map(|n| {
+                (Just(n), crate::collection::vec(0usize..n, 0..20))
+            }),
+        ) {
+            prop_assert!(v.len() < 20);
+            for &x in &v {
+                prop_assert!(x < n);
+            }
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0u32..7, 0u32..7), flag in any::<bool>(), s in any::<u64>()) {
+            prop_assert!(pair.0 < 7 && pair.1 < 7);
+            prop_assert!(u32::from(flag) <= 1);
+            let _ = s;
+        }
+
+        #[test]
+        fn floats_in_range(f in 0.25f64..0.75) {
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn mutable_patterns(mut v in crate::collection::vec(0u64..1_000, 1..32)) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = (0u64..1_000_000,);
+        let mut a = crate::test_runner::TestRng::for_test("seed-test");
+        let mut b = crate::test_runner::TestRng::for_test("seed-test");
+        for _ in 0..100 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        use crate::strategy::Strategy;
+        let strat = (0u32..100).prop_map(|x| x * 2);
+        let mut rng = crate::test_runner::TestRng::for_test("map-test");
+        for _ in 0..100 {
+            assert_eq!(strat.sample(&mut rng) % 2, 0);
+        }
+    }
+}

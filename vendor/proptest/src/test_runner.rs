@@ -1,0 +1,73 @@
+//! Test execution support: configuration, RNG, and case errors.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` iterations per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the offline suite fast
+        // while still exercising a meaningful sample.
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic generator driving all strategies of one property test.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from the test's identifier, so every run
+    /// of the same test draws the same case sequence.
+    pub fn for_test(test_id: &str) -> Self {
+        let mut hasher = DefaultHasher::new();
+        test_id.hash(&mut hasher);
+        Self {
+            inner: SmallRng::seed_from_u64(hasher.finish()),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Failure of a single property-test case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Constructs a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

@@ -1,0 +1,979 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no network access and no registry cache, so the
+//! workspace vendors the parallel-iterator API subset it actually uses.
+//! Unlike a sequential mock, this shim executes on **real OS threads**
+//! (`std::thread::scope`), so the lock-free algorithms in `afforest-core`
+//! still experience genuine interleavings and the concurrency stress tests
+//! remain meaningful.
+//!
+//! Execution model: a parallel iterator is a *splittable* description of
+//! work. Terminal operations split it into roughly [`current_num_threads`]
+//! contiguous parts, run each part's sequential iterator on its own scoped
+//! worker thread, and combine the per-part results in order. Inputs shorter
+//! than a small threshold run inline to avoid spawn overhead.
+//!
+//! Supported surface: `into_par_iter` on integer ranges and `Vec`,
+//! `par_iter`/`par_iter_mut` on slices and `Vec`, `par_windows`, the
+//! adapters `map`/`filter`/`filter_map`/`flat_map`/`copied`/`cloned`, the
+//! terminals `for_each`/`sum`/`count`/`max`/`min`/`max_by_key`/`all`/`any`/
+//! `reduce`/`collect`, and `current_num_threads`/`current_thread_index`.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Everything user code needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+thread_local! {
+    /// Worker index of the current thread within an executing parallel
+    /// operation (`None` on threads not spawned by this shim).
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations fan out to.
+///
+/// Honours `RAYON_NUM_THREADS` (like real rayon); otherwise uses the
+/// available hardware parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(|t| t.get()) {
+        return n;
+    }
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+    })
+}
+
+/// Index of the current worker thread within its pool, or `None` when
+/// called from outside a parallel operation. Always `< current_num_threads()`.
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(|idx| idx.get())
+}
+
+/// Inputs at or below this length run inline rather than spawning workers.
+const SEQ_THRESHOLD: usize = 256;
+
+/// Builder for a sized [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count (0 means "use the default").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this shim,
+/// kept for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count configuration. The shim has no persistent workers;
+/// `install` simply bounds the fan-out of parallel operations run inside it.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing parallel operations
+    /// started on the current thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(Some(self.threads)));
+        let result = op();
+        POOL_THREADS.with(|t| t.set(prev));
+        result
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// A splittable, parallelizable stream of items.
+///
+/// `len` is an upper bound on the number of items (exact for sources,
+/// pre-filter for `filter`-like adapters) used only to balance splits.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Upper bound on remaining items; used for split balancing.
+    fn len(&self) -> usize;
+
+    /// Splits into two independent halves at `index` (source positions).
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Sequential iterator over this part's items.
+    fn seq(self) -> impl Iterator<Item = Self::Item>;
+
+    /// Whether no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Transforms every item with `f` (in parallel).
+    fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Keeps only items satisfying `pred`.
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter {
+            base: self,
+            pred: Arc::new(pred),
+        }
+    }
+
+    /// Combined filter and map.
+    fn filter_map<R: Send, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<R> + Sync + Send,
+    {
+        FilterMap {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Maps every item to an iterator and flattens the results.
+    fn flat_map<I, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Sync + Send,
+    {
+        FlatMap {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Maps every item to a *sequential* iterator and flattens the results
+    /// (rayon distinguishes this from `flat_map`; here they are identical).
+    fn flat_map_iter<I, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Sync + Send,
+    {
+        FlatMap {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Pairs every item with its global index (valid on exact-length
+    /// chains, mirroring rayon's `IndexedParallelIterator::enumerate`).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Runs `f` on every item across the worker threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        drive(self, |part| part.seq().for_each(&f));
+    }
+
+    /// Sums all items (same signature shape as rayon's `sum`).
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        drive(self, |part| part.seq().sum::<S>()).into_iter().sum()
+    }
+
+    /// Counts the items.
+    fn count(self) -> usize {
+        drive(self, |part| part.seq().count()).into_iter().sum()
+    }
+
+    /// Maximum item, or `None` if empty.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(self, |part| part.seq().max())
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// Minimum item, or `None` if empty.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(self, |part| part.seq().min())
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Item maximizing `key`, or `None` if empty.
+    fn max_by_key<K: Ord + Send, F>(self, key: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item) -> K + Sync + Send,
+    {
+        drive(self, |part| part.seq().max_by_key(|x| key(x)))
+            .into_iter()
+            .flatten()
+            .max_by_key(|x| key(x))
+    }
+
+    /// Whether `pred` holds for every item.
+    fn all<F>(self, pred: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        drive(self, |part| part.seq().all(&pred))
+            .into_iter()
+            .all(|b| b)
+    }
+
+    /// Whether `pred` holds for any item.
+    fn any<F>(self, pred: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        drive(self, |part| part.seq().any(&pred))
+            .into_iter()
+            .any(|b| b)
+    }
+
+    /// Reduces with `op` starting from `identity()` (rayon semantics: the
+    /// identity may be folded in any number of times).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        drive(self, |part| part.seq().fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
+    }
+
+    /// Collects into any `FromIterator` collection, preserving order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        drive(self, |part| part.seq().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Copies referenced items (for iterators over `&T`).
+    fn copied<'a, T>(self) -> Map<Self, fn(&'a T) -> T>
+    where
+        T: 'a + Copy + Send + Sync,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Map {
+            base: self,
+            f: Arc::new(|x: &'a T| *x),
+        }
+    }
+
+    /// Clones referenced items (for iterators over `&T`).
+    fn cloned<'a, T>(self) -> Map<Self, fn(&'a T) -> T>
+    where
+        T: 'a + Clone + Send + Sync,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Map {
+            base: self,
+            f: Arc::new(|x: &'a T| x.clone()),
+        }
+    }
+}
+
+/// Marker for exact-length parallel iterators. Every iterator in this shim
+/// tracks its length, so the trait is a blanket alias for
+/// [`ParallelIterator`] (kept for signature compatibility with rayon).
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+impl<T: ParallelIterator> IndexedParallelIterator for T {}
+
+/// Splits `p` into at most `parts` pieces of similar length.
+fn split_parts<P: ParallelIterator>(p: P, parts: usize, out: &mut Vec<P>) {
+    if parts <= 1 || p.len() <= 1 {
+        out.push(p);
+        return;
+    }
+    let left_parts = parts / 2;
+    let mid = p.len() * left_parts / parts;
+    if mid == 0 || mid == p.len() {
+        out.push(p);
+        return;
+    }
+    let (l, r) = p.split_at(mid);
+    split_parts(l, left_parts, out);
+    split_parts(r, parts - left_parts, out);
+}
+
+/// Executes `f` over split parts on scoped worker threads, returning the
+/// per-part results in order. Small inputs run inline.
+fn drive<P, R, F>(p: P, f: F) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || p.len() <= SEQ_THRESHOLD {
+        return vec![f(p)];
+    }
+    let mut parts = Vec::with_capacity(threads);
+    split_parts(p, threads, &mut parts);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, part)| {
+                let f = &f;
+                scope.spawn(move || {
+                    WORKER_INDEX.with(|idx| idx.set(Some(i)));
+                    f(part)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Parallel `map` adapter.
+pub struct Map<P, F: ?Sized> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send + ?Sized,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Map {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+
+    fn seq(self) -> impl Iterator<Item = R> {
+        let f = self.f;
+        self.base.seq().map(move |x| f(x))
+    }
+}
+
+/// Parallel `filter` adapter.
+pub struct Filter<P, F: ?Sized> {
+    base: P,
+    pred: Arc<F>,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync + Send + ?Sized,
+{
+    type Item = P::Item;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Filter {
+                base: l,
+                pred: Arc::clone(&self.pred),
+            },
+            Filter {
+                base: r,
+                pred: self.pred,
+            },
+        )
+    }
+
+    fn seq(self) -> impl Iterator<Item = P::Item> {
+        let pred = self.pred;
+        self.base.seq().filter(move |x| pred(x))
+    }
+}
+
+/// Parallel `filter_map` adapter.
+pub struct FilterMap<P, F: ?Sized> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, R, F> ParallelIterator for FilterMap<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> Option<R> + Sync + Send + ?Sized,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            FilterMap {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            FilterMap { base: r, f: self.f },
+        )
+    }
+
+    fn seq(self) -> impl Iterator<Item = R> {
+        let f = self.f;
+        self.base.seq().filter_map(move |x| f(x))
+    }
+}
+
+/// Parallel `flat_map` adapter.
+pub struct FlatMap<P, F: ?Sized> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, I, F> ParallelIterator for FlatMap<P, F>
+where
+    P: ParallelIterator,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(P::Item) -> I + Sync + Send + ?Sized,
+{
+    type Item = I::Item;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            FlatMap {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            FlatMap { base: r, f: self.f },
+        )
+    }
+
+    fn seq(self) -> impl Iterator<Item = I::Item> {
+        let f = self.f;
+        self.base.seq().flat_map(move |x| f(x))
+    }
+}
+
+/// Parallel `enumerate` adapter.
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn seq(self) -> impl Iterator<Item = (usize, P::Item)> {
+        let offset = self.offset;
+        self.base
+            .seq()
+            .enumerate()
+            .map(move |(i, x)| (offset + i, x))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Conversion into a parallel iterator, mirroring rayon's trait.
+pub trait IntoParallelIterator {
+    /// The resulting parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` on `&self`, mirroring rayon's trait.
+pub trait IntoParallelRefIterator<'data> {
+    /// The resulting parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (a shared reference).
+    type Item: Send + 'data;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// `.par_iter_mut()` on `&mut self`, mirroring rayon's trait.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The resulting parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (an exclusive reference).
+    type Item: Send + 'data;
+    /// Mutably borrows `self` as a parallel iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+/// Parallel views over slices (`par_windows`, `par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over all contiguous windows of length `size`.
+    fn par_windows(&self, size: usize) -> WindowsPar<'_, T>;
+    /// Parallel iterator over chunks of up to `size` elements.
+    fn par_chunks(&self, size: usize) -> ChunksPar<'_, T>;
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangePar<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangePar<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                (self.end.saturating_sub(self.start)) as usize
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.start + index as $t;
+                (
+                    RangePar { start: self.start, end: mid },
+                    RangePar { start: mid, end: self.end },
+                )
+            }
+
+            fn seq(self) -> impl Iterator<Item = $t> {
+                self.start..self.end
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangePar<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangePar<$t> {
+                RangePar { start: self.start, end: self.end.max(self.start) }
+            }
+        }
+    )*};
+}
+impl_range_par!(u32, u64, usize);
+
+/// Parallel iterator over owned `Vec` elements.
+pub struct VecPar<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecPar<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.items.split_off(index);
+        (self, VecPar { items: tail })
+    }
+
+    fn seq(self) -> impl Iterator<Item = T> {
+        self.items.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar { items: self }
+    }
+}
+
+/// Parallel iterator over shared slice references.
+pub struct SlicePar<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (SlicePar { slice: l }, SlicePar { slice: r })
+    }
+
+    fn seq(self) -> impl Iterator<Item = &'a T> {
+        self.slice.iter()
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SlicePar<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> SlicePar<'data, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SlicePar<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> SlicePar<'data, T> {
+        SlicePar { slice: self }
+    }
+}
+
+/// Parallel iterator over exclusive slice references.
+pub struct SliceMutPar<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceMutPar<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (SliceMutPar { slice: l }, SliceMutPar { slice: r })
+    }
+
+    fn seq(self) -> impl Iterator<Item = &'a mut T> {
+        self.slice.iter_mut()
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = SliceMutPar<'data, T>;
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> SliceMutPar<'data, T> {
+        SliceMutPar { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = SliceMutPar<'data, T>;
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> SliceMutPar<'data, T> {
+        SliceMutPar { slice: self }
+    }
+}
+
+/// Parallel iterator over slice windows.
+pub struct WindowsPar<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for WindowsPar<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        (self.slice.len() + 1).saturating_sub(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        // Left part covers windows starting at [0, index): it needs the
+        // elements [0, index + size - 1). Right part starts at `index`.
+        let left_end = (index + self.size - 1).min(self.slice.len());
+        (
+            WindowsPar {
+                slice: &self.slice[..left_end],
+                size: self.size,
+            },
+            WindowsPar {
+                slice: &self.slice[index..],
+                size: self.size,
+            },
+        )
+    }
+
+    fn seq(self) -> impl Iterator<Item = &'a [T]> {
+        self.slice.windows(self.size)
+    }
+}
+
+/// Parallel iterator over slice chunks.
+pub struct ChunksPar<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksPar<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(mid);
+        (
+            ChunksPar {
+                slice: l,
+                size: self.size,
+            },
+            ChunksPar {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+
+    fn seq(self) -> impl Iterator<Item = &'a [T]> {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Parallel mutation helpers on slices (`par_sort_unstable`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Sorts the slice. Chunks are sorted on the worker threads, then
+    /// merged; falls back to a plain sort for short inputs.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.len() <= SEQ_THRESHOLD {
+            self.sort_unstable();
+            return;
+        }
+        // Sort disjoint chunks concurrently...
+        let chunk = self.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (i, part) in self.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    WORKER_INDEX.with(|idx| idx.set(Some(i)));
+                    part.sort_unstable();
+                });
+            }
+        });
+        // ...then merge with the stable driftsort, whose run detection makes
+        // this pass O(n log k) over the k pre-sorted chunks.
+        self.sort();
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_windows(&self, size: usize) -> WindowsPar<'_, T> {
+        assert!(size > 0, "window size must be positive");
+        WindowsPar { slice: self, size }
+    }
+
+    fn par_chunks(&self, size: usize) -> ChunksPar<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ChunksPar { slice: self, size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<u32> = (0u32..10_000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u32));
+    }
+
+    #[test]
+    fn sum_and_count() {
+        let s: u64 = (0u64..100_000).into_par_iter().sum();
+        assert_eq!(s, 100_000 * 99_999 / 2);
+        let c = (0usize..100_000)
+            .into_par_iter()
+            .filter(|x| x % 3 == 0)
+            .count();
+        assert_eq!(c, 33_334);
+    }
+
+    #[test]
+    fn for_each_touches_every_item_concurrently() {
+        let counter = AtomicUsize::new(0);
+        (0usize..50_000).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 50_000);
+    }
+
+    #[test]
+    fn slice_iter_and_windows() {
+        let data: Vec<usize> = (0..5_000).collect();
+        let m = data.par_iter().copied().max();
+        assert_eq!(m, Some(4_999));
+        let windows: Vec<usize> = data.par_windows(2).map(|w| w[1] - w[0]).collect();
+        assert_eq!(windows.len(), 4_999);
+        assert!(windows.iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn par_iter_mut_writes() {
+        let mut data = vec![0usize; 10_000];
+        data.par_iter_mut().for_each(|x| *x = 7);
+        assert!(data.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn reduce_matches_sequential() {
+        let total = (1u64..=1_000)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn all_any_min() {
+        assert!((0u32..10_000).into_par_iter().all(|x| x < 10_000));
+        assert!((0u32..10_000).into_par_iter().any(|x| x == 9_999));
+        assert_eq!((5u32..10_000).into_par_iter().min(), Some(5));
+    }
+
+    #[test]
+    fn worker_indices_bounded() {
+        let n = super::current_num_threads();
+        (0usize..10_000).into_par_iter().for_each(|_| {
+            if let Some(i) = super::current_thread_index() {
+                assert!(i < n);
+            }
+        });
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = (0u32..0).into_par_iter().map(|x| x + 1).collect();
+        assert!(v.is_empty());
+        assert_eq!((0usize..0).into_par_iter().count(), 0);
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(empty.par_iter().max(), None);
+    }
+}
