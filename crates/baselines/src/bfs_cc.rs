@@ -25,7 +25,10 @@ pub fn bfs_cc(g: &CsrGraph) -> Vec<Node> {
         }
         labels[root as usize].store(root, Ordering::Relaxed);
         let mut frontier = vec![root];
+        let mut level = 0usize;
         while !frontier.is_empty() {
+            let _span = afforest_obs::span!("bfs-level[{level}]");
+            level += 1;
             frontier = top_down_step(g, &labels, &frontier, root);
         }
     }

@@ -64,6 +64,7 @@ pub fn dobfs_cc_with(g: &CsrGraph, cfg: &DobfsConfig) -> Vec<Node> {
         labels[root as usize].store(root, Ordering::Relaxed);
         remaining_arcs.fetch_sub(g.degree(root), Ordering::Relaxed);
         let mut frontier = vec![root];
+        let mut step = 0usize;
 
         while !frontier.is_empty() {
             let frontier_arcs: usize = frontier.par_iter().map(|&v| g.degree(v)).sum();
@@ -77,6 +78,8 @@ pub fn dobfs_cc_with(g: &CsrGraph, cfg: &DobfsConfig) -> Vec<Node> {
                     bitmap[v as usize] = true;
                 }
                 loop {
+                    let _span = afforest_obs::span!("dobfs-bottomup[{step}]");
+                    step += 1;
                     let (next_bitmap, next_frontier) = bottom_up_step(g, &labels, &bitmap, root);
                     let frontier_size = next_frontier.len();
                     remaining_arcs.fetch_sub(
@@ -93,6 +96,8 @@ pub fn dobfs_cc_with(g: &CsrGraph, cfg: &DobfsConfig) -> Vec<Node> {
                     }
                 }
             } else {
+                let _span = afforest_obs::span!("dobfs-topdown[{step}]");
+                step += 1;
                 frontier = top_down_step(g, &labels, &frontier, root);
                 remaining_arcs.fetch_sub(
                     frontier.par_iter().map(|&v| g.degree(v)).sum::<usize>(),

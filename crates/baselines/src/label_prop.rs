@@ -34,7 +34,10 @@ pub fn label_prop_sync(g: &CsrGraph) -> Vec<Node> {
     let labels: Vec<AtomicU32> = (0..n as Node).map(AtomicU32::new).collect();
 
     let changed = AtomicBool::new(true);
+    let mut round = 0usize;
     while changed.swap(false, Ordering::Relaxed) {
+        let _span = afforest_obs::span!("lp-sync-round[{round}]");
+        round += 1;
         (0..n as Node).into_par_iter().for_each(|u| {
             let lu = labels[u as usize].load(Ordering::Relaxed);
             for &v in g.neighbors(u) {
@@ -55,7 +58,10 @@ pub fn label_prop(g: &CsrGraph) -> Vec<Node> {
     let mut frontier: Vec<Node> = (0..n as Node).collect();
     let in_next: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
 
+    let mut round = 0usize;
     while !frontier.is_empty() {
+        let _span = afforest_obs::span!("lp-round[{round}]");
+        round += 1;
         let labels_ref = &labels;
         let in_next_ref = &in_next;
         let next: Vec<Node> = frontier

@@ -42,6 +42,7 @@ pub fn parallel_uf(g: &CsrGraph) -> Vec<Node> {
         }
     };
 
+    let union_span = afforest_obs::span!("uf-union-pass");
     g.par_vertices().for_each(|u| {
         for &v in g.neighbors(u) {
             if u < v {
@@ -63,7 +64,10 @@ pub fn parallel_uf(g: &CsrGraph) -> Vec<Node> {
         }
     });
 
+    drop(union_span);
+
     // Final flatten: every vertex points at its root.
+    let _span = afforest_obs::span!("uf-flatten");
     (0..n as Node).into_par_iter().map(find).collect()
 }
 

@@ -46,7 +46,10 @@ fn run(g: &CsrGraph, collect: bool) -> (Vec<Node>, SvStats) {
     let get = |v: Node| pi[v as usize].load(Ordering::Relaxed);
 
     let changed = AtomicBool::new(true);
+    let mut iter = 0usize;
     while changed.swap(false, Ordering::Relaxed) {
+        let _span = afforest_obs::span!("sv-iter[{iter}]");
+        iter += 1;
         // Hook phase (Fig. 1 lines 5–11): for every arc (u, v), if u's
         // label is smaller and v's parent is a root, attach it under u's
         // label. CAS stands in for the PRAM's "one writer wins".

@@ -19,7 +19,10 @@ pub fn sv_edgelist_on(n: usize, edges: &[Edge]) -> Vec<Node> {
     let get = |v: Node| pi[v as usize].load(Ordering::Relaxed);
 
     let changed = AtomicBool::new(true);
+    let mut iter = 0usize;
     while changed.swap(false, Ordering::Relaxed) {
+        let _span = afforest_obs::span!("sv-el-iter[{iter}]");
+        iter += 1;
         // Hook over the flat edge stream, both directions per record.
         edges.par_iter().for_each(|&(a, b)| {
             for (u, v) in [(a, b), (b, a)] {

@@ -31,7 +31,10 @@ pub fn shiloach_vishkin_1982(g: &CsrGraph) -> Vec<Node> {
     let get = |v: Node| pi[v as usize].load(Ordering::Relaxed);
 
     let changed = AtomicBool::new(true);
+    let mut iter = 0usize;
     while changed.swap(false, Ordering::Relaxed) {
+        let _span = afforest_obs::span!("sv82-iter[{iter}]");
+        iter += 1;
         // Phase 1: conditional hook (smaller parent wins, roots only).
         (0..n as Node).into_par_iter().for_each(|u| {
             for &v in g.neighbors(u) {

@@ -101,7 +101,12 @@ impl UnionFind {
 
 /// Connected components via serial union-find: the oracle labeling.
 pub fn union_find_cc(g: &CsrGraph) -> Vec<Node> {
-    UnionFind::from_graph(g).into_labels()
+    let uf = {
+        let _span = afforest_obs::span!("uf-union-pass");
+        UnionFind::from_graph(g)
+    };
+    let _span = afforest_obs::span!("uf-label-pass");
+    uf.into_labels()
 }
 
 #[cfg(test)]

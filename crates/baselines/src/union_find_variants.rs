@@ -67,20 +67,24 @@ pub fn union_by_rank_cc(g: &CsrGraph) -> Vec<Node> {
         root
     }
 
-    for (u, v) in g.edges() {
-        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
-        if ru == rv {
-            continue;
-        }
-        match rank[ru as usize].cmp(&rank[rv as usize]) {
-            std::cmp::Ordering::Less => parent[ru as usize] = rv,
-            std::cmp::Ordering::Greater => parent[rv as usize] = ru,
-            std::cmp::Ordering::Equal => {
-                parent[rv as usize] = ru;
-                rank[ru as usize] += 1;
+    {
+        let _span = afforest_obs::span!("uf-union-pass");
+        for (u, v) in g.edges() {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru == rv {
+                continue;
+            }
+            match rank[ru as usize].cmp(&rank[rv as usize]) {
+                std::cmp::Ordering::Less => parent[ru as usize] = rv,
+                std::cmp::Ordering::Greater => parent[rv as usize] = ru,
+                std::cmp::Ordering::Equal => {
+                    parent[rv as usize] = ru;
+                    rank[ru as usize] += 1;
+                }
             }
         }
     }
+    let _span = afforest_obs::span!("uf-label-pass");
     canonical_labels(parent)
 }
 
@@ -99,19 +103,23 @@ pub fn union_by_size_cc(g: &CsrGraph) -> Vec<Node> {
         x
     }
 
-    for (u, v) in g.edges() {
-        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
-        if ru == rv {
-            continue;
+    {
+        let _span = afforest_obs::span!("uf-union-pass");
+        for (u, v) in g.edges() {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru == rv {
+                continue;
+            }
+            let (big, small) = if size[ru as usize] >= size[rv as usize] {
+                (ru, rv)
+            } else {
+                (rv, ru)
+            };
+            parent[small as usize] = big;
+            size[big as usize] += size[small as usize];
         }
-        let (big, small) = if size[ru as usize] >= size[rv as usize] {
-            (ru, rv)
-        } else {
-            (rv, ru)
-        };
-        parent[small as usize] = big;
-        size[big as usize] += size[small as usize];
     }
+    let _span = afforest_obs::span!("uf-label-pass");
     canonical_labels(parent)
 }
 
@@ -122,6 +130,7 @@ pub fn rem_cc(g: &CsrGraph) -> Vec<Node> {
     let n = g.num_vertices();
     let mut parent: Vec<Node> = (0..n as Node).collect();
 
+    let splice_span = afforest_obs::span!("rem-splice-pass");
     for (u, v) in g.edges() {
         let (mut x, mut y) = (u, v);
         while parent[x as usize] != parent[y as usize] {
@@ -147,6 +156,8 @@ pub fn rem_cc(g: &CsrGraph) -> Vec<Node> {
             }
         }
     }
+    drop(splice_span);
+    let _span = afforest_obs::span!("uf-label-pass");
     canonical_labels(parent)
 }
 

@@ -55,7 +55,10 @@ fn bench_component_skip(c: &mut Criterion) {
     configure(&mut group);
     for (name, cfg) in [
         ("skip", AfforestConfig::default()),
-        ("no-skip", AfforestConfig::without_skip()),
+        (
+            "no-skip",
+            AfforestConfig::builder().skip(false).build().unwrap(),
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| afforest(&g, cfg));

@@ -4,8 +4,8 @@
 use afforest_baselines::{
     bfs_cc, dobfs_cc, label_prop, parallel_uf, shiloach_vishkin, sv_edgelist,
 };
-use afforest_core::{afforest, AfforestConfig};
-use afforest_graph::{CsrGraph, Node};
+use afforest_core::{afforest, AfforestConfig, ComponentLabels};
+use afforest_graph::CsrGraph;
 
 /// Every algorithm the harness can time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -69,19 +69,28 @@ impl Algorithm {
         Self::ALL.into_iter().find(|a| a.name() == s)
     }
 
-    /// Runs the algorithm, returning the raw representative labeling.
-    pub fn run(&self, g: &CsrGraph) -> Vec<Node> {
+    /// Runs the algorithm, returning the validated component labeling.
+    ///
+    /// Afforest's own output passes through untouched; the baselines
+    /// return raw label vectors and are wrapped (and thereby validated)
+    /// here, so every caller gets the same type and no call site has to
+    /// copy slices back into vectors.
+    pub fn run(&self, g: &CsrGraph) -> ComponentLabels {
         match self {
-            Algorithm::Afforest => afforest(g, &AfforestConfig::default()).as_slice().to_vec(),
-            Algorithm::AfforestNoSkip => afforest(g, &AfforestConfig::without_skip())
-                .as_slice()
-                .to_vec(),
-            Algorithm::Sv => shiloach_vishkin(g),
-            Algorithm::SvEdgeList => sv_edgelist(g),
-            Algorithm::LabelProp => label_prop(g),
-            Algorithm::Bfs => bfs_cc(g),
-            Algorithm::ParallelUf => parallel_uf(g),
-            Algorithm::Dobfs => dobfs_cc(g),
+            Algorithm::Afforest => afforest(g, &AfforestConfig::default()),
+            Algorithm::AfforestNoSkip => afforest(
+                g,
+                &AfforestConfig::builder()
+                    .skip(false)
+                    .build()
+                    .expect("valid config"),
+            ),
+            Algorithm::Sv => ComponentLabels::from_vec(shiloach_vishkin(g)),
+            Algorithm::SvEdgeList => ComponentLabels::from_vec(sv_edgelist(g)),
+            Algorithm::LabelProp => ComponentLabels::from_vec(label_prop(g)),
+            Algorithm::Bfs => ComponentLabels::from_vec(bfs_cc(g)),
+            Algorithm::ParallelUf => ComponentLabels::from_vec(parallel_uf(g)),
+            Algorithm::Dobfs => ComponentLabels::from_vec(dobfs_cc(g)),
         }
     }
 }
@@ -89,21 +98,41 @@ impl Algorithm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use afforest_core::ComponentLabels;
     use afforest_graph::generators::uniform_random;
 
     #[test]
     fn all_algorithms_agree() {
         let g = uniform_random(2_000, 12_000, 5);
-        let reference = ComponentLabels::from_vec(Algorithm::Afforest.run(&g));
+        let reference = Algorithm::Afforest.run(&g);
         assert!(reference.verify_against(&g));
         for alg in Algorithm::ALL {
-            let labels = ComponentLabels::from_vec(alg.run(&g));
+            let labels = alg.run(&g);
             assert!(
                 labels.equivalent(&reference),
                 "{} disagrees with afforest",
                 alg.name()
             );
+        }
+    }
+
+    /// Satellite check for the observability runtime: every algorithm the
+    /// harness can time emits at least one span when tracing is compiled
+    /// in and a session is active.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn every_algorithm_emits_spans() {
+        let g = uniform_random(2_000, 12_000, 5);
+        for alg in Algorithm::ALL {
+            let session = afforest_obs::Session::begin();
+            let labels = alg.run(&g);
+            let trace = session.end();
+            assert!(labels.verify_against(&g));
+            assert!(
+                !trace.spans.is_empty(),
+                "{} emitted no spans under obs",
+                alg.name()
+            );
+            assert!(trace.total_ns > 0);
         }
     }
 

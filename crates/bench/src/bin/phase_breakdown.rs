@@ -1,0 +1,22 @@
+//! Per-phase runtime breakdown — see `afforest_bench::experiments::phases`.
+//!
+//! Build with `--features obs` to get the per-phase rows; without it the
+//! binary prints totals only and says so.
+
+use afforest_bench::experiments::phases;
+use afforest_bench::Options;
+
+fn main() {
+    let opts =
+        Options::from_env("phase_breakdown [--scale S] [--trials N] [--dataset NAME] [--csv PATH]");
+    let report = phases::run(opts.scale, opts.trials, opts.dataset.as_deref());
+    print!("{}", report.render());
+    if let Some(path) = &opts.csv {
+        report
+            .primary_table()
+            .unwrap()
+            .write_csv(path)
+            .expect("write csv");
+        println!("csv written to {path}");
+    }
+}

@@ -2,7 +2,8 @@
 //! the generator behind `EXPERIMENTS.md`.
 
 use afforest_bench::experiments::{
-    ablation, distrib_comm, fig6, fig6c, fig7, fig8a, fig8b, fig8c, gpu, table2, table3, Report,
+    ablation, distrib_comm, fig6, fig6c, fig7, fig8a, fig8b, fig8c, gpu, phases, table2, table3,
+    Report,
 };
 use afforest_bench::Options;
 use std::time::Instant;
@@ -50,6 +51,10 @@ fn main() {
             Box::new(move || ablation::run(opts.scale, opts.trials, None)),
         ),
         ("gpu", Box::new(move || gpu::run(opts.scale, None))),
+        (
+            "phases",
+            Box::new(move || phases::run(opts.scale, opts.trials, None)),
+        ),
     ];
 
     let mut md = format!(

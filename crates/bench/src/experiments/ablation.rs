@@ -63,7 +63,13 @@ pub fn run(scale: Scale, trials: usize, dataset: Option<&str>) -> Report {
     ]);
     for (label, cfg) in [
         ("on", AfforestConfig::default()),
-        ("off", AfforestConfig::without_skip()),
+        (
+            "off",
+            AfforestConfig::builder()
+                .skip(false)
+                .build()
+                .expect("valid config"),
+        ),
     ] {
         let (_, stats) = afforest_with_stats(&g, &cfg);
         let timing = measure(trials, || afforest(&g, &cfg));

@@ -90,7 +90,13 @@ pub fn run(vlog: u32, elog: u32) -> Report {
         ("(a) Shiloach-Vishkin", trace_sv(&g)),
         (
             "(b) Afforest without component skipping",
-            trace_afforest(&g, &AfforestConfig::without_skip()),
+            trace_afforest(
+                &g,
+                &AfforestConfig::builder()
+                    .skip(false)
+                    .build()
+                    .expect("valid config"),
+            ),
         ),
         (
             "(c) Afforest",

@@ -5,7 +5,6 @@ use crate::algorithms::Algorithm;
 use crate::datasets::{registry, Scale};
 use crate::table::{self, Table};
 use crate::timing::{measure, Timing};
-use afforest_core::ComponentLabels;
 
 /// Runs the full performance comparison.
 pub fn run(scale: Scale, trials: usize, dataset: Option<&str>) -> Report {
@@ -23,12 +22,12 @@ pub fn run(scale: Scale, trials: usize, dataset: Option<&str>) -> Report {
         let g = d.build(scale);
 
         // Correctness gate before timing anything.
-        let reference = ComponentLabels::from_vec(Algorithm::Afforest.run(&g));
+        let reference = Algorithm::Afforest.run(&g);
         assert!(reference.verify_against(&g), "{}: bad labeling", d.name);
 
         let mut timings: Vec<(Algorithm, Timing)> = Vec::new();
         for alg in Algorithm::ALL {
-            let labels = ComponentLabels::from_vec(alg.run(&g));
+            let labels = alg.run(&g);
             assert!(
                 labels.equivalent(&reference),
                 "{}: {} disagrees",

@@ -14,6 +14,7 @@ pub mod fig8a;
 pub mod fig8b;
 pub mod fig8c;
 pub mod gpu;
+pub mod phases;
 pub mod table2;
 pub mod table3;
 

@@ -1,0 +1,104 @@
+//! Per-phase runtime breakdown — the observability runtime's headline
+//! consumer.
+//!
+//! Times every algorithm under a tracing session ([`measure_traced`])
+//! and tabulates where the median trial's wall-clock goes: one row per
+//! (algorithm, phase) with invocation count, total milliseconds, and
+//! share of the trial. For Afforest this splits the run into the
+//! paper's phases (neighbor-round links, compress sweeps, giant-component
+//! sampling, the skip-filtered final link); for the baselines it groups
+//! the per-iteration spans (`sv-iter[i]`, `lp-round[i]`, …) by base name.
+//!
+//! Without the `obs` feature only the `(total)` rows appear — the
+//! harness still times everything, it just has no spans to break down.
+
+use super::Report;
+use crate::algorithms::Algorithm;
+use crate::datasets::{by_name, Scale};
+use crate::table::{self, Table};
+use crate::timing::measure_traced;
+
+/// Runs the breakdown for one dataset (default `urand`, the paper's
+/// stress case for sampling) across all eight algorithms.
+pub fn run(scale: Scale, trials: usize, dataset: Option<&str>) -> Report {
+    let name = dataset.unwrap_or("urand");
+    let d = by_name(name).unwrap_or_else(|| panic!("unknown dataset '{name}'"));
+    let g = d.build(scale);
+
+    let mut t = Table::new(["algorithm", "phase", "count", "total-ms", "share-%"]);
+    let mut counter_lines: Vec<String> = Vec::new();
+    for alg in Algorithm::ALL {
+        let (timing, trace) = measure_traced(trials, || alg.run(&g));
+        t.row([
+            alg.name().to_string(),
+            "(total)".into(),
+            trials.to_string(),
+            table::f2(timing.median_ms()),
+            "100.00".into(),
+        ]);
+        let total = trace.total_ns.max(1) as f64;
+        for p in trace.phase_totals() {
+            // Nested spans are indented under their parents so their
+            // shares visibly overlap the depth-0 rows above them.
+            let label = format!("{}{}", "  ".repeat(p.depth as usize), p.name);
+            t.row([
+                alg.name().to_string(),
+                label,
+                p.count.to_string(),
+                table::f2(p.total_ms()),
+                table::f2(100.0 * p.total_ns as f64 / total),
+            ]);
+        }
+        if !trace.counters.is_empty() {
+            let cs: Vec<String> = trace
+                .counters
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            counter_lines.push(format!("{}: {}", alg.name(), cs.join(" ")));
+        }
+    }
+
+    let mut r = Report::new(format!(
+        "Phase breakdown — {name}, median of {trials} trials (scale {scale:?})"
+    ));
+    r.table("", t);
+    for line in counter_lines {
+        r.note(line);
+    }
+    if !afforest_obs::COMPILED {
+        r.note("spans disabled: rebuild with `--features obs` for the per-phase rows");
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_for_every_algorithm() {
+        let r = run(Scale::Tiny, 1, None);
+        let t = r.primary_table().unwrap();
+        // At minimum one `(total)` row per algorithm; with obs compiled
+        // in, phase rows follow.
+        assert!(t.len() >= Algorithm::ALL.len());
+        let rendered = t.render();
+        for alg in Algorithm::ALL {
+            assert!(rendered.contains(alg.name()), "missing {}", alg.name());
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn breakdown_covers_afforest_phases() {
+        let r = run(Scale::Tiny, 2, Some("urand"));
+        let rendered = r.primary_table().unwrap().render();
+        for phase in ["link", "compress", "find-largest", "final-link"] {
+            assert!(rendered.contains(phase), "missing phase {phase}");
+        }
+        // Baselines report per-iteration spans grouped by base name.
+        assert!(rendered.contains("sv-iter"));
+        assert!(rendered.contains("uf-union-pass"));
+    }
+}

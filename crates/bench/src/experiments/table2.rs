@@ -25,7 +25,11 @@ pub fn run(scale: Scale, dataset: Option<&str>) -> Report {
         let g = d.build(scale);
         let (_, sv) = shiloach_vishkin_with_stats(&g);
         // The paper's Table II measures Afforest without component skipping.
-        let aff = afforest_link_stats(&g, &AfforestConfig::without_skip());
+        let no_skip = AfforestConfig::builder()
+            .skip(false)
+            .build()
+            .expect("valid config");
+        let aff = afforest_link_stats(&g, &no_skip);
         t.row([
             d.name.to_string(),
             sv.iterations.to_string(),

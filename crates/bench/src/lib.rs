@@ -31,4 +31,4 @@ pub use cli::Options;
 pub use datasets::{registry, Dataset, Scale};
 pub use plot::{render as render_chart, Series};
 pub use table::Table;
-pub use timing::{measure, Timing};
+pub use timing::{measure, measure_traced, Timing};

@@ -3,6 +3,8 @@
 //! "All results report the median running time … over 16 measurements";
 //! Fig. 8a's error bars are the 25th/75th percentiles. We reproduce both.
 
+use afforest_obs::Session;
+use afforest_obs::Trace;
 use std::time::{Duration, Instant};
 
 /// Median + quartiles of a set of trials.
@@ -67,6 +69,41 @@ pub fn measure<T>(trials: usize, mut f: impl FnMut() -> T) -> Timing {
     aggregate(samples)
 }
 
+/// Like [`measure`], but records each trial inside an observability
+/// session. Trial durations are taken from the trace itself (the span
+/// recorder's clock) rather than an outer stopwatch, and the trace of
+/// the median trial is returned alongside the timing so callers can
+/// break the median down per phase.
+///
+/// When the harness is built without the `obs` feature, traces are
+/// empty and the durations fall back to the stopwatch — the timing is
+/// still valid, the trace merely reports no spans.
+pub fn measure_traced<T>(trials: usize, mut f: impl FnMut() -> T) -> (Timing, Trace) {
+    assert!(trials > 0, "need at least one trial");
+    let mut runs: Vec<(Duration, Trace)> = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let session = Session::begin();
+        let t = Instant::now();
+        let out = f();
+        let stopwatch = t.elapsed();
+        let trace = session.end();
+        std::hint::black_box(&out);
+        let dur = if trace.total_ns > 0 {
+            Duration::from_nanos(trace.total_ns)
+        } else {
+            stopwatch
+        };
+        runs.push((dur, trace));
+    }
+    let timing = aggregate(runs.iter().map(|(d, _)| *d).collect());
+    // Hand back the trace whose duration is the median sample.
+    let (_, median_trace) = runs
+        .into_iter()
+        .min_by_key(|&(d, _)| d.abs_diff(timing.median))
+        .expect("at least one trial");
+    (timing, median_trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +153,40 @@ mod tests {
         });
         assert_eq!(count, 5);
         assert_eq!(t.trials, 5);
+    }
+
+    #[test]
+    fn measure_traced_times_all_trials() {
+        let mut count = 0;
+        let (t, trace) = measure_traced(5, || {
+            count += 1;
+            std::thread::sleep(Duration::from_millis(1));
+            count
+        });
+        assert_eq!(count, 5);
+        assert_eq!(t.trials, 5);
+        assert!(t.median >= Duration::from_millis(1));
+        // With obs compiled out the trace is empty; with it compiled in
+        // the session clock must cover the sleep.
+        if afforest_obs::COMPILED {
+            assert!(trace.total_ns >= 1_000_000);
+        } else {
+            assert!(trace.is_empty());
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn measure_traced_returns_spans() {
+        let (t, trace) = measure_traced(3, || {
+            let _span = afforest_obs::span!("work");
+            std::hint::black_box(42)
+        });
+        assert_eq!(t.trials, 3);
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "work");
+        // Trial duration comes from the trace clock, which covers the span.
+        assert!(t.median.as_nanos() as u64 >= trace.spans[0].dur_ns);
     }
 
     #[test]

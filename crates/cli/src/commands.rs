@@ -12,32 +12,87 @@ use afforest_graph::{CsrGraph, Node};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Algorithm name → runner, shared by `cc` and `bench`.
-pub fn algorithm_by_name(name: &str) -> Option<fn(&CsrGraph) -> Vec<Node>> {
-    fn aff(g: &CsrGraph) -> Vec<Node> {
-        afforest(g, &AfforestConfig::default()).as_slice().to_vec()
+/// Algorithm name → runner, shared by `cc` and `bench`. Every runner
+/// returns validated [`ComponentLabels`] — Afforest's output passes
+/// through untouched, the baselines' raw label vectors are wrapped here.
+pub fn algorithm_by_name(name: &str) -> Option<fn(&CsrGraph) -> ComponentLabels> {
+    macro_rules! wrap {
+        ($f:path) => {{
+            fn w(g: &CsrGraph) -> ComponentLabels {
+                ComponentLabels::from_vec($f(g))
+            }
+            w as fn(&CsrGraph) -> ComponentLabels
+        }};
     }
-    fn aff_noskip(g: &CsrGraph) -> Vec<Node> {
-        afforest(g, &AfforestConfig::without_skip())
-            .as_slice()
-            .to_vec()
+    fn aff(g: &CsrGraph) -> ComponentLabels {
+        afforest(g, &AfforestConfig::default())
+    }
+    fn aff_noskip(g: &CsrGraph) -> ComponentLabels {
+        afforest(
+            g,
+            &AfforestConfig::builder()
+                .skip(false)
+                .build()
+                .expect("valid config"),
+        )
     }
     Some(match name {
         "afforest" => aff,
         "afforest-noskip" => aff_noskip,
-        "sv" => shiloach_vishkin,
-        "sv-edgelist" => sv_edgelist,
-        "sv-1982" => shiloach_vishkin_1982,
-        "label-prop" => label_prop,
-        "bfs" => bfs_cc,
-        "dobfs" => dobfs_cc,
-        "parallel-uf" => parallel_uf,
-        "union-find" => union_find_cc,
-        "uf-rank" => union_by_rank_cc,
-        "uf-size" => union_by_size_cc,
-        "rem" => rem_cc,
+        "sv" => wrap!(shiloach_vishkin),
+        "sv-edgelist" => wrap!(sv_edgelist),
+        "sv-1982" => wrap!(shiloach_vishkin_1982),
+        "label-prop" => wrap!(label_prop),
+        "bfs" => wrap!(bfs_cc),
+        "dobfs" => wrap!(dobfs_cc),
+        "parallel-uf" => wrap!(parallel_uf),
+        "union-find" => wrap!(union_find_cc),
+        "uf-rank" => wrap!(union_by_rank_cc),
+        "uf-size" => wrap!(union_by_size_cc),
+        "rem" => wrap!(rem_cc),
         _ => return None,
     })
+}
+
+/// Runs `alg` `trials` times; returns the labels of the last trial, the
+/// best wall-clock seconds, and — when `traced` — the trace of the best
+/// trial, for `--trace-out`.
+fn timed_trials(
+    g: &CsrGraph,
+    alg: fn(&CsrGraph) -> ComponentLabels,
+    trials: usize,
+    traced: bool,
+) -> (ComponentLabels, f64, Option<afforest_obs::Trace>) {
+    let mut best = f64::INFINITY;
+    let mut best_trace = None;
+    let mut labels = None;
+    for _ in 0..trials {
+        let session = traced.then(afforest_obs::Session::begin);
+        let t = Instant::now();
+        let l = alg(g);
+        let dt = t.elapsed().as_secs_f64();
+        let trace = session.map(|s| s.end());
+        if dt < best {
+            best = dt;
+            best_trace = trace;
+        }
+        labels = Some(l);
+    }
+    (labels.expect("trials > 0"), best, best_trace)
+}
+
+/// Writes a trace as JSON, reporting span count (and a hint when span
+/// recording was compiled out).
+fn write_trace(path: &str, json: &str, spans: usize, out: &mut String) -> Result<(), String> {
+    std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    let _ = writeln!(out, "trace written to {path} ({spans} span(s))");
+    if !afforest_obs::COMPILED {
+        let _ = writeln!(
+            out,
+            "note: span recording compiled out; rebuild with `--features obs` for a populated trace"
+        );
+    }
+    Ok(())
 }
 
 /// Every algorithm name, in `bench` display order.
@@ -91,31 +146,26 @@ pub mod stats {
     }
 }
 
-/// `afforest cc <graph> [--algorithm NAME] [--labels-out PATH] [--trials N]`.
+/// `afforest cc <graph> [--algorithm NAME] [--labels-out PATH] [--trials N]
+/// [--trace-out PATH]`.
 pub mod cc {
     use super::*;
 
     pub fn run(argv: &[String]) -> Result<String, String> {
         let args = ParsedArgs::parse(argv)?;
-        args.allow_flags(&["algorithm", "labels-out", "trials"])?;
+        args.allow_flags(&["algorithm", "labels-out", "trials", "trace-out"])?;
         let path = args.positional(0, "graph")?;
         let alg_name = args.flag("algorithm").unwrap_or("afforest");
         let trials: usize = args.flag_parsed("trials", 1)?;
         if trials == 0 {
             return Err("--trials must be positive".into());
         }
+        let trace_out = args.flag("trace-out");
         let alg = algorithm_by_name(alg_name)
             .ok_or_else(|| format!("unknown algorithm '{alg_name}' (see `afforest help`)"))?;
         let g = load_graph(path)?;
 
-        let mut labels_vec = Vec::new();
-        let mut best = f64::INFINITY;
-        for _ in 0..trials {
-            let t = Instant::now();
-            labels_vec = alg(&g);
-            best = best.min(t.elapsed().as_secs_f64());
-        }
-        let labels = ComponentLabels::from_vec(labels_vec);
+        let (labels, best, trace) = timed_trials(&g, alg, trials, trace_out.is_some());
 
         let mut out = String::new();
         let _ = writeln!(out, "graph:       {path}");
@@ -141,6 +191,10 @@ pub mod cc {
             }
             std::fs::write(dest, text).map_err(|e| format!("{dest}: {e}"))?;
             let _ = writeln!(out, "labels written to {dest}");
+        }
+        if let Some(dest) = trace_out {
+            let trace = trace.expect("traced run kept its trace");
+            write_trace(dest, &trace.to_json(), trace.spans.len(), &mut out)?;
         }
         Ok(out)
     }
@@ -241,22 +295,22 @@ pub mod convert {
     }
 }
 
-/// `afforest bench <graph> [--trials N]`.
+/// `afforest bench <graph> [--trials N] [--trace-out PATH]`.
 pub mod bench {
     use super::*;
 
     pub fn run(argv: &[String]) -> Result<String, String> {
         let args = ParsedArgs::parse(argv)?;
-        args.allow_flags(&["trials"])?;
+        args.allow_flags(&["trials", "trace-out"])?;
         let path = args.positional(0, "graph")?;
         let trials: usize = args.flag_parsed("trials", 3)?;
         if trials == 0 {
             return Err("--trials must be positive".into());
         }
+        let trace_out = args.flag("trace-out");
         let g = load_graph(path)?;
 
-        let reference =
-            ComponentLabels::from_vec(algorithm_by_name("union-find").expect("oracle exists")(&g));
+        let reference = algorithm_by_name("union-find").expect("oracle exists")(&g);
 
         let mut out = format!(
             "graph: {path} ({} vertices, {} edges)\n{:<18} {:>12}  {}\n",
@@ -266,18 +320,19 @@ pub mod bench {
             "best-ms",
             "components"
         );
+        // With `--trace-out` the file holds one JSON object mapping each
+        // algorithm name to the trace of its best trial.
+        let mut traces: Vec<String> = Vec::new();
+        let mut total_spans = 0usize;
         for name in ALGORITHM_NAMES {
             let alg = algorithm_by_name(name).expect("registered");
-            let mut best = f64::INFINITY;
-            let mut labels = Vec::new();
-            for _ in 0..trials {
-                let t = Instant::now();
-                labels = alg(&g);
-                best = best.min(t.elapsed().as_secs_f64());
-            }
-            let labels = ComponentLabels::from_vec(labels);
+            let (labels, best, trace) = timed_trials(&g, alg, trials, trace_out.is_some());
             if !labels.equivalent(&reference) {
                 return Err(format!("{name} produced an inconsistent labeling"));
+            }
+            if let Some(trace) = trace {
+                total_spans += trace.spans.len();
+                traces.push(format!("\"{name}\": {}", trace.to_json()));
             }
             let _ = writeln!(
                 out,
@@ -286,6 +341,10 @@ pub mod bench {
                 best * 1e3,
                 labels.num_components()
             );
+        }
+        if let Some(dest) = trace_out {
+            let json = format!("{{{}}}", traces.join(", "));
+            write_trace(dest, &json, total_spans, &mut out)?;
         }
         Ok(out)
     }
@@ -420,6 +479,79 @@ mod tests {
         for name in ALGORITHM_NAMES {
             assert!(out.contains(name), "{name} missing");
         }
+    }
+
+    #[test]
+    fn cc_trace_out_writes_parseable_json() {
+        let p = sample_graph_file("trace.el");
+        let trace_path = tempfile("trace.json");
+        let out = cc::run(&argv(&[&p, "--trace-out", &trace_path])).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert!(out.contains("trace written to"));
+        let json = std::fs::read_to_string(&trace_path).unwrap();
+        std::fs::remove_file(&trace_path).unwrap();
+        let trace = afforest_obs::Trace::from_json(&json).expect("valid trace JSON");
+        if afforest_obs::COMPILED {
+            assert!(!trace.spans.is_empty());
+        } else {
+            assert!(trace.is_empty());
+            assert!(out.contains("compiled out"));
+        }
+    }
+
+    /// Acceptance check for the tentpole: `run --trace-out` covers every
+    /// neighbor round, the sampling step, the skip pass, and each
+    /// compress sweep.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn cc_trace_covers_every_afforest_phase() {
+        let p = sample_graph_file("tracephases.el");
+        let trace_path = tempfile("tracephases.json");
+        cc::run(&argv(&[&p, "--trace-out", &trace_path, "--trials", "2"])).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        let json = std::fs::read_to_string(&trace_path).unwrap();
+        std::fs::remove_file(&trace_path).unwrap();
+        let trace = afforest_obs::Trace::from_json(&json).unwrap();
+        let rounds = afforest_core::AfforestConfig::default().neighbor_rounds;
+        for r in 0..rounds {
+            assert!(
+                trace.spans.iter().any(|s| s.name == format!("link[{r}]")),
+                "missing neighbor round {r}"
+            );
+        }
+        for name in ["init", "find-largest", "final-link", "final-compress"] {
+            assert!(
+                trace.spans.iter().any(|s| s.name == name),
+                "missing phase {name}"
+            );
+        }
+        assert!(
+            trace.spans.iter().any(|s| s.base_name() == "compress"),
+            "missing compress sweeps"
+        );
+        assert!(
+            trace.counter("vertices_skipped") > 0,
+            "skip pass not recorded"
+        );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn bench_trace_out_maps_algorithms_to_traces() {
+        let p = sample_graph_file("benchtrace.el");
+        let trace_path = tempfile("benchtrace.json");
+        bench::run(&argv(&[&p, "--trials", "1", "--trace-out", &trace_path])).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        let json = std::fs::read_to_string(&trace_path).unwrap();
+        std::fs::remove_file(&trace_path).unwrap();
+        // The file is one object: algorithm name -> trace.
+        let value = afforest_obs::json::parse(&json).unwrap();
+        let afforest_obs::json::Value::Obj(map) = value else {
+            panic!("expected a JSON object");
+        };
+        assert_eq!(map.len(), ALGORITHM_NAMES.len());
+        assert!(map.contains_key("afforest"));
+        assert!(map.contains_key("sv"));
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! ```text
 //! afforest stats    <graph>
 //! afforest cc       <graph> [--algorithm NAME] [--labels-out PATH] [--trials N]
+//!                   [--trace-out PATH]          (alias: afforest run)
 //! afforest generate <family> --out PATH [--n N] [--edge-factor K] [--seed S] …
 //! afforest convert  <in> <out>
-//! afforest bench    <graph> [--trials N]
+//! afforest bench    <graph> [--trials N] [--trace-out PATH]
 //! afforest help
 //! ```
 //!
@@ -25,13 +26,18 @@ usage: afforest <command> [arguments]
 
 commands:
   stats    <graph>                          graph statistics (Table III columns)
-  cc       <graph> [--algorithm NAME]       connected components
+  cc       <graph> [--algorithm NAME]       connected components (alias: run)
            [--labels-out PATH] [--trials N]
+           [--trace-out PATH]
   generate <family> --out PATH [--n N]      synthetic graph (urand|kron|road|web|
            [--edge-factor K] [--seed S]     ba|ws|geometric|components)
   convert  <in> <out>                       format conversion by extension
   bench    <graph> [--trials N]             time every algorithm on the graph
+           [--trace-out PATH]
   help                                      this message
+
+`--trace-out` writes a JSON phase trace of the best trial (build with
+`--features obs` to populate it with spans and counters)
 
 formats by extension: .el/.txt  .gr/.dimacs/.col  .graph/.metis  .acsr
 algorithms: afforest afforest-noskip sv sv-edgelist sv-1982 label-prop
@@ -46,7 +52,9 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
     let rest = &argv[1..];
     match command.as_str() {
         "stats" => commands::stats::run(rest),
-        "cc" => commands::cc::run(rest),
+        // `run` is an alias for `cc` — the natural verb once tracing made
+        // the command more than a component count.
+        "cc" | "run" => commands::cc::run(rest),
         "generate" => commands::generate::run(rest),
         "convert" => commands::convert::run(rest),
         "bench" => commands::bench::run(rest),
@@ -80,5 +88,14 @@ mod tests {
     fn unknown_command_errors() {
         let err = dispatch(&argv(&["frobnicate"])).unwrap_err();
         assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn run_is_an_alias_for_cc() {
+        // Both spellings hit the same handler — same error for a missing
+        // positional.
+        let cc = dispatch(&argv(&["cc"])).unwrap_err();
+        let run = dispatch(&argv(&["run"])).unwrap_err();
+        assert_eq!(cc, run);
     }
 }

@@ -38,20 +38,24 @@ impl Format {
 }
 
 /// Loads a graph, dispatching on the extension.
+///
+/// All reader failures — unreadable file, malformed content, or a
+/// structurally corrupt binary — arrive as [`afforest_graph::Error`] and
+/// are rendered here as one `path: reason` message.
 pub fn load_graph(path: &str) -> Result<CsrGraph, String> {
     let fmt = Format::from_path(path)?;
-    let io_err = |e: std::io::Error| format!("{path}: {e}");
+    let err = |e: afforest_graph::Error| format!("{path}: {e}");
     match fmt {
         Format::EdgeList => io::read_edge_list(path, 0)
             .map(|el| GraphBuilder::from_edge_list(el).build())
-            .map_err(io_err),
+            .map_err(err),
         Format::Dimacs => io_formats::read_dimacs(path)
             .map(|el| GraphBuilder::from_edge_list(el).build())
-            .map_err(io_err),
+            .map_err(err),
         Format::Metis => io_formats::read_metis(path)
             .map(|el| GraphBuilder::from_edge_list(el).build())
-            .map_err(io_err),
-        Format::Binary => io::read_binary(path).map_err(io_err),
+            .map_err(err),
+        Format::Binary => io::read_binary(path).map_err(err),
     }
 }
 
@@ -110,5 +114,21 @@ mod tests {
     fn load_missing_file_reports_path() {
         let err = load_graph("/definitely/not/here.el").unwrap_err();
         assert!(err.contains("not/here.el"));
+    }
+
+    #[test]
+    fn load_malformed_content_reports_path_and_reason() {
+        let p = tempfile("malformed.el");
+        std::fs::write(&p, "0 1\nnot an edge\n").unwrap();
+        let err = load_graph(&p).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(err.contains(&p), "missing path in '{err}'");
+        assert!(err.contains("line 2"), "missing line number in '{err}'");
+
+        let p = tempfile("corrupt.acsr");
+        std::fs::write(&p, b"not a csr dump").unwrap();
+        let err = load_graph(&p).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(err.contains("magic"), "missing reason in '{err}'");
     }
 }

@@ -54,8 +54,31 @@ impl Default for AfforestConfig {
 }
 
 impl AfforestConfig {
+    /// Starts a validating [`AfforestConfigBuilder`] seeded with the
+    /// paper's defaults.
+    ///
+    /// ```
+    /// use afforest_core::AfforestConfig;
+    ///
+    /// let cfg = AfforestConfig::builder()
+    ///     .neighbor_rounds(3)
+    ///     .skip(false)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.neighbor_rounds, 3);
+    /// assert!(!cfg.skip_largest);
+    /// assert!(AfforestConfig::builder().neighbor_rounds(0).build().is_err());
+    /// ```
+    pub fn builder() -> AfforestConfigBuilder {
+        AfforestConfigBuilder::new()
+    }
+
     /// Paper configuration but with large-component skipping disabled
     /// ("Afforest w/o skip" in Figs. 7b and 8b).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use AfforestConfig::builder().skip(false).build()"
+    )]
     pub fn without_skip() -> Self {
         Self {
             skip_largest: false,
@@ -65,12 +88,111 @@ impl AfforestConfig {
 
     /// Pure subgraph-free configuration: zero neighbor rounds and no
     /// skipping — processes all edges in one pass (useful as a control).
+    ///
+    /// The builder deliberately rejects zero rounds; this ablation control
+    /// is the one sanctioned way to get them (or set the public fields
+    /// directly).
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct the ablation config via the public fields: \
+                AfforestConfig { neighbor_rounds: 0, skip_largest: false, ..Default::default() }"
+    )]
     pub fn exhaustive() -> Self {
         Self {
             neighbor_rounds: 0,
             skip_largest: false,
             ..Self::default()
         }
+    }
+}
+
+/// Validation failure from [`AfforestConfigBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `neighbor_rounds` was 0: without at least one sampling round the
+    /// giant-component search runs over singleton trees and the "skip"
+    /// optimization degenerates (use the public fields directly for that
+    /// ablation).
+    ZeroNeighborRounds,
+    /// `sample_size` was 0: the most-frequent-element search needs at
+    /// least one probe.
+    ZeroSampleSize,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroNeighborRounds => {
+                write!(f, "neighbor_rounds must be at least 1")
+            }
+            ConfigError::ZeroSampleSize => write!(f, "sample_size must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`AfforestConfig`]; start from
+/// [`AfforestConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct AfforestConfigBuilder {
+    cfg: AfforestConfig,
+}
+
+impl Default for AfforestConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AfforestConfigBuilder {
+    /// A builder seeded with the paper's defaults.
+    pub fn new() -> Self {
+        Self {
+            cfg: AfforestConfig::default(),
+        }
+    }
+
+    /// Sets the number of neighbor-sampling rounds (must be ≥ 1).
+    pub fn neighbor_rounds(mut self, rounds: usize) -> Self {
+        self.cfg.neighbor_rounds = rounds;
+        self
+    }
+
+    /// Sets the probe count of the most-frequent-element search (≥ 1).
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.cfg.sample_size = samples;
+        self
+    }
+
+    /// Enables or disables skipping edges incident to the giant component.
+    pub fn skip(mut self, skip: bool) -> Self {
+        self.cfg.skip_largest = skip;
+        self
+    }
+
+    /// Compress after every neighbor round (paper Fig. 5) or only once
+    /// after the last (GAPBS variant).
+    pub fn compress_each_round(mut self, each_round: bool) -> Self {
+        self.cfg.compress_each_round = each_round;
+        self
+    }
+
+    /// Sets the seed of the probabilistic component search.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<AfforestConfig, ConfigError> {
+        if self.cfg.neighbor_rounds == 0 {
+            return Err(ConfigError::ZeroNeighborRounds);
+        }
+        if self.cfg.sample_size == 0 {
+            return Err(ConfigError::ZeroSampleSize);
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -170,7 +292,10 @@ fn run(g: &CsrGraph, cfg: &AfforestConfig, collect: bool) -> (ComponentLabels, R
     };
 
     let t = Instant::now();
-    let pi = ParentArray::new(n);
+    let pi = {
+        let _span = afforest_obs::span!("{}", Phase::Init);
+        ParentArray::new(n)
+    };
     record(&mut stats, Phase::Init, t);
 
     if n == 0 {
@@ -180,17 +305,20 @@ fn run(g: &CsrGraph, cfg: &AfforestConfig, collect: bool) -> (ComponentLabels, R
     // Phase 2: neighbor rounds (Fig. 5 lines 2–9).
     for round in 0..cfg.neighbor_rounds {
         let t = Instant::now();
-        let processed: usize = (0..n as Node)
-            .into_par_iter()
-            .map(|v| {
-                if round < g.degree(v) {
-                    link(v, g.neighbor(v, round), &pi);
-                    1
-                } else {
-                    0
-                }
-            })
-            .sum();
+        let processed: usize = {
+            let _span = afforest_obs::span!("{}", Phase::LinkRound(round));
+            (0..n as Node)
+                .into_par_iter()
+                .map(|v| {
+                    if round < g.degree(v) {
+                        link(v, g.neighbor(v, round), &pi);
+                        1
+                    } else {
+                        0
+                    }
+                })
+                .sum()
+        };
         record(&mut stats, Phase::LinkRound(round), t);
         if collect {
             stats.edges_processed += processed;
@@ -206,7 +334,10 @@ fn run(g: &CsrGraph, cfg: &AfforestConfig, collect: bool) -> (ComponentLabels, R
 
         if cfg.compress_each_round {
             let t = Instant::now();
-            compress_all(&pi);
+            {
+                let _span = afforest_obs::span!("{}", Phase::Compress(round));
+                compress_all(&pi);
+            }
             record(&mut stats, Phase::Compress(round), t);
             debug_assert!(
                 pi.check_invariant(),
@@ -219,7 +350,10 @@ fn run(g: &CsrGraph, cfg: &AfforestConfig, collect: bool) -> (ComponentLabels, R
     }
     if !cfg.compress_each_round && cfg.neighbor_rounds > 0 {
         let t = Instant::now();
-        compress_all(&pi);
+        {
+            let _span = afforest_obs::span!("{}", Phase::Compress(cfg.neighbor_rounds - 1));
+            compress_all(&pi);
+        }
         record(&mut stats, Phase::Compress(cfg.neighbor_rounds - 1), t);
         debug_assert!(
             pi.check_invariant(),
@@ -230,7 +364,10 @@ fn run(g: &CsrGraph, cfg: &AfforestConfig, collect: bool) -> (ComponentLabels, R
     // Phase 3: identify the giant intermediate component (Fig. 5 line 10).
     let giant = if cfg.skip_largest {
         let t = Instant::now();
-        let c = sample_frequent_element(&pi, cfg.sample_size.min(16 * n).max(1), cfg.seed);
+        let c = {
+            let _span = afforest_obs::span!("{}", Phase::FindLargest);
+            sample_frequent_element(&pi, cfg.sample_size.min(16 * n).max(1), cfg.seed)
+        };
         record(&mut stats, Phase::FindLargest, t);
         if collect {
             stats.giant_root = Some(c);
@@ -243,21 +380,30 @@ fn run(g: &CsrGraph, cfg: &AfforestConfig, collect: bool) -> (ComponentLabels, R
     // Phase 4: final link over remaining edges, skipping the giant
     // component's neighborhoods (Fig. 5 lines 11–15).
     let t = Instant::now();
-    let (processed, skipped) = (0..n as Node)
-        .into_par_iter()
-        .map(|v| {
-            if giant == Some(pi.get(v)) {
-                (0usize, 1usize)
-            } else {
-                let deg = g.degree(v);
-                let start = cfg.neighbor_rounds.min(deg);
-                for i in start..deg {
-                    link(v, g.neighbor(v, i), &pi);
+    let (processed, skipped) = {
+        let _span = afforest_obs::span!("{}", Phase::FinalLink);
+        (0..n as Node)
+            .into_par_iter()
+            .map(|v| {
+                if giant == Some(pi.get(v)) {
+                    if afforest_obs::COMPILED {
+                        let deg = g.degree(v);
+                        let remaining = deg - cfg.neighbor_rounds.min(deg);
+                        afforest_obs::count(afforest_obs::Counter::EdgesSkipped, remaining as u64);
+                        afforest_obs::count(afforest_obs::Counter::VerticesSkipped, 1);
+                    }
+                    (0usize, 1usize)
+                } else {
+                    let deg = g.degree(v);
+                    let start = cfg.neighbor_rounds.min(deg);
+                    for i in start..deg {
+                        link(v, g.neighbor(v, i), &pi);
+                    }
+                    (deg - start, 0)
                 }
-                (deg - start, 0)
-            }
-        })
-        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+            })
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+    };
     record(&mut stats, Phase::FinalLink, t);
     if collect {
         stats.edges_processed += processed;
@@ -270,7 +416,10 @@ fn run(g: &CsrGraph, cfg: &AfforestConfig, collect: bool) -> (ComponentLabels, R
 
     // Phase 5: final compress (Fig. 5 lines 16–18).
     let t = Instant::now();
-    compress_all(&pi);
+    {
+        let _span = afforest_obs::span!("{}", Phase::FinalCompress);
+        compress_all(&pi);
+    }
     record(&mut stats, Phase::FinalCompress, t);
 
     debug_assert!(pi.check_invariant(), "Invariant 1 violated");
@@ -310,16 +459,20 @@ mod tests {
     fn classic_graphs_all_configs() {
         let configs = [
             AfforestConfig::default(),
-            AfforestConfig::without_skip(),
-            AfforestConfig::exhaustive(),
+            AfforestConfig::builder().skip(false).build().unwrap(),
             AfforestConfig {
-                compress_each_round: false,
+                neighbor_rounds: 0,
+                skip_largest: false,
                 ..Default::default()
             },
-            AfforestConfig {
-                neighbor_rounds: 5,
-                ..Default::default()
-            },
+            AfforestConfig::builder()
+                .compress_each_round(false)
+                .build()
+                .unwrap(),
+            AfforestConfig::builder()
+                .neighbor_rounds(5)
+                .build()
+                .unwrap(),
         ];
         for g in [path(100), cycle(64), star(50, 49), complete(20)] {
             for cfg in &configs {
@@ -354,7 +507,7 @@ mod tests {
     fn road_matches_oracle() {
         let g = road_network(120, 120, 0.6, 0.02, 3);
         let with_skip = check(&g, &AfforestConfig::default());
-        let without = check(&g, &AfforestConfig::without_skip());
+        let without = check(&g, &AfforestConfig::builder().skip(false).build().unwrap());
         assert!(with_skip.equivalent(&without));
     }
 
@@ -391,7 +544,8 @@ mod tests {
     #[test]
     fn stats_without_skip_processes_everything() {
         let g = uniform_random(2_000, 10_000, 4);
-        let (_, stats) = afforest_with_stats(&g, &AfforestConfig::without_skip());
+        let cfg = AfforestConfig::builder().skip(false).build().unwrap();
+        let (_, stats) = afforest_with_stats(&g, &cfg);
         // Neighbor rounds + final pass cover every directed arc exactly once.
         assert_eq!(stats.edges_processed, g.num_arcs());
         assert_eq!(stats.vertices_skipped, 0);
@@ -445,5 +599,103 @@ mod tests {
     fn phase_display_strings() {
         assert_eq!(Phase::LinkRound(1).to_string(), "link[1]");
         assert_eq!(Phase::FinalCompress.to_string(), "final-compress");
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let cfg = AfforestConfig::builder()
+            .neighbor_rounds(4)
+            .sample_size(64)
+            .skip(false)
+            .compress_each_round(false)
+            .seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(
+            cfg,
+            AfforestConfig {
+                neighbor_rounds: 4,
+                sample_size: 64,
+                skip_largest: false,
+                compress_each_round: false,
+                seed: 99,
+            }
+        );
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(
+            AfforestConfig::builder().build().unwrap(),
+            AfforestConfig::default()
+        );
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        assert_eq!(
+            AfforestConfig::builder().neighbor_rounds(0).build(),
+            Err(ConfigError::ZeroNeighborRounds)
+        );
+        assert_eq!(
+            AfforestConfig::builder().sample_size(0).build(),
+            Err(ConfigError::ZeroSampleSize)
+        );
+        assert!(ConfigError::ZeroSampleSize.to_string().contains("sample"));
+    }
+
+    /// With the `obs` feature on, one run must produce spans for every
+    /// phase the paper names: each neighbor round, each compress sweep,
+    /// the sampling step, and the skip (final-link) pass.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn trace_covers_every_phase() {
+        let g = uniform_random(2_000, 10_000, 5);
+        let cfg = AfforestConfig::builder()
+            .neighbor_rounds(3)
+            .build()
+            .unwrap();
+        let session = afforest_obs::Session::begin();
+        let labels = afforest(&g, &cfg);
+        let trace = session.end();
+        assert!(labels.verify_against(&g));
+
+        for name in [
+            "init",
+            "link[0]",
+            "link[1]",
+            "link[2]",
+            "compress[0]",
+            "compress[1]",
+            "compress[2]",
+            "find-largest",
+            "final-link",
+            "final-compress",
+        ] {
+            assert!(
+                trace.spans.iter().any(|s| s.name == name),
+                "missing span {name:?} in {:?}",
+                trace.spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+            );
+        }
+        // Work counters flowed into the trace from the hot paths.
+        assert!(trace.counter("link_calls") > 0);
+        assert!(trace.counter("edges_linked") > 0);
+        assert!(trace.counter("vertices_skipped") > 0);
+        // Phase spans account for (nearly) the whole session.
+        assert!(trace.depth_total_ns(0) <= trace.total_ns);
+        assert!(trace.depth_total_ns(0) > trace.total_ns / 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_builder() {
+        assert_eq!(
+            AfforestConfig::without_skip(),
+            AfforestConfig::builder().skip(false).build().unwrap()
+        );
+        let exhaustive = AfforestConfig::exhaustive();
+        assert_eq!(exhaustive.neighbor_rounds, 0);
+        assert!(!exhaustive.skip_largest);
     }
 }

@@ -20,6 +20,7 @@ use rayon::prelude::*;
 pub fn compress(v: Node, pi: &ParentArray) {
     while pi.get(pi.get(v)) != pi.get(v) {
         pi.set(v, pi.get(pi.get(v)));
+        afforest_obs::count(afforest_obs::Counter::CompressStores, 1);
     }
 }
 

@@ -379,7 +379,7 @@ fn traced_compress(v: Node, t: &TracedParents) {
 }
 
 /// Runs Afforest on a traced parent array, returning the full access trace
-/// (Figs. 7b / 7c; pass `AfforestConfig::without_skip()` for 7b).
+/// (Figs. 7b / 7c; pass `AfforestConfig::builder().skip(false)` for 7b).
 ///
 /// Tracing serializes on a global sequence counter, so use small graphs
 /// (the paper uses `|V| = 2^12, |E| = 2^19` for exactly this reason).
@@ -519,7 +519,8 @@ mod tests {
     fn link_stats_skip_reduces_calls() {
         let g = uniform_random(5_000, 50_000, 3);
         let with_skip = afforest_link_stats(&g, &AfforestConfig::default());
-        let without = afforest_link_stats(&g, &AfforestConfig::without_skip());
+        let no_skip = AfforestConfig::builder().skip(false).build().unwrap();
+        let without = afforest_link_stats(&g, &no_skip);
         assert!(with_skip.link_calls < without.link_calls);
         assert_eq!(without.link_calls as usize, g.num_arcs());
     }

@@ -59,7 +59,8 @@ pub mod strategies;
 pub mod worst_case;
 
 pub use crate::afforest::{
-    afforest, afforest_with_stats, AfforestConfig, Phase, PhaseTiming, RunStats,
+    afforest, afforest_with_stats, AfforestConfig, AfforestConfigBuilder, ConfigError, Phase,
+    PhaseTiming, RunStats,
 };
 pub use crate::batched::{afforest_batched, BatchedConfig, BatchedStats};
 pub use crate::compress::{compress, compress_all};

@@ -34,6 +34,7 @@ use afforest_graph::Node;
 /// ```
 #[inline]
 pub fn link(u: Node, v: Node, pi: &ParentArray) -> bool {
+    afforest_obs::count(afforest_obs::Counter::LinkCalls, 1);
     let mut p1 = pi.get(u);
     let mut p2 = pi.get(v);
     while p1 != p2 {
@@ -45,8 +46,12 @@ pub fn link(u: Node, v: Node, pi: &ParentArray) -> bool {
         if p_high == low {
             return false;
         }
-        if p_high == high && pi.compare_and_swap(high, high, low) {
-            return true;
+        if p_high == high {
+            if pi.compare_and_swap(high, high, low) {
+                afforest_obs::count(afforest_obs::Counter::EdgesLinked, 1);
+                return true;
+            }
+            afforest_obs::count(afforest_obs::Counter::CasRetries, 1);
         }
         // Walk both chains upward and retry (paper Fig. 3 lines 9–10;
         // the double dereference mirrors the GAP formulation).

@@ -108,6 +108,7 @@ impl ParentArray {
             if p == x {
                 return x;
             }
+            afforest_obs::count(afforest_obs::Counter::FindRootHops, 1);
             x = p;
         }
     }

@@ -111,8 +111,15 @@ proptest! {
     fn labels_equivalence_is_an_equivalence_relation((n, edges) in arb_edges(100, 300)) {
         let g = GraphBuilder::from_edges(n, &edges).build();
         let a = afforest(&g, &AfforestConfig::default());
-        let b = afforest(&g, &AfforestConfig::without_skip());
-        let c = afforest(&g, &AfforestConfig::exhaustive());
+        let b = afforest(&g, &AfforestConfig::builder().skip(false).build().unwrap());
+        let c = afforest(
+            &g,
+            &AfforestConfig {
+                neighbor_rounds: 0,
+                skip_largest: false,
+                ..Default::default()
+            },
+        );
         // Reflexive, symmetric, transitive on actual instances.
         prop_assert!(a.equivalent(&a));
         prop_assert!(a.equivalent(&b) == b.equivalent(&a));

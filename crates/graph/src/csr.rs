@@ -8,7 +8,7 @@
 //! once from each direction", Section IV-D). Theorem 3's large-component
 //! skip depends on that redundancy.
 
-use crate::{Edge, Node};
+use crate::{Edge, Error, Node};
 use rayon::prelude::*;
 
 /// An immutable undirected graph in CSR form.
@@ -31,30 +31,39 @@ impl CsrGraph {
     /// # Panics
     ///
     /// Panics if the offsets are not monotone, do not start at 0, do not end
-    /// at `targets.len()`, or if any target is out of range. Adjacency lists
+    /// at `targets.len()`, or if any target is out of range — use
+    /// [`CsrGraph::try_from_parts`] to get an error instead. Adjacency lists
     /// need not be sorted here (the builder sorts them), but all public
     /// constructors produce sorted lists.
     pub fn from_parts(offsets: Vec<usize>, targets: Vec<Node>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must have at least one entry");
-        assert_eq!(offsets[0], 0, "offsets must start at 0");
-        assert_eq!(
-            *offsets.last().unwrap(),
-            targets.len(),
-            "offsets must end at targets.len()"
-        );
-        assert!(
-            offsets.windows(2).all(|w| w[0] <= w[1]),
-            "offsets must be monotone non-decreasing"
-        );
+        Self::try_from_parts(offsets, targets).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`CsrGraph::from_parts`]: returns
+    /// [`Error::InvalidGraph`] instead of panicking, so deserializers can
+    /// reject corrupt files gracefully.
+    pub fn try_from_parts(offsets: Vec<usize>, targets: Vec<Node>) -> Result<Self, Error> {
+        let invalid = |msg: &str| Err(Error::InvalidGraph(msg.to_string()));
+        if offsets.is_empty() {
+            return invalid("offsets must have at least one entry");
+        }
+        if offsets[0] != 0 {
+            return invalid("offsets must start at 0");
+        }
+        if *offsets.last().unwrap() != targets.len() {
+            return invalid("offsets must end at targets.len()");
+        }
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return invalid("offsets must be monotone non-decreasing");
+        }
         let n = offsets.len() - 1;
-        assert!(
-            targets.iter().all(|&t| (t as usize) < n),
-            "edge target out of range"
-        );
-        Self {
+        if !targets.iter().all(|&t| (t as usize) < n) {
+            return invalid("edge target out of range");
+        }
+        Ok(Self {
             offsets: offsets.into_boxed_slice(),
             targets: targets.into_boxed_slice(),
-        }
+        })
     }
 
     /// Number of vertices `|V|`.

@@ -1,0 +1,95 @@
+//! Unified error type for graph loading and raw-parts construction.
+//!
+//! Readers used to surface every problem as `std::io::Error` and the CSR
+//! constructor panicked on inconsistent parts; both now funnel into
+//! [`Error`], so a caller (notably the CLI loader) can print one readable
+//! message regardless of whether the file was unreadable, syntactically
+//! malformed, or structurally inconsistent.
+
+use std::fmt;
+use std::io;
+
+/// What went wrong while loading or assembling a graph.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying I/O failure (missing file, short read, …).
+    Io(io::Error),
+    /// The file was readable but is not a valid instance of the format.
+    /// `format` names the format ("edge list", "DIMACS", …); `detail`
+    /// explains why, with a 1-based line number where applicable.
+    Malformed {
+        /// Human-readable format name.
+        format: &'static str,
+        /// Reason the content was rejected.
+        detail: String,
+    },
+    /// CSR parts are structurally inconsistent (offsets/targets).
+    InvalidGraph(String),
+}
+
+/// Result alias for graph loading.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl Error {
+    /// Shorthand for a [`Error::Malformed`] value.
+    pub(crate) fn malformed(format: &'static str, detail: impl Into<String>) -> Error {
+        Error::Malformed {
+            format,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "{e}"),
+            Error::Malformed { format, detail } => write!(f, "malformed {format}: {detail}"),
+            Error::InvalidGraph(detail) => write!(f, "invalid graph structure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_is_readable() {
+        let e = Error::from(io::Error::new(io::ErrorKind::NotFound, "no such file"));
+        assert_eq!(e.to_string(), "no such file");
+        let e = Error::malformed("DIMACS", "duplicate problem line at 3");
+        assert_eq!(
+            e.to_string(),
+            "malformed DIMACS: duplicate problem line at 3"
+        );
+        let e = Error::InvalidGraph("offsets must start at 0".into());
+        assert_eq!(
+            e.to_string(),
+            "invalid graph structure: offsets must start at 0"
+        );
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let e = Error::from(io::Error::new(io::ErrorKind::UnexpectedEof, "short read"));
+        assert!(e.source().is_some());
+        assert!(Error::InvalidGraph("x".into()).source().is_none());
+    }
+}

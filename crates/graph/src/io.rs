@@ -9,6 +9,7 @@
 //! - **Binary CSR** (`.acsr`): a little-endian dump of the offsets/targets
 //!   arrays with a magic header, for fast reload of generated benchmarks.
 
+use crate::error::{Error, Result};
 use crate::{CsrGraph, EdgeList, GraphBuilder, Node};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
@@ -20,7 +21,7 @@ const MAGIC: &[u8; 8] = b"AFCSR\x00\x00\x01";
 /// Reads a text edge list. Lines are `u v` (whitespace separated);
 /// `#`-prefixed lines and blank lines are skipped. The vertex universe is
 /// `max endpoint + 1` unless `min_vertices` demands more.
-pub fn read_edge_list<P: AsRef<Path>>(path: P, min_vertices: usize) -> io::Result<EdgeList> {
+pub fn read_edge_list<P: AsRef<Path>>(path: P, min_vertices: usize) -> Result<EdgeList> {
     let file = File::open(path)?;
     let reader = BufReader::new(file);
     let mut edges: Vec<(Node, Node)> = Vec::new();
@@ -32,7 +33,7 @@ pub fn read_edge_list<P: AsRef<Path>>(path: P, min_vertices: usize) -> io::Resul
             continue;
         }
         let mut it = trimmed.split_whitespace();
-        let parse = |tok: Option<&str>| -> io::Result<Node> {
+        let parse = |tok: Option<&str>| -> Result<Node> {
             tok.ok_or_else(|| bad_line(lineno))?
                 .parse::<Node>()
                 .map_err(|_| bad_line(lineno))
@@ -46,10 +47,10 @@ pub fn read_edge_list<P: AsRef<Path>>(path: P, min_vertices: usize) -> io::Resul
     Ok(EdgeList::from_vec(n, edges))
 }
 
-fn bad_line(lineno: usize) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("malformed edge on line {}", lineno + 1),
+fn bad_line(lineno: usize) -> Error {
+    Error::malformed(
+        "edge list",
+        format!("expected two integer endpoints on line {}", lineno + 1),
     )
 }
 
@@ -84,15 +85,16 @@ pub fn write_binary<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
 }
 
 /// Reads a graph from the binary CSR format.
-pub fn read_binary<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
+///
+/// Corrupt files — bad magic, truncation, or offsets/targets that do not
+/// describe a CSR structure — come back as [`Error::Malformed`] /
+/// [`Error::InvalidGraph`] rather than panicking.
+pub fn read_binary<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
     let mut r = BufReader::new(File::open(path)?);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not an AFCSR file (bad magic)",
-        ));
+        return Err(Error::malformed("AFCSR", "not an AFCSR file (bad magic)"));
     }
     let n = read_u64(&mut r)? as usize;
     let arcs = read_u64(&mut r)? as usize;
@@ -107,12 +109,12 @@ pub fn read_binary<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
         targets.push(Node::from_le_bytes(buf));
     }
     if offsets.last().copied() != Some(arcs) {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "AFCSR offsets inconsistent with arc count",
+        return Err(Error::malformed(
+            "AFCSR",
+            "offsets inconsistent with arc count",
         ));
     }
-    Ok(CsrGraph::from_parts(offsets, targets))
+    CsrGraph::try_from_parts(offsets, targets)
 }
 
 fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
@@ -127,7 +129,7 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
 /// let g = afforest_graph::io::load_edge_list_graph("graph.el").unwrap();
 /// println!("{} vertices", g.num_vertices());
 /// ```
-pub fn load_edge_list_graph<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
+pub fn load_edge_list_graph<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
     let el = read_edge_list(path, 0)?;
     Ok(GraphBuilder::from_edge_list(el).build())
 }
@@ -210,5 +212,40 @@ mod tests {
         let err = read_binary(&p).unwrap_err();
         std::fs::remove_file(&p).unwrap();
         assert!(err.to_string().contains("magic"));
+        assert!(matches!(err, Error::Malformed { .. }));
+    }
+
+    #[test]
+    fn binary_rejects_truncation_without_panicking() {
+        let g = uniform_random(100, 400, 3);
+        let p = tempfile("truncated.acsr");
+        write_binary(&g, &p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
+        let err = read_binary(&p).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(matches!(err, Error::Io(_)), "got {err}");
+    }
+
+    #[test]
+    fn binary_rejects_inconsistent_structure_without_panicking() {
+        // Valid magic and counts (n = 2, arcs = 2) but non-monotone
+        // offsets [0, 3, 2]: the last entry matches the arc count, so the
+        // structural validation inside try_from_parts must catch it.
+        let p = tempfile("badstructure.acsr");
+        let mut bytes: Vec<u8> = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&2u64.to_le_bytes()); // n
+        bytes.extend_from_slice(&2u64.to_le_bytes()); // arcs
+        for o in [0u64, 3, 2] {
+            bytes.extend_from_slice(&o.to_le_bytes());
+        }
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        let err = read_binary(&p).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(matches!(err, Error::InvalidGraph(_)), "got {err}");
+        assert!(err.to_string().contains("monotone"));
     }
 }

@@ -11,6 +11,7 @@
 //!   (1-indexed) neighbors of vertex `i` — the format of the METIS
 //!   partitioner ecosystem.
 
+use crate::error::{Error, Result};
 #[cfg(test)]
 use crate::GraphBuilder;
 use crate::{CsrGraph, EdgeList, Node};
@@ -18,12 +19,9 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
-fn invalid(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
-}
-
 /// Reads a DIMACS `p edge` file.
-pub fn read_dimacs<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
+pub fn read_dimacs<P: AsRef<Path>>(path: P) -> Result<EdgeList> {
+    let invalid = |msg: String| Error::malformed("DIMACS", msg);
     let reader = BufReader::new(File::open(path)?);
     let mut declared: Option<(usize, usize)> = None;
     let mut edges: Vec<(Node, Node)> = Vec::new();
@@ -36,12 +34,14 @@ pub fn read_dimacs<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
                 if declared.is_some() {
                     return Err(invalid(format!("duplicate problem line at {}", lineno + 1)));
                 }
-                let kind = it.next().ok_or_else(|| invalid("missing problem kind"))?;
+                let kind = it
+                    .next()
+                    .ok_or_else(|| invalid("missing problem kind".to_string()))?;
                 if kind != "edge" && kind != "sp" {
                     return Err(invalid(format!("unsupported DIMACS kind '{kind}'")));
                 }
-                let n: usize = parse_tok(it.next(), lineno)?;
-                let m: usize = parse_tok(it.next(), lineno)?;
+                let n: usize = parse_tok("DIMACS", it.next(), lineno)?;
+                let m: usize = parse_tok("DIMACS", it.next(), lineno)?;
                 declared = Some((n, m));
                 edges.reserve(m);
             }
@@ -49,8 +49,8 @@ pub fn read_dimacs<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
                 let (n, _) = declared.ok_or_else(|| {
                     invalid(format!("edge before problem line at {}", lineno + 1))
                 })?;
-                let u: usize = parse_tok(it.next(), lineno)?;
-                let v: usize = parse_tok(it.next(), lineno)?;
+                let u: usize = parse_tok("DIMACS", it.next(), lineno)?;
+                let v: usize = parse_tok("DIMACS", it.next(), lineno)?;
                 if u == 0 || v == 0 || u > n || v > n {
                     return Err(invalid(format!(
                         "endpoint out of 1..={n} on line {}",
@@ -67,7 +67,7 @@ pub fn read_dimacs<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
             }
         }
     }
-    let (n, _) = declared.ok_or_else(|| invalid("no problem line found"))?;
+    let (n, _) = declared.ok_or_else(|| invalid("no problem line found".to_string()))?;
     Ok(EdgeList::from_vec(n, edges))
 }
 
@@ -84,7 +84,8 @@ pub fn write_dimacs<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
 
 /// Reads a METIS `.graph` file (unweighted; the optional `fmt` field must
 /// be absent or `0`).
-pub fn read_metis<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
+pub fn read_metis<P: AsRef<Path>>(path: P) -> Result<EdgeList> {
+    let invalid = |msg: String| Error::malformed("METIS", msg);
     let reader = BufReader::new(File::open(path)?);
     let mut lines = reader.lines().enumerate().filter(|(_, l)| match l {
         Ok(s) => !s.trim_start().starts_with('%'),
@@ -92,11 +93,11 @@ pub fn read_metis<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
     });
     let (hline, header) = lines
         .next()
-        .ok_or_else(|| invalid("empty METIS file"))
+        .ok_or_else(|| invalid("empty METIS file".to_string()))
         .and_then(|(i, l)| Ok((i, l?)))?;
     let mut it = header.split_whitespace();
-    let n: usize = parse_tok(it.next(), hline)?;
-    let m: usize = parse_tok(it.next(), hline)?;
+    let n: usize = parse_tok("METIS", it.next(), hline)?;
+    let m: usize = parse_tok("METIS", it.next(), hline)?;
     if let Some(fmt) = it.next() {
         if fmt != "0" && fmt != "000" {
             return Err(invalid(format!("unsupported METIS fmt '{fmt}'")));
@@ -116,7 +117,7 @@ pub fn read_metis<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
             )));
         }
         for tok in line.split_whitespace() {
-            let w: usize = parse_tok(Some(tok), lineno)?;
+            let w: usize = parse_tok("METIS", Some(tok), lineno)?;
             if w == 0 || w > n {
                 return Err(invalid(format!(
                     "neighbor out of 1..={n} on line {}",
@@ -154,10 +155,14 @@ pub fn write_metis<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
     w.flush()
 }
 
-fn parse_tok<T: std::str::FromStr>(tok: Option<&str>, lineno: usize) -> io::Result<T> {
-    tok.ok_or_else(|| invalid(format!("missing field on line {}", lineno + 1)))?
+fn parse_tok<T: std::str::FromStr>(
+    format: &'static str,
+    tok: Option<&str>,
+    lineno: usize,
+) -> Result<T> {
+    tok.ok_or_else(|| Error::malformed(format, format!("missing field on line {}", lineno + 1)))?
         .parse::<T>()
-        .map_err(|_| invalid(format!("malformed number on line {}", lineno + 1)))
+        .map_err(|_| Error::malformed(format, format!("bad number on line {}", lineno + 1)))
 }
 
 #[cfg(test)]

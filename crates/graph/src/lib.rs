@@ -40,6 +40,7 @@ pub mod csr;
 pub mod degrees;
 pub mod disjoint;
 pub mod edgelist;
+pub mod error;
 pub mod generators;
 pub mod io;
 pub mod io_formats;
@@ -51,6 +52,7 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use degrees::DegreeDistribution;
 pub use edgelist::EdgeList;
+pub use error::Error;
 pub use stats::GraphStats;
 
 /// Vertex identifier.

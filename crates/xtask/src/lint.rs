@@ -45,6 +45,9 @@ pub const ORDERING_ALLOWLIST: &[&str] = &[
     // atomics as published; they are comparison subjects, not the
     // contribution under audit.
     "crates/baselines/src/",
+    // Observability recorder: sharded Relaxed statistics counters and the
+    // session-active flag, summed only after parallel phases join.
+    "crates/obs/src/",
 ];
 
 /// Atomic-ordering variant names. `cmp::Ordering`'s variants (`Less`,

@@ -5,8 +5,9 @@
 //!   SAFETY-comment coverage for `unsafe`, the atomic-ordering allowlist,
 //!   the SeqCst ban, and `#![deny(unsafe_op_in_unsafe_fn)]` opt-in.
 //! - `cargo xtask ci` — the full gate: fmt, clippy (`-D warnings`), the
-//!   lints, the test suite, and the schedule-exploring model checker
-//!   (`ci.sh` is a thin wrapper around this).
+//!   lints, the test suite both without and with the observability
+//!   feature (`obs`), and the schedule-exploring model checker (`ci.sh`
+//!   is a thin wrapper around this).
 
 mod lint;
 
@@ -73,6 +74,30 @@ fn run_ci() -> ExitCode {
             ],
         ),
         ("tests", "cargo", &["test", "--workspace", "-q"]),
+        // Second test pass with the observability runtime compiled in:
+        // the obs-gated tests (trace coverage, span emission) only exist
+        // there, and it proves the instrumented build stays green.
+        (
+            "tests (obs)",
+            "cargo",
+            &[
+                "test",
+                "-q",
+                "-p",
+                "afforest-obs",
+                "-p",
+                "afforest-core",
+                "-p",
+                "afforest-baselines",
+                "-p",
+                "afforest-bench",
+                "-p",
+                "afforest-cli",
+                "--features",
+                "afforest-obs/enabled,afforest-core/obs,afforest-baselines/obs,\
+                 afforest-bench/obs,afforest-cli/obs",
+            ],
+        ),
         (
             "model check",
             "cargo",
@@ -103,7 +128,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!("usage: cargo xtask <lint|ci>");
             eprintln!("  lint  static concurrency lints (SAFETY comments, ordering allowlist, SeqCst ban)");
-            eprintln!("  ci    fmt --check + clippy -D warnings + lints + tests + model checker");
+            eprintln!("  ci    fmt --check + clippy -D warnings + lints + tests (with and without obs) + model checker");
             ExitCode::FAILURE
         }
     }

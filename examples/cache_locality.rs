@@ -27,7 +27,10 @@ fn main() {
         ("shiloach-vishkin", trace_sv(&graph)),
         (
             "afforest (no skip)",
-            trace_afforest(&graph, &AfforestConfig::without_skip()),
+            trace_afforest(
+                &graph,
+                &AfforestConfig::builder().skip(false).build().unwrap(),
+            ),
         ),
         (
             "afforest",

@@ -17,7 +17,7 @@ fn algorithms() -> Vec<NamedAlgorithm> {
         afforest(g, &AfforestConfig::default()).as_slice().to_vec()
     }
     fn aff_noskip(g: &CsrGraph) -> Vec<Node> {
-        afforest(g, &AfforestConfig::without_skip())
+        afforest(g, &AfforestConfig::builder().skip(false).build().unwrap())
             .as_slice()
             .to_vec()
     }

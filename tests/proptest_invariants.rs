@@ -26,7 +26,7 @@ proptest! {
         let oracle = ComponentLabels::from_vec(union_find_cc(&g));
         let runs: Vec<(&str, Vec<Node>)> = vec![
             ("afforest", afforest(&g, &AfforestConfig::default()).as_slice().to_vec()),
-            ("afforest-noskip", afforest(&g, &AfforestConfig::without_skip()).as_slice().to_vec()),
+            ("afforest-noskip", afforest(&g, &AfforestConfig::builder().skip(false).build().unwrap()).as_slice().to_vec()),
             ("sv", shiloach_vishkin(&g)),
             ("sv-edgelist", sv_edgelist(&g)),
             ("lp", label_prop(&g)),
