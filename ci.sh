@@ -5,8 +5,11 @@
 #   1. concurrency lints   (SAFETY comments, ordering allowlist, no SeqCst)
 #   2. cargo fmt --check
 #   3. cargo clippy --workspace --all-targets -- -D warnings
-#   4. cargo test --workspace
+#   4. cargo test --workspace  (twice: obs feature off and on)
 #   5. the schedule-exploring model checker (crates/modelcheck)
+#   6. loopback serving smoke: afforest serve on an ephemeral port +
+#      afforest loadgen mixed workload, zero errors, graceful shutdown
+#      (obs feature off and on)
 set -eu
 cd "$(dirname "$0")"
 exec cargo xtask ci

@@ -350,6 +350,161 @@ pub mod bench {
     }
 }
 
+/// `afforest serve <graph> [--addr HOST:PORT] [--workers N]
+/// [--max-batch-edges N] [--max-batch-delay-ms MS] [--trace-out PATH]`.
+pub mod serve {
+    use super::*;
+    use afforest_serve::{BatchPolicy, Server};
+    use std::io::Write as _;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    pub fn run(argv: &[String]) -> Result<String, String> {
+        let args = ParsedArgs::parse(argv)?;
+        args.allow_flags(&[
+            "addr",
+            "workers",
+            "max-batch-edges",
+            "max-batch-delay-ms",
+            "trace-out",
+        ])?;
+        let path = args.positional(0, "graph")?;
+        let addr = args.flag("addr").unwrap_or("127.0.0.1:7878");
+        let workers: usize = args.flag_parsed("workers", 8)?;
+        let max_edges: usize = args.flag_parsed("max-batch-edges", 4096)?;
+        let max_delay_ms: u64 = args.flag_parsed("max-batch-delay-ms", 2)?;
+        if max_edges == 0 {
+            return Err("--max-batch-edges must be positive".into());
+        }
+        let trace_out = args.flag("trace-out");
+
+        let g = load_graph(path)?;
+        let edges = g.collect_edges();
+        let server = Server::new(
+            g.num_vertices(),
+            &edges,
+            BatchPolicy {
+                max_edges,
+                max_delay: Duration::from_millis(max_delay_ms),
+                apply_delay: None,
+            },
+        );
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+
+        // Announce before blocking: `dispatch` only prints on return, but
+        // clients (and the CI smoke test) need the bound address now —
+        // `--addr` with port 0 picks an ephemeral port.
+        println!(
+            "serving {path}: {} vertices, {} edges ({} components)",
+            g.num_vertices(),
+            g.num_edges(),
+            server.snapshot().num_components()
+        );
+        println!("listening on {local} ({workers} workers)");
+        let _ = std::io::stdout().flush();
+
+        let session = trace_out.map(|_| afforest_obs::Session::begin());
+        server
+            .serve_tcp(listener, workers)
+            .map_err(|e| format!("serve: {e}"))?;
+        // Shutdown was requested: let queued inserts finish, then report.
+        server.flush(Duration::from_secs(30));
+        let trace = session.map(|s| s.end());
+
+        let stats = server.stats_report();
+        let mut out = String::new();
+        let _ = writeln!(out, "shutdown after epoch {}", stats.epoch);
+        let _ = writeln!(
+            out,
+            "ingested {} edge(s) over {} published epoch(s)",
+            stats.edges_ingested, stats.epochs_published
+        );
+        if let Some(dest) = trace_out {
+            let trace = trace.expect("traced run kept its trace");
+            write_trace(dest, &trace.to_json(), trace.spans.len(), &mut out)?;
+        }
+        Ok(out)
+    }
+}
+
+/// `afforest loadgen (<host:port> | --graph PATH) [--connections N]
+/// [--requests N] [--read-pct P] [--insert-batch N] [--seed S]
+/// [--json-out PATH] [--trace-out PATH]`.
+pub mod loadgen {
+    use super::*;
+    use afforest_serve::loadgen::run as run_load;
+    use afforest_serve::{BatchPolicy, LoadgenConfig, Server};
+    use std::net::TcpStream;
+
+    pub fn run(argv: &[String]) -> Result<String, String> {
+        let args = ParsedArgs::parse(argv)?;
+        args.allow_flags(&[
+            "graph",
+            "connections",
+            "requests",
+            "read-pct",
+            "insert-batch",
+            "seed",
+            "json-out",
+            "trace-out",
+        ])?;
+        let cfg = LoadgenConfig {
+            connections: args.flag_parsed("connections", 4)?,
+            requests: args.flag_parsed("requests", 20_000)?,
+            read_pct: args.flag_parsed("read-pct", 90u32)?,
+            insert_batch: args.flag_parsed("insert-batch", 64)?,
+            seed: args.flag_parsed("seed", 42u64)?,
+        };
+        if cfg.read_pct > 100 {
+            return Err("--read-pct must be 0..=100".into());
+        }
+        if cfg.requests == 0 {
+            return Err("--requests must be positive".into());
+        }
+        let trace_out = args.flag("trace-out");
+        let session = trace_out.map(|_| afforest_obs::Session::begin());
+
+        let report = match args.flag("graph") {
+            // Self-contained mode: an in-process server over `--graph`, no
+            // socket. Server-side ingest spans land in `--trace-out`.
+            Some(path) => {
+                if args.num_positionals() != 0 {
+                    return Err("--graph and <host:port> are mutually exclusive".into());
+                }
+                let g = load_graph(path)?;
+                let server =
+                    Server::new(g.num_vertices(), &g.collect_edges(), BatchPolicy::default());
+                run_load(&cfg, |_| Ok(&server)).map_err(|e| format!("loadgen: {e}"))?
+            }
+            // Client mode: one TCP connection per workload thread.
+            None => {
+                let addr = args.positional(0, "host:port")?;
+                run_load(&cfg, |_| TcpStream::connect(addr).map_err(Into::into))
+                    .map_err(|e| format!("loadgen against {addr}: {e}"))?
+            }
+        };
+        let trace = session.map(|s| s.end());
+
+        let mut out = report.render();
+        if let Some(dest) = args.flag("json-out") {
+            std::fs::write(dest, report.to_json()).map_err(|e| format!("{dest}: {e}"))?;
+            let _ = writeln!(out, "json written to {dest}");
+        }
+        if let Some(dest) = trace_out {
+            let trace = trace.expect("traced run kept its trace");
+            write_trace(dest, &trace.to_json(), trace.spans.len(), &mut out)?;
+        }
+        if report.errors > 0 {
+            return Err(format!(
+                "{} protocol error(s) during the run\n{out}",
+                report.errors
+            ));
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +707,90 @@ mod tests {
         assert_eq!(map.len(), ALGORITHM_NAMES.len());
         assert!(map.contains_key("afforest"));
         assert!(map.contains_key("sv"));
+    }
+
+    #[test]
+    fn loadgen_self_contained_mode_runs_clean() {
+        let p = sample_graph_file("loadgen.el");
+        let json_path = tempfile("loadgen.json");
+        let out = loadgen::run(&argv(&[
+            "--graph",
+            &p,
+            "--connections",
+            "2",
+            "--requests",
+            "400",
+            "--read-pct",
+            "85",
+            "--insert-batch",
+            "4",
+            "--json-out",
+            &json_path,
+        ]))
+        .unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert!(out.contains("throughput"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        assert!(out.contains("errors:     0"), "{out}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        std::fs::remove_file(&json_path).unwrap();
+        assert!(json.contains("\"throughput_rps\""), "{json}");
+        assert!(json.contains("\"requests\": 400"), "{json}");
+    }
+
+    #[test]
+    fn loadgen_validates_its_flags() {
+        let p = sample_graph_file("loadgenbad.el");
+        let err = loadgen::run(&argv(&["--graph", &p, "--read-pct", "150"])).unwrap_err();
+        assert!(err.contains("read-pct"), "{err}");
+        let err = loadgen::run(&argv(&["--graph", &p, "--requests", "0"])).unwrap_err();
+        assert!(err.contains("requests"), "{err}");
+        // --graph and an explicit address are mutually exclusive.
+        let err = loadgen::run(&argv(&["127.0.0.1:1", "--graph", &p])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        std::fs::remove_file(&p).unwrap();
+        // Without --graph, the target address is required.
+        let err = loadgen::run(&argv(&[])).unwrap_err();
+        assert!(err.contains("host:port"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_unbindable_addr() {
+        let p = sample_graph_file("servebad.el");
+        let err = serve::run(&argv(&[&p, "--addr", "999.999.999.999:0"])).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(err.contains("bind"), "{err}");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn loadgen_trace_out_captures_ingest_spans() {
+        let p = sample_graph_file("loadgentrace.el");
+        let trace_path = tempfile("loadgentrace.json");
+        loadgen::run(&argv(&[
+            "--graph",
+            &p,
+            "--requests",
+            "300",
+            "--read-pct",
+            "50",
+            "--insert-batch",
+            "8",
+            "--trace-out",
+            &trace_path,
+        ]))
+        .unwrap();
+        std::fs::remove_file(&p).unwrap();
+        let json = std::fs::read_to_string(&trace_path).unwrap();
+        std::fs::remove_file(&trace_path).unwrap();
+        let trace = afforest_obs::Trace::from_json(&json).unwrap();
+        // The in-process server's writer thread recorded its batches.
+        assert!(trace.counter("edges_ingested") > 0, "{json}");
+        assert!(trace.counter("epochs_published") > 0);
+        assert!(
+            trace.spans.iter().any(|s| s.base_name() == "ingest-batch"),
+            "no ingest-batch spans recorded"
+        );
     }
 
     #[test]

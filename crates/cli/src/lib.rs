@@ -7,6 +7,9 @@
 //! afforest generate <family> --out PATH [--n N] [--edge-factor K] [--seed S] …
 //! afforest convert  <in> <out>
 //! afforest bench    <graph> [--trials N] [--trace-out PATH]
+//! afforest serve    <graph> [--addr HOST:PORT] [--workers N] [--trace-out PATH]
+//! afforest loadgen  (<host:port> | --graph PATH) [--connections N] [--requests N]
+//!                   [--read-pct P] [--json-out PATH] [--trace-out PATH]
 //! afforest help
 //! ```
 //!
@@ -34,6 +37,13 @@ commands:
   convert  <in> <out>                       format conversion by extension
   bench    <graph> [--trials N]             time every algorithm on the graph
            [--trace-out PATH]
+  serve    <graph> [--addr HOST:PORT]       connectivity query service over TCP
+           [--workers N] [--max-batch-edges N]
+           [--max-batch-delay-ms MS] [--trace-out PATH]
+  loadgen  (<host:port> | --graph PATH)     mixed read/write workload driver
+           [--connections N] [--requests N]
+           [--read-pct P] [--insert-batch N]
+           [--seed S] [--json-out PATH] [--trace-out PATH]
   help                                      this message
 
 `--trace-out` writes a JSON phase trace of the best trial (build with
@@ -58,6 +68,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "generate" => commands::generate::run(rest),
         "convert" => commands::convert::run(rest),
         "bench" => commands::bench::run(rest),
+        "serve" => commands::serve::run(rest),
+        "loadgen" => commands::loadgen::run(rest),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown command '{other}'")),
     }

@@ -72,38 +72,6 @@ impl AfforestConfig {
     pub fn builder() -> AfforestConfigBuilder {
         AfforestConfigBuilder::new()
     }
-
-    /// Paper configuration but with large-component skipping disabled
-    /// ("Afforest w/o skip" in Figs. 7b and 8b).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use AfforestConfig::builder().skip(false).build()"
-    )]
-    pub fn without_skip() -> Self {
-        Self {
-            skip_largest: false,
-            ..Self::default()
-        }
-    }
-
-    /// Pure subgraph-free configuration: zero neighbor rounds and no
-    /// skipping — processes all edges in one pass (useful as a control).
-    ///
-    /// The builder deliberately rejects zero rounds; this ablation control
-    /// is the one sanctioned way to get them (or set the public fields
-    /// directly).
-    #[deprecated(
-        since = "0.1.0",
-        note = "construct the ablation config via the public fields: \
-                AfforestConfig { neighbor_rounds: 0, skip_largest: false, ..Default::default() }"
-    )]
-    pub fn exhaustive() -> Self {
-        Self {
-            neighbor_rounds: 0,
-            skip_largest: false,
-            ..Self::default()
-        }
-    }
 }
 
 /// Validation failure from [`AfforestConfigBuilder::build`].
@@ -685,17 +653,5 @@ mod tests {
         // Phase spans account for (nearly) the whole session.
         assert!(trace.depth_total_ns(0) <= trace.total_ns);
         assert!(trace.depth_total_ns(0) > trace.total_ns / 2);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_builder() {
-        assert_eq!(
-            AfforestConfig::without_skip(),
-            AfforestConfig::builder().skip(false).build().unwrap()
-        );
-        let exhaustive = AfforestConfig::exhaustive();
-        assert_eq!(exhaustive.neighbor_rounds, 0);
-        assert!(!exhaustive.skip_largest);
     }
 }

@@ -113,10 +113,18 @@ impl IncrementalCc {
         self.dirty = 0;
     }
 
-    /// Extracts the final labeling (compresses first).
-    pub fn into_labels(mut self) -> ComponentLabels {
+    /// The current labeling without consuming the structure (compresses
+    /// first, so the returned labels are fully flattened). This is the
+    /// epoch-snapshot primitive of `afforest-serve`: the caller gets an
+    /// immutable copy while inserts keep flowing into `self`.
+    pub fn labels(&mut self) -> ComponentLabels {
         self.compress();
         ComponentLabels::from_vec(self.pi.snapshot())
+    }
+
+    /// Extracts the final labeling (compresses first).
+    pub fn into_labels(mut self) -> ComponentLabels {
+        self.labels()
     }
 }
 
@@ -217,6 +225,22 @@ mod tests {
         }
         let g = GraphBuilder::from_edges(n, &edges).build();
         assert!(cc.into_labels().verify_against(&g));
+    }
+
+    #[test]
+    fn labels_snapshots_without_consuming() {
+        let mut cc = IncrementalCc::new(6);
+        cc.insert_batch(&[(0, 1), (2, 3)]);
+        let before = cc.labels();
+        assert_eq!(before.num_components(), 4);
+        // The structure stays live: later inserts change later snapshots
+        // but not the one already taken.
+        cc.insert(1, 2);
+        let after = cc.labels();
+        assert_eq!(before.num_components(), 4);
+        assert_eq!(after.num_components(), 3);
+        assert!(after.same_component(0, 3));
+        assert!(!before.same_component(0, 3));
     }
 
     #[test]

@@ -17,6 +17,69 @@ fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(N
     })
 }
 
+/// One step of an interleaved incremental-connectivity workload.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<(Node, Node)>),
+    Connected(Node, Node),
+}
+
+fn arb_ops(max_n: usize, max_ops: usize) -> impl Strategy<Value = (usize, Vec<Op>)> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        let vertex = 0..n as Node;
+        let edge = (0..n as Node, 0..n as Node);
+        // Interleave by parity of a per-op coin: a batch of 0..20 edges or
+        // a connectivity probe.
+        let op = (
+            any::<bool>(),
+            proptest::collection::vec(edge, 0..20),
+            vertex.clone(),
+            vertex,
+        )
+            .prop_map(|(is_insert, batch, u, v)| {
+                if is_insert {
+                    Op::Insert(batch)
+                } else {
+                    Op::Connected(u, v)
+                }
+            });
+        (Just(n), proptest::collection::vec(op, 1..max_ops))
+    })
+}
+
+/// Minimal serial union-find used as the interleaved-query oracle.
+struct UnionFindOracle {
+    parent: Vec<Node>,
+}
+
+impl UnionFindOracle {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as Node).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: Node) -> Node {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, u: Node, v: Node) {
+        let (ru, rv) = (self.find(u), self.find(v));
+        if ru != rv {
+            self.parent[ru.max(rv) as usize] = ru.min(rv);
+        }
+    }
+
+    fn connected(&mut self, u: Node, v: Node) -> bool {
+        self.find(u) == self.find(v)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -86,6 +149,44 @@ proptest! {
         let mut cc = IncrementalCc::new(n);
         cc.insert_batch(&all[..cut]);
         cc.insert_batch(&all[cut..]);
+        prop_assert!(cc.into_labels().equivalent(&truth));
+    }
+
+    #[test]
+    fn incremental_interleaved_ops_match_from_scratch_run(
+        (n, ops) in arb_ops(100, 24),
+        threshold_pct in 0usize..=100,
+    ) {
+        // Drive an IncrementalCc through a random interleaving of
+        // insert_batch and connected calls (the serve write/read mix).
+        // Every interleaved `connected` must agree with a serial
+        // union-find over the edges inserted so far, and the final state
+        // must agree with a from-scratch Afforest run on the union of
+        // all inserted edges.
+        let threshold = (threshold_pct > 0).then_some((n * threshold_pct / 100).max(1));
+        let mut cc = IncrementalCc::new(n).with_compress_threshold(threshold);
+        let mut oracle = UnionFindOracle::new(n);
+        let mut all_edges: Vec<(Node, Node)> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Insert(batch) => {
+                    cc.insert_batch(batch);
+                    for &(u, v) in batch {
+                        oracle.union(u, v);
+                    }
+                    all_edges.extend_from_slice(batch);
+                }
+                Op::Connected(u, v) => {
+                    prop_assert_eq!(
+                        cc.connected(*u, *v),
+                        oracle.connected(*u, *v),
+                        "interleaved connected({}, {}) diverged", u, v
+                    );
+                }
+            }
+        }
+        let g = GraphBuilder::from_edges(n, &all_edges).build();
+        let truth = afforest(&g, &AfforestConfig::default());
         prop_assert!(cc.into_labels().equivalent(&truth));
     }
 

@@ -73,11 +73,19 @@ pub enum Counter {
     EdgesSkipped,
     /// Vertices whose whole neighbor list was skipped.
     VerticesSkipped,
+    /// Edges applied to the incremental structure by the serving
+    /// write path (`afforest-serve`).
+    EdgesIngested,
+    /// Epoch snapshots published by the serving write path.
+    EpochsPublished,
+    /// Sum of ingest-queue depths sampled when each batch is drained;
+    /// divide by `epochs_published` for the mean depth per batch.
+    QueueDepth,
 }
 
 impl Counter {
     /// Number of counters (sizes the recorder's stripe rows).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 10;
 
     /// Every counter, in declaration (= export) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -88,6 +96,9 @@ impl Counter {
         Counter::CompressStores,
         Counter::EdgesSkipped,
         Counter::VerticesSkipped,
+        Counter::EdgesIngested,
+        Counter::EpochsPublished,
+        Counter::QueueDepth,
     ];
 
     /// The snake_case name used in traces and CSV headers.
@@ -100,6 +111,9 @@ impl Counter {
             Counter::CompressStores => "compress_stores",
             Counter::EdgesSkipped => "edges_skipped",
             Counter::VerticesSkipped => "vertices_skipped",
+            Counter::EdgesIngested => "edges_ingested",
+            Counter::EpochsPublished => "epochs_published",
+            Counter::QueueDepth => "queue_depth",
         }
     }
 }

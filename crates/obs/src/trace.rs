@@ -95,6 +95,46 @@ impl Histogram {
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Folds `other` into `self` (used to combine per-thread latency
+    /// histograms into one report). Keeps `self.name`.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for &(bucket, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&bucket, |&(b, _)| b) {
+                Ok(i) => self.buckets[i].1 += n,
+                Err(i) => self.buckets.insert(i, (bucket, n)),
+            }
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds, estimated from the
+    /// log₂ buckets: the answer is the upper edge of the bucket holding
+    /// the target rank, clamped to the observed `[min_ns, max_ns]` range,
+    /// so the estimate is within 2× of the true value. Returns 0 for an
+    /// empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bucket, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                let upper = if bucket >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (bucket + 1)) - 1
+                };
+                return upper.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
 }
 
 /// Aggregated per-phase row: all spans sharing a base name and depth.
@@ -478,6 +518,44 @@ mod tests {
         assert_eq!(h.max_ns, 1024);
         // 1 → bucket 0; 2,3 → bucket 1; 1024 → bucket 10.
         assert_eq!(h.buckets, vec![(0, 1), (1, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn histogram_merge_combines_buckets() {
+        let mut a = Histogram::new("lat");
+        a.record(10);
+        a.record(1000);
+        let mut b = Histogram::new("other");
+        b.record(3);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.name, "lat");
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum_ns, 2013);
+        assert_eq!(a.min_ns, 3);
+        assert_eq!(a.max_ns, 1000);
+        // 3 → bucket 1; 10 → bucket 3; 1000 ×2 → bucket 9.
+        assert_eq!(a.buckets, vec![(1, 1), (3, 1), (9, 2)]);
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_the_data() {
+        let mut h = Histogram::new("lat");
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        // p50 lands in the 100 ns bucket [64,128); p99 in [8192,16384).
+        let p50 = h.percentile(0.50);
+        assert!((100..256).contains(&(p50 as usize)), "p50 = {p50}");
+        let p99 = h.percentile(0.99);
+        assert!((10_000..16_384).contains(&(p99 as usize)), "p99 = {p99}");
+        // Quantile edges are clamped to observed extremes.
+        assert!(h.percentile(0.0) >= h.min_ns);
+        assert!(h.percentile(1.0) <= h.max_ns);
+        assert_eq!(Histogram::new("empty").percentile(0.5), 0);
     }
 
     #[test]

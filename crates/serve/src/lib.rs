@@ -1,0 +1,41 @@
+//! `afforest-serve` — an epoch-snapshot connectivity query service.
+//!
+//! The ROADMAP's north star is serving connectivity queries under heavy
+//! traffic, not just solving them offline. This crate packages the
+//! incremental structure (`afforest_core::IncrementalCc`, Theorem 1's
+//! append-only parent array) as a running service:
+//!
+//! - [`protocol`] — length-prefixed binary frames; every malformed input
+//!   is a typed error, never a panic.
+//! - [`snapshot`] — immutable fully-compressed label epochs behind an
+//!   `Arc` swap; the read path is two array loads.
+//! - [`ingest`] — size/deadline-coalesced insert batches (the ConnectIt
+//!   batch-dynamic pattern) feeding a single writer.
+//! - [`server`] — the writer thread, the transport-independent request
+//!   evaluator, and a worker-pool TCP front-end over `std::net`.
+//! - [`loadgen`] — a mixed-read/write workload driver reporting
+//!   throughput and latency percentiles.
+//!
+//! ```
+//! use afforest_serve::{BatchPolicy, Request, Response, Server};
+//!
+//! let server = Server::new(4, &[(0, 1)], BatchPolicy::default());
+//! assert_eq!(server.handle(&Request::Connected(0, 1)), Response::Connected(true));
+//! server.handle(&Request::InsertEdges(vec![(1, 2), (2, 3)]));
+//! assert!(server.flush(std::time::Duration::from_secs(5)));
+//! assert_eq!(server.handle(&Request::Connected(0, 3)), Response::Connected(true));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod ingest;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use ingest::{BatchPolicy, ServeStats};
+pub use loadgen::{LoadgenConfig, LoadgenReport, Transport};
+pub use protocol::{FrameError, Request, Response, StatsReport, WireError};
+pub use server::Server;
+pub use snapshot::{Snapshot, SnapshotStore};

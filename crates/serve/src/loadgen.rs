@@ -1,0 +1,399 @@
+//! Mixed-workload load generator for the service.
+//!
+//! Spawns `connections` client threads, each driving its own transport
+//! with a seeded RNG: reads (`Connected` / `Component` / `ComponentSize`
+//! / `NumComponents`, rotated uniformly) versus writes (`InsertEdges` of
+//! `insert_batch` random edges) in a configurable ratio. Every request's
+//! wall-clock latency lands in a per-thread log₂ [`Histogram`]
+//! (`afforest-obs`), merged at the end into a [`LoadgenReport`] with
+//! throughput and p50/p95/p99.
+//!
+//! The generator is transport-generic: the CLI runs it over TCP, the
+//! tests run it over the in-process [`Transport`] impl on
+//! [`crate::Server`], so the workload logic itself is exercised without a
+//! socket.
+
+use crate::protocol::{Request, Response, WireError};
+use crate::server::Server;
+use afforest_graph::Node;
+use afforest_obs::Histogram;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Anything that can answer a [`Request`]: a TCP connection or the server
+/// itself (in-process, for deterministic tests).
+pub trait Transport {
+    /// Performs one blocking request/response exchange.
+    fn call(&mut self, req: &Request) -> Result<Response, WireError>;
+}
+
+impl Transport for std::net::TcpStream {
+    fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        crate::protocol::call(self, req)
+    }
+}
+
+/// In-process transport: no socket, no frame encoding, same semantics.
+impl Transport for &Server {
+    fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        Ok(self.handle(req))
+    }
+}
+
+/// Workload shape.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections (one thread each).
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Percentage of requests that are reads (0–100).
+    pub read_pct: u32,
+    /// Edges per `InsertEdges` request.
+    pub insert_batch: usize,
+    /// Base RNG seed (each connection derives its own stream).
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            connections: 4,
+            requests: 20_000,
+            read_pct: 90,
+            insert_batch: 64,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated result of one load-generator run.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Requests completed.
+    pub requests: u64,
+    /// Read requests completed.
+    pub reads: u64,
+    /// Write (`InsertEdges`) requests completed.
+    pub writes: u64,
+    /// `Response::Err` answers received (protocol errors).
+    pub errors: u64,
+    /// Connections used.
+    pub connections: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-request latency distribution (log₂ buckets).
+    pub latency: Histogram,
+}
+
+impl LoadgenReport {
+    /// Requests per second over the whole run.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.requests as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// `(p50, p95, p99)` request latency in nanoseconds.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.latency.percentile(0.50),
+            self.latency.percentile(0.95),
+            self.latency.percentile(0.99),
+        )
+    }
+
+    /// Human-readable summary (the `loadgen` subcommand's output).
+    pub fn render(&self) -> String {
+        let (p50, p95, p99) = self.percentiles();
+        let read_share = if self.requests > 0 {
+            100.0 * self.reads as f64 / self.requests as f64
+        } else {
+            0.0
+        };
+        format!(
+            "loadgen: {} requests ({:.0}% reads) over {} connections in {:.3} s\n\
+             throughput: {:.0} req/s\n\
+             latency:    p50 {}  p95 {}  p99 {}  max {}\n\
+             errors:     {}\n",
+            self.requests,
+            read_share,
+            self.connections,
+            self.elapsed.as_secs_f64(),
+            self.throughput_rps(),
+            fmt_ns(p50),
+            fmt_ns(p95),
+            fmt_ns(p99),
+            fmt_ns(if self.latency.count > 0 {
+                self.latency.max_ns
+            } else {
+                0
+            }),
+            self.errors,
+        )
+    }
+
+    /// Canonical JSON encoding (the `BENCH_serve.json` payload).
+    pub fn to_json(&self) -> String {
+        let (p50, p95, p99) = self.percentiles();
+        format!(
+            "{{\n  \"requests\": {},\n  \"reads\": {},\n  \"writes\": {},\n  \
+             \"errors\": {},\n  \"connections\": {},\n  \"elapsed_s\": {:.6},\n  \
+             \"throughput_rps\": {:.1},\n  \"latency_ns\": {{ \"p50\": {}, \
+             \"p95\": {}, \"p99\": {}, \"max\": {} }}\n}}\n",
+            self.requests,
+            self.reads,
+            self.writes,
+            self.errors,
+            self.connections,
+            self.elapsed.as_secs_f64(),
+            self.throughput_rps(),
+            p50,
+            p95,
+            p99,
+            if self.latency.count > 0 {
+                self.latency.max_ns
+            } else {
+                0
+            },
+        )
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Per-thread tally folded into the report after join.
+#[derive(Default)]
+struct ThreadTally {
+    requests: u64,
+    reads: u64,
+    writes: u64,
+    errors: u64,
+    latency: Histogram,
+}
+
+/// Runs the workload. `connect(i)` opens the `i`-th connection's
+/// transport. The vertex universe is learned from an initial `Stats`
+/// probe on connection 0's transport.
+pub fn run<T, F>(cfg: &LoadgenConfig, connect: F) -> Result<LoadgenReport, WireError>
+where
+    T: Transport,
+    F: Fn(usize) -> Result<T, WireError> + Sync,
+{
+    // Learn the graph size once; the probe is not part of the timed run.
+    let vertices = {
+        let mut probe = connect(0)?;
+        match probe.call(&Request::Stats)? {
+            Response::Stats(s) => s.vertices as usize,
+            other => {
+                return Err(WireError::Io(std::io::Error::other(format!(
+                    "stats probe answered {other:?}"
+                ))))
+            }
+        }
+    };
+    if vertices == 0 {
+        return Err(WireError::Io(std::io::Error::other(
+            "cannot generate load against an empty graph",
+        )));
+    }
+
+    let connections = cfg.connections.max(1);
+    let started = Instant::now();
+    let tallies: Vec<Result<ThreadTally, WireError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|i| {
+                // Split cfg.requests evenly; the first threads absorb the
+                // remainder.
+                let share =
+                    cfg.requests / connections + usize::from(i < cfg.requests % connections);
+                let connect = &connect;
+                s.spawn(move || {
+                    let mut transport = connect(i)?;
+                    drive(cfg, i, share, vertices, &mut transport)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut report = LoadgenReport {
+        requests: 0,
+        reads: 0,
+        writes: 0,
+        errors: 0,
+        connections,
+        elapsed,
+        latency: Histogram::new("request"),
+    };
+    for tally in tallies {
+        let t = tally?;
+        report.requests += t.requests;
+        report.reads += t.reads;
+        report.writes += t.writes;
+        report.errors += t.errors;
+        report.latency.merge(&t.latency);
+    }
+    Ok(report)
+}
+
+/// One connection's request loop.
+fn drive<T: Transport>(
+    cfg: &LoadgenConfig,
+    conn_idx: usize,
+    share: usize,
+    vertices: usize,
+    transport: &mut T,
+) -> Result<ThreadTally, WireError> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (conn_idx as u64).wrapping_mul(0x9E37));
+    let mut tally = ThreadTally {
+        latency: Histogram::new("request"),
+        ..Default::default()
+    };
+    let n = vertices as Node;
+    for _ in 0..share {
+        let is_read = rng.random_bool(f64::from(cfg.read_pct.min(100)) / 100.0);
+        let req = if is_read {
+            match rng.random_range(0u32..4) {
+                0 => Request::Connected(rng.random_range(0..n), rng.random_range(0..n)),
+                1 => Request::Component(rng.random_range(0..n)),
+                2 => Request::ComponentSize(rng.random_range(0..n)),
+                _ => Request::NumComponents,
+            }
+        } else {
+            let edges = (0..cfg.insert_batch.max(1))
+                .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+                .collect();
+            Request::InsertEdges(edges)
+        };
+        let t = Instant::now();
+        let resp = transport.call(&req)?;
+        tally.latency.record(t.elapsed().as_nanos() as u64);
+        tally.requests += 1;
+        if is_read {
+            tally.reads += 1;
+        } else {
+            tally.writes += 1;
+        }
+        if matches!(resp, Response::Err(_)) {
+            tally.errors += 1;
+        }
+    }
+    Ok(tally)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::BatchPolicy;
+
+    fn tiny_server(n: usize) -> Server {
+        let edges: Vec<(Node, Node)> = (1..n as Node).map(|v| (v - 1, v)).collect();
+        Server::new(n, &edges, BatchPolicy::default())
+    }
+
+    #[test]
+    fn in_process_mixed_workload_has_zero_errors() {
+        let server = tiny_server(500);
+        let cfg = LoadgenConfig {
+            connections: 3,
+            requests: 3_000,
+            read_pct: 80,
+            insert_batch: 8,
+            seed: 7,
+        };
+        let report = run(&cfg, |_| Ok(&server)).unwrap();
+        assert_eq!(report.requests, 3_000);
+        assert_eq!(report.errors, 0, "{}", report.render());
+        assert_eq!(report.reads + report.writes, report.requests);
+        assert!(report.reads > report.writes);
+        assert_eq!(report.latency.count, 3_000);
+        assert!(report.throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn all_reads_and_all_writes_extremes() {
+        let server = tiny_server(100);
+        let reads = run(
+            &LoadgenConfig {
+                connections: 1,
+                requests: 200,
+                read_pct: 100,
+                insert_batch: 4,
+                seed: 1,
+            },
+            |_| Ok(&server),
+        )
+        .unwrap();
+        assert_eq!(reads.writes, 0);
+        assert_eq!(reads.reads, 200);
+
+        let writes = run(
+            &LoadgenConfig {
+                connections: 1,
+                requests: 50,
+                read_pct: 0,
+                insert_batch: 4,
+                seed: 1,
+            },
+            |_| Ok(&server),
+        )
+        .unwrap();
+        assert_eq!(writes.reads, 0);
+        assert_eq!(writes.writes, 50);
+        assert!(server.flush(Duration::from_secs(10)));
+        assert_eq!(
+            crate::ingest::ServeStats::get(&server.stats().edges_ingested),
+            50 * 4
+        );
+    }
+
+    #[test]
+    fn report_renders_and_encodes() {
+        let server = tiny_server(64);
+        let report = run(
+            &LoadgenConfig {
+                connections: 2,
+                requests: 100,
+                read_pct: 90,
+                insert_batch: 2,
+                seed: 3,
+            },
+            |_| Ok(&server),
+        )
+        .unwrap();
+        let text = report.render();
+        assert!(text.contains("throughput"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        let json = report.to_json();
+        assert!(json.contains("\"throughput_rps\""), "{json}");
+        assert!(json.contains("\"p95\""), "{json}");
+        // Requests split across 2 connections must still total 100.
+        assert_eq!(report.requests, 100);
+    }
+
+    #[test]
+    fn empty_graph_is_rejected_up_front() {
+        let server = Server::new(0, &[], BatchPolicy::default());
+        let err = run(&LoadgenConfig::default(), |_| Ok(&server)).unwrap_err();
+        assert!(err.to_string().contains("empty graph"), "{err}");
+    }
+}

@@ -1,0 +1,683 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! A frame is a little-endian `u32` payload length followed by the
+//! payload; the payload is a one-byte opcode followed by fixed-width
+//! little-endian fields. Requests and responses share the framing but use
+//! disjoint opcode ranges (`0x01..` vs `0x81..`), so a desynchronized
+//! peer is detected as an unknown opcode rather than misparsed silently.
+//!
+//! Decoding never panics: every malformed input — truncated payload,
+//! oversized length prefix, unknown opcode, inconsistent element count,
+//! trailing garbage — surfaces as a typed [`FrameError`], which the
+//! server renders into a [`Response::Err`] frame.
+
+use afforest_graph::Node;
+use std::io::{Read, Write};
+
+/// Hard ceiling on payload size (16 MiB ≈ 2M edges per insert frame). A
+/// length prefix above this is rejected before any allocation, so a
+/// garbage prefix cannot trigger a huge read buffer.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Are `u` and `v` in the same component (in the served epoch)?
+    Connected(Node, Node),
+    /// The component representative of `u`.
+    Component(Node),
+    /// Size of `u`'s component.
+    ComponentSize(Node),
+    /// Number of components (isolated vertices included).
+    NumComponents,
+    /// Append edges to the graph; applied asynchronously by the writer.
+    InsertEdges(Vec<(Node, Node)>),
+    /// Server + ingest statistics.
+    Stats,
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Connected`].
+    Connected(bool),
+    /// Answer to [`Request::Component`].
+    Component(Node),
+    /// Answer to [`Request::ComponentSize`].
+    ComponentSize(u64),
+    /// Answer to [`Request::NumComponents`].
+    NumComponents(u64),
+    /// Edges accepted into the ingest queue (not yet visible to reads).
+    Accepted {
+        /// Number of edges queued.
+        edges: u32,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReport),
+    /// Acknowledges [`Request::Shutdown`]; the connection closes next.
+    Bye,
+    /// The request was malformed or unanswerable; the message says why.
+    Err(String),
+}
+
+/// Server-side statistics, answering [`Request::Stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Epoch of the currently served snapshot (0 = initial graph).
+    pub epoch: u64,
+    /// Vertex count of the served graph.
+    pub vertices: u64,
+    /// Component count in the served snapshot.
+    pub num_components: u64,
+    /// Edges applied by the writer since startup.
+    pub edges_ingested: u64,
+    /// Snapshots published by the writer since startup (excludes epoch 0).
+    pub epochs_published: u64,
+    /// Edges currently waiting in the ingest queue.
+    pub queue_depth: u64,
+}
+
+/// Why a payload failed to decode. Mirrors the shape of
+/// `afforest_graph::Error`: one variant per failure class, each carrying
+/// enough context to render a useful message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The payload ended before a fixed-width field.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+    },
+    /// The first payload byte is not a known opcode.
+    UnknownOpcode(u8),
+    /// A structurally invalid payload (reason attached).
+    BadPayload(&'static str),
+    /// Well-formed value followed by `extra` unexpected bytes.
+    Trailing {
+        /// Unconsumed byte count.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            FrameError::Oversized { len } => {
+                write!(
+                    f,
+                    "oversized frame: {len} bytes exceeds max {MAX_FRAME_LEN}"
+                )
+            }
+            FrameError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            FrameError::BadPayload(reason) => write!(f, "bad payload: {reason}"),
+            FrameError::Trailing { extra } => {
+                write!(f, "{extra} trailing byte(s) after a complete frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A transport-level failure: either the socket died or the peer sent an
+/// unparseable frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The bytes arrived but were not a valid frame.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "{e}"),
+            WireError::Frame(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<FrameError> for WireError {
+    fn from(e: FrameError) -> Self {
+        WireError::Frame(e)
+    }
+}
+
+// Request opcodes.
+const OP_CONNECTED: u8 = 0x01;
+const OP_COMPONENT: u8 = 0x02;
+const OP_COMPONENT_SIZE: u8 = 0x03;
+const OP_NUM_COMPONENTS: u8 = 0x04;
+const OP_INSERT_EDGES: u8 = 0x05;
+const OP_STATS: u8 = 0x06;
+const OP_SHUTDOWN: u8 = 0x07;
+
+// Response opcodes.
+const OP_R_CONNECTED: u8 = 0x81;
+const OP_R_COMPONENT: u8 = 0x82;
+const OP_R_COMPONENT_SIZE: u8 = 0x83;
+const OP_R_NUM_COMPONENTS: u8 = 0x84;
+const OP_R_ACCEPTED: u8 = 0x85;
+const OP_R_STATS: u8 = 0x86;
+const OP_R_BYE: u8 = 0x87;
+const OP_R_ERR: u8 = 0xC0;
+
+/// Incremental little-endian payload reader with typed errors.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::BadPayload(
+            "field length overflows the payload cursor",
+        ))?;
+        if end > self.buf.len() {
+            return Err(FrameError::Truncated {
+                needed: end,
+                got: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Trailing {
+                extra: self.buf.len() - self.pos,
+            })
+        }
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes a request payload (opcode + fields, no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    match req {
+        Request::Connected(u, v) => {
+            out.push(OP_CONNECTED);
+            push_u32(&mut out, *u);
+            push_u32(&mut out, *v);
+        }
+        Request::Component(u) => {
+            out.push(OP_COMPONENT);
+            push_u32(&mut out, *u);
+        }
+        Request::ComponentSize(u) => {
+            out.push(OP_COMPONENT_SIZE);
+            push_u32(&mut out, *u);
+        }
+        Request::NumComponents => out.push(OP_NUM_COMPONENTS),
+        Request::InsertEdges(edges) => {
+            out.reserve(5 + edges.len() * 8);
+            out.push(OP_INSERT_EDGES);
+            push_u32(&mut out, edges.len() as u32);
+            for &(u, v) in edges {
+                push_u32(&mut out, u);
+                push_u32(&mut out, v);
+            }
+        }
+        Request::Stats => out.push(OP_STATS),
+        Request::Shutdown => out.push(OP_SHUTDOWN),
+    }
+    out
+}
+
+/// Decodes a request payload. Total function: every byte string yields
+/// `Ok` or a typed [`FrameError`], never a panic.
+pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
+    let mut c = Cursor::new(payload);
+    let req = match c.u8()? {
+        OP_CONNECTED => Request::Connected(c.u32()?, c.u32()?),
+        OP_COMPONENT => Request::Component(c.u32()?),
+        OP_COMPONENT_SIZE => Request::ComponentSize(c.u32()?),
+        OP_NUM_COMPONENTS => Request::NumComponents,
+        OP_INSERT_EDGES => {
+            let count = c.u32()? as usize;
+            // The count must be consistent with the payload length before
+            // any allocation (a lying count is not an OOM vector).
+            let declared = count
+                .checked_mul(8)
+                .ok_or(FrameError::BadPayload("edge count overflows"))?;
+            if payload.len() < 5 + declared {
+                return Err(FrameError::Truncated {
+                    needed: 5 + declared,
+                    got: payload.len(),
+                });
+            }
+            let mut edges = Vec::with_capacity(count);
+            for _ in 0..count {
+                edges.push((c.u32()?, c.u32()?));
+            }
+            Request::InsertEdges(edges)
+        }
+        OP_STATS => Request::Stats,
+        OP_SHUTDOWN => Request::Shutdown,
+        op => return Err(FrameError::UnknownOpcode(op)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Encodes a response payload (opcode + fields, no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    match resp {
+        Response::Connected(b) => {
+            out.push(OP_R_CONNECTED);
+            out.push(*b as u8);
+        }
+        Response::Component(l) => {
+            out.push(OP_R_COMPONENT);
+            push_u32(&mut out, *l);
+        }
+        Response::ComponentSize(s) => {
+            out.push(OP_R_COMPONENT_SIZE);
+            push_u64(&mut out, *s);
+        }
+        Response::NumComponents(c) => {
+            out.push(OP_R_NUM_COMPONENTS);
+            push_u64(&mut out, *c);
+        }
+        Response::Accepted { edges } => {
+            out.push(OP_R_ACCEPTED);
+            push_u32(&mut out, *edges);
+        }
+        Response::Stats(s) => {
+            out.push(OP_R_STATS);
+            push_u64(&mut out, s.epoch);
+            push_u64(&mut out, s.vertices);
+            push_u64(&mut out, s.num_components);
+            push_u64(&mut out, s.edges_ingested);
+            push_u64(&mut out, s.epochs_published);
+            push_u64(&mut out, s.queue_depth);
+        }
+        Response::Bye => out.push(OP_R_BYE),
+        Response::Err(msg) => {
+            out.push(OP_R_ERR);
+            out.extend_from_slice(msg.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
+    let mut c = Cursor::new(payload);
+    let resp = match c.u8()? {
+        OP_R_CONNECTED => match c.u8()? {
+            0 => Response::Connected(false),
+            1 => Response::Connected(true),
+            _ => return Err(FrameError::BadPayload("boolean must be 0 or 1")),
+        },
+        OP_R_COMPONENT => Response::Component(c.u32()?),
+        OP_R_COMPONENT_SIZE => Response::ComponentSize(c.u64()?),
+        OP_R_NUM_COMPONENTS => Response::NumComponents(c.u64()?),
+        OP_R_ACCEPTED => Response::Accepted { edges: c.u32()? },
+        OP_R_STATS => Response::Stats(StatsReport {
+            epoch: c.u64()?,
+            vertices: c.u64()?,
+            num_components: c.u64()?,
+            edges_ingested: c.u64()?,
+            epochs_published: c.u64()?,
+            queue_depth: c.u64()?,
+        }),
+        OP_R_BYE => Response::Bye,
+        OP_R_ERR => {
+            let rest = c.take(payload.len() - 1)?;
+            let msg = std::str::from_utf8(rest)
+                .map_err(|_| FrameError::BadPayload("error message is not UTF-8"))?;
+            Response::Err(msg.to_string())
+        }
+        op => return Err(FrameError::UnknownOpcode(op)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+/// Writes one length-prefixed frame. The prefix and payload go out in a
+/// single `write_all` so a frame is one TCP segment for small payloads.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF
+/// (peer closed between frames); a mid-frame EOF or an oversized /
+/// zero-length prefix is an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(FrameError::Truncated {
+                    needed: 4,
+                    got: filled,
+                }
+                .into())
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { len }.into());
+    }
+    if len == 0 {
+        return Err(FrameError::BadPayload("zero-length payload").into());
+    }
+    let mut payload = vec![0u8; len];
+    let mut read = 0;
+    while read < len {
+        match r.read(&mut payload[read..])? {
+            0 => {
+                return Err(FrameError::Truncated {
+                    needed: len,
+                    got: read,
+                }
+                .into())
+            }
+            n => read += n,
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Sends `req` and reads the matching response (simple blocking RPC used
+/// by clients and the load generator).
+pub fn call(stream: &mut (impl Read + Write), req: &Request) -> Result<Response, WireError> {
+    write_frame(stream, &encode_request(req))?;
+    let payload = read_frame(stream)?.ok_or_else(|| {
+        WireError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed before responding",
+        ))
+    })?;
+    Ok(decode_response(&payload)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Connected(0, u32::MAX),
+            Request::Component(7),
+            Request::ComponentSize(123),
+            Request::NumComponents,
+            Request::InsertEdges(vec![]),
+            Request::InsertEdges(vec![(1, 2), (3, 4), (0, 0)]),
+            Request::Stats,
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Connected(true),
+            Response::Connected(false),
+            Response::Component(42),
+            Response::ComponentSize(1 << 40),
+            Response::NumComponents(3),
+            Response::Accepted { edges: 512 },
+            Response::Stats(StatsReport {
+                epoch: 9,
+                vertices: 1_000_000,
+                num_components: 17,
+                edges_ingested: 5_000_000,
+                epochs_published: 8,
+                queue_depth: 64,
+            }),
+            Response::Bye,
+            Response::Err("vertex 99 out of range".into()),
+            Response::Err(String::new()),
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in sample_requests() {
+            let enc = encode_request(&req);
+            assert_eq!(decode_request(&enc).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in sample_responses() {
+            let enc = encode_response(&resp);
+            assert_eq!(decode_response(&enc).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    /// Fuzz-ish: every strict prefix of every valid payload must decode
+    /// to a typed error — never panic, never succeed.
+    #[test]
+    fn truncated_payloads_yield_typed_errors() {
+        for req in sample_requests() {
+            let enc = encode_request(&req);
+            for cut in 0..enc.len() {
+                let err = decode_request(&enc[..cut])
+                    .expect_err(&format!("{req:?} truncated to {cut} bytes decoded"));
+                assert!(
+                    matches!(
+                        err,
+                        FrameError::Truncated { .. } | FrameError::BadPayload(_)
+                    ),
+                    "{req:?} cut at {cut}: unexpected error {err:?}"
+                );
+            }
+        }
+        for resp in sample_responses() {
+            let enc = encode_response(&resp);
+            for cut in 0..enc.len() {
+                if decode_response(&enc[..cut]).is_ok() {
+                    // The only prefix that may decode is a shortened Err
+                    // message (it is length-delimited by the frame).
+                    assert!(
+                        matches!(resp, Response::Err(_)),
+                        "{resp:?} cut at {cut} decoded"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fuzz-ish: trailing garbage after a complete value is rejected.
+    #[test]
+    fn trailing_bytes_rejected() {
+        for req in sample_requests() {
+            let mut enc = encode_request(&req);
+            enc.push(0xAB);
+            assert_eq!(
+                decode_request(&enc).unwrap_err(),
+                FrameError::Trailing { extra: 1 },
+                "{req:?}"
+            );
+        }
+    }
+
+    /// Fuzz-ish: deterministic pseudo-random byte soup never panics and
+    /// never aliases to a valid frame silently growing huge buffers.
+    #[test]
+    fn garbage_payloads_never_panic() {
+        let mut state = 0x12345678u64;
+        for trial in 0..2_000 {
+            let len = (trial % 64) + 1;
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 33) as u8
+                })
+                .collect();
+            // Must return, not panic; both Ok and Err are acceptable.
+            let _ = decode_request(&bytes);
+            let _ = decode_response(&bytes);
+        }
+    }
+
+    #[test]
+    fn unknown_opcodes_are_named() {
+        assert_eq!(
+            decode_request(&[0x7F]).unwrap_err(),
+            FrameError::UnknownOpcode(0x7F)
+        );
+        assert_eq!(
+            decode_response(&[0x00]).unwrap_err(),
+            FrameError::UnknownOpcode(0x00)
+        );
+        assert!(FrameError::UnknownOpcode(0x7F).to_string().contains("0x7f"));
+    }
+
+    #[test]
+    fn insert_count_must_match_payload() {
+        // Claims 1000 edges but carries one.
+        let mut enc = vec![0x05];
+        enc.extend_from_slice(&1000u32.to_le_bytes());
+        enc.extend_from_slice(&[0u8; 8]);
+        let err = decode_request(&enc).unwrap_err();
+        assert!(matches!(err, FrameError::Truncated { .. }), "{err:?}");
+
+        // Claims usize-overflowing count.
+        let mut enc = vec![0x05];
+        enc.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_request(&enc).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FrameError::Truncated { .. } | FrameError::BadPayload(_)
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn frame_io_roundtrip_and_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &encode_request(&Request::NumComponents)).unwrap();
+        write_frame(&mut buf, &encode_request(&Request::Connected(1, 2))).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            decode_request(&read_frame(&mut r).unwrap().unwrap()).unwrap(),
+            Request::NumComponents
+        );
+        assert_eq!(
+            decode_request(&read_frame(&mut r).unwrap().unwrap()).unwrap(),
+            Request::Connected(1, 2)
+        );
+        // Clean EOF between frames.
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_and_mid_frame_eof() {
+        // Oversized declared length: rejected before allocation.
+        let huge = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+        match read_frame(&mut &huge[..]) {
+            Err(WireError::Frame(FrameError::Oversized { len })) => {
+                assert_eq!(len, MAX_FRAME_LEN + 1)
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+
+        // Zero-length payload.
+        let zero = 0u32.to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &zero[..]),
+            Err(WireError::Frame(FrameError::BadPayload(_)))
+        ));
+
+        // EOF inside the length prefix.
+        let partial = [5u8, 0];
+        assert!(matches!(
+            read_frame(&mut &partial[..]),
+            Err(WireError::Frame(FrameError::Truncated {
+                needed: 4,
+                got: 2
+            }))
+        ));
+
+        // EOF inside the payload.
+        let mut buf = 10u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(WireError::Frame(FrameError::Truncated {
+                needed: 10,
+                got: 3
+            }))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_readable() {
+        let e = FrameError::Truncated { needed: 9, got: 2 };
+        assert_eq!(e.to_string(), "truncated frame: needed 9 bytes, got 2");
+        assert!(FrameError::Oversized { len: 1 << 30 }
+            .to_string()
+            .contains("exceeds max"));
+        assert!(FrameError::Trailing { extra: 3 }.to_string().contains("3"));
+        let w = WireError::from(FrameError::BadPayload("nope"));
+        assert_eq!(w.to_string(), "bad payload: nope");
+    }
+}

@@ -1,0 +1,476 @@
+//! The service runtime: request handling, the writer thread, and the TCP
+//! front-end.
+//!
+//! Ownership layout (single-writer / many-reader):
+//!
+//! - The **writer thread** exclusively owns the [`IncrementalCc`]. It
+//!   drains the ingest queue in coalesced batches, links each batch in
+//!   parallel, compresses, and publishes the next epoch to the
+//!   [`SnapshotStore`].
+//! - **Request handlers** (TCP workers or in-process callers) only ever
+//!   see immutable `Arc<Snapshot>`s and the ingest queue's producer side,
+//!   so reads never wait on the writer.
+//!
+//! [`Server::handle`] is the transport-independent request evaluator; the
+//! TCP layer and the deterministic in-process tests both go through it.
+
+use crate::ingest::{BatchPolicy, Drained, IngestQueue, ServeStats};
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, FrameError, Request, Response,
+    StatsReport, WireError,
+};
+use crate::snapshot::{Snapshot, SnapshotStore};
+use afforest_core::IncrementalCc;
+use afforest_graph::Node;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How long a blocked worker sleeps between accept attempts / shutdown
+/// checks.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Per-connection read timeout, so a parked reader re-checks the shutdown
+/// flag. Requests are single small frames, so a timeout mid-frame only
+/// happens when the peer itself stalled mid-write.
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// State shared between request handlers and the writer thread.
+struct Shared {
+    store: SnapshotStore,
+    ingest: IngestQueue,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+}
+
+/// A running connectivity service over one graph.
+///
+/// Dropping the server shuts the writer down cleanly (remaining queued
+/// edges are applied first).
+pub struct Server {
+    shared: Arc<Shared>,
+    vertices: usize,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the epoch-0 snapshot from `edges` synchronously, then starts
+    /// the writer thread for subsequent inserts.
+    pub fn new(n: usize, edges: &[(Node, Node)], policy: BatchPolicy) -> Self {
+        let mut cc = IncrementalCc::new(n);
+        cc.insert_batch(edges);
+        let initial = Snapshot::new(0, &cc.labels());
+        let shared = Arc::new(Shared {
+            store: SnapshotStore::new(initial),
+            ingest: IngestQueue::default(),
+            stats: ServeStats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let writer = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("afforest-serve-writer".into())
+                .spawn(move || writer_loop(cc, &shared, &policy))
+                .expect("spawn writer thread")
+        };
+        Self {
+            shared,
+            vertices: n,
+            writer: Some(writer),
+        }
+    }
+
+    /// The currently served epoch.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared.store.load()
+    }
+
+    /// Always-on service counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// Whether a `Shutdown` request has been received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Requests shutdown (same effect as a `Shutdown` frame).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Evaluates one request against the current epoch. This is the
+    /// transport-independent core: the TCP front-end and in-process tests
+    /// both call it. Never panics; unanswerable requests become
+    /// [`Response::Err`].
+    pub fn handle(&self, req: &Request) -> Response {
+        match req {
+            Request::Connected(u, v) => match self.snapshot().connected(*u, *v) {
+                Some(b) => Response::Connected(b),
+                None => self.range_error(*u.max(v)),
+            },
+            Request::Component(u) => match self.snapshot().component(*u) {
+                Some(l) => Response::Component(l),
+                None => self.range_error(*u),
+            },
+            Request::ComponentSize(u) => match self.snapshot().component_size(*u) {
+                Some(s) => Response::ComponentSize(s),
+                None => self.range_error(*u),
+            },
+            Request::NumComponents => {
+                Response::NumComponents(self.snapshot().num_components() as u64)
+            }
+            Request::InsertEdges(edges) => {
+                if let Some(&(u, v)) = edges
+                    .iter()
+                    .find(|&&(u, v)| u as usize >= self.vertices || v as usize >= self.vertices)
+                {
+                    ServeStats::add(&self.shared.stats.protocol_errors, 1);
+                    return Response::Err(format!(
+                        "edge ({u}, {v}) out of range for {} vertices",
+                        self.vertices
+                    ));
+                }
+                let depth = self.shared.ingest.push(edges);
+                self.shared
+                    .stats
+                    .queue_depth
+                    .store(depth as u64, Ordering::Relaxed);
+                Response::Accepted {
+                    edges: edges.len() as u32,
+                }
+            }
+            Request::Stats => Response::Stats(self.stats_report()),
+            Request::Shutdown => {
+                self.request_shutdown();
+                Response::Bye
+            }
+        }
+    }
+
+    fn range_error(&self, v: Node) -> Response {
+        ServeStats::add(&self.shared.stats.protocol_errors, 1);
+        Response::Err(format!(
+            "vertex {v} out of range for {} vertices",
+            self.vertices
+        ))
+    }
+
+    /// Builds the stats answer from the served snapshot and the always-on
+    /// counters.
+    pub fn stats_report(&self) -> StatsReport {
+        let snap = self.snapshot();
+        StatsReport {
+            epoch: snap.epoch,
+            vertices: snap.vertices() as u64,
+            num_components: snap.num_components() as u64,
+            edges_ingested: ServeStats::get(&self.shared.stats.edges_ingested),
+            epochs_published: ServeStats::get(&self.shared.stats.epochs_published),
+            queue_depth: self.shared.ingest.depth() as u64,
+        }
+    }
+
+    /// Waits until every queued edge has been applied and published (or
+    /// `timeout` elapses). Returns whether the queue fully drained.
+    pub fn flush(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.shared.ingest.depth() == 0 && !self.shared.stats.is_applying() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Serves `listener` with a pool of `workers` accept threads until a
+    /// `Shutdown` request arrives. Each worker handles one connection at a
+    /// time, so the pool size bounds concurrent connections.
+    pub fn serve_tcp(&self, listener: TcpListener, workers: usize) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        thread::scope(|s| {
+            for i in 0..workers.max(1) {
+                let listener = &listener;
+                thread::Builder::new()
+                    .name(format!("afforest-serve-worker-{i}"))
+                    .spawn_scoped(s, move || self.accept_loop(listener))
+                    .expect("spawn accept worker");
+            }
+        });
+        Ok(())
+    }
+
+    fn accept_loop(&self, listener: &TcpListener) {
+        while !self.shutdown_requested() {
+            match listener.accept() {
+                Ok((stream, _peer)) => self.serve_connection(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                // Transient accept failure (e.g. the peer aborted the
+                // handshake): back off briefly and keep serving.
+                Err(_) => thread::sleep(ACCEPT_POLL),
+            }
+        }
+    }
+
+    /// Runs one connection's request/response loop until the peer closes,
+    /// the stream desynchronizes, or shutdown is requested.
+    fn serve_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        let _ = stream.set_nodelay(true);
+        while !self.shutdown_requested() {
+            let payload = match read_frame(&mut stream) {
+                Ok(Some(payload)) => payload,
+                // Peer closed between frames.
+                Ok(None) => return,
+                // Read timeout: loop to re-check the shutdown flag.
+                Err(WireError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue
+                }
+                // Socket died.
+                Err(WireError::Io(_)) => return,
+                // Unframeable bytes: report, then drop the connection (a
+                // bad length prefix means the stream is desynchronized).
+                Err(WireError::Frame(e)) => {
+                    ServeStats::add(&self.shared.stats.protocol_errors, 1);
+                    let _ = write_frame(&mut stream, &encode_response(&frame_err(&e)));
+                    return;
+                }
+            };
+            let _span = afforest_obs::span!("serve-request");
+            // A malformed payload inside a well-delimited frame keeps the
+            // stream in sync: answer Err and keep going.
+            let resp = match decode_request(&payload) {
+                Ok(req) => self.handle(&req),
+                Err(e) => {
+                    ServeStats::add(&self.shared.stats.protocol_errors, 1);
+                    frame_err(&e)
+                }
+            };
+            let done = matches!(resp, Response::Bye);
+            if write_frame(&mut stream, &encode_response(&resp)).is_err() || done {
+                return;
+            }
+        }
+    }
+
+    /// Stops the writer (applying any still-queued edges first) and joins
+    /// it. Idempotent.
+    pub fn join_writer(&mut self) {
+        self.shared.ingest.shutdown();
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.join_writer();
+    }
+}
+
+fn frame_err(e: &FrameError) -> Response {
+    Response::Err(e.to_string())
+}
+
+/// The single writer: drain → link → compress → publish, one epoch per
+/// coalesced batch.
+fn writer_loop(mut cc: IncrementalCc, shared: &Shared, policy: &BatchPolicy) {
+    let mut epoch = 0u64;
+    loop {
+        let batch = match shared.ingest.next_batch(policy) {
+            Drained::Batch(batch) => batch,
+            Drained::Shutdown => return,
+        };
+        epoch += 1;
+        let applied = batch.len() as u64;
+        shared.stats.applying.store(true, Ordering::Relaxed);
+        {
+            let _span = afforest_obs::span!("ingest-batch[{epoch}]");
+            cc.insert_batch(&batch);
+            if let Some(d) = policy.apply_delay {
+                thread::sleep(d);
+            }
+            shared.store.publish(Snapshot::new(epoch, &cc.labels()));
+        }
+        shared.stats.applying.store(false, Ordering::Relaxed);
+        ServeStats::add(&shared.stats.edges_ingested, applied);
+        ServeStats::add(&shared.stats.epochs_published, 1);
+        shared
+            .stats
+            .queue_depth
+            .store(shared.ingest.depth() as u64, Ordering::Relaxed);
+        afforest_obs::count(afforest_obs::Counter::EdgesIngested, applied);
+        afforest_obs::count(afforest_obs::Counter::EpochsPublished, 1);
+        afforest_obs::count(afforest_obs::Counter::QueueDepth, applied);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_policy() -> BatchPolicy {
+        BatchPolicy {
+            max_edges: 64,
+            max_delay: Duration::from_millis(1),
+            apply_delay: None,
+        }
+    }
+
+    fn path_server(n: usize) -> Server {
+        let edges: Vec<(Node, Node)> = (1..n as Node).map(|v| (v - 1, v)).collect();
+        Server::new(n, &edges, quick_policy())
+    }
+
+    #[test]
+    fn serves_epoch_zero_queries() {
+        let server = Server::new(6, &[(0, 1), (1, 2), (4, 5)], quick_policy());
+        assert_eq!(
+            server.handle(&Request::Connected(0, 2)),
+            Response::Connected(true)
+        );
+        assert_eq!(
+            server.handle(&Request::Connected(0, 3)),
+            Response::Connected(false)
+        );
+        assert_eq!(
+            server.handle(&Request::Component(2)),
+            Response::Component(0)
+        );
+        assert_eq!(
+            server.handle(&Request::ComponentSize(4)),
+            Response::ComponentSize(2)
+        );
+        assert_eq!(
+            server.handle(&Request::NumComponents),
+            Response::NumComponents(3)
+        );
+    }
+
+    #[test]
+    fn inserts_become_visible_after_flush() {
+        let server = Server::new(4, &[], quick_policy());
+        assert_eq!(
+            server.handle(&Request::Connected(0, 3)),
+            Response::Connected(false)
+        );
+        assert_eq!(
+            server.handle(&Request::InsertEdges(vec![(0, 1), (1, 2), (2, 3)])),
+            Response::Accepted { edges: 3 }
+        );
+        assert!(server.flush(Duration::from_secs(5)));
+        assert_eq!(
+            server.handle(&Request::Connected(0, 3)),
+            Response::Connected(true)
+        );
+        let snap = server.snapshot();
+        assert!(snap.epoch >= 1);
+        assert_eq!(ServeStats::get(&server.stats().edges_ingested), 3);
+    }
+
+    #[test]
+    fn out_of_range_requests_get_err_not_panic() {
+        let server = path_server(5);
+        for req in [
+            Request::Connected(0, 5),
+            Request::Connected(9, 9),
+            Request::Component(5),
+            Request::ComponentSize(u32::MAX),
+            Request::InsertEdges(vec![(0, 1), (2, 5)]),
+        ] {
+            match server.handle(&req) {
+                Response::Err(msg) => assert!(msg.contains("out of range"), "{msg}"),
+                other => panic!("{req:?} answered {other:?}"),
+            }
+        }
+        assert_eq!(ServeStats::get(&server.stats().protocol_errors), 5);
+        // Rejected insert must not have queued anything.
+        assert!(server.flush(Duration::from_secs(1)));
+        assert_eq!(ServeStats::get(&server.stats().edges_ingested), 0);
+    }
+
+    #[test]
+    fn stats_reflect_ingest_progress() {
+        let server = Server::new(8, &[(0, 1)], quick_policy());
+        server.handle(&Request::InsertEdges(vec![(2, 3), (4, 5)]));
+        assert!(server.flush(Duration::from_secs(5)));
+        match server.handle(&Request::Stats) {
+            Response::Stats(s) => {
+                assert_eq!(s.vertices, 8);
+                assert_eq!(s.edges_ingested, 2);
+                assert!(s.epochs_published >= 1);
+                assert_eq!(s.queue_depth, 0);
+                assert!(s.epoch >= 1);
+                assert_eq!(s.num_components, 5);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_request_sets_flag_and_answers_bye() {
+        let server = path_server(3);
+        assert!(!server.shutdown_requested());
+        assert_eq!(server.handle(&Request::Shutdown), Response::Bye);
+        assert!(server.shutdown_requested());
+    }
+
+    #[test]
+    fn many_small_inserts_coalesce_into_few_epochs() {
+        let server = Server::new(
+            1_000,
+            &[],
+            BatchPolicy {
+                max_edges: 256,
+                max_delay: Duration::from_millis(20),
+                apply_delay: None,
+            },
+        );
+        for v in 1..1_000u32 {
+            server.handle(&Request::InsertEdges(vec![(v - 1, v)]));
+        }
+        assert!(server.flush(Duration::from_secs(10)));
+        let published = ServeStats::get(&server.stats().epochs_published);
+        assert!(published >= 1);
+        // 999 single-edge inserts must not mean 999 epochs: coalescing is
+        // what makes the write path batched. The writer keeps up with the
+        // producer, so well under half the inserts get their own epoch.
+        assert!(published < 500, "no coalescing: {published} epochs");
+        assert_eq!(ServeStats::get(&server.stats().edges_ingested), 999);
+        assert_eq!(
+            server.handle(&Request::NumComponents),
+            Response::NumComponents(1)
+        );
+    }
+
+    #[test]
+    fn drop_applies_queued_edges_before_exit() {
+        let mut server = Server::new(
+            4,
+            &[],
+            BatchPolicy {
+                // Deadline far away: edges sit queued until shutdown drain.
+                max_edges: 1_000_000,
+                max_delay: Duration::from_secs(600),
+                apply_delay: None,
+            },
+        );
+        server.handle(&Request::InsertEdges(vec![(0, 1), (1, 2)]));
+        server.join_writer();
+        assert_eq!(
+            server.handle(&Request::Connected(0, 2)),
+            Response::Connected(true)
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Epoch snapshots: the read path of the service.
+//!
+//! Readers never touch the incremental structure. Each published epoch is
+//! an immutable, *fully compressed* labeling: `labels[v]` is already the
+//! component representative, so `Connected(u, v)` is two array loads and
+//! `ComponentSize(u)` is two loads plus one more — no `find_root` walk,
+//! no atomics, no locks on the hot path.
+//!
+//! The store hands out `Arc<Snapshot>`s. Publishing swaps the `Arc`
+//! behind an `RwLock` whose critical sections are O(1) (clone on read,
+//! pointer swap on write); the expensive work — applying a batch,
+//! compressing, building the next snapshot — happens entirely outside
+//! the lock, which is what makes reads non-blocking with respect to the
+//! writer (the acceptance property tested in `tests/epoch_isolation.rs`).
+
+use afforest_core::ComponentLabels;
+use afforest_graph::Node;
+use std::sync::{Arc, RwLock};
+
+/// One immutable published epoch.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Monotonically increasing epoch number (0 = the initial graph).
+    pub epoch: u64,
+    /// Fully flattened labels: `labels[v]` is `v`'s representative.
+    labels: Vec<Node>,
+    /// `sizes[r]` is the component size when `r` is a representative
+    /// (untouched slots are 0).
+    sizes: Vec<u32>,
+    /// Number of components.
+    num_components: usize,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from a validated labeling.
+    pub fn new(epoch: u64, labels: &ComponentLabels) -> Self {
+        let vec = labels.as_slice().to_vec();
+        let mut sizes = vec![0u32; vec.len()];
+        for &l in &vec {
+            sizes[l as usize] += 1;
+        }
+        Self {
+            epoch,
+            labels: vec,
+            sizes,
+            num_components: labels.num_components(),
+        }
+    }
+
+    /// Vertex count.
+    pub fn vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether `v` is a valid vertex of this snapshot.
+    pub fn contains(&self, v: Node) -> bool {
+        (v as usize) < self.labels.len()
+    }
+
+    /// Whether `u` and `v` share a component (`None` if out of range).
+    pub fn connected(&self, u: Node, v: Node) -> Option<bool> {
+        let lu = self.labels.get(u as usize)?;
+        let lv = self.labels.get(v as usize)?;
+        Some(lu == lv)
+    }
+
+    /// The representative of `u` (`None` if out of range).
+    pub fn component(&self, u: Node) -> Option<Node> {
+        self.labels.get(u as usize).copied()
+    }
+
+    /// Size of `u`'s component (`None` if out of range).
+    pub fn component_size(&self, u: Node) -> Option<u64> {
+        let l = self.labels.get(u as usize)?;
+        Some(self.sizes[*l as usize] as u64)
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.num_components
+    }
+}
+
+/// The single-writer / many-reader epoch store.
+pub struct SnapshotStore {
+    current: RwLock<Arc<Snapshot>>,
+}
+
+impl SnapshotStore {
+    /// Starts the store at `initial` (conventionally epoch 0).
+    pub fn new(initial: Snapshot) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The currently served epoch. O(1): clones the `Arc` under a read
+    /// lock held for the duration of a pointer copy.
+    pub fn load(&self) -> Arc<Snapshot> {
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Atomically replaces the served epoch. O(1): the new snapshot is
+    /// fully built before this is called.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that epochs only move forward.
+    pub fn publish(&self, next: Snapshot) {
+        let mut cur = self.current.write().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(next.epoch > cur.epoch, "epochs must advance");
+        *cur = Arc::new(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afforest_core::IncrementalCc;
+
+    fn snap(epoch: u64, cc: &mut IncrementalCc) -> Snapshot {
+        Snapshot::new(epoch, &cc.labels())
+    }
+
+    #[test]
+    fn snapshot_answers_all_queries() {
+        let mut cc = IncrementalCc::new(6);
+        cc.insert_batch(&[(0, 1), (1, 2), (4, 5)]);
+        let s = snap(0, &mut cc);
+        assert_eq!(s.vertices(), 6);
+        assert_eq!(s.num_components(), 3);
+        assert_eq!(s.connected(0, 2), Some(true));
+        assert_eq!(s.connected(0, 3), Some(false));
+        assert_eq!(s.component(2), Some(0));
+        assert_eq!(s.component_size(5), Some(2));
+        assert_eq!(s.component_size(3), Some(1));
+    }
+
+    #[test]
+    fn out_of_range_is_none_not_panic() {
+        let mut cc = IncrementalCc::new(3);
+        let s = snap(0, &mut cc);
+        assert_eq!(s.connected(0, 3), None);
+        assert_eq!(s.connected(9, 0), None);
+        assert_eq!(s.component(3), None);
+        assert_eq!(s.component_size(100), None);
+        assert!(!s.contains(3));
+        assert!(s.contains(2));
+    }
+
+    #[test]
+    fn store_publishes_new_epochs() {
+        let mut cc = IncrementalCc::new(4);
+        let store = SnapshotStore::new(snap(0, &mut cc));
+        let old = store.load();
+        assert_eq!(old.epoch, 0);
+        assert_eq!(old.connected(0, 1), Some(false));
+
+        cc.insert(0, 1);
+        store.publish(snap(1, &mut cc));
+        // The old Arc still answers from its epoch; new loads see epoch 1.
+        assert_eq!(old.connected(0, 1), Some(false));
+        let new = store.load();
+        assert_eq!(new.epoch, 1);
+        assert_eq!(new.connected(0, 1), Some(true));
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let mut cc = IncrementalCc::new(0);
+        let s = snap(0, &mut cc);
+        assert_eq!(s.vertices(), 0);
+        assert_eq!(s.num_components(), 0);
+        assert_eq!(s.connected(0, 0), None);
+    }
+}

@@ -48,6 +48,9 @@ pub const ORDERING_ALLOWLIST: &[&str] = &[
     // Observability recorder: sharded Relaxed statistics counters and the
     // session-active flag, summed only after parallel phases join.
     "crates/obs/src/",
+    // Serving runtime: Relaxed service statistics and the shutdown flag;
+    // all cross-thread hand-off goes through Mutex/Condvar/RwLock.
+    "crates/serve/src/",
 ];
 
 /// Atomic-ordering variant names. `cmp::Ordering`'s variants (`Less`,

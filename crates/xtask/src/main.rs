@@ -6,10 +6,12 @@
 //!   the SeqCst ban, and `#![deny(unsafe_op_in_unsafe_fn)]` opt-in.
 //! - `cargo xtask ci` — the full gate: fmt, clippy (`-D warnings`), the
 //!   lints, the test suite both without and with the observability
-//!   feature (`obs`), and the schedule-exploring model checker (`ci.sh`
-//!   is a thin wrapper around this).
+//!   feature (`obs`), the loopback serving smoke test ([`smoke`], also
+//!   with obs off and on), and the schedule-exploring model checker
+//!   (`ci.sh` is a thin wrapper around this).
 
 mod lint;
+mod smoke;
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -93,9 +95,11 @@ fn run_ci() -> ExitCode {
                 "afforest-bench",
                 "-p",
                 "afforest-cli",
+                "-p",
+                "afforest-serve",
                 "--features",
                 "afforest-obs/enabled,afforest-core/obs,afforest-baselines/obs,\
-                 afforest-bench/obs,afforest-cli/obs",
+                 afforest-bench/obs,afforest-cli/obs,afforest-serve/obs",
             ],
         ),
         (
@@ -113,6 +117,14 @@ fn run_ci() -> ExitCode {
     }
     for &(name, program, args) in steps {
         if !step(&root, name, program, args) {
+            return ExitCode::FAILURE;
+        }
+    }
+    // End-to-end serving smoke over loopback TCP, in both builds of the
+    // serving path (obs compiled out and in).
+    for obs in [false, true] {
+        println!("==> serve smoke{}", if obs { " (obs)" } else { "" });
+        if !smoke::run_smoke(&root, obs) {
             return ExitCode::FAILURE;
         }
     }
