@@ -351,12 +351,18 @@ pub mod bench {
 }
 
 /// `afforest serve <graph> [--addr HOST:PORT] [--workers N]
-/// [--max-batch-edges N] [--max-batch-delay-ms MS] [--trace-out PATH]`.
+/// [--max-batch-edges N] [--max-batch-delay-ms MS] [--wal-dir PATH]
+/// [--wal-snapshot-every N] [--max-queue-depth N] [--read-deadline-ms MS]
+/// [--faults SPEC] [--trace-out PATH]`.
 pub mod serve {
     use super::*;
-    use afforest_serve::{BatchPolicy, Server};
+    use afforest_core::IncrementalCc;
+    use afforest_serve::wal::{self, Wal};
+    use afforest_serve::{BatchPolicy, FaultPlan, ServeStats, Server, ServerOptions};
     use std::io::Write as _;
     use std::net::TcpListener;
+    use std::path::Path;
+    use std::sync::Arc;
     use std::time::Duration;
 
     pub fn run(argv: &[String]) -> Result<String, String> {
@@ -366,6 +372,11 @@ pub mod serve {
             "workers",
             "max-batch-edges",
             "max-batch-delay-ms",
+            "wal-dir",
+            "wal-snapshot-every",
+            "max-queue-depth",
+            "read-deadline-ms",
+            "faults",
             "trace-out",
         ])?;
         let path = args.positional(0, "graph")?;
@@ -376,19 +387,81 @@ pub mod serve {
         if max_edges == 0 {
             return Err("--max-batch-edges must be positive".into());
         }
+        let snapshot_every: u64 = args.flag_parsed("wal-snapshot-every", 64u64)?;
+        let max_queue_depth: usize = args.flag_parsed("max-queue-depth", 0usize)?;
+        let read_deadline_ms: u64 = args.flag_parsed("read-deadline-ms", 0u64)?;
+        let faults = match args.flag("faults") {
+            Some(spec) => Some(Arc::new(
+                FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?,
+            )),
+            None => None,
+        };
         let trace_out = args.flag("trace-out");
 
         let g = load_graph(path)?;
         let edges = g.collect_edges();
-        let server = Server::new(
-            g.num_vertices(),
-            &edges,
-            BatchPolicy {
+        let n = g.num_vertices();
+        let options = ServerOptions {
+            policy: BatchPolicy {
                 max_edges,
                 max_delay: Duration::from_millis(max_delay_ms),
                 apply_delay: None,
             },
-        );
+            max_queue_depth,
+            read_deadline: (read_deadline_ms > 0).then(|| Duration::from_millis(read_deadline_ms)),
+            wal: None,
+            faults,
+        };
+        let server = match args.flag("wal-dir") {
+            Some(dir) => {
+                let dir = Path::new(dir);
+                // An existing log means a previous incarnation: replay it
+                // (on top of the graph's edges) before serving, so acked
+                // inserts survive the restart.
+                let cc = if wal::exists(dir) {
+                    let rec = wal::recover(dir, &edges)
+                        .map_err(|e| format!("recover {}: {e}", dir.display()))?;
+                    if rec.vertices != n {
+                        return Err(format!(
+                            "wal at {} holds {} vertices, graph has {n}",
+                            dir.display(),
+                            rec.vertices
+                        ));
+                    }
+                    println!(
+                        "recovered {} logged batch(es), {} edge(s){}{}",
+                        rec.batches,
+                        rec.edges,
+                        if rec.from_snapshot {
+                            " (from snapshot)"
+                        } else {
+                            ""
+                        },
+                        if rec.truncated {
+                            "; torn tail truncated"
+                        } else {
+                            ""
+                        }
+                    );
+                    rec.cc
+                } else {
+                    let mut cc = IncrementalCc::new(n);
+                    cc.insert_batch(&edges);
+                    cc
+                };
+                let wal = Wal::open(dir, n, snapshot_every)
+                    .map_err(|e| format!("open wal {}: {e}", dir.display()))?;
+                Server::from_cc(
+                    cc,
+                    ServerOptions {
+                        wal: Some(wal),
+                        ..options
+                    },
+                )
+            }
+            None => Server::with_options(n, &edges, options),
+        }
+        .map_err(|e| format!("start server: {e}"))?;
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
         let local = listener.local_addr().map_err(|e| e.to_string())?;
 
@@ -420,6 +493,14 @@ pub mod serve {
             "ingested {} edge(s) over {} published epoch(s)",
             stats.edges_ingested, stats.epochs_published
         );
+        let shed = ServeStats::get(&server.stats().requests_shed);
+        if shed > 0 {
+            let _ = writeln!(out, "shed {shed} write request(s) at the admission bound");
+        }
+        let wal_errors = ServeStats::get(&server.stats().wal_errors);
+        if wal_errors > 0 {
+            let _ = writeln!(out, "warning: {wal_errors} wal append error(s)");
+        }
         if let Some(dest) = trace_out {
             let trace = trace.expect("traced run kept its trace");
             write_trace(dest, &trace.to_json(), trace.spans.len(), &mut out)?;
@@ -428,9 +509,76 @@ pub mod serve {
     }
 }
 
+/// `afforest recover <graph> --wal-dir PATH` — offline recovery: replay a
+/// write-ahead log (over the seed graph) and report what came back,
+/// without serving. The log's torn tail, if any, is truncated exactly as
+/// a restarting server would.
+pub mod recover {
+    use super::*;
+    use afforest_serve::wal;
+    use std::path::Path;
+
+    pub fn run(argv: &[String]) -> Result<String, String> {
+        let args = ParsedArgs::parse(argv)?;
+        args.allow_flags(&["wal-dir"])?;
+        let path = args.positional(0, "graph")?;
+        let dir = args
+            .flag("wal-dir")
+            .ok_or_else(|| "recover requires --wal-dir PATH".to_string())?;
+        let dir = Path::new(dir);
+        if !wal::exists(dir) {
+            return Err(format!("no write-ahead log at {}", dir.display()));
+        }
+        let g = load_graph(path)?;
+        let mut rec = wal::recover(dir, &g.collect_edges())
+            .map_err(|e| format!("recover {}: {e}", dir.display()))?;
+        if rec.vertices != g.num_vertices() {
+            return Err(format!(
+                "wal at {} holds {} vertices, graph has {}",
+                dir.display(),
+                rec.vertices,
+                g.num_vertices()
+            ));
+        }
+        let labels = rec.cc.labels();
+
+        let mut out = String::new();
+        let _ = writeln!(out, "wal:         {}", dir.display());
+        let _ = writeln!(
+            out,
+            "base:        {}",
+            if rec.from_snapshot {
+                "parent snapshot"
+            } else {
+                "seed graph"
+            }
+        );
+        let _ = writeln!(
+            out,
+            "replayed:    {} batch(es), {} edge(s)",
+            rec.batches, rec.edges
+        );
+        let _ = writeln!(
+            out,
+            "torn tail:   {}",
+            if rec.truncated { "truncated" } else { "none" }
+        );
+        let _ = writeln!(out, "vertices:    {}", rec.vertices);
+        let _ = writeln!(out, "components:  {}", labels.num_components());
+        let _ = writeln!(
+            out,
+            "largest:     {} of {} vertices",
+            labels.largest_component_size(),
+            labels.len()
+        );
+        Ok(out)
+    }
+}
+
 /// `afforest loadgen (<host:port> | --graph PATH) [--connections N]
 /// [--requests N] [--read-pct P] [--insert-batch N] [--seed S]
-/// [--json-out PATH] [--trace-out PATH]`.
+/// [--max-retries N] [--retry-backoff-us US] [--json-out PATH]
+/// [--trace-out PATH]`.
 pub mod loadgen {
     use super::*;
     use afforest_serve::loadgen::run as run_load;
@@ -446,6 +594,8 @@ pub mod loadgen {
             "read-pct",
             "insert-batch",
             "seed",
+            "max-retries",
+            "retry-backoff-us",
             "json-out",
             "trace-out",
         ])?;
@@ -455,6 +605,10 @@ pub mod loadgen {
             read_pct: args.flag_parsed("read-pct", 90u32)?,
             insert_batch: args.flag_parsed("insert-batch", 64)?,
             seed: args.flag_parsed("seed", 42u64)?,
+            max_retries: args.flag_parsed("max-retries", 3u32)?,
+            retry_backoff: std::time::Duration::from_micros(
+                args.flag_parsed("retry-backoff-us", 500u64)?,
+            ),
         };
         if cfg.read_pct > 100 {
             return Err("--read-pct must be 0..=100".into());
@@ -474,7 +628,8 @@ pub mod loadgen {
                 }
                 let g = load_graph(path)?;
                 let server =
-                    Server::new(g.num_vertices(), &g.collect_edges(), BatchPolicy::default());
+                    Server::new(g.num_vertices(), &g.collect_edges(), BatchPolicy::default())
+                        .map_err(|e| format!("start server: {e}"))?;
                 run_load(&cfg, |_| Ok(&server)).map_err(|e| format!("loadgen: {e}"))?
             }
             // Client mode: one TCP connection per workload thread.
@@ -752,6 +907,80 @@ mod tests {
         // Without --graph, the target address is required.
         let err = loadgen::run(&argv(&[])).unwrap_err();
         assert!(err.contains("host:port"), "{err}");
+    }
+
+    #[test]
+    fn recover_replays_a_wal_over_the_seed_graph() {
+        let p = sample_graph_file("recover.el");
+        let dir = std::env::temp_dir().join(format!("afforest-cli-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            // The sample graph has 200 vertices; log two batches for it.
+            let mut wal = afforest_serve::wal::Wal::open(&dir, 200, 0).unwrap();
+            wal.append(&[(0, 1), (2, 3)]).unwrap();
+            wal.append(&[(4, 5)]).unwrap();
+        }
+        let out = recover::run(&argv(&[&p, "--wal-dir", dir.to_str().unwrap()])).unwrap();
+        std::fs::remove_file(&p).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(out.contains("replayed:    2 batch(es), 3 edge(s)"), "{out}");
+        assert!(out.contains("torn tail:   none"), "{out}");
+        assert!(out.contains("base:        seed graph"), "{out}");
+        assert!(out.contains("components:"), "{out}");
+    }
+
+    #[test]
+    fn recover_requires_a_wal() {
+        let p = sample_graph_file("recovernone.el");
+        let err = recover::run(&argv(&[&p])).unwrap_err();
+        assert!(err.contains("--wal-dir"), "{err}");
+        let dir = std::env::temp_dir().join(format!(
+            "afforest-cli-recover-missing-{}",
+            std::process::id()
+        ));
+        let err = recover::run(&argv(&[&p, "--wal-dir", dir.to_str().unwrap()])).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(err.contains("no write-ahead log"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_vertex_mismatched_wal() {
+        let p = sample_graph_file("servewalbad.el");
+        let dir =
+            std::env::temp_dir().join(format!("afforest-cli-servewalbad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A log for a 10-vertex universe cannot back a 200-vertex graph.
+        drop(afforest_serve::wal::Wal::open(&dir, 10, 0).unwrap());
+        let err = serve::run(&argv(&[&p, "--wal-dir", dir.to_str().unwrap()])).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(err.contains("vertex count 10"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_faults_spec() {
+        let p = sample_graph_file("servefaultbad.el");
+        let err = serve::run(&argv(&[&p, "--faults", "gremlins=1"])).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(err.contains("--faults"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_retry_flags_parse_and_run() {
+        let p = sample_graph_file("loadgenretry.el");
+        let out = loadgen::run(&argv(&[
+            "--graph",
+            &p,
+            "--requests",
+            "200",
+            "--max-retries",
+            "1",
+            "--retry-backoff-us",
+            "100",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&p).unwrap();
+        assert!(out.contains("shed:"), "{out}");
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //! afforest generate <family> --out PATH [--n N] [--edge-factor K] [--seed S] …
 //! afforest convert  <in> <out>
 //! afforest bench    <graph> [--trials N] [--trace-out PATH]
-//! afforest serve    <graph> [--addr HOST:PORT] [--workers N] [--trace-out PATH]
+//! afforest serve    <graph> [--addr HOST:PORT] [--workers N] [--wal-dir PATH]
+//!                   [--max-queue-depth N] [--faults SPEC] [--trace-out PATH]
+//! afforest recover  <graph> --wal-dir PATH
 //! afforest loadgen  (<host:port> | --graph PATH) [--connections N] [--requests N]
-//!                   [--read-pct P] [--json-out PATH] [--trace-out PATH]
+//!                   [--read-pct P] [--max-retries N] [--json-out PATH]
+//!                   [--trace-out PATH]
 //! afforest help
 //! ```
 //!
@@ -39,11 +42,21 @@ commands:
            [--trace-out PATH]
   serve    <graph> [--addr HOST:PORT]       connectivity query service over TCP
            [--workers N] [--max-batch-edges N]
-           [--max-batch-delay-ms MS] [--trace-out PATH]
+           [--max-batch-delay-ms MS]
+           [--wal-dir PATH]                 durability: log batches, recover on
+           [--wal-snapshot-every N]         restart, compact every N batches
+           [--max-queue-depth N]            shed inserts past N queued edges
+           [--read-deadline-ms MS]          drop connections idle past MS
+           [--faults SPEC]                  chaos injection, e.g.
+                                            seed=7,torn_frame=0.05,kill_worker=0.1
+           [--trace-out PATH]
+  recover  <graph> --wal-dir PATH           offline WAL replay report (no serving)
   loadgen  (<host:port> | --graph PATH)     mixed read/write workload driver
            [--connections N] [--requests N]
            [--read-pct P] [--insert-batch N]
-           [--seed S] [--json-out PATH] [--trace-out PATH]
+           [--seed S] [--max-retries N]
+           [--retry-backoff-us US]
+           [--json-out PATH] [--trace-out PATH]
   help                                      this message
 
 `--trace-out` writes a JSON phase trace of the best trial (build with
@@ -69,6 +82,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "convert" => commands::convert::run(rest),
         "bench" => commands::bench::run(rest),
         "serve" => commands::serve::run(rest),
+        "recover" => commands::recover::run(rest),
         "loadgen" => commands::loadgen::run(rest),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown command '{other}'")),

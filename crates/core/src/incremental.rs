@@ -53,6 +53,39 @@ impl IncrementalCc {
         self
     }
 
+    /// Restores the structure from a previously captured parent array
+    /// (the durability primitive of `afforest-serve`: a WAL snapshot is
+    /// exactly `ParentArray::snapshot`, and this is its inverse).
+    ///
+    /// The input must satisfy Invariant 1 (`π(x) ≤ x`), which every
+    /// algorithm in this repository maintains and which guarantees the
+    /// restored forest is acyclic; anything else (including out-of-range
+    /// parents, which Invariant 1 subsumes) is rejected so a corrupted
+    /// snapshot cannot smuggle cycles into a live service.
+    pub fn from_parents(parents: Vec<Node>) -> Result<Self, InvalidParents> {
+        if let Some(v) = parents
+            .iter()
+            .enumerate()
+            .position(|(x, &p)| p as usize > x)
+        {
+            return Err(InvalidParents {
+                vertex: v as Node,
+                parent: parents[v],
+            });
+        }
+        let n = parents.len();
+        Ok(Self {
+            pi: ParentArray::from_snapshot(&parents),
+            dirty: 0,
+            compress_threshold: Some(n.max(64)),
+        })
+    }
+
+    /// Copies the current parent array (the WAL snapshot payload).
+    pub fn parents_snapshot(&self) -> Vec<Node> {
+        self.pi.snapshot()
+    }
+
     /// Number of vertices.
     pub fn len(&self) -> usize {
         self.pi.len()
@@ -127,6 +160,28 @@ impl IncrementalCc {
         self.labels()
     }
 }
+
+/// A parent array rejected by [`IncrementalCc::from_parents`]: some
+/// vertex's recorded parent violates Invariant 1 (`π(x) ≤ x`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidParents {
+    /// The offending vertex.
+    pub vertex: Node,
+    /// Its recorded (invalid) parent.
+    pub parent: Node,
+}
+
+impl std::fmt::Display for InvalidParents {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "parent array violates Invariant 1: π({}) = {} > {}",
+            self.vertex, self.parent, self.vertex
+        )
+    }
+}
+
+impl std::error::Error for InvalidParents {}
 
 impl std::fmt::Debug for IncrementalCc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -241,6 +296,39 @@ mod tests {
         assert_eq!(after.num_components(), 3);
         assert!(after.same_component(0, 3));
         assert!(!before.same_component(0, 3));
+    }
+
+    #[test]
+    fn from_parents_restores_equivalent_state() {
+        let mut cc = IncrementalCc::new(8);
+        cc.insert_batch(&[(0, 1), (1, 2), (4, 5), (6, 7)]);
+        let parents = cc.parents_snapshot();
+        let mut restored = IncrementalCc::from_parents(parents).unwrap();
+        assert_eq!(restored.num_components(), cc.num_components());
+        assert!(restored.connected(0, 2));
+        assert!(!restored.connected(0, 4));
+        // The restored structure stays live: inserts keep working.
+        restored.insert(2, 4);
+        assert!(restored.connected(0, 5));
+    }
+
+    #[test]
+    fn from_parents_rejects_invariant_violations() {
+        // π(1) = 3 > 1 — a forward pointer that could form a cycle.
+        let err = IncrementalCc::from_parents(vec![0, 3, 2, 1]).unwrap_err();
+        assert_eq!(err.vertex, 1);
+        assert_eq!(err.parent, 3);
+        assert!(err.to_string().contains("Invariant 1"));
+        // Out-of-range parents are a special case of the same violation.
+        assert!(IncrementalCc::from_parents(vec![0, 99]).is_err());
+        // The empty and identity arrays are valid.
+        assert!(IncrementalCc::from_parents(vec![]).is_ok());
+        assert_eq!(
+            IncrementalCc::from_parents(vec![0, 1, 2])
+                .unwrap()
+                .num_components(),
+            3
+        );
     }
 
     #[test]

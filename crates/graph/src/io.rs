@@ -123,6 +123,66 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     Ok(u64::from_le_bytes(buf))
 }
 
+/// Magic bytes identifying a serialized node array (parent snapshots,
+/// label dumps), followed by a version.
+const ARRAY_MAGIC: &[u8; 8] = b"AFARR\x00\x00\x01";
+
+/// FNV-1a 64-bit checksum, the integrity check shared by the node-array
+/// format and `afforest-serve`'s write-ahead log. Not cryptographic —
+/// it detects torn writes and bit rot, which is all a local log needs.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Writes a node array (e.g. a parent-pointer snapshot) with a magic
+/// header, length, payload, and trailing FNV-1a checksum, so a torn or
+/// bit-rotted file is detected on read rather than silently restored.
+pub fn write_node_array<P: AsRef<Path>>(path: P, nodes: &[Node]) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(nodes.len() * 4);
+    for &v in nodes {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(ARRAY_MAGIC)?;
+    w.write_all(&(nodes.len() as u64).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.write_all(&checksum64(&payload).to_le_bytes())?;
+    w.flush()
+}
+
+/// Reads a node array written by [`write_node_array`]. Bad magic,
+/// truncation, and checksum mismatches all come back as
+/// [`Error::Malformed`], never a panic.
+pub fn read_node_array<P: AsRef<Path>>(path: P) -> Result<Vec<Node>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != ARRAY_MAGIC {
+        return Err(Error::malformed("AFARR", "not an AFARR file (bad magic)"));
+    }
+    let len = read_u64(&mut r)? as usize;
+    let mut payload = vec![
+        0u8;
+        len.checked_mul(4).ok_or_else(|| {
+            Error::malformed("AFARR", "declared length overflows")
+        })?
+    ];
+    r.read_exact(&mut payload)?;
+    let declared = read_u64(&mut r)?;
+    if checksum64(&payload) != declared {
+        return Err(Error::malformed("AFARR", "checksum mismatch"));
+    }
+    Ok(payload
+        .chunks_exact(4)
+        .map(|b| Node::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect())
+}
+
 /// Loads a text edge list straight into a CSR graph.
 ///
 /// ```no_run
@@ -169,6 +229,37 @@ mod tests {
         let g2 = read_binary(&p).unwrap();
         std::fs::remove_file(&p).unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn node_array_roundtrip_and_corruption() {
+        let nodes: Vec<Node> = (0..500).map(|v| v / 3).collect();
+        let p = tempfile("parents.arr");
+        write_node_array(&p, &nodes).unwrap();
+        assert_eq!(read_node_array(&p).unwrap(), nodes);
+
+        // Flip one payload byte: checksum mismatch, typed error.
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[20] ^= 0xFF;
+        std::fs::write(&p, &bytes).unwrap();
+        let err = read_node_array(&p).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Truncate mid-payload: io error, not a panic.
+        std::fs::write(&p, &bytes[..30]).unwrap();
+        assert!(read_node_array(&p).is_err());
+
+        // Wrong magic.
+        std::fs::write(&p, b"NOTMAGIC????????????????").unwrap();
+        let err = read_node_array(&p).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        std::fs::remove_file(&p).unwrap();
+
+        // Empty arrays roundtrip too.
+        let p2 = tempfile("empty.arr");
+        write_node_array(&p2, &[]).unwrap();
+        assert_eq!(read_node_array(&p2).unwrap(), Vec::<Node>::new());
+        std::fs::remove_file(&p2).unwrap();
     }
 
     #[test]

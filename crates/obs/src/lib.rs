@@ -81,11 +81,23 @@ pub enum Counter {
     /// Sum of ingest-queue depths sampled when each batch is drained;
     /// divide by `epochs_published` for the mean depth per batch.
     QueueDepth,
+    /// Edge-batch records appended to the write-ahead log.
+    WalAppends,
+    /// Bytes written to the write-ahead log (records, not the header).
+    WalBytes,
+    /// WAL recoveries performed (snapshot load + log replay).
+    Recoveries,
+    /// Write requests rejected by the bounded ingest queue's admission
+    /// policy (`Response::Overloaded`).
+    RequestsShed,
+    /// Client-side retries after a shed or timed-out request
+    /// (`afforest-serve` loadgen backoff loop).
+    Retries,
 }
 
 impl Counter {
     /// Number of counters (sizes the recorder's stripe rows).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 15;
 
     /// Every counter, in declaration (= export) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -99,6 +111,11 @@ impl Counter {
         Counter::EdgesIngested,
         Counter::EpochsPublished,
         Counter::QueueDepth,
+        Counter::WalAppends,
+        Counter::WalBytes,
+        Counter::Recoveries,
+        Counter::RequestsShed,
+        Counter::Retries,
     ];
 
     /// The snake_case name used in traces and CSV headers.
@@ -114,6 +131,11 @@ impl Counter {
             Counter::EdgesIngested => "edges_ingested",
             Counter::EpochsPublished => "epochs_published",
             Counter::QueueDepth => "queue_depth",
+            Counter::WalAppends => "wal_appends",
+            Counter::WalBytes => "wal_bytes",
+            Counter::Recoveries => "recoveries",
+            Counter::RequestsShed => "requests_shed",
+            Counter::Retries => "retries",
         }
     }
 }

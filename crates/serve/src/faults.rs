@@ -1,0 +1,306 @@
+//! Deterministic chaos injection for the serving stack.
+//!
+//! A [`FaultPlan`] is a seeded, thread-safe decision source that the
+//! server, the ingest writer, and the write-ahead log consult at each
+//! failure point. Every decision comes from one SplitMix64 stream, so a
+//! given `(seed, probabilities)` pair replays the *same* fault sequence
+//! on every run — chaos tests are reproducible, and a failure found in CI
+//! can be re-run locally with the seed from the log.
+//!
+//! Injection sites (all opt-in, all `None`/0.0 by default):
+//!
+//! - **WAL appends** ([`FaultPlan::on_wal_append`]): drop the record
+//!   entirely (a crash before the write hit the disk) or tear it short
+//!   (a crash mid-write). Recovery must survive both.
+//! - **Batch applies** ([`FaultPlan::on_apply`]): stretch the apply
+//!   window, widening the race surface between readers and the writer.
+//! - **Wire frames** ([`FaultPlan::on_frame`]): truncate an encoded
+//!   frame, exercising the protocol's torn-frame error paths without a
+//!   misbehaving peer.
+//! - **Worker threads** ([`FaultPlan::should_kill_worker`]): make an
+//!   accept worker exit as if it had died; the pool must keep serving.
+//!
+//! Each site also counts how often it fired ([`FaultPlan::injected`]),
+//! so tests can assert the chaos actually happened.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Probabilities and magnitudes for each injection site. Probabilities
+/// are clamped to `[0, 1]`; a default-constructed config injects nothing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the decision stream.
+    pub seed: u64,
+    /// Probability that a WAL append is silently dropped.
+    pub wal_drop: f64,
+    /// Probability that a WAL append is torn (only a prefix is written).
+    pub wal_short_write: f64,
+    /// Probability that a batch apply is delayed by [`FaultConfig::apply_delay`].
+    pub apply_delay_prob: f64,
+    /// How long a delayed apply stalls.
+    pub apply_delay: Duration,
+    /// Probability that an in-process frame is torn short.
+    pub torn_frame: f64,
+    /// Probability (checked once per connection served) that an accept
+    /// worker dies.
+    pub kill_worker: f64,
+}
+
+/// What a fault site should do to the current WAL append.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalFault {
+    /// Write the record normally.
+    None,
+    /// Skip the write entirely (record lost).
+    Drop,
+    /// Write only `keep` bytes of the record (record torn).
+    Short {
+        /// Number of leading record bytes that reach the file.
+        keep: usize,
+    },
+}
+
+/// Counts of injected faults, for test assertions and operator logs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InjectedCounts {
+    /// WAL appends dropped.
+    pub wal_drops: u64,
+    /// WAL appends torn short.
+    pub wal_short_writes: u64,
+    /// Batch applies delayed.
+    pub apply_delays: u64,
+    /// Frames torn short.
+    pub torn_frames: u64,
+    /// Worker threads killed.
+    pub worker_kills: u64,
+}
+
+/// A seeded, shareable fault-decision source (see module docs).
+#[derive(Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    /// SplitMix64 state; a Mutex keeps the stream deterministic under
+    /// concurrent callers (ordering between threads still races, but each
+    /// single-threaded site replays exactly).
+    state: Mutex<u64>,
+    wal_drops: AtomicU64,
+    wal_short_writes: AtomicU64,
+    apply_delays: AtomicU64,
+    torn_frames: AtomicU64,
+    worker_kills: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Builds a plan from `cfg`.
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self {
+            state: Mutex::new(cfg.seed.wrapping_add(0x9E3779B97F4A7C15)),
+            cfg,
+            wal_drops: AtomicU64::new(0),
+            wal_short_writes: AtomicU64::new(0),
+            apply_delays: AtomicU64::new(0),
+            torn_frames: AtomicU64::new(0),
+            worker_kills: AtomicU64::new(0),
+        }
+    }
+
+    /// Parses a `key=value` comma list, e.g.
+    /// `seed=7,wal_drop=0.1,wal_short_write=0.05,apply_delay_ms=2,`
+    /// `apply_delay_prob=0.5,torn_frame=0.1,kill_worker=0.01`.
+    /// Unknown keys are errors (typo guard, like the CLI's flag parser).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut cfg = FaultConfig::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec '{part}' is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = || format!("invalid value '{value}' for fault key '{key}'");
+            match key {
+                "seed" => cfg.seed = value.parse().map_err(|_| bad())?,
+                "wal_drop" => cfg.wal_drop = value.parse().map_err(|_| bad())?,
+                "wal_short_write" => cfg.wal_short_write = value.parse().map_err(|_| bad())?,
+                "apply_delay_prob" => cfg.apply_delay_prob = value.parse().map_err(|_| bad())?,
+                "apply_delay_ms" => {
+                    cfg.apply_delay = Duration::from_millis(value.parse().map_err(|_| bad())?);
+                    // A delay with no explicit probability means "always".
+                    if cfg.apply_delay_prob == 0.0 {
+                        cfg.apply_delay_prob = 1.0;
+                    }
+                }
+                "torn_frame" => cfg.torn_frame = value.parse().map_err(|_| bad())?,
+                "kill_worker" => cfg.kill_worker = value.parse().map_err(|_| bad())?,
+                other => {
+                    return Err(format!(
+                        "unknown fault key '{other}' (allowed: seed wal_drop wal_short_write \
+                         apply_delay_ms apply_delay_prob torn_frame kill_worker)"
+                    ))
+                }
+            }
+        }
+        Ok(Self::new(cfg))
+    }
+
+    /// The configuration this plan was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// How many faults each site has injected so far.
+    pub fn injected(&self) -> InjectedCounts {
+        InjectedCounts {
+            wal_drops: self.wal_drops.load(Ordering::Relaxed),
+            wal_short_writes: self.wal_short_writes.load(Ordering::Relaxed),
+            apply_delays: self.apply_delays.load(Ordering::Relaxed),
+            torn_frames: self.torn_frames.load(Ordering::Relaxed),
+            worker_kills: self.worker_kills.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Next value of the SplitMix64 stream.
+    fn next(&self) -> u64 {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draws a uniform `[0, 1)` value.
+    fn uniform(&self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether an event with probability `p` fires.
+    fn chance(&self, p: f64) -> bool {
+        p > 0.0 && self.uniform() < p.min(1.0)
+    }
+
+    /// Decides the fate of a WAL record of `record_len` bytes.
+    pub fn on_wal_append(&self, record_len: usize) -> WalFault {
+        if self.chance(self.cfg.wal_drop) {
+            self.wal_drops.fetch_add(1, Ordering::Relaxed);
+            return WalFault::Drop;
+        }
+        if self.chance(self.cfg.wal_short_write) {
+            self.wal_short_writes.fetch_add(1, Ordering::Relaxed);
+            // Keep a strict prefix: 0..record_len-1 bytes.
+            let keep = (self.next() as usize) % record_len.max(1);
+            return WalFault::Short { keep };
+        }
+        WalFault::None
+    }
+
+    /// An extra apply delay for the current batch, if the plan injects one.
+    pub fn on_apply(&self) -> Option<Duration> {
+        if self.chance(self.cfg.apply_delay_prob) && !self.cfg.apply_delay.is_zero() {
+            self.apply_delays.fetch_add(1, Ordering::Relaxed);
+            Some(self.cfg.apply_delay)
+        } else {
+            None
+        }
+    }
+
+    /// A torn length for an encoded frame of `len` bytes, if the plan
+    /// tears this one (always a strict prefix).
+    pub fn on_frame(&self, len: usize) -> Option<usize> {
+        if len > 0 && self.chance(self.cfg.torn_frame) {
+            self.torn_frames.fetch_add(1, Ordering::Relaxed);
+            Some((self.next() as usize) % len)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the calling worker thread should die now.
+    pub fn should_kill_worker(&self) -> bool {
+        if self.chance(self.cfg.kill_worker) {
+            self.worker_kills.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(spec: &str) -> FaultPlan {
+        FaultPlan::parse(spec).unwrap()
+    }
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let p = FaultPlan::new(FaultConfig::default());
+        for _ in 0..1_000 {
+            assert_eq!(p.on_wal_append(64), WalFault::None);
+            assert_eq!(p.on_apply(), None);
+            assert_eq!(p.on_frame(32), None);
+            assert!(!p.should_kill_worker());
+        }
+        assert_eq!(p.injected(), InjectedCounts::default());
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let spec = "seed=9,wal_drop=0.3,wal_short_write=0.3";
+        let a = plan(spec);
+        let b = plan(spec);
+        let decisions_a: Vec<_> = (0..200).map(|_| a.on_wal_append(100)).collect();
+        let decisions_b: Vec<_> = (0..200).map(|_| b.on_wal_append(100)).collect();
+        assert_eq!(decisions_a, decisions_b);
+        assert!(decisions_a.iter().any(|f| matches!(f, WalFault::Drop)));
+        assert!(decisions_a
+            .iter()
+            .any(|f| matches!(f, WalFault::Short { .. })));
+        // Different seeds diverge.
+        let c = plan("seed=10,wal_drop=0.3,wal_short_write=0.3");
+        let decisions_c: Vec<_> = (0..200).map(|_| c.on_wal_append(100)).collect();
+        assert_ne!(decisions_a, decisions_c);
+    }
+
+    #[test]
+    fn probabilities_roughly_respected() {
+        let p = plan("seed=1,torn_frame=0.5");
+        let torn = (0..2_000).filter(|_| p.on_frame(64).is_some()).count();
+        assert!((700..1_300).contains(&torn), "torn {torn}/2000 at p=0.5");
+        assert_eq!(p.injected().torn_frames, torn as u64);
+    }
+
+    #[test]
+    fn short_writes_and_torn_frames_are_strict_prefixes() {
+        let p = plan("seed=3,wal_short_write=1");
+        for len in [1usize, 2, 17, 4096] {
+            match p.on_wal_append(len) {
+                WalFault::Short { keep } => assert!(keep < len, "keep {keep} >= len {len}"),
+                other => panic!("expected Short, got {other:?}"),
+            }
+        }
+        let q = plan("seed=3,torn_frame=1");
+        for len in [1usize, 5, 100] {
+            let keep = q.on_frame(len).unwrap();
+            assert!(keep < len);
+        }
+    }
+
+    #[test]
+    fn apply_delay_defaults_to_always_when_only_ms_given() {
+        let p = plan("seed=2,apply_delay_ms=7");
+        assert_eq!(p.on_apply(), Some(Duration::from_millis(7)));
+        assert_eq!(p.config().apply_delay_prob, 1.0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("not-a-spec").is_err());
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("seed=abc").is_err());
+        // Empty and whitespace specs are the no-fault plan.
+        assert_eq!(plan("").config(), &FaultConfig::default());
+    }
+}

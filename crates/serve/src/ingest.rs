@@ -52,6 +52,11 @@ pub struct ServeStats {
     pub queue_depth: AtomicU64,
     /// Malformed frames / unanswerable requests observed.
     pub protocol_errors: AtomicU64,
+    /// Insert requests shed because the ingest queue was full.
+    pub requests_shed: AtomicU64,
+    /// WAL appends that failed with an I/O error (the batch was still
+    /// applied: availability over durability, DESIGN.md §11).
+    pub wal_errors: AtomicU64,
     /// Whether the writer is currently mid-apply (between draining a
     /// batch and publishing its epoch). Observable by tests proving that
     /// reads proceed while this is set.
@@ -103,7 +108,23 @@ pub struct IngestQueue {
 impl IngestQueue {
     /// Enqueues edges; returns the queue depth after the push.
     pub fn push(&self, edges: &[(Node, Node)]) -> usize {
+        match self.try_push(edges, 0) {
+            Ok(depth) => depth,
+            // Unreachable: max_depth = 0 means unbounded.
+            Err(depth) => depth,
+        }
+    }
+
+    /// Enqueues edges unless that would leave more than `max_depth`
+    /// pending (`0` = unbounded). The admission check and the enqueue are
+    /// one critical section, so concurrent producers cannot jointly
+    /// overshoot the bound. `Ok` carries the depth after the push; `Err`
+    /// carries the (unchanged) depth at rejection time.
+    pub fn try_push(&self, edges: &[(Node, Node)], max_depth: usize) -> Result<usize, usize> {
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if max_depth > 0 && s.edges.len().saturating_add(edges.len()) > max_depth {
+            return Err(s.edges.len());
+        }
         s.edges.extend(edges.iter().copied());
         if s.oldest.is_none() && !s.edges.is_empty() {
             s.oldest = Some(Instant::now());
@@ -111,7 +132,7 @@ impl IngestQueue {
         let depth = s.edges.len();
         drop(s);
         self.ready.notify_one();
-        depth
+        Ok(depth)
     }
 
     /// Current queue depth.
@@ -241,5 +262,22 @@ mod tests {
         assert_eq!(q.push(&[(0, 1)]), 1);
         assert_eq!(q.push(&[(1, 2), (2, 3)]), 3);
         assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn try_push_sheds_past_the_bound() {
+        let q = IngestQueue::default();
+        assert_eq!(q.try_push(&[(0, 1), (1, 2)], 3), Ok(2));
+        // Would land at 4 > 3: rejected, depth unchanged.
+        assert_eq!(q.try_push(&[(2, 3), (3, 4)], 3), Err(2));
+        assert_eq!(q.depth(), 2);
+        // Exactly at the bound is admitted.
+        assert_eq!(q.try_push(&[(2, 3)], 3), Ok(3));
+        assert_eq!(q.try_push(&[(4, 5)], 3), Err(3));
+        // Draining frees capacity again.
+        assert!(matches!(q.next_batch(&policy(1, 0)), Drained::Batch(_)));
+        assert_eq!(q.try_push(&[(4, 5)], 3), Ok(1));
+        // max_depth = 0 means unbounded.
+        assert!(q.try_push(&vec![(0, 1); 10_000], 0).is_ok());
     }
 }

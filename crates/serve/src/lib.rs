@@ -15,11 +15,17 @@
 //!   evaluator, and a worker-pool TCP front-end over `std::net`.
 //! - [`loadgen`] — a mixed-read/write workload driver reporting
 //!   throughput and latency percentiles.
+//! - [`wal`] — a checksummed write-ahead log appended before each epoch
+//!   publish, with snapshot compaction and truncate-at-first-bad-record
+//!   recovery.
+//! - [`faults`] — seeded deterministic chaos injection (dropped/torn WAL
+//!   writes, delayed applies, torn frames, killed workers) for testing
+//!   the recovery and overload paths.
 //!
 //! ```
 //! use afforest_serve::{BatchPolicy, Request, Response, Server};
 //!
-//! let server = Server::new(4, &[(0, 1)], BatchPolicy::default());
+//! let server = Server::new(4, &[(0, 1)], BatchPolicy::default()).unwrap();
 //! assert_eq!(server.handle(&Request::Connected(0, 1)), Response::Connected(true));
 //! server.handle(&Request::InsertEdges(vec![(1, 2), (2, 3)]));
 //! assert!(server.flush(std::time::Duration::from_secs(5)));
@@ -28,14 +34,18 @@
 
 #![deny(missing_docs)]
 
+pub mod faults;
 pub mod ingest;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
+pub mod wal;
 
+pub use faults::{FaultConfig, FaultPlan, InjectedCounts, WalFault};
 pub use ingest::{BatchPolicy, ServeStats};
 pub use loadgen::{LoadgenConfig, LoadgenReport, Transport};
 pub use protocol::{FrameError, Request, Response, StatsReport, WireError};
-pub use server::Server;
+pub use server::{ServeError, Server, ServerOptions};
 pub use snapshot::{Snapshot, SnapshotStore};
+pub use wal::{recover, AppendOutcome, Recovery, Wal, WalError};

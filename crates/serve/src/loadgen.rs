@@ -12,6 +12,15 @@
 //! tests run it over the in-process [`Transport`] impl on
 //! [`crate::Server`], so the workload logic itself is exercised without a
 //! socket.
+//!
+//! Writes the server sheds ([`Response::Overloaded`]), calls that time
+//! out, and calls that die with the connection (a torn frame or a reset —
+//! routine against a `--faults` server) are retried with capped
+//! exponential backoff plus jitter (up to [`LoadgenConfig::max_retries`]
+//! attempts, reopening the transport after a disconnect), and each class
+//! is reported separately from protocol errors — a load-shedding or
+//! chaos-injected server is degraded, not broken, and the report keeps
+//! the distinctions legible.
 
 use crate::protocol::{Request, Response, WireError};
 use crate::server::Server;
@@ -54,6 +63,12 @@ pub struct LoadgenConfig {
     pub insert_batch: usize,
     /// Base RNG seed (each connection derives its own stream).
     pub seed: u64,
+    /// Retry a shed or timed-out request at most this many times before
+    /// giving up on it (0 = never retry).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry (jittered ±50%, capped at
+    /// [`MAX_BACKOFF`]).
+    pub retry_backoff: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -64,9 +79,14 @@ impl Default for LoadgenConfig {
             read_pct: 90,
             insert_batch: 64,
             seed: 42,
+            max_retries: 3,
+            retry_backoff: Duration::from_micros(500),
         }
     }
 }
+
+/// Ceiling on a single retry backoff sleep.
+pub const MAX_BACKOFF: Duration = Duration::from_millis(100);
 
 /// Aggregated result of one load-generator run.
 #[derive(Clone, Debug)]
@@ -79,6 +99,19 @@ pub struct LoadgenReport {
     pub writes: u64,
     /// `Response::Err` answers received (protocol errors).
     pub errors: u64,
+    /// [`Response::Overloaded`] answers received (shed writes; each
+    /// attempt counts).
+    pub shed: u64,
+    /// Calls that timed out at the transport (each attempt counts).
+    pub timeouts: u64,
+    /// Connections that died mid-call and were reopened (each attempt
+    /// counts) — torn frames and resets land here.
+    pub reconnects: u64,
+    /// Backed-off re-attempts performed after a shed, timeout, or
+    /// disconnect.
+    pub retries: u64,
+    /// Requests abandoned after exhausting [`LoadgenConfig::max_retries`].
+    pub gave_up: u64,
     /// Connections used.
     pub connections: usize,
     /// Wall-clock duration of the run.
@@ -119,7 +152,8 @@ impl LoadgenReport {
             "loadgen: {} requests ({:.0}% reads) over {} connections in {:.3} s\n\
              throughput: {:.0} req/s\n\
              latency:    p50 {}  p95 {}  p99 {}  max {}\n\
-             errors:     {}\n",
+             errors:     {}\n\
+             shed:       {} (timeouts {}, reconnects {}, retries {}, gave up {})\n",
             self.requests,
             read_share,
             self.connections,
@@ -134,6 +168,11 @@ impl LoadgenReport {
                 0
             }),
             self.errors,
+            self.shed,
+            self.timeouts,
+            self.reconnects,
+            self.retries,
+            self.gave_up,
         )
     }
 
@@ -142,13 +181,20 @@ impl LoadgenReport {
         let (p50, p95, p99) = self.percentiles();
         format!(
             "{{\n  \"requests\": {},\n  \"reads\": {},\n  \"writes\": {},\n  \
-             \"errors\": {},\n  \"connections\": {},\n  \"elapsed_s\": {:.6},\n  \
+             \"errors\": {},\n  \"shed\": {},\n  \"timeouts\": {},\n  \
+             \"reconnects\": {},\n  \"retries\": {},\n  \"gave_up\": {},\n  \
+             \"connections\": {},\n  \"elapsed_s\": {:.6},\n  \
              \"throughput_rps\": {:.1},\n  \"latency_ns\": {{ \"p50\": {}, \
              \"p95\": {}, \"p99\": {}, \"max\": {} }}\n}}\n",
             self.requests,
             self.reads,
             self.writes,
             self.errors,
+            self.shed,
+            self.timeouts,
+            self.reconnects,
+            self.retries,
+            self.gave_up,
             self.connections,
             self.elapsed.as_secs_f64(),
             self.throughput_rps(),
@@ -183,6 +229,11 @@ struct ThreadTally {
     reads: u64,
     writes: u64,
     errors: u64,
+    shed: u64,
+    timeouts: u64,
+    reconnects: u64,
+    retries: u64,
+    gave_up: u64,
     latency: Histogram,
 }
 
@@ -195,14 +246,24 @@ where
     F: Fn(usize) -> Result<T, WireError> + Sync,
 {
     // Learn the graph size once; the probe is not part of the timed run.
+    // A chaos server can tear even this first response, so the probe gets
+    // a few reconnect attempts of its own.
     let vertices = {
         let mut probe = connect(0)?;
-        match probe.call(&Request::Stats)? {
-            Response::Stats(s) => s.vertices as usize,
-            other => {
-                return Err(WireError::Io(std::io::Error::other(format!(
-                    "stats probe answered {other:?}"
-                ))))
+        let mut attempts = 0u32;
+        loop {
+            match probe.call(&Request::Stats) {
+                Ok(Response::Stats(s)) => break s.vertices as usize,
+                Ok(other) => {
+                    return Err(WireError::Io(std::io::Error::other(format!(
+                        "stats probe answered {other:?}"
+                    ))))
+                }
+                Err(e) if is_disconnect(&e) && attempts < 5 => {
+                    attempts += 1;
+                    probe = connect(0)?;
+                }
+                Err(e) => return Err(e),
             }
         }
     };
@@ -222,10 +283,7 @@ where
                 let share =
                     cfg.requests / connections + usize::from(i < cfg.requests % connections);
                 let connect = &connect;
-                s.spawn(move || {
-                    let mut transport = connect(i)?;
-                    drive(cfg, i, share, vertices, &mut transport)
-                })
+                s.spawn(move || drive(cfg, i, share, vertices, connect))
             })
             .collect();
         handles
@@ -240,6 +298,11 @@ where
         reads: 0,
         writes: 0,
         errors: 0,
+        shed: 0,
+        timeouts: 0,
+        reconnects: 0,
+        retries: 0,
+        gave_up: 0,
         connections,
         elapsed,
         latency: Histogram::new("request"),
@@ -250,19 +313,30 @@ where
         report.reads += t.reads;
         report.writes += t.writes;
         report.errors += t.errors;
+        report.shed += t.shed;
+        report.timeouts += t.timeouts;
+        report.reconnects += t.reconnects;
+        report.retries += t.retries;
+        report.gave_up += t.gave_up;
         report.latency.merge(&t.latency);
     }
     Ok(report)
 }
 
-/// One connection's request loop.
-fn drive<T: Transport>(
+/// One connection's request loop. Owns its transport and reopens it via
+/// `connect` when a call dies with the connection.
+fn drive<T, F>(
     cfg: &LoadgenConfig,
     conn_idx: usize,
     share: usize,
     vertices: usize,
-    transport: &mut T,
-) -> Result<ThreadTally, WireError> {
+    connect: &F,
+) -> Result<ThreadTally, WireError>
+where
+    T: Transport,
+    F: Fn(usize) -> Result<T, WireError>,
+{
+    let mut transport = connect(conn_idx)?;
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (conn_idx as u64).wrapping_mul(0x9E37));
     let mut tally = ThreadTally {
         latency: Histogram::new("request"),
@@ -284,20 +358,101 @@ fn drive<T: Transport>(
                 .collect();
             Request::InsertEdges(edges)
         };
-        let t = Instant::now();
-        let resp = transport.call(&req)?;
-        tally.latency.record(t.elapsed().as_nanos() as u64);
+        let resp = call_with_retry(cfg, &mut transport, &req, &mut rng, &mut tally, || {
+            connect(conn_idx)
+        })?;
         tally.requests += 1;
         if is_read {
             tally.reads += 1;
         } else {
             tally.writes += 1;
         }
-        if matches!(resp, Response::Err(_)) {
+        if matches!(resp, Some(Response::Err(_))) {
             tally.errors += 1;
         }
     }
     Ok(tally)
+}
+
+/// A call outcome that means "the connection is gone", not "the protocol
+/// broke": a frame cut short mid-bytes (the server died or tore the
+/// response) or a socket-level disconnect. Distinct from a *malformed*
+/// frame — an unknown opcode or bad payload on an intact connection is a
+/// real protocol error and still propagates.
+fn is_disconnect(e: &WireError) -> bool {
+    use std::io::ErrorKind;
+    match e {
+        WireError::Frame(crate::protocol::FrameError::Truncated { .. }) => true,
+        WireError::Frame(_) => false,
+        WireError::Io(io) => matches!(
+            io.kind(),
+            ErrorKind::UnexpectedEof
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::BrokenPipe
+                | ErrorKind::NotConnected
+                | ErrorKind::WriteZero
+        ),
+    }
+}
+
+/// Issues one request, retrying shed, timed-out, and disconnected
+/// attempts with capped exponential backoff + jitter (a disconnect
+/// reopens the transport first — the request's fate on the server is
+/// unknown, but edge insertion is idempotent for connectivity, so a
+/// blind re-send is safe). Returns `None` if every attempt failed (the
+/// request is abandoned, not an error); hard transport failures —
+/// including a reconnect that cannot be established — still propagate.
+/// Latency is recorded per *attempt*, so backoff sleeps never inflate
+/// the latency distribution.
+fn call_with_retry<T: Transport>(
+    cfg: &LoadgenConfig,
+    transport: &mut T,
+    req: &Request,
+    rng: &mut SmallRng,
+    tally: &mut ThreadTally,
+    reconnect: impl Fn() -> Result<T, WireError>,
+) -> Result<Option<Response>, WireError> {
+    let mut attempt = 0u32;
+    loop {
+        let t = Instant::now();
+        let outcome = transport.call(req);
+        tally.latency.record(t.elapsed().as_nanos() as u64);
+        match outcome {
+            Ok(Response::Overloaded { .. }) => tally.shed += 1,
+            Ok(resp) => return Ok(Some(resp)),
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                tally.timeouts += 1;
+            }
+            Err(e) if is_disconnect(&e) => {
+                tally.reconnects += 1;
+                *transport = reconnect()?;
+            }
+            Err(e) => return Err(e),
+        }
+        if attempt >= cfg.max_retries {
+            tally.gave_up += 1;
+            return Ok(None);
+        }
+        attempt += 1;
+        tally.retries += 1;
+        afforest_obs::count(afforest_obs::Counter::Retries, 1);
+        std::thread::sleep(backoff(cfg.retry_backoff, attempt, rng));
+    }
+}
+
+/// `base · 2^(attempt-1)`, jittered uniformly over ±50% and capped at
+/// [`MAX_BACKOFF`]. Jitter decorrelates the retry storms of concurrent
+/// clients that were all shed by the same full queue.
+fn backoff(base: Duration, attempt: u32, rng: &mut SmallRng) -> Duration {
+    let doubled = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+    let jitter = rng.random_range(0.5..1.5);
+    Duration::from_nanos((doubled.as_nanos() as f64 * jitter) as u64).min(MAX_BACKOFF)
 }
 
 #[cfg(test)]
@@ -307,7 +462,7 @@ mod tests {
 
     fn tiny_server(n: usize) -> Server {
         let edges: Vec<(Node, Node)> = (1..n as Node).map(|v| (v - 1, v)).collect();
-        Server::new(n, &edges, BatchPolicy::default())
+        Server::new(n, &edges, BatchPolicy::default()).expect("start server")
     }
 
     #[test]
@@ -319,6 +474,7 @@ mod tests {
             read_pct: 80,
             insert_batch: 8,
             seed: 7,
+            ..LoadgenConfig::default()
         };
         let report = run(&cfg, |_| Ok(&server)).unwrap();
         assert_eq!(report.requests, 3_000);
@@ -339,6 +495,7 @@ mod tests {
                 read_pct: 100,
                 insert_batch: 4,
                 seed: 1,
+                ..LoadgenConfig::default()
             },
             |_| Ok(&server),
         )
@@ -353,6 +510,7 @@ mod tests {
                 read_pct: 0,
                 insert_batch: 4,
                 seed: 1,
+                ..LoadgenConfig::default()
             },
             |_| Ok(&server),
         )
@@ -376,6 +534,7 @@ mod tests {
                 read_pct: 90,
                 insert_batch: 2,
                 seed: 3,
+                ..LoadgenConfig::default()
             },
             |_| Ok(&server),
         )
@@ -392,8 +551,129 @@ mod tests {
 
     #[test]
     fn empty_graph_is_rejected_up_front() {
-        let server = Server::new(0, &[], BatchPolicy::default());
+        let server = Server::new(0, &[], BatchPolicy::default()).unwrap();
         let err = run(&LoadgenConfig::default(), |_| Ok(&server)).unwrap_err();
         assert!(err.to_string().contains("empty graph"), "{err}");
+    }
+
+    #[test]
+    fn overloaded_server_sheds_writes_while_reads_keep_answering() {
+        use crate::server::ServerOptions;
+        // The writer never wakes (distant deadline, huge size trigger), so
+        // the 4-edge queue fills and stays full: every write past the
+        // bound is shed, retried, and eventually abandoned.
+        let server = Server::with_options(
+            64,
+            &[(0, 1)],
+            ServerOptions {
+                policy: BatchPolicy {
+                    max_edges: 1_000_000,
+                    max_delay: Duration::from_secs(600),
+                    apply_delay: None,
+                },
+                max_queue_depth: 4,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let report = run(
+            &LoadgenConfig {
+                connections: 2,
+                requests: 400,
+                read_pct: 50,
+                insert_batch: 4,
+                seed: 11,
+                max_retries: 2,
+                retry_backoff: Duration::from_micros(50),
+            },
+            |_| Ok(&server),
+        )
+        .unwrap();
+        // The run completes — shedding degrades writes, it does not error.
+        assert_eq!(report.requests, 400);
+        assert_eq!(report.errors, 0, "{}", report.render());
+        assert!(report.shed > 0, "{}", report.render());
+        assert!(report.retries > 0, "{}", report.render());
+        assert!(report.gave_up > 0, "{}", report.render());
+        // Every read answered despite the saturated write path.
+        assert!(report.reads > 150, "{}", report.render());
+        // Shed attempts = retries + first attempts of abandoned requests
+        // + first attempts of eventually-admitted requests; at minimum
+        // every abandoned request was shed max_retries + 1 times.
+        assert!(report.shed >= report.gave_up * 3);
+        let text = report.render();
+        assert!(text.contains("shed"), "{text}");
+        let json = report.to_json();
+        assert!(json.contains("\"gave_up\""), "{json}");
+    }
+
+    #[test]
+    fn torn_connections_are_reopened_not_fatal() {
+        use crate::faults::FaultPlan;
+        use crate::server::ServerOptions;
+        use std::net::{TcpListener, TcpStream};
+        use std::sync::Arc;
+
+        let faults = Arc::new(FaultPlan::parse("seed=13,torn_frame=0.05").expect("fault spec"));
+        let server = Server::with_options(
+            256,
+            &[(0, 1), (1, 2)],
+            ServerOptions {
+                faults: Some(Arc::clone(&faults)),
+                ..ServerOptions::default()
+            },
+        )
+        .expect("start server");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let report = std::thread::scope(|s| {
+            s.spawn(|| server.serve_tcp(listener, 4).expect("serve_tcp"));
+            let report = run(
+                &LoadgenConfig {
+                    connections: 2,
+                    requests: 600,
+                    read_pct: 80,
+                    insert_batch: 4,
+                    seed: 5,
+                    max_retries: 8,
+                    retry_backoff: Duration::from_micros(100),
+                },
+                |_| {
+                    let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(5)))
+                        .map_err(WireError::Io)?;
+                    Ok(stream)
+                },
+            )
+            .expect("a chaos server must degrade loadgen, not abort it");
+            server.request_shutdown();
+            report
+        });
+
+        assert!(
+            faults.injected().torn_frames > 0,
+            "no frames torn at p=0.05"
+        );
+        assert!(report.reconnects > 0, "{}", report.render());
+        // Every request completed: each tear cost a reconnect + retry, and
+        // torn_frame=0.05 with 8 retries makes exhaustion (0.05^9) absurd.
+        assert_eq!(report.requests, 600);
+        assert_eq!(report.errors, 0, "{}", report.render());
+        assert_eq!(report.gave_up, 0, "{}", report.render());
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_capped() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let base = Duration::from_micros(500);
+        for attempt in 1..=20u32 {
+            let d = backoff(base, attempt, &mut rng);
+            assert!(d <= MAX_BACKOFF, "attempt {attempt}: {d:?}");
+            // Jitter floor: at least half the un-jittered delay (pre-cap).
+            let floor = (base * (1 << attempt.saturating_sub(1).min(16))) / 2;
+            assert!(d >= floor.min(MAX_BACKOFF / 4), "attempt {attempt}: {d:?}");
+        }
     }
 }

@@ -58,6 +58,13 @@ pub enum Response {
     Stats(StatsReport),
     /// Acknowledges [`Request::Shutdown`]; the connection closes next.
     Bye,
+    /// The ingest queue is full: the insert was shed, not queued. Clients
+    /// should back off and retry (reads are unaffected — load shedding
+    /// applies to the write path only).
+    Overloaded {
+        /// Pending edges at rejection time.
+        queue_depth: u64,
+    },
     /// The request was malformed or unanswerable; the message says why.
     Err(String),
 }
@@ -180,6 +187,7 @@ const OP_R_NUM_COMPONENTS: u8 = 0x84;
 const OP_R_ACCEPTED: u8 = 0x85;
 const OP_R_STATS: u8 = 0x86;
 const OP_R_BYE: u8 = 0x87;
+const OP_R_OVERLOADED: u8 = 0x88;
 const OP_R_ERR: u8 = 0xC0;
 
 /// Incremental little-endian payload reader with typed errors.
@@ -344,6 +352,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             push_u64(&mut out, s.queue_depth);
         }
         Response::Bye => out.push(OP_R_BYE),
+        Response::Overloaded { queue_depth } => {
+            out.push(OP_R_OVERLOADED);
+            push_u64(&mut out, *queue_depth);
+        }
         Response::Err(msg) => {
             out.push(OP_R_ERR);
             out.extend_from_slice(msg.as_bytes());
@@ -374,6 +386,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
             queue_depth: c.u64()?,
         }),
         OP_R_BYE => Response::Bye,
+        OP_R_OVERLOADED => Response::Overloaded {
+            queue_depth: c.u64()?,
+        },
         OP_R_ERR => {
             let rest = c.take(payload.len() - 1)?;
             let msg = std::str::from_utf8(rest)
@@ -487,6 +502,7 @@ mod tests {
                 queue_depth: 64,
             }),
             Response::Bye,
+            Response::Overloaded { queue_depth: 9999 },
             Response::Err("vertex 99 out of range".into()),
             Response::Err(String::new()),
         ]

@@ -14,14 +14,17 @@
 //! [`Server::handle`] is the transport-independent request evaluator; the
 //! TCP layer and the deterministic in-process tests both go through it.
 
+use crate::faults::FaultPlan;
 use crate::ingest::{BatchPolicy, Drained, IngestQueue, ServeStats};
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, FrameError, Request, Response,
     StatsReport, WireError,
 };
 use crate::snapshot::{Snapshot, SnapshotStore};
+use crate::wal::{Wal, WalError};
 use afforest_core::IncrementalCc;
 use afforest_graph::Node;
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -37,12 +40,71 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// happens when the peer itself stalled mid-write.
 const READ_TIMEOUT: Duration = Duration::from_millis(100);
 
+/// Why the service failed to start or serve.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The OS refused to start a service thread (named in `what`).
+    Spawn {
+        /// Which thread failed to start.
+        what: &'static str,
+    },
+    /// The write-ahead log could not be opened or recovered.
+    Wal(WalError),
+    /// Transport-level failure (e.g. configuring the listener).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Spawn { what } => write!(f, "failed to spawn {what} thread"),
+            ServeError::Wal(e) => write!(f, "{e}"),
+            ServeError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WalError> for ServeError {
+    fn from(e: WalError) -> Self {
+        ServeError::Wal(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Everything configurable about a server beyond the graph itself.
+#[derive(Default)]
+pub struct ServerOptions {
+    /// When the writer cuts a batch.
+    pub policy: BatchPolicy,
+    /// Admission bound: pending edges above this shed new inserts with
+    /// [`Response::Overloaded`] (`0` = unbounded).
+    pub max_queue_depth: usize,
+    /// Close a connection idle longer than this (`None` = never). Framed
+    /// requests are small, so an idle deadline doubles as a torn-frame
+    /// deadline: a peer that stalls mid-frame is cut off too.
+    pub read_deadline: Option<Duration>,
+    /// Durability: append each batch here before applying it.
+    pub wal: Option<Wal>,
+    /// Chaos: consulted at every injection site when present.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
 /// State shared between request handlers and the writer thread.
 struct Shared {
     store: SnapshotStore,
     ingest: IngestQueue,
     stats: ServeStats,
     shutdown: AtomicBool,
+    max_queue_depth: usize,
+    read_deadline: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// A running connectivity service over one graph.
@@ -58,28 +120,70 @@ pub struct Server {
 impl Server {
     /// Builds the epoch-0 snapshot from `edges` synchronously, then starts
     /// the writer thread for subsequent inserts.
-    pub fn new(n: usize, edges: &[(Node, Node)], policy: BatchPolicy) -> Self {
-        let mut cc = IncrementalCc::new(n);
-        cc.insert_batch(edges);
+    pub fn new(n: usize, edges: &[(Node, Node)], policy: BatchPolicy) -> Result<Self, ServeError> {
+        Self::with_options(
+            n,
+            edges,
+            ServerOptions {
+                policy,
+                ..ServerOptions::default()
+            },
+        )
+    }
+
+    /// [`Server::new`] with the full option set (WAL, admission bound,
+    /// read deadline, chaos plan).
+    pub fn with_options(
+        n: usize,
+        edges: &[(Node, Node)],
+        options: ServerOptions,
+    ) -> Result<Self, ServeError> {
+        Self::from_cc(
+            {
+                let mut cc = IncrementalCc::new(n);
+                cc.insert_batch(edges);
+                cc
+            },
+            options,
+        )
+    }
+
+    /// Starts a server over an already-built structure (the recovery
+    /// path: `wal::recover` yields the `IncrementalCc`, this serves it).
+    pub fn from_cc(mut cc: IncrementalCc, options: ServerOptions) -> Result<Self, ServeError> {
+        let ServerOptions {
+            policy,
+            max_queue_depth,
+            read_deadline,
+            mut wal,
+            faults,
+        } = options;
+        if let Some(f) = faults.as_ref() {
+            wal = wal.map(|w| w.with_faults(Arc::clone(f)));
+        }
+        let n = cc.len();
         let initial = Snapshot::new(0, &cc.labels());
         let shared = Arc::new(Shared {
             store: SnapshotStore::new(initial),
             ingest: IngestQueue::default(),
             stats: ServeStats::default(),
             shutdown: AtomicBool::new(false),
+            max_queue_depth,
+            read_deadline,
+            faults,
         });
         let writer = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
                 .name("afforest-serve-writer".into())
-                .spawn(move || writer_loop(cc, &shared, &policy))
-                .expect("spawn writer thread")
+                .spawn(move || writer_loop(cc, &shared, &policy, wal))
+                .map_err(|_| ServeError::Spawn { what: "writer" })?
         };
-        Self {
+        Ok(Self {
             shared,
             vertices: n,
             writer: Some(writer),
-        }
+        })
     }
 
     /// The currently served epoch.
@@ -134,13 +238,27 @@ impl Server {
                         self.vertices
                     ));
                 }
-                let depth = self.shared.ingest.push(edges);
-                self.shared
-                    .stats
-                    .queue_depth
-                    .store(depth as u64, Ordering::Relaxed);
-                Response::Accepted {
-                    edges: edges.len() as u32,
+                match self
+                    .shared
+                    .ingest
+                    .try_push(edges, self.shared.max_queue_depth)
+                {
+                    Ok(depth) => {
+                        self.shared
+                            .stats
+                            .queue_depth
+                            .store(depth as u64, Ordering::Relaxed);
+                        Response::Accepted {
+                            edges: edges.len() as u32,
+                        }
+                    }
+                    Err(depth) => {
+                        ServeStats::add(&self.shared.stats.requests_shed, 1);
+                        afforest_obs::count(afforest_obs::Counter::RequestsShed, 1);
+                        Response::Overloaded {
+                            queue_depth: depth as u64,
+                        }
+                    }
                 }
             }
             Request::Stats => Response::Stats(self.stats_report()),
@@ -191,24 +309,45 @@ impl Server {
     /// Serves `listener` with a pool of `workers` accept threads until a
     /// `Shutdown` request arrives. Each worker handles one connection at a
     /// time, so the pool size bounds concurrent connections.
-    pub fn serve_tcp(&self, listener: TcpListener, workers: usize) -> std::io::Result<()> {
+    pub fn serve_tcp(&self, listener: TcpListener, workers: usize) -> Result<(), ServeError> {
         listener.set_nonblocking(true)?;
+        let mut spawn_failed = false;
         thread::scope(|s| {
             for i in 0..workers.max(1) {
                 let listener = &listener;
-                thread::Builder::new()
+                let spawned = thread::Builder::new()
                     .name(format!("afforest-serve-worker-{i}"))
-                    .spawn_scoped(s, move || self.accept_loop(listener))
-                    .expect("spawn accept worker");
+                    .spawn_scoped(s, move || self.accept_loop(listener));
+                if spawned.is_err() {
+                    // Tell the workers that did start to exit; the scope
+                    // then joins them and we report the failure.
+                    spawn_failed = true;
+                    self.request_shutdown();
+                    break;
+                }
             }
         });
+        if spawn_failed {
+            return Err(ServeError::Spawn {
+                what: "accept worker",
+            });
+        }
         Ok(())
     }
 
     fn accept_loop(&self, listener: &TcpListener) {
         while !self.shutdown_requested() {
             match listener.accept() {
-                Ok((stream, _peer)) => self.serve_connection(stream),
+                Ok((stream, _peer)) => {
+                    // Chaos: a worker may die instead of serving. The rest
+                    // of the pool (and the listener) keep going.
+                    if let Some(f) = self.shared.faults.as_deref() {
+                        if f.should_kill_worker() {
+                            return;
+                        }
+                    }
+                    self.serve_connection(stream);
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
                 // Transient accept failure (e.g. the peer aborted the
                 // handshake): back off briefly and keep serving.
@@ -222,19 +361,26 @@ impl Server {
     fn serve_connection(&self, mut stream: TcpStream) {
         let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
         let _ = stream.set_nodelay(true);
+        let mut last_activity = Instant::now();
         while !self.shutdown_requested() {
             let payload = match read_frame(&mut stream) {
                 Ok(Some(payload)) => payload,
                 // Peer closed between frames.
                 Ok(None) => return,
-                // Read timeout: loop to re-check the shutdown flag.
+                // Read timeout: enforce the idle deadline, else loop to
+                // re-check the shutdown flag.
                 Err(WireError::Io(e))
                     if matches!(
                         e.kind(),
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
                 {
-                    continue
+                    if let Some(deadline) = self.shared.read_deadline {
+                        if last_activity.elapsed() >= deadline {
+                            return;
+                        }
+                    }
+                    continue;
                 }
                 // Socket died.
                 Err(WireError::Io(_)) => return,
@@ -246,6 +392,7 @@ impl Server {
                     return;
                 }
             };
+            last_activity = Instant::now();
             let _span = afforest_obs::span!("serve-request");
             // A malformed payload inside a well-delimited frame keeps the
             // stream in sync: answer Err and keep going.
@@ -256,8 +403,20 @@ impl Server {
                     frame_err(&e)
                 }
             };
+            let encoded = encode_response(&resp);
+            // Chaos: tear the response frame mid-write. A torn frame
+            // desynchronizes the stream, so the connection dies with it —
+            // exactly what a crashed server looks like to the client.
+            if let Some(f) = self.shared.faults.as_deref() {
+                if let Some(keep) = f.on_frame(4 + encoded.len()) {
+                    let mut framed = (encoded.len() as u32).to_le_bytes().to_vec();
+                    framed.extend_from_slice(&encoded);
+                    let _ = stream.write_all(&framed[..keep]);
+                    return;
+                }
+            }
             let done = matches!(resp, Response::Bye);
-            if write_frame(&mut stream, &encode_response(&resp)).is_err() || done {
+            if write_frame(&mut stream, &encoded).is_err() || done {
                 return;
             }
         }
@@ -283,15 +442,29 @@ fn frame_err(e: &FrameError) -> Response {
     Response::Err(e.to_string())
 }
 
-/// The single writer: drain → link → compress → publish, one epoch per
-/// coalesced batch.
-fn writer_loop(mut cc: IncrementalCc, shared: &Shared, policy: &BatchPolicy) {
+/// The single writer: drain → log → link → compress → publish, one epoch
+/// per coalesced batch. The WAL append comes *before* the apply, so any
+/// batch a reader can observe is already durable (modulo OS buffering;
+/// DESIGN.md §11).
+fn writer_loop(mut cc: IncrementalCc, shared: &Shared, policy: &BatchPolicy, mut wal: Option<Wal>) {
     let mut epoch = 0u64;
     loop {
         let batch = match shared.ingest.next_batch(policy) {
             Drained::Batch(batch) => batch,
-            Drained::Shutdown => return,
+            Drained::Shutdown => {
+                // Shutdown fully drained the queue: the final Stats answer
+                // must say 0, not the depth of the last pre-drain push.
+                shared.stats.queue_depth.store(0, Ordering::Relaxed);
+                return;
+            }
         };
+        if let Some(w) = wal.as_mut() {
+            // A failed append does not block the batch: the service stays
+            // available and the gap surfaces in wal_errors instead.
+            if w.append(&batch).is_err() {
+                ServeStats::add(&shared.stats.wal_errors, 1);
+            }
+        }
         epoch += 1;
         let applied = batch.len() as u64;
         shared.stats.applying.store(true, Ordering::Relaxed);
@@ -299,6 +472,9 @@ fn writer_loop(mut cc: IncrementalCc, shared: &Shared, policy: &BatchPolicy) {
             let _span = afforest_obs::span!("ingest-batch[{epoch}]");
             cc.insert_batch(&batch);
             if let Some(d) = policy.apply_delay {
+                thread::sleep(d);
+            }
+            if let Some(d) = shared.faults.as_deref().and_then(|f| f.on_apply()) {
                 thread::sleep(d);
             }
             shared.store.publish(Snapshot::new(epoch, &cc.labels()));
@@ -313,6 +489,11 @@ fn writer_loop(mut cc: IncrementalCc, shared: &Shared, policy: &BatchPolicy) {
         afforest_obs::count(afforest_obs::Counter::EdgesIngested, applied);
         afforest_obs::count(afforest_obs::Counter::EpochsPublished, 1);
         afforest_obs::count(afforest_obs::Counter::QueueDepth, applied);
+        if let Some(w) = wal.as_mut() {
+            if w.maybe_compact(&cc).is_err() {
+                ServeStats::add(&shared.stats.wal_errors, 1);
+            }
+        }
     }
 }
 
@@ -330,12 +511,12 @@ mod tests {
 
     fn path_server(n: usize) -> Server {
         let edges: Vec<(Node, Node)> = (1..n as Node).map(|v| (v - 1, v)).collect();
-        Server::new(n, &edges, quick_policy())
+        Server::new(n, &edges, quick_policy()).expect("start server")
     }
 
     #[test]
     fn serves_epoch_zero_queries() {
-        let server = Server::new(6, &[(0, 1), (1, 2), (4, 5)], quick_policy());
+        let server = Server::new(6, &[(0, 1), (1, 2), (4, 5)], quick_policy()).unwrap();
         assert_eq!(
             server.handle(&Request::Connected(0, 2)),
             Response::Connected(true)
@@ -360,7 +541,7 @@ mod tests {
 
     #[test]
     fn inserts_become_visible_after_flush() {
-        let server = Server::new(4, &[], quick_policy());
+        let server = Server::new(4, &[], quick_policy()).unwrap();
         assert_eq!(
             server.handle(&Request::Connected(0, 3)),
             Response::Connected(false)
@@ -402,7 +583,7 @@ mod tests {
 
     #[test]
     fn stats_reflect_ingest_progress() {
-        let server = Server::new(8, &[(0, 1)], quick_policy());
+        let server = Server::new(8, &[(0, 1)], quick_policy()).unwrap();
         server.handle(&Request::InsertEdges(vec![(2, 3), (4, 5)]));
         assert!(server.flush(Duration::from_secs(5)));
         match server.handle(&Request::Stats) {
@@ -436,7 +617,8 @@ mod tests {
                 max_delay: Duration::from_millis(20),
                 apply_delay: None,
             },
-        );
+        )
+        .unwrap();
         for v in 1..1_000u32 {
             server.handle(&Request::InsertEdges(vec![(v - 1, v)]));
         }
@@ -465,12 +647,123 @@ mod tests {
                 max_delay: Duration::from_secs(600),
                 apply_delay: None,
             },
-        );
+        )
+        .unwrap();
         server.handle(&Request::InsertEdges(vec![(0, 1), (1, 2)]));
         server.join_writer();
         assert_eq!(
             server.handle(&Request::Connected(0, 2)),
             Response::Connected(true)
         );
+    }
+
+    #[test]
+    fn final_stats_after_shutdown_drain_report_empty_queue() {
+        let mut server = Server::new(
+            4,
+            &[],
+            BatchPolicy {
+                max_edges: 1_000_000,
+                max_delay: Duration::from_secs(600),
+                apply_delay: None,
+            },
+        )
+        .unwrap();
+        server.handle(&Request::InsertEdges(vec![(0, 1), (1, 2)]));
+        // The push recorded a nonzero depth; the shutdown drain applies
+        // the edges, so the final answer must say the queue is empty.
+        assert_eq!(ServeStats::get(&server.stats().queue_depth), 2);
+        server.join_writer();
+        assert_eq!(ServeStats::get(&server.stats().queue_depth), 0);
+        match server.handle(&Request::Stats) {
+            Response::Stats(s) => assert_eq!(s.queue_depth, 0),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_writes_but_keeps_answering_reads() {
+        let server = Server::with_options(
+            8,
+            &[(0, 1)],
+            ServerOptions {
+                policy: BatchPolicy {
+                    // The writer never wakes on its own: the queue only
+                    // empties at shutdown, so the bound is actually hit.
+                    max_edges: 1_000_000,
+                    max_delay: Duration::from_secs(600),
+                    apply_delay: None,
+                },
+                max_queue_depth: 4,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            server.handle(&Request::InsertEdges(vec![(0, 1), (1, 2), (2, 3)])),
+            Response::Accepted { edges: 3 }
+        );
+        // 3 pending + 2 > 4: shed.
+        assert_eq!(
+            server.handle(&Request::InsertEdges(vec![(3, 4), (4, 5)])),
+            Response::Overloaded { queue_depth: 3 }
+        );
+        // A batch that still fits is admitted.
+        assert_eq!(
+            server.handle(&Request::InsertEdges(vec![(5, 6)])),
+            Response::Accepted { edges: 1 }
+        );
+        assert_eq!(ServeStats::get(&server.stats().requests_shed), 1);
+        // Reads keep answering while the write path sheds.
+        assert_eq!(
+            server.handle(&Request::Connected(0, 1)),
+            Response::Connected(true)
+        );
+    }
+
+    #[test]
+    fn wal_backed_server_survives_restart() {
+        let dir = std::env::temp_dir().join(format!("afforest-server-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let seed: Vec<(Node, Node)> = vec![(0, 1)];
+        {
+            let wal = crate::wal::Wal::open(&dir, 8, 0).unwrap();
+            let server = Server::with_options(
+                8,
+                &seed,
+                ServerOptions {
+                    policy: quick_policy(),
+                    wal: Some(wal),
+                    ..ServerOptions::default()
+                },
+            )
+            .unwrap();
+            server.handle(&Request::InsertEdges(vec![(1, 2), (4, 5)]));
+            assert!(server.flush(Duration::from_secs(5)));
+            // Server drops here — simulating an orderly exit; a kill is
+            // equivalent because the append preceded the apply.
+        }
+        let rec = crate::wal::recover(&dir, &seed).unwrap();
+        let server = Server::from_cc(
+            rec.cc,
+            ServerOptions {
+                policy: quick_policy(),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            server.handle(&Request::Connected(0, 2)),
+            Response::Connected(true)
+        );
+        assert_eq!(
+            server.handle(&Request::Connected(4, 5)),
+            Response::Connected(true)
+        );
+        assert_eq!(
+            server.handle(&Request::Connected(0, 4)),
+            Response::Connected(false)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

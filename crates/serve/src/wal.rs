@@ -1,0 +1,724 @@
+//! Write-ahead log: the durability layer of the service.
+//!
+//! Every coalesced edge batch is appended to `wal.log` *before* it is
+//! applied and its epoch published, so a crash at any point loses at most
+//! the batch that had not yet reached the OS (the classic WAL contract —
+//! an acked write is a logged write). Records are length-prefixed and
+//! checksummed; [`recover`] replays a possibly-truncated or corrupted log
+//! into a fresh [`IncrementalCc`], stopping (and truncating the file) at
+//! the first bad record, so the recovered state is always a prefix of the
+//! committed history — never a panic, never a half-applied record.
+//!
+//! Replaying a long history on every restart would make recovery O(total
+//! writes), so the log is periodically **compacted**: the parent array is
+//! serialized (via `afforest_graph::io::write_node_array`, atomically
+//! through a tempfile rename) as `snapshot.arr` and the log is truncated
+//! back to its header. Recovery then costs one array read plus O(batches
+//! since the last snapshot).
+//!
+//! On-disk layout inside the WAL directory:
+//!
+//! ```text
+//! wal.log       8-byte magic/version, u64 vertex count, u64 header
+//!               checksum (fnv1a over magic + count), then records:
+//!               [u32 len][u64 fnv1a(payload)][payload]
+//!               payload = 0x01 tag, u32 edge count, count * (u32, u32)
+//! snapshot.arr  afforest_graph::io node array (the parent snapshot)
+//! ```
+
+use crate::faults::{FaultPlan, WalFault};
+use afforest_core::{IncrementalCc, InvalidParents};
+use afforest_graph::io::{checksum64, read_node_array, write_node_array};
+use afforest_graph::Node;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Magic bytes identifying a WAL file, followed by a version.
+const MAGIC: &[u8; 8] = b"AFWAL\x00\x00\x01";
+
+/// Header length: magic + u64 vertex count + u64 header checksum. The
+/// checksum authenticates the vertex count: without it a flipped bit in
+/// the count would send recovery allocating for a bogus universe.
+const HEADER_LEN: u64 = 24;
+
+/// Record tag for an edge batch (the only record type in version 1).
+const TAG_EDGE_BATCH: u8 = 0x01;
+
+/// Hard ceiling on a record payload (64 MiB ≈ 8M edges). A corrupt
+/// length prefix above this is rejected before any allocation.
+pub const MAX_RECORD_LEN: usize = 1 << 26;
+
+/// The log file's name inside the WAL directory.
+pub const LOG_FILE: &str = "wal.log";
+
+/// The snapshot file's name inside the WAL directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.arr";
+
+/// Why a WAL operation failed.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The log or snapshot exists but is not usable (reason attached).
+    /// Note that a *corrupt tail* is not an error — [`recover`] truncates
+    /// it; this variant covers an unusable header or snapshot.
+    Corrupt(String),
+    /// The log was written for a different vertex universe.
+    VertexMismatch {
+        /// Vertex count recorded in the log header.
+        wal: usize,
+        /// Vertex count the caller expected.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io: {e}"),
+            WalError::Corrupt(why) => write!(f, "wal corrupt: {why}"),
+            WalError::VertexMismatch { wal, expected } => write!(
+                f,
+                "wal vertex count {wal} does not match expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<afforest_graph::Error> for WalError {
+    fn from(e: afforest_graph::Error) -> Self {
+        WalError::Corrupt(e.to_string())
+    }
+}
+
+impl From<InvalidParents> for WalError {
+    fn from(e: InvalidParents) -> Self {
+        WalError::Corrupt(format!("snapshot {e}"))
+    }
+}
+
+/// What [`Wal::append`] did with the record — `Logged` in production;
+/// the fault variants exist so chaos tests know exactly which batches
+/// survived to disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// The record is fully on the file.
+    Logged,
+    /// A [`FaultPlan`] dropped the record (simulated lost write).
+    DroppedByFault,
+    /// A [`FaultPlan`] tore the record (simulated crash mid-write).
+    /// Every record after a torn one is unrecoverable.
+    TornByFault,
+}
+
+/// An open, appendable write-ahead log.
+pub struct Wal {
+    file: File,
+    dir: PathBuf,
+    n: usize,
+    /// Compact (snapshot + truncate) after this many appended batches.
+    snapshot_every: u64,
+    appends_since_snapshot: u64,
+    batches_logged: u64,
+    bytes_logged: u64,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log for an `n`-vertex service in
+    /// `dir`, positioned for appending. `snapshot_every` batches trigger
+    /// a compaction (0 disables compaction).
+    pub fn open(dir: &Path, n: usize, snapshot_every: u64) -> Result<Wal, WalError> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(LOG_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            let mut header = Vec::with_capacity(HEADER_LEN as usize);
+            header.extend_from_slice(MAGIC);
+            header.extend_from_slice(&(n as u64).to_le_bytes());
+            let sum = checksum64(&header);
+            header.extend_from_slice(&sum.to_le_bytes());
+            file.write_all(&header)?;
+            file.flush()?;
+        } else {
+            let logged_n = read_header(&mut file)? as usize;
+            if logged_n != n {
+                return Err(WalError::VertexMismatch {
+                    wal: logged_n,
+                    expected: n,
+                });
+            }
+            file.seek(SeekFrom::End(0))?;
+        }
+        Ok(Wal {
+            file,
+            dir: dir.to_path_buf(),
+            n,
+            snapshot_every,
+            appends_since_snapshot: 0,
+            batches_logged: 0,
+            bytes_logged: 0,
+            faults: None,
+        })
+    }
+
+    /// Attaches a chaos plan; subsequent appends consult it.
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Wal {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Vertex count recorded in the header.
+    pub fn vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Batches fully logged since this handle opened.
+    pub fn batches_logged(&self) -> u64 {
+        self.batches_logged
+    }
+
+    /// Record bytes fully logged since this handle opened.
+    pub fn bytes_logged(&self) -> u64 {
+        self.bytes_logged
+    }
+
+    /// Appends one edge-batch record. Returns what actually reached the
+    /// file (always [`AppendOutcome::Logged`] without a fault plan). The
+    /// write goes straight to the OS — surviving a process kill needs no
+    /// fsync; surviving power loss would (documented trade-off, DESIGN.md
+    /// §11).
+    pub fn append(&mut self, edges: &[(Node, Node)]) -> Result<AppendOutcome, WalError> {
+        let mut payload = Vec::with_capacity(5 + edges.len() * 8);
+        payload.push(TAG_EDGE_BATCH);
+        payload.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+        for &(u, v) in edges {
+            payload.extend_from_slice(&u.to_le_bytes());
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut record = Vec::with_capacity(12 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&checksum64(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+
+        let fault = self
+            .faults
+            .as_deref()
+            .map_or(WalFault::None, |p| p.on_wal_append(record.len()));
+        let outcome = match fault {
+            WalFault::Drop => AppendOutcome::DroppedByFault,
+            WalFault::Short { keep } => {
+                self.file.write_all(&record[..keep])?;
+                self.file.flush()?;
+                AppendOutcome::TornByFault
+            }
+            WalFault::None => {
+                self.file.write_all(&record)?;
+                self.file.flush()?;
+                self.batches_logged += 1;
+                self.bytes_logged += record.len() as u64;
+                afforest_obs::count(afforest_obs::Counter::WalAppends, 1);
+                afforest_obs::count(afforest_obs::Counter::WalBytes, record.len() as u64);
+                AppendOutcome::Logged
+            }
+        };
+        self.appends_since_snapshot += 1;
+        Ok(outcome)
+    }
+
+    /// Compacts if the snapshot interval has elapsed: serializes `cc`'s
+    /// parent array atomically (tempfile + rename) and truncates the log
+    /// back to its header. Returns whether a compaction happened.
+    pub fn maybe_compact(&mut self, cc: &IncrementalCc) -> Result<bool, WalError> {
+        if self.snapshot_every == 0 || self.appends_since_snapshot < self.snapshot_every {
+            return Ok(false);
+        }
+        self.compact(cc)?;
+        Ok(true)
+    }
+
+    /// Unconditionally compacts (see [`Wal::maybe_compact`]).
+    pub fn compact(&mut self, cc: &IncrementalCc) -> Result<(), WalError> {
+        let _span = afforest_obs::span!("wal-compact");
+        let tmp = self.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+        write_node_array(&tmp, &cc.parents_snapshot())?;
+        std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        // The snapshot now covers everything in the log: drop the records.
+        self.file.set_len(HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(HEADER_LEN))?;
+        self.appends_since_snapshot = 0;
+        Ok(())
+    }
+}
+
+/// The result of a recovery: a live structure plus replay statistics.
+pub struct Recovery {
+    /// The restored incremental structure (snapshot + replayed batches).
+    pub cc: IncrementalCc,
+    /// Vertex count from the log header.
+    pub vertices: usize,
+    /// Whether a parent snapshot was loaded.
+    pub from_snapshot: bool,
+    /// Edge-batch records replayed from the log.
+    pub batches: u64,
+    /// Edges replayed from the log.
+    pub edges: u64,
+    /// Whether a corrupt/torn tail was found (and truncated away).
+    pub truncated: bool,
+}
+
+/// Replays the WAL directory into a fresh [`IncrementalCc`].
+///
+/// The base state is the parent snapshot if one exists, otherwise an
+/// empty structure seeded with `seed_edges` (the initial graph, which is
+/// *not* logged — only ingested batches are). Log records are then
+/// replayed in order; the first bad record (truncated, checksum mismatch,
+/// malformed payload) ends the replay and the file is truncated there, so
+/// a recovered-then-reopened log is always internally consistent.
+///
+/// Total function over file contents: any byte string in the log yields
+/// either `Ok` (with some prefix replayed) or a typed [`WalError`] for an
+/// unusable header/snapshot — never a panic.
+pub fn recover(dir: &Path, seed_edges: &[(Node, Node)]) -> Result<Recovery, WalError> {
+    let _span = afforest_obs::span!("wal-recover");
+    let path = dir.join(LOG_FILE);
+    let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+    let n = read_header(&mut file)? as usize;
+
+    let snapshot_path = dir.join(SNAPSHOT_FILE);
+    let (mut cc, from_snapshot) = if snapshot_path.exists() {
+        let parents = read_node_array(&snapshot_path)?;
+        if parents.len() != n {
+            return Err(WalError::Corrupt(format!(
+                "snapshot holds {} vertices, log header says {n}",
+                parents.len()
+            )));
+        }
+        (IncrementalCc::from_parents(parents)?, true)
+    } else {
+        // Seed edges outside the log's universe mean the caller is
+        // replaying the wrong graph's WAL: a typed error, not a panic.
+        if let Some(&(u, v)) = seed_edges
+            .iter()
+            .find(|&&(u, v)| u as usize >= n || v as usize >= n)
+        {
+            return Err(WalError::VertexMismatch {
+                wal: n,
+                expected: u.max(v) as usize + 1,
+            });
+        }
+        let mut cc = IncrementalCc::new(n);
+        cc.insert_batch(seed_edges);
+        (cc, false)
+    };
+
+    // Replay until EOF or the first bad record.
+    let mut reader = BufReader::new(&file);
+    reader.seek(SeekFrom::Start(HEADER_LEN))?;
+    let mut good_end = HEADER_LEN;
+    let mut batches = 0u64;
+    let mut edges = 0u64;
+    let mut clean_eof = false;
+    loop {
+        let mut prefix = [0u8; 12];
+        match read_exact_or_eof(&mut reader, &mut prefix)? {
+            ReadOutcome::Eof => {
+                clean_eof = true;
+                break;
+            }
+            ReadOutcome::Partial => break,
+            ReadOutcome::Full => {}
+        }
+        let len = u32::from_le_bytes(prefix[0..4].try_into().expect("4-byte slice")) as usize;
+        let declared_sum = u64::from_le_bytes(prefix[4..12].try_into().expect("8-byte slice"));
+        if !(5..=MAX_RECORD_LEN).contains(&len) {
+            break;
+        }
+        let mut payload = vec![0u8; len];
+        if !matches!(
+            read_exact_or_eof(&mut reader, &mut payload)?,
+            ReadOutcome::Full
+        ) {
+            break;
+        }
+        if checksum64(&payload) != declared_sum {
+            break;
+        }
+        let Some(batch) = decode_batch(&payload, n) else {
+            break;
+        };
+        cc.insert_batch(&batch);
+        batches += 1;
+        edges += batch.len() as u64;
+        good_end += 12 + len as u64;
+    }
+    drop(reader);
+
+    let truncated = !clean_eof;
+    if truncated {
+        // Cut the bad tail so the next append starts from a valid record
+        // boundary (a torn record would otherwise poison future appends).
+        file.set_len(good_end)?;
+    }
+    afforest_obs::count(afforest_obs::Counter::Recoveries, 1);
+    Ok(Recovery {
+        cc,
+        vertices: n,
+        from_snapshot,
+        batches,
+        edges,
+        truncated,
+    })
+}
+
+/// Whether `dir` holds a WAL (log file present).
+pub fn exists(dir: &Path) -> bool {
+    dir.join(LOG_FILE).exists()
+}
+
+/// Validates the magic and the header checksum, returning the header's
+/// vertex count and leaving the cursor after the header.
+fn read_header(file: &mut File) -> Result<u64, WalError> {
+    file.seek(SeekFrom::Start(0))?;
+    let mut header = [0u8; HEADER_LEN as usize];
+    file.read_exact(&mut header)
+        .map_err(|_| WalError::Corrupt("log shorter than its header".into()))?;
+    if &header[0..8] != MAGIC {
+        return Err(WalError::Corrupt("not an AFWAL file (bad magic)".into()));
+    }
+    let declared = u64::from_le_bytes(header[16..24].try_into().expect("8-byte slice"));
+    if checksum64(&header[0..16]) != declared {
+        return Err(WalError::Corrupt("header checksum mismatch".into()));
+    }
+    let n = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+    if n > Node::MAX as u64 + 1 {
+        // Defense in depth: a checksum collision must still not drive a
+        // multi-gigabyte allocation.
+        return Err(WalError::Corrupt(format!(
+            "vertex count {n} exceeds Node range"
+        )));
+    }
+    Ok(n)
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+/// Fills `buf` completely (`Full`), hits EOF before any byte (`Eof`), or
+/// hits EOF mid-buffer (`Partial`). IO errors propagate.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..])? {
+            0 if filled == 0 => return Ok(ReadOutcome::Eof),
+            0 => return Ok(ReadOutcome::Partial),
+            k => filled += k,
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Decodes an edge-batch payload; `None` on any structural problem
+/// (wrong tag, count/length mismatch, out-of-range endpoint).
+fn decode_batch(payload: &[u8], n: usize) -> Option<Vec<(Node, Node)>> {
+    if payload.len() < 5 || payload[0] != TAG_EDGE_BATCH {
+        return None;
+    }
+    let count = u32::from_le_bytes(payload[1..5].try_into().expect("4-byte slice")) as usize;
+    if payload.len() != 5 + count.checked_mul(8)? {
+        return None;
+    }
+    let mut edges = Vec::with_capacity(count);
+    for pair in payload[5..].chunks_exact(8) {
+        let u = Node::from_le_bytes(pair[0..4].try_into().expect("4-byte slice"));
+        let v = Node::from_le_bytes(pair[4..8].try_into().expect("4-byte slice"));
+        if u as usize >= n || v as usize >= n {
+            return None;
+        }
+        edges.push((u, v));
+    }
+    Some(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("afforest-wal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn labels_of(cc: &mut IncrementalCc) -> afforest_core::ComponentLabels {
+        cc.labels()
+    }
+
+    #[test]
+    fn append_then_recover_replays_everything() {
+        let dir = tempdir("roundtrip");
+        let batches: Vec<Vec<(Node, Node)>> =
+            vec![vec![(0, 1), (1, 2)], vec![(5, 6)], vec![(2, 5), (7, 8)]];
+        {
+            let mut wal = Wal::open(&dir, 10, 0).unwrap();
+            for b in &batches {
+                assert_eq!(wal.append(b).unwrap(), AppendOutcome::Logged);
+            }
+            assert_eq!(wal.batches_logged(), 3);
+            assert!(wal.bytes_logged() > 0);
+        }
+        let mut rec = recover(&dir, &[]).unwrap();
+        assert_eq!(rec.vertices, 10);
+        assert_eq!(rec.batches, 3);
+        assert_eq!(rec.edges, 5);
+        assert!(!rec.truncated);
+        assert!(!rec.from_snapshot);
+
+        let mut oracle = IncrementalCc::new(10);
+        for b in &batches {
+            oracle.insert_batch(b);
+        }
+        assert!(labels_of(&mut rec.cc).equivalent(&labels_of(&mut oracle)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_seeds_initial_graph_edges() {
+        let dir = tempdir("seeded");
+        {
+            let mut wal = Wal::open(&dir, 6, 0).unwrap();
+            wal.append(&[(2, 3)]).unwrap();
+        }
+        // Initial graph (0-1, 1-2) is not logged; recovery re-derives it
+        // from the seed edges.
+        let rec = recover(&dir, &[(0, 1), (1, 2)]).unwrap();
+        assert!(rec.cc.connected(0, 3));
+        assert!(!rec.cc.connected(0, 5));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_records() {
+        let dir = tempdir("reopen");
+        {
+            let mut wal = Wal::open(&dir, 8, 0).unwrap();
+            wal.append(&[(0, 1)]).unwrap();
+        }
+        {
+            let mut wal = Wal::open(&dir, 8, 0).unwrap();
+            wal.append(&[(1, 2)]).unwrap();
+        }
+        let rec = recover(&dir, &[]).unwrap();
+        assert_eq!(rec.batches, 2);
+        assert!(rec.cc.connected(0, 2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn vertex_mismatch_is_typed() {
+        let dir = tempdir("mismatch");
+        drop(Wal::open(&dir, 8, 0).unwrap());
+        match Wal::open(&dir, 9, 0) {
+            Err(WalError::VertexMismatch {
+                wal: 8,
+                expected: 9,
+            }) => {}
+            other => panic!("expected VertexMismatch, got {:?}", other.err()),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_rejects_out_of_universe_seed_edges() {
+        let dir = tempdir("badseed");
+        drop(Wal::open(&dir, 4, 0).unwrap());
+        match recover(&dir, &[(0, 9)]) {
+            Err(WalError::VertexMismatch {
+                wal: 4,
+                expected: 10,
+            }) => {}
+            other => panic!("expected VertexMismatch, got {:?}", other.err()),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_stays_usable() {
+        let dir = tempdir("torn");
+        {
+            let mut wal = Wal::open(&dir, 8, 0).unwrap();
+            wal.append(&[(0, 1)]).unwrap();
+            wal.append(&[(1, 2)]).unwrap();
+        }
+        // Tear the last record by chopping 3 bytes off the file.
+        let path = dir.join(LOG_FILE);
+        let len = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+
+        let rec = recover(&dir, &[]).unwrap();
+        assert_eq!(rec.batches, 1);
+        assert!(rec.truncated);
+        assert!(rec.cc.connected(0, 1));
+        assert!(!rec.cc.connected(1, 2));
+
+        // The truncation leaves a clean append point: new writes recover.
+        {
+            let mut wal = Wal::open(&dir, 8, 0).unwrap();
+            wal.append(&[(4, 5)]).unwrap();
+        }
+        let rec = recover(&dir, &[]).unwrap();
+        assert_eq!(rec.batches, 2);
+        assert!(rec.cc.connected(4, 5));
+        assert!(!rec.truncated);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_snapshots_and_truncates() {
+        let dir = tempdir("compact");
+        let mut cc = IncrementalCc::new(16);
+        let mut wal = Wal::open(&dir, 16, 2).unwrap();
+        for (i, batch) in [vec![(0u32, 1u32)], vec![(1, 2)], vec![(2, 3)]]
+            .iter()
+            .enumerate()
+        {
+            wal.append(batch).unwrap();
+            cc.insert_batch(batch);
+            let compacted = wal.maybe_compact(&cc).unwrap();
+            assert_eq!(compacted, i == 1, "batch {i}");
+        }
+        // After compacting at batch 2, the log holds only batch 3.
+        assert!(dir.join(SNAPSHOT_FILE).exists());
+        let mut rec = recover(&dir, &[]).unwrap();
+        assert!(rec.from_snapshot);
+        assert_eq!(rec.batches, 1);
+        let mut oracle = IncrementalCc::new(16);
+        oracle.insert_batch(&[(0, 1), (1, 2), (2, 3)]);
+        assert!(labels_of(&mut rec.cc).equivalent(&labels_of(&mut oracle)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error() {
+        let dir = tempdir("badsnap");
+        let mut cc = IncrementalCc::new(4);
+        let mut wal = Wal::open(&dir, 4, 1).unwrap();
+        wal.append(&[(0, 1)]).unwrap();
+        cc.insert(0, 1);
+        assert!(wal.maybe_compact(&cc).unwrap());
+        drop(wal);
+        // Flip a payload byte in the snapshot.
+        let snap = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() - 12;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&snap, &bytes).unwrap();
+        match recover(&dir, &[]) {
+            Err(WalError::Corrupt(why)) => assert!(why.contains("checksum"), "{why}"),
+            other => panic!("expected Corrupt, got {:?}", other.err()),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_short_write_loses_suffix_only() {
+        let dir = tempdir("faultshort");
+        let faults = Arc::new(FaultPlan::parse("seed=11,wal_short_write=0.4").unwrap());
+        let mut wal = Wal::open(&dir, 64, 0)
+            .unwrap()
+            .with_faults(Arc::clone(&faults));
+        let batches: Vec<Vec<(Node, Node)>> = (0..20u32)
+            .map(|i| vec![(i, i + 1), (i + 20, i + 21)])
+            .collect();
+        let mut outcomes = Vec::new();
+        for b in &batches {
+            outcomes.push(wal.append(b).unwrap());
+        }
+        drop(wal);
+        assert!(outcomes.contains(&AppendOutcome::TornByFault));
+
+        // Survivors: fully-logged batches before the first torn record.
+        let survivors: Vec<&Vec<(Node, Node)>> = outcomes
+            .iter()
+            .take_while(|o| !matches!(o, AppendOutcome::TornByFault))
+            .zip(&batches)
+            .filter(|(o, _)| matches!(o, AppendOutcome::Logged))
+            .map(|(_, b)| b)
+            .collect();
+
+        let mut rec = recover(&dir, &[]).unwrap();
+        assert!(rec.truncated);
+        assert_eq!(rec.batches as usize, survivors.len());
+        let mut oracle = IncrementalCc::new(64);
+        for b in survivors {
+            oracle.insert_batch(b);
+        }
+        assert!(labels_of(&mut rec.cc).equivalent(&labels_of(&mut oracle)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_drop_skips_records_but_log_stays_valid() {
+        let dir = tempdir("faultdrop");
+        let faults = Arc::new(FaultPlan::parse("seed=5,wal_drop=0.5").unwrap());
+        let mut wal = Wal::open(&dir, 32, 0)
+            .unwrap()
+            .with_faults(Arc::clone(&faults));
+        let batches: Vec<Vec<(Node, Node)>> = (0..16u32).map(|i| vec![(i, i + 1)]).collect();
+        let mut logged = Vec::new();
+        for b in &batches {
+            if wal.append(b).unwrap() == AppendOutcome::Logged {
+                logged.push(b.clone());
+            }
+        }
+        drop(wal);
+        assert!(faults.injected().wal_drops > 0);
+        assert!(!logged.is_empty());
+
+        let mut rec = recover(&dir, &[]).unwrap();
+        // Drops leave no trace on disk: the log is clean, just sparser.
+        assert!(!rec.truncated);
+        assert_eq!(rec.batches as usize, logged.len());
+        let mut oracle = IncrementalCc::new(32);
+        for b in &logged {
+            oracle.insert_batch(b);
+        }
+        assert!(labels_of(&mut rec.cc).equivalent(&labels_of(&mut oracle)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_missing_dir_is_io_error() {
+        let dir = tempdir("missing");
+        match recover(&dir, &[]) {
+            Err(WalError::Io(_)) => {}
+            other => panic!("expected Io, got {:?}", other.err()),
+        }
+        assert!(!exists(&dir));
+    }
+}

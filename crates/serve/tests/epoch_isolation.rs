@@ -24,7 +24,8 @@ fn connected_succeeds_on_old_epoch_while_insert_is_mid_apply() {
             // Pin the writer inside the apply window long enough to probe.
             apply_delay: Some(hold),
         },
-    );
+    )
+    .expect("start server");
     let epoch0 = server.snapshot().epoch;
     assert_eq!(
         server.handle(&Request::Connected(0, 999)),
@@ -86,7 +87,8 @@ fn snapshot_arc_taken_before_publish_stays_valid_after() {
             max_delay: Duration::from_millis(1),
             apply_delay: None,
         },
-    );
+    )
+    .expect("start server");
     let old = server.snapshot();
     assert_eq!(old.connected(1, 2), Some(false));
 

@@ -11,7 +11,7 @@ use std::time::Duration;
 fn bind() -> (Server, TcpListener, std::net::SocketAddr) {
     let n = 200usize;
     let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
-    let server = Server::new(n, &edges, BatchPolicy::default());
+    let server = Server::new(n, &edges, BatchPolicy::default()).expect("start server");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().unwrap();
     (server, listener, addr)
@@ -133,6 +133,7 @@ fn tcp_loadgen_mixed_workload_zero_errors() {
             read_pct: 90,
             insert_batch: 16,
             seed: 11,
+            ..LoadgenConfig::default()
         };
         let report =
             afforest_serve::loadgen::run(&cfg, |_| TcpStream::connect(addr).map_err(Into::into))

@@ -1,0 +1,297 @@
+//! Crash-recovery smoke test for `cargo xtask ci`.
+//!
+//! The WAL's whole contract in one scenario: start `afforest serve` with
+//! `--wal-dir`, ingest a known edge set over the wire, wait until the
+//! server has applied it (append precedes apply, so applied ⇒ logged),
+//! then SIGKILL the process — no drain, no shutdown frame. `afforest
+//! recover` must then report exactly the component count an uninterrupted
+//! run would have: `afforest cc` over the seed graph plus the ingested
+//! edges is the oracle.
+//!
+//! CI runs it twice: once clean and once with chaos faults injected
+//! (stretched applies and torn response frames). The injected fault
+//! classes preserve WAL equivalence — a torn response only hides an ack,
+//! and re-inserting an edge is idempotent for connectivity — so the same
+//! exact-count assertion holds under chaos.
+
+use crate::smoke::{cli_cmd, Reaper};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::Stdio;
+use std::time::{Duration, Instant};
+
+/// Edges ingested over the wire, on top of the generated graph.
+const INSERTS: usize = 200;
+const GRAPH_N: u32 = 2000;
+
+/// Runs the crash-recovery smoke; returns success.
+pub fn run_crash(root: &Path, faults: bool) -> bool {
+    match crash(root, faults) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("==> crash recovery smoke{} failed: {e}", tag(faults));
+            false
+        }
+    }
+}
+
+fn tag(faults: bool) -> &'static str {
+    if faults {
+        " (faults)"
+    } else {
+        ""
+    }
+}
+
+/// The deterministic ingest workload (shared with the oracle).
+fn inserted_edges() -> Vec<(u32, u32)> {
+    (0..INSERTS as u32)
+        .map(|i| ((i * 37) % GRAPH_N, (i * 61 + 1) % GRAPH_N))
+        .collect()
+}
+
+fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut framed = (payload.len() as u32).to_le_bytes().to_vec();
+    framed.extend_from_slice(&payload);
+    framed
+}
+
+/// A framed `InsertEdges` request (opcode 0x05), hand-encoded like the
+/// Shutdown frame in `smoke.rs` so xtask stays dependency-free.
+fn insert_frame(edges: &[(u32, u32)]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(5 + edges.len() * 8);
+    payload.push(0x05);
+    payload.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+    for &(u, v) in edges {
+        payload.extend_from_slice(&u.to_le_bytes());
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    frame(payload)
+}
+
+/// One request on a fresh connection; returns the response payload.
+fn try_call(addr: &str, framed: &[u8]) -> Result<Vec<u8>, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream.write_all(framed).map_err(|e| format!("send: {e}"))?;
+    let mut len = [0u8; 4];
+    stream
+        .read_exact(&mut len)
+        .map_err(|e| format!("read length: {e}"))?;
+    let n = u32::from_le_bytes(len) as usize;
+    if n > 1 << 20 {
+        return Err(format!("absurd response length {n}"));
+    }
+    let mut payload = vec![0u8; n];
+    stream
+        .read_exact(&mut payload)
+        .map_err(|e| format!("read payload: {e}"))?;
+    Ok(payload)
+}
+
+/// [`try_call`] with retries: under `--faults` the server tears response
+/// frames, which looks like a dead connection. Retrying an insert is safe
+/// — edge insertion is idempotent for connectivity.
+fn call(addr: &str, framed: &[u8]) -> Result<Vec<u8>, String> {
+    let mut last = String::new();
+    for _ in 0..12 {
+        match try_call(addr, framed) {
+            Ok(p) => return Ok(p),
+            Err(e) => {
+                last = e;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    Err(format!("request kept failing after retries: {last}"))
+}
+
+/// Extracts `(edges_ingested, queue_depth)` from a Stats response
+/// (opcode 0x86 then six u64s; fields 4 and 6).
+fn parse_stats(payload: &[u8]) -> Result<(u64, u64), String> {
+    if payload.first() != Some(&0x86) || payload.len() != 49 {
+        return Err(format!("unexpected stats response: {payload:02x?}"));
+    }
+    let u64_at = |i: usize| u64::from_le_bytes(payload[i..i + 8].try_into().expect("8 bytes"));
+    Ok((u64_at(25), u64_at(41)))
+}
+
+/// Pulls `components:  N` out of `afforest recover` / `afforest cc` text.
+fn parse_components(text: &str) -> Result<u64, String> {
+    text.lines()
+        .find_map(|l| l.strip_prefix("components:"))
+        .ok_or_else(|| format!("no components line in:\n{text}"))?
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad components line: {e}"))
+}
+
+fn crash(root: &Path, faults: bool) -> Result<(), String> {
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let suffix = format!("{pid}-{}", faults as u8);
+    let graph = tmp.join(format!("afforest-crash-{suffix}.el"));
+    let combined = tmp.join(format!("afforest-crash-combined-{suffix}.el"));
+    let wal_dir = tmp.join(format!("afforest-crash-wal-{suffix}"));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let graph_s = graph.to_string_lossy().into_owned();
+    let wal_s = wal_dir.to_string_lossy().into_owned();
+
+    // 1. Generate the seed graph. Sparse on purpose: hundreds of
+    // components, so a single lost batch moves the count — a dense graph
+    // would make the equivalence assertion trivially `1 == 1`.
+    let status = cli_cmd(root, false)
+        .args([
+            "generate",
+            "urand",
+            "--out",
+            &graph_s,
+            "--n",
+            "2000",
+            "--edge-factor",
+            "1",
+            "--seed",
+            "3",
+        ])
+        .status()
+        .map_err(|e| format!("spawn generate: {e}"))?;
+    if !status.success() {
+        return Err(format!("generate failed ({status})"));
+    }
+
+    // 2. Serve with a WAL (snapshot interval small enough that compaction
+    // actually runs), ephemeral port.
+    let mut args = vec![
+        "serve",
+        &graph_s,
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "4",
+        "--max-batch-edges",
+        "64",
+        "--max-batch-delay-ms",
+        "1",
+        "--wal-dir",
+        &wal_s,
+        "--wal-snapshot-every",
+        "8",
+    ];
+    if faults {
+        args.extend([
+            "--faults",
+            "seed=5,apply_delay_ms=2,apply_delay_prob=0.5,torn_frame=0.02",
+        ]);
+    }
+    let mut server = Reaper(
+        cli_cmd(root, false)
+            .args(&args)
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn serve: {e}"))?,
+    );
+    let stdout = server.0.stdout.take().ok_or("serve stdout not captured")?;
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .ok_or("serve exited before announcing its address")?
+            .map_err(|e| format!("read serve stdout: {e}"))?;
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .ok_or("malformed listen line")?
+                .to_string();
+        }
+    };
+
+    // 3. Ingest the known workload in small batches.
+    let edges = inserted_edges();
+    for chunk in edges.chunks(10) {
+        let resp = call(&addr, &insert_frame(chunk))?;
+        if resp.first() != Some(&0x85) {
+            return Err(format!("insert answered {resp:02x?}, expected Accepted"));
+        }
+    }
+
+    // 4. Wait until everything admitted has been applied: queue empty and
+    // the ingested counter stable across two polls. Applied ⇒ logged, so
+    // from here a kill loses nothing.
+    let stats_frame = frame(vec![0x06]);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut last_ingested = 0u64;
+    loop {
+        let (ingested, depth) = parse_stats(&call(&addr, &stats_frame)?)?;
+        if depth == 0 && ingested >= INSERTS as u64 && ingested == last_ingested {
+            break;
+        }
+        last_ingested = ingested;
+        if Instant::now() > deadline {
+            return Err(format!(
+                "ingest never settled: {ingested} applied, queue depth {depth}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    }
+
+    // 5. Crash: SIGKILL, no drain, no goodbye.
+    server.0.kill().map_err(|e| format!("kill serve: {e}"))?;
+    let _ = server.0.wait();
+
+    // 6. Offline recovery must see the full ingested history.
+    let out = cli_cmd(root, false)
+        .args(["recover", &graph_s, "--wal-dir", &wal_s])
+        .output()
+        .map_err(|e| format!("spawn recover: {e}"))?;
+    let text = String::from_utf8_lossy(&out.stdout);
+    if !out.status.success() {
+        return Err(format!(
+            "recover failed ({}):\n{text}\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    let recovered = parse_components(&text)?;
+
+    // 7. Oracle: an uninterrupted run over seed graph + ingested edges.
+    let mut all = std::fs::read_to_string(&graph).map_err(|e| format!("read graph: {e}"))?;
+    for &(u, v) in &edges {
+        all.push_str(&format!("{u} {v}\n"));
+    }
+    let combined_s = combined.to_string_lossy().into_owned();
+    std::fs::write(&combined, all).map_err(|e| format!("write combined graph: {e}"))?;
+    let out = cli_cmd(root, false)
+        .args(["cc", &combined_s])
+        .output()
+        .map_err(|e| format!("spawn cc: {e}"))?;
+    if !out.status.success() {
+        return Err(format!("oracle cc failed ({})", out.status));
+    }
+    let expected = parse_components(&String::from_utf8_lossy(&out.stdout))?;
+
+    if recovered != expected {
+        return Err(format!(
+            "recovered {recovered} component(s), uninterrupted run has {expected}"
+        ));
+    }
+    if recovered <= 1 {
+        // The seed graph is generated sparse so the count is sensitive to
+        // lost batches; a single component means this check went soft.
+        return Err(format!(
+            "oracle degenerated to {recovered} component(s); the assertion has no teeth"
+        ));
+    }
+
+    let _ = std::fs::remove_file(&graph);
+    let _ = std::fs::remove_file(&combined);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    println!(
+        "==> crash recovery smoke{}: killed mid-serve, recovered {recovered} component(s) == uninterrupted run",
+        tag(faults)
+    );
+    Ok(())
+}

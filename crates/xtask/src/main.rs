@@ -7,9 +7,11 @@
 //! - `cargo xtask ci` — the full gate: fmt, clippy (`-D warnings`), the
 //!   lints, the test suite both without and with the observability
 //!   feature (`obs`), the loopback serving smoke test ([`smoke`], also
-//!   with obs off and on), and the schedule-exploring model checker
-//!   (`ci.sh` is a thin wrapper around this).
+//!   with obs off and on), the crash-recovery smoke test ([`crash`],
+//!   clean and with chaos faults injected), and the schedule-exploring
+//!   model checker (`ci.sh` is a thin wrapper around this).
 
+mod crash;
 mod lint;
 mod smoke;
 
@@ -128,6 +130,17 @@ fn run_ci() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // WAL crash-recovery smoke: kill -9 mid-serve, recover, compare with
+    // an uninterrupted run — once clean, once under injected chaos.
+    for faults in [false, true] {
+        println!(
+            "==> crash recovery smoke{}",
+            if faults { " (faults)" } else { "" }
+        );
+        if !crash::run_crash(&root, faults) {
+            return ExitCode::FAILURE;
+        }
+    }
     println!("==> ci passed");
     ExitCode::SUCCESS
 }
@@ -137,10 +150,24 @@ fn main() -> ExitCode {
     match task.as_deref() {
         Some("lint") => run_lint(),
         Some("ci") => run_ci(),
+        Some("crash") => {
+            // The crash-recovery smoke alone (also part of `ci`).
+            let root = workspace_root();
+            for faults in [false, true] {
+                println!(
+                    "==> crash recovery smoke{}",
+                    if faults { " (faults)" } else { "" }
+                );
+                if !crash::run_crash(&root, faults) {
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
         _ => {
-            eprintln!("usage: cargo xtask <lint|ci>");
+            eprintln!("usage: cargo xtask <lint|ci|crash>");
             eprintln!("  lint  static concurrency lints (SAFETY comments, ordering allowlist, SeqCst ban)");
-            eprintln!("  ci    fmt --check + clippy -D warnings + lints + tests (with and without obs) + model checker");
+            eprintln!("  ci    fmt --check + clippy -D warnings + lints + tests (with and without obs) + model checker + serve/crash smokes");
             ExitCode::FAILURE
         }
     }

@@ -41,7 +41,7 @@ fn obs_tag(obs: bool) -> &'static str {
     }
 }
 
-fn cli_cmd(root: &Path, obs: bool) -> Command {
+pub(crate) fn cli_cmd(root: &Path, obs: bool) -> Command {
     let mut cmd = Command::new("cargo");
     cmd.current_dir(root)
         .args(["run", "-q", "-p", "afforest-cli", "--bin", "afforest"]);
@@ -53,7 +53,7 @@ fn cli_cmd(root: &Path, obs: bool) -> Command {
 }
 
 /// Kills the server child on every exit path.
-struct Reaper(Child);
+pub(crate) struct Reaper(pub(crate) Child);
 
 impl Drop for Reaper {
     fn drop(&mut self) {
