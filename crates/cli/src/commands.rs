@@ -353,15 +353,18 @@ pub mod bench {
 /// `afforest serve <graph> [--addr HOST:PORT] [--workers N]
 /// [--max-batch-edges N] [--max-batch-delay-ms MS] [--wal-dir PATH]
 /// [--wal-snapshot-every N] [--max-queue-depth N] [--read-deadline-ms MS]
-/// [--faults SPEC] [--trace-out PATH]`.
+/// [--faults SPEC] [--metrics-addr HOST:PORT] [--events-out PATH]
+/// [--trace-out PATH]`.
 pub mod serve {
     use super::*;
     use afforest_core::IncrementalCc;
     use afforest_serve::wal::{self, Wal};
-    use afforest_serve::{BatchPolicy, FaultPlan, ServeStats, Server, ServerOptions};
+    use afforest_serve::{
+        events, BatchPolicy, FaultPlan, MetricsHttp, ServeStats, Server, ServerOptions,
+    };
     use std::io::Write as _;
     use std::net::TcpListener;
-    use std::path::Path;
+    use std::path::{Path, PathBuf};
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -377,6 +380,8 @@ pub mod serve {
             "max-queue-depth",
             "read-deadline-ms",
             "faults",
+            "metrics-addr",
+            "events-out",
             "trace-out",
         ])?;
         let path = args.positional(0, "graph")?;
@@ -397,6 +402,13 @@ pub mod serve {
             None => None,
         };
         let trace_out = args.flag("trace-out");
+        // The flight recorder dumps here on panic and on clean shutdown;
+        // next to the WAL by default, so a post-mortem finds both.
+        let events_out: Option<PathBuf> =
+            args.flag("events-out").map(PathBuf::from).or_else(|| {
+                args.flag("wal-dir")
+                    .map(|d| Path::new(d).join("flight.json"))
+            });
 
         let g = load_graph(path)?;
         let edges = g.collect_edges();
@@ -465,6 +477,21 @@ pub mod serve {
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
         let local = listener.local_addr().map_err(|e| e.to_string())?;
 
+        // The telemetry plane: an HTTP scrape sidecar (kept alive by the
+        // binding until shutdown) and the flight recorder's panic hook.
+        let metrics_http = match args.flag("metrics-addr") {
+            Some(maddr) => {
+                let http =
+                    MetricsHttp::spawn(maddr).map_err(|e| format!("bind metrics {maddr}: {e}"))?;
+                println!("metrics on http://{}/metrics", http.local_addr());
+                Some(http)
+            }
+            None => None,
+        };
+        if let Some(dest) = &events_out {
+            events::install_panic_hook(dest.clone());
+        }
+
         // Announce before blocking: `dispatch` only prints on return, but
         // clients (and the CI smoke test) need the bound address now —
         // `--addr` with port 0 picks an ephemeral port.
@@ -484,9 +511,20 @@ pub mod serve {
         // Shutdown was requested: let queued inserts finish, then report.
         server.flush(Duration::from_secs(30));
         let trace = session.map(|s| s.end());
+        drop(metrics_http);
 
         let stats = server.stats_report();
         let mut out = String::new();
+        if let Some(dest) = &events_out {
+            match events::write_dump(dest) {
+                Ok(()) => {
+                    let _ = writeln!(out, "flight recording written to {}", dest.display());
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "warning: flight recording {}: {e}", dest.display());
+                }
+            }
+        }
         let _ = writeln!(out, "shutdown after epoch {}", stats.epoch);
         let _ = writeln!(
             out,
@@ -509,22 +547,44 @@ pub mod serve {
     }
 }
 
-/// `afforest recover <graph> --wal-dir PATH` — offline recovery: replay a
-/// write-ahead log (over the seed graph) and report what came back,
-/// without serving. The log's torn tail, if any, is truncated exactly as
-/// a restarting server would.
+/// `afforest recover [<graph>] [--wal-dir PATH] [--events PATH]` —
+/// offline post-mortem: replay a write-ahead log (over the seed graph)
+/// and report what came back, and/or summarize a flight recording dumped
+/// by a crashed or cleanly stopped server. The log's torn tail, if any,
+/// is truncated exactly as a restarting server would.
 pub mod recover {
     use super::*;
+    use afforest_serve::events::{self, Dump, EventKind};
     use afforest_serve::wal;
+    use std::collections::BTreeMap;
     use std::path::Path;
 
     pub fn run(argv: &[String]) -> Result<String, String> {
         let args = ParsedArgs::parse(argv)?;
-        args.allow_flags(&["wal-dir"])?;
+        args.allow_flags(&["wal-dir", "events"])?;
+        let events_path = args.flag("events");
+        let mut out = String::new();
+        match args.flag("wal-dir") {
+            Some(dir) => out.push_str(&wal_report(&args, dir)?),
+            None if events_path.is_none() => {
+                return Err(
+                    "recover requires --wal-dir PATH (WAL replay) and/or --events PATH \
+                     (flight recording)"
+                        .to_string(),
+                )
+            }
+            None => {}
+        }
+        if let Some(p) = events_path {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+            let dump = events::parse_dump(&text).map_err(|e| format!("{p}: {e}"))?;
+            out.push_str(&render_flight(p, &dump));
+        }
+        Ok(out)
+    }
+
+    fn wal_report(args: &ParsedArgs, dir: &str) -> Result<String, String> {
         let path = args.positional(0, "graph")?;
-        let dir = args
-            .flag("wal-dir")
-            .ok_or_else(|| "recover requires --wal-dir PATH".to_string())?;
         let dir = Path::new(dir);
         if !wal::exists(dir) {
             return Err(format!("no write-ahead log at {}", dir.display()));
@@ -572,6 +632,65 @@ pub mod recover {
             labels.len()
         );
         Ok(out)
+    }
+
+    /// How many trailing events the summary prints in full.
+    const TAIL: usize = 20;
+
+    /// Renders a parsed flight recording: per-kind totals (faults broken
+    /// out by site) and the final [`TAIL`] events, newest last. Pure, so
+    /// the tests can pin the format.
+    pub fn render_flight(path: &str, dump: &Dump) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "flight:      {path}");
+        let _ = writeln!(
+            out,
+            "events:      {} recorded, {} retained",
+            dump.recorded,
+            dump.events.len()
+        );
+        let mut by_kind: BTreeMap<&str, usize> = BTreeMap::new();
+        for e in &dump.events {
+            *by_kind.entry(e.kind.as_str()).or_default() += 1;
+        }
+        for (kind, count) in &by_kind {
+            let _ = writeln!(out, "  {kind:<18} {count}");
+        }
+        let faults: Vec<&events::DumpEvent> = dump.of_kind(EventKind::FaultInjected).collect();
+        if !faults.is_empty() {
+            let mut by_site: BTreeMap<&str, usize> = BTreeMap::new();
+            for e in &faults {
+                let site = e.fields.get("site").copied().unwrap_or(0);
+                *by_site.entry(events::fault_site::name(site)).or_default() += 1;
+            }
+            let _ = writeln!(
+                out,
+                "faults:      {}",
+                by_site
+                    .iter()
+                    .map(|(s, n)| format!("{s} x{n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        let tail = &dump.events[dump.events.len().saturating_sub(TAIL)..];
+        if !tail.is_empty() {
+            let _ = writeln!(out, "last {} event(s):", tail.len());
+        }
+        for e in tail {
+            let fields = e
+                .fields
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "  #{:<6} +{:>10}us  {:<18} {fields}",
+                e.seq, e.ts_us, e.kind
+            );
+        }
+        out
     }
 }
 
@@ -657,6 +776,153 @@ pub mod loadgen {
             ));
         }
         Ok(out)
+    }
+}
+
+/// `afforest top <host:port> [--interval-ms MS] [--count N]
+/// [--clear BOOL]` — a live dashboard over the `--metrics-addr` sidecar:
+/// scrape, diff against the previous scrape for rates, render per-op
+/// request rates and latency percentiles plus ingest/WAL health.
+pub mod top {
+    use super::*;
+    use afforest_obs::registry::{parse_exposition, Scrape};
+    use afforest_serve::http::http_get;
+    use afforest_serve::metrics::OP_NAMES;
+    use std::io::Write as _;
+
+    pub fn run(argv: &[String]) -> Result<String, String> {
+        let args = ParsedArgs::parse(argv)?;
+        args.allow_flags(&["interval-ms", "count", "clear"])?;
+        let addr = args.positional(0, "host:port")?;
+        let interval_ms: u64 = args.flag_parsed("interval-ms", 1000u64)?;
+        let count: u64 = args.flag_parsed("count", 0u64)?; // 0 = until interrupted
+        let clear: bool = args.flag_parsed("clear", true)?;
+
+        let mut prev: Option<(Scrape, Instant)> = None;
+        let mut frames = 0u64;
+        loop {
+            let (status, body) = http_get(addr, "/metrics")?;
+            if status != 200 {
+                return Err(format!("{addr} answered HTTP {status} to GET /metrics"));
+            }
+            let now = Instant::now();
+            let cur = parse_exposition(&body).map_err(|e| format!("bad exposition: {e}"))?;
+            let dt = prev
+                .as_ref()
+                .map(|(_, at)| now.duration_since(*at).as_secs_f64());
+            if clear {
+                // ANSI clear + home, like top(1); `--clear false` scrolls
+                // instead (logs, pipes, dumb terminals).
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", render(addr, prev.as_ref().map(|(s, _)| s), &cur, dt));
+            let _ = std::io::stdout().flush();
+            frames += 1;
+            if count != 0 && frames >= count {
+                break;
+            }
+            prev = Some((cur, now));
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(1)));
+        }
+        Ok(format!("{frames} scrape(s) of {addr}\n"))
+    }
+
+    /// Nanoseconds, humanized (`850ns`, `4.2us`, `1.3ms`, `2.0s`).
+    fn fmt_ns(ns: u64) -> String {
+        match ns {
+            0..=999 => format!("{ns}ns"),
+            1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+            1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+            _ => format!("{:.1}s", ns as f64 / 1e9),
+        }
+    }
+
+    /// A counter's per-second rate between two scrapes, `-` on the first
+    /// frame (no previous sample to diff against).
+    fn rate(prev: Option<&Scrape>, cur: &Scrape, name: &str, dt: Option<f64>) -> String {
+        match (prev.and_then(|p| p.value(name)), cur.value(name), dt) {
+            (Some(a), Some(b), Some(dt)) if dt > 0.0 => {
+                format!("{:.1}", b.saturating_sub(a) as f64 / dt)
+            }
+            _ => "-".to_string(),
+        }
+    }
+
+    /// Renders one dashboard frame. Pure — the tests feed it canned
+    /// scrapes and pin the layout.
+    pub fn render(addr: &str, prev: Option<&Scrape>, cur: &Scrape, dt: Option<f64>) -> String {
+        let v = |name: &str| cur.value(name).unwrap_or(0);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "afforest top — {addr}  epoch {}  queue {} edge(s)",
+            v("afforest_epoch"),
+            v("afforest_queue_depth")
+        );
+        let _ = writeln!(
+            out,
+            "ingest: {} edge(s) over {} epoch(s)  shed {}  wal {} rec / {} B / {} compaction(s) / {} error(s)",
+            v("afforest_edges_ingested_total"),
+            v("afforest_epochs_published_total"),
+            v("afforest_requests_shed_total"),
+            v("afforest_wal_records_total"),
+            v("afforest_wal_bytes_total"),
+            v("afforest_wal_compactions_total"),
+            v("afforest_wal_errors_total"),
+        );
+        if let Some(lag) = cur.histogram("afforest_epoch_publish_lag_ns") {
+            if lag.count > 0 {
+                let _ = writeln!(
+                    out,
+                    "publish lag: p50 {}  p95 {}  p99 {}  ({} sample(s))",
+                    fmt_ns(lag.percentile(0.50)),
+                    fmt_ns(lag.percentile(0.95)),
+                    fmt_ns(lag.percentile(0.99)),
+                    lag.count
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>9} {:>8} {:>8} {:>8}",
+            "op", "total", "req/s", "p50", "p95", "p99"
+        );
+        for op in OP_NAMES {
+            let total_name = format!("afforest_requests_{op}_total");
+            let total = v(&total_name);
+            let (p50, p95, p99) = match cur.histogram(&format!("afforest_request_latency_{op}_ns"))
+            {
+                Some(h) if h.count > 0 => (
+                    fmt_ns(h.percentile(0.50)),
+                    fmt_ns(h.percentile(0.95)),
+                    fmt_ns(h.percentile(0.99)),
+                ),
+                _ => ("-".into(), "-".into(), "-".into()),
+            };
+            let _ = writeln!(
+                out,
+                "{op:<16} {total:>10} {:>9} {p50:>8} {p95:>8} {p99:>8}",
+                rate(prev, cur, &total_name, dt)
+            );
+        }
+        let faults: u64 = [
+            "afforest_faults_wal_drop_total",
+            "afforest_faults_wal_short_write_total",
+            "afforest_faults_apply_delay_total",
+            "afforest_faults_torn_frame_total",
+            "afforest_faults_worker_kill_total",
+        ]
+        .into_iter()
+        .map(v)
+        .sum();
+        if faults > 0 || v("afforest_worker_deaths_total") > 0 {
+            let _ = writeln!(
+                out,
+                "chaos: {faults} fault(s) injected, {} worker death(s)",
+                v("afforest_worker_deaths_total")
+            );
+        }
+        out
     }
 }
 
@@ -1020,6 +1286,139 @@ mod tests {
             trace.spans.iter().any(|s| s.base_name() == "ingest-batch"),
             "no ingest-batch spans recorded"
         );
+    }
+
+    #[test]
+    fn recover_without_wal_or_events_names_both_flags() {
+        let err = recover::run(&argv(&[])).unwrap_err();
+        assert!(err.contains("--wal-dir"), "{err}");
+        assert!(err.contains("--events"), "{err}");
+    }
+
+    #[test]
+    fn recover_events_summarizes_a_flight_dump() {
+        use afforest_serve::events::{self, EventKind};
+        // A dump written by the recorder itself; the summary must account
+        // for every kind and break faults out by site.
+        events::record(EventKind::EpochPublished, [3, 128, 900]);
+        events::record(
+            EventKind::FaultInjected,
+            [events::fault_site::TORN_FRAME, 5, 0],
+        );
+        let path = tempfile("flight.json");
+        std::fs::write(&path, events::dump_json()).unwrap();
+        // Events-only mode: no graph, no WAL.
+        let out = recover::run(&argv(&["--events", &path])).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(out.contains("flight:"), "{out}");
+        assert!(out.contains("epoch_published"), "{out}");
+        assert!(out.contains("torn_frame x1"), "{out}");
+        assert!(out.contains("epoch=3"), "{out}");
+    }
+
+    #[test]
+    fn recover_events_rejects_garbage() {
+        let path = tempfile("flight-garbage.json");
+        std::fs::write(&path, "not a dump").unwrap();
+        let err = recover::run(&argv(&["--events", &path])).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(err.contains(&path), "{err}");
+    }
+
+    /// Parses canned exposition text into a [`Scrape`] for the render
+    /// tests (the same parser `top` uses against a live endpoint).
+    fn scrape_of(text: &str) -> afforest_obs::registry::Scrape {
+        afforest_obs::registry::parse_exposition(text).expect("canned exposition parses")
+    }
+
+    #[test]
+    fn top_render_shows_totals_rates_and_percentiles() {
+        let first = scrape_of(
+            "# TYPE afforest_epoch gauge\nafforest_epoch 7\n\
+             # TYPE afforest_queue_depth gauge\nafforest_queue_depth 12\n\
+             # TYPE afforest_requests_connected_total counter\n\
+             afforest_requests_connected_total 100\n",
+        );
+        let second = scrape_of(
+            "# TYPE afforest_epoch gauge\nafforest_epoch 9\n\
+             # TYPE afforest_queue_depth gauge\nafforest_queue_depth 0\n\
+             # TYPE afforest_requests_connected_total counter\n\
+             afforest_requests_connected_total 350\n\
+             # TYPE afforest_request_latency_connected_ns histogram\n\
+             afforest_request_latency_connected_ns_bucket{le=\"1023\"} 250\n\
+             afforest_request_latency_connected_ns_bucket{le=\"+Inf\"} 250\n\
+             afforest_request_latency_connected_ns_sum 200000\n\
+             afforest_request_latency_connected_ns_count 250\n",
+        );
+        // First frame: no previous scrape, so rates are dashes.
+        let frame = top::render("127.0.0.1:9", None, &first, None);
+        assert!(frame.contains("epoch 7"), "{frame}");
+        assert!(frame.contains("queue 12"), "{frame}");
+        assert!(
+            frame
+                .lines()
+                .any(|l| l.starts_with("connected") && l.contains('-')),
+            "{frame}"
+        );
+        // Second frame: 250 more requests over 2 s = 125.0 req/s, and the
+        // latency histogram yields percentiles.
+        let frame = top::render("127.0.0.1:9", Some(&first), &second, Some(2.0));
+        assert!(frame.contains("epoch 9"), "{frame}");
+        assert!(frame.contains("125.0"), "{frame}");
+        let connected = frame
+            .lines()
+            .find(|l| l.starts_with("connected"))
+            .expect("connected row");
+        assert!(connected.contains("350"), "{frame}");
+        // All 250 samples sit in the ≤1023 ns bucket: every percentile
+        // reads back as that bucket's upper edge.
+        assert!(connected.contains("1.0us"), "{frame}");
+        // No chaos metrics → no chaos line.
+        assert!(!frame.contains("chaos:"), "{frame}");
+    }
+
+    #[test]
+    fn top_render_surfaces_chaos_and_publish_lag() {
+        let s = scrape_of(
+            "# TYPE afforest_faults_torn_frame_total counter\n\
+             afforest_faults_torn_frame_total 4\n\
+             # TYPE afforest_worker_deaths_total counter\n\
+             afforest_worker_deaths_total 1\n\
+             # TYPE afforest_epoch_publish_lag_ns histogram\n\
+             afforest_epoch_publish_lag_ns_bucket{le=\"2097151\"} 9\n\
+             afforest_epoch_publish_lag_ns_bucket{le=\"+Inf\"} 9\n\
+             afforest_epoch_publish_lag_ns_sum 9000000\n\
+             afforest_epoch_publish_lag_ns_count 9\n",
+        );
+        let frame = top::render("h:1", None, &s, None);
+        assert!(
+            frame.contains("chaos: 4 fault(s) injected, 1 worker death(s)"),
+            "{frame}"
+        );
+        assert!(frame.contains("publish lag: p50 2.1ms"), "{frame}");
+    }
+
+    #[test]
+    fn top_requires_an_address_and_validates_flags() {
+        let err = top::run(&argv(&[])).unwrap_err();
+        assert!(err.contains("host:port"), "{err}");
+        let err = top::run(&argv(&["127.0.0.1:9", "--interval", "5"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn top_against_a_live_sidecar_scrapes_once() {
+        // A sidecar with the serve metrics registered is all `top` needs —
+        // it reads the process-global registry over HTTP.
+        afforest_serve::metrics::metrics().connections.inc();
+        let http = afforest_serve::MetricsHttp::spawn("127.0.0.1:0").expect("bind sidecar");
+        let addr = http.local_addr().to_string();
+        let out = top::run(&argv(&[&addr, "--count", "1", "--clear", "false"])).unwrap();
+        assert!(out.contains("1 scrape(s)"), "{out}");
+        // A dead endpoint is a clean error, not a hang.
+        drop(http);
+        let err = top::run(&argv(&["127.0.0.1:1", "--count", "1"])).unwrap_err();
+        assert!(err.contains("connect"), "{err}");
     }
 
     #[test]

@@ -8,11 +8,14 @@
 //! afforest convert  <in> <out>
 //! afforest bench    <graph> [--trials N] [--trace-out PATH]
 //! afforest serve    <graph> [--addr HOST:PORT] [--workers N] [--wal-dir PATH]
-//!                   [--max-queue-depth N] [--faults SPEC] [--trace-out PATH]
-//! afforest recover  <graph> --wal-dir PATH
+//!                   [--max-queue-depth N] [--faults SPEC]
+//!                   [--metrics-addr HOST:PORT] [--events-out PATH]
+//!                   [--trace-out PATH]
+//! afforest recover  [<graph>] [--wal-dir PATH] [--events PATH]
 //! afforest loadgen  (<host:port> | --graph PATH) [--connections N] [--requests N]
 //!                   [--read-pct P] [--max-retries N] [--json-out PATH]
 //!                   [--trace-out PATH]
+//! afforest top      <host:port> [--interval-ms MS] [--count N] [--clear BOOL]
 //! afforest help
 //! ```
 //!
@@ -49,14 +52,20 @@ commands:
            [--read-deadline-ms MS]          drop connections idle past MS
            [--faults SPEC]                  chaos injection, e.g.
                                             seed=7,torn_frame=0.05,kill_worker=0.1
+           [--metrics-addr HOST:PORT]       HTTP sidecar serving GET /metrics
+           [--events-out PATH]              flight-recorder dump on panic and
+                                            shutdown (default <wal-dir>/flight.json)
            [--trace-out PATH]
-  recover  <graph> --wal-dir PATH           offline WAL replay report (no serving)
+  recover  [<graph>] [--wal-dir PATH]       offline WAL replay report (no serving)
+           [--events PATH]                  and/or flight-recording summary
   loadgen  (<host:port> | --graph PATH)     mixed read/write workload driver
            [--connections N] [--requests N]
            [--read-pct P] [--insert-batch N]
            [--seed S] [--max-retries N]
            [--retry-backoff-us US]
            [--json-out PATH] [--trace-out PATH]
+  top      <host:port> [--interval-ms MS]   live dashboard over a server's
+           [--count N] [--clear BOOL]       --metrics-addr scrape endpoint
   help                                      this message
 
 `--trace-out` writes a JSON phase trace of the best trial (build with
@@ -84,6 +93,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "serve" => commands::serve::run(rest),
         "recover" => commands::recover::run(rest),
         "loadgen" => commands::loadgen::run(rest),
+        "top" => commands::top::run(rest),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown command '{other}'")),
     }

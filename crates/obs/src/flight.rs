@@ -1,0 +1,216 @@
+//! Fixed-capacity lock-free flight recorder.
+//!
+//! A ring of the last [`CAPACITY`] structured events, writable from any
+//! thread without locks, readable at any time (including from a panic
+//! hook) without stopping writers. The serving crate records coarse
+//! lifecycle events here — epoch published, WAL compaction, overload
+//! shed, fault injected, worker death — so that when a server dies, the
+//! dump explains *what the runtime was doing*, which counters alone
+//! cannot.
+//!
+//! # Design
+//!
+//! Writers claim a slot with one `fetch_add` on the ring cursor and then
+//! stamp the slot with a seqlock-style version: `2*seq + 1` while the
+//! fields are being written, `2*seq + 2` once complete. Readers
+//! ([`Ring::snapshot`]) load the stamp before and after copying the
+//! fields and keep the event only if both loads agree on a completed
+//! stamp — a slot caught mid-overwrite is simply skipped. Events carry
+//! plain `u64` payloads (no pointers, no allocation), so a torn read
+//! can never be unsound, only discarded.
+//!
+//! One writer-side race is accepted by design: if a writer stalls
+//! mid-write for long enough that the cursor laps the whole ring
+//! ([`CAPACITY`] more events) and a second writer lands on the same
+//! slot, their field writes may interleave under the younger stamp. The
+//! stamp protocol cannot rule this out without locks; at ring capacity
+//! 1024 and the event rates involved (epochs, faults — not requests)
+//! the window is negligible, and the cost is one garbled *historical*
+//! event in a diagnostic dump, detected in practice by an out-of-range
+//! kind. Real flight recorders make the same trade.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of events the ring retains (oldest overwritten first).
+pub const CAPACITY: usize = 1024;
+
+/// One recorded event, as copied out by [`Ring::snapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Microseconds since the ring was created.
+    pub ts_us: u64,
+    /// Caller-defined event kind (the serving crate maps these to
+    /// names; the ring itself is agnostic).
+    pub kind: u16,
+    /// Caller-defined payload words, meaning fixed per kind.
+    pub args: [u64; 3],
+}
+
+struct RingSlot {
+    /// 0 = never written; `2*seq+1` = writing; `2*seq+2` = complete.
+    stamp: AtomicU64,
+    ts_us: AtomicU64,
+    kind: AtomicU64,
+    args: [AtomicU64; 3],
+}
+
+impl RingSlot {
+    const fn new() -> RingSlot {
+        RingSlot {
+            stamp: AtomicU64::new(0),
+            ts_us: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            args: [const { AtomicU64::new(0) }; 3],
+        }
+    }
+}
+
+/// The event ring. Usually accessed through a process-global instance
+/// owned by the serving crate; constructible directly for tests.
+pub struct Ring {
+    next: AtomicU64,
+    slots: Box<[RingSlot]>,
+    epoch: Instant,
+}
+
+impl Default for Ring {
+    fn default() -> Ring {
+        Ring::new()
+    }
+}
+
+impl Ring {
+    /// Creates an empty ring of [`CAPACITY`] slots.
+    pub fn new() -> Ring {
+        Ring {
+            next: AtomicU64::new(0),
+            slots: (0..CAPACITY).map(|_| RingSlot::new()).collect(),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Records one event. Lock-free: one `fetch_add` plus plain atomic
+    /// stores. Safe from any thread, including inside a panic hook.
+    pub fn record(&self, kind: u16, args: [u64; 3]) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % CAPACITY as u64) as usize];
+        let ts = self.epoch.elapsed().as_micros() as u64;
+        // Release-stamp the writing mark so readers that observe it
+        // (via Acquire) know the fields below may be in flux.
+        slot.stamp.store(seq * 2 + 1, Ordering::Release);
+        slot.ts_us.store(ts, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        for (dst, v) in slot.args.iter().zip(args) {
+            dst.store(v, Ordering::Relaxed);
+        }
+        // Release the completed stamp: a reader seeing 2*seq+2 with
+        // Acquire also sees every field store above.
+        slot.stamp.store(seq * 2 + 2, Ordering::Release);
+    }
+
+    /// Total events ever recorded (including ones already overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Copies out every retained event, oldest first, without blocking
+    /// writers. Slots caught mid-write are skipped.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(CAPACITY);
+        for slot in self.slots.iter() {
+            let before = slot.stamp.load(Ordering::Acquire);
+            if before == 0 || before % 2 == 1 {
+                continue; // empty or mid-write
+            }
+            let ev = Event {
+                seq: before / 2 - 1,
+                ts_us: slot.ts_us.load(Ordering::Relaxed),
+                kind: slot.kind.load(Ordering::Relaxed) as u16,
+                args: [
+                    slot.args[0].load(Ordering::Relaxed),
+                    slot.args[1].load(Ordering::Relaxed),
+                    slot.args[2].load(Ordering::Relaxed),
+                ],
+            };
+            let after = slot.stamp.load(Ordering::Acquire);
+            if after == before {
+                out.push(ev);
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots_in_order() {
+        let ring = Ring::new();
+        for i in 0..10u64 {
+            ring.record(1, [i, i * 2, 0]);
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 10);
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+            assert_eq!(ev.args[0], i as u64);
+            assert_eq!(ev.kind, 1);
+        }
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn wraps_keeping_the_newest() {
+        let ring = Ring::new();
+        let total = CAPACITY as u64 + 100;
+        for i in 0..total {
+            ring.record(2, [i, 0, 0]);
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), CAPACITY);
+        assert_eq!(events.first().unwrap().seq, 100);
+        assert_eq!(events.last().unwrap().seq, total - 1);
+        // Seqs are contiguous after the wrap.
+        for w in events.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        assert_eq!(ring.recorded(), total);
+    }
+
+    #[test]
+    fn concurrent_writers_every_event_consistent() {
+        let ring = Ring::new();
+        let threads = 8u64;
+        let per = 200u64; // 1600 > CAPACITY: exercises wrap under contention
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..per {
+                        // args encode (writer, i) twice so a torn mix is
+                        // detectable.
+                        ring.record(3, [t, i, t * 1_000_000 + i]);
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), threads * per);
+        let events = ring.snapshot();
+        assert!(!events.is_empty());
+        for ev in events {
+            assert_eq!(ev.kind, 3);
+            assert_eq!(ev.args[2], ev.args[0] * 1_000_000 + ev.args[1]);
+        }
+    }
+
+    #[test]
+    fn snapshot_of_empty_ring_is_empty() {
+        assert!(Ring::new().snapshot().is_empty());
+    }
+}

@@ -17,6 +17,16 @@
 //! allocation remain in instrumented hot loops. Downstream crates forward
 //! the feature as `obs`, so `--features obs` lights the whole stack up.
 //!
+//! # Always-on service telemetry
+//!
+//! The session tracer is deliberately off by default — correct for
+//! benchmarking, wrong for operating a long-running server. The
+//! [`registry`] module (process-global named counters/gauges/histograms
+//! with Prometheus text exposition) and the [`flight`] module (a
+//! lock-free ring of recent structured events) are the complementary
+//! layer: compiled unconditionally, no feature gate, cheap enough to
+//! leave on forever. See `DESIGN.md` §12 for the separation argument.
+//!
 //! # Usage
 //!
 //! ```
@@ -39,9 +49,11 @@
 //! the algorithm — per-edge work inside rayon workers reports through
 //! counters, not spans.
 
+pub mod flight;
 pub mod json;
 #[cfg(feature = "enabled")]
 mod recorder;
+pub mod registry;
 mod trace;
 
 pub use trace::{base_of, Histogram, PhaseTotal, SpanRecord, Trace};

@@ -1,0 +1,598 @@
+//! Process-global, always-on metric registry for long-running services.
+//!
+//! The session tracer in this crate ([`crate::Session`]) is the wrong
+//! shape for a server: it is off by default, single-session, and scoped
+//! to one measured run. A service needs the opposite — metrics that are
+//! **always compiled, always live**, named statically, and cheap enough
+//! that nobody ever considers turning them off. This module provides
+//! that layer:
+//!
+//! - [`Counter`] — monotonic, striped across [`STRIPES`] cache-line-ish
+//!   shards so concurrent writers from different threads do not contend
+//!   on one atomic.
+//! - [`Gauge`] — a single last-writer-wins value (queue depth, current
+//!   epoch).
+//! - [`Histogram`] — log2-bucketed latency/size distribution with the
+//!   same bucket geometry as [`crate::Histogram`], so snapshots merge
+//!   with session traces and share percentile code.
+//!
+//! Metrics are created (and registered) on first use by static name:
+//!
+//! ```
+//! use afforest_obs::registry;
+//!
+//! let hits = registry::counter("doc_example_hits_total");
+//! hits.add(3);
+//! assert!(registry::expose().contains("doc_example_hits_total 3"));
+//! ```
+//!
+//! # Snapshot semantics
+//!
+//! Scrapes never pause writers. [`snapshot`] and [`expose`] read every
+//! shard with `Ordering::Relaxed` loads — no locks are taken on any hot
+//! path (the registry mutex guards only *registration*, a once-per-name
+//! event). A scrape is therefore not an atomic cut across metrics: a
+//! counter incremented mid-scrape may appear in one metric's total and
+//! not another's. For rate dashboards and monotonicity checks — the
+//! intended uses — that is exactly as good as a consistent cut, and it
+//! costs the writer nothing.
+//!
+//! # Exposition
+//!
+//! [`expose`] renders the Prometheus text format (version 0.0.4):
+//! `# TYPE` comments, `name value` samples, and for histograms the
+//! cumulative `_bucket{le="..."}` / `_sum` / `_count` triple. Bucket
+//! upper bounds are the log2 bucket edges in nanoseconds.
+//! [`parse_exposition`] is the inverse, used by `afforest top` and the
+//! CI metrics smoke.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of shards per [`Counter`]. Writers pick a shard by thread, so
+/// contention only occurs when more than `STRIPES` threads hammer the
+/// same counter simultaneously.
+pub const STRIPES: usize = 16;
+
+/// Log2 histogram bucket count (covers the full `u64` range).
+pub const BUCKETS: usize = 64;
+
+thread_local! {
+    /// This thread's shard index, assigned round-robin at first use.
+    static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+#[inline]
+fn stripe_of_thread() -> usize {
+    STRIPE.with(|s| *s)
+}
+
+/// A monotonically increasing counter, striped to keep concurrent
+/// writers off each other's cache lines.
+pub struct Counter {
+    stripes: [AtomicU64; STRIPES],
+}
+
+impl Counter {
+    const fn new() -> Counter {
+        Counter {
+            stripes: [const { AtomicU64::new(0) }; STRIPES],
+        }
+    }
+
+    /// Adds `n` (Relaxed; never blocks, never fails).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_of_thread()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total: the sum of all shards (Relaxed loads).
+    pub fn get(&self) -> u64 {
+        self.stripes.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A last-writer-wins instantaneous value.
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    const fn new() -> Gauge {
+        Gauge {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores `v` (Relaxed).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value (Relaxed).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A concurrent log2-bucketed histogram.
+///
+/// Same bucket geometry as [`crate::Histogram`] (`bucket = floor(log2(v))`,
+/// values clamped to ≥ 1): [`Hist::snapshot`] converts to that type, so
+/// percentiles, merging, and rendering are shared with session traces.
+pub struct Hist {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Hist {
+    const fn new() -> Hist {
+        Hist {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+
+    /// Records one observation (Relaxed fetch-ops; never blocks).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let bucket = 63u32.saturating_sub(v.max(1).leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into a mergeable [`crate::Histogram`]
+    /// named `name`. Relaxed loads only; concurrent records may be
+    /// partially visible (count and buckets can disagree by in-flight
+    /// observations), which is acceptable for scraping.
+    pub fn snapshot(&self, name: &str) -> crate::Histogram {
+        let mut h = crate::Histogram::new(name);
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum_ns = self.sum.load(Ordering::Relaxed);
+        h.min_ns = self.min.load(Ordering::Relaxed);
+        h.max_ns = self.max.load(Ordering::Relaxed);
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                h.buckets.push((i as u32, n));
+            }
+        }
+        h
+    }
+}
+
+/// One registered metric, by reference into the leaked registry.
+enum Slot {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Hist(&'static Hist),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Hist(_) => "histogram",
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<(&'static str, Slot)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(&'static str, Slot)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn register_or_get<T>(
+    name: &'static str,
+    make: impl FnOnce() -> &'static T,
+    as_slot: impl Fn(&Slot) -> Option<&'static T>,
+    wrap: impl FnOnce(&'static T) -> Slot,
+) -> &'static T {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, slot)) = reg.iter().find(|(n, _)| *n == name) {
+        return as_slot(slot).unwrap_or_else(|| {
+            panic!(
+                "metric {name:?} already registered as a {}; \
+                 one name, one type",
+                slot.kind()
+            )
+        });
+    }
+    let metric = make();
+    reg.push((name, wrap(metric)));
+    metric
+}
+
+/// Returns the counter registered under `name`, creating it on first
+/// use. Panics if `name` is already registered as a different type.
+///
+/// Call once and cache the reference (e.g. in a `OnceLock` struct of
+/// metrics); the lookup takes the registry lock, `add` never does.
+pub fn counter(name: &'static str) -> &'static Counter {
+    register_or_get(
+        name,
+        || Box::leak(Box::new(Counter::new())),
+        |s| match s {
+            Slot::Counter(c) => Some(c),
+            _ => None,
+        },
+        Slot::Counter,
+    )
+}
+
+/// Returns the gauge registered under `name`, creating it on first use.
+/// Panics if `name` is already registered as a different type.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    register_or_get(
+        name,
+        || Box::leak(Box::new(Gauge::new())),
+        |s| match s {
+            Slot::Gauge(g) => Some(g),
+            _ => None,
+        },
+        Slot::Gauge,
+    )
+}
+
+/// Returns the histogram registered under `name`, creating it on first
+/// use. Panics if `name` is already registered as a different type.
+pub fn histogram(name: &'static str) -> &'static Hist {
+    register_or_get(
+        name,
+        || Box::leak(Box::new(Hist::new())),
+        |s| match s {
+            Slot::Hist(h) => Some(h),
+            _ => None,
+        },
+        Slot::Hist,
+    )
+}
+
+/// A point-in-time reading of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram snapshot (mergeable, percentile-capable).
+    Histogram(crate::Histogram),
+}
+
+/// Reads every registered metric (Relaxed loads; writers never pause).
+/// Sorted by name for deterministic output.
+pub fn snapshot() -> Vec<(&'static str, MetricValue)> {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<(&'static str, MetricValue)> = reg
+        .iter()
+        .map(|(name, slot)| {
+            let value = match slot {
+                Slot::Counter(c) => MetricValue::Counter(c.get()),
+                Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                Slot::Hist(h) => MetricValue::Histogram(h.snapshot(name)),
+            };
+            (*name, value)
+        })
+        .collect();
+    out.sort_by_key(|(name, _)| *name);
+    out
+}
+
+/// Upper edge (inclusive) of log2 bucket `b`, as used in exposition
+/// `le` labels: `2^(b+1) - 1`.
+pub fn bucket_upper_edge(b: u32) -> u64 {
+    if b >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (b + 1)) - 1
+    }
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format (0.0.4). Deterministic order (sorted by name).
+pub fn expose() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (name, value) in snapshot() {
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cum = 0u64;
+                for &(bucket, n) in &h.buckets {
+                    cum += n;
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{le=\"{}\"}} {cum}",
+                        bucket_upper_edge(bucket)
+                    );
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                let _ = writeln!(out, "{name}_sum {}", h.sum_ns);
+                let _ = writeln!(out, "{name}_count {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+/// A parsed exposition: plain samples (counters/gauges) and
+/// reconstructed histograms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Scrape {
+    /// `name -> value` for counter and gauge samples (also `_sum` and
+    /// `_count` histogram samples, under their suffixed names).
+    pub values: Vec<(String, u64)>,
+    /// Histograms rebuilt from `_bucket`/`_sum`/`_count` triples.
+    /// `min_ns`/`max_ns` are approximated by the occupied bucket edges
+    /// (the text format does not carry exact extrema).
+    pub histograms: Vec<crate::Histogram>,
+}
+
+impl Scrape {
+    /// Looks up a plain sample by name.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a reconstructed histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&crate::Histogram> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Parses a Prometheus text exposition produced by [`expose`] (or any
+/// scraper-compatible source using the same histogram bucket edges).
+///
+/// Returns an error describing the first malformed line. Unknown
+/// comment lines are ignored, as the format requires.
+pub fn parse_exposition(text: &str) -> Result<Scrape, String> {
+    struct Partial {
+        buckets: Vec<(u32, u64)>, // (bucket index, cumulative count)
+        sum: u64,
+        count: u64,
+    }
+    let mut scrape = Scrape::default();
+    let mut partials: Vec<(String, Partial)> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {line:?}", lineno + 1);
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("expected `name value`"))?;
+        let name_part = name_part.trim();
+        let value_part = value_part.trim();
+
+        if let Some((base, rest)) = name_part.split_once("_bucket{le=\"") {
+            let le = rest
+                .strip_suffix("\"}")
+                .ok_or_else(|| err("unterminated le label"))?;
+            let cum: u64 = value_part
+                .parse()
+                .map_err(|_| err("bucket count not an integer"))?;
+            let partial = match partials.iter_mut().find(|(n, _)| n == base) {
+                Some((_, p)) => p,
+                None => {
+                    partials.push((
+                        base.to_string(),
+                        Partial {
+                            buckets: Vec::new(),
+                            sum: 0,
+                            count: 0,
+                        },
+                    ));
+                    &mut partials.last_mut().unwrap().1
+                }
+            };
+            if le == "+Inf" {
+                continue; // total repeated in `_count`
+            }
+            let edge: u64 = le.parse().map_err(|_| err("le bound not an integer"))?;
+            // edge = 2^(b+1) - 1  =>  b = log2(edge + 1) - 1, with the
+            // top bucket's edge saturated at u64::MAX.
+            let bucket = if edge == u64::MAX {
+                63
+            } else {
+                (63u32 - edge.wrapping_add(1).leading_zeros()).saturating_sub(1)
+            };
+            partial.buckets.push((bucket, cum));
+            continue;
+        }
+        let value: u64 = value_part
+            .parse()
+            .map_err(|_| err("sample value not an unsigned integer"))?;
+        if let Some(base) = name_part.strip_suffix("_sum") {
+            if let Some((_, p)) = partials.iter_mut().find(|(n, _)| n == base) {
+                p.sum = value;
+            }
+        } else if let Some(base) = name_part.strip_suffix("_count") {
+            if let Some((_, p)) = partials.iter_mut().find(|(n, _)| n == base) {
+                p.count = value;
+            }
+        }
+        if name_part.contains(['{', '}']) {
+            return Err(err("unexpected labels on non-bucket sample"));
+        }
+        scrape.values.push((name_part.to_string(), value));
+    }
+
+    for (name, p) in partials {
+        let mut h = crate::Histogram::new(&name);
+        h.count = p.count;
+        h.sum_ns = p.sum;
+        let mut prev = 0u64;
+        for (bucket, cum) in p.buckets {
+            let n = cum.saturating_sub(prev);
+            prev = cum;
+            if n > 0 {
+                h.buckets.push((bucket, n));
+            }
+        }
+        if let Some(&(first, _)) = h.buckets.first() {
+            h.min_ns = if first == 0 { 1 } else { 1u64 << first };
+        }
+        if let Some(&(last, _)) = h.buckets.last() {
+            h.max_ns = bucket_upper_edge(last);
+        }
+        scrape.histograms.push(h);
+    }
+    Ok(scrape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global registry: every test uses unique names and asserts deltas,
+    // because tests in this binary share the process.
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = counter("test_reg_counter_threads_total");
+        let before = c.get();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get() - before, 8000);
+    }
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let a = counter("test_reg_same_name_total");
+        let b = counter("test_reg_same_name_total");
+        a.add(5);
+        assert_eq!(b.get(), a.get());
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn gauge_is_last_writer_wins() {
+        let g = gauge("test_reg_gauge");
+        g.set(41);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_snapshot_matches_session_geometry() {
+        let h = histogram("test_reg_hist_ns");
+        for v in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot("test_reg_hist_ns");
+        let mut reference = crate::Histogram::new("reference");
+        for v in [1u64, 2, 3, 100, 1000, 100_000] {
+            reference.record(v);
+        }
+        assert_eq!(snap.count, reference.count);
+        assert_eq!(snap.buckets, reference.buckets);
+        assert_eq!(snap.min_ns, reference.min_ns);
+        assert_eq!(snap.max_ns, reference.max_ns);
+        assert_eq!(snap.percentile(0.5), reference.percentile(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflict_panics() {
+        counter("test_reg_conflict");
+        gauge("test_reg_conflict");
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_parser() {
+        let c = counter("test_reg_expo_requests_total");
+        let g = gauge("test_reg_expo_depth");
+        let h = histogram("test_reg_expo_latency_ns");
+        c.add(3);
+        g.set(9);
+        for v in [5u64, 5, 900, 70_000] {
+            h.record(v);
+        }
+
+        let text = expose();
+        let scrape = parse_exposition(&text).expect("parse");
+
+        assert!(scrape.value("test_reg_expo_requests_total").unwrap() >= 3);
+        assert_eq!(scrape.value("test_reg_expo_depth"), Some(9));
+        let hist = scrape.histogram("test_reg_expo_latency_ns").unwrap();
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.sum_ns, 5 + 5 + 900 + 70_000);
+        // Reconstructed buckets carry the same per-bucket counts.
+        let snap = h.snapshot("x");
+        assert_eq!(hist.buckets, snap.buckets);
+    }
+
+    #[test]
+    fn exposition_is_sorted_and_typed() {
+        counter("test_reg_order_a_total");
+        counter("test_reg_order_b_total");
+        let text = expose();
+        let a = text.find("test_reg_order_a_total").unwrap();
+        let b = text.find("test_reg_order_b_total").unwrap();
+        assert!(a < b);
+        assert!(text.contains("# TYPE test_reg_order_a_total counter"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_exposition("no_value_here\n").is_err());
+        assert!(parse_exposition("name not_a_number\n").is_err());
+        assert!(parse_exposition("h_bucket{le=\"3\" 4\n").is_err());
+        // Comments and blanks are fine.
+        assert!(parse_exposition("# HELP x y\n\n").is_ok());
+    }
+
+    #[test]
+    fn bucket_edges_invert() {
+        for b in 0..64u32 {
+            let edge = bucket_upper_edge(b);
+            let back = if edge == u64::MAX {
+                63
+            } else {
+                63u32.saturating_sub(edge.saturating_add(1).leading_zeros()) - 1
+            };
+            assert_eq!(back, b, "edge {edge}");
+        }
+    }
+}

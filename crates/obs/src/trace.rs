@@ -111,14 +111,28 @@ impl Histogram {
         }
     }
 
+    /// Sentinel returned by [`Histogram::percentile`] for a histogram
+    /// with no samples. Distinct from any recorded duration (recording
+    /// clamps values into bucket 0, but `min_ns` stays `u64::MAX` only
+    /// while empty, so callers can also test `count == 0` directly).
+    pub const NO_SAMPLES: u64 = 0;
+
     /// The `q`-quantile (`0.0..=1.0`) in nanoseconds, estimated from the
     /// log₂ buckets: the answer is the upper edge of the bucket holding
     /// the target rank, clamped to the observed `[min_ns, max_ns]` range,
-    /// so the estimate is within 2× of the true value. Returns 0 for an
-    /// empty histogram.
+    /// so the estimate is within 2× of the true value.
+    ///
+    /// Edge cases are exact, never an arbitrary bucket bound: an empty
+    /// histogram returns [`Histogram::NO_SAMPLES`], and a single-sample
+    /// histogram returns that sample exactly (for every `q`).
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
-            return 0;
+            return Self::NO_SAMPLES;
+        }
+        if self.count == 1 {
+            // One sample: min == max == the sample itself; bucket edges
+            // would only blur a value we know exactly.
+            return self.max_ns;
         }
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
@@ -556,6 +570,55 @@ mod tests {
         assert!(h.percentile(0.0) >= h.min_ns);
         assert!(h.percentile(1.0) <= h.max_ns);
         assert_eq!(Histogram::new("empty").percentile(0.5), 0);
+    }
+
+    #[test]
+    fn percentile_empty_returns_documented_sentinel() {
+        let h = Histogram::new("empty");
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Histogram::NO_SAMPLES);
+        }
+        assert_eq!(h.count, 0);
+        assert_eq!(h.min_ns, u64::MAX);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_exact_not_bucket_bound() {
+        // 1000 lands in bucket 9 ([512, 1023]); the naive bucket answer
+        // would be the 1023 upper edge. A single sample must come back
+        // exactly, at every quantile.
+        let mut h = Histogram::new("one");
+        h.record(1000);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 1000, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn merge_of_disjoint_bucket_histograms() {
+        // a occupies buckets {1, 3}; b occupies {9, 20} — no overlap.
+        let mut a = Histogram::new("a");
+        a.record(3);
+        a.record(10);
+        let mut b = Histogram::new("b");
+        b.record(1000);
+        b.record(1_500_000);
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum_ns, 3 + 10 + 1000 + 1_500_000);
+        assert_eq!(a.min_ns, 3);
+        assert_eq!(a.max_ns, 1_500_000);
+        assert_eq!(a.buckets, vec![(1, 1), (3, 1), (9, 1), (20, 1)]);
+        // The merged quantiles walk the combined buckets in order.
+        assert!(a.percentile(0.25) <= 10);
+        assert!(a.percentile(1.0) >= 1_000_000);
+        // Merging into an empty histogram preserves the other side's
+        // extremes (min must not stay at the empty sentinel MAX).
+        let mut empty = Histogram::new("sink");
+        empty.merge(&b);
+        assert_eq!(empty.min_ns, 1000);
+        assert_eq!(empty.max_ns, 1_500_000);
+        assert_eq!(empty.count, 2);
     }
 
     #[test]

@@ -21,8 +21,14 @@
 //!   accept worker exit as if it had died; the pool must keep serving.
 //!
 //! Each site also counts how often it fired ([`FaultPlan::injected`]),
-//! so tests can assert the chaos actually happened.
+//! so tests can assert the chaos actually happened. Every firing is
+//! additionally published to the live telemetry plane — a registry
+//! counter per site and a `fault_injected` flight-recorder event — so a
+//! chaos run can be audited from the `/metrics` exposition and the
+//! flight dump alone, without access to the plan object.
 
+use crate::events::{self, fault_site, EventKind};
+use crate::metrics::metrics;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -75,6 +81,17 @@ pub struct InjectedCounts {
     pub torn_frames: u64,
     /// Worker threads killed.
     pub worker_kills: u64,
+}
+
+impl InjectedCounts {
+    /// Total faults across every site (the `faults_injected` stat).
+    pub fn total(&self) -> u64 {
+        self.wal_drops
+            + self.wal_short_writes
+            + self.apply_delays
+            + self.torn_frames
+            + self.worker_kills
+    }
 }
 
 /// A seeded, shareable fault-decision source (see module docs).
@@ -183,12 +200,22 @@ impl FaultPlan {
     pub fn on_wal_append(&self, record_len: usize) -> WalFault {
         if self.chance(self.cfg.wal_drop) {
             self.wal_drops.fetch_add(1, Ordering::Relaxed);
+            metrics().faults_wal_drop.inc();
+            events::record(
+                EventKind::FaultInjected,
+                [fault_site::WAL_DROP, record_len as u64, 0],
+            );
             return WalFault::Drop;
         }
         if self.chance(self.cfg.wal_short_write) {
             self.wal_short_writes.fetch_add(1, Ordering::Relaxed);
             // Keep a strict prefix: 0..record_len-1 bytes.
             let keep = (self.next() as usize) % record_len.max(1);
+            metrics().faults_wal_short_write.inc();
+            events::record(
+                EventKind::FaultInjected,
+                [fault_site::WAL_SHORT_WRITE, keep as u64, 0],
+            );
             return WalFault::Short { keep };
         }
         WalFault::None
@@ -198,6 +225,15 @@ impl FaultPlan {
     pub fn on_apply(&self) -> Option<Duration> {
         if self.chance(self.cfg.apply_delay_prob) && !self.cfg.apply_delay.is_zero() {
             self.apply_delays.fetch_add(1, Ordering::Relaxed);
+            metrics().faults_apply_delay.inc();
+            events::record(
+                EventKind::FaultInjected,
+                [
+                    fault_site::APPLY_DELAY,
+                    self.cfg.apply_delay.as_micros() as u64,
+                    0,
+                ],
+            );
             Some(self.cfg.apply_delay)
         } else {
             None
@@ -209,7 +245,13 @@ impl FaultPlan {
     pub fn on_frame(&self, len: usize) -> Option<usize> {
         if len > 0 && self.chance(self.cfg.torn_frame) {
             self.torn_frames.fetch_add(1, Ordering::Relaxed);
-            Some((self.next() as usize) % len)
+            let keep = (self.next() as usize) % len;
+            metrics().faults_torn_frame.inc();
+            events::record(
+                EventKind::FaultInjected,
+                [fault_site::TORN_FRAME, keep as u64, 0],
+            );
+            Some(keep)
         } else {
             None
         }
@@ -219,6 +261,8 @@ impl FaultPlan {
     pub fn should_kill_worker(&self) -> bool {
         if self.chance(self.cfg.kill_worker) {
             self.worker_kills.fetch_add(1, Ordering::Relaxed);
+            metrics().faults_worker_kill.inc();
+            events::record(EventKind::FaultInjected, [fault_site::KILL_WORKER, 0, 0]);
             true
         } else {
             false

@@ -1,0 +1,223 @@
+//! A minimal HTTP/1.0 sidecar exposing `GET /metrics`.
+//!
+//! Prometheus-style scrapers speak HTTP, not our binary frame protocol,
+//! so `afforest serve --metrics-addr` starts this listener next to the
+//! TCP front-end. Because the metric registry is process-global, the
+//! sidecar needs no reference to the [`crate::Server`] at all: every
+//! request is answered from [`afforest_obs::registry::expose`], which
+//! snapshots atomics without pausing writers.
+//!
+//! The protocol support is deliberately tiny — HTTP/1.0, one request per
+//! connection, `Connection: close` — which is all a scraper or `curl`
+//! needs. Anything that is not `GET /metrics` gets a proper 404/405 so
+//! misconfigured scrapers fail loudly.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Accept-poll interval while idle (also the shutdown-check latency).
+const POLL: Duration = Duration::from_millis(10);
+
+/// Per-connection socket timeout: a stalled scraper cannot wedge the
+/// sidecar (it serves one connection at a time by design).
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Largest request head we will buffer before answering 400.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// A running metrics sidecar. Dropping it stops the listener thread.
+pub struct MetricsHttp {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsHttp {
+    /// Binds `addr` and starts serving `GET /metrics` in a background
+    /// thread.
+    pub fn spawn(addr: &str) -> std::io::Result<MetricsHttp> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("afforest-metrics-http".into())
+                .spawn(move || accept_loop(&listener, &stop))
+                .map_err(std::io::Error::other)?
+        };
+        Ok(MetricsHttp {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins its thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsHttp {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_one(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+/// Answers one request and closes. Errors are swallowed: a scraper that
+/// hangs up mid-response must never take the sidecar down.
+fn serve_one(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let head = match read_head(&mut stream) {
+        Some(head) => head,
+        None => return,
+    };
+    let (status, body) = match parse_request_line(&head) {
+        Some(("GET", "/metrics")) => ("200 OK", afforest_obs::registry::expose()),
+        Some(("GET", path)) => ("404 Not Found", format!("no such path: {path}\n")),
+        Some((method, _)) => (
+            "405 Method Not Allowed",
+            format!("method {method} not allowed\n"),
+        ),
+        None => ("400 Bad Request", "malformed request line\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// Reads until the blank line ending the request head (we ignore bodies:
+/// GET has none, and anything else is rejected anyway).
+fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() > MAX_HEAD {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(k) => buf.extend_from_slice(&chunk[..k]),
+            Err(_) => return None,
+        }
+    }
+    String::from_utf8(buf).ok()
+}
+
+/// Splits `GET /metrics HTTP/1.0` into method and path.
+fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    parts.next()?; // the HTTP version must be present
+    Some((method, path))
+}
+
+/// A one-shot HTTP GET returning `(status_code, body)`. The client side
+/// of the sidecar, shared by `afforest top` and the tests.
+pub fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let target = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("no address for {addr}"))?;
+    let mut stream = TcpStream::connect_timeout(&target, Duration::from_secs(2))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read from {addr}: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "response has no header/body separator".to_string())?;
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| "response has no status code".to_string())?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_and_rejects_everything_else() {
+        // Touch a metric so the exposition is non-empty.
+        crate::metrics::metrics().connections.inc();
+        let http = MetricsHttp::spawn("127.0.0.1:0").expect("bind sidecar");
+        let addr = http.local_addr().to_string();
+
+        let (status, body) = http_get(&addr, "/metrics").expect("scrape");
+        assert_eq!(status, 200);
+        let scrape = afforest_obs::registry::parse_exposition(&body).expect("parse scrape");
+        assert!(scrape.value("afforest_connections_total").is_some());
+
+        let (status, _) = http_get(&addr, "/nope").expect("404 path");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn non_get_is_405_and_garbage_is_400() {
+        let http = MetricsHttp::spawn("127.0.0.1:0").expect("bind sidecar");
+        let addr = http.local_addr();
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 405"), "{resp}");
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"garbage\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 400"), "{resp}");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_frees_the_port() {
+        let mut http = MetricsHttp::spawn("127.0.0.1:0").expect("bind sidecar");
+        let addr = http.local_addr();
+        http.shutdown();
+        http.shutdown();
+        // The port is released: a new sidecar can bind it.
+        let again = MetricsHttp::spawn(&addr.to_string()).expect("rebind after shutdown");
+        drop(again);
+    }
+}

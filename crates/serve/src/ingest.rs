@@ -54,6 +54,10 @@ pub struct ServeStats {
     pub protocol_errors: AtomicU64,
     /// Insert requests shed because the ingest queue was full.
     pub requests_shed: AtomicU64,
+    /// Batch records fully appended to the WAL (0 when running without
+    /// one). Mirrored here from the writer because the `Stats` request
+    /// handler has no access to the WAL itself.
+    pub wal_records: AtomicU64,
     /// WAL appends that failed with an I/O error (the batch was still
     /// applied: availability over durability, DESIGN.md §11).
     pub wal_errors: AtomicU64,
@@ -85,7 +89,13 @@ impl ServeStats {
 #[derive(Debug, PartialEq, Eq)]
 pub enum Drained {
     /// Apply this coalesced batch (never empty).
-    Batch(Vec<(Node, Node)>),
+    Batch {
+        /// The coalesced edges, oldest first.
+        edges: Vec<(Node, Node)>,
+        /// Arrival time of the batch's oldest edge — the anchor the
+        /// writer measures epoch publish lag from.
+        oldest: Instant,
+    },
     /// The queue was shut down and fully drained: exit.
     Shutdown,
 }
@@ -164,16 +174,16 @@ impl IngestQueue {
                 return if s.edges.is_empty() {
                     Drained::Shutdown
                 } else {
-                    Drained::Batch(Self::drain(&mut s))
+                    Self::drain(&mut s)
                 };
             }
             if s.edges.len() >= policy.max_edges {
-                return Drained::Batch(Self::drain(&mut s));
+                return Self::drain(&mut s);
             }
             if let Some(oldest) = s.oldest {
                 let elapsed = oldest.elapsed();
                 if elapsed >= policy.max_delay {
-                    return Drained::Batch(Self::drain(&mut s));
+                    return Self::drain(&mut s);
                 }
                 // Deadline pending: sleep out the remainder (re-checked on
                 // wake, since a size trigger or shutdown may come first).
@@ -188,9 +198,14 @@ impl IngestQueue {
         }
     }
 
-    fn drain(s: &mut QueueState) -> Vec<(Node, Node)> {
-        s.oldest = None;
-        s.edges.drain(..).collect()
+    fn drain(s: &mut QueueState) -> Drained {
+        // `oldest` is set on every push into an empty queue, so a
+        // non-empty drain always has one; the fallback is just defense.
+        let oldest = s.oldest.take().unwrap_or_else(Instant::now);
+        Drained::Batch {
+            edges: s.edges.drain(..).collect(),
+            oldest,
+        }
     }
 }
 
@@ -207,6 +222,13 @@ mod tests {
         }
     }
 
+    fn edges_of(d: Drained) -> Vec<(Node, Node)> {
+        match d {
+            Drained::Batch { edges, .. } => edges,
+            Drained::Shutdown => panic!("expected a batch, got shutdown"),
+        }
+    }
+
     #[test]
     fn size_trigger_cuts_immediately() {
         let q = IngestQueue::default();
@@ -214,7 +236,7 @@ mod tests {
         // Queue holds 3 ≥ max_edges=2: next_batch returns without waiting
         // for the (long) deadline, and coalesces everything.
         let batch = q.next_batch(&policy(2, 60_000));
-        assert_eq!(batch, Drained::Batch(vec![(0, 1), (1, 2), (2, 3)]));
+        assert_eq!(edges_of(batch), vec![(0, 1), (1, 2), (2, 3)]);
         assert_eq!(q.depth(), 0);
     }
 
@@ -223,8 +245,15 @@ mod tests {
         let q = IngestQueue::default();
         q.push(&[(0, 1)]);
         let t = Instant::now();
-        let batch = q.next_batch(&policy(1_000_000, 20));
-        assert_eq!(batch, Drained::Batch(vec![(0, 1)]));
+        match q.next_batch(&policy(1_000_000, 20)) {
+            Drained::Batch { edges, oldest } => {
+                assert_eq!(edges, vec![(0, 1)]);
+                // The lag anchor is the push time, so by drain time the
+                // full deadline has elapsed since `oldest`.
+                assert!(oldest.elapsed() >= Duration::from_millis(15));
+            }
+            Drained::Shutdown => panic!("expected a batch"),
+        }
         assert!(
             t.elapsed() >= Duration::from_millis(15),
             "{:?}",
@@ -238,8 +267,8 @@ mod tests {
         q.push(&[(4, 5)]);
         q.shutdown();
         assert_eq!(
-            q.next_batch(&policy(1_000_000, 60_000)),
-            Drained::Batch(vec![(4, 5)])
+            edges_of(q.next_batch(&policy(1_000_000, 60_000))),
+            vec![(4, 5)]
         );
         assert_eq!(q.next_batch(&policy(1, 0)), Drained::Shutdown);
     }
@@ -252,7 +281,7 @@ mod tests {
         // Give the consumer a moment to block, then feed it.
         std::thread::sleep(Duration::from_millis(20));
         q.push(&[(7, 8)]);
-        assert_eq!(h.join().unwrap(), Drained::Batch(vec![(7, 8)]));
+        assert_eq!(edges_of(h.join().unwrap()), vec![(7, 8)]);
     }
 
     #[test]
@@ -275,7 +304,7 @@ mod tests {
         assert_eq!(q.try_push(&[(2, 3)], 3), Ok(3));
         assert_eq!(q.try_push(&[(4, 5)], 3), Err(3));
         // Draining frees capacity again.
-        assert!(matches!(q.next_batch(&policy(1, 0)), Drained::Batch(_)));
+        assert!(matches!(q.next_batch(&policy(1, 0)), Drained::Batch { .. }));
         assert_eq!(q.try_push(&[(4, 5)], 3), Ok(1));
         // max_depth = 0 means unbounded.
         assert!(q.try_push(&vec![(0, 1); 10_000], 0).is_ok());

@@ -21,6 +21,13 @@
 //! - [`faults`] — seeded deterministic chaos injection (dropped/torn WAL
 //!   writes, delayed applies, torn frames, killed workers) for testing
 //!   the recovery and overload paths.
+//! - [`metrics`] — the always-on metric set (per-op request counters and
+//!   latency histograms, WAL/epoch/queue gauges) in the process-global
+//!   `afforest_obs::registry`.
+//! - [`events`] — the flight recorder vocabulary and JSON dump paths
+//!   (panic hook, shutdown dump, `afforest recover --events`).
+//! - [`http`] — a tiny HTTP/1.0 sidecar serving `GET /metrics` as
+//!   Prometheus text exposition for scrapers and `afforest top`.
 //!
 //! ```
 //! use afforest_serve::{BatchPolicy, Request, Response, Server};
@@ -34,15 +41,20 @@
 
 #![deny(missing_docs)]
 
+pub mod events;
 pub mod faults;
+pub mod http;
 pub mod ingest;
 pub mod loadgen;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
 pub mod wal;
 
+pub use events::{Dump, DumpEvent, EventKind};
 pub use faults::{FaultConfig, FaultPlan, InjectedCounts, WalFault};
+pub use http::MetricsHttp;
 pub use ingest::{BatchPolicy, ServeStats};
 pub use loadgen::{LoadgenConfig, LoadgenReport, Transport};
 pub use protocol::{FrameError, Request, Response, StatsReport, WireError};

@@ -442,6 +442,7 @@ fn call_with_retry<T: Transport>(
         attempt += 1;
         tally.retries += 1;
         afforest_obs::count(afforest_obs::Counter::Retries, 1);
+        afforest_obs::registry::counter("afforest_client_retries_total").inc();
         std::thread::sleep(backoff(cfg.retry_backoff, attempt, rng));
     }
 }

@@ -34,6 +34,8 @@ pub enum Request {
     InsertEdges(Vec<(Node, Node)>),
     /// Server + ingest statistics.
     Stats,
+    /// The full metric registry as a Prometheus text exposition.
+    Metrics,
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
 }
@@ -56,6 +58,9 @@ pub enum Response {
     },
     /// Answer to [`Request::Stats`].
     Stats(StatsReport),
+    /// Answer to [`Request::Metrics`]: the Prometheus text exposition
+    /// (same bytes the `--metrics-addr` HTTP sidecar serves).
+    Metrics(String),
     /// Acknowledges [`Request::Shutdown`]; the connection closes next.
     Bye,
     /// The ingest queue is full: the insert was shed, not queued. Clients
@@ -84,6 +89,15 @@ pub struct StatsReport {
     pub epochs_published: u64,
     /// Edges currently waiting in the ingest queue.
     pub queue_depth: u64,
+    /// Insert requests rejected by bounded-queue admission
+    /// (`Response::Overloaded`) since startup.
+    pub requests_shed: u64,
+    /// Edge-batch records appended to the write-ahead log since startup
+    /// (0 when running without a WAL).
+    pub wal_records: u64,
+    /// Total faults injected by an attached chaos plan (0 in production:
+    /// no plan, no faults).
+    pub faults_injected: u64,
 }
 
 /// Why a payload failed to decode. Mirrors the shape of
@@ -178,6 +192,7 @@ const OP_NUM_COMPONENTS: u8 = 0x04;
 const OP_INSERT_EDGES: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_SHUTDOWN: u8 = 0x07;
+const OP_METRICS: u8 = 0x08;
 
 // Response opcodes.
 const OP_R_CONNECTED: u8 = 0x81;
@@ -188,6 +203,7 @@ const OP_R_ACCEPTED: u8 = 0x85;
 const OP_R_STATS: u8 = 0x86;
 const OP_R_BYE: u8 = 0x87;
 const OP_R_OVERLOADED: u8 = 0x88;
+const OP_R_METRICS: u8 = 0x89;
 const OP_R_ERR: u8 = 0xC0;
 
 /// Incremental little-endian payload reader with typed errors.
@@ -277,6 +293,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
         }
         Request::Stats => out.push(OP_STATS),
+        Request::Metrics => out.push(OP_METRICS),
         Request::Shutdown => out.push(OP_SHUTDOWN),
     }
     out
@@ -311,6 +328,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
             Request::InsertEdges(edges)
         }
         OP_STATS => Request::Stats,
+        OP_METRICS => Request::Metrics,
         OP_SHUTDOWN => Request::Shutdown,
         op => return Err(FrameError::UnknownOpcode(op)),
     };
@@ -350,6 +368,13 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             push_u64(&mut out, s.edges_ingested);
             push_u64(&mut out, s.epochs_published);
             push_u64(&mut out, s.queue_depth);
+            push_u64(&mut out, s.requests_shed);
+            push_u64(&mut out, s.wal_records);
+            push_u64(&mut out, s.faults_injected);
+        }
+        Response::Metrics(text) => {
+            out.push(OP_R_METRICS);
+            out.extend_from_slice(text.as_bytes());
         }
         Response::Bye => out.push(OP_R_BYE),
         Response::Overloaded { queue_depth } => {
@@ -384,7 +409,16 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
             edges_ingested: c.u64()?,
             epochs_published: c.u64()?,
             queue_depth: c.u64()?,
+            requests_shed: c.u64()?,
+            wal_records: c.u64()?,
+            faults_injected: c.u64()?,
         }),
+        OP_R_METRICS => {
+            let rest = c.take(payload.len() - 1)?;
+            let text = std::str::from_utf8(rest)
+                .map_err(|_| FrameError::BadPayload("metrics exposition is not UTF-8"))?;
+            Response::Metrics(text.to_string())
+        }
         OP_R_BYE => Response::Bye,
         OP_R_OVERLOADED => Response::Overloaded {
             queue_depth: c.u64()?,
@@ -481,6 +515,7 @@ mod tests {
             Request::InsertEdges(vec![]),
             Request::InsertEdges(vec![(1, 2), (3, 4), (0, 0)]),
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ]
     }
@@ -500,7 +535,12 @@ mod tests {
                 edges_ingested: 5_000_000,
                 epochs_published: 8,
                 queue_depth: 64,
+                requests_shed: 12,
+                wal_records: 7,
+                faults_injected: 3,
             }),
+            Response::Metrics("# TYPE x counter\nx 1\n".into()),
+            Response::Metrics(String::new()),
             Response::Bye,
             Response::Overloaded { queue_depth: 9999 },
             Response::Err("vertex 99 out of range".into()),
@@ -546,10 +586,11 @@ mod tests {
             let enc = encode_response(&resp);
             for cut in 0..enc.len() {
                 if decode_response(&enc[..cut]).is_ok() {
-                    // The only prefix that may decode is a shortened Err
-                    // message (it is length-delimited by the frame).
+                    // The only prefixes that may decode are shortened
+                    // trailing-text payloads (Err and Metrics carry raw
+                    // UTF-8 delimited by the frame length).
                     assert!(
-                        matches!(resp, Response::Err(_)),
+                        matches!(resp, Response::Err(_) | Response::Metrics(_)),
                         "{resp:?} cut at {cut} decoded"
                     );
                 }

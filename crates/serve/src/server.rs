@@ -14,8 +14,10 @@
 //! [`Server::handle`] is the transport-independent request evaluator; the
 //! TCP layer and the deterministic in-process tests both go through it.
 
+use crate::events::{self, EventKind};
 use crate::faults::FaultPlan;
 use crate::ingest::{BatchPolicy, Drained, IngestQueue, ServeStats};
+use crate::metrics::{metrics, op_index};
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, FrameError, Request, Response,
     StatsReport, WireError,
@@ -210,7 +212,22 @@ impl Server {
     /// transport-independent core: the TCP front-end and in-process tests
     /// both call it. Never panics; unanswerable requests become
     /// [`Response::Err`].
+    ///
+    /// Every call lands in the live telemetry plane: one per-op request
+    /// counter and one per-op latency histogram, measured around the
+    /// whole evaluation (including the registry scrape a `Metrics`
+    /// request performs).
     pub fn handle(&self, req: &Request) -> Response {
+        let op = op_index(req);
+        let start = Instant::now();
+        let resp = self.handle_inner(req);
+        let m = metrics();
+        m.requests[op].inc();
+        m.latency[op].record(start.elapsed().as_nanos() as u64);
+        resp
+    }
+
+    fn handle_inner(&self, req: &Request) -> Response {
         match req {
             Request::Connected(u, v) => match self.snapshot().connected(*u, *v) {
                 Some(b) => Response::Connected(b),
@@ -233,6 +250,7 @@ impl Server {
                     .find(|&&(u, v)| u as usize >= self.vertices || v as usize >= self.vertices)
                 {
                     ServeStats::add(&self.shared.stats.protocol_errors, 1);
+                    metrics().protocol_errors.inc();
                     return Response::Err(format!(
                         "edge ({u}, {v}) out of range for {} vertices",
                         self.vertices
@@ -248,6 +266,7 @@ impl Server {
                             .stats
                             .queue_depth
                             .store(depth as u64, Ordering::Relaxed);
+                        metrics().queue_depth.set(depth as u64);
                         Response::Accepted {
                             edges: edges.len() as u32,
                         }
@@ -255,6 +274,11 @@ impl Server {
                     Err(depth) => {
                         ServeStats::add(&self.shared.stats.requests_shed, 1);
                         afforest_obs::count(afforest_obs::Counter::RequestsShed, 1);
+                        metrics().requests_shed.inc();
+                        events::record(
+                            EventKind::OverloadShed,
+                            [depth as u64, edges.len() as u64, 0],
+                        );
                         Response::Overloaded {
                             queue_depth: depth as u64,
                         }
@@ -262,6 +286,7 @@ impl Server {
                 }
             }
             Request::Stats => Response::Stats(self.stats_report()),
+            Request::Metrics => Response::Metrics(afforest_obs::registry::expose()),
             Request::Shutdown => {
                 self.request_shutdown();
                 Response::Bye
@@ -271,6 +296,7 @@ impl Server {
 
     fn range_error(&self, v: Node) -> Response {
         ServeStats::add(&self.shared.stats.protocol_errors, 1);
+        metrics().protocol_errors.inc();
         Response::Err(format!(
             "vertex {v} out of range for {} vertices",
             self.vertices
@@ -288,6 +314,13 @@ impl Server {
             edges_ingested: ServeStats::get(&self.shared.stats.edges_ingested),
             epochs_published: ServeStats::get(&self.shared.stats.epochs_published),
             queue_depth: self.shared.ingest.depth() as u64,
+            requests_shed: ServeStats::get(&self.shared.stats.requests_shed),
+            wal_records: ServeStats::get(&self.shared.stats.wal_records),
+            faults_injected: self
+                .shared
+                .faults
+                .as_deref()
+                .map_or(0, |f| f.injected().total()),
         }
     }
 
@@ -317,7 +350,7 @@ impl Server {
                 let listener = &listener;
                 let spawned = thread::Builder::new()
                     .name(format!("afforest-serve-worker-{i}"))
-                    .spawn_scoped(s, move || self.accept_loop(listener));
+                    .spawn_scoped(s, move || self.accept_loop(listener, i));
                 if spawned.is_err() {
                     // Tell the workers that did start to exit; the scope
                     // then joins them and we report the failure.
@@ -335,7 +368,7 @@ impl Server {
         Ok(())
     }
 
-    fn accept_loop(&self, listener: &TcpListener) {
+    fn accept_loop(&self, listener: &TcpListener, worker: usize) {
         while !self.shutdown_requested() {
             match listener.accept() {
                 Ok((stream, _peer)) => {
@@ -343,9 +376,12 @@ impl Server {
                     // of the pool (and the listener) keep going.
                     if let Some(f) = self.shared.faults.as_deref() {
                         if f.should_kill_worker() {
+                            metrics().worker_deaths.inc();
+                            events::record(EventKind::WorkerDeath, [worker as u64, 0, 0]);
                             return;
                         }
                     }
+                    metrics().connections.inc();
                     self.serve_connection(stream);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
@@ -388,11 +424,13 @@ impl Server {
                 // bad length prefix means the stream is desynchronized).
                 Err(WireError::Frame(e)) => {
                     ServeStats::add(&self.shared.stats.protocol_errors, 1);
+                    metrics().protocol_errors.inc();
                     let _ = write_frame(&mut stream, &encode_response(&frame_err(&e)));
                     return;
                 }
             };
             last_activity = Instant::now();
+            metrics().bytes_read.add(4 + payload.len() as u64);
             let _span = afforest_obs::span!("serve-request");
             // A malformed payload inside a well-delimited frame keeps the
             // stream in sync: answer Err and keep going.
@@ -400,6 +438,7 @@ impl Server {
                 Ok(req) => self.handle(&req),
                 Err(e) => {
                     ServeStats::add(&self.shared.stats.protocol_errors, 1);
+                    metrics().protocol_errors.inc();
                     frame_err(&e)
                 }
             };
@@ -412,11 +451,16 @@ impl Server {
                     let mut framed = (encoded.len() as u32).to_le_bytes().to_vec();
                     framed.extend_from_slice(&encoded);
                     let _ = stream.write_all(&framed[..keep]);
+                    metrics().bytes_written.add(keep as u64);
                     return;
                 }
             }
             let done = matches!(resp, Response::Bye);
-            if write_frame(&mut stream, &encoded).is_err() || done {
+            if write_frame(&mut stream, &encoded).is_err() {
+                return;
+            }
+            metrics().bytes_written.add(4 + encoded.len() as u64);
+            if done {
                 return;
             }
         }
@@ -449,25 +493,35 @@ fn frame_err(e: &FrameError) -> Response {
 fn writer_loop(mut cc: IncrementalCc, shared: &Shared, policy: &BatchPolicy, mut wal: Option<Wal>) {
     let mut epoch = 0u64;
     loop {
-        let batch = match shared.ingest.next_batch(policy) {
-            Drained::Batch(batch) => batch,
+        let (batch, oldest) = match shared.ingest.next_batch(policy) {
+            Drained::Batch { edges, oldest } => (edges, oldest),
             Drained::Shutdown => {
                 // Shutdown fully drained the queue: the final Stats answer
                 // must say 0, not the depth of the last pre-drain push.
                 shared.stats.queue_depth.store(0, Ordering::Relaxed);
+                metrics().queue_depth.set(0);
                 return;
             }
         };
         if let Some(w) = wal.as_mut() {
             // A failed append does not block the batch: the service stays
             // available and the gap surfaces in wal_errors instead.
-            if w.append(&batch).is_err() {
-                ServeStats::add(&shared.stats.wal_errors, 1);
+            match w.append(&batch) {
+                Ok(crate::wal::AppendOutcome::Logged) => {
+                    ServeStats::add(&shared.stats.wal_records, 1);
+                }
+                Ok(_) => {} // injected fault: counted at the fault site
+                Err(_) => {
+                    ServeStats::add(&shared.stats.wal_errors, 1);
+                    metrics().wal_errors.inc();
+                    events::record(EventKind::WalError, [epoch + 1, 0, 0]);
+                }
             }
         }
         epoch += 1;
         let applied = batch.len() as u64;
         shared.stats.applying.store(true, Ordering::Relaxed);
+        let apply_start = Instant::now();
         {
             let _span = afforest_obs::span!("ingest-batch[{epoch}]");
             cc.insert_batch(&batch);
@@ -480,18 +534,35 @@ fn writer_loop(mut cc: IncrementalCc, shared: &Shared, policy: &BatchPolicy, mut
             shared.store.publish(Snapshot::new(epoch, &cc.labels()));
         }
         shared.stats.applying.store(false, Ordering::Relaxed);
+        // Lag from the batch's oldest edge arriving to its epoch being
+        // visible: queue wait + WAL append + link/compress + publish.
+        let lag = oldest.elapsed();
+        events::record(
+            EventKind::BatchApplied,
+            [epoch, applied, apply_start.elapsed().as_micros() as u64],
+        );
+        events::record(
+            EventKind::EpochPublished,
+            [epoch, applied, lag.as_micros() as u64],
+        );
+        let m = metrics();
+        m.epoch.set(epoch);
+        m.epochs_published.inc();
+        m.edges_ingested.add(applied);
+        m.epoch_publish_lag.record(lag.as_nanos() as u64);
+        let depth = shared.ingest.depth() as u64;
+        m.queue_depth.set(depth);
         ServeStats::add(&shared.stats.edges_ingested, applied);
         ServeStats::add(&shared.stats.epochs_published, 1);
-        shared
-            .stats
-            .queue_depth
-            .store(shared.ingest.depth() as u64, Ordering::Relaxed);
+        shared.stats.queue_depth.store(depth, Ordering::Relaxed);
         afforest_obs::count(afforest_obs::Counter::EdgesIngested, applied);
         afforest_obs::count(afforest_obs::Counter::EpochsPublished, 1);
         afforest_obs::count(afforest_obs::Counter::QueueDepth, applied);
         if let Some(w) = wal.as_mut() {
             if w.maybe_compact(&cc).is_err() {
                 ServeStats::add(&shared.stats.wal_errors, 1);
+                metrics().wal_errors.inc();
+                events::record(EventKind::WalError, [epoch, 0, 0]);
             }
         }
     }

@@ -235,6 +235,9 @@ impl Wal {
                 self.bytes_logged += record.len() as u64;
                 afforest_obs::count(afforest_obs::Counter::WalAppends, 1);
                 afforest_obs::count(afforest_obs::Counter::WalBytes, record.len() as u64);
+                let m = crate::metrics::metrics();
+                m.wal_records.inc();
+                m.wal_bytes.add(record.len() as u64);
                 AppendOutcome::Logged
             }
         };
@@ -259,9 +262,15 @@ impl Wal {
         let tmp = self.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
         write_node_array(&tmp, &cc.parents_snapshot())?;
         std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        let log_bytes = self.file.metadata()?.len().saturating_sub(HEADER_LEN);
         // The snapshot now covers everything in the log: drop the records.
         self.file.set_len(HEADER_LEN)?;
         self.file.seek(SeekFrom::Start(HEADER_LEN))?;
+        crate::metrics::metrics().wal_compactions.inc();
+        crate::events::record(
+            crate::events::EventKind::WalCompaction,
+            [self.appends_since_snapshot, log_bytes, 0],
+        );
         self.appends_since_snapshot = 0;
         Ok(())
     }

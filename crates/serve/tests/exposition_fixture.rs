@@ -1,0 +1,67 @@
+//! The exposition fixture (`tests/fixtures/exposition.txt`) is the
+//! reviewed list of every service metric, in real exposition text. Two
+//! checks keep it honest:
+//!
+//! - `cargo xtask lint` statically requires every metric-name literal in
+//!   the sources to appear in the fixture (a metric cannot be added
+//!   silently);
+//! - this test checks the converse at runtime: every metric the serving
+//!   stack registers shows up in a live scrape AND is named in the
+//!   fixture, and the fixture itself still parses with the scrape
+//!   parser.
+//!
+//! Regenerate after adding a metric:
+//!
+//! ```text
+//! UPDATE_FIXTURE=1 cargo test -p afforest-serve --test exposition_fixture
+//! ```
+//!
+//! Own test file on purpose: the registry is process-global.
+
+use afforest_obs::registry;
+use std::path::Path;
+
+#[test]
+fn every_registered_metric_is_named_in_the_fixture() {
+    // Register the full serving metric set, plus the one client-side
+    // counter loadgen owns; a sample in each histogram makes the fixture
+    // show bucket/sum/count lines like a real scrape would.
+    let m = afforest_serve::metrics::metrics();
+    for h in m.latency {
+        h.record(1_500);
+    }
+    m.epoch_publish_lag.record(2_000_000);
+    registry::counter("afforest_client_retries_total").inc();
+    let live = registry::expose();
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/exposition.txt");
+    if std::env::var_os("UPDATE_FIXTURE").is_some() {
+        let header = "# A live scrape of the full serving metric set (see \
+                      tests/exposition_fixture.rs).\n# Regenerate: \
+                      UPDATE_FIXTURE=1 cargo test -p afforest-serve --test exposition_fixture\n";
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, format!("{header}{live}")).unwrap();
+    }
+
+    let fixture = std::fs::read_to_string(&path)
+        .expect("fixture missing: regenerate with UPDATE_FIXTURE=1 (see module docs)");
+    let scrape = registry::parse_exposition(&fixture).expect("fixture parses as exposition");
+    assert!(!scrape.values.is_empty() && !scrape.histograms.is_empty());
+
+    let fixture_names: Vec<&str> = fixture
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    for name in live
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+    {
+        assert!(
+            fixture_names.contains(&name),
+            "{name} is registered but missing from the fixture; regenerate \
+             with UPDATE_FIXTURE=1 (see module docs)"
+        );
+    }
+}

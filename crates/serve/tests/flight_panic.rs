@@ -1,0 +1,43 @@
+//! The panic path of the flight recorder: a panicking thread triggers
+//! the installed hook, which writes a parseable dump of everything the
+//! ring saw before the crash.
+//!
+//! Own test file on purpose: the panic hook and the flight ring are
+//! process-global.
+
+use afforest_serve::events::{self, EventKind};
+use std::path::PathBuf;
+
+#[test]
+fn panic_hook_dumps_a_parseable_flight_recording() {
+    let dir = std::env::temp_dir().join(format!("afforest-flight-panic-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path: PathBuf = dir.join("flight.json");
+    events::install_panic_hook(path.clone());
+
+    // Lifecycle the ring would have seen before a real crash.
+    events::record(EventKind::EpochPublished, [1, 64, 500]);
+    events::record(EventKind::OverloadShed, [4096, 32, 0]);
+    events::record(EventKind::WalError, [2, 0, 0]);
+
+    // The crash: a worker thread panics; the hook fires before unwind.
+    let result = std::thread::Builder::new()
+        .name("doomed-worker".into())
+        .spawn(|| panic!("injected test panic"))
+        .unwrap()
+        .join();
+    assert!(result.is_err(), "the thread must have panicked");
+
+    let text = std::fs::read_to_string(&path).expect("hook wrote the dump");
+    let dump = events::parse_dump(&text).expect("panic dump parses");
+    assert!(dump.recorded >= 3);
+    assert!(dump
+        .of_kind(EventKind::EpochPublished)
+        .any(|e| e.fields.get("epoch") == Some(&1) && e.fields.get("lag_us") == Some(&500)));
+    assert!(dump
+        .of_kind(EventKind::OverloadShed)
+        .any(|e| e.fields.get("queue_depth") == Some(&4096)));
+    assert!(dump.of_kind(EventKind::WalError).count() >= 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -110,9 +110,10 @@ fn call(addr: &str, framed: &[u8]) -> Result<Vec<u8>, String> {
 }
 
 /// Extracts `(edges_ingested, queue_depth)` from a Stats response
-/// (opcode 0x86 then six u64s; fields 4 and 6).
+/// (opcode 0x86 then nine u64s; fields 4 and 6 — the telemetry fields
+/// appended after queue_depth keep the original offsets valid).
 fn parse_stats(payload: &[u8]) -> Result<(u64, u64), String> {
-    if payload.first() != Some(&0x86) || payload.len() != 49 {
+    if payload.first() != Some(&0x86) || payload.len() != 73 {
         return Err(format!("unexpected stats response: {payload:02x?}"));
     }
     let u64_at = |i: usize| u64::from_le_bytes(payload[i..i + 8].try_into().expect("8 bytes"));

@@ -1,6 +1,7 @@
-//! Static concurrency lints for the workspace sources.
+//! Static lints for the workspace sources.
 //!
-//! Three rules, all motivated by the memory-ordering audit in DESIGN.md:
+//! Three concurrency rules, all motivated by the memory-ordering audit
+//! in DESIGN.md:
 //!
 //! 1. **SAFETY comments** — every `unsafe` keyword in code must carry a
 //!    justification: a `// SAFETY:` comment on the same line or in the
@@ -17,6 +18,12 @@
 //! Additionally, every crate that contains `unsafe` code must opt into
 //! `#![deny(unsafe_op_in_unsafe_fn)]` so unsafe operations inside unsafe
 //! fns still need their own block and SAFETY comment.
+//!
+//! One telemetry rule rides along (DESIGN.md §12): every metric name
+//! registered via `registry::counter/gauge/histogram` must be a string
+//! literal, and every such literal must appear in the exposition fixture
+//! ([`METRIC_FIXTURE`]) — a metric cannot be added without the
+//! exposition tests seeing it.
 //!
 //! The scanner is line-oriented and deliberately simple: it strips `//`
 //! comments before matching and skips pure comment lines, which is exact
@@ -88,6 +95,11 @@ pub enum Rule {
     SeqCstForbidden,
     /// Crate has unsafe code but no `#![deny(unsafe_op_in_unsafe_fn)]`.
     MissingUnsafeOpLint,
+    /// A registry metric registered with a non-literal name (the fixture
+    /// coverage check cannot see it).
+    NonLiteralMetricName,
+    /// A registry metric name literal missing from the exposition fixture.
+    MetricMissingFromFixture,
 }
 
 impl fmt::Display for LintError {
@@ -97,6 +109,8 @@ impl fmt::Display for LintError {
             Rule::OrderingOutsideAllowlist => "ordering-outside-allowlist",
             Rule::SeqCstForbidden => "seqcst-forbidden",
             Rule::MissingUnsafeOpLint => "missing-unsafe-op-lint",
+            Rule::NonLiteralMetricName => "non-literal-metric-name",
+            Rule::MetricMissingFromFixture => "metric-missing-from-fixture",
         };
         write!(f, "{}:{}: [{rule}] {}", self.file, self.line, self.message)
     }
@@ -231,6 +245,71 @@ pub fn lint_source(rel_path: &str, content: &str) -> Vec<LintError> {
     errors
 }
 
+/// The exposition fixture that must name every registry metric. The
+/// serve crate's `exposition_fixture` test checks the converse direction
+/// at runtime (every registered metric appears in a live scrape).
+pub const METRIC_FIXTURE: &str = "crates/serve/tests/fixtures/exposition.txt";
+
+/// Registry registration calls whose first argument is a metric name.
+const METRIC_CALLS: &[&str] = &[
+    "registry::counter(",
+    "registry::gauge(",
+    "registry::histogram(",
+];
+
+/// Extracts registry metric-name literals from one file, flagging
+/// registrations whose name is not a string literal (those would dodge
+/// the fixture coverage below). `crates/obs/` is exempt: the registry's
+/// own sources and tests register scratch names that are not part of the
+/// service metric set.
+pub fn scan_metric_names(rel_path: &str, content: &str) -> (Vec<(usize, String)>, Vec<LintError>) {
+    let mut names = Vec::new();
+    let mut errors = Vec::new();
+    if rel_path.starts_with("crates/obs/") {
+        return (names, errors);
+    }
+    // Comment-stripped text with newlines preserved, so a call wrapped by
+    // rustfmt (name literal on the following line) still scans.
+    let code: String = content
+        .lines()
+        .map(|line| {
+            if is_comment_line(line) {
+                ""
+            } else {
+                split_comment(line).0
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    for call in METRIC_CALLS {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(call) {
+            let after = start + pos + call.len();
+            start = after;
+            let line = code[..after].matches('\n').count() + 1;
+            let rest = code[after..].trim_start();
+            if let Some(lit) = rest.strip_prefix('"') {
+                if let Some(end) = lit.find('"') {
+                    names.push((line, lit[..end].to_string()));
+                    continue;
+                }
+            }
+            errors.push(LintError {
+                file: rel_path.to_string(),
+                line,
+                rule: Rule::NonLiteralMetricName,
+                message: format!(
+                    "`{call}...)` called with a non-literal metric name; the \
+                     fixture coverage check ({METRIC_FIXTURE}) can only \
+                     verify string literals"
+                ),
+            });
+        }
+    }
+    names.sort();
+    (names, errors)
+}
+
 /// Whether the file contains `unsafe` in code position (not comments).
 fn has_code_unsafe(content: &str) -> bool {
     content.lines().any(|line| {
@@ -277,6 +356,7 @@ pub fn collect_sources(root: &Path) -> Vec<PathBuf> {
 pub fn lint_workspace(root: &Path) -> Vec<LintError> {
     let mut errors = Vec::new();
     let mut crates_with_unsafe: Vec<PathBuf> = Vec::new();
+    let mut metric_sites: Vec<(String, usize, String)> = Vec::new();
 
     for path in collect_sources(root) {
         let Ok(content) = fs::read_to_string(&path) else {
@@ -288,6 +368,13 @@ pub fn lint_workspace(root: &Path) -> Vec<LintError> {
             .to_string_lossy()
             .replace('\\', "/");
         errors.extend(lint_source(&rel, &content));
+        let (names, name_errors) = scan_metric_names(&rel, &content);
+        errors.extend(name_errors);
+        metric_sites.extend(
+            names
+                .into_iter()
+                .map(|(line, name)| (rel.clone(), line, name)),
+        );
 
         if has_code_unsafe(&content) {
             // Crate root = the directory holding the Cargo.toml above src/.
@@ -328,6 +415,31 @@ pub fn lint_workspace(root: &Path) -> Vec<LintError> {
                 message: "crate contains unsafe code but its root module \
                           does not declare #![deny(unsafe_op_in_unsafe_fn)]"
                     .to_string(),
+            });
+        }
+    }
+
+    // Metric-name fixture coverage: every registered name must appear in
+    // the exposition fixture, so adding a metric forces the exposition
+    // tests (and this fixture) to see it. Exact matching against the
+    // fixture's `# TYPE <name> <kind>` lines, not substring search.
+    let fixture = fs::read_to_string(root.join(METRIC_FIXTURE)).unwrap_or_default();
+    let fixture_names: Vec<&str> = fixture
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    for (file, line, name) in metric_sites {
+        if !fixture_names.contains(&name.as_str()) {
+            errors.push(LintError {
+                file,
+                line,
+                rule: Rule::MetricMissingFromFixture,
+                message: format!(
+                    "metric `{name}` is registered here but absent from \
+                     {METRIC_FIXTURE}; regenerate the fixture (see the \
+                     fixture's header) so the exposition tests cover it"
+                ),
             });
         }
     }
@@ -439,6 +551,57 @@ mod tests {
     fn identifier_containing_unsafe_not_flagged() {
         let src = "fn f() { let unsafely_named = 3; let _ = unsafely_named; }\n";
         assert!(lint_source("crates/graph/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn metric_scan_finds_literals_across_wrapped_lines() {
+        let src = "fn f() {\n    let c = registry::counter(\"my_requests_total\");\n    let g = afforest_obs::registry::gauge(\n        \"my_depth\",\n    );\n    c.inc(); g.set(1);\n}\n";
+        let (names, errors) = scan_metric_names("crates/serve/src/x.rs", src);
+        assert!(errors.is_empty(), "{errors:?}");
+        let just_names: Vec<&str> = names.iter().map(|(_, n)| n.as_str()).collect();
+        // Source order (scan results sort by line).
+        assert_eq!(just_names, ["my_requests_total", "my_depth"]);
+    }
+
+    #[test]
+    fn non_literal_metric_name_is_flagged() {
+        let src = "fn f(name: &'static str) { registry::histogram(name); }\n";
+        let (names, errors) = scan_metric_names("crates/serve/src/x.rs", src);
+        assert!(names.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].rule, Rule::NonLiteralMetricName);
+    }
+
+    #[test]
+    fn obs_crate_and_comments_are_exempt_from_metric_scan() {
+        let src =
+            "// registry::counter(\"commented_out\")\nfn f() { registry::counter(\"scratch\"); }\n";
+        let (names, errors) = scan_metric_names("crates/obs/src/registry.rs", src);
+        assert!(names.is_empty() && errors.is_empty());
+        // Outside obs, the comment is still ignored but the code counts.
+        let (names, _) = scan_metric_names("crates/serve/src/x.rs", src);
+        assert_eq!(names.len(), 1);
+        assert_eq!(names[0].1, "scratch");
+    }
+
+    /// Every metric the serving stack registers is named in the fixture
+    /// (the workspace-level MetricMissingFromFixture check has teeth:
+    /// deleting a fixture line must fail the lint).
+    #[test]
+    fn fixture_covers_the_serve_metric_set() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let fixture = fs::read_to_string(root.join(METRIC_FIXTURE)).expect("fixture exists");
+        let metrics_rs = fs::read_to_string(root.join("crates/serve/src/metrics.rs")).unwrap();
+        let (names, _) = scan_metric_names("crates/serve/src/metrics.rs", &metrics_rs);
+        assert!(names.len() >= 20, "suspiciously few metrics: {names:?}");
+        for (_, name) in &names {
+            assert!(
+                fixture.lines().any(|l| l
+                    .strip_prefix("# TYPE ")
+                    .is_some_and(|r| { r.split_whitespace().next() == Some(name.as_str()) })),
+                "{name} not in fixture"
+            );
+        }
     }
 
     /// The real workspace passes the lint (run from the repo root).

@@ -3,16 +3,20 @@
 //!
 //! - `cargo xtask lint` — the static concurrency lints ([`lint`]):
 //!   SAFETY-comment coverage for `unsafe`, the atomic-ordering allowlist,
-//!   the SeqCst ban, and `#![deny(unsafe_op_in_unsafe_fn)]` opt-in.
+//!   the SeqCst ban, `#![deny(unsafe_op_in_unsafe_fn)]` opt-in, and
+//!   metric-name coverage (every registry metric literal must appear in
+//!   the exposition fixture).
 //! - `cargo xtask ci` — the full gate: fmt, clippy (`-D warnings`), the
 //!   lints, the test suite both without and with the observability
 //!   feature (`obs`), the loopback serving smoke test ([`smoke`], also
 //!   with obs off and on), the crash-recovery smoke test ([`crash`],
-//!   clean and with chaos faults injected), and the schedule-exploring
-//!   model checker (`ci.sh` is a thin wrapper around this).
+//!   clean and with chaos faults injected), the telemetry scrape smoke
+//!   ([`metrics`]), and the schedule-exploring model checker (`ci.sh` is
+//!   a thin wrapper around this).
 
 mod crash;
 mod lint;
+mod metrics;
 mod smoke;
 
 use std::path::{Path, PathBuf};
@@ -29,7 +33,7 @@ fn run_lint() -> ExitCode {
     let files = lint::collect_sources(&root).len();
     if errors.is_empty() {
         println!(
-            "xtask lint: {files} files clean (SAFETY comments, ordering allowlist, no SeqCst)"
+            "xtask lint: {files} files clean (SAFETY comments, ordering allowlist, no SeqCst, metric fixture coverage)"
         );
         ExitCode::SUCCESS
     } else {
@@ -141,6 +145,12 @@ fn run_ci() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Telemetry smoke: serve with the scrape sidecar, drive load, scrape
+    // twice over HTTP, require monotonic counters and a flight dump.
+    println!("==> metrics smoke");
+    if !metrics::run_metrics(&root) {
+        return ExitCode::FAILURE;
+    }
     println!("==> ci passed");
     ExitCode::SUCCESS
 }
@@ -164,10 +174,21 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Some("metrics") => {
+            // The telemetry smoke alone (also part of `ci`).
+            println!("==> metrics smoke");
+            if metrics::run_metrics(&workspace_root()) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         _ => {
-            eprintln!("usage: cargo xtask <lint|ci|crash>");
-            eprintln!("  lint  static concurrency lints (SAFETY comments, ordering allowlist, SeqCst ban)");
-            eprintln!("  ci    fmt --check + clippy -D warnings + lints + tests (with and without obs) + model checker + serve/crash smokes");
+            eprintln!("usage: cargo xtask <lint|ci|crash|metrics>");
+            eprintln!("  lint     static concurrency lints (SAFETY comments, ordering allowlist, SeqCst ban) + metric-name fixture coverage");
+            eprintln!("  ci       fmt --check + clippy -D warnings + lints + tests (with and without obs) + model checker + serve/crash/metrics smokes");
+            eprintln!("  crash    the WAL crash-recovery smoke alone");
+            eprintln!("  metrics  the telemetry scrape smoke alone");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,254 @@
+//! Telemetry smoke test for `cargo xtask ci`.
+//!
+//! Drives the live telemetry plane the way an operator's scrape stack
+//! would: start `afforest serve` with `--metrics-addr` (and a flight
+//! recording destination), push a mixed workload through `afforest
+//! loadgen`, then scrape `GET /metrics` twice over plain HTTP. The
+//! exposition must parse, the request counters must show the workload,
+//! and every `*_total` counter must be monotonic between the two
+//! scrapes. After a clean shutdown the flight recording must exist and
+//! look like the dump schema.
+//!
+//! Like the other smokes, the HTTP client and the exposition parser are
+//! hand-rolled so xtask stays dependency-free.
+
+use crate::smoke::{cli_cmd, Reaper};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::Stdio;
+use std::time::{Duration, Instant};
+
+/// Shutdown request / Bye response frames (opcodes pinned by the
+/// protocol crate's tests).
+const SHUTDOWN_FRAME: [u8; 5] = [1, 0, 0, 0, 0x07];
+const BYE_FRAME: [u8; 5] = [1, 0, 0, 0, 0x87];
+
+/// Runs the telemetry smoke; returns success.
+pub fn run_metrics(root: &Path) -> bool {
+    match metrics(root) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("==> metrics smoke failed: {e}");
+            false
+        }
+    }
+}
+
+/// A one-shot `GET path` against `addr`; returns the body on HTTP 200.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("no header/body separator in response")?;
+    if !head.starts_with("HTTP/1.0 200") {
+        return Err(format!(
+            "scrape answered: {}",
+            head.lines().next().unwrap_or("")
+        ));
+    }
+    Ok(body.to_string())
+}
+
+/// Parses exposition text into `(name, value)` samples, skipping `#`
+/// comment lines. Histogram bucket samples keep their `{le="..."}`
+/// label as part of the name, which is all the monotonicity check needs.
+fn parse_samples(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("malformed sample line: {line}"))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|e| format!("bad value in '{line}': {e}"))?;
+        out.push((name.to_string(), value));
+    }
+    if out.is_empty() {
+        return Err("exposition has no samples".to_string());
+    }
+    Ok(out)
+}
+
+fn sample(samples: &[(String, u64)], name: &str) -> Result<u64, String> {
+    samples
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|&(_, v)| v)
+        .ok_or_else(|| format!("metric {name} missing from exposition"))
+}
+
+fn metrics(root: &Path) -> Result<(), String> {
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let graph = tmp.join(format!("afforest-metrics-{pid}.el"));
+    let flight = tmp.join(format!("afforest-metrics-flight-{pid}.json"));
+    let graph_s = graph.to_string_lossy().into_owned();
+    let flight_s = flight.to_string_lossy().into_owned();
+    let _ = std::fs::remove_file(&flight);
+
+    // 1. A small graph to serve.
+    let status = cli_cmd(root, false)
+        .args([
+            "generate",
+            "urand",
+            "--out",
+            &graph_s,
+            "--n",
+            "2000",
+            "--edge-factor",
+            "4",
+            "--seed",
+            "9",
+        ])
+        .status()
+        .map_err(|e| format!("spawn generate: {e}"))?;
+    if !status.success() {
+        return Err(format!("generate failed ({status})"));
+    }
+
+    // 2. Serve with the metrics sidecar and a flight recording, both on
+    // ephemeral ports; parse both announced addresses.
+    let mut server = Reaper(
+        cli_cmd(root, false)
+            .args([
+                "serve",
+                &graph_s,
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "4",
+                "--metrics-addr",
+                "127.0.0.1:0",
+                "--events-out",
+                &flight_s,
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn serve: {e}"))?,
+    );
+    let stdout = server.0.stdout.take().ok_or("serve stdout not captured")?;
+    let mut lines = BufReader::new(stdout).lines();
+    let mut wire_addr = None;
+    let mut scrape_addr = None;
+    while wire_addr.is_none() || scrape_addr.is_none() {
+        let line = lines
+            .next()
+            .ok_or("serve exited before announcing its addresses")?
+            .map_err(|e| format!("read serve stdout: {e}"))?;
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            wire_addr = rest.split_whitespace().next().map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("metrics on http://") {
+            scrape_addr = rest.strip_suffix("/metrics").map(str::to_string);
+        }
+    }
+    let (wire_addr, scrape_addr) = (wire_addr.unwrap(), scrape_addr.unwrap());
+
+    // 3. A mixed workload so every hot-path metric moves.
+    let out = cli_cmd(root, false)
+        .args([
+            "loadgen",
+            &wire_addr,
+            "--connections",
+            "3",
+            "--requests",
+            "2000",
+            "--read-pct",
+            "80",
+            "--insert-batch",
+            "16",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .map_err(|e| format!("spawn loadgen: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "loadgen failed ({}):\n{}\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+
+    // 4. Scrape twice. The workload is already drained, so the second
+    // scrape must show every counter at-or-above the first (monotonic).
+    let first = parse_samples(&http_get(&scrape_addr, "/metrics")?)?;
+    let second = parse_samples(&http_get(&scrape_addr, "/metrics")?)?;
+    let connected = sample(&first, "afforest_requests_connected_total")?;
+    let ingested = sample(&first, "afforest_edges_ingested_total")?;
+    if connected == 0 || ingested == 0 {
+        return Err(format!(
+            "workload not visible in scrape: connected={connected}, ingested={ingested}"
+        ));
+    }
+    if sample(&first, "afforest_request_latency_connected_ns_count")? == 0 {
+        return Err("latency histogram recorded no samples".to_string());
+    }
+    for (name, v1) in &first {
+        if !name.ends_with("_total") {
+            continue;
+        }
+        let v2 = sample(&second, name)?;
+        if v2 < *v1 {
+            return Err(format!("counter {name} went backwards: {v1} -> {v2}"));
+        }
+    }
+
+    // 5. Clean shutdown; the flight recording must appear and parse as a
+    // dump document.
+    let mut stream =
+        TcpStream::connect(&wire_addr).map_err(|e| format!("connect {wire_addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(&SHUTDOWN_FRAME)
+        .map_err(|e| format!("send shutdown: {e}"))?;
+    let mut reply = [0u8; 5];
+    stream
+        .read_exact(&mut reply)
+        .map_err(|e| format!("read shutdown reply: {e}"))?;
+    if reply != BYE_FRAME {
+        return Err(format!("shutdown answered {reply:02x?}, expected Bye"));
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match server.0.try_wait().map_err(|e| e.to_string())? {
+            Some(status) if status.success() => break,
+            Some(status) => return Err(format!("serve exited with {status}")),
+            None if Instant::now() > deadline => {
+                return Err("serve did not exit within 30 s of Shutdown".into())
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    let dump = std::fs::read_to_string(&flight).map_err(|e| format!("{flight_s}: {e}"))?;
+    if !dump.contains("\"schema\": 1") || !dump.contains("\"events\"") {
+        return Err(format!(
+            "flight recording does not look like a dump:\n{dump}"
+        ));
+    }
+
+    let _ = std::fs::remove_file(&graph);
+    let _ = std::fs::remove_file(&flight);
+    println!(
+        "==> metrics smoke: {} samples scraped from {scrape_addr}, counters monotonic, flight dump written",
+        first.len()
+    );
+    Ok(())
+}
