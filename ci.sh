@@ -2,7 +2,10 @@
 # One-command verification gate. Thin wrapper so CI systems and humans run
 # the exact same battery; the actual sequencing lives in `cargo xtask ci`:
 #
-#   1. concurrency lints   (SAFETY comments, ordering allowlist, no SeqCst)
+#   1. static analysis battery (crates/analysis, 8 passes: SAFETY coverage,
+#      ordering allowlist, SeqCst ban, metric fixture, lock order, panic
+#      paths, audit drift, opcode consistency) — JSON report written to
+#      target/analysis.json
 #   2. cargo fmt --check
 #   3. cargo clippy --workspace --all-targets -- -D warnings
 #   4. cargo test --workspace  (twice: obs feature off and on)

@@ -1,0 +1,237 @@
+//! Structured diagnostics and their machine-readable emission.
+//!
+//! Every finding carries the pass that produced it, a severity, an exact
+//! location (file, 1-based line and column), a one-line message, and an
+//! optional note with remediation detail. [`to_json`] renders a whole
+//! report as a stable JSON document (`target/analysis.json` in CI), so
+//! external tooling can consume the battery without scraping stderr.
+
+use std::fmt;
+
+/// How bad a finding is. CI fails on any [`Severity::Error`]; warnings
+/// are printed but do not gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational or stylistic; never gates.
+    Warning,
+    /// A rule violation; fails `cargo xtask lint` and CI.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name, as emitted in JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding from one pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Id of the pass that produced this (e.g. `lock-order`).
+    pub pass: &'static str,
+    /// Gate or inform.
+    pub severity: Severity,
+    /// `/`-normalized path relative to the workspace root. Documentation
+    /// passes may point at `DESIGN.md` / `README.md`.
+    pub file: String,
+    /// 1-based line (0 = whole file).
+    pub line: usize,
+    /// 1-based byte column (0 = whole line).
+    pub col: usize,
+    /// One-line description of the violation.
+    pub message: String,
+    /// Optional remediation hint or supporting detail.
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    /// Shorthand for an error-severity diagnostic.
+    pub fn error(
+        pass: &'static str,
+        file: &str,
+        line: usize,
+        col: usize,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            pass,
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            col,
+            message: message.into(),
+            note: None,
+        }
+    }
+
+    /// Attaches a remediation note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.note = Some(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// `file:line:col: [severity/pass] message (note)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}/{}] {}",
+            self.file,
+            self.line,
+            self.col,
+            self.severity.as_str(),
+            self.pass,
+            self.message
+        )?;
+        if let Some(note) = &self.note {
+            write!(f, " ({note})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of running the battery: which passes ran, over how many
+/// files, and what they found.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Pass ids, in execution order.
+    pub passes: Vec<&'static str>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, in pass order then file/line order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Whether any finding gates (error severity).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+}
+
+/// Escapes `s` for a JSON string body.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a report as a stable JSON document (schema version 1).
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::with_capacity(256 + report.diagnostics.len() * 160);
+    out.push_str("{\"version\":1,\"passes\":[");
+    for (i, p) in report.passes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape(p, &mut out);
+        out.push('"');
+    }
+    out.push_str("],\"files_scanned\":");
+    out.push_str(&report.files_scanned.to_string());
+    out.push_str(",\"diagnostics\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"pass\":\"");
+        escape(d.pass, &mut out);
+        out.push_str("\",\"severity\":\"");
+        out.push_str(d.severity.as_str());
+        out.push_str("\",\"file\":\"");
+        escape(&d.file, &mut out);
+        out.push_str("\",\"line\":");
+        out.push_str(&d.line.to_string());
+        out.push_str(",\"col\":");
+        out.push_str(&d.col.to_string());
+        out.push_str(",\"message\":\"");
+        escape(&d.message, &mut out);
+        out.push('"');
+        if let Some(note) = &d.note {
+            out.push_str(",\"note\":\"");
+            escape(note, &mut out);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let d = Diagnostic::error("lock-order", "crates/serve/src/x.rs", 12, 5, "cycle A -> B")
+            .with_note("see DESIGN.md section 13");
+        assert_eq!(
+            d.to_string(),
+            "crates/serve/src/x.rs:12:5: [error/lock-order] cycle A -> B (see DESIGN.md section 13)"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let report = Report {
+            passes: vec!["safety-coverage"],
+            files_scanned: 3,
+            diagnostics: vec![Diagnostic::error(
+                "safety-coverage",
+                "a\\b.rs",
+                1,
+                2,
+                "needs \"SAFETY\"\ncomment",
+            )],
+        };
+        let json = to_json(&report);
+        assert!(json.contains("\"version\":1"));
+        assert!(json.contains("\"files_scanned\":3"));
+        assert!(json.contains("a\\\\b.rs"));
+        assert!(json.contains("\\\"SAFETY\\\"\\ncomment"));
+        assert!(!json.contains("\"note\""));
+    }
+
+    #[test]
+    fn severity_ordering_gates_on_error() {
+        let mut report = Report {
+            passes: vec![],
+            files_scanned: 0,
+            diagnostics: vec![],
+        };
+        assert!(!report.has_errors());
+        report.diagnostics.push(Diagnostic {
+            pass: "x",
+            severity: Severity::Warning,
+            file: "f".into(),
+            line: 0,
+            col: 0,
+            message: "m".into(),
+            note: None,
+        });
+        assert!(!report.has_errors());
+        report
+            .diagnostics
+            .push(Diagnostic::error("x", "f", 1, 1, "m"));
+        assert!(report.has_errors());
+    }
+}

@@ -1,0 +1,540 @@
+//! An exact, small Rust lexer.
+//!
+//! The predecessor of this crate was a line-oriented scanner that stripped
+//! `//` comments with `str::find` — which misfires the moment a string
+//! literal contains `//` or a `/* */` block spans lines. This lexer
+//! tokenizes real Rust: identifiers (including raw `r#ident`), lifetimes,
+//! string/char/byte/raw-string literals with escapes, numbers, line
+//! comments, *nested* block comments, and single-character punctuation,
+//! each with a byte span and a 1-based line/column.
+//!
+//! It deliberately does **not** parse: passes work on the token stream
+//! (plus light structural helpers in [`crate::pass`]), which is exact for
+//! every question the battery asks — "is this `unsafe` token code or
+//! prose?", "which identifier receives this `.lock()` call?" — without
+//! the weight of a grammar.
+//!
+//! Scope limits, stated rather than hidden: shebang lines are skipped;
+//! `cfg`-conditional code is lexed like any other code (passes see both
+//! sides of a `#[cfg]`); and exotic literals (C strings, reserved guarded
+//! strings) lex as ordinary string literals. None of these affect the
+//! soundness of the shipped passes.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `Ordering`, `lock`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// A character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A numeric literal (integer or float, any radix, with suffix).
+    Num,
+    /// A `//` comment (including `///` and `//!`), excluding the newline.
+    LineComment,
+    /// A `/* … */` comment, nesting handled, possibly spanning lines.
+    BlockComment,
+    /// A single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct,
+}
+
+/// One token: kind plus byte span and 1-based position of its first byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, into the lexed source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based byte column of the first byte within its line.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string passed to [`lex`]).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// 1-based line of the token's **last** byte (differs from `line`
+    /// only for multi-line tokens: block comments and raw strings).
+    pub fn end_line(&self, src: &str) -> usize {
+        self.line + src[self.start..self.end].matches('\n').count()
+    }
+
+    /// Whether the token is a comment of either kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this is the punctuation character `c`.
+    pub fn is_punct(&self, src: &str, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text(src).starts_with(c)
+    }
+
+    /// Whether this is an identifier with exactly the text `name`.
+    pub fn is_ident(&self, src: &str, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(src) == name
+    }
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    line_start: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances `n` bytes, keeping the line accounting right even when
+    /// the skipped bytes contain newlines (block comments, raw strings).
+    fn advance(&mut self, n: usize) {
+        let end = (self.pos + n).min(self.bytes.len());
+        while self.pos < end {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.line_start = self.pos + 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn token(&self, kind: TokenKind, start: usize, start_line: usize, start_col: usize) -> Token {
+        Token {
+            kind,
+            start,
+            end: self.pos,
+            line: start_line,
+            col: start_col,
+        }
+    }
+
+    /// Consumes a line comment (`//…`), leaving the newline unconsumed.
+    fn line_comment(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.advance(1);
+        }
+    }
+
+    /// Consumes a block comment with nesting. An unterminated comment
+    /// swallows the rest of the file (what rustc does, minus the error).
+    fn block_comment(&mut self) {
+        self.advance(2); // the opening `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.advance(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.advance(2);
+                }
+                (Some(_), _) => self.advance(1),
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes a `"…"` body starting at the opening quote; `\"` and
+    /// `\\` escapes are honored.
+    fn quoted_string(&mut self) {
+        self.advance(1); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.advance(2),
+                b'"' => {
+                    self.advance(1);
+                    return;
+                }
+                _ => self.advance(1),
+            }
+        }
+    }
+
+    /// Consumes a raw string starting at the `r` (or after a `b`):
+    /// `r"…"` / `r#…#"…"#…#`. Returns false if it was not actually a raw
+    /// string opener (then nothing is consumed past the probe).
+    fn raw_string(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(1 + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(1 + hashes) != Some(b'"') {
+            return false;
+        }
+        self.advance(2 + hashes); // r, hashes, opening quote
+        loop {
+            match self.peek(0) {
+                Some(b'"') => {
+                    let mut closing = 0usize;
+                    while closing < hashes && self.peek(1 + closing) == Some(b'#') {
+                        closing += 1;
+                    }
+                    if closing == hashes {
+                        self.advance(1 + hashes);
+                        return true;
+                    }
+                    self.advance(1);
+                }
+                Some(_) => self.advance(1),
+                None => return true,
+            }
+        }
+    }
+
+    /// Consumes a char/byte literal starting at the opening `'`.
+    fn char_literal(&mut self) {
+        self.advance(1); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.advance(2),
+                b'\'' => {
+                    self.advance(1);
+                    return;
+                }
+                // A newline before the closing quote: not a char literal
+                // after all (defensive; the lifetime probe should have
+                // caught it). Stop rather than swallow the file.
+                b'\n' => return,
+                _ => self.advance(1),
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.advance(1);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a numeric literal. Exactness matters only insofar as the
+    /// lexer must not leak into neighboring tokens: `0..n` keeps the
+    /// range dots, `1e+3` keeps its exponent, `0x1F` keeps its radix.
+    fn number(&mut self) {
+        let start = self.pos;
+        let radix_prefixed = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'));
+        let mut seen_dot = false;
+        loop {
+            match self.peek(0) {
+                Some(b) if b == b'_' || b.is_ascii_alphanumeric() => self.advance(1),
+                Some(b'.') if !seen_dot && !radix_prefixed => {
+                    // `1.5` continues the number; `1..n` and `1.method()`
+                    // end it at the dot.
+                    match self.peek(1) {
+                        Some(d) if d.is_ascii_digit() => {
+                            seen_dot = true;
+                            self.advance(1);
+                        }
+                        _ => break,
+                    }
+                }
+                Some(b'+' | b'-')
+                    if !radix_prefixed
+                        && matches!(self.bytes.get(self.pos - 1), Some(b'e' | b'E'))
+                        && self.pos > start =>
+                {
+                    // Exponent sign, as in `1e+3` / `2.5E-7`.
+                    self.advance(1);
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+/// Tokenizes `src`. Whitespace is dropped; comments are kept (passes need
+/// them to find `SAFETY:` / `PANIC-OK:` justifications). Total function:
+/// any byte string produces a token vector, never a panic — malformed
+/// input (unterminated literals/comments) simply ends a token at EOF.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+    };
+    // Shebang: `#!` at offset 0 not followed by `[` is a script header.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        lx.line_comment();
+    }
+    let mut out = Vec::new();
+    while let Some(b) = lx.peek(0) {
+        let (start, line, col) = (lx.pos, lx.line, lx.pos - lx.line_start + 1);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                lx.advance(1);
+                continue;
+            }
+            b'/' if lx.peek(1) == Some(b'/') => {
+                lx.line_comment();
+                out.push(lx.token(TokenKind::LineComment, start, line, col));
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                lx.block_comment();
+                out.push(lx.token(TokenKind::BlockComment, start, line, col));
+            }
+            b'"' => {
+                lx.quoted_string();
+                out.push(lx.token(TokenKind::Str, start, line, col));
+            }
+            b'r' if matches!(lx.peek(1), Some(b'"' | b'#')) => {
+                // `r"…"`, `r#"…"#`, or a raw identifier `r#ident`.
+                if lx.raw_string() {
+                    out.push(lx.token(TokenKind::Str, start, line, col));
+                } else if lx.peek(1) == Some(b'#') {
+                    lx.advance(2);
+                    lx.ident();
+                    out.push(lx.token(TokenKind::Ident, start, line, col));
+                } else {
+                    lx.advance(1);
+                    lx.ident();
+                    out.push(lx.token(TokenKind::Ident, start, line, col));
+                }
+            }
+            b'b' if lx.peek(1) == Some(b'"') => {
+                lx.advance(1);
+                lx.quoted_string();
+                out.push(lx.token(TokenKind::Str, start, line, col));
+            }
+            b'b' if lx.peek(1) == Some(b'\'') => {
+                lx.advance(1);
+                lx.char_literal();
+                out.push(lx.token(TokenKind::Char, start, line, col));
+            }
+            b'b' if lx.peek(1) == Some(b'r') && matches!(lx.peek(2), Some(b'"' | b'#')) => {
+                lx.advance(1);
+                if lx.raw_string() {
+                    out.push(lx.token(TokenKind::Str, start, line, col));
+                } else {
+                    lx.ident();
+                    out.push(lx.token(TokenKind::Ident, start, line, col));
+                }
+            }
+            b'c' if lx.peek(1) == Some(b'"') => {
+                lx.advance(1);
+                lx.quoted_string();
+                out.push(lx.token(TokenKind::Str, start, line, col));
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                // `'\n'`): after the quote, an identifier char *not*
+                // followed by a closing quote is a lifetime.
+                let is_lifetime = matches!(
+                    (lx.peek(1), lx.peek(2)),
+                    (Some(c), after)
+                        if (c == b'_' || c.is_ascii_alphabetic()) && after != Some(b'\'')
+                );
+                if is_lifetime {
+                    lx.advance(1);
+                    lx.ident();
+                    out.push(lx.token(TokenKind::Lifetime, start, line, col));
+                } else {
+                    lx.char_literal();
+                    out.push(lx.token(TokenKind::Char, start, line, col));
+                }
+            }
+            b'0'..=b'9' => {
+                lx.number();
+                out.push(lx.token(TokenKind::Num, start, line, col));
+            }
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                lx.ident();
+                out.push(lx.token(TokenKind::Ident, start, line, col));
+            }
+            _ if b >= 0x80 => {
+                // Non-ASCII outside a literal: lex as an identifier
+                // (covers unicode idents; anything else is unreachable in
+                // code that compiles).
+                lx.ident();
+                out.push(lx.token(TokenKind::Ident, start, line, col));
+            }
+            _ => {
+                lx.advance(1);
+                out.push(lx.token(TokenKind::Punct, start, line, col));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_puncts() {
+        let ks = kinds("unsafe fn f(x: u32) -> bool { x == 0 }");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            [
+                "unsafe", "fn", "f", "(", "x", ":", "u32", ")", "-", ">", "bool", "{", "x", "=",
+                "=", "0", "}"
+            ]
+        );
+        assert_eq!(ks[0].0, TokenKind::Ident);
+        assert_eq!(ks[3].0, TokenKind::Punct);
+    }
+
+    #[test]
+    fn comment_containing_code_tokens_is_one_token() {
+        let src = "// Ordering::SeqCst and unsafe live here\nlet x = 1;";
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokenKind::LineComment);
+        assert!(ks[0].1.contains("SeqCst"));
+        // Nothing after the comment lexes as those identifiers.
+        assert!(!ks[1..].iter().any(|(_, t)| t == "SeqCst" || t == "unsafe"));
+    }
+
+    #[test]
+    fn nested_block_comment_spans_lines() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokenKind::BlockComment);
+        assert!(ks[0].1.ends_with("*/"));
+        assert_eq!(ks[1].1, "fn");
+
+        let multi = "a /* line1\nline2 */ b";
+        let toks = lex(multi);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].end_line(multi), 2);
+        assert_eq!(toks[2].line, 2);
+        assert_eq!(toks[2].text(multi), "b");
+    }
+
+    #[test]
+    fn string_containing_comment_markers_is_one_token() {
+        let src = r#"let s = "// SAFETY: not a comment /* nor this */";"#;
+        let ks = kinds(src);
+        let strs: Vec<_> = ks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("SAFETY"));
+        assert!(!ks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn escaped_quotes_and_backslashes() {
+        let src = r#"let s = "she said \"hi\" \\"; let t = 'x';"#;
+        let ks = kinds(src);
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokenKind::Str).count(),
+            1,
+            "{ks:?}"
+        );
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let src = r##"let a = r"no \ escapes"; let b = r#"has "quotes""#; let r#fn = 1;"##;
+        let ks = kinds(src);
+        let strs: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, [r#"r"no \ escapes""#, r##"r#"has "quotes""#"##]);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#fn"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let ks = kinds(r##"let m = b"AFWAL\x00"; let c = b'\n'; let r = br#"x"#;"##);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let s = 'static_label: loop { break 's' } }";
+        let ks = kinds(src);
+        let lifetimes: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static_label"]);
+        let chars: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, ["'a'", "'s'"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let ks = kinds("for i in 0..16 { let f = 1.5e+3; let h = 0x1F; let m = 4.max(i); }");
+        let nums: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "16", "1.5e+3", "0x1F", "4"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_exact() {
+        let src = "ab\n  cd /* x */ ef";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3)); // cd
+        assert_eq!((toks[2].line, toks[2].col), (2, 6)); // comment
+        assert_eq!((toks[3].line, toks[3].col), (2, 14)); // ef
+    }
+
+    #[test]
+    fn total_on_malformed_input() {
+        // Unterminated constructs must not panic or loop.
+        for src in [
+            "\"unterminated",
+            "/* never closed",
+            "'",
+            "r#\"open",
+            "b\"open",
+            "let x = ",
+            "#!shebang only",
+        ] {
+            let _ = lex(src);
+        }
+        assert!(lex("").is_empty());
+    }
+
+    #[test]
+    fn shebang_skipped_but_inner_attr_lexed() {
+        let ks = kinds("#!/usr/bin/env rust\nfn main() {}");
+        assert_eq!(ks[0].1, "fn");
+        let ks = kinds("#![forbid(unsafe_code)]");
+        assert_eq!(ks[0].1, "#");
+        assert!(ks.iter().any(|(_, t)| t == "unsafe_code"));
+    }
+}

@@ -1,0 +1,59 @@
+//! afforest-analysis: the static analysis battery behind `cargo xtask lint`.
+//!
+//! A small exact Rust lexer ([`lexer`]), a pass framework over pre-lexed
+//! sources ([`pass`]), structured diagnostics with JSON emission
+//! ([`diag`]), and the pass catalog ([`passes`]): SAFETY coverage,
+//! the memory-ordering allowlist, the SeqCst ban, metric-fixture
+//! coverage, the lock-order graph, the panic-path totality gate, the
+//! audit-drift detector, and wire-opcode consistency. DESIGN.md §13
+//! documents each rule and the reasoning behind it.
+//!
+//! The crate is deliberately dependency-free (std only): the battery is
+//! the thing that gates the build, so its own build must never be the
+//! thing that breaks.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod pass;
+pub mod passes;
+
+use diag::Report;
+use pass::Context;
+use std::path::Path;
+
+/// The metric exposition fixture the `metric-fixture` pass cross-checks
+/// (rel path from the workspace root).
+pub const METRIC_FIXTURE: &str = "crates/serve/tests/fixtures/exposition.txt";
+
+/// Runs the full battery over an in-memory context. Diagnostics come
+/// back in pass order, then file/line order within a pass.
+pub fn run(ctx: &Context) -> Report {
+    let battery = passes::all();
+    let mut diagnostics = Vec::new();
+    for pass in &battery {
+        let mut found = pass.run(ctx);
+        found.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+        diagnostics.extend(found);
+    }
+    Report {
+        passes: battery.iter().map(|p| p.id()).collect(),
+        files_scanned: ctx.files.len(),
+        diagnostics,
+    }
+}
+
+/// Loads the workspace rooted at `root` and runs the battery.
+pub fn run_workspace(root: &Path) -> Report {
+    run(&Context::load(root))
+}
+
+/// `(id, description)` for every pass, in execution order — the data
+/// behind `cargo xtask lint --list-passes`.
+pub fn list_passes() -> Vec<(&'static str, &'static str)> {
+    passes::all()
+        .iter()
+        .map(|p| (p.id(), p.description()))
+        .collect()
+}

@@ -1,0 +1,424 @@
+//! The pass framework: workspace loading, pre-lexed sources, and the
+//! structural helpers every pass shares.
+//!
+//! A [`Pass`] sees a [`Context`]: every non-vendored `.rs` file in the
+//! workspace, already lexed, plus the documentation files some passes
+//! cross-check (`DESIGN.md`, `README.md`, the metric exposition fixture).
+//! Passes are pure functions from context to diagnostics — no IO — which
+//! is what makes the fixture tests in `tests/` possible: a fixture
+//! context is just a handful of in-memory files with chosen paths.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One source file: path, text, and its token stream.
+pub struct SourceFile {
+    /// `/`-normalized path relative to the workspace root.
+    pub rel: String,
+    /// Full file contents.
+    pub text: String,
+    /// Tokens of `text`, comments included.
+    pub tokens: Vec<Token>,
+}
+
+impl SourceFile {
+    /// Builds a source file, lexing eagerly.
+    pub fn new(rel: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        let text = text.into();
+        let tokens = lex(&text);
+        SourceFile {
+            rel: rel.into(),
+            text,
+            tokens,
+        }
+    }
+
+    /// The token's text.
+    pub fn text_of(&self, t: &Token) -> &str {
+        t.text(&self.text)
+    }
+
+    /// Indices of non-comment tokens, in order.
+    pub fn code_indices(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| !self.tokens[i].is_comment())
+            .collect()
+    }
+
+    /// Whether the identifier `name` occurs anywhere in code position.
+    pub fn has_code_ident(&self, name: &str) -> bool {
+        self.tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && self.text_of(t) == name)
+    }
+
+    /// Matches `pattern` (mixed idents and puncts) against the code
+    /// token stream starting at code-index `at` (an index into
+    /// `code_indices()`-style filtered positions is awkward; this takes
+    /// a raw token index and skips comments). Returns the raw index one
+    /// past the match, or `None`.
+    pub fn match_seq(&self, at: usize, pattern: &[Pat<'_>]) -> Option<usize> {
+        let mut i = at;
+        for p in pattern {
+            // Skip comments between pattern elements.
+            while i < self.tokens.len() && self.tokens[i].is_comment() {
+                i += 1;
+            }
+            let t = self.tokens.get(i)?;
+            let ok = match *p {
+                Pat::Id(name) => t.is_ident(&self.text, name),
+                Pat::AnyId => t.kind == TokenKind::Ident,
+                Pat::P(c) => t.is_punct(&self.text, c),
+                Pat::Str => t.kind == TokenKind::Str,
+            };
+            if !ok {
+                return None;
+            }
+            i += 1;
+        }
+        Some(i)
+    }
+
+    /// The raw index of the previous non-comment token before `at`.
+    pub fn prev_code(&self, at: usize) -> Option<usize> {
+        (0..at).rev().find(|&j| !self.tokens[j].is_comment())
+    }
+
+    /// The raw index of the next non-comment token at or after `at`.
+    pub fn next_code(&self, at: usize) -> Option<usize> {
+        (at..self.tokens.len()).find(|&j| !self.tokens[j].is_comment())
+    }
+
+    /// Whether any comment token covering `line` contains `marker`.
+    pub fn line_has_marker(&self, line: usize, marker: &str) -> bool {
+        self.tokens.iter().any(|t| {
+            t.is_comment()
+                && t.line <= line
+                && t.end_line(&self.text) >= line
+                && self.text_of(t).contains(marker)
+        })
+    }
+
+    /// Whether the contiguous comment/attribute block of lines directly
+    /// above `line` contains `marker` in a comment. Mirrors the SAFETY
+    /// discipline: a justification binds to the item it touches, and any
+    /// interleaved code breaks the block.
+    pub fn block_above_has_marker(&self, line: usize, markers: &[&str]) -> bool {
+        let classes = self.line_classes();
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            match classes.get(&l) {
+                Some(LineClass::Comment) => {
+                    if markers.iter().any(|m| self.line_has_marker(l, m)) {
+                        return true;
+                    }
+                }
+                Some(LineClass::Attr) => {}
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// Classifies each line that holds tokens: comment-only, attribute,
+    /// or code. Lines spanned by a multi-line comment are comment lines;
+    /// a line is an attribute line if its first token is `#` (attributes
+    /// may span lines, but this codebase's attributes that precede
+    /// `unsafe` items do not).
+    fn line_classes(&self) -> BTreeMap<usize, LineClass> {
+        let mut classes: BTreeMap<usize, LineClass> = BTreeMap::new();
+        for t in &self.tokens {
+            let lines = t.line..=t.end_line(&self.text);
+            for l in lines {
+                let class = if t.is_comment() {
+                    LineClass::Comment
+                } else if t.is_punct(&self.text, '#') && !classes.contains_key(&l) {
+                    LineClass::Attr
+                } else {
+                    match classes.get(&l) {
+                        // An attribute line stays an attribute line even
+                        // though `[`, idents, `]` follow the `#`.
+                        Some(LineClass::Attr) => LineClass::Attr,
+                        _ => LineClass::Code,
+                    }
+                };
+                match (classes.get(&l), class) {
+                    // Code wins over comment for mixed lines *only* when
+                    // the code came first — a trailing comment does not
+                    // make a code line a comment line, and a line inside
+                    // a block comment stays a comment line.
+                    (Some(LineClass::Code), _) => {}
+                    (Some(LineClass::Attr), LineClass::Comment) => {}
+                    _ => {
+                        classes.insert(l, class);
+                    }
+                }
+            }
+        }
+        classes
+    }
+
+    /// Line ranges (1-based, inclusive) of items gated behind
+    /// `#[cfg(test)]` or `#[test]` — test modules and test functions.
+    /// Passes that audit production paths skip tokens on these lines.
+    pub fn test_line_ranges(&self) -> Vec<(usize, usize)> {
+        let mut ranges = Vec::new();
+        let toks = &self.tokens;
+        let mut i = 0;
+        while i < toks.len() {
+            let matched = self
+                .match_seq(
+                    i,
+                    &[
+                        Pat::P('#'),
+                        Pat::P('['),
+                        Pat::Id("cfg"),
+                        Pat::P('('),
+                        Pat::Id("test"),
+                        Pat::P(')'),
+                        Pat::P(']'),
+                    ],
+                )
+                .or_else(|| {
+                    self.match_seq(i, &[Pat::P('#'), Pat::P('['), Pat::Id("test"), Pat::P(']')])
+                });
+            let Some(mut j) = matched else {
+                i += 1;
+                continue;
+            };
+            let start_line = toks[i].line;
+            // Skip any further attributes on the item.
+            while let Some(k) = self.next_code(j) {
+                if toks[k].is_punct(&self.text, '#') {
+                    // Consume `#[ ... ]` bracket-balanced.
+                    let mut depth = 0usize;
+                    let mut m = k;
+                    while m < toks.len() {
+                        if toks[m].is_punct(&self.text, '[') {
+                            depth += 1;
+                        } else if toks[m].is_punct(&self.text, ']') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        m += 1;
+                    }
+                    j = m + 1;
+                } else {
+                    break;
+                }
+            }
+            // The item body: first `{ … }` at brace level, or a `;`.
+            let mut depth = 0usize;
+            let mut end_line = start_line;
+            let mut k = j;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.is_punct(&self.text, '{') {
+                    depth += 1;
+                } else if t.is_punct(&self.text, '}') {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_line = t.end_line(&self.text);
+                        k += 1;
+                        break;
+                    }
+                } else if depth == 0 && t.is_punct(&self.text, ';') {
+                    end_line = t.line;
+                    k += 1;
+                    break;
+                }
+                end_line = t.end_line(&self.text);
+                k += 1;
+            }
+            ranges.push((start_line, end_line));
+            i = k.max(i + 1);
+        }
+        ranges
+    }
+}
+
+/// Line classification for justification-block walking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LineClass {
+    Comment,
+    Attr,
+    Code,
+}
+
+/// A pattern element for [`SourceFile::match_seq`].
+#[derive(Clone, Copy, Debug)]
+pub enum Pat<'a> {
+    /// An identifier with exactly this text.
+    Id(&'a str),
+    /// Any identifier.
+    AnyId,
+    /// A punctuation character.
+    P(char),
+    /// Any string literal.
+    Str,
+}
+
+/// Everything a pass can look at.
+pub struct Context {
+    /// All scanned sources, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Non-Rust documents by rel path (`DESIGN.md`, `README.md`, the
+    /// metric exposition fixture). Missing files are absent keys —
+    /// passes that need one report its absence as a finding.
+    pub docs: BTreeMap<String, String>,
+}
+
+impl Context {
+    /// Builds a context from in-memory sources and docs (fixture tests).
+    pub fn from_sources(sources: Vec<(&str, &str)>, docs: Vec<(&str, &str)>) -> Context {
+        Context {
+            files: sources
+                .into_iter()
+                .map(|(rel, text)| SourceFile::new(rel, text))
+                .collect(),
+            docs: docs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Loads the real workspace rooted at `root`.
+    pub fn load(root: &Path) -> Context {
+        let mut files = Vec::new();
+        for path in collect_sources(root) {
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let rel = rel_path(root, &path);
+            files.push(SourceFile::new(rel, text));
+        }
+        let mut docs = BTreeMap::new();
+        for doc in [crate::METRIC_FIXTURE, "DESIGN.md", "README.md"] {
+            if let Ok(text) = fs::read_to_string(root.join(doc)) {
+                docs.insert(doc.to_string(), text);
+            }
+        }
+        Context { files, docs }
+    }
+
+    /// The file at `rel`, if scanned.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+/// A single analysis pass.
+pub trait Pass {
+    /// Stable kebab-case id, used in diagnostics, `--list-passes`, and
+    /// the JSON report.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-passes`.
+    fn description(&self) -> &'static str;
+    /// Runs the pass.
+    fn run(&self, ctx: &Context) -> Vec<Diagnostic>;
+}
+
+/// `/`-normalized path of `path` relative to `root`.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Recursively collects workspace `.rs` files to scan, excluding vendored
+/// shims (`vendor/`), build output (`target/`), git internals, and lint
+/// fixture directories (`fixtures/` — fixture files contain seeded
+/// violations as test data).
+pub fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if matches!(name.as_ref(), "target" | "vendor" | ".git" | "fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_seq_skips_comments() {
+        let f = SourceFile::new("x.rs", "Ordering /* sneaky */ :: // more\n Relaxed");
+        assert!(f
+            .match_seq(
+                0,
+                &[
+                    Pat::Id("Ordering"),
+                    Pat::P(':'),
+                    Pat::P(':'),
+                    Pat::Id("Relaxed")
+                ]
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn marker_found_on_line_and_in_block_above() {
+        let src = "fn f(p: *mut u8) {\n    // SAFETY: exclusive owner.\n    #[allow(clippy::x)]\n    unsafe { *p = 1 };\n    unsafe { *p = 2 }; // SAFETY: still exclusive.\n}\n";
+        let f = SourceFile::new("x.rs", src);
+        assert!(f.block_above_has_marker(4, &["SAFETY:"]));
+        assert!(f.line_has_marker(5, "SAFETY:"));
+        assert!(!f.block_above_has_marker(2, &["SAFETY:"]));
+    }
+
+    #[test]
+    fn code_interrupts_justification_block() {
+        let src = "// SAFETY: for the first.\nlet a = 1;\nunsafe { x() };\n";
+        let f = SourceFile::new("x.rs", src);
+        assert!(!f.block_above_has_marker(3, &["SAFETY:"]));
+    }
+
+    #[test]
+    fn multiline_block_comment_lines_all_justify() {
+        let src = "/* SAFETY: a long\n   justification */\nunsafe { x() };\n";
+        let f = SourceFile::new("x.rs", src);
+        assert!(f.block_above_has_marker(3, &["SAFETY:"]));
+    }
+
+    #[test]
+    fn test_ranges_cover_cfg_test_modules_and_test_fns() {
+        let src = "fn prod() { a.unwrap(); }\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { b.unwrap(); }\n}\n";
+        let f = SourceFile::new("x.rs", src);
+        let ranges = f.test_line_ranges();
+        assert!(ranges.iter().any(|&(s, e)| s <= 4 && e >= 7), "{ranges:?}");
+        assert!(ranges.iter().all(|&(s, _)| s > 1), "{ranges:?}");
+    }
+
+    #[test]
+    fn test_range_with_extra_attrs_and_semicolon_items() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nuse helper::x;\nfn prod() {}\n";
+        let f = SourceFile::new("x.rs", src);
+        let ranges = f.test_line_ranges();
+        assert_eq!(ranges, vec![(1, 3)]);
+    }
+}

@@ -1,0 +1,202 @@
+//! `audit-drift`: DESIGN.md §8's memory-ordering audit and the enforced
+//! allowlist cannot drift apart.
+//!
+//! The `ordering-allowlist` pass makes sure no atomic appears outside
+//! [`ORDERING_ALLOWLIST`]; this pass makes sure the allowlist itself
+//! stays honest in both directions against the prose audit it claims to
+//! mirror:
+//!
+//! - every allowlist entry must have a `### `path`` subsection under
+//!   `## 8. Memory-ordering audit` (an entry without an audit is an
+//!   unexplained exemption);
+//! - every audited path must be an allowlist entry (an audit section for
+//!   a path the lint does not exempt is dead prose that reads as
+//!   coverage);
+//! - every audited path must still contain atomics — an `Ordering::*`
+//!   token or an `Atomic*`/`fetch_*` identifier in some covered file.
+//!   When a refactor removes the last atomic from a file, its audit
+//!   subsection and allowlist entry must be retired together, or the
+//!   document claims an analysis of code that no longer exists.
+//!
+//! Paths are `/`-normalized; a directory audit is written `crates/x/src/*`
+//! in the document and `crates/x/src/` in the allowlist.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::pass::{Context, Pass, Pat, SourceFile};
+use crate::passes::ordering::{ATOMIC_ORDERINGS, ORDERING_ALLOWLIST};
+
+/// Pass id.
+pub const ID: &str = "audit-drift";
+
+/// The §8 heading this pass anchors on.
+const SECTION: &str = "## 8. Memory-ordering audit";
+
+/// Audit subsections found in DESIGN.md §8: `(normalized_path, line)`.
+/// Subsections without a backticked path (e.g. "Unsafe-code policy")
+/// are not path audits and are skipped.
+pub fn audit_sections(design: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in design.lines().enumerate() {
+        if line.starts_with("## ") {
+            in_section = line.starts_with(SECTION);
+            continue;
+        }
+        if !in_section || !line.starts_with("### ") {
+            continue;
+        }
+        let Some(rest) = line.split('`').nth(1) else {
+            continue;
+        };
+        if !rest.contains('/') {
+            continue; // backticked type name, not a path
+        }
+        let normalized = if let Some(prefix) = rest.strip_suffix("/*") {
+            format!("{prefix}/")
+        } else {
+            rest.to_string()
+        };
+        out.push((normalized, idx + 1));
+    }
+    out
+}
+
+/// Whether `f` contains any atomic site: an `Ordering::<variant>` token
+/// sequence, or an `Atomic*` / `fetch_*` identifier.
+pub fn has_atomics(f: &SourceFile) -> bool {
+    for i in 0..f.tokens.len() {
+        let t = &f.tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = f.text_of(t);
+        if text.starts_with("Atomic") || text.starts_with("fetch_") {
+            return true;
+        }
+        if text == "Ordering"
+            && ATOMIC_ORDERINGS.iter().any(|v| {
+                f.match_seq(
+                    i,
+                    &[Pat::Id("Ordering"), Pat::P(':'), Pat::P(':'), Pat::Id(v)],
+                )
+                .is_some()
+            })
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether allowlist-style `entry` covers file `rel`.
+fn covers(entry: &str, rel: &str) -> bool {
+    rel == entry || (entry.ends_with('/') && rel.starts_with(entry))
+}
+
+/// See module docs.
+pub struct AuditDrift;
+
+impl Pass for AuditDrift {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "DESIGN.md section 8 audit subsections and ORDERING_ALLOWLIST stay a bijection over files that still have atomics"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let Some(design) = ctx.docs.get("DESIGN.md") else {
+            diags.push(Diagnostic::error(
+                ID,
+                "DESIGN.md",
+                0,
+                0,
+                "DESIGN.md is missing; the memory-ordering audit cannot be cross-checked",
+            ));
+            return diags;
+        };
+        let sections = audit_sections(design);
+        if sections.is_empty() {
+            diags.push(
+                Diagnostic::error(
+                    ID,
+                    "DESIGN.md",
+                    0,
+                    0,
+                    format!("no path-audit subsections found under `{SECTION}`"),
+                )
+                .with_note(
+                    "each ORDERING_ALLOWLIST entry needs a `### \\`path\\`` subsection arguing \
+                     its orderings",
+                ),
+            );
+            return diags;
+        }
+
+        for entry in ORDERING_ALLOWLIST {
+            if !sections.iter().any(|(p, _)| p == entry) {
+                diags.push(
+                    Diagnostic::error(
+                        ID,
+                        "crates/analysis/src/passes/ordering.rs",
+                        0,
+                        0,
+                        format!(
+                            "allowlist entry `{entry}` has no audit subsection in DESIGN.md \
+                             section 8"
+                        ),
+                    )
+                    .with_note(
+                        "write the per-site ordering argument in the audit, or remove the \
+                         unexplained exemption",
+                    ),
+                );
+            }
+        }
+
+        for (path, line) in &sections {
+            if !ORDERING_ALLOWLIST.contains(&path.as_str()) {
+                diags.push(
+                    Diagnostic::error(
+                        ID,
+                        "DESIGN.md",
+                        *line,
+                        0,
+                        format!(
+                            "audit subsection for `{path}` has no matching ORDERING_ALLOWLIST \
+                             entry"
+                        ),
+                    )
+                    .with_note(
+                        "add the entry to crates/analysis/src/passes/ordering.rs or retire the \
+                         audit section",
+                    ),
+                );
+                continue;
+            }
+            let alive = ctx
+                .files
+                .iter()
+                .any(|f| covers(path, &f.rel) && has_atomics(f));
+            if !alive {
+                diags.push(
+                    Diagnostic::error(
+                        ID,
+                        "DESIGN.md",
+                        *line,
+                        0,
+                        format!("audit subsection for `{path}` covers no remaining atomics"),
+                    )
+                    .with_note(
+                        "the audited code was removed or de-atomicized; retire this subsection \
+                         and its ORDERING_ALLOWLIST entry together",
+                    ),
+                );
+            }
+        }
+        diags
+    }
+}

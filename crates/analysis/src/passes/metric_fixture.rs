@@ -1,0 +1,139 @@
+//! `metric-fixture`: every registry metric is a string literal named in
+//! the exposition fixture.
+//!
+//! Two rules (DESIGN.md §12):
+//!
+//! 1. `registry::counter/gauge/histogram` must be called with a string
+//!    literal — a computed name would dodge the coverage check below.
+//! 2. Every such literal must appear as a `# TYPE <name> <kind>` line in
+//!    the exposition fixture (`crates/serve/tests/fixtures/exposition.txt`),
+//!    so a metric cannot be added without the exposition tests seeing it.
+//!    The serve crate's `exposition_fixture` test checks the converse at
+//!    runtime (every fixture line matches a live scrape).
+//!
+//! `crates/obs/` is exempt: the registry's own sources and tests register
+//! scratch names that are not part of the service metric set.
+
+use crate::diag::Diagnostic;
+use crate::pass::{Context, Pass, Pat, SourceFile};
+
+/// Pass id.
+pub const ID: &str = "metric-fixture";
+
+/// Registration functions whose first argument is a metric name.
+const METRIC_FNS: &[&str] = &["counter", "gauge", "histogram"];
+
+/// Extracted registration sites: `(line, col, Some(name))` for literal
+/// names, `(line, col, None)` for non-literal ones.
+pub fn scan_metric_names(f: &SourceFile) -> Vec<(usize, usize, Option<String>)> {
+    let mut out = Vec::new();
+    for i in 0..f.tokens.len() {
+        for call in METRIC_FNS {
+            let Some(after_open) = f.match_seq(
+                i,
+                &[
+                    Pat::Id("registry"),
+                    Pat::P(':'),
+                    Pat::P(':'),
+                    Pat::Id(call),
+                    Pat::P('('),
+                ],
+            ) else {
+                continue;
+            };
+            let t = &f.tokens[i];
+            match f.next_code(after_open) {
+                Some(j) if f.tokens[j].kind == crate::lexer::TokenKind::Str => {
+                    let lit = f.text_of(&f.tokens[j]);
+                    // Strip the quotes (plain `"…"` literals only; metric
+                    // names have no reason to be raw or byte strings).
+                    let name = lit.trim_matches('"').to_string();
+                    out.push((t.line, t.col, Some(name)));
+                }
+                _ => out.push((t.line, t.col, None)),
+            }
+        }
+    }
+    out
+}
+
+/// Metric names declared by the fixture's `# TYPE <name> <kind>` lines.
+pub fn fixture_names(fixture: &str) -> Vec<&str> {
+    fixture
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .collect()
+}
+
+/// See module docs.
+pub struct MetricFixture;
+
+impl Pass for MetricFixture {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "registry metric names are string literals covered by the exposition fixture"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let fixture = ctx.docs.get(crate::METRIC_FIXTURE);
+        let names = fixture.map(|f| fixture_names(f)).unwrap_or_default();
+        let mut any_sites = false;
+
+        for f in &ctx.files {
+            if f.rel.starts_with("crates/obs/") {
+                continue;
+            }
+            for (line, col, name) in scan_metric_names(f) {
+                any_sites = true;
+                match name {
+                    None => diags.push(
+                        Diagnostic::error(
+                            ID,
+                            &f.rel,
+                            line,
+                            col,
+                            "registry metric registered with a non-literal name",
+                        )
+                        .with_note(format!(
+                            "the fixture coverage check ({}) can only verify string literals",
+                            crate::METRIC_FIXTURE
+                        )),
+                    ),
+                    Some(name) if !names.contains(&name.as_str()) => diags.push(
+                        Diagnostic::error(
+                            ID,
+                            &f.rel,
+                            line,
+                            col,
+                            format!(
+                                "metric `{name}` is registered here but absent from {}",
+                                crate::METRIC_FIXTURE
+                            ),
+                        )
+                        .with_note(
+                            "regenerate the fixture (see the fixture's header) so the \
+                             exposition tests cover it",
+                        ),
+                    ),
+                    Some(_) => {}
+                }
+            }
+        }
+
+        if any_sites && fixture.is_none() {
+            diags.push(Diagnostic::error(
+                ID,
+                crate::METRIC_FIXTURE,
+                0,
+                0,
+                "metrics are registered but the exposition fixture is missing",
+            ));
+        }
+        diags
+    }
+}

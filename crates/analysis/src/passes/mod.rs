@@ -1,0 +1,28 @@
+//! The pass catalog. Order matters only for report readability: cheap
+//! token-local rules first, then the structural analyzers, then the
+//! documentation drift detectors.
+
+pub mod audit;
+pub mod lock_order;
+pub mod metric_fixture;
+pub mod opcode;
+pub mod ordering;
+pub mod panic_path;
+pub mod safety;
+pub mod seqcst;
+
+use crate::pass::Pass;
+
+/// Every pass in the battery, in execution order.
+pub fn all() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(safety::SafetyCoverage),
+        Box::new(ordering::OrderingAllowlist),
+        Box::new(seqcst::SeqCstBan),
+        Box::new(metric_fixture::MetricFixture),
+        Box::new(lock_order::LockOrder),
+        Box::new(panic_path::PanicPath),
+        Box::new(audit::AuditDrift),
+        Box::new(opcode::OpcodeConsistency),
+    ]
+}

@@ -1,0 +1,291 @@
+//! `opcode-consistency`: the wire opcode constants, their uses, and the
+//! documentation tables agree byte-for-byte.
+//!
+//! The protocol's desync story (DESIGN.md §10) rests on disjoint opcode
+//! ranges: requests live in `0x01..=0x7F`, responses in `0x80..=0xFF`.
+//! A duplicated value, a response constant that strays into the request
+//! range, or a README that documents yesterday's byte would all pass the
+//! compiler silently and fail on the wire loudly. This pass cross-checks
+//! four surfaces:
+//!
+//! 1. **Declarations** — every `const OP_*: u8 = …;` in
+//!    [`PROTOCOL_FILE`]. Values must be unique; `OP_R_*` (responses)
+//!    must be `>= 0x80`, everything else `< 0x80` and nonzero (`0x00`
+//!    is reserved so an all-zero frame can never parse).
+//! 2. **Encoder and decoder** — each constant must appear at least
+//!    twice outside its declaration. One side is the encode match, the
+//!    other the decode match; a constant used once is a one-directional
+//!    opcode, i.e. an encode/decode asymmetry.
+//! 3. **The DESIGN.md opcode table** — rows of the form
+//!    `` | `OP_X` | `0xNN` | … `` must be a bijection with the
+//!    declarations, values included.
+//! 4. **Prose** — any `0xNN` byte on a line mentioning "opcode" in
+//!    README.md or DESIGN.md must be a declared opcode value.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::pass::{Context, Pass, Pat};
+use std::collections::BTreeMap;
+
+/// Pass id.
+pub const ID: &str = "opcode-consistency";
+
+/// Where the wire opcodes are declared (encoder and decoder live in the
+/// same module, by design).
+pub const PROTOCOL_FILE: &str = "crates/serve/src/protocol.rs";
+
+/// Parses a Rust integer literal as used for opcode bytes (`0xNN` or
+/// decimal, `_` separators tolerated).
+pub fn parse_int(lit: &str) -> Option<u32> {
+    let lit = lit.replace('_', "");
+    if let Some(hex) = lit.strip_prefix("0x").or_else(|| lit.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        lit.parse().ok()
+    }
+}
+
+/// Opcode table rows in a document: `(name, value, line)` for every
+/// `` | `OP_X` | `0xNN` | … `` markdown row.
+pub fn table_rows(doc: &str) -> Vec<(String, u32, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in doc.lines().enumerate() {
+        let mut cells = line.split('|').map(str::trim);
+        let Some("") = cells.next() else { continue };
+        let (Some(name_cell), Some(value_cell)) = (cells.next(), cells.next()) else {
+            continue;
+        };
+        let name = name_cell.trim_matches('`');
+        if !name.starts_with("OP_") || name_cell == name {
+            continue;
+        }
+        let Some(value) = parse_int(value_cell.trim_matches('`')) else {
+            continue;
+        };
+        out.push((name.to_string(), value, idx + 1));
+    }
+    out
+}
+
+/// All `0xNN` bytes on "opcode"-mentioning lines: `(value, line)`.
+pub fn prose_opcode_bytes(doc: &str) -> Vec<(u32, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in doc.lines().enumerate() {
+        if !line.to_ascii_lowercase().contains("opcode") || line.trim_start().starts_with('|') {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(pos) = rest.find("0x") {
+            let hex: String = rest[pos + 2..]
+                .chars()
+                .take_while(|c| c.is_ascii_hexdigit())
+                .collect();
+            rest = &rest[pos + 2..];
+            if hex.len() == 2 {
+                if let Ok(v) = u32::from_str_radix(&hex, 16) {
+                    out.push((v, idx + 1));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// See module docs.
+pub struct OpcodeConsistency;
+
+impl Pass for OpcodeConsistency {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "wire opcode constants, encoder/decoder uses, and the README/DESIGN opcode tables agree"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let Some(f) = ctx.file(PROTOCOL_FILE) else {
+            return diags; // nothing to check in trees without the serve crate
+        };
+
+        // 1. Declarations.
+        let mut consts: Vec<(String, u32, usize)> = Vec::new();
+        let mut uses: BTreeMap<String, usize> = BTreeMap::new();
+        for i in 0..f.tokens.len() {
+            let t = &f.tokens[i];
+            if t.kind == TokenKind::Ident && f.text_of(t).starts_with("OP_") {
+                *uses.entry(f.text_of(t).to_string()).or_insert(0) += 1;
+            }
+            let Some(after) = f.match_seq(
+                i,
+                &[
+                    Pat::Id("const"),
+                    Pat::AnyId,
+                    Pat::P(':'),
+                    Pat::Id("u8"),
+                    Pat::P('='),
+                ],
+            ) else {
+                continue;
+            };
+            let name_tok = &f.tokens[f.next_code(i + 1).unwrap_or(i)];
+            let name = f.text_of(name_tok);
+            if !name.starts_with("OP_") {
+                continue;
+            }
+            let Some(vi) = f.next_code(after) else {
+                continue;
+            };
+            let Some(value) = parse_int(f.text_of(&f.tokens[vi])) else {
+                continue;
+            };
+            consts.push((name.to_string(), value, name_tok.line));
+        }
+
+        let mut by_value: BTreeMap<u32, &str> = BTreeMap::new();
+        for (name, value, line) in &consts {
+            if let Some(prev) = by_value.insert(*value, name) {
+                diags.push(Diagnostic::error(
+                    ID,
+                    PROTOCOL_FILE,
+                    *line,
+                    0,
+                    format!("opcode value {value:#04x} assigned to both `{prev}` and `{name}`"),
+                ));
+            }
+            let is_response = name.starts_with("OP_R_");
+            if is_response && *value < 0x80 {
+                diags.push(Diagnostic::error(
+                    ID,
+                    PROTOCOL_FILE,
+                    *line,
+                    0,
+                    format!(
+                        "response opcode `{name}` = {value:#04x} is inside the request range \
+                         (responses are 0x80..=0xFF)"
+                    ),
+                ));
+            } else if !is_response && !(0x01..0x80).contains(value) {
+                diags.push(Diagnostic::error(
+                    ID,
+                    PROTOCOL_FILE,
+                    *line,
+                    0,
+                    format!(
+                        "request opcode `{name}` = {value:#04x} is outside the request range \
+                         (requests are 0x01..=0x7F)"
+                    ),
+                ));
+            }
+
+            // 2. Encoder + decoder presence.
+            if uses.get(name.as_str()).copied().unwrap_or(0) < 3 {
+                diags.push(
+                    Diagnostic::error(
+                        ID,
+                        PROTOCOL_FILE,
+                        *line,
+                        0,
+                        format!("opcode `{name}` is not used by both the encoder and the decoder"),
+                    )
+                    .with_note(
+                        "every opcode constant must appear in an encode arm and a decode arm; \
+                         a one-sided opcode is an encode/decode asymmetry",
+                    ),
+                );
+            }
+        }
+
+        // 3. Documentation tables (DESIGN.md authoritative; README may
+        // also carry one).
+        let decls: BTreeMap<&str, u32> = consts.iter().map(|(n, v, _)| (n.as_str(), *v)).collect();
+        let mut any_table = false;
+        for doc in ["DESIGN.md", "README.md"] {
+            let Some(text) = ctx.docs.get(doc) else {
+                continue;
+            };
+            let rows = table_rows(text);
+            if !rows.is_empty() {
+                any_table = true;
+            }
+            let mut documented: BTreeMap<&str, u32> = BTreeMap::new();
+            for (name, value, line) in &rows {
+                documented.insert(name, *value);
+                match decls.get(name.as_str()) {
+                    None => diags.push(Diagnostic::error(
+                        ID,
+                        doc,
+                        *line,
+                        0,
+                        format!(
+                            "opcode table names `{name}`, which is not declared in {PROTOCOL_FILE}"
+                        ),
+                    )),
+                    Some(v) if *v != *value => diags.push(Diagnostic::error(
+                        ID,
+                        doc,
+                        *line,
+                        0,
+                        format!(
+                            "opcode table says `{name}` = {value:#04x} but {PROTOCOL_FILE} \
+                             declares {v:#04x}"
+                        ),
+                    )),
+                    Some(_) => {}
+                }
+            }
+            if !rows.is_empty() {
+                for (name, value, line) in &consts {
+                    if !documented.contains_key(name.as_str()) {
+                        diags.push(Diagnostic::error(
+                            ID,
+                            doc,
+                            *line,
+                            0,
+                            format!(
+                                "declared opcode `{name}` = {value:#04x} (line {line} of \
+                                 {PROTOCOL_FILE}) is missing from {doc}'s opcode table"
+                            ),
+                        ));
+                    }
+                }
+            }
+
+            // 4. Prose mentions.
+            for (value, line) in prose_opcode_bytes(text) {
+                if !by_value.contains_key(&value) {
+                    diags.push(
+                        Diagnostic::error(
+                            ID,
+                            doc,
+                            line,
+                            0,
+                            format!(
+                                "prose mentions opcode {value:#04x}, which no constant in \
+                                 {PROTOCOL_FILE} declares"
+                            ),
+                        )
+                        .with_note("stale documentation: the byte changed or never existed"),
+                    );
+                }
+            }
+        }
+        if !consts.is_empty() && !any_table {
+            diags.push(
+                Diagnostic::error(
+                    ID,
+                    "DESIGN.md",
+                    0,
+                    0,
+                    "no opcode table found in DESIGN.md or README.md",
+                )
+                .with_note(
+                    "the wire protocol section must carry a `| \\`OP_X\\` | \\`0xNN\\` | … |` \
+                     table mirroring the constants",
+                ),
+            );
+        }
+        diags
+    }
+}

@@ -1,0 +1,168 @@
+//! `safety-coverage`: every `unsafe` in code position carries a
+//! justification, and crate roots declare the matching hygiene attribute.
+//!
+//! Three rules:
+//!
+//! 1. An `unsafe` keyword token must have a `// SAFETY:` comment on the
+//!    same line or in the contiguous comment/attribute block directly
+//!    above (doc-comment `# Safety` sections count, covering `unsafe fn`
+//!    declarations documented for their callers).
+//! 2. A crate that contains `unsafe` code must declare
+//!    `#![deny(unsafe_op_in_unsafe_fn)]` at its root, so unsafe
+//!    operations inside unsafe fns still need their own block and
+//!    justification.
+//! 3. A crate that contains **no** unsafe code must declare
+//!    `#![forbid(unsafe_code)]` at its root — the strongest statement
+//!    available, and one this pass can then rely on staying true.
+//!
+//! Because the lexer is exact, `unsafe` inside a string literal or a
+//! comment is invisible here — the predecessor line scanner got both
+//! wrong (a string containing `"// SAFETY:"` could justify real unsafe
+//! code on the same line).
+
+use crate::diag::Diagnostic;
+use crate::pass::{Context, Pass, Pat, SourceFile};
+use std::collections::BTreeMap;
+
+/// Pass id.
+pub const ID: &str = "safety-coverage";
+
+/// Markers that justify an `unsafe` token.
+const MARKERS: &[&str] = &["SAFETY:", "# Safety"];
+
+/// See module docs.
+pub struct SafetyCoverage;
+
+/// The crate key of a scanned file: `crates/<name>` for workspace
+/// crates, `` (empty) for the root package's `src/`, `None` for files
+/// outside any crate root this pass audits (`tests/`, `examples/` —
+/// integration tests and examples are their own crate roots and carry no
+/// unsafe in this workspace; the per-token rule still covers them).
+fn crate_key(rel: &str) -> Option<String> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let name = rest.split('/').next()?;
+        if rest.strip_prefix(name)?.starts_with("/src/") {
+            return Some(format!("crates/{name}"));
+        }
+        return None;
+    }
+    if rel.starts_with("src/") {
+        return Some(String::new());
+    }
+    None
+}
+
+/// Whether the crate root file declares an inner attribute invoking
+/// `lint` on `arg`: `#![<lint>(<arg>)]`, e.g. `#![forbid(unsafe_code)]`.
+fn has_inner_lint_attr(f: &SourceFile, lints: &[&str], arg: &str) -> bool {
+    (0..f.tokens.len()).any(|i| {
+        lints.iter().any(|l| {
+            f.match_seq(
+                i,
+                &[
+                    Pat::P('#'),
+                    Pat::P('!'),
+                    Pat::P('['),
+                    Pat::Id(l),
+                    Pat::P('('),
+                    Pat::Id(arg),
+                    Pat::P(')'),
+                    Pat::P(']'),
+                ],
+            )
+            .is_some()
+        })
+    })
+}
+
+impl Pass for SafetyCoverage {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "`unsafe` requires a SAFETY justification; crates declare forbid(unsafe_code) or deny(unsafe_op_in_unsafe_fn)"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        // crate key -> whether any file in it has code-position unsafe.
+        let mut crate_unsafe: BTreeMap<String, bool> = BTreeMap::new();
+
+        for f in &ctx.files {
+            let mut file_has_unsafe = false;
+            for t in &f.tokens {
+                if !t.is_ident(&f.text, "unsafe") {
+                    continue;
+                }
+                file_has_unsafe = true;
+                let justified = MARKERS.iter().any(|m| f.line_has_marker(t.line, m))
+                    || f.block_above_has_marker(t.line, MARKERS);
+                if !justified {
+                    diags.push(
+                        Diagnostic::error(
+                            ID,
+                            &f.rel,
+                            t.line,
+                            t.col,
+                            "`unsafe` without a `// SAFETY:` comment (same line or the \
+                             comment block directly above)",
+                        )
+                        .with_note(
+                            "doc-comment `# Safety` sections also count for `unsafe fn` \
+                             declarations",
+                        ),
+                    );
+                }
+            }
+            if let Some(key) = crate_key(&f.rel) {
+                *crate_unsafe.entry(key).or_insert(false) |= file_has_unsafe;
+            }
+        }
+
+        // Crate-root hygiene attributes.
+        for (key, has_unsafe) in crate_unsafe {
+            let root_rel = if key.is_empty() {
+                "src/lib.rs".to_string()
+            } else {
+                let lib = format!("{key}/src/lib.rs");
+                if ctx.file(&lib).is_some() {
+                    lib
+                } else {
+                    format!("{key}/src/main.rs")
+                }
+            };
+            let Some(root_file) = ctx.file(&root_rel) else {
+                continue;
+            };
+            if has_unsafe {
+                if !has_inner_lint_attr(root_file, &["deny", "forbid"], "unsafe_op_in_unsafe_fn") {
+                    diags.push(Diagnostic::error(
+                        ID,
+                        &root_rel,
+                        1,
+                        1,
+                        "crate contains unsafe code but its root module does not declare \
+                         #![deny(unsafe_op_in_unsafe_fn)]",
+                    ));
+                }
+            } else if !has_inner_lint_attr(root_file, &["forbid"], "unsafe_code") {
+                diags.push(
+                    Diagnostic::error(
+                        ID,
+                        &root_rel,
+                        1,
+                        1,
+                        "crate contains no unsafe code but its root module does not declare \
+                         #![forbid(unsafe_code)]",
+                    )
+                    .with_note(
+                        "declare the attribute so the absence of unsafe is compiler-enforced, \
+                         not incidental",
+                    ),
+                );
+            }
+        }
+        diags
+    }
+}

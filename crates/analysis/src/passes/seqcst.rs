@@ -1,0 +1,50 @@
+//! `seqcst-ban`: no sequential consistency anywhere, allowlist or not.
+//!
+//! The correctness argument (DESIGN.md §8) never needs `SeqCst`: every
+//! property rests on per-cell coherence plus fork/join synchronization.
+//! A `SeqCst` appearing anywhere means someone is patching over a race
+//! they don't understand — and paying full fences for it. Banned as an
+//! identifier token, so a mention in a comment or a string (this file's
+//! own doc comment, say) is invisible; the predecessor line scanner
+//! would have flagged a `SeqCst` inside a block comment.
+
+use crate::diag::Diagnostic;
+use crate::pass::{Context, Pass};
+
+/// Pass id.
+pub const ID: &str = "seqcst-ban";
+
+/// See module docs.
+pub struct SeqCstBan;
+
+impl Pass for SeqCstBan {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "Ordering::SeqCst is banned workspace-wide (no property needs sequential consistency)"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for f in &ctx.files {
+            for t in &f.tokens {
+                if t.is_ident(&f.text, "SeqCst") {
+                    diags.push(
+                        Diagnostic::error(
+                            ID,
+                            &f.rel,
+                            t.line,
+                            t.col,
+                            "Ordering::SeqCst is banned: no property of the algorithm \
+                             requires sequential consistency",
+                        )
+                        .with_note("see DESIGN.md section 8, memory-ordering audit"),
+                    );
+                }
+            }
+        }
+        diags
+    }
+}

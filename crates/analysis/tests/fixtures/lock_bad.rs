@@ -1,0 +1,26 @@
+// True-positive fixture for lock-order: two paths acquire the same two
+// mutexes in opposite orders — an unallowlisted pair of edges forming a
+// cycle (the textbook AB/BA deadlock).
+
+use std::sync::Mutex;
+
+struct Shared {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Shared {
+    fn path_one(&self) {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    fn path_two(&self) {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        drop(a);
+        drop(b);
+    }
+}

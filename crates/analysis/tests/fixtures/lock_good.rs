@@ -1,0 +1,34 @@
+// False-positive fixture for lock-order: patterns that must create no
+// edges. A temporary guard dies at its statement's end; a dropped guard
+// is released before the next acquisition; an RwLock read temporary
+// never overlaps the write elsewhere.
+
+use std::sync::{Condvar, Mutex, RwLock};
+
+struct Queue {
+    state: Mutex<Vec<u64>>,
+    ready: Condvar,
+    snap: RwLock<u64>,
+}
+
+impl Queue {
+    fn temporary_then_lock(&self) -> usize {
+        // The first guard is a temporary: released at the semicolon,
+        // before `snap` is acquired on the next line.
+        let depth = self.state.lock().unwrap_or_else(|e| e.into_inner()).len();
+        let _s = self.snap.read().unwrap();
+        depth
+    }
+
+    fn drop_then_lock(&self) {
+        let g = self.state.lock().unwrap();
+        drop(g);
+        let _w = self.snap.write().unwrap();
+    }
+
+    fn wait_is_not_nesting(&self) {
+        // Condvar::wait releases and reacquires `state`; no edge.
+        let g = self.state.lock().unwrap();
+        let _g = self.ready.wait(g).unwrap();
+    }
+}

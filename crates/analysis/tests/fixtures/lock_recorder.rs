@@ -1,0 +1,19 @@
+// Companion fixture supplying evidence for the one allowlisted edge
+// (`recorder::GATE` -> `recorder::STATE`), mirroring the real
+// crates/obs/src/recorder.rs shape. Lock-order tests include this file
+// so the "stale allowlist edge" rule stays quiet.
+
+use std::sync::{Mutex, MutexGuard};
+
+static GATE: Mutex<()> = Mutex::new(());
+static STATE: Mutex<Option<u64>> = Mutex::new(None);
+
+fn lock_state() -> MutexGuard<'static, Option<u64>> {
+    STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) fn begin() -> MutexGuard<'static, ()> {
+    let gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    *lock_state() = Some(1);
+    gate
+}

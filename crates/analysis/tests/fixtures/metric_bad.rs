@@ -1,0 +1,7 @@
+// True-positive fixture for metric-fixture: a computed metric name and a
+// literal name absent from the exposition fixture.
+
+fn register(dynamic: &str) {
+    let _a = registry::counter(dynamic);
+    let _b = registry::gauge("not_in_fixture_gauge");
+}

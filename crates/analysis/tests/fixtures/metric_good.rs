@@ -1,0 +1,9 @@
+// False-positive fixture for metric-fixture: literal names present in
+// the exposition fixture, and a name-shaped call that is not a
+// registry registration.
+
+fn register() {
+    let _a = registry::counter("serve_requests_total");
+    let _b = registry::histogram("serve_latency_seconds");
+    let _c = other::counter("irrelevant_namespace");
+}

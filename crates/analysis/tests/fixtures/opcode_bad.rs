@@ -1,0 +1,23 @@
+// True-positive fixture for opcode-consistency: a duplicated value, a
+// response opcode in the request range, and a constant the decoder
+// never matches.
+
+const OP_PING: u8 = 0x01;
+const OP_DUP: u8 = 0x01;
+const OP_R_LOW: u8 = 0x10;
+const OP_DEAD: u8 = 0x02;
+
+fn encode(out: &mut Vec<u8>) {
+    out.push(OP_PING);
+    out.push(OP_DUP);
+    out.push(OP_R_LOW);
+}
+
+fn decode(b: u8) -> &'static str {
+    match b {
+        OP_PING => "ping",
+        OP_DUP => "dup",
+        OP_R_LOW => "low",
+        _ => "unknown",
+    }
+}

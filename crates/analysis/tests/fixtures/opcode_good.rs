@@ -1,0 +1,21 @@
+// False-positive fixture for opcode-consistency: two opcodes, each used
+// by both the encoder and the decoder, values matching the doc table.
+
+const OP_PING: u8 = 0x01;
+const OP_R_PONG: u8 = 0x81;
+
+fn encode(out: &mut Vec<u8>, req: bool) {
+    if req {
+        out.push(OP_PING);
+    } else {
+        out.push(OP_R_PONG);
+    }
+}
+
+fn decode(b: u8) -> &'static str {
+    match b {
+        OP_PING => "ping",
+        OP_R_PONG => "pong",
+        _ => "unknown",
+    }
+}

@@ -1,0 +1,13 @@
+// True-positive fixture for panic-path: every construct here must be
+// flagged when the file sits on the wire/disk byte path.
+
+fn decode(payload: &[u8]) -> u32 {
+    let tag = payload[0];
+    if tag != 1 {
+        panic!("bad tag");
+    }
+    let field: [u8; 4] = payload[1..5].try_into().unwrap();
+    let n = u32::from_le_bytes(field);
+    let _last = payload.last().expect("nonempty");
+    n
+}

@@ -1,0 +1,27 @@
+// False-positive fixture for panic-path: justified sites, test-only
+// panics, and identifiers that merely contain a banned name.
+
+fn decode(payload: &[u8]) -> Option<u32> {
+    if payload.len() < 5 {
+        return None;
+    }
+    // PANIC-OK: length checked above; the range and conversion cannot fail.
+    let field: [u8; 4] = payload[1..5].try_into().expect("4 bytes");
+    let n = u32::from_le_bytes(field);
+    Some(n)
+}
+
+fn recover_poison(m: &std::sync::Mutex<u64>) -> u64 {
+    // `unwrap_or_else` is a distinct identifier, not `unwrap`.
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v = [1u8, 2];
+        assert_eq!(v[1], 2);
+        let _ = std::str::from_utf8(&v).unwrap();
+    }
+}

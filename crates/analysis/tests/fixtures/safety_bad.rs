@@ -1,6 +1,7 @@
-// Seeded lint fixture: everything in here must be flagged. Never compiled —
-// the `fixtures` directory is excluded from the workspace and the scan; the
-// lint's unit tests feed this file through `lint_source` directly.
+// Seeded true-positive fixture (ported from the predecessor line
+// scanner's `bad_unsafe.rs`): everything here must be flagged. Never
+// compiled — `fixtures/` is excluded from the workspace scan; the
+// battery tests feed this file through an in-memory `Context`.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 

@@ -1,0 +1,15 @@
+// False-positive fixture: nothing here may be flagged by safety-coverage
+// when placed in a crate whose root declares deny(unsafe_op_in_unsafe_fn).
+
+/// Writes through `p`.
+///
+/// # Safety
+/// Caller guarantees `p` is valid and exclusively owned.
+pub unsafe fn poke(p: *mut u32) {
+    // SAFETY: contract above — `p` is valid and exclusive.
+    unsafe { *p = 7 };
+}
+
+pub fn justified_inline(p: *mut u32) {
+    unsafe { *p = 1 }; // SAFETY: caller of this private fn owns `p`.
+}

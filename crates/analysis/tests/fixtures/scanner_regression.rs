@@ -1,0 +1,18 @@
+// Regression fixture for the two known unsoundnesses of the predecessor
+// line-oriented scanner (it split each line at the first `//` and never
+// tracked `/* */`):
+//
+// 1. A string literal containing `"// SAFETY:"` on the same line as an
+//    `unsafe` token must NOT count as a justification — the safety pass
+//    must still flag the unsafe below.
+// 2. `Ordering::SeqCst` inside a block comment must NOT be flagged by
+//    the seqcst-ban or ordering-allowlist passes — it is prose.
+
+fn string_is_not_a_justification(p: *mut u32) {
+    let _lie = "// SAFETY: totally fine"; unsafe { *p = 1 };
+}
+
+/* The old scanner saw this as code:
+   counter.store(1, Ordering::SeqCst);
+   and flagged it. The lexer knows it is a comment. */
+fn comment_is_not_code() {}

@@ -26,6 +26,8 @@
 //! All parallel algorithms return an [`afforest_core`]-compatible labeling:
 //! a `Vec<Node>` where two vertices share a value iff they are connected.
 
+#![forbid(unsafe_code)]
+
 pub mod bfs_cc;
 pub mod dobfs_cc;
 pub mod label_prop;

@@ -18,6 +18,8 @@
 //! and `--trials N`, prints a human-readable table mirroring the paper's
 //! rows/series, and optionally emits CSV via `--csv <path>`.
 
+#![forbid(unsafe_code)]
+
 pub mod algorithms;
 pub mod cli;
 pub mod datasets;

@@ -23,6 +23,8 @@
 //! `.gr`/`.dimacs`/`.col` (DIMACS), `.graph`/`.metis` (METIS), and
 //! `.acsr` (this repo's binary CSR).
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod commands;
 pub mod load;

@@ -42,6 +42,8 @@
 //! - [`spanning_forest`]: spanning-forest extraction via merge-edge
 //!   tracking (Section IV-A duality).
 
+#![forbid(unsafe_code)]
+
 pub mod afforest;
 pub mod batched;
 pub mod cachesim;

@@ -22,6 +22,8 @@
 //!   with iterative boundary-label exchange (distributed min-label
 //!   hooking), whose communication depends on convergence behaviour.
 
+#![forbid(unsafe_code)]
+
 pub mod bsp;
 pub mod forest_merge;
 pub mod label_exchange;

@@ -21,6 +21,8 @@
 //!   link — driven by the *actual* algorithm state so the measured work
 //!   distributions are real, not synthetic.
 
+#![forbid(unsafe_code)]
+
 pub mod kernels;
 pub mod warp;
 

@@ -33,6 +33,8 @@
 //! Run the standard battery with `cargo run -p afforest-modelcheck`
 //! (wired into `cargo xtask ci` / `ci.sh`).
 
+#![forbid(unsafe_code)]
+
 pub mod explore;
 pub mod machine;
 pub mod oracle;

@@ -49,6 +49,8 @@
 //! the algorithm — per-edge work inside rayon workers reports through
 //! counters, not spans.
 
+#![forbid(unsafe_code)]
+
 pub mod flight;
 pub mod json;
 #[cfg(feature = "enabled")]

@@ -583,6 +583,46 @@ mod tests {
         assert!(parse_exposition("# HELP x y\n\n").is_ok());
     }
 
+    /// Each error path of the parser, pinned to its message and the
+    /// 1-based line number it reports.
+    #[test]
+    fn parser_error_paths_name_the_line_and_cause() {
+        // Truncated line: a bare name with no value sample.
+        let e = parse_exposition("ok_total 1\ntruncated_line\n").unwrap_err();
+        assert!(e.starts_with("line 2:"), "{e}");
+        assert!(e.contains("expected `name value`"), "{e}");
+
+        // Non-numeric sample value.
+        let e = parse_exposition("depth_gauge NaN\n").unwrap_err();
+        assert!(e.contains("sample value not an unsigned integer"), "{e}");
+        let e = parse_exposition("depth_gauge -3\n").unwrap_err();
+        assert!(e.contains("sample value not an unsigned integer"), "{e}");
+
+        // Bucket line whose le label never closes.
+        let e = parse_exposition("lat_bucket{le=\"3 7\n").unwrap_err();
+        assert!(e.contains("unterminated le label"), "{e}");
+
+        // Bucket count and bucket edge must both be integers.
+        let e = parse_exposition("lat_bucket{le=\"3\"} x\n").unwrap_err();
+        assert!(e.contains("bucket count not an integer"), "{e}");
+        let e = parse_exposition("lat_bucket{le=\"wide\"} 7\n").unwrap_err();
+        assert!(e.contains("le bound not an integer"), "{e}");
+
+        // Labels on a non-bucket sample are not part of the format.
+        let e = parse_exposition("reqs{shard=\"0\"} 4\n").unwrap_err();
+        assert!(e.contains("unexpected labels on non-bucket sample"), "{e}");
+
+        // Unknown comment lines (any `#`-prefixed line, including TYPE
+        // kinds this parser never emits) are ignored, not errors.
+        let scrape =
+            parse_exposition("# TYPE exotic summary\n# EOF\nok_total 2\n").expect("comments skip");
+        assert_eq!(scrape.value("ok_total"), Some(2));
+
+        // An error on a later line still names that line.
+        let e = parse_exposition("a_total 1\nb_total 2\n\nbad\n").unwrap_err();
+        assert!(e.starts_with("line 4:"), "{e}");
+    }
+
     #[test]
     fn bucket_edges_invert() {
         for b in 0..64u32 {

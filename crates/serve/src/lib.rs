@@ -39,6 +39,7 @@
 //! assert_eq!(server.handle(&Request::Connected(0, 3)), Response::Connected(true));
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod events;

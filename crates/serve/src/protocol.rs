@@ -227,22 +227,28 @@ impl<'a> Cursor<'a> {
                 got: self.buf.len(),
             });
         }
+        // PANIC-OK: `end <= buf.len()` checked above and `pos <= end`
+        // by construction (pos only ever advances to a checked `end`).
         let s = &self.buf[self.pos..end];
         self.pos = end;
         Ok(s)
     }
 
     fn u8(&mut self) -> Result<u8, FrameError> {
+        // PANIC-OK: `take(1)` returned exactly one byte.
         Ok(self.take(1)?[0])
     }
 
     fn u32(&mut self) -> Result<u32, FrameError> {
         let b = self.take(4)?;
+        // PANIC-OK: `take(4)` returned exactly four bytes.
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn u64(&mut self) -> Result<u64, FrameError> {
         let b = self.take(8)?;
+        // PANIC-OK: `take(8)` returned exactly eight bytes, so the
+        // slice-to-array conversion cannot fail.
         Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 
@@ -453,6 +459,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
     let mut len_buf = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
+        // PANIC-OK: `filled < 4` loop bound keeps the range in the array.
         match r.read(&mut len_buf[filled..])? {
             0 if filled == 0 => return Ok(None),
             0 => {
@@ -475,6 +482,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
     let mut payload = vec![0u8; len];
     let mut read = 0;
     while read < len {
+        // PANIC-OK: `read < len` loop bound keeps the range in the vec.
         match r.read(&mut payload[read..])? {
             0 => {
                 return Err(FrameError::Truncated {

@@ -224,6 +224,8 @@ impl Wal {
         let outcome = match fault {
             WalFault::Drop => AppendOutcome::DroppedByFault,
             WalFault::Short { keep } => {
+                // PANIC-OK: the fault plane clamps `keep` to the record
+                // length it was given (see `FaultPlane::on_wal_append`).
                 self.file.write_all(&record[..keep])?;
                 self.file.flush()?;
                 AppendOutcome::TornByFault
@@ -354,7 +356,10 @@ pub fn recover(dir: &Path, seed_edges: &[(Node, Node)]) -> Result<Recovery, WalE
             ReadOutcome::Partial => break,
             ReadOutcome::Full => {}
         }
+        // PANIC-OK: `prefix` is a 12-byte array; both subranges and the
+        // slice-to-array conversions are statically in range.
         let len = u32::from_le_bytes(prefix[0..4].try_into().expect("4-byte slice")) as usize;
+        // PANIC-OK: same 12-byte array, see above.
         let declared_sum = u64::from_le_bytes(prefix[4..12].try_into().expect("8-byte slice"));
         if !(5..=MAX_RECORD_LEN).contains(&len) {
             break;
@@ -408,13 +413,18 @@ fn read_header(file: &mut File) -> Result<u64, WalError> {
     let mut header = [0u8; HEADER_LEN as usize];
     file.read_exact(&mut header)
         .map_err(|_| WalError::Corrupt("log shorter than its header".into()))?;
+    // PANIC-OK: `header` is a HEADER_LEN (24) byte array; every subrange
+    // below is statically in bounds and every conversion statically sized.
     if &header[0..8] != MAGIC {
         return Err(WalError::Corrupt("not an AFWAL file (bad magic)".into()));
     }
+    // PANIC-OK: 24-byte array, see above.
     let declared = u64::from_le_bytes(header[16..24].try_into().expect("8-byte slice"));
+    // PANIC-OK: 24-byte array, see above.
     if checksum64(&header[0..16]) != declared {
         return Err(WalError::Corrupt("header checksum mismatch".into()));
     }
+    // PANIC-OK: 24-byte array, see above.
     let n = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
     if n > Node::MAX as u64 + 1 {
         // Defense in depth: a checksum collision must still not drive a
@@ -437,6 +447,7 @@ enum ReadOutcome {
 fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
     let mut filled = 0;
     while filled < buf.len() {
+        // PANIC-OK: `filled < buf.len()` loop bound keeps the range valid.
         match r.read(&mut buf[filled..])? {
             0 if filled == 0 => return Ok(ReadOutcome::Eof),
             0 => return Ok(ReadOutcome::Partial),
@@ -449,16 +460,23 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcom
 /// Decodes an edge-batch payload; `None` on any structural problem
 /// (wrong tag, count/length mismatch, out-of-range endpoint).
 fn decode_batch(payload: &[u8], n: usize) -> Option<Vec<(Node, Node)>> {
+    // PANIC-OK: short-circuit guarantees `payload.len() >= 5` before the
+    // tag read and the `[1..5]` count field below.
     if payload.len() < 5 || payload[0] != TAG_EDGE_BATCH {
         return None;
     }
+    // PANIC-OK: length >= 5 checked above; conversion statically sized.
     let count = u32::from_le_bytes(payload[1..5].try_into().expect("4-byte slice")) as usize;
     if payload.len() != 5 + count.checked_mul(8)? {
         return None;
     }
     let mut edges = Vec::with_capacity(count);
+    // PANIC-OK: `payload.len() >= 5` checked above; `chunks_exact(8)`
+    // yields exactly 8-byte windows, so the pair subranges are in bounds.
     for pair in payload[5..].chunks_exact(8) {
+        // PANIC-OK: `pair` is an exact 8-byte chunk, see above.
         let u = Node::from_le_bytes(pair[0..4].try_into().expect("4-byte slice"));
+        // PANIC-OK: same exact 8-byte chunk, see above.
         let v = Node::from_le_bytes(pair[4..8].try_into().expect("4-byte slice"));
         if u as usize >= n || v as usize >= n {
             return None;

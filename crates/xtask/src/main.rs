@@ -1,24 +1,27 @@
 //! Workspace automation, runnable as `cargo xtask <command>` (aliased in
 //! `.cargo/config.toml`).
 //!
-//! - `cargo xtask lint` — the static concurrency lints ([`lint`]):
-//!   SAFETY-comment coverage for `unsafe`, the atomic-ordering allowlist,
-//!   the SeqCst ban, `#![deny(unsafe_op_in_unsafe_fn)]` opt-in, and
-//!   metric-name coverage (every registry metric literal must appear in
-//!   the exposition fixture).
-//! - `cargo xtask ci` — the full gate: fmt, clippy (`-D warnings`), the
-//!   lints, the test suite both without and with the observability
-//!   feature (`obs`), the loopback serving smoke test ([`smoke`], also
-//!   with obs off and on), the crash-recovery smoke test ([`crash`],
-//!   clean and with chaos faults injected), the telemetry scrape smoke
-//!   ([`metrics`]), and the schedule-exploring model checker (`ci.sh` is
-//!   a thin wrapper around this).
+//! - `cargo xtask lint [--json <path>] [--list-passes]` — a thin driver
+//!   over the `afforest-analysis` battery (see DESIGN.md §13): the exact
+//!   lexer, the eight passes, and the structured diagnostics all live in
+//!   `crates/analysis`; this binary only loads the workspace, runs the
+//!   battery, prints findings, and optionally writes the JSON report.
+//! - `cargo xtask ci` — the full gate: the analysis battery (JSON report
+//!   to `target/analysis.json`), fmt, clippy (`-D warnings`), the test
+//!   suite both without and with the observability feature (`obs`), the
+//!   loopback serving smoke test ([`smoke`], also with obs off and on),
+//!   the crash-recovery smoke test ([`crash`], clean and with chaos
+//!   faults injected), the telemetry scrape smoke ([`metrics`]), and the
+//!   schedule-exploring model checker (`ci.sh` is a thin wrapper around
+//!   this).
+
+#![forbid(unsafe_code)]
 
 mod crash;
-mod lint;
 mod metrics;
 mod smoke;
 
+use afforest_analysis::diag::{to_json, Severity};
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
@@ -27,25 +30,59 @@ fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-fn run_lint() -> ExitCode {
+/// Runs the battery; prints findings; writes the JSON report when asked.
+/// Exit status fails on any `Error`-severity diagnostic.
+fn run_lint(json_out: Option<&Path>) -> ExitCode {
     let root = workspace_root();
-    let errors = lint::lint_workspace(&root);
-    let files = lint::collect_sources(&root).len();
-    if errors.is_empty() {
+    let report = afforest_analysis::run_workspace(&root);
+    for d in &report.diagnostics {
+        match d.severity {
+            Severity::Error => eprintln!("{d}"),
+            Severity::Warning => println!("{d}"),
+        }
+    }
+    if let Some(path) = json_out {
+        let path = if path.is_absolute() {
+            path.to_path_buf()
+        } else {
+            root.join(path)
+        };
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&path, to_json(&report)) {
+            eprintln!("xtask lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("xtask lint: report written to {}", path.display());
+    }
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if errors == 0 {
         println!(
-            "xtask lint: {files} files clean (SAFETY comments, ordering allowlist, no SeqCst, metric fixture coverage)"
+            "xtask lint: {} files clean across {} passes ({})",
+            report.files_scanned,
+            report.passes.len(),
+            report.passes.join(", ")
         );
         ExitCode::SUCCESS
     } else {
-        for e in &errors {
-            eprintln!("{e}");
-        }
         eprintln!(
-            "xtask lint: {} violation(s) in {files} scanned files",
-            errors.len()
+            "xtask lint: {errors} error(s) in {} scanned files",
+            report.files_scanned
         );
         ExitCode::FAILURE
     }
+}
+
+fn list_passes() -> ExitCode {
+    for (id, description) in afforest_analysis::list_passes() {
+        println!("{id:<20} {description}");
+    }
+    ExitCode::SUCCESS
 }
 
 /// Runs one CI step, echoing the command line.
@@ -115,10 +152,11 @@ fn run_ci() -> ExitCode {
         ),
     ];
 
-    // Lint first: it is the cheapest step and the most likely to catch a
-    // concurrency-relevant edit.
-    println!("==> concurrency lints");
-    if run_lint() != ExitCode::SUCCESS {
+    // The analysis battery first: it is the cheapest step and the most
+    // likely to catch a concurrency- or protocol-relevant edit. CI always
+    // writes the machine-readable report for downstream tooling.
+    println!("==> analysis battery");
+    if run_lint(Some(Path::new("target/analysis.json"))) != ExitCode::SUCCESS {
         return ExitCode::FAILURE;
     }
     for &(name, program, args) in steps {
@@ -156,9 +194,32 @@ fn run_ci() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let task = std::env::args().nth(1);
-    match task.as_deref() {
-        Some("lint") => run_lint(),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let rest = &args[1..];
+            if rest.iter().any(|a| a == "--list-passes") {
+                return list_passes();
+            }
+            let mut json_out = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                if a == "--json" {
+                    match it.next() {
+                        Some(path) => json_out = Some(PathBuf::from(path)),
+                        None => {
+                            eprintln!("usage: cargo xtask lint [--json <path>] [--list-passes]");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    eprintln!("xtask lint: unknown flag {a}");
+                    eprintln!("usage: cargo xtask lint [--json <path>] [--list-passes]");
+                    return ExitCode::FAILURE;
+                }
+            }
+            run_lint(json_out.as_deref())
+        }
         Some("ci") => run_ci(),
         Some("crash") => {
             // The crash-recovery smoke alone (also part of `ci`).
@@ -185,8 +246,8 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!("usage: cargo xtask <lint|ci|crash|metrics>");
-            eprintln!("  lint     static concurrency lints (SAFETY comments, ordering allowlist, SeqCst ban) + metric-name fixture coverage");
-            eprintln!("  ci       fmt --check + clippy -D warnings + lints + tests (with and without obs) + model checker + serve/crash/metrics smokes");
+            eprintln!("  lint     the static analysis battery (crates/analysis, DESIGN.md section 13); --json <path> writes the report, --list-passes enumerates passes");
+            eprintln!("  ci       analysis battery + fmt --check + clippy -D warnings + tests (with and without obs) + model checker + serve/crash/metrics smokes");
             eprintln!("  crash    the WAL crash-recovery smoke alone");
             eprintln!("  metrics  the telemetry scrape smoke alone");
             ExitCode::FAILURE

@@ -20,6 +20,8 @@
 //! - [`afforest_baselines`] — Shiloach–Vishkin, label propagation, BFS-CC,
 //!   direction-optimizing BFS-CC, and a serial union-find oracle.
 
+#![forbid(unsafe_code)]
+
 pub use afforest_baselines as baselines;
 pub use afforest_core as core;
 pub use afforest_distrib as distrib;
