@@ -3,8 +3,9 @@
 //!
 //! Two rules (DESIGN.md §12):
 //!
-//! 1. `registry::counter/gauge/histogram` must be called with a string
-//!    literal — a computed name would dodge the coverage check below.
+//! 1. `registry::counter/gauge/histogram` (and the `labeled_*` family
+//!    variants) must be called with a string literal — a computed name
+//!    would dodge the coverage check below.
 //! 2. Every such literal must appear as a `# TYPE <name> <kind>` line in
 //!    the exposition fixture (`crates/serve/tests/fixtures/exposition.txt`),
 //!    so a metric cannot be added without the exposition tests seeing it.
@@ -20,8 +21,16 @@ use crate::pass::{Context, Pass, Pat, SourceFile};
 /// Pass id.
 pub const ID: &str = "metric-fixture";
 
-/// Registration functions whose first argument is a metric name.
-const METRIC_FNS: &[&str] = &["counter", "gauge", "histogram"];
+/// Registration functions whose first argument is a metric name. The
+/// labelled variants take `(name, label_key, label_value)`, but the
+/// family name is still the first argument, so the same scan applies.
+const METRIC_FNS: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "labeled_counter",
+    "labeled_gauge",
+];
 
 /// Extracted registration sites: `(line, col, Some(name))` for literal
 /// names, `(line, col, None)` for non-literal ones.

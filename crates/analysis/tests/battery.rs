@@ -19,6 +19,9 @@ const EXPOSITION: &str = include_str!("fixtures/exposition_fixture.txt");
 const LOCK_BAD: &str = include_str!("fixtures/lock_bad.rs");
 const LOCK_GOOD: &str = include_str!("fixtures/lock_good.rs");
 const LOCK_RECORDER: &str = include_str!("fixtures/lock_recorder.rs");
+const LOCK_ENGINE: &str = include_str!("fixtures/lock_engine.rs");
+const LOCK_INGEST: &str = include_str!("fixtures/lock_ingest.rs");
+const LOCK_REGISTRY: &str = include_str!("fixtures/lock_registry.rs");
 const PANIC_BAD: &str = include_str!("fixtures/panic_bad.rs");
 const PANIC_GOOD: &str = include_str!("fixtures/panic_good.rs");
 const OPCODE_BAD: &str = include_str!("fixtures/opcode_bad.rs");
@@ -240,11 +243,17 @@ fn lock_order_fires_on_ab_ba_cycle() {
 
 #[test]
 fn lock_order_silent_on_temporaries_drops_and_condvar_wait() {
+    // The companion fixtures supply evidence for every allowlisted
+    // edge, so the only possible diagnostics are false positives from
+    // LOCK_GOOD's patterns.
     let diags = run_pass(
         &passes::lock_order::LockOrder,
         vec![
             ("crates/serve/src/queue.rs", LOCK_GOOD),
             ("crates/obs/src/recorder.rs", LOCK_RECORDER),
+            ("crates/serve/src/engine.rs", LOCK_ENGINE),
+            ("crates/serve/src/ingest.rs", LOCK_INGEST),
+            ("crates/obs/src/registry.rs", LOCK_REGISTRY),
         ],
         vec![],
     );
@@ -253,15 +262,22 @@ fn lock_order_silent_on_temporaries_drops_and_condvar_wait() {
 
 #[test]
 fn lock_order_reports_stale_allowlist_edge() {
-    // No recorder in the tree: the allowlisted GATE -> STATE edge has no
-    // remaining evidence and must be reported as stale.
+    // The engine/ingest/registry fixtures evidence their edges, but no
+    // recorder is in the tree: the allowlisted GATE -> STATE edge has
+    // no remaining evidence and must be reported as stale.
     let diags = run_pass(
         &passes::lock_order::LockOrder,
-        vec![("crates/serve/src/queue.rs", LOCK_GOOD)],
+        vec![
+            ("crates/serve/src/queue.rs", LOCK_GOOD),
+            ("crates/serve/src/engine.rs", LOCK_ENGINE),
+            ("crates/serve/src/ingest.rs", LOCK_INGEST),
+            ("crates/obs/src/registry.rs", LOCK_REGISTRY),
+        ],
         vec![],
     );
     assert_eq!(diags.len(), 1, "{}", messages(&diags));
     assert!(diags[0].message.contains("no remaining evidence"));
+    assert!(diags[0].message.contains("recorder::GATE"));
 }
 
 // ------------------------------------------------------------ panic path

@@ -1,0 +1,27 @@
+// Companion fixture declaring the `engine::map` leaf lock and the
+// bare-named accessors (`len`, `get`) that acquire it, mirroring the
+// real crates/serve/src/engine.rs registry. The one-level call
+// expansion attributes these acquisitions to any `.len()` / `.get()`
+// call made while another lock is held — the over-approximation the
+// allowlisted `* -> engine::map` edges document.
+
+use std::collections::BTreeMap;
+use std::sync::RwLock;
+
+pub(crate) struct EngineRegistry {
+    map: RwLock<BTreeMap<String, u64>>,
+}
+
+impl EngineRegistry {
+    pub(crate) fn len(&self) -> usize {
+        self.map.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub(crate) fn get(&self, tenant: &str) -> Option<u64> {
+        self.map
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(tenant)
+            .copied()
+    }
+}

@@ -12,12 +12,15 @@ struct Queue {
 }
 
 impl Queue {
-    fn temporary_then_lock(&self) -> usize {
+    fn temporary_then_lock(&self) -> Option<u64> {
         // The first guard is a temporary: released at the semicolon,
-        // before `snap` is acquired on the next line.
-        let depth = self.state.lock().unwrap_or_else(|e| e.into_inner()).len();
+        // before `snap` is acquired on the next line. (`pop`, not
+        // `len`: the companion lock_engine.rs fixture defines a `len`
+        // that acquires `engine::map`, and bare-name call expansion
+        // would attribute it here.)
+        let newest = self.state.lock().unwrap_or_else(|e| e.into_inner()).pop();
         let _s = self.snap.read().unwrap();
-        depth
+        newest
     }
 
     fn drop_then_lock(&self) {

@@ -1,0 +1,18 @@
+// Evidence for the allowlisted edge `ingest::state` -> `engine::map`:
+// `.len()` on the queue's VecDeque, called while the queue mutex is
+// held, shares a bare name with `EngineRegistry::len` (lock_engine.rs),
+// which the one-level call expansion resolves here.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub(crate) struct IngestQueue {
+    state: Mutex<VecDeque<(u32, u32)>>,
+}
+
+impl IngestQueue {
+    pub(crate) fn depth(&self) -> usize {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.len()
+    }
+}

@@ -1,0 +1,18 @@
+// Evidence for the allowlisted edge `registry::REGISTRY` ->
+// `engine::map`: `.get()` inside the snapshot loop, called while the
+// metric registry mutex is held, shares a bare name with
+// `EngineRegistry::get` (lock_engine.rs), which the one-level call
+// expansion resolves here.
+
+use std::sync::Mutex;
+
+static REGISTRY: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+fn registry() -> &'static Mutex<Vec<u64>> {
+    &REGISTRY
+}
+
+pub fn snapshot() -> Option<u64> {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.get(0).copied()
+}

@@ -352,15 +352,17 @@ pub mod bench {
 
 /// `afforest serve <graph> [--addr HOST:PORT] [--workers N]
 /// [--max-batch-edges N] [--max-batch-delay-ms MS] [--wal-dir PATH]
-/// [--wal-snapshot-every N] [--max-queue-depth N] [--read-deadline-ms MS]
+/// [--wal-snapshot-every N] [--max-queue-depth N]
+/// [--max-total-queue-depth N] [--max-tenants N] [--read-deadline-ms MS]
 /// [--faults SPEC] [--metrics-addr HOST:PORT] [--events-out PATH]
 /// [--trace-out PATH]`.
 pub mod serve {
     use super::*;
     use afforest_core::IncrementalCc;
-    use afforest_serve::wal::{self, Wal};
+    use afforest_serve::config::DEFAULT_MAX_TENANTS;
+    use afforest_serve::wal;
     use afforest_serve::{
-        events, BatchPolicy, FaultPlan, MetricsHttp, ServeStats, Server, ServerOptions,
+        events, BatchPolicy, FaultPlan, MetricsHttp, ServeConfig, ServeStats, Server,
     };
     use std::io::Write as _;
     use std::net::TcpListener;
@@ -378,6 +380,8 @@ pub mod serve {
             "wal-dir",
             "wal-snapshot-every",
             "max-queue-depth",
+            "max-total-queue-depth",
+            "max-tenants",
             "read-deadline-ms",
             "faults",
             "metrics-addr",
@@ -394,6 +398,8 @@ pub mod serve {
         }
         let snapshot_every: u64 = args.flag_parsed("wal-snapshot-every", 64u64)?;
         let max_queue_depth: usize = args.flag_parsed("max-queue-depth", 0usize)?;
+        let max_total_queue_depth: usize = args.flag_parsed("max-total-queue-depth", 0usize)?;
+        let max_tenants: usize = args.flag_parsed("max-tenants", DEFAULT_MAX_TENANTS)?;
         let read_deadline_ms: u64 = args.flag_parsed("read-deadline-ms", 0u64)?;
         let faults = match args.flag("faults") {
             Some(spec) => Some(Arc::new(
@@ -413,30 +419,36 @@ pub mod serve {
         let g = load_graph(path)?;
         let edges = g.collect_edges();
         let n = g.num_vertices();
-        let options = ServerOptions {
-            policy: BatchPolicy {
+        let config = ServeConfig::builder()
+            .policy(BatchPolicy {
                 max_edges,
                 max_delay: Duration::from_millis(max_delay_ms),
                 apply_delay: None,
-            },
-            max_queue_depth,
-            read_deadline: (read_deadline_ms > 0).then(|| Duration::from_millis(read_deadline_ms)),
-            wal: None,
-            faults,
-        };
+            })
+            .max_queue_depth(max_queue_depth)
+            .max_total_queue_depth(max_total_queue_depth)
+            .max_tenants(max_tenants)
+            .read_deadline((read_deadline_ms > 0).then(|| Duration::from_millis(read_deadline_ms)))
+            .wal_root(args.flag("wal-dir").map(PathBuf::from))
+            .wal_snapshot_every(snapshot_every)
+            .faults(faults)
+            .build()
+            .map_err(|e| format!("invalid configuration: {e}"))?;
         let server = match args.flag("wal-dir") {
             Some(dir) => {
-                let dir = Path::new(dir);
-                // An existing log means a previous incarnation: replay it
-                // (on top of the graph's edges) before serving, so acked
-                // inserts survive the restart.
-                let cc = if wal::exists(dir) {
-                    let rec = wal::recover(dir, &edges)
-                        .map_err(|e| format!("recover {}: {e}", dir.display()))?;
+                let root = Path::new(dir);
+                // An existing default-tenant log means a previous
+                // incarnation: replay it (on top of the graph's edges)
+                // before serving, so acked inserts survive the restart.
+                // Other tenants' logs are replayed by the server itself.
+                let default_dir = wal::default_wal_dir(root);
+                let cc = if wal::exists(&default_dir) {
+                    let rec = wal::recover(&default_dir, &edges)
+                        .map_err(|e| format!("recover {}: {e}", default_dir.display()))?;
                     if rec.vertices != n {
                         return Err(format!(
                             "wal at {} holds {} vertices, graph has {n}",
-                            dir.display(),
+                            default_dir.display(),
                             rec.vertices
                         ));
                     }
@@ -461,19 +473,15 @@ pub mod serve {
                     cc.insert_batch(&edges);
                     cc
                 };
-                let wal = Wal::open(dir, n, snapshot_every)
-                    .map_err(|e| format!("open wal {}: {e}", dir.display()))?;
-                Server::from_cc(
-                    cc,
-                    ServerOptions {
-                        wal: Some(wal),
-                        ..options
-                    },
-                )
+                Server::from_cc(cc, config)
             }
-            None => Server::with_options(n, &edges, options),
+            None => Server::new(n, &edges, config),
         }
         .map_err(|e| format!("start server: {e}"))?;
+        let restored = server.tenants().len();
+        if restored > 1 {
+            println!("restored {} persisted tenant(s)", restored - 1);
+        }
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
         let local = listener.local_addr().map_err(|e| e.to_string())?;
 
@@ -585,17 +593,21 @@ pub mod recover {
 
     fn wal_report(args: &ParsedArgs, dir: &str) -> Result<String, String> {
         let path = args.positional(0, "graph")?;
-        let dir = Path::new(dir);
-        if !wal::exists(dir) {
-            return Err(format!("no write-ahead log at {}", dir.display()));
+        let root = Path::new(dir);
+        // The root may be a legacy single-tenant log or a tenant tree;
+        // either way the default tenant replays over the seed graph and
+        // every other tenant replays over an empty one.
+        let default_dir = wal::default_wal_dir(root);
+        if !wal::exists(&default_dir) {
+            return Err(format!("no write-ahead log at {}", root.display()));
         }
         let g = load_graph(path)?;
-        let mut rec = wal::recover(dir, &g.collect_edges())
-            .map_err(|e| format!("recover {}: {e}", dir.display()))?;
+        let mut rec = wal::recover(&default_dir, &g.collect_edges())
+            .map_err(|e| format!("recover {}: {e}", default_dir.display()))?;
         if rec.vertices != g.num_vertices() {
             return Err(format!(
                 "wal at {} holds {} vertices, graph has {}",
-                dir.display(),
+                default_dir.display(),
                 rec.vertices,
                 g.num_vertices()
             ));
@@ -603,7 +615,7 @@ pub mod recover {
         let labels = rec.cc.labels();
 
         let mut out = String::new();
-        let _ = writeln!(out, "wal:         {}", dir.display());
+        let _ = writeln!(out, "wal:         {}", root.display());
         let _ = writeln!(
             out,
             "base:        {}",
@@ -631,6 +643,27 @@ pub mod recover {
             labels.largest_component_size(),
             labels.len()
         );
+        for (name, tdir) in wal::tenant_dirs(root) {
+            if name == afforest_serve::DEFAULT_TENANT {
+                continue;
+            }
+            let mut trec = wal::recover(&tdir, &[])
+                .map_err(|e| format!("recover tenant {name} at {}: {e}", tdir.display()))?;
+            let tlabels = trec.cc.labels();
+            let _ = writeln!(
+                out,
+                "tenant {name}: {} batch(es), {} edge(s), {} vertices, {} component(s){}",
+                trec.batches,
+                trec.edges,
+                trec.vertices,
+                tlabels.num_components(),
+                if trec.truncated {
+                    "; torn tail truncated"
+                } else {
+                    ""
+                }
+            );
+        }
         Ok(out)
     }
 
@@ -694,20 +727,20 @@ pub mod recover {
     }
 }
 
-/// `afforest loadgen (<host:port> | --graph PATH) [--connections N]
-/// [--requests N] [--read-pct P] [--insert-batch N] [--seed S]
-/// [--max-retries N] [--retry-backoff-us US] [--json-out PATH]
+/// `afforest loadgen (<host:port> | --graph PATH) [--tenant NAME]
+/// [--connections N] [--requests N] [--read-pct P] [--insert-batch N]
+/// [--seed S] [--max-retries N] [--retry-backoff-us US] [--json-out PATH]
 /// [--trace-out PATH]`.
 pub mod loadgen {
     use super::*;
     use afforest_serve::loadgen::run as run_load;
-    use afforest_serve::{BatchPolicy, LoadgenConfig, Server};
-    use std::net::TcpStream;
+    use afforest_serve::{Client, LoadgenConfig, ServeConfig, Server, TenantId};
 
     pub fn run(argv: &[String]) -> Result<String, String> {
         let args = ParsedArgs::parse(argv)?;
         args.allow_flags(&[
             "graph",
+            "tenant",
             "connections",
             "requests",
             "read-pct",
@@ -718,6 +751,10 @@ pub mod loadgen {
             "json-out",
             "trace-out",
         ])?;
+        let tenant = match args.flag("tenant") {
+            Some(name) => Some(TenantId::new(name).map_err(|e| format!("--tenant: {e}"))?),
+            None => None,
+        };
         let cfg = LoadgenConfig {
             connections: args.flag_parsed("connections", 4)?,
             requests: args.flag_parsed("requests", 20_000)?,
@@ -728,6 +765,7 @@ pub mod loadgen {
             retry_backoff: std::time::Duration::from_micros(
                 args.flag_parsed("retry-backoff-us", 500u64)?,
             ),
+            tenant,
         };
         if cfg.read_pct > 100 {
             return Err("--read-pct must be 0..=100".into());
@@ -745,17 +783,30 @@ pub mod loadgen {
                 if args.num_positionals() != 0 {
                     return Err("--graph and <host:port> are mutually exclusive".into());
                 }
+                if cfg.tenant.is_some() {
+                    return Err("--tenant needs a remote server (<host:port>)".into());
+                }
                 let g = load_graph(path)?;
-                let server =
-                    Server::new(g.num_vertices(), &g.collect_edges(), BatchPolicy::default())
-                        .map_err(|e| format!("start server: {e}"))?;
+                let config = ServeConfig::builder()
+                    .build()
+                    .map_err(|e| format!("invalid configuration: {e}"))?;
+                let server = Server::new(g.num_vertices(), &g.collect_edges(), config)
+                    .map_err(|e| format!("start server: {e}"))?;
                 run_load(&cfg, |_| Ok(&server)).map_err(|e| format!("loadgen: {e}"))?
             }
-            // Client mode: one TCP connection per workload thread.
+            // Client mode: one TCP connection per workload thread; a
+            // `--tenant` rides each request in a v2 envelope.
             None => {
                 let addr = args.positional(0, "host:port")?;
-                run_load(&cfg, |_| TcpStream::connect(addr).map_err(Into::into))
-                    .map_err(|e| format!("loadgen against {addr}: {e}"))?
+                let tenant = cfg.tenant.clone();
+                run_load(&cfg, |_| {
+                    let client = Client::connect(addr)?;
+                    Ok(match &tenant {
+                        Some(t) => client.with_tenant(t.clone()),
+                        None => client,
+                    })
+                })
+                .map_err(|e| format!("loadgen against {addr}: {e}"))?
             }
         };
         let trace = session.map(|s| s.end());

@@ -42,9 +42,11 @@
 //! [`expose`] renders the Prometheus text format (version 0.0.4):
 //! `# TYPE` comments, `name value` samples, and for histograms the
 //! cumulative `_bucket{le="..."}` / `_sum` / `_count` triple. Bucket
-//! upper bounds are the log2 bucket edges in nanoseconds.
-//! [`parse_exposition`] is the inverse, used by `afforest top` and the
-//! CI metrics smoke.
+//! upper bounds are the log2 bucket edges in nanoseconds. Counters and
+//! gauges may carry one label ([`labeled_counter`] / [`labeled_gauge`],
+//! e.g. `tenant="..."`); all series of a base name share its `# TYPE`
+//! comment. [`parse_exposition`] is the inverse, used by `afforest top`
+//! and the CI metrics smoke.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -201,30 +203,58 @@ impl Slot {
     }
 }
 
-fn registry() -> &'static Mutex<Vec<(&'static str, Slot)>> {
-    static REGISTRY: OnceLock<Mutex<Vec<(&'static str, Slot)>>> = OnceLock::new();
+/// One registry entry. `full` is the exposed sample name (possibly
+/// labelled, e.g. `reqs_total{tenant="a"}`); `base` is the metric name
+/// the `# TYPE` comment is emitted for. Unlabelled metrics have
+/// `full == base`.
+struct Entry {
+    full: &'static str,
+    base: &'static str,
+    slot: Slot,
+}
+
+fn registry() -> &'static Mutex<Vec<Entry>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
 }
 
 fn register_or_get<T>(
-    name: &'static str,
+    full: &str,
+    base: &'static str,
     make: impl FnOnce() -> &'static T,
     as_slot: impl Fn(&Slot) -> Option<&'static T>,
     wrap: impl FnOnce(&'static T) -> Slot,
 ) -> &'static T {
     let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
-    if let Some((_, slot)) = reg.iter().find(|(n, _)| *n == name) {
-        return as_slot(slot).unwrap_or_else(|| {
+    if let Some(e) = reg.iter().find(|e| e.full == full) {
+        return as_slot(&e.slot).unwrap_or_else(|| {
             panic!(
-                "metric {name:?} already registered as a {}; \
+                "metric {full:?} already registered as a {}; \
                  one name, one type",
-                slot.kind()
+                e.slot.kind()
             )
         });
     }
     let metric = make();
-    reg.push((name, wrap(metric)));
+    // Label values arrive at runtime (tenant names), so the composed
+    // full name is interned exactly once per (name, label, value) —
+    // bounded by the metric population, not the call count.
+    let full: &'static str = if full == base {
+        base
+    } else {
+        Box::leak(full.to_string().into_boxed_str())
+    };
+    reg.push(Entry {
+        full,
+        base,
+        slot: wrap(metric),
+    });
     metric
+}
+
+/// The exposed sample name of a labelled metric: `name{label="value"}`.
+fn labeled_full(name: &str, label: &str, value: &str) -> String {
+    format!("{name}{{{label}=\"{value}\"}}")
 }
 
 /// Returns the counter registered under `name`, creating it on first
@@ -234,6 +264,25 @@ fn register_or_get<T>(
 /// metrics); the lookup takes the registry lock, `add` never does.
 pub fn counter(name: &'static str) -> &'static Counter {
     register_or_get(
+        name,
+        name,
+        || Box::leak(Box::new(Counter::new())),
+        |s| match s {
+            Slot::Counter(c) => Some(c),
+            _ => None,
+        },
+        Slot::Counter,
+    )
+}
+
+/// Returns the counter registered under `name{label="value"}`, creating
+/// it on first use. All series of one `name` share a single `# TYPE`
+/// comment in the exposition; the label value may be a runtime string
+/// (it is interned once per distinct series). Panics if the full name is
+/// already registered as a different type.
+pub fn labeled_counter(name: &'static str, label: &'static str, value: &str) -> &'static Counter {
+    register_or_get(
+        &labeled_full(name, label, value),
         name,
         || Box::leak(Box::new(Counter::new())),
         |s| match s {
@@ -249,6 +298,23 @@ pub fn counter(name: &'static str) -> &'static Counter {
 pub fn gauge(name: &'static str) -> &'static Gauge {
     register_or_get(
         name,
+        name,
+        || Box::leak(Box::new(Gauge::new())),
+        |s| match s {
+            Slot::Gauge(g) => Some(g),
+            _ => None,
+        },
+        Slot::Gauge,
+    )
+}
+
+/// Returns the gauge registered under `name{label="value"}`, creating it
+/// on first use (see [`labeled_counter`] for the labelling contract).
+/// Panics if the full name is already registered as a different type.
+pub fn labeled_gauge(name: &'static str, label: &'static str, value: &str) -> &'static Gauge {
+    register_or_get(
+        &labeled_full(name, label, value),
+        name,
         || Box::leak(Box::new(Gauge::new())),
         |s| match s {
             Slot::Gauge(g) => Some(g),
@@ -260,8 +326,12 @@ pub fn gauge(name: &'static str) -> &'static Gauge {
 
 /// Returns the histogram registered under `name`, creating it on first
 /// use. Panics if `name` is already registered as a different type.
+/// Histograms are never labelled: their exposition already multiplexes
+/// `{le="..."}` and a second label axis would not round-trip through
+/// [`parse_exposition`].
 pub fn histogram(name: &'static str) -> &'static Hist {
     register_or_get(
+        name,
         name,
         || Box::leak(Box::new(Hist::new())),
         |s| match s {
@@ -284,21 +354,32 @@ pub enum MetricValue {
 }
 
 /// Reads every registered metric (Relaxed loads; writers never pause).
-/// Sorted by name for deterministic output.
+/// Names are the full (possibly labelled) sample names, sorted for
+/// deterministic output.
 pub fn snapshot() -> Vec<(&'static str, MetricValue)> {
+    snapshot_grouped()
+        .into_iter()
+        .map(|(_, full, value)| (full, value))
+        .collect()
+}
+
+/// [`snapshot`] with the `# TYPE` grouping key: `(base, full, value)`,
+/// sorted by `(base, full)` so every labelled series sits next to its
+/// base name.
+fn snapshot_grouped() -> Vec<(&'static str, &'static str, MetricValue)> {
     let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
-    let mut out: Vec<(&'static str, MetricValue)> = reg
+    let mut out: Vec<(&'static str, &'static str, MetricValue)> = reg
         .iter()
-        .map(|(name, slot)| {
-            let value = match slot {
+        .map(|e| {
+            let value = match &e.slot {
                 Slot::Counter(c) => MetricValue::Counter(c.get()),
                 Slot::Gauge(g) => MetricValue::Gauge(g.get()),
-                Slot::Hist(h) => MetricValue::Histogram(h.snapshot(name)),
+                Slot::Hist(h) => MetricValue::Histogram(h.snapshot(e.full)),
             };
-            (*name, value)
+            (e.base, e.full, value)
         })
         .collect();
-    out.sort_by_key(|(name, _)| *name);
+    out.sort_by_key(|(base, full, _)| (*base, *full));
     out
 }
 
@@ -313,18 +394,26 @@ pub fn bucket_upper_edge(b: u32) -> u64 {
 }
 
 /// Renders every registered metric in the Prometheus text exposition
-/// format (0.0.4). Deterministic order (sorted by name).
+/// format (0.0.4). Deterministic order (sorted by base name, then full
+/// sample name); labelled series share one `# TYPE` comment per base.
 pub fn expose() -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    for (name, value) in snapshot() {
+    let mut last_base = "";
+    for (base, name, value) in snapshot_grouped() {
+        let fresh_base = base != last_base;
+        last_base = base;
         match value {
             MetricValue::Counter(v) => {
-                let _ = writeln!(out, "# TYPE {name} counter");
+                if fresh_base {
+                    let _ = writeln!(out, "# TYPE {base} counter");
+                }
                 let _ = writeln!(out, "{name} {v}");
             }
             MetricValue::Gauge(v) => {
-                let _ = writeln!(out, "# TYPE {name} gauge");
+                if fresh_base {
+                    let _ = writeln!(out, "# TYPE {base} gauge");
+                }
                 let _ = writeln!(out, "{name} {v}");
             }
             MetricValue::Histogram(h) => {
@@ -445,8 +534,13 @@ pub fn parse_exposition(text: &str) -> Result<Scrape, String> {
                 p.count = value;
             }
         }
-        if name_part.contains(['{', '}']) {
-            return Err(err("unexpected labels on non-bucket sample"));
+        // Labelled counter/gauge series (tenant="..." and friends) are
+        // kept under their full sample name; only well-formed label
+        // blocks are accepted, so a mangled line still errors.
+        if name_part.contains(['{', '}'])
+            && !(name_part.ends_with("\"}") && name_part.contains('{') && name_part.contains("=\""))
+        {
+            return Err(err("malformed labels on sample"));
         }
         scrape.values.push((name_part.to_string(), value));
     }
@@ -564,6 +658,46 @@ mod tests {
     }
 
     #[test]
+    fn labeled_series_share_one_type_line_and_roundtrip() {
+        let a = labeled_counter("test_reg_labeled_total", "tenant", "alpha");
+        let b = labeled_counter("test_reg_labeled_total", "tenant", "beta");
+        let g = labeled_gauge("test_reg_labeled_depth", "tenant", "alpha");
+        assert!(!std::ptr::eq(a, b));
+        // Same series → same metric, interned once.
+        assert!(std::ptr::eq(
+            a,
+            labeled_counter("test_reg_labeled_total", "tenant", "alpha")
+        ));
+        a.add(2);
+        b.add(5);
+        g.set(9);
+
+        let text = expose();
+        // One TYPE comment for the base, one sample per series.
+        assert_eq!(
+            text.matches("# TYPE test_reg_labeled_total counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("test_reg_labeled_total{tenant=\"alpha\"} 2"));
+        assert!(text.contains("test_reg_labeled_total{tenant=\"beta\"} 5"));
+
+        let scrape = parse_exposition(&text).expect("labelled exposition parses");
+        assert_eq!(
+            scrape.value("test_reg_labeled_total{tenant=\"alpha\"}"),
+            Some(2)
+        );
+        assert_eq!(
+            scrape.value("test_reg_labeled_total{tenant=\"beta\"}"),
+            Some(5)
+        );
+        assert_eq!(
+            scrape.value("test_reg_labeled_depth{tenant=\"alpha\"}"),
+            Some(9)
+        );
+    }
+
+    #[test]
     fn exposition_is_sorted_and_typed() {
         counter("test_reg_order_a_total");
         counter("test_reg_order_b_total");
@@ -608,9 +742,14 @@ mod tests {
         let e = parse_exposition("lat_bucket{le=\"wide\"} 7\n").unwrap_err();
         assert!(e.contains("le bound not an integer"), "{e}");
 
-        // Labels on a non-bucket sample are not part of the format.
-        let e = parse_exposition("reqs{shard=\"0\"} 4\n").unwrap_err();
-        assert!(e.contains("unexpected labels on non-bucket sample"), "{e}");
+        // Well-formed labels on a non-bucket sample are kept under the
+        // full sample name; mangled label blocks still error.
+        let scrape = parse_exposition("reqs{shard=\"0\"} 4\n").expect("labelled sample");
+        assert_eq!(scrape.value("reqs{shard=\"0\"}"), Some(4));
+        let e = parse_exposition("reqs{shard=\"0\" 4\n").unwrap_err();
+        assert!(e.contains("malformed labels on sample"), "{e}");
+        let e = parse_exposition("reqs{shard} 4\n").unwrap_err();
+        assert!(e.contains("malformed labels on sample"), "{e}");
 
         // Unknown comment lines (any `#`-prefixed line, including TYPE
         // kinds this parser never emits) are ignored, not errors.

@@ -46,7 +46,7 @@ pub enum EventKind {
     /// Fields: records dropped, log bytes dropped.
     WalCompaction = 3,
     /// Bounded-queue admission rejected an insert.
-    /// Fields: queue depth at rejection, edges rejected.
+    /// Fields: queue depth at rejection, edges rejected, tenant ordinal.
     OverloadShed = 4,
     /// The chaos plan fired at one of its sites.
     /// Fields: site code (see [`fault_site`]), site-specific detail.
@@ -57,10 +57,16 @@ pub enum EventKind {
     /// A WAL append or compaction failed with a real I/O error.
     /// Fields: epoch being written.
     WalError = 7,
+    /// A tenant was admitted to the engine registry.
+    /// Fields: tenant ordinal (registration order), vertex count.
+    TenantCreated = 8,
+    /// A tenant was removed from the engine registry.
+    /// Fields: tenant ordinal.
+    TenantDropped = 9,
 }
 
 /// All kinds, for exhaustive iteration in tests and docs.
-pub const KINDS: [EventKind; 7] = [
+pub const KINDS: [EventKind; 9] = [
     EventKind::EpochPublished,
     EventKind::BatchApplied,
     EventKind::WalCompaction,
@@ -68,6 +74,8 @@ pub const KINDS: [EventKind; 7] = [
     EventKind::FaultInjected,
     EventKind::WorkerDeath,
     EventKind::WalError,
+    EventKind::TenantCreated,
+    EventKind::TenantDropped,
 ];
 
 impl EventKind {
@@ -81,6 +89,8 @@ impl EventKind {
             EventKind::FaultInjected => "fault_injected",
             EventKind::WorkerDeath => "worker_death",
             EventKind::WalError => "wal_error",
+            EventKind::TenantCreated => "tenant_created",
+            EventKind::TenantDropped => "tenant_dropped",
         }
     }
 
@@ -91,10 +101,12 @@ impl EventKind {
             EventKind::EpochPublished => &["epoch", "edges", "lag_us"],
             EventKind::BatchApplied => &["epoch", "edges", "apply_us"],
             EventKind::WalCompaction => &["records", "bytes"],
-            EventKind::OverloadShed => &["queue_depth", "edges"],
+            EventKind::OverloadShed => &["queue_depth", "edges", "tenant"],
             EventKind::FaultInjected => &["site", "detail"],
             EventKind::WorkerDeath => &["worker"],
             EventKind::WalError => &["epoch"],
+            EventKind::TenantCreated => &["tenant", "vertices"],
+            EventKind::TenantDropped => &["tenant"],
         }
     }
 

@@ -1,47 +1,63 @@
-//! `afforest-serve` — an epoch-snapshot connectivity query service.
+//! `afforest-serve` — a multi-tenant epoch-snapshot connectivity query
+//! service.
 //!
 //! The ROADMAP's north star is serving connectivity queries under heavy
 //! traffic, not just solving them offline. This crate packages the
 //! incremental structure (`afforest_core::IncrementalCc`, Theorem 1's
 //! append-only parent array) as a running service:
 //!
-//! - [`protocol`] — length-prefixed binary frames; every malformed input
-//!   is a typed error, never a panic.
+//! - [`protocol`] — length-prefixed binary frames in two wire versions
+//!   (v2 adds a tenant envelope; v1 routes to `default`); every
+//!   malformed input is a typed error, never a panic.
+//! - [`tenant`] — validated tenant identifiers.
+//! - [`config`] — the validating [`ServeConfig`] builder.
 //! - [`snapshot`] — immutable fully-compressed label epochs behind an
 //!   `Arc` swap; the read path is two array loads.
 //! - [`ingest`] — size/deadline-coalesced insert batches (the ConnectIt
-//!   batch-dynamic pattern) feeding a single writer.
-//! - [`server`] — the writer thread, the transport-independent request
+//!   batch-dynamic pattern) feeding a single writer per tenant.
+//! - `engine` *(internal)* — one engine per tenant (snapshot store,
+//!   ingest queue, writer thread, WAL) plus the registry that routes to
+//!   them and the process-wide admission backstop.
+//! - [`server`] — tenant lifecycle, the transport-independent request
 //!   evaluator, and a worker-pool TCP front-end over `std::net`.
+//! - [`client`] — the typed protocol client: connect / per-request
+//!   methods / retry with capped jittered backoff.
 //! - [`loadgen`] — a mixed-read/write workload driver reporting
 //!   throughput and latency percentiles.
 //! - [`wal`] — a checksummed write-ahead log appended before each epoch
-//!   publish, with snapshot compaction and truncate-at-first-bad-record
-//!   recovery.
+//!   publish (one namespace per tenant under the WAL root), with
+//!   snapshot compaction and truncate-at-first-bad-record recovery.
 //! - [`faults`] — seeded deterministic chaos injection (dropped/torn WAL
 //!   writes, delayed applies, torn frames, killed workers) for testing
 //!   the recovery and overload paths.
 //! - [`metrics`] — the always-on metric set (per-op request counters and
-//!   latency histograms, WAL/epoch/queue gauges) in the process-global
-//!   `afforest_obs::registry`.
+//!   latency histograms, WAL/epoch/queue gauges, `tenant="..."`-labelled
+//!   per-tenant series) in the process-global `afforest_obs::registry`.
 //! - [`events`] — the flight recorder vocabulary and JSON dump paths
 //!   (panic hook, shutdown dump, `afforest recover --events`).
 //! - [`http`] — a tiny HTTP/1.0 sidecar serving `GET /metrics` as
 //!   Prometheus text exposition for scrapers and `afforest top`.
 //!
 //! ```
-//! use afforest_serve::{BatchPolicy, Request, Response, Server};
+//! use afforest_serve::{Request, Response, ServeConfig, Server, TenantId};
 //!
-//! let server = Server::new(4, &[(0, 1)], BatchPolicy::default()).unwrap();
+//! let server = Server::new(4, &[(0, 1)], ServeConfig::builder().build().unwrap()).unwrap();
 //! assert_eq!(server.handle(&Request::Connected(0, 1)), Response::Connected(true));
-//! server.handle(&Request::InsertEdges(vec![(1, 2), (2, 3)]));
+//! // Tenants get isolated graphs of their own.
+//! let acme = TenantId::new("acme").unwrap();
+//! server.handle(&Request::CreateTenant { name: acme.clone(), vertices: 4 });
+//! server.handle_for(&acme, &Request::InsertEdges(vec![(1, 2), (2, 3)]));
 //! assert!(server.flush(std::time::Duration::from_secs(5)));
-//! assert_eq!(server.handle(&Request::Connected(0, 3)), Response::Connected(true));
+//! assert_eq!(server.handle_for(&acme, &Request::Connected(1, 3)), Response::Connected(true));
+//! assert_eq!(server.handle(&Request::Connected(1, 3)), Response::Connected(false));
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod client;
+pub mod config;
+mod engine;
 pub mod events;
 pub mod faults;
 pub mod http;
@@ -51,14 +67,18 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
+pub mod tenant;
 pub mod wal;
 
+pub use client::{Client, ClientError, RetryPolicy};
+pub use config::{ServeConfig, ServeConfigBuilder, ServeConfigError};
 pub use events::{Dump, DumpEvent, EventKind};
 pub use faults::{FaultConfig, FaultPlan, InjectedCounts, WalFault};
 pub use http::MetricsHttp;
 pub use ingest::{BatchPolicy, ServeStats};
 pub use loadgen::{LoadgenConfig, LoadgenReport, Transport};
-pub use protocol::{FrameError, Request, Response, StatsReport, WireError};
-pub use server::{ServeError, Server, ServerOptions};
+pub use protocol::{FrameError, Request, Response, StatsReport, WireError, WireVersion};
+pub use server::{ServeError, Server};
 pub use snapshot::{Snapshot, SnapshotStore};
+pub use tenant::{TenantError, TenantId, DEFAULT_TENANT, MAX_TENANT_LEN};
 pub use wal::{recover, AppendOutcome, Recovery, Wal, WalError};

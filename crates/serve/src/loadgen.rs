@@ -22,24 +22,30 @@
 //! chaos-injected server is degraded, not broken, and the report keeps
 //! the distinctions legible.
 
+use crate::client::{backoff, is_disconnect, Client};
 use crate::protocol::{Request, Response, WireError};
 use crate::server::Server;
+use crate::tenant::TenantId;
 use afforest_graph::Node;
 use afforest_obs::Histogram;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
-/// Anything that can answer a [`Request`]: a TCP connection or the server
-/// itself (in-process, for deterministic tests).
+pub use crate::client::MAX_BACKOFF;
+
+/// Anything that can answer a [`Request`]: a typed [`Client`] over TCP
+/// or the server itself (in-process, for deterministic tests).
 pub trait Transport {
     /// Performs one blocking request/response exchange.
     fn call(&mut self, req: &Request) -> Result<Response, WireError>;
 }
 
-impl Transport for std::net::TcpStream {
+/// The TCP transport is the typed client — a single attempt per call;
+/// the load generator owns retries so it can tally them.
+impl Transport for Client {
     fn call(&mut self, req: &Request) -> Result<Response, WireError> {
-        crate::protocol::call(self, req)
+        Client::call(self, req)
     }
 }
 
@@ -69,6 +75,11 @@ pub struct LoadgenConfig {
     /// First backoff delay; doubles per retry (jittered ±50%, capped at
     /// [`MAX_BACKOFF`]).
     pub retry_backoff: Duration,
+    /// Tenant to aim the workload at (`None` = the `default` tenant over
+    /// wire v1). Consumed by the transport factory — the CLI scopes its
+    /// [`Client`]s with it; the in-process test transport routes to
+    /// `default` regardless.
+    pub tenant: Option<TenantId>,
 }
 
 impl Default for LoadgenConfig {
@@ -81,12 +92,10 @@ impl Default for LoadgenConfig {
             seed: 42,
             max_retries: 3,
             retry_backoff: Duration::from_micros(500),
+            tenant: None,
         }
     }
 }
-
-/// Ceiling on a single retry backoff sleep.
-pub const MAX_BACKOFF: Duration = Duration::from_millis(100);
 
 /// Aggregated result of one load-generator run.
 #[derive(Clone, Debug)]
@@ -374,28 +383,6 @@ where
     Ok(tally)
 }
 
-/// A call outcome that means "the connection is gone", not "the protocol
-/// broke": a frame cut short mid-bytes (the server died or tore the
-/// response) or a socket-level disconnect. Distinct from a *malformed*
-/// frame — an unknown opcode or bad payload on an intact connection is a
-/// real protocol error and still propagates.
-fn is_disconnect(e: &WireError) -> bool {
-    use std::io::ErrorKind;
-    match e {
-        WireError::Frame(crate::protocol::FrameError::Truncated { .. }) => true,
-        WireError::Frame(_) => false,
-        WireError::Io(io) => matches!(
-            io.kind(),
-            ErrorKind::UnexpectedEof
-                | ErrorKind::ConnectionReset
-                | ErrorKind::ConnectionAborted
-                | ErrorKind::BrokenPipe
-                | ErrorKind::NotConnected
-                | ErrorKind::WriteZero
-        ),
-    }
-}
-
 /// Issues one request, retrying shed, timed-out, and disconnected
 /// attempts with capped exponential backoff + jitter (a disconnect
 /// reopens the transport first — the request's fate on the server is
@@ -447,23 +434,15 @@ fn call_with_retry<T: Transport>(
     }
 }
 
-/// `base · 2^(attempt-1)`, jittered uniformly over ±50% and capped at
-/// [`MAX_BACKOFF`]. Jitter decorrelates the retry storms of concurrent
-/// clients that were all shed by the same full queue.
-fn backoff(base: Duration, attempt: u32, rng: &mut SmallRng) -> Duration {
-    let doubled = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
-    let jitter = rng.random_range(0.5..1.5);
-    Duration::from_nanos((doubled.as_nanos() as f64 * jitter) as u64).min(MAX_BACKOFF)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ServeConfig;
     use crate::ingest::BatchPolicy;
 
     fn tiny_server(n: usize) -> Server {
         let edges: Vec<(Node, Node)> = (1..n as Node).map(|v| (v - 1, v)).collect();
-        Server::new(n, &edges, BatchPolicy::default()).expect("start server")
+        Server::new(n, &edges, ServeConfig::builder().build().unwrap()).expect("start server")
     }
 
     #[test]
@@ -552,29 +531,28 @@ mod tests {
 
     #[test]
     fn empty_graph_is_rejected_up_front() {
-        let server = Server::new(0, &[], BatchPolicy::default()).unwrap();
+        let server = Server::new(0, &[], ServeConfig::builder().build().unwrap()).unwrap();
         let err = run(&LoadgenConfig::default(), |_| Ok(&server)).unwrap_err();
         assert!(err.to_string().contains("empty graph"), "{err}");
     }
 
     #[test]
     fn overloaded_server_sheds_writes_while_reads_keep_answering() {
-        use crate::server::ServerOptions;
         // The writer never wakes (distant deadline, huge size trigger), so
         // the 4-edge queue fills and stays full: every write past the
         // bound is shed, retried, and eventually abandoned.
-        let server = Server::with_options(
+        let server = Server::new(
             64,
             &[(0, 1)],
-            ServerOptions {
-                policy: BatchPolicy {
+            ServeConfig::builder()
+                .policy(BatchPolicy {
                     max_edges: 1_000_000,
                     max_delay: Duration::from_secs(600),
                     apply_delay: None,
-                },
-                max_queue_depth: 4,
-                ..ServerOptions::default()
-            },
+                })
+                .max_queue_depth(4)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let report = run(
@@ -586,6 +564,7 @@ mod tests {
                 seed: 11,
                 max_retries: 2,
                 retry_backoff: Duration::from_micros(50),
+                ..LoadgenConfig::default()
             },
             |_| Ok(&server),
         )
@@ -611,18 +590,17 @@ mod tests {
     #[test]
     fn torn_connections_are_reopened_not_fatal() {
         use crate::faults::FaultPlan;
-        use crate::server::ServerOptions;
-        use std::net::{TcpListener, TcpStream};
+        use std::net::TcpListener;
         use std::sync::Arc;
 
         let faults = Arc::new(FaultPlan::parse("seed=13,torn_frame=0.05").expect("fault spec"));
-        let server = Server::with_options(
+        let server = Server::new(
             256,
             &[(0, 1), (1, 2)],
-            ServerOptions {
-                faults: Some(Arc::clone(&faults)),
-                ..ServerOptions::default()
-            },
+            ServeConfig::builder()
+                .faults(Some(Arc::clone(&faults)))
+                .build()
+                .unwrap(),
         )
         .expect("start server");
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -639,14 +617,9 @@ mod tests {
                     seed: 5,
                     max_retries: 8,
                     retry_backoff: Duration::from_micros(100),
+                    ..LoadgenConfig::default()
                 },
-                |_| {
-                    let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
-                    stream
-                        .set_read_timeout(Some(Duration::from_secs(5)))
-                        .map_err(WireError::Io)?;
-                    Ok(stream)
-                },
+                |_| Client::connect(addr)?.with_read_timeout(Some(Duration::from_secs(5))),
             )
             .expect("a chaos server must degrade loadgen, not abort it");
             server.request_shutdown();

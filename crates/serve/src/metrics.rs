@@ -18,7 +18,7 @@ use afforest_obs::registry::{self, Counter, Gauge, Hist};
 use std::sync::OnceLock;
 
 /// Number of request opcodes tracked per-op.
-pub const OPS: usize = 8;
+pub const OPS: usize = 11;
 
 /// Exposition-name suffix per op, indexed like [`op_index`].
 pub const OP_NAMES: [&str; OPS] = [
@@ -30,6 +30,9 @@ pub const OP_NAMES: [&str; OPS] = [
     "stats",
     "metrics",
     "shutdown",
+    "create_tenant",
+    "drop_tenant",
+    "list_tenants",
 ];
 
 /// The per-op metric index of a request.
@@ -43,6 +46,9 @@ pub fn op_index(req: &Request) -> usize {
         Request::Stats => 5,
         Request::Metrics => 6,
         Request::Shutdown => 7,
+        Request::CreateTenant { .. } => 8,
+        Request::DropTenant { .. } => 9,
+        Request::ListTenants => 10,
     }
 }
 
@@ -93,6 +99,44 @@ pub struct ServeMetrics {
     pub faults_torn_frame: &'static Counter,
     /// Chaos: worker kills drawn by the fault plan.
     pub faults_worker_kill: &'static Counter,
+    /// Tenants currently registered.
+    pub tenants: &'static Gauge,
+}
+
+/// Per-tenant labelled handles (`tenant="<name>"` series). One set is
+/// created per engine at registration time and cached on the engine, so
+/// the labelled-lookup cost is paid once per tenant, not per request.
+pub struct TenantMetrics {
+    /// Requests routed to this tenant.
+    pub requests: &'static Counter,
+    /// Inserts shed by this tenant's admission bound (or the process
+    /// backstop).
+    pub requests_shed: &'static Counter,
+    /// Edges pending in this tenant's ingest queue right now.
+    pub queue_depth: &'static Gauge,
+    /// Edges applied by this tenant's writer.
+    pub edges_ingested: &'static Counter,
+    /// Epoch of this tenant's currently served snapshot.
+    pub epoch: &'static Gauge,
+}
+
+/// Registers (or re-fetches) the labelled series for one tenant.
+pub fn tenant_metrics(tenant: &str) -> TenantMetrics {
+    TenantMetrics {
+        requests: registry::labeled_counter("afforest_tenant_requests_total", "tenant", tenant),
+        requests_shed: registry::labeled_counter(
+            "afforest_tenant_requests_shed_total",
+            "tenant",
+            tenant,
+        ),
+        queue_depth: registry::labeled_gauge("afforest_tenant_queue_depth", "tenant", tenant),
+        edges_ingested: registry::labeled_counter(
+            "afforest_tenant_edges_ingested_total",
+            "tenant",
+            tenant,
+        ),
+        epoch: registry::labeled_gauge("afforest_tenant_epoch", "tenant", tenant),
+    }
 }
 
 /// The process-global serving metrics (registered on first call).
@@ -108,6 +152,9 @@ pub fn metrics() -> &'static ServeMetrics {
             registry::counter("afforest_requests_stats_total"),
             registry::counter("afforest_requests_metrics_total"),
             registry::counter("afforest_requests_shutdown_total"),
+            registry::counter("afforest_requests_create_tenant_total"),
+            registry::counter("afforest_requests_drop_tenant_total"),
+            registry::counter("afforest_requests_list_tenants_total"),
         ],
         latency: [
             registry::histogram("afforest_request_latency_connected_ns"),
@@ -118,6 +165,9 @@ pub fn metrics() -> &'static ServeMetrics {
             registry::histogram("afforest_request_latency_stats_ns"),
             registry::histogram("afforest_request_latency_metrics_ns"),
             registry::histogram("afforest_request_latency_shutdown_ns"),
+            registry::histogram("afforest_request_latency_create_tenant_ns"),
+            registry::histogram("afforest_request_latency_drop_tenant_ns"),
+            registry::histogram("afforest_request_latency_list_tenants_ns"),
         ],
         bytes_read: registry::counter("afforest_bytes_read_total"),
         bytes_written: registry::counter("afforest_bytes_written_total"),
@@ -139,6 +189,7 @@ pub fn metrics() -> &'static ServeMetrics {
         faults_apply_delay: registry::counter("afforest_faults_apply_delay_total"),
         faults_torn_frame: registry::counter("afforest_faults_torn_frame_total"),
         faults_worker_kill: registry::counter("afforest_faults_worker_kill_total"),
+        tenants: registry::gauge("afforest_tenants"),
     })
 }
 
@@ -157,6 +208,14 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Shutdown,
+            Request::CreateTenant {
+                name: crate::tenant::TenantId::new("t").unwrap(),
+                vertices: 1,
+            },
+            Request::DropTenant {
+                name: crate::tenant::TenantId::new("t").unwrap(),
+            },
+            Request::ListTenants,
         ];
         let mut seen = [false; OPS];
         for r in &reqs {
@@ -180,5 +239,20 @@ mod tests {
             );
         }
         assert!(text.contains("afforest_epoch_publish_lag_ns"));
+    }
+
+    #[test]
+    fn tenant_metrics_expose_labelled_series() {
+        let tm = tenant_metrics("metrics-test-tenant");
+        tm.requests.add(3);
+        tm.queue_depth.set(7);
+        let text = registry::expose();
+        assert!(text.contains("afforest_tenant_requests_total{tenant=\"metrics-test-tenant\"}"));
+        assert!(text.contains("afforest_tenant_queue_depth{tenant=\"metrics-test-tenant\"} 7"));
+        // Re-fetching the same tenant returns the same series.
+        assert!(std::ptr::eq(
+            tm.requests,
+            tenant_metrics("metrics-test-tenant").requests
+        ));
     }
 }

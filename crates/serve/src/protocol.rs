@@ -10,7 +10,26 @@
 //! oversized length prefix, unknown opcode, inconsistent element count,
 //! trailing garbage — surfaces as a typed [`FrameError`], which the
 //! server renders into a [`Response::Err`] frame.
+//!
+//! ## Protocol v2: the tenant envelope
+//!
+//! A v2 request payload wraps a v1 payload in an envelope that names the
+//! tenant the request is scoped to:
+//!
+//! ```text
+//! [ENVELOPE_MARKER][version][tenant_len: u8][tenant bytes][v1 payload]
+//! ```
+//!
+//! The marker byte `0x7E` sits outside the request op range, so the two
+//! wire versions are distinguished by the first payload byte alone:
+//! [`decode_request_any`] routes marker-less (v1) payloads to the
+//! `default` tenant, which is what keeps pre-v2 client binaries working
+//! unmodified against a multi-tenant server. Responses reuse the v1
+//! shapes except `Stats`, whose v2 payload is the versioned
+//! self-describing encoding (see [`StatsReport`]); the server answers
+//! each frame in the version it arrived in.
 
+use crate::tenant::TenantId;
 use afforest_graph::Node;
 use std::io::{Read, Write};
 
@@ -18,6 +37,27 @@ use std::io::{Read, Write};
 /// length prefix above this is rejected before any allocation, so a
 /// garbage prefix cannot trigger a huge read buffer.
 pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// First payload byte of a v2 (tenant-enveloped) request. Reserved: no
+/// request op will ever be assigned this value, so the first byte alone
+/// distinguishes the wire versions.
+pub const ENVELOPE_MARKER: u8 = 0x7E;
+
+/// The version byte carried inside a v2 envelope.
+pub const WIRE_V2: u8 = 2;
+
+/// Version byte of the self-describing `Stats` payload (v2 frames only;
+/// v1 frames keep the frozen nine-`u64` layout).
+pub const STATS_VERSION: u8 = 2;
+
+/// Which wire version a request arrived in. The server answers in kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireVersion {
+    /// Bare payload, routed to the `default` tenant.
+    V1,
+    /// Tenant-enveloped payload.
+    V2,
+}
 
 /// A client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,6 +78,22 @@ pub enum Request {
     Metrics,
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
+    /// Register a new tenant serving an empty graph of `vertices`
+    /// vertices. Independent of the envelope's routing tenant.
+    CreateTenant {
+        /// The tenant to create.
+        name: TenantId,
+        /// Vertex-universe size of the tenant's graph.
+        vertices: u64,
+    },
+    /// Drop a tenant: its engine is stopped and unregistered. The
+    /// `default` tenant cannot be dropped (it is the v1 routing target).
+    DropTenant {
+        /// The tenant to drop.
+        name: TenantId,
+    },
+    /// List registered tenants.
+    ListTenants,
 }
 
 /// A server response.
@@ -72,9 +128,31 @@ pub enum Response {
     },
     /// The request was malformed or unanswerable; the message says why.
     Err(String),
+    /// Acknowledges [`Request::CreateTenant`].
+    TenantCreated,
+    /// Acknowledges [`Request::DropTenant`].
+    TenantDropped,
+    /// Answer to [`Request::ListTenants`]: registered tenant names,
+    /// sorted.
+    Tenants(Vec<String>),
 }
 
-/// Server-side statistics, answering [`Request::Stats`].
+/// Server-side statistics, answering [`Request::Stats`] for one tenant.
+///
+/// ## Wire encodings
+///
+/// The v1 payload is the frozen positional layout: nine `u64`s in
+/// declaration order (the `tenants` field is not carried — v1 predates
+/// multi-tenancy and its layout can never change again). The v2 payload
+/// is versioned and self-describing:
+///
+/// ```text
+/// [STATS_VERSION][field_count: u8][field_count × (tag: u8, value: u64)]
+/// ```
+///
+/// Decoders skip unknown tags, so adding a field is a one-sided change —
+/// old v2 clients keep working against new servers and vice versa,
+/// instead of silently misparsing a longer positional layout.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsReport {
     /// Epoch of the currently served snapshot (0 = initial graph).
@@ -98,7 +176,23 @@ pub struct StatsReport {
     /// Total faults injected by an attached chaos plan (0 in production:
     /// no plan, no faults).
     pub faults_injected: u64,
+    /// Registered tenants in the whole process (v2 frames only; a v1
+    /// `Stats` answer cannot carry this field and decodes it as 0).
+    pub tenants: u64,
 }
+
+// Field tags of the self-describing v2 `Stats` payload. Tags are stable;
+// new fields take fresh tags and old decoders skip them.
+const TAG_EPOCH: u8 = 1;
+const TAG_VERTICES: u8 = 2;
+const TAG_NUM_COMPONENTS: u8 = 3;
+const TAG_EDGES_INGESTED: u8 = 4;
+const TAG_EPOCHS_PUBLISHED: u8 = 5;
+const TAG_QUEUE_DEPTH: u8 = 6;
+const TAG_REQUESTS_SHED: u8 = 7;
+const TAG_WAL_RECORDS: u8 = 8;
+const TAG_FAULTS_INJECTED: u8 = 9;
+const TAG_TENANTS: u8 = 10;
 
 /// Why a payload failed to decode. Mirrors the shape of
 /// `afforest_graph::Error`: one variant per failure class, each carrying
@@ -193,6 +287,9 @@ const OP_INSERT_EDGES: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_SHUTDOWN: u8 = 0x07;
 const OP_METRICS: u8 = 0x08;
+const OP_CREATE_TENANT: u8 = 0x09;
+const OP_DROP_TENANT: u8 = 0x0A;
+const OP_LIST_TENANTS: u8 = 0x0B;
 
 // Response opcodes.
 const OP_R_CONNECTED: u8 = 0x81;
@@ -204,6 +301,9 @@ const OP_R_STATS: u8 = 0x86;
 const OP_R_BYE: u8 = 0x87;
 const OP_R_OVERLOADED: u8 = 0x88;
 const OP_R_METRICS: u8 = 0x89;
+const OP_R_TENANT_CREATED: u8 = 0x8A;
+const OP_R_TENANT_DROPPED: u8 = 0x8B;
+const OP_R_TENANTS: u8 = 0x8C;
 const OP_R_ERR: u8 = 0xC0;
 
 /// Incremental little-endian payload reader with typed errors.
@@ -261,6 +361,32 @@ impl<'a> Cursor<'a> {
             })
         }
     }
+
+    /// Everything not yet consumed (used by the envelope decoder to hand
+    /// the inner payload to the v1 decoder).
+    fn rest(self) -> &'a [u8] {
+        // PANIC-OK: `pos <= buf.len()` is the cursor invariant (`pos`
+        // only advances to an `end` bounds-checked in `take`).
+        &self.buf[self.pos..]
+    }
+}
+
+/// Appends a length-prefixed (`u8`) tenant name. Names are validated at
+/// construction to at most [`crate::tenant::MAX_TENANT_LEN`] (= 64)
+/// bytes, so the cast cannot truncate.
+fn push_tenant(out: &mut Vec<u8>, name: &TenantId) {
+    out.push(name.as_str().len() as u8);
+    out.extend_from_slice(name.as_str().as_bytes());
+}
+
+/// Reads a length-prefixed tenant name written by [`push_tenant`].
+fn take_tenant(c: &mut Cursor<'_>) -> Result<TenantId, FrameError> {
+    let len = c.u8()? as usize;
+    let raw = c.take(len)?;
+    let name =
+        std::str::from_utf8(raw).map_err(|_| FrameError::BadPayload("tenant name is not UTF-8"))?;
+    TenantId::new(name)
+        .map_err(|_| FrameError::BadPayload("invalid tenant name (1..=64 bytes of [a-z0-9_-])"))
 }
 
 fn push_u32(out: &mut Vec<u8>, v: u32) {
@@ -301,8 +427,52 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Stats => out.push(OP_STATS),
         Request::Metrics => out.push(OP_METRICS),
         Request::Shutdown => out.push(OP_SHUTDOWN),
+        Request::CreateTenant { name, vertices } => {
+            out.push(OP_CREATE_TENANT);
+            push_tenant(&mut out, name);
+            push_u64(&mut out, *vertices);
+        }
+        Request::DropTenant { name } => {
+            out.push(OP_DROP_TENANT);
+            push_tenant(&mut out, name);
+        }
+        Request::ListTenants => out.push(OP_LIST_TENANTS),
     }
     out
+}
+
+/// Encodes a v2 request payload: the tenant envelope wrapping the v1
+/// encoding of `req`.
+pub fn encode_request_v2(tenant: &TenantId, req: &Request) -> Vec<u8> {
+    let inner = encode_request(req);
+    let mut out = Vec::with_capacity(3 + tenant.as_str().len() + inner.len());
+    out.push(ENVELOPE_MARKER);
+    out.push(WIRE_V2);
+    push_tenant(&mut out, tenant);
+    out.extend_from_slice(&inner);
+    out
+}
+
+/// Decodes a request payload of either wire version: enveloped payloads
+/// yield their tenant, bare (v1) payloads route to `default`. Total
+/// function, like [`decode_request`].
+pub fn decode_request_any(payload: &[u8]) -> Result<(WireVersion, TenantId, Request), FrameError> {
+    if payload.first() != Some(&ENVELOPE_MARKER) {
+        return Ok((
+            WireVersion::V1,
+            TenantId::default_tenant(),
+            decode_request(payload)?,
+        ));
+    }
+    let mut c = Cursor::new(payload);
+    let _marker = c.u8()?;
+    let version = c.u8()?;
+    if version != WIRE_V2 {
+        return Err(FrameError::BadPayload("unsupported wire version"));
+    }
+    let tenant = take_tenant(&mut c)?;
+    let req = decode_request(c.rest())?;
+    Ok((WireVersion::V2, tenant, req))
 }
 
 /// Decodes a request payload. Total function: every byte string yields
@@ -336,14 +506,33 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
         OP_STATS => Request::Stats,
         OP_METRICS => Request::Metrics,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_CREATE_TENANT => Request::CreateTenant {
+            name: take_tenant(&mut c)?,
+            vertices: c.u64()?,
+        },
+        OP_DROP_TENANT => Request::DropTenant {
+            name: take_tenant(&mut c)?,
+        },
+        OP_LIST_TENANTS => Request::ListTenants,
         op => return Err(FrameError::UnknownOpcode(op)),
     };
     c.finish()?;
     Ok(req)
 }
 
-/// Encodes a response payload (opcode + fields, no length prefix).
+/// Encodes a v1 response payload (opcode + fields, no length prefix).
+/// `Stats` uses the frozen positional layout pre-v2 clients decode.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
+    encode_response_with(resp, WireVersion::V1)
+}
+
+/// Encodes a v2 response payload: identical to v1 except `Stats`, which
+/// carries the versioned self-describing encoding.
+pub fn encode_response_v2(resp: &Response) -> Vec<u8> {
+    encode_response_with(resp, WireVersion::V2)
+}
+
+fn encode_response_with(resp: &Response, version: WireVersion) -> Vec<u8> {
     let mut out = Vec::with_capacity(16);
     match resp {
         Response::Connected(b) => {
@@ -368,15 +557,41 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Stats(s) => {
             out.push(OP_R_STATS);
-            push_u64(&mut out, s.epoch);
-            push_u64(&mut out, s.vertices);
-            push_u64(&mut out, s.num_components);
-            push_u64(&mut out, s.edges_ingested);
-            push_u64(&mut out, s.epochs_published);
-            push_u64(&mut out, s.queue_depth);
-            push_u64(&mut out, s.requests_shed);
-            push_u64(&mut out, s.wal_records);
-            push_u64(&mut out, s.faults_injected);
+            match version {
+                // Frozen positional layout: nine u64s, no version byte,
+                // no `tenants` field. Never grows again.
+                WireVersion::V1 => {
+                    push_u64(&mut out, s.epoch);
+                    push_u64(&mut out, s.vertices);
+                    push_u64(&mut out, s.num_components);
+                    push_u64(&mut out, s.edges_ingested);
+                    push_u64(&mut out, s.epochs_published);
+                    push_u64(&mut out, s.queue_depth);
+                    push_u64(&mut out, s.requests_shed);
+                    push_u64(&mut out, s.wal_records);
+                    push_u64(&mut out, s.faults_injected);
+                }
+                WireVersion::V2 => {
+                    let fields = [
+                        (TAG_EPOCH, s.epoch),
+                        (TAG_VERTICES, s.vertices),
+                        (TAG_NUM_COMPONENTS, s.num_components),
+                        (TAG_EDGES_INGESTED, s.edges_ingested),
+                        (TAG_EPOCHS_PUBLISHED, s.epochs_published),
+                        (TAG_QUEUE_DEPTH, s.queue_depth),
+                        (TAG_REQUESTS_SHED, s.requests_shed),
+                        (TAG_WAL_RECORDS, s.wal_records),
+                        (TAG_FAULTS_INJECTED, s.faults_injected),
+                        (TAG_TENANTS, s.tenants),
+                    ];
+                    out.push(STATS_VERSION);
+                    out.push(fields.len() as u8);
+                    for (tag, value) in fields {
+                        out.push(tag);
+                        push_u64(&mut out, value);
+                    }
+                }
+            }
         }
         Response::Metrics(text) => {
             out.push(OP_R_METRICS);
@@ -391,12 +606,33 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.push(OP_R_ERR);
             out.extend_from_slice(msg.as_bytes());
         }
+        Response::TenantCreated => out.push(OP_R_TENANT_CREATED),
+        Response::TenantDropped => out.push(OP_R_TENANT_DROPPED),
+        Response::Tenants(names) => {
+            out.push(OP_R_TENANTS);
+            push_u32(&mut out, names.len() as u32);
+            for name in names {
+                out.push(name.len() as u8);
+                out.extend_from_slice(name.as_bytes());
+            }
+        }
     }
     out
 }
 
-/// Decodes a response payload.
+/// Decodes a v1 response payload (`Stats` in the frozen positional
+/// layout).
 pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
+    decode_response_with(payload, WireVersion::V1)
+}
+
+/// Decodes a v2 response payload (`Stats` in the versioned
+/// self-describing layout).
+pub fn decode_response_v2(payload: &[u8]) -> Result<Response, FrameError> {
+    decode_response_with(payload, WireVersion::V2)
+}
+
+fn decode_response_with(payload: &[u8], version: WireVersion) -> Result<Response, FrameError> {
     let mut c = Cursor::new(payload);
     let resp = match c.u8()? {
         OP_R_CONNECTED => match c.u8()? {
@@ -408,17 +644,48 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
         OP_R_COMPONENT_SIZE => Response::ComponentSize(c.u64()?),
         OP_R_NUM_COMPONENTS => Response::NumComponents(c.u64()?),
         OP_R_ACCEPTED => Response::Accepted { edges: c.u32()? },
-        OP_R_STATS => Response::Stats(StatsReport {
-            epoch: c.u64()?,
-            vertices: c.u64()?,
-            num_components: c.u64()?,
-            edges_ingested: c.u64()?,
-            epochs_published: c.u64()?,
-            queue_depth: c.u64()?,
-            requests_shed: c.u64()?,
-            wal_records: c.u64()?,
-            faults_injected: c.u64()?,
-        }),
+        OP_R_STATS => match version {
+            WireVersion::V1 => Response::Stats(StatsReport {
+                epoch: c.u64()?,
+                vertices: c.u64()?,
+                num_components: c.u64()?,
+                edges_ingested: c.u64()?,
+                epochs_published: c.u64()?,
+                queue_depth: c.u64()?,
+                requests_shed: c.u64()?,
+                wal_records: c.u64()?,
+                faults_injected: c.u64()?,
+                tenants: 0,
+            }),
+            WireVersion::V2 => {
+                if c.u8()? != STATS_VERSION {
+                    return Err(FrameError::BadPayload("unsupported stats version"));
+                }
+                let count = c.u8()?;
+                let mut s = StatsReport::default();
+                for _ in 0..count {
+                    let tag = c.u8()?;
+                    let value = c.u64()?;
+                    match tag {
+                        TAG_EPOCH => s.epoch = value,
+                        TAG_VERTICES => s.vertices = value,
+                        TAG_NUM_COMPONENTS => s.num_components = value,
+                        TAG_EDGES_INGESTED => s.edges_ingested = value,
+                        TAG_EPOCHS_PUBLISHED => s.epochs_published = value,
+                        TAG_QUEUE_DEPTH => s.queue_depth = value,
+                        TAG_REQUESTS_SHED => s.requests_shed = value,
+                        TAG_WAL_RECORDS => s.wal_records = value,
+                        TAG_FAULTS_INJECTED => s.faults_injected = value,
+                        TAG_TENANTS => s.tenants = value,
+                        // Unknown tag: a field from a newer server.
+                        // Self-describing means we can skip it instead of
+                        // misparsing everything after it.
+                        _ => {}
+                    }
+                }
+                Response::Stats(s)
+            }
+        },
         OP_R_METRICS => {
             let rest = c.take(payload.len() - 1)?;
             let text = std::str::from_utf8(rest)
@@ -434,6 +701,28 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
             let msg = std::str::from_utf8(rest)
                 .map_err(|_| FrameError::BadPayload("error message is not UTF-8"))?;
             Response::Err(msg.to_string())
+        }
+        OP_R_TENANT_CREATED => Response::TenantCreated,
+        OP_R_TENANT_DROPPED => Response::TenantDropped,
+        OP_R_TENANTS => {
+            let count = c.u32()? as usize;
+            // Each entry is at least its one-byte length prefix, so a
+            // lying count is caught before any allocation.
+            if count > payload.len() {
+                return Err(FrameError::Truncated {
+                    needed: 5 + count,
+                    got: payload.len(),
+                });
+            }
+            let mut names = Vec::with_capacity(count);
+            for _ in 0..count {
+                let len = c.u8()? as usize;
+                let raw = c.take(len)?;
+                let name = std::str::from_utf8(raw)
+                    .map_err(|_| FrameError::BadPayload("tenant name is not UTF-8"))?;
+                names.push(name.to_string());
+            }
+            Response::Tenants(names)
         }
         op => return Err(FrameError::UnknownOpcode(op)),
     };
@@ -497,17 +786,31 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
     Ok(Some(payload))
 }
 
-/// Sends `req` and reads the matching response (simple blocking RPC used
-/// by clients and the load generator).
+/// Sends `req` as a v1 frame and reads the matching response (simple
+/// blocking RPC used by clients and the load generator).
 pub fn call(stream: &mut (impl Read + Write), req: &Request) -> Result<Response, WireError> {
     write_frame(stream, &encode_request(req))?;
-    let payload = read_frame(stream)?.ok_or_else(|| {
-        WireError::Io(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            "server closed before responding",
-        ))
-    })?;
+    let payload = read_frame(stream)?.ok_or_else(closed_early)?;
     Ok(decode_response(&payload)?)
+}
+
+/// Sends `req` as a v2 frame scoped to `tenant` and reads the matching
+/// (v2-encoded) response.
+pub fn call_v2(
+    stream: &mut (impl Read + Write),
+    tenant: &TenantId,
+    req: &Request,
+) -> Result<Response, WireError> {
+    write_frame(stream, &encode_request_v2(tenant, req))?;
+    let payload = read_frame(stream)?.ok_or_else(closed_early)?;
+    Ok(decode_response_v2(&payload)?)
+}
+
+fn closed_early() -> WireError {
+    WireError::Io(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "server closed before responding",
+    ))
 }
 
 #[cfg(test)]
@@ -525,6 +828,14 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Shutdown,
+            Request::CreateTenant {
+                name: TenantId::new("tenant-a").unwrap(),
+                vertices: 1 << 20,
+            },
+            Request::DropTenant {
+                name: TenantId::new("tenant-a").unwrap(),
+            },
+            Request::ListTenants,
         ]
     }
 
@@ -546,6 +857,7 @@ mod tests {
                 requests_shed: 12,
                 wal_records: 7,
                 faults_injected: 3,
+                tenants: 0,
             }),
             Response::Metrics("# TYPE x counter\nx 1\n".into()),
             Response::Metrics(String::new()),
@@ -553,6 +865,10 @@ mod tests {
             Response::Overloaded { queue_depth: 9999 },
             Response::Err("vertex 99 out of range".into()),
             Response::Err(String::new()),
+            Response::TenantCreated,
+            Response::TenantDropped,
+            Response::Tenants(vec![]),
+            Response::Tenants(vec!["default".into(), "tenant-a".into()]),
         ]
     }
 
@@ -590,19 +906,33 @@ mod tests {
                 );
             }
         }
+        type ResponseDecoder = fn(&[u8]) -> Result<Response, FrameError>;
         for resp in sample_responses() {
-            let enc = encode_response(&resp);
-            for cut in 0..enc.len() {
-                if decode_response(&enc[..cut]).is_ok() {
-                    // The only prefixes that may decode are shortened
-                    // trailing-text payloads (Err and Metrics carry raw
-                    // UTF-8 delimited by the frame length).
-                    assert!(
-                        matches!(resp, Response::Err(_) | Response::Metrics(_)),
-                        "{resp:?} cut at {cut} decoded"
-                    );
+            let cases: [(Vec<u8>, ResponseDecoder); 2] = [
+                (encode_response(&resp), decode_response),
+                (encode_response_v2(&resp), decode_response_v2),
+            ];
+            for (enc, decode) in cases {
+                for cut in 0..enc.len() {
+                    if decode(&enc[..cut]).is_ok() {
+                        // The only prefixes that may decode are shortened
+                        // trailing-text payloads (Err and Metrics carry
+                        // raw UTF-8 delimited by the frame length).
+                        assert!(
+                            matches!(resp, Response::Err(_) | Response::Metrics(_)),
+                            "{resp:?} cut at {cut} decoded"
+                        );
+                    }
                 }
             }
+        }
+        // The envelope itself: every strict prefix errs, never panics.
+        let enc = encode_request_v2(
+            &TenantId::new("tenant-a").unwrap(),
+            &Request::Connected(1, 2),
+        );
+        for cut in 0..enc.len() {
+            assert!(decode_request_any(&enc[..cut]).is_err(), "cut at {cut}");
         }
     }
 
@@ -637,8 +967,124 @@ mod tests {
                 .collect();
             // Must return, not panic; both Ok and Err are acceptable.
             let _ = decode_request(&bytes);
+            let _ = decode_request_any(&bytes);
             let _ = decode_response(&bytes);
+            let _ = decode_response_v2(&bytes);
         }
+    }
+
+    #[test]
+    fn v2_envelope_roundtrips_every_request() {
+        for name in ["default", "tenant-a", "x"] {
+            let tenant = TenantId::new(name).unwrap();
+            for req in sample_requests() {
+                let enc = encode_request_v2(&tenant, &req);
+                assert_eq!(enc[0], ENVELOPE_MARKER);
+                let (ver, got_tenant, got) = decode_request_any(&enc).expect("v2 decodes");
+                assert_eq!(ver, WireVersion::V2);
+                assert_eq!(got_tenant, tenant);
+                assert_eq!(got, req, "{req:?} via {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn v1_payloads_route_to_the_default_tenant() {
+        for req in sample_requests() {
+            let (ver, tenant, got) = decode_request_any(&encode_request(&req)).unwrap();
+            assert_eq!(ver, WireVersion::V1);
+            assert!(tenant.is_default());
+            assert_eq!(got, req);
+        }
+    }
+
+    #[test]
+    fn v2_envelope_rejects_bad_version_and_bad_names() {
+        let tenant = TenantId::new("t").unwrap();
+        let good = encode_request_v2(&tenant, &Request::Stats);
+
+        let mut wrong_version = good.clone();
+        wrong_version[1] = 3;
+        assert_eq!(
+            decode_request_any(&wrong_version).unwrap_err(),
+            FrameError::BadPayload("unsupported wire version")
+        );
+
+        // Uppercase byte in the name: validation rejects at decode.
+        let mut bad_name = good.clone();
+        bad_name[3] = b'T';
+        assert!(matches!(
+            decode_request_any(&bad_name).unwrap_err(),
+            FrameError::BadPayload(_)
+        ));
+
+        // Trailing garbage after the inner payload is still caught.
+        let mut trailing = good;
+        trailing.push(0xAB);
+        assert_eq!(
+            decode_request_any(&trailing).unwrap_err(),
+            FrameError::Trailing { extra: 1 }
+        );
+    }
+
+    #[test]
+    fn stats_v2_carries_tenants_and_v1_stays_frozen() {
+        let stats = StatsReport {
+            epoch: 4,
+            tenants: 3,
+            ..StatsReport::default()
+        };
+        let resp = Response::Stats(stats.clone());
+
+        // v1: the frozen 73-byte positional layout, `tenants` dropped.
+        let v1 = encode_response(&resp);
+        assert_eq!(v1.len(), 73);
+        match decode_response(&v1).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.epoch, 4);
+                assert_eq!(s.tenants, 0, "v1 cannot carry the tenants field");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+
+        // v2: lossless.
+        let v2 = encode_response_v2(&resp);
+        assert_eq!(decode_response_v2(&v2).unwrap(), resp);
+    }
+
+    #[test]
+    fn stats_v2_skips_unknown_tags_and_rejects_unknown_versions() {
+        // Hand-build a v2 stats payload with one known and one unknown
+        // field: a newer server's extra field must not break decoding.
+        let mut enc = vec![OP_R_STATS, STATS_VERSION, 2];
+        enc.push(TAG_EPOCH);
+        enc.extend_from_slice(&7u64.to_le_bytes());
+        enc.push(200); // unknown tag
+        enc.extend_from_slice(&99u64.to_le_bytes());
+        match decode_response_v2(&enc).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.epoch, 7);
+                assert_eq!(s.vertices, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+
+        let bad = vec![OP_R_STATS, 9, 0];
+        assert_eq!(
+            decode_response_v2(&bad).unwrap_err(),
+            FrameError::BadPayload("unsupported stats version")
+        );
+    }
+
+    #[test]
+    fn tenant_list_decode_rejects_lying_counts() {
+        // Claims 1M names but carries none: caught before allocation.
+        let mut enc = vec![OP_R_TENANTS];
+        enc.extend_from_slice(&1_000_000u32.to_le_bytes());
+        assert!(matches!(
+            decode_response_v2(&enc).unwrap_err(),
+            FrameError::Truncated { .. }
+        ));
     }
 
     #[test]

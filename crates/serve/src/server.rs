@@ -1,36 +1,42 @@
-//! The service runtime: request handling, the writer thread, and the TCP
-//! front-end.
+//! The service runtime: tenant routing, the TCP front-end, and the
+//! process-wide lifecycle.
 //!
-//! Ownership layout (single-writer / many-reader):
+//! Since the multi-tenant refactor the server owns no graph state of its
+//! own: every snapshot store, ingest queue, and writer thread lives in a
+//! per-tenant [`crate::engine::Engine`], and the server is the
+//! [`EngineRegistry`] that routes to them plus the shared concerns — the
+//! TCP accept pool, the shutdown flag, the read deadline, the
+//! process-wide admission backstop, and tenant lifecycle (create / drop
+//! / list) itself.
 //!
-//! - The **writer thread** exclusively owns the [`IncrementalCc`]. It
-//!   drains the ingest queue in coalesced batches, links each batch in
-//!   parallel, compresses, and publishes the next epoch to the
-//!   [`SnapshotStore`].
-//! - **Request handlers** (TCP workers or in-process callers) only ever
-//!   see immutable `Arc<Snapshot>`s and the ingest queue's producer side,
-//!   so reads never wait on the writer.
+//! Wire compatibility: the TCP layer decodes *either* protocol version.
+//! A v1 frame (no tenant envelope) is routed to the `default` tenant and
+//! answered in v1; a v2 frame names its tenant and is answered in v2. A
+//! pre-tenancy client binary therefore keeps working unmodified.
 //!
-//! [`Server::handle`] is the transport-independent request evaluator; the
-//! TCP layer and the deterministic in-process tests both go through it.
+//! [`Server::handle_for`] is the transport-independent request
+//! evaluator; the TCP layer and the deterministic in-process tests both
+//! go through it.
 
+use crate::config::ServeConfig;
+use crate::engine::{AdmitError, Backstop, Engine, EngineRegistry};
 use crate::events::{self, EventKind};
-use crate::faults::FaultPlan;
-use crate::ingest::{BatchPolicy, Drained, IngestQueue, ServeStats};
+use crate::ingest::ServeStats;
 use crate::metrics::{metrics, op_index};
 use crate::protocol::{
-    decode_request, encode_response, read_frame, write_frame, FrameError, Request, Response,
-    StatsReport, WireError,
+    decode_request_any, encode_response, encode_response_v2, read_frame, write_frame, FrameError,
+    Request, Response, StatsReport, WireError, WireVersion,
 };
-use crate::snapshot::{Snapshot, SnapshotStore};
-use crate::wal::{Wal, WalError};
+use crate::snapshot::Snapshot;
+use crate::tenant::TenantId;
+use crate::wal::{self, Wal, WalError};
 use afforest_core::IncrementalCc;
 use afforest_graph::Node;
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::{self, JoinHandle};
+use std::thread;
 use std::time::{Duration, Instant};
 
 /// How long a blocked worker sleeps between accept attempts / shutdown
@@ -41,6 +47,10 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// flag. Requests are single small frames, so a timeout mid-frame only
 /// happens when the peer itself stalled mid-write.
 const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Largest vertex universe a `CreateTenant` request may ask for; vertex
+/// ids are `u32`, so anything past this could never be addressed.
+const MAX_TENANT_VERTICES: u64 = u32::MAX as u64;
 
 /// Why the service failed to start or serve.
 #[derive(Debug)]
@@ -54,6 +64,14 @@ pub enum ServeError {
     Wal(WalError),
     /// Transport-level failure (e.g. configuring the listener).
     Io(std::io::Error),
+    /// Startup found more persisted tenant WAL directories than
+    /// `max_tenants` allows.
+    TenantCapacity {
+        /// Tenants found on disk (including `default`).
+        found: usize,
+        /// The configured registry capacity.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -62,6 +80,10 @@ impl std::fmt::Display for ServeError {
             ServeError::Spawn { what } => write!(f, "failed to spawn {what} thread"),
             ServeError::Wal(e) => write!(f, "{e}"),
             ServeError::Io(e) => write!(f, "{e}"),
+            ServeError::TenantCapacity { found, max } => write!(
+                f,
+                "recovered {found} tenant WAL directories but max_tenants is {max}"
+            ),
         }
     }
 }
@@ -80,263 +102,305 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
-/// Everything configurable about a server beyond the graph itself.
-#[derive(Default)]
-pub struct ServerOptions {
-    /// When the writer cuts a batch.
-    pub policy: BatchPolicy,
-    /// Admission bound: pending edges above this shed new inserts with
-    /// [`Response::Overloaded`] (`0` = unbounded).
-    pub max_queue_depth: usize,
-    /// Close a connection idle longer than this (`None` = never). Framed
-    /// requests are small, so an idle deadline doubles as a torn-frame
-    /// deadline: a peer that stalls mid-frame is cut off too.
-    pub read_deadline: Option<Duration>,
-    /// Durability: append each batch here before applying it.
-    pub wal: Option<Wal>,
-    /// Chaos: consulted at every injection site when present.
-    pub faults: Option<Arc<FaultPlan>>,
-}
-
-/// State shared between request handlers and the writer thread.
-struct Shared {
-    store: SnapshotStore,
-    ingest: IngestQueue,
-    stats: ServeStats,
-    shutdown: AtomicBool,
-    max_queue_depth: usize,
-    read_deadline: Option<Duration>,
-    faults: Option<Arc<FaultPlan>>,
-}
-
-/// A running connectivity service over one graph.
+/// A running multi-tenant connectivity service.
 ///
-/// Dropping the server shuts the writer down cleanly (remaining queued
-/// edges are applied first).
+/// Dropping the server shuts every tenant's writer down cleanly
+/// (remaining queued edges are applied first).
 pub struct Server {
-    shared: Arc<Shared>,
-    vertices: usize,
-    writer: Option<JoinHandle<()>>,
+    registry: EngineRegistry,
+    default: Arc<Engine>,
+    backstop: Arc<Backstop>,
+    config: ServeConfig,
+    shutdown: AtomicBool,
 }
 
 impl Server {
-    /// Builds the epoch-0 snapshot from `edges` synchronously, then starts
-    /// the writer thread for subsequent inserts.
-    pub fn new(n: usize, edges: &[(Node, Node)], policy: BatchPolicy) -> Result<Self, ServeError> {
-        Self::with_options(
-            n,
-            edges,
-            ServerOptions {
-                policy,
-                ..ServerOptions::default()
-            },
-        )
-    }
-
-    /// [`Server::new`] with the full option set (WAL, admission bound,
-    /// read deadline, chaos plan).
-    pub fn with_options(
-        n: usize,
-        edges: &[(Node, Node)],
-        options: ServerOptions,
-    ) -> Result<Self, ServeError> {
+    /// Builds the `default` tenant's epoch-0 snapshot from `edges`
+    /// synchronously, then starts its writer thread. When
+    /// `config.wal_root` is set, persisted non-default tenants found
+    /// under it are recovered and started too.
+    pub fn new(n: usize, edges: &[(Node, Node)], config: ServeConfig) -> Result<Self, ServeError> {
         Self::from_cc(
             {
                 let mut cc = IncrementalCc::new(n);
                 cc.insert_batch(edges);
                 cc
             },
-            options,
+            config,
         )
     }
 
-    /// Starts a server over an already-built structure (the recovery
-    /// path: `wal::recover` yields the `IncrementalCc`, this serves it).
-    pub fn from_cc(mut cc: IncrementalCc, options: ServerOptions) -> Result<Self, ServeError> {
-        let ServerOptions {
-            policy,
-            max_queue_depth,
-            read_deadline,
-            mut wal,
-            faults,
-        } = options;
-        if let Some(f) = faults.as_ref() {
-            wal = wal.map(|w| w.with_faults(Arc::clone(f)));
+    /// Starts a server over an already-built structure for the `default`
+    /// tenant (the recovery path: `wal::recover` yields the
+    /// `IncrementalCc`, this serves it). The default tenant's existing
+    /// log — if any — is appended to, not replayed: replay is the
+    /// caller's explicit step.
+    pub fn from_cc(cc: IncrementalCc, config: ServeConfig) -> Result<Self, ServeError> {
+        let backstop = Arc::new(Backstop::new(config.max_total_queue_depth));
+        // The builder validates max_tenants >= 1, but ServeConfig's
+        // fields are public; clamp so a hand-rolled zero cannot make the
+        // default tenant unadmittable.
+        let registry = EngineRegistry::new(config.max_tenants.max(1));
+
+        let mut persisted: Vec<(String, std::path::PathBuf)> = Vec::new();
+        if let Some(root) = &config.wal_root {
+            persisted = wal::tenant_dirs(root);
         }
-        let n = cc.len();
-        let initial = Snapshot::new(0, &cc.labels());
-        let shared = Arc::new(Shared {
-            store: SnapshotStore::new(initial),
-            ingest: IngestQueue::default(),
-            stats: ServeStats::default(),
+        let non_default = persisted.iter().filter(|(n, _)| n != "default").count();
+        if non_default + 1 > config.max_tenants.max(1) {
+            return Err(ServeError::TenantCapacity {
+                found: non_default + 1,
+                max: config.max_tenants.max(1),
+            });
+        }
+
+        let default_id = TenantId::default_tenant();
+        let default_wal = open_tenant_wal(&config, &default_id, cc.len())?;
+        let ordinal = registry.next_ordinal();
+        let vertices = cc.len() as u64;
+        let engine = Arc::new(Engine::start(
+            default_id,
+            ordinal,
+            cc,
+            &config,
+            default_wal,
+            Arc::clone(&backstop),
+        )?);
+        let default = Arc::clone(&engine);
+        if let Err((engine, _)) = registry.admit(engine) {
+            engine.join_writer();
+            return Err(ServeError::Spawn { what: "registry" });
+        }
+        events::record(EventKind::TenantCreated, [ordinal, vertices, 0]);
+
+        let server = Self {
+            registry,
+            default,
+            backstop,
+            config,
             shutdown: AtomicBool::new(false),
-            max_queue_depth,
-            read_deadline,
-            faults,
-        });
-        let writer = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("afforest-serve-writer".into())
-                .spawn(move || writer_loop(cc, &shared, &policy, wal))
-                .map_err(|_| ServeError::Spawn { what: "writer" })?
         };
-        Ok(Self {
-            shared,
-            vertices: n,
-            writer: Some(writer),
-        })
+        for (name, dir) in persisted {
+            if name == "default" {
+                continue;
+            }
+            // Persisted names passed TenantId validation in tenant_dirs.
+            let Ok(tenant) = TenantId::new(&name) else {
+                continue;
+            };
+            server.recover_tenant(&tenant, &dir)?;
+        }
+        Ok(server)
     }
 
-    /// The currently served epoch.
+    /// Recovers one persisted non-default tenant and admits it.
+    fn recover_tenant(&self, tenant: &TenantId, dir: &std::path::Path) -> Result<(), ServeError> {
+        let rec = wal::recover(dir, &[])?;
+        let wal = Wal::open(dir, rec.vertices, self.config.wal_snapshot_every)?;
+        let ordinal = self.registry.next_ordinal();
+        let vertices = rec.vertices as u64;
+        let engine = Arc::new(Engine::start(
+            tenant.clone(),
+            ordinal,
+            rec.cc,
+            &self.config,
+            Some(wal),
+            Arc::clone(&self.backstop),
+        )?);
+        match self.registry.admit(engine) {
+            Ok(()) => {
+                events::record(EventKind::TenantCreated, [ordinal, vertices, 0]);
+                Ok(())
+            }
+            Err((engine, _)) => {
+                engine.join_writer();
+                Err(ServeError::TenantCapacity {
+                    found: self.registry.len() + 1,
+                    max: self.config.max_tenants.max(1),
+                })
+            }
+        }
+    }
+
+    /// The `default` tenant's currently served epoch.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        self.shared.store.load()
+        self.default.snapshot()
     }
 
-    /// Always-on service counters.
+    /// The `default` tenant's always-on counters. Transport-level
+    /// protocol errors (unframeable bytes, undecodable payloads,
+    /// unknown tenants) are accounted here too.
     pub fn stats(&self) -> &ServeStats {
-        &self.shared.stats
+        self.default.stats()
+    }
+
+    /// Registered tenant names, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        self.registry.list()
     }
 
     /// Whether a `Shutdown` request has been received.
     pub fn shutdown_requested(&self) -> bool {
-        self.shared.shutdown.load(Ordering::Relaxed)
+        self.shutdown.load(Ordering::Relaxed)
     }
 
     /// Requests shutdown (same effect as a `Shutdown` frame).
     pub fn request_shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shutdown.store(true, Ordering::Relaxed);
     }
 
-    /// Evaluates one request against the current epoch. This is the
-    /// transport-independent core: the TCP front-end and in-process tests
-    /// both call it. Never panics; unanswerable requests become
+    /// Evaluates one request against the `default` tenant — the v1
+    /// compatibility path, and what in-process single-tenant callers
+    /// use.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.handle_for(&TenantId::default_tenant(), req)
+    }
+
+    /// Evaluates one request against `tenant`'s engine. This is the
+    /// transport-independent core: the TCP front-end and in-process
+    /// tests both call it. Never panics; unanswerable requests become
     /// [`Response::Err`].
     ///
     /// Every call lands in the live telemetry plane: one per-op request
-    /// counter and one per-op latency histogram, measured around the
-    /// whole evaluation (including the registry scrape a `Metrics`
-    /// request performs).
-    pub fn handle(&self, req: &Request) -> Response {
+    /// counter and one per-op latency histogram (process-wide), plus the
+    /// routed tenant's `tenant="..."`-labelled request counter.
+    pub fn handle_for(&self, tenant: &TenantId, req: &Request) -> Response {
         let op = op_index(req);
         let start = Instant::now();
-        let resp = self.handle_inner(req);
+        let resp = self.handle_inner(tenant, req);
         let m = metrics();
         m.requests[op].inc();
         m.latency[op].record(start.elapsed().as_nanos() as u64);
         resp
     }
 
-    fn handle_inner(&self, req: &Request) -> Response {
+    fn handle_inner(&self, tenant: &TenantId, req: &Request) -> Response {
         match req {
-            Request::Connected(u, v) => match self.snapshot().connected(*u, *v) {
-                Some(b) => Response::Connected(b),
-                None => self.range_error(*u.max(v)),
-            },
-            Request::Component(u) => match self.snapshot().component(*u) {
-                Some(l) => Response::Component(l),
-                None => self.range_error(*u),
-            },
-            Request::ComponentSize(u) => match self.snapshot().component_size(*u) {
-                Some(s) => Response::ComponentSize(s),
-                None => self.range_error(*u),
-            },
-            Request::NumComponents => {
-                Response::NumComponents(self.snapshot().num_components() as u64)
-            }
-            Request::InsertEdges(edges) => {
-                if let Some(&(u, v)) = edges
-                    .iter()
-                    .find(|&&(u, v)| u as usize >= self.vertices || v as usize >= self.vertices)
-                {
-                    ServeStats::add(&self.shared.stats.protocol_errors, 1);
-                    metrics().protocol_errors.inc();
-                    return Response::Err(format!(
-                        "edge ({u}, {v}) out of range for {} vertices",
-                        self.vertices
-                    ));
-                }
-                match self
-                    .shared
-                    .ingest
-                    .try_push(edges, self.shared.max_queue_depth)
-                {
-                    Ok(depth) => {
-                        self.shared
-                            .stats
-                            .queue_depth
-                            .store(depth as u64, Ordering::Relaxed);
-                        metrics().queue_depth.set(depth as u64);
-                        Response::Accepted {
-                            edges: edges.len() as u32,
-                        }
-                    }
-                    Err(depth) => {
-                        ServeStats::add(&self.shared.stats.requests_shed, 1);
-                        afforest_obs::count(afforest_obs::Counter::RequestsShed, 1);
-                        metrics().requests_shed.inc();
-                        events::record(
-                            EventKind::OverloadShed,
-                            [depth as u64, edges.len() as u64, 0],
-                        );
-                        Response::Overloaded {
-                            queue_depth: depth as u64,
-                        }
-                    }
-                }
-            }
-            Request::Stats => Response::Stats(self.stats_report()),
+            Request::CreateTenant { name, vertices } => self.create_tenant(name, *vertices),
+            Request::DropTenant { name } => self.drop_tenant(name),
+            Request::ListTenants => Response::Tenants(self.registry.list()),
             Request::Metrics => Response::Metrics(afforest_obs::registry::expose()),
             Request::Shutdown => {
                 self.request_shutdown();
                 Response::Bye
             }
+            Request::Stats => match self.registry.get(tenant) {
+                Some(e) => {
+                    e.tenant_metrics().requests.inc();
+                    Response::Stats(e.stats_report(self.registry.len() as u64))
+                }
+                None => self.unknown_tenant(tenant),
+            },
+            _ => match self.registry.get(tenant) {
+                Some(e) => {
+                    e.tenant_metrics().requests.inc();
+                    e.handle(req)
+                }
+                None => self.unknown_tenant(tenant),
+            },
         }
     }
 
-    fn range_error(&self, v: Node) -> Response {
-        ServeStats::add(&self.shared.stats.protocol_errors, 1);
+    fn unknown_tenant(&self, tenant: &TenantId) -> Response {
+        ServeStats::add(&self.default.stats().protocol_errors, 1);
         metrics().protocol_errors.inc();
-        Response::Err(format!(
-            "vertex {v} out of range for {} vertices",
-            self.vertices
-        ))
+        Response::Err(format!("no such tenant '{tenant}'"))
     }
 
-    /// Builds the stats answer from the served snapshot and the always-on
-    /// counters.
-    pub fn stats_report(&self) -> StatsReport {
-        let snap = self.snapshot();
-        StatsReport {
-            epoch: snap.epoch,
-            vertices: snap.vertices() as u64,
-            num_components: snap.num_components() as u64,
-            edges_ingested: ServeStats::get(&self.shared.stats.edges_ingested),
-            epochs_published: ServeStats::get(&self.shared.stats.epochs_published),
-            queue_depth: self.shared.ingest.depth() as u64,
-            requests_shed: ServeStats::get(&self.shared.stats.requests_shed),
-            wal_records: ServeStats::get(&self.shared.stats.wal_records),
-            faults_injected: self
-                .shared
-                .faults
-                .as_deref()
-                .map_or(0, |f| f.injected().total()),
+    fn create_tenant(&self, name: &TenantId, vertices: u64) -> Response {
+        if self.registry.get(name).is_some() {
+            return Response::Err(format!("tenant '{name}' already exists"));
+        }
+        if vertices > MAX_TENANT_VERTICES {
+            return Response::Err(format!(
+                "vertices {vertices} exceeds the {MAX_TENANT_VERTICES} addressable by u32 ids"
+            ));
+        }
+        let wal = match open_tenant_wal(&self.config, name, vertices as usize) {
+            Ok(w) => w,
+            Err(e) => return Response::Err(format!("tenant WAL: {e}")),
+        };
+        let ordinal = self.registry.next_ordinal();
+        let engine = match Engine::start(
+            name.clone(),
+            ordinal,
+            IncrementalCc::new(vertices as usize),
+            &self.config,
+            wal,
+            Arc::clone(&self.backstop),
+        ) {
+            Ok(e) => Arc::new(e),
+            Err(e) => return Response::Err(e.to_string()),
+        };
+        match self.registry.admit(engine) {
+            Ok(()) => {
+                events::record(EventKind::TenantCreated, [ordinal, vertices, 0]);
+                Response::TenantCreated
+            }
+            Err((engine, AdmitError::Exists)) => {
+                // Lost a create/create race: the winner owns the WAL
+                // directory now, so only the speculative engine is torn
+                // down.
+                engine.join_writer();
+                Response::Err(format!("tenant '{name}' already exists"))
+            }
+            Err((engine, AdmitError::Full)) => {
+                engine.join_writer();
+                if let Some(root) = &self.config.wal_root {
+                    // The directory was created for a tenant that never
+                    // existed; leaving it would resurrect it at restart.
+                    let _ = std::fs::remove_dir_all(root.join(name.as_str()));
+                }
+                Response::Err(format!(
+                    "tenant capacity reached ({} max)",
+                    self.config.max_tenants.max(1)
+                ))
+            }
         }
     }
 
-    /// Waits until every queued edge has been applied and published (or
-    /// `timeout` elapses). Returns whether the queue fully drained.
+    fn drop_tenant(&self, name: &TenantId) -> Response {
+        if name.is_default() {
+            return Response::Err(
+                "cannot drop tenant 'default': v1 clients route there".to_string(),
+            );
+        }
+        match self.registry.remove(name) {
+            None => {
+                ServeStats::add(&self.default.stats().protocol_errors, 1);
+                metrics().protocol_errors.inc();
+                Response::Err(format!("no such tenant '{name}'"))
+            }
+            Some(engine) => {
+                // The map guard is long released; winding the writer down
+                // joins a thread, which must never happen under the lock.
+                engine.join_writer();
+                events::record(EventKind::TenantDropped, [engine.ordinal(), 0, 0]);
+                if let Some(root) = &self.config.wal_root {
+                    let _ = std::fs::remove_dir_all(root.join(name.as_str()));
+                }
+                Response::TenantDropped
+            }
+        }
+    }
+
+    /// Builds the `default` tenant's stats answer.
+    pub fn stats_report(&self) -> StatsReport {
+        self.default.stats_report(self.registry.len() as u64)
+    }
+
+    /// Waits until every tenant's queued edges have been applied and
+    /// published (or `timeout` elapses). Returns whether every queue
+    /// fully drained.
     pub fn flush(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        loop {
-            if self.shared.ingest.depth() == 0 && !self.shared.stats.is_applying() {
-                return true;
-            }
-            if Instant::now() >= deadline {
+        for engine in self.registry.engines() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if !engine.flush(left) {
                 return false;
             }
-            thread::sleep(Duration::from_millis(1));
         }
+        true
     }
 
     /// Serves `listener` with a pool of `workers` accept threads until a
@@ -374,7 +438,7 @@ impl Server {
                 Ok((stream, _peer)) => {
                     // Chaos: a worker may die instead of serving. The rest
                     // of the pool (and the listener) keep going.
-                    if let Some(f) = self.shared.faults.as_deref() {
+                    if let Some(f) = self.config.faults.as_deref() {
                         if f.should_kill_worker() {
                             metrics().worker_deaths.inc();
                             events::record(EventKind::WorkerDeath, [worker as u64, 0, 0]);
@@ -393,7 +457,8 @@ impl Server {
     }
 
     /// Runs one connection's request/response loop until the peer closes,
-    /// the stream desynchronizes, or shutdown is requested.
+    /// the stream desynchronizes, or shutdown is requested. Each frame is
+    /// answered in the wire version it arrived in.
     fn serve_connection(&self, mut stream: TcpStream) {
         let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
         let _ = stream.set_nodelay(true);
@@ -411,7 +476,7 @@ impl Server {
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
                 {
-                    if let Some(deadline) = self.shared.read_deadline {
+                    if let Some(deadline) = self.config.read_deadline {
                         if last_activity.elapsed() >= deadline {
                             return;
                         }
@@ -423,7 +488,7 @@ impl Server {
                 // Unframeable bytes: report, then drop the connection (a
                 // bad length prefix means the stream is desynchronized).
                 Err(WireError::Frame(e)) => {
-                    ServeStats::add(&self.shared.stats.protocol_errors, 1);
+                    ServeStats::add(&self.default.stats().protocol_errors, 1);
                     metrics().protocol_errors.inc();
                     let _ = write_frame(&mut stream, &encode_response(&frame_err(&e)));
                     return;
@@ -434,19 +499,26 @@ impl Server {
             let _span = afforest_obs::span!("serve-request");
             // A malformed payload inside a well-delimited frame keeps the
             // stream in sync: answer Err and keep going.
-            let resp = match decode_request(&payload) {
-                Ok(req) => self.handle(&req),
+            let (encoded, done) = match decode_request_any(&payload) {
+                Ok((version, tenant, req)) => {
+                    let resp = self.handle_for(&tenant, &req);
+                    let done = matches!(resp, Response::Bye);
+                    let encoded = match version {
+                        WireVersion::V1 => encode_response(&resp),
+                        WireVersion::V2 => encode_response_v2(&resp),
+                    };
+                    (encoded, done)
+                }
                 Err(e) => {
-                    ServeStats::add(&self.shared.stats.protocol_errors, 1);
+                    ServeStats::add(&self.default.stats().protocol_errors, 1);
                     metrics().protocol_errors.inc();
-                    frame_err(&e)
+                    (encode_response(&frame_err(&e)), false)
                 }
             };
-            let encoded = encode_response(&resp);
             // Chaos: tear the response frame mid-write. A torn frame
             // desynchronizes the stream, so the connection dies with it —
             // exactly what a crashed server looks like to the client.
-            if let Some(f) = self.shared.faults.as_deref() {
+            if let Some(f) = self.config.faults.as_deref() {
                 if let Some(keep) = f.on_frame(4 + encoded.len()) {
                     let mut framed = (encoded.len() as u32).to_le_bytes().to_vec();
                     framed.extend_from_slice(&encoded);
@@ -455,7 +527,6 @@ impl Server {
                     return;
                 }
             }
-            let done = matches!(resp, Response::Bye);
             if write_frame(&mut stream, &encoded).is_err() {
                 return;
             }
@@ -466,12 +537,11 @@ impl Server {
         }
     }
 
-    /// Stops the writer (applying any still-queued edges first) and joins
-    /// it. Idempotent.
+    /// Stops every tenant's writer (applying any still-queued edges
+    /// first) and joins them. Idempotent.
     pub fn join_writer(&mut self) {
-        self.shared.ingest.shutdown();
-        if let Some(h) = self.writer.take() {
-            let _ = h.join();
+        for engine in self.registry.engines() {
+            engine.join_writer();
         }
     }
 }
@@ -482,95 +552,32 @@ impl Drop for Server {
     }
 }
 
-fn frame_err(e: &FrameError) -> Response {
-    Response::Err(e.to_string())
+/// Opens (creating as needed) `tenant`'s WAL under the configured root,
+/// honouring the legacy single-tenant layout for `default`.
+fn open_tenant_wal(
+    config: &ServeConfig,
+    tenant: &TenantId,
+    vertices: usize,
+) -> Result<Option<Wal>, WalError> {
+    let Some(root) = &config.wal_root else {
+        return Ok(None);
+    };
+    let dir = if tenant.is_default() {
+        wal::default_wal_dir(root)
+    } else {
+        root.join(tenant.as_str())
+    };
+    Ok(Some(Wal::open(&dir, vertices, config.wal_snapshot_every)?))
 }
 
-/// The single writer: drain → log → link → compress → publish, one epoch
-/// per coalesced batch. The WAL append comes *before* the apply, so any
-/// batch a reader can observe is already durable (modulo OS buffering;
-/// DESIGN.md §11).
-fn writer_loop(mut cc: IncrementalCc, shared: &Shared, policy: &BatchPolicy, mut wal: Option<Wal>) {
-    let mut epoch = 0u64;
-    loop {
-        let (batch, oldest) = match shared.ingest.next_batch(policy) {
-            Drained::Batch { edges, oldest } => (edges, oldest),
-            Drained::Shutdown => {
-                // Shutdown fully drained the queue: the final Stats answer
-                // must say 0, not the depth of the last pre-drain push.
-                shared.stats.queue_depth.store(0, Ordering::Relaxed);
-                metrics().queue_depth.set(0);
-                return;
-            }
-        };
-        if let Some(w) = wal.as_mut() {
-            // A failed append does not block the batch: the service stays
-            // available and the gap surfaces in wal_errors instead.
-            match w.append(&batch) {
-                Ok(crate::wal::AppendOutcome::Logged) => {
-                    ServeStats::add(&shared.stats.wal_records, 1);
-                }
-                Ok(_) => {} // injected fault: counted at the fault site
-                Err(_) => {
-                    ServeStats::add(&shared.stats.wal_errors, 1);
-                    metrics().wal_errors.inc();
-                    events::record(EventKind::WalError, [epoch + 1, 0, 0]);
-                }
-            }
-        }
-        epoch += 1;
-        let applied = batch.len() as u64;
-        shared.stats.applying.store(true, Ordering::Relaxed);
-        let apply_start = Instant::now();
-        {
-            let _span = afforest_obs::span!("ingest-batch[{epoch}]");
-            cc.insert_batch(&batch);
-            if let Some(d) = policy.apply_delay {
-                thread::sleep(d);
-            }
-            if let Some(d) = shared.faults.as_deref().and_then(|f| f.on_apply()) {
-                thread::sleep(d);
-            }
-            shared.store.publish(Snapshot::new(epoch, &cc.labels()));
-        }
-        shared.stats.applying.store(false, Ordering::Relaxed);
-        // Lag from the batch's oldest edge arriving to its epoch being
-        // visible: queue wait + WAL append + link/compress + publish.
-        let lag = oldest.elapsed();
-        events::record(
-            EventKind::BatchApplied,
-            [epoch, applied, apply_start.elapsed().as_micros() as u64],
-        );
-        events::record(
-            EventKind::EpochPublished,
-            [epoch, applied, lag.as_micros() as u64],
-        );
-        let m = metrics();
-        m.epoch.set(epoch);
-        m.epochs_published.inc();
-        m.edges_ingested.add(applied);
-        m.epoch_publish_lag.record(lag.as_nanos() as u64);
-        let depth = shared.ingest.depth() as u64;
-        m.queue_depth.set(depth);
-        ServeStats::add(&shared.stats.edges_ingested, applied);
-        ServeStats::add(&shared.stats.epochs_published, 1);
-        shared.stats.queue_depth.store(depth, Ordering::Relaxed);
-        afforest_obs::count(afforest_obs::Counter::EdgesIngested, applied);
-        afforest_obs::count(afforest_obs::Counter::EpochsPublished, 1);
-        afforest_obs::count(afforest_obs::Counter::QueueDepth, applied);
-        if let Some(w) = wal.as_mut() {
-            if w.maybe_compact(&cc).is_err() {
-                ServeStats::add(&shared.stats.wal_errors, 1);
-                metrics().wal_errors.inc();
-                events::record(EventKind::WalError, [epoch, 0, 0]);
-            }
-        }
-    }
+fn frame_err(e: &FrameError) -> Response {
+    Response::Err(e.to_string())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ingest::BatchPolicy;
 
     fn quick_policy() -> BatchPolicy {
         BatchPolicy {
@@ -580,14 +587,30 @@ mod tests {
         }
     }
 
+    fn quick_config() -> ServeConfig {
+        ServeConfig::builder()
+            .policy(quick_policy())
+            .build()
+            .unwrap()
+    }
+
+    fn parked_policy() -> BatchPolicy {
+        BatchPolicy {
+            // Deadline far away: edges sit queued until shutdown drain.
+            max_edges: 1_000_000,
+            max_delay: Duration::from_secs(600),
+            apply_delay: None,
+        }
+    }
+
     fn path_server(n: usize) -> Server {
         let edges: Vec<(Node, Node)> = (1..n as Node).map(|v| (v - 1, v)).collect();
-        Server::new(n, &edges, quick_policy()).expect("start server")
+        Server::new(n, &edges, quick_config()).expect("start server")
     }
 
     #[test]
     fn serves_epoch_zero_queries() {
-        let server = Server::new(6, &[(0, 1), (1, 2), (4, 5)], quick_policy()).unwrap();
+        let server = Server::new(6, &[(0, 1), (1, 2), (4, 5)], quick_config()).unwrap();
         assert_eq!(
             server.handle(&Request::Connected(0, 2)),
             Response::Connected(true)
@@ -612,7 +635,7 @@ mod tests {
 
     #[test]
     fn inserts_become_visible_after_flush() {
-        let server = Server::new(4, &[], quick_policy()).unwrap();
+        let server = Server::new(4, &[], quick_config()).unwrap();
         assert_eq!(
             server.handle(&Request::Connected(0, 3)),
             Response::Connected(false)
@@ -654,7 +677,7 @@ mod tests {
 
     #[test]
     fn stats_reflect_ingest_progress() {
-        let server = Server::new(8, &[(0, 1)], quick_policy()).unwrap();
+        let server = Server::new(8, &[(0, 1)], quick_config()).unwrap();
         server.handle(&Request::InsertEdges(vec![(2, 3), (4, 5)]));
         assert!(server.flush(Duration::from_secs(5)));
         match server.handle(&Request::Stats) {
@@ -665,6 +688,7 @@ mod tests {
                 assert_eq!(s.queue_depth, 0);
                 assert!(s.epoch >= 1);
                 assert_eq!(s.num_components, 5);
+                assert_eq!(s.tenants, 1);
             }
             other => panic!("expected stats, got {other:?}"),
         }
@@ -683,11 +707,14 @@ mod tests {
         let server = Server::new(
             1_000,
             &[],
-            BatchPolicy {
-                max_edges: 256,
-                max_delay: Duration::from_millis(20),
-                apply_delay: None,
-            },
+            ServeConfig::builder()
+                .policy(BatchPolicy {
+                    max_edges: 256,
+                    max_delay: Duration::from_millis(20),
+                    apply_delay: None,
+                })
+                .build()
+                .unwrap(),
         )
         .unwrap();
         for v in 1..1_000u32 {
@@ -712,12 +739,10 @@ mod tests {
         let mut server = Server::new(
             4,
             &[],
-            BatchPolicy {
-                // Deadline far away: edges sit queued until shutdown drain.
-                max_edges: 1_000_000,
-                max_delay: Duration::from_secs(600),
-                apply_delay: None,
-            },
+            ServeConfig::builder()
+                .policy(parked_policy())
+                .build()
+                .unwrap(),
         )
         .unwrap();
         server.handle(&Request::InsertEdges(vec![(0, 1), (1, 2)]));
@@ -733,11 +758,10 @@ mod tests {
         let mut server = Server::new(
             4,
             &[],
-            BatchPolicy {
-                max_edges: 1_000_000,
-                max_delay: Duration::from_secs(600),
-                apply_delay: None,
-            },
+            ServeConfig::builder()
+                .policy(parked_policy())
+                .build()
+                .unwrap(),
         )
         .unwrap();
         server.handle(&Request::InsertEdges(vec![(0, 1), (1, 2)]));
@@ -754,20 +778,14 @@ mod tests {
 
     #[test]
     fn full_queue_sheds_writes_but_keeps_answering_reads() {
-        let server = Server::with_options(
+        let server = Server::new(
             8,
             &[(0, 1)],
-            ServerOptions {
-                policy: BatchPolicy {
-                    // The writer never wakes on its own: the queue only
-                    // empties at shutdown, so the bound is actually hit.
-                    max_edges: 1_000_000,
-                    max_delay: Duration::from_secs(600),
-                    apply_delay: None,
-                },
-                max_queue_depth: 4,
-                ..ServerOptions::default()
-            },
+            ServeConfig::builder()
+                .policy(parked_policy())
+                .max_queue_depth(4)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         assert_eq!(
@@ -793,36 +811,129 @@ mod tests {
     }
 
     #[test]
+    fn tenants_are_created_listed_isolated_and_dropped() {
+        let server = Server::new(4, &[(0, 1)], quick_config()).unwrap();
+        let t = TenantId::new("acme").unwrap();
+        assert_eq!(
+            server.handle(&Request::CreateTenant {
+                name: t.clone(),
+                vertices: 3
+            }),
+            Response::TenantCreated
+        );
+        // Duplicate create is refused.
+        match server.handle(&Request::CreateTenant {
+            name: t.clone(),
+            vertices: 3,
+        }) {
+            Response::Err(msg) => assert!(msg.contains("already exists"), "{msg}"),
+            other => panic!("duplicate create answered {other:?}"),
+        }
+        assert_eq!(
+            server.handle(&Request::ListTenants),
+            Response::Tenants(vec!["acme".to_string(), "default".to_string()])
+        );
+        // The tenants are isolated: default's seed edge is invisible to
+        // acme, and acme's smaller universe rejects default-sized ids.
+        assert_eq!(
+            server.handle_for(&t, &Request::Connected(0, 1)),
+            Response::Connected(false)
+        );
+        match server.handle_for(&t, &Request::Connected(0, 3)) {
+            Response::Err(msg) => assert!(msg.contains("out of range"), "{msg}"),
+            other => panic!("expected range error, got {other:?}"),
+        }
+        server.handle_for(&t, &Request::InsertEdges(vec![(0, 2)]));
+        assert!(server.flush(Duration::from_secs(5)));
+        assert_eq!(
+            server.handle_for(&t, &Request::Connected(0, 2)),
+            Response::Connected(true)
+        );
+        assert_eq!(
+            server.handle(&Request::Connected(0, 2)),
+            Response::Connected(false)
+        );
+        // Per-tenant stats see only that tenant's ingest.
+        match server.handle_for(&t, &Request::Stats) {
+            Response::Stats(s) => {
+                assert_eq!(s.vertices, 3);
+                assert_eq!(s.edges_ingested, 1);
+                assert_eq!(s.tenants, 2);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // Drop, and the tenant stops routing.
+        assert_eq!(
+            server.handle(&Request::DropTenant { name: t.clone() }),
+            Response::TenantDropped
+        );
+        match server.handle_for(&t, &Request::NumComponents) {
+            Response::Err(msg) => assert!(msg.contains("no such tenant"), "{msg}"),
+            other => panic!("expected unknown tenant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_tenant_cannot_be_dropped() {
+        let server = path_server(3);
+        match server.handle(&Request::DropTenant {
+            name: TenantId::default_tenant(),
+        }) {
+            Response::Err(msg) => assert!(msg.contains("cannot drop"), "{msg}"),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        assert_eq!(server.tenants(), vec!["default".to_string()]);
+    }
+
+    #[test]
+    fn tenant_capacity_is_enforced() {
+        let server = Server::new(
+            3,
+            &[],
+            ServeConfig::builder()
+                .policy(quick_policy())
+                .max_tenants(2)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            server.handle(&Request::CreateTenant {
+                name: TenantId::new("one").unwrap(),
+                vertices: 2
+            }),
+            Response::TenantCreated
+        );
+        match server.handle(&Request::CreateTenant {
+            name: TenantId::new("two").unwrap(),
+            vertices: 2,
+        }) {
+            Response::Err(msg) => assert!(msg.contains("capacity"), "{msg}"),
+            other => panic!("expected capacity refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn wal_backed_server_survives_restart() {
         let dir = std::env::temp_dir().join(format!("afforest-server-wal-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let seed: Vec<(Node, Node)> = vec![(0, 1)];
+        let wal_config = || {
+            ServeConfig::builder()
+                .policy(quick_policy())
+                .wal_root(Some(dir.clone()))
+                .build()
+                .unwrap()
+        };
         {
-            let wal = crate::wal::Wal::open(&dir, 8, 0).unwrap();
-            let server = Server::with_options(
-                8,
-                &seed,
-                ServerOptions {
-                    policy: quick_policy(),
-                    wal: Some(wal),
-                    ..ServerOptions::default()
-                },
-            )
-            .unwrap();
+            let server = Server::new(8, &seed, wal_config()).unwrap();
             server.handle(&Request::InsertEdges(vec![(1, 2), (4, 5)]));
             assert!(server.flush(Duration::from_secs(5)));
             // Server drops here — simulating an orderly exit; a kill is
             // equivalent because the append preceded the apply.
         }
-        let rec = crate::wal::recover(&dir, &seed).unwrap();
-        let server = Server::from_cc(
-            rec.cc,
-            ServerOptions {
-                policy: quick_policy(),
-                ..ServerOptions::default()
-            },
-        )
-        .unwrap();
+        let rec = crate::wal::recover(&wal::default_wal_dir(&dir), &seed).unwrap();
+        let server = Server::from_cc(rec.cc, wal_config()).unwrap();
         assert_eq!(
             server.handle(&Request::Connected(0, 2)),
             Response::Connected(true)
@@ -834,6 +945,84 @@ mod tests {
         assert_eq!(
             server.handle(&Request::Connected(0, 4)),
             Response::Connected(false)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_wal_layout_is_served_in_place() {
+        // A pre-tenancy deployment has wal.log directly in the root; the
+        // default tenant must keep using it there rather than starting a
+        // fresh log under <root>/default/.
+        let dir = std::env::temp_dir().join(format!("afforest-legacy-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut wal = Wal::open(&dir, 8, 0).unwrap();
+            wal.append(&[(0, 1), (1, 2)]).unwrap();
+        }
+        assert_eq!(wal::default_wal_dir(&dir), dir);
+        let rec = crate::wal::recover(&dir, &[]).unwrap();
+        {
+            let server = Server::from_cc(
+                rec.cc,
+                ServeConfig::builder()
+                    .policy(quick_policy())
+                    .wal_root(Some(dir.clone()))
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            server.handle(&Request::InsertEdges(vec![(4, 5)]));
+            assert!(server.flush(Duration::from_secs(5)));
+        }
+        // Everything — legacy seed and new appends — recovers from the
+        // root-level log.
+        let rec = crate::wal::recover(&dir, &[]).unwrap();
+        assert!(!dir.join("default").exists());
+        let server = Server::from_cc(rec.cc, quick_config()).unwrap();
+        assert_eq!(
+            server.handle(&Request::Connected(0, 2)),
+            Response::Connected(true)
+        );
+        assert_eq!(
+            server.handle(&Request::Connected(4, 5)),
+            Response::Connected(true)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persisted_tenants_restart_with_the_server() {
+        let dir = std::env::temp_dir().join(format!("afforest-tenant-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = TenantId::new("persisted").unwrap();
+        let wal_config = || {
+            ServeConfig::builder()
+                .policy(quick_policy())
+                .wal_root(Some(dir.clone()))
+                .build()
+                .unwrap()
+        };
+        {
+            let server = Server::new(4, &[], wal_config()).unwrap();
+            assert_eq!(
+                server.handle(&Request::CreateTenant {
+                    name: t.clone(),
+                    vertices: 6
+                }),
+                Response::TenantCreated
+            );
+            server.handle_for(&t, &Request::InsertEdges(vec![(3, 4)]));
+            assert!(server.flush(Duration::from_secs(5)));
+        }
+        let server = Server::new(4, &[], wal_config()).unwrap();
+        assert_eq!(
+            server.tenants(),
+            vec!["default".to_string(), "persisted".to_string()]
+        );
+        assert_eq!(
+            server.handle_for(&t, &Request::Connected(3, 4)),
+            Response::Connected(true)
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

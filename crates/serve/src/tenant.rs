@@ -1,0 +1,136 @@
+//! Tenant identity: the `TenantId` newtype threaded through the whole
+//! request path.
+//!
+//! A tenant name doubles as a WAL directory name (`<wal-dir>/<tenant>/`)
+//! and as a metric label value (`tenant="…"`), so the charset is locked
+//! down to lowercase ASCII alphanumerics plus `-` and `_`, at most
+//! [`MAX_TENANT_LEN`] bytes. Keeping the alphabet case-insensitive-safe
+//! avoids directory collisions on case-folding filesystems, and the `"`
+//! / `\` / `/` exclusions make both the exposition format and the path
+//! join injection-free by construction.
+//!
+//! Validation happens at the edges — wire decode and `CreateTenant`
+//! handling — so everything behind the [`TenantId`] type can treat the
+//! name as trusted.
+
+use std::fmt;
+
+/// Longest accepted tenant name, in bytes.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// The tenant every v1 (un-enveloped) frame is routed to.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// A validated tenant name.
+///
+/// Construct with [`TenantId::new`]; the default tenant (the v1
+/// compatibility target) via [`TenantId::default_tenant`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(String);
+
+/// Why a tenant name was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TenantError {
+    /// The name was empty.
+    Empty,
+    /// The name exceeded [`MAX_TENANT_LEN`] bytes.
+    TooLong(usize),
+    /// The name contained a byte outside `[a-z0-9_-]`.
+    BadChar(char),
+}
+
+impl fmt::Display for TenantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TenantError::Empty => write!(f, "tenant name is empty"),
+            TenantError::TooLong(n) => {
+                write!(f, "tenant name is {n} bytes (max {MAX_TENANT_LEN})")
+            }
+            TenantError::BadChar(c) => write!(
+                f,
+                "tenant name contains {c:?} (allowed: lowercase ASCII alphanumerics, `-`, `_`)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TenantError {}
+
+impl TenantId {
+    /// Validates `name` and wraps it.
+    pub fn new(name: &str) -> Result<TenantId, TenantError> {
+        if name.is_empty() {
+            return Err(TenantError::Empty);
+        }
+        if name.len() > MAX_TENANT_LEN {
+            return Err(TenantError::TooLong(name.len()));
+        }
+        if let Some(bad) = name
+            .chars()
+            .find(|c| !(c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '-' || *c == '_'))
+        {
+            return Err(TenantError::BadChar(bad));
+        }
+        Ok(TenantId(name.to_string()))
+    }
+
+    /// The `default` tenant, target of all v1 frames.
+    pub fn default_tenant() -> TenantId {
+        TenantId(DEFAULT_TENANT.to_string())
+    }
+
+    /// Whether this is the `default` tenant.
+    pub fn is_default(&self) -> bool {
+        self.0 == DEFAULT_TENANT
+    }
+
+    /// The validated name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_the_documented_alphabet() {
+        for name in ["default", "a", "tenant-1", "t_2", "0", &"x".repeat(64)] {
+            let t = TenantId::new(name).expect(name);
+            assert_eq!(t.as_str(), name);
+            assert_eq!(t.to_string(), name);
+        }
+        assert!(TenantId::default_tenant().is_default());
+        assert!(!TenantId::new("other").unwrap().is_default());
+    }
+
+    #[test]
+    fn rejects_empty_long_and_bad_chars() {
+        assert_eq!(TenantId::new(""), Err(TenantError::Empty));
+        assert_eq!(
+            TenantId::new(&"x".repeat(65)),
+            Err(TenantError::TooLong(65))
+        );
+        for (name, bad) in [
+            ("Tenant", 'T'),
+            ("a b", ' '),
+            ("a/b", '/'),
+            ("a\"b", '"'),
+            ("a\\b", '\\'),
+            ("café", 'é'),
+        ] {
+            assert_eq!(TenantId::new(name), Err(TenantError::BadChar(bad)));
+        }
+        // Errors render their cause.
+        assert!(TenantError::Empty.to_string().contains("empty"));
+        assert!(TenantError::TooLong(65).to_string().contains("65"));
+        assert!(TenantError::BadChar('/').to_string().contains("'/'"));
+    }
+}

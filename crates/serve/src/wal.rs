@@ -406,6 +406,50 @@ pub fn exists(dir: &Path) -> bool {
     dir.join(LOG_FILE).exists()
 }
 
+/// Where the `default` tenant logs under `root`: the root itself when a
+/// legacy pre-tenancy `wal.log` sits there, else `<root>/default/`.
+pub fn default_wal_dir(root: &Path) -> PathBuf {
+    if exists(root) {
+        root.to_path_buf()
+    } else {
+        root.join(crate::tenant::DEFAULT_TENANT)
+    }
+}
+
+/// Enumerates the tenant WAL directories under `root`, sorted by tenant
+/// name: the legacy root-level layout (as `default`) plus every
+/// subdirectory whose name is a valid tenant id and which holds a log.
+/// If both layouts claim `default`, the legacy root-level one wins.
+pub fn tenant_dirs(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut found = Vec::new();
+    if exists(root) {
+        found.push((
+            crate::tenant::DEFAULT_TENANT.to_string(),
+            root.to_path_buf(),
+        ));
+    }
+    if let Ok(entries) = std::fs::read_dir(root) {
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            if !exists(&dir) {
+                continue;
+            }
+            let Some(name) = dir.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if crate::tenant::TenantId::new(name).is_err() {
+                continue;
+            }
+            found.push((name.to_string(), dir));
+        }
+    }
+    // The legacy root entry sorts before any subdirectory of the root,
+    // so dedup-by-name keeps it when both layouts claim `default`.
+    found.sort();
+    found.dedup_by(|a, b| a.0 == b.0);
+    found
+}
+
 /// Validates the magic and the header checksum, returning the header's
 /// vertex count and leaving the cursor after the header.
 fn read_header(file: &mut File) -> Result<u64, WalError> {

@@ -4,10 +4,8 @@
 //! panic, and (c) recover to exactly the state it served.
 
 use afforest_serve::protocol::call;
-use afforest_serve::wal::{recover, Wal};
-use afforest_serve::{
-    BatchPolicy, FaultPlan, Request, Response, ServeStats, Server, ServerOptions,
-};
+use afforest_serve::wal::{self, recover};
+use afforest_serve::{BatchPolicy, FaultPlan, Request, Response, ServeConfig, ServeStats, Server};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -41,23 +39,19 @@ fn torn_frames_and_slow_applies_recover_equivalently() {
     );
     // snapshot_every=4 makes compaction fire mid-run, so recovery starts
     // from a snapshot plus a log tail — the realistic shape.
-    let wal = Wal::open(&dir, n, 4).expect("open wal");
-    let mut server = Server::with_options(
-        n,
-        &seed_edges,
-        ServerOptions {
-            policy: BatchPolicy {
-                max_edges: 8,
-                max_delay: Duration::from_millis(1),
-                apply_delay: None,
-            },
-            read_deadline: Some(Duration::from_secs(10)),
-            wal: Some(wal),
-            faults: Some(Arc::clone(&faults)),
-            ..ServerOptions::default()
-        },
-    )
-    .expect("start server");
+    let config = ServeConfig::builder()
+        .policy(BatchPolicy {
+            max_edges: 8,
+            max_delay: Duration::from_millis(1),
+            apply_delay: None,
+        })
+        .read_deadline(Some(Duration::from_secs(10)))
+        .wal_root(Some(dir.clone()))
+        .wal_snapshot_every(4)
+        .faults(Some(Arc::clone(&faults)))
+        .build()
+        .expect("valid config");
+    let mut server = Server::new(n, &seed_edges, config).expect("start server");
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
 
@@ -110,7 +104,7 @@ fn torn_frames_and_slow_applies_recover_equivalently() {
         Response::NumComponents(c) => c,
         other => panic!("expected NumComponents, got {other:?}"),
     };
-    let rec = recover(&dir, &seed_edges).expect("recover");
+    let rec = recover(&wal::default_wal_dir(&dir), &seed_edges).expect("recover");
     assert!(
         rec.from_snapshot,
         "compaction never fired (snapshot_every=4)"
@@ -127,16 +121,11 @@ fn torn_frames_and_slow_applies_recover_equivalently() {
 #[test]
 fn killed_workers_dont_take_down_the_pool() {
     let faults = Arc::new(FaultPlan::parse("seed=9,kill_worker=0.35").expect("fault spec"));
-    let server = Server::with_options(
-        32,
-        &[(0, 1), (1, 2)],
-        ServerOptions {
-            policy: BatchPolicy::default(),
-            faults: Some(Arc::clone(&faults)),
-            ..ServerOptions::default()
-        },
-    )
-    .expect("start server");
+    let config = ServeConfig::builder()
+        .faults(Some(Arc::clone(&faults)))
+        .build()
+        .expect("valid config");
+    let server = Server::new(32, &[(0, 1), (1, 2)], config).expect("start server");
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
 

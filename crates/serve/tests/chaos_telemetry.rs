@@ -9,9 +9,7 @@
 use afforest_obs::{flight, registry};
 use afforest_serve::events::{self, fault_site};
 use afforest_serve::loadgen::{run, LoadgenConfig};
-use afforest_serve::wal::Wal;
-use afforest_serve::{BatchPolicy, FaultPlan, Server, ServerOptions, WireError};
-use std::net::TcpStream;
+use afforest_serve::{BatchPolicy, Client, FaultPlan, ServeConfig, Server};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -39,22 +37,18 @@ fn every_injected_fault_is_visible_in_metrics_and_flight_dump() {
         )
         .expect("fault spec"),
     );
-    let wal = Wal::open(&dir, n, 6).expect("open wal");
-    let server = Server::with_options(
-        n,
-        &seed_edges,
-        ServerOptions {
-            policy: BatchPolicy {
-                max_edges: 32,
-                max_delay: Duration::from_millis(1),
-                apply_delay: None,
-            },
-            wal: Some(wal),
-            faults: Some(Arc::clone(&faults)),
-            ..ServerOptions::default()
-        },
-    )
-    .expect("start server");
+    let config = ServeConfig::builder()
+        .policy(BatchPolicy {
+            max_edges: 32,
+            max_delay: Duration::from_millis(1),
+            apply_delay: None,
+        })
+        .wal_root(Some(dir.clone()))
+        .wal_snapshot_every(6)
+        .faults(Some(Arc::clone(&faults)))
+        .build()
+        .expect("valid config");
+    let server = Server::new(n, &seed_edges, config).expect("start server");
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
 
@@ -69,13 +63,9 @@ fn every_injected_fault_is_visible_in_metrics_and_flight_dump() {
                 seed: 17,
                 max_retries: 10,
                 retry_backoff: Duration::from_micros(100),
+                ..LoadgenConfig::default()
             },
-            |_| {
-                let c = TcpStream::connect(addr).map_err(WireError::Io)?;
-                c.set_read_timeout(Some(Duration::from_secs(5)))
-                    .map_err(WireError::Io)?;
-                Ok(c)
-            },
+            |_| Client::connect(addr)?.with_read_timeout(Some(Duration::from_secs(5))),
         )
         .expect("chaos degrades loadgen, never aborts it");
         assert_eq!(report.requests, 450);

@@ -5,7 +5,7 @@
 //! `Connected` queries must keep answering — from the *old* epoch — and
 //! answer fast.
 
-use afforest_serve::{BatchPolicy, Request, Response, ServeStats, Server};
+use afforest_serve::{BatchPolicy, Request, Response, ServeConfig, ServeStats, Server};
 use std::time::{Duration, Instant};
 
 #[test]
@@ -15,17 +15,16 @@ fn connected_succeeds_on_old_epoch_while_insert_is_mid_apply() {
     let mut edges: Vec<(u32, u32)> = (1..500u32).map(|v| (v - 1, v)).collect();
     edges.extend((501..1_000u32).map(|v| (v - 1, v)));
     let hold = Duration::from_millis(300);
-    let server = Server::new(
-        n,
-        &edges,
-        BatchPolicy {
+    let config = ServeConfig::builder()
+        .policy(BatchPolicy {
             max_edges: 1,
             max_delay: Duration::from_millis(1),
             // Pin the writer inside the apply window long enough to probe.
             apply_delay: Some(hold),
-        },
-    )
-    .expect("start server");
+        })
+        .build()
+        .expect("valid config");
+    let server = Server::new(n, &edges, config).expect("start server");
     let epoch0 = server.snapshot().epoch;
     assert_eq!(
         server.handle(&Request::Connected(0, 999)),
@@ -79,16 +78,15 @@ fn connected_succeeds_on_old_epoch_while_insert_is_mid_apply() {
 
 #[test]
 fn snapshot_arc_taken_before_publish_stays_valid_after() {
-    let server = Server::new(
-        4,
-        &[(0, 1)],
-        BatchPolicy {
+    let config = ServeConfig::builder()
+        .policy(BatchPolicy {
             max_edges: 1,
             max_delay: Duration::from_millis(1),
             apply_delay: None,
-        },
-    )
-    .expect("start server");
+        })
+        .build()
+        .expect("valid config");
+    let server = Server::new(4, &[(0, 1)], config).expect("start server");
     let old = server.snapshot();
     assert_eq!(old.connected(1, 2), Some(false));
 

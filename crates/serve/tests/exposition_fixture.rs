@@ -31,6 +31,9 @@ fn every_registered_metric_is_named_in_the_fixture() {
         h.record(1_500);
     }
     m.epoch_publish_lag.record(2_000_000);
+    // The per-tenant labelled family, as the registry would carry it
+    // after serving the default tenant.
+    afforest_serve::metrics::tenant_metrics("default");
     registry::counter("afforest_client_retries_total").inc();
     let live = registry::expose();
 

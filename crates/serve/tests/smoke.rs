@@ -1,8 +1,8 @@
 //! End-to-end loopback smoke test: a real TCP server on an ephemeral
 //! port, driven by real clients through the wire protocol.
 
-use afforest_serve::protocol::{call, write_frame};
-use afforest_serve::{BatchPolicy, LoadgenConfig, Request, Response, Server};
+use afforest_serve::protocol::write_frame;
+use afforest_serve::{Client, ClientError, LoadgenConfig, Request, Response, ServeConfig, Server};
 use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 
@@ -11,18 +11,18 @@ use std::time::Duration;
 fn bind() -> (Server, TcpListener, std::net::SocketAddr) {
     let n = 200usize;
     let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
-    let server = Server::new(n, &edges, BatchPolicy::default()).expect("start server");
+    let config = ServeConfig::builder().build().expect("valid config");
+    let server = Server::new(n, &edges, config).expect("start server");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().unwrap();
     (server, listener, addr)
 }
 
-fn connect(addr: std::net::SocketAddr) -> TcpStream {
-    let stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .unwrap();
-    stream
+fn connect(addr: std::net::SocketAddr) -> Client {
+    Client::connect(addr)
+        .expect("connect")
+        .with_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout")
 }
 
 #[test]
@@ -32,32 +32,17 @@ fn tcp_roundtrip_read_write_shutdown() {
         s.spawn(|| server.serve_tcp(listener, 4).unwrap());
 
         let mut c = connect(addr);
-        assert_eq!(
-            call(&mut c, &Request::Connected(0, 199)).unwrap(),
-            Response::Connected(true)
-        );
-        assert_eq!(
-            call(&mut c, &Request::NumComponents).unwrap(),
-            Response::NumComponents(1)
-        );
-        assert_eq!(
-            call(&mut c, &Request::InsertEdges(vec![(0, 0)])).unwrap(),
-            Response::Accepted { edges: 1 }
-        );
-        match call(&mut c, &Request::Stats).unwrap() {
-            Response::Stats(stats) => assert_eq!(stats.vertices, 200),
-            other => panic!("expected stats, got {other:?}"),
-        }
+        assert!(c.connected(0, 199).unwrap());
+        assert_eq!(c.num_components().unwrap(), 1);
+        assert_eq!(c.insert_edges(&[(0, 0)]).unwrap(), 1);
+        assert_eq!(c.stats().unwrap().vertices, 200);
         // Out-of-range query: a typed Err response, connection stays up.
-        match call(&mut c, &Request::Component(10_000)).unwrap() {
-            Response::Err(msg) => assert!(msg.contains("out of range"), "{msg}"),
-            other => panic!("expected Err, got {other:?}"),
+        match c.component(10_000) {
+            Err(ClientError::Server(msg)) => assert!(msg.contains("out of range"), "{msg}"),
+            other => panic!("expected server error, got {other:?}"),
         }
-        assert_eq!(
-            call(&mut c, &Request::Connected(5, 6)).unwrap(),
-            Response::Connected(true)
-        );
-        assert_eq!(call(&mut c, &Request::Shutdown).unwrap(), Response::Bye);
+        assert!(c.connected(5, 6).unwrap());
+        c.shutdown().unwrap();
     });
     assert!(server.shutdown_requested());
 }
@@ -69,22 +54,13 @@ fn tcp_inserts_become_visible_across_connections() {
         s.spawn(|| server.serve_tcp(listener, 4).unwrap());
 
         let mut writer = connect(addr);
-        assert_eq!(
-            call(&mut writer, &Request::Connected(0, 199)).unwrap(),
-            Response::Connected(true)
-        );
+        assert!(writer.connected(0, 199).unwrap());
         // The path is one component; a self-contained second component
         // cannot exist, so insert nothing new — instead check epochs: a
         // fresh connection sees the same snapshot.
         let mut reader = connect(addr);
-        assert_eq!(
-            call(&mut reader, &Request::NumComponents).unwrap(),
-            Response::NumComponents(1)
-        );
-        assert_eq!(
-            call(&mut writer, &Request::Shutdown).unwrap(),
-            Response::Bye
-        );
+        assert_eq!(reader.num_components().unwrap(), 1);
+        writer.shutdown().unwrap();
     });
 }
 
@@ -95,8 +71,10 @@ fn tcp_malformed_frame_gets_err_response() {
         s.spawn(|| server.serve_tcp(listener, 2).unwrap());
 
         // A well-framed but bogus payload (unknown opcode): typed Err,
-        // connection survives.
-        let mut c = connect(addr);
+        // connection survives. The typed client cannot emit a malformed
+        // frame, so this test speaks raw wire bytes on purpose.
+        let mut c = TcpStream::connect(addr).expect("connect");
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
         write_frame(&mut c, &[0x5A, 1, 2, 3]).unwrap();
         let payload = afforest_serve::protocol::read_frame(&mut c)
             .unwrap()
@@ -107,15 +85,12 @@ fn tcp_malformed_frame_gets_err_response() {
         }
         // The same connection still answers real requests afterwards.
         assert_eq!(
-            call(&mut c, &Request::Connected(0, 1)).unwrap(),
+            afforest_serve::protocol::call(&mut c, &Request::Connected(0, 1)).unwrap(),
             Response::Connected(true)
         );
 
         let mut closer = connect(addr);
-        assert_eq!(
-            call(&mut closer, &Request::Shutdown).unwrap(),
-            Response::Bye
-        );
+        closer.shutdown().unwrap();
     });
     // The malformed frame was counted.
     assert!(afforest_serve::ServeStats::get(&server.stats().protocol_errors) >= 1);
@@ -136,17 +111,13 @@ fn tcp_loadgen_mixed_workload_zero_errors() {
             ..LoadgenConfig::default()
         };
         let report =
-            afforest_serve::loadgen::run(&cfg, |_| TcpStream::connect(addr).map_err(Into::into))
-                .expect("loadgen run");
+            afforest_serve::loadgen::run(&cfg, |_| Client::connect(addr)).expect("loadgen run");
         assert_eq!(report.requests, 1_500);
         assert_eq!(report.errors, 0, "{}", report.render());
         assert!(report.latency.count == 1_500);
 
         let mut closer = connect(addr);
-        assert_eq!(
-            call(&mut closer, &Request::Shutdown).unwrap(),
-            Response::Bye
-        );
+        closer.shutdown().unwrap();
     });
     // Writes flowed through the writer thread to published epochs.
     assert!(server.flush(Duration::from_secs(10)));

@@ -9,7 +9,7 @@
 use afforest_obs::registry;
 use afforest_serve::http::{http_get, MetricsHttp};
 use afforest_serve::protocol::call;
-use afforest_serve::{BatchPolicy, Request, Response, Server};
+use afforest_serve::{Request, Response, ServeConfig, Server};
 use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 
@@ -17,7 +17,8 @@ use std::time::Duration;
 fn live_server_exposes_request_and_epoch_metrics() {
     let n = 100usize;
     let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
-    let server = Server::new(n, &edges, BatchPolicy::default()).expect("start server");
+    let config = ServeConfig::builder().build().expect("valid config");
+    let server = Server::new(n, &edges, config).expect("start server");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().unwrap();
     let http = MetricsHttp::spawn("127.0.0.1:0").expect("bind sidecar");

@@ -14,9 +14,9 @@
 //! and re-inserting an edge is idempotent for connectivity — so the same
 //! exact-count assertion holds under chaos.
 
-use crate::smoke::{cli_cmd, Reaper};
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use crate::smoke::{cli_cmd, connect, Reaper};
+use afforest_serve::{Client, RetryPolicy};
+use std::io::{BufRead, BufReader};
 use std::path::Path;
 use std::process::Stdio;
 use std::time::{Duration, Instant};
@@ -51,73 +51,15 @@ fn inserted_edges() -> Vec<(u32, u32)> {
         .collect()
 }
 
-fn frame(payload: Vec<u8>) -> Vec<u8> {
-    let mut framed = (payload.len() as u32).to_le_bytes().to_vec();
-    framed.extend_from_slice(&payload);
-    framed
-}
-
-/// A framed `InsertEdges` request (opcode 0x05), hand-encoded like the
-/// Shutdown frame in `smoke.rs` so xtask stays dependency-free.
-fn insert_frame(edges: &[(u32, u32)]) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(5 + edges.len() * 8);
-    payload.push(0x05);
-    payload.extend_from_slice(&(edges.len() as u32).to_le_bytes());
-    for &(u, v) in edges {
-        payload.extend_from_slice(&u.to_le_bytes());
-        payload.extend_from_slice(&v.to_le_bytes());
-    }
-    frame(payload)
-}
-
-/// One request on a fresh connection; returns the response payload.
-fn try_call(addr: &str, framed: &[u8]) -> Result<Vec<u8>, String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(5)))
-        .map_err(|e| e.to_string())?;
-    stream.write_all(framed).map_err(|e| format!("send: {e}"))?;
-    let mut len = [0u8; 4];
-    stream
-        .read_exact(&mut len)
-        .map_err(|e| format!("read length: {e}"))?;
-    let n = u32::from_le_bytes(len) as usize;
-    if n > 1 << 20 {
-        return Err(format!("absurd response length {n}"));
-    }
-    let mut payload = vec![0u8; n];
-    stream
-        .read_exact(&mut payload)
-        .map_err(|e| format!("read payload: {e}"))?;
-    Ok(payload)
-}
-
-/// [`try_call`] with retries: under `--faults` the server tears response
-/// frames, which looks like a dead connection. Retrying an insert is safe
-/// — edge insertion is idempotent for connectivity.
-fn call(addr: &str, framed: &[u8]) -> Result<Vec<u8>, String> {
-    let mut last = String::new();
-    for _ in 0..12 {
-        match try_call(addr, framed) {
-            Ok(p) => return Ok(p),
-            Err(e) => {
-                last = e;
-                std::thread::sleep(Duration::from_millis(20));
-            }
-        }
-    }
-    Err(format!("request kept failing after retries: {last}"))
-}
-
-/// Extracts `(edges_ingested, queue_depth)` from a Stats response
-/// (opcode 0x86 then nine u64s; fields 4 and 6 — the telemetry fields
-/// appended after queue_depth keep the original offsets valid).
-fn parse_stats(payload: &[u8]) -> Result<(u64, u64), String> {
-    if payload.first() != Some(&0x86) || payload.len() != 73 {
-        return Err(format!("unexpected stats response: {payload:02x?}"));
-    }
-    let u64_at = |i: usize| u64::from_le_bytes(payload[i..i + 8].try_into().expect("8 bytes"));
-    Ok((u64_at(25), u64_at(41)))
+/// A typed client tuned for the chaos run: under `--faults` the server
+/// tears response frames, which looks like a dead connection; the
+/// client's retry policy reconnects and re-sends. Retrying an insert is
+/// safe — edge insertion is idempotent for connectivity.
+fn chaos_client(addr: &str) -> Result<Client, String> {
+    Ok(connect(addr)?.with_retry(RetryPolicy {
+        max_retries: 12,
+        backoff: Duration::from_millis(20),
+    }))
 }
 
 /// Pulls `components:  N` out of `afforest recover` / `afforest cc` text.
@@ -211,22 +153,28 @@ fn crash(root: &Path, faults: bool) -> Result<(), String> {
     };
 
     // 3. Ingest the known workload in small batches.
+    let mut client = chaos_client(&addr)?;
     let edges = inserted_edges();
     for chunk in edges.chunks(10) {
-        let resp = call(&addr, &insert_frame(chunk))?;
-        if resp.first() != Some(&0x85) {
-            return Err(format!("insert answered {resp:02x?}, expected Accepted"));
+        let accepted = client
+            .insert_edges(chunk)
+            .map_err(|e| format!("insert: {e}"))?;
+        if accepted as usize != chunk.len() {
+            return Err(format!(
+                "insert accepted {accepted} of {} edge(s)",
+                chunk.len()
+            ));
         }
     }
 
     // 4. Wait until everything admitted has been applied: queue empty and
     // the ingested counter stable across two polls. Applied ⇒ logged, so
     // from here a kill loses nothing.
-    let stats_frame = frame(vec![0x06]);
     let deadline = Instant::now() + Duration::from_secs(30);
     let mut last_ingested = 0u64;
     loop {
-        let (ingested, depth) = parse_stats(&call(&addr, &stats_frame)?)?;
+        let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+        let (ingested, depth) = (stats.edges_ingested, stats.queue_depth);
         if depth == 0 && ingested >= INSERTS as u64 && ingested == last_ingested {
             break;
         }
@@ -238,6 +186,7 @@ fn crash(root: &Path, faults: bool) -> Result<(), String> {
         }
         std::thread::sleep(Duration::from_millis(150));
     }
+    drop(client);
 
     // 5. Crash: SIGKILL, no drain, no goodbye.
     server.0.kill().map_err(|e| format!("kill serve: {e}"))?;

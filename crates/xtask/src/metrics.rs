@@ -12,17 +12,12 @@
 //! Like the other smokes, the HTTP client and the exposition parser are
 //! hand-rolled so xtask stays dependency-free.
 
-use crate::smoke::{cli_cmd, Reaper};
+use crate::smoke::{cli_cmd, shutdown_and_reap, Reaper};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::Path;
 use std::process::Stdio;
-use std::time::{Duration, Instant};
-
-/// Shutdown request / Bye response frames (opcodes pinned by the
-/// protocol crate's tests).
-const SHUTDOWN_FRAME: [u8; 5] = [1, 0, 0, 0, 0x07];
-const BYE_FRAME: [u8; 5] = [1, 0, 0, 0, 0x87];
+use std::time::Duration;
 
 /// Runs the telemetry smoke; returns success.
 pub fn run_metrics(root: &Path) -> bool {
@@ -211,32 +206,7 @@ fn metrics(root: &Path) -> Result<(), String> {
 
     // 5. Clean shutdown; the flight recording must appear and parse as a
     // dump document.
-    let mut stream =
-        TcpStream::connect(&wire_addr).map_err(|e| format!("connect {wire_addr}: {e}"))?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .map_err(|e| e.to_string())?;
-    stream
-        .write_all(&SHUTDOWN_FRAME)
-        .map_err(|e| format!("send shutdown: {e}"))?;
-    let mut reply = [0u8; 5];
-    stream
-        .read_exact(&mut reply)
-        .map_err(|e| format!("read shutdown reply: {e}"))?;
-    if reply != BYE_FRAME {
-        return Err(format!("shutdown answered {reply:02x?}, expected Bye"));
-    }
-    let deadline = Instant::now() + Duration::from_secs(30);
-    loop {
-        match server.0.try_wait().map_err(|e| e.to_string())? {
-            Some(status) if status.success() => break,
-            Some(status) => return Err(format!("serve exited with {status}")),
-            None if Instant::now() > deadline => {
-                return Err("serve did not exit within 30 s of Shutdown".into())
-            }
-            None => std::thread::sleep(Duration::from_millis(50)),
-        }
-    }
+    shutdown_and_reap(&wire_addr, &mut server)?;
     let dump = std::fs::read_to_string(&flight).map_err(|e| format!("{flight_s}: {e}"))?;
     if !dump.contains("\"schema\": 1") || !dump.contains("\"events\"") {
         return Err(format!(

@@ -2,24 +2,19 @@
 //!
 //! Exercises the full binary surface end to end, the way a deployment
 //! would: generate a graph with the CLI, start `afforest serve` on an
-//! ephemeral loopback port, drive a small mixed read/write workload with
-//! `afforest loadgen`, assert zero protocol errors, then stop the server
-//! with a real `Shutdown` frame and require a clean exit. Run twice by CI
-//! — with the obs feature off and on — so both builds of the serving
-//! path stay green.
+//! ephemeral loopback port with the metrics sidecar, drive a small mixed
+//! read/write workload with `afforest loadgen`, assert zero protocol
+//! errors, create two tenants over the wire and require their labelled
+//! series in `GET /metrics`, then stop the server with a real `Shutdown`
+//! frame and require a clean exit. Run twice by CI — with the obs feature
+//! off and on — so both builds of the serving path stay green.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use afforest_serve::http::http_get;
+use afforest_serve::{Client, TenantId};
+use std::io::{BufRead, BufReader};
 use std::path::Path;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
-
-// The two wire frames this module needs, hand-encoded so xtask stays
-// dependency-free (see Cargo.toml): a length-prefixed `Shutdown` request
-// (opcode 0x07) and the expected `Bye` response (opcode 0x87). The
-// protocol crate's own tests pin these opcodes.
-const SHUTDOWN_FRAME: [u8; 5] = [1, 0, 0, 0, 0x07];
-const BYE_FRAME: [u8; 5] = [1, 0, 0, 0, 0x87];
 
 /// Runs the smoke test; returns success. `obs` selects the instrumented
 /// build of the CLI.
@@ -62,6 +57,31 @@ impl Drop for Reaper {
     }
 }
 
+/// Connects a typed client with a generous read timeout.
+pub(crate) fn connect(addr: &str) -> Result<Client, String> {
+    Client::connect(addr)
+        .and_then(|c| c.with_read_timeout(Some(Duration::from_secs(10))))
+        .map_err(|e| format!("connect {addr}: {e}"))
+}
+
+/// Asks the server to stop and waits for a clean process exit.
+pub(crate) fn shutdown_and_reap(addr: &str, server: &mut Reaper) -> Result<(), String> {
+    connect(addr)?
+        .shutdown()
+        .map_err(|e| format!("shutdown: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match server.0.try_wait().map_err(|e| e.to_string())? {
+            Some(status) if status.success() => return Ok(()),
+            Some(status) => return Err(format!("serve exited with {status}")),
+            None if Instant::now() > deadline => {
+                return Err("serve did not exit within 30 s of Shutdown".into())
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
 fn smoke(root: &Path, obs: bool) -> Result<(), String> {
     let graph = std::env::temp_dir().join(format!(
         "afforest-smoke-{}-{}.el",
@@ -90,30 +110,40 @@ fn smoke(root: &Path, obs: bool) -> Result<(), String> {
         return Err(format!("generate failed ({status})"));
     }
 
-    // 2. Start the server on an ephemeral port; parse the announced
-    // address from its stdout.
+    // 2. Start the server (wire + metrics sidecar, both ephemeral); parse
+    // the announced addresses from its stdout.
     let mut server = Reaper(
         cli_cmd(root, obs)
-            .args(["serve", &graph, "--addr", "127.0.0.1:0", "--workers", "4"])
+            .args([
+                "serve",
+                &graph,
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "4",
+                "--metrics-addr",
+                "127.0.0.1:0",
+            ])
             .stdout(Stdio::piped())
             .spawn()
             .map_err(|e| format!("spawn serve: {e}"))?,
     );
     let stdout = server.0.stdout.take().ok_or("serve stdout not captured")?;
     let mut lines = BufReader::new(stdout).lines();
-    let addr = loop {
+    let mut addr = None;
+    let mut scrape_addr = None;
+    while addr.is_none() || scrape_addr.is_none() {
         let line = lines
             .next()
-            .ok_or("serve exited before announcing its address")?
+            .ok_or("serve exited before announcing its addresses")?
             .map_err(|e| format!("read serve stdout: {e}"))?;
         if let Some(rest) = line.strip_prefix("listening on ") {
-            break rest
-                .split_whitespace()
-                .next()
-                .ok_or("malformed listen line")?
-                .to_string();
+            addr = rest.split_whitespace().next().map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("metrics on http://") {
+            scrape_addr = rest.strip_suffix("/metrics").map(str::to_string);
         }
-    };
+    }
+    let (addr, scrape_addr) = (addr.unwrap(), scrape_addr.unwrap());
 
     // 3. Drive a small mixed workload; the loadgen subcommand exits
     // non-zero on any protocol error.
@@ -146,37 +176,50 @@ fn smoke(root: &Path, obs: bool) -> Result<(), String> {
         return Err(format!("loadgen reported errors:\n{text}"));
     }
 
-    // 4. Graceful shutdown via a real protocol frame; the server process
-    // must exit cleanly on its own.
-    let mut stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .map_err(|e| e.to_string())?;
-    stream
-        .write_all(&SHUTDOWN_FRAME)
-        .map_err(|e| format!("send shutdown: {e}"))?;
-    let mut reply = [0u8; 5];
-    stream
-        .read_exact(&mut reply)
-        .map_err(|e| format!("read shutdown reply: {e}"))?;
-    if reply != BYE_FRAME {
-        return Err(format!("shutdown answered {reply:02x?}, expected Bye"));
+    // 4. Multi-tenancy over the wire: create two tenants, route traffic
+    // through each via v2 envelopes, and require their labelled series in
+    // the scrape.
+    let mut admin = connect(&addr)?;
+    for name in ["smoke-a", "smoke-b"] {
+        let tenant = TenantId::new(name).map_err(|e| format!("tenant {name}: {e}"))?;
+        admin
+            .create_tenant(&tenant, 512)
+            .map_err(|e| format!("create tenant {name}: {e}"))?;
+        let mut scoped = connect(&addr)?.with_tenant(tenant);
+        scoped
+            .insert_edges(&[(0, 1), (1, 2)])
+            .map_err(|e| format!("insert into {name}: {e}"))?;
+        scoped
+            .connected(0, 1)
+            .map_err(|e| format!("query {name}: {e}"))?;
     }
-    let deadline = Instant::now() + Duration::from_secs(30);
-    loop {
-        match server.0.try_wait().map_err(|e| e.to_string())? {
-            Some(status) if status.success() => break,
-            Some(status) => return Err(format!("serve exited with {status}")),
-            None if Instant::now() > deadline => {
-                return Err("serve did not exit within 30 s of Shutdown".into())
-            }
-            None => std::thread::sleep(Duration::from_millis(50)),
+    let tenants = admin.list_tenants().map_err(|e| format!("list: {e}"))?;
+    if tenants != ["default", "smoke-a", "smoke-b"] {
+        return Err(format!("unexpected tenant list: {tenants:?}"));
+    }
+    let (status, scrape) = http_get(&scrape_addr, "/metrics")?;
+    if status != 200 {
+        return Err(format!("scrape answered HTTP {status}"));
+    }
+    for series in [
+        "afforest_tenant_requests_total{tenant=\"smoke-a\"}",
+        "afforest_tenant_requests_total{tenant=\"smoke-b\"}",
+        "afforest_tenant_queue_depth{tenant=\"smoke-a\"}",
+        "afforest_tenant_requests_shed_total{tenant=\"smoke-b\"}",
+        "afforest_tenant_edges_ingested_total{tenant=\"smoke-a\"}",
+    ] {
+        if !scrape.contains(series) {
+            return Err(format!("scrape is missing the labelled series {series}"));
         }
     }
 
+    // 5. Graceful shutdown via a real protocol frame; the server process
+    // must exit cleanly on its own.
+    shutdown_and_reap(&addr, &mut server)?;
+
     let _ = std::fs::remove_file(&graph);
     println!(
-        "==> serve smoke{}: {addr} served 2000 mixed requests, zero errors, clean shutdown",
+        "==> serve smoke{}: {addr} served 2000 mixed requests + 2 tenants, zero errors, clean shutdown",
         obs_tag(obs)
     );
     Ok(())
