@@ -46,7 +46,7 @@ use std::collections::{BTreeMap, BTreeSet};
 pub const ID: &str = "lock-order";
 
 /// Directory prefixes whose locks participate in the graph.
-pub const LOCK_SCOPE: &[&str] = &["crates/serve/src/", "crates/obs/src/"];
+pub const LOCK_SCOPE: &[&str] = &["crates/serve/src/", "crates/obs/src/", "crates/shard/src/"];
 
 /// The reviewed acquisition order: `(held, then_acquired, why)`. Must
 /// mirror the table in DESIGN.md §13.

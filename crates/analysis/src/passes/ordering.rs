@@ -42,6 +42,10 @@ pub const ORDERING_ALLOWLIST: &[&str] = &[
     // Serving runtime: Relaxed service statistics and the shutdown flag;
     // all cross-thread hand-off goes through Mutex/Condvar/RwLock.
     "crates/serve/src/",
+    // Shard router: the Relaxed shutdown latch; every other piece of
+    // shared router state (boundary forest, composite cache, backends)
+    // is behind a Mutex.
+    "crates/shard/src/",
 ];
 
 /// Atomic-ordering variant names (including the banned one — a SeqCst

@@ -37,12 +37,16 @@ use crate::pass::{Context, Pass};
 pub const ID: &str = "panic-path";
 
 /// Files on the wire/disk byte path. Request framing and decode
-/// (`protocol.rs`), WAL append/recovery (`wal.rs`), and the ingest queue
-/// between them (`ingest.rs`).
+/// (`protocol.rs`), WAL append/recovery (`wal.rs`), the ingest queue
+/// between them (`ingest.rs`), and the shard router front-end plus its
+/// boundary-edge log (`router.rs`, `boundary.rs`), which parse the same
+/// wire frames and their own on-disk record format.
 pub const PANIC_PATH_FILES: &[&str] = &[
     "crates/serve/src/protocol.rs",
     "crates/serve/src/wal.rs",
     "crates/serve/src/ingest.rs",
+    "crates/shard/src/router.rs",
+    "crates/shard/src/boundary.rs",
 ];
 
 /// Identifiers that panic (as methods or macro names).

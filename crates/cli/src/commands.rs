@@ -387,8 +387,31 @@ pub mod serve {
             "metrics-addr",
             "events-out",
             "trace-out",
+            "shards",
+            "shard-addrs",
+            "vertices",
+            "max-retries",
+            "retry-backoff-us",
         ])?;
-        let path = args.positional(0, "graph")?;
+        // Sharded modes: `--shards N` hosts N shard engines in-process
+        // behind a router; `--shard-addrs LIST` routes to remote shard
+        // workers (each itself a `serve --vertices N` process).
+        let shards: usize = args.flag_parsed("shards", 0usize)?;
+        if args.flag("shard-addrs").is_some() || shards > 0 {
+            return run_sharded(&args, shards.max(1));
+        }
+        let vertices: usize = args.flag_parsed("vertices", 0usize)?;
+        let (path, n, edges) = if args.num_positionals() == 0 && vertices > 0 {
+            // Worker mode: an empty graph of `--vertices` vertices whose
+            // state arrives over the wire (and from the WAL on restart) —
+            // typically one shard slice behind a `--shard-addrs` router.
+            ("(empty)".to_string(), vertices, Vec::new())
+        } else {
+            let path = args.positional(0, "graph")?;
+            let g = load_graph(path)?;
+            let n = g.num_vertices();
+            (path.to_string(), n, g.collect_edges())
+        };
         let addr = args.flag("addr").unwrap_or("127.0.0.1:7878");
         let workers: usize = args.flag_parsed("workers", 8)?;
         let max_edges: usize = args.flag_parsed("max-batch-edges", 4096)?;
@@ -416,9 +439,6 @@ pub mod serve {
                     .map(|d| Path::new(d).join("flight.json"))
             });
 
-        let g = load_graph(path)?;
-        let edges = g.collect_edges();
-        let n = g.num_vertices();
         let config = ServeConfig::builder()
             .policy(BatchPolicy {
                 max_edges,
@@ -504,9 +524,8 @@ pub mod serve {
         // clients (and the CI smoke test) need the bound address now —
         // `--addr` with port 0 picks an ephemeral port.
         println!(
-            "serving {path}: {} vertices, {} edges ({} components)",
-            g.num_vertices(),
-            g.num_edges(),
+            "serving {path}: {n} vertices, {} edges ({} components)",
+            edges.len(),
             server.snapshot().num_components()
         );
         println!("listening on {local} ({workers} workers)");
@@ -551,6 +570,169 @@ pub mod serve {
             let trace = trace.expect("traced run kept its trace");
             write_trace(dest, &trace.to_json(), trace.spans.len(), &mut out)?;
         }
+        Ok(out)
+    }
+
+    /// The sharded serving modes behind `--shards` / `--shard-addrs`.
+    fn run_sharded(args: &ParsedArgs, shards: usize) -> Result<String, String> {
+        use afforest_serve::RetryPolicy;
+        use afforest_shard::{LocalCluster, RemoteShards, Router, ShardPlan};
+
+        let addr = args.flag("addr").unwrap_or("127.0.0.1:7878");
+        let workers: usize = args.flag_parsed("workers", 8)?;
+        let max_edges: usize = args.flag_parsed("max-batch-edges", 4096)?;
+        let max_delay_ms: u64 = args.flag_parsed("max-batch-delay-ms", 2)?;
+        if max_edges == 0 {
+            return Err("--max-batch-edges must be positive".into());
+        }
+        let snapshot_every: u64 = args.flag_parsed("wal-snapshot-every", 64u64)?;
+        let max_queue_depth: usize = args.flag_parsed("max-queue-depth", 0usize)?;
+        let read_deadline_ms: u64 = args.flag_parsed("read-deadline-ms", 0u64)?;
+        let read_deadline = (read_deadline_ms > 0).then(|| Duration::from_millis(read_deadline_ms));
+        let wal_dir = args.flag("wal-dir").map(PathBuf::from);
+        let metrics_addr = args.flag("metrics-addr");
+
+        if let Some(list) = args.flag("shard-addrs") {
+            // Remote workers own the data; the router holds only wire
+            // clients and the boundary store.
+            if args.num_positionals() != 0 {
+                return Err("--shard-addrs and <graph> are mutually exclusive".into());
+            }
+            let n: usize = args.flag_parsed("vertices", 0usize)?;
+            if n == 0 {
+                return Err("--shard-addrs needs --vertices N (the global vertex count)".into());
+            }
+            let addrs: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if addrs.is_empty() {
+                return Err("--shard-addrs: no addresses".into());
+            }
+            let retry = RetryPolicy {
+                max_retries: args.flag_parsed("max-retries", 40u32)?,
+                backoff: Duration::from_micros(args.flag_parsed("retry-backoff-us", 500u64)?),
+            };
+            let plan = ShardPlan::new(n, addrs.len());
+            let backend = RemoteShards::connect(&addrs, retry, Some(Duration::from_secs(5)))
+                .map_err(|e| format!("connect shards: {e}"))?;
+            let boundary = boundary_store(n, wal_dir.as_deref())?;
+            let banner = format!(
+                "routing {n} vertices across {} shard worker(s)",
+                addrs.len()
+            );
+            let router = Router::new(plan, boundary, backend, read_deadline);
+            return serve_router(&router, addr, workers, metrics_addr, &banner);
+        }
+
+        // In-process cluster: split the seed graph into shard-local
+        // slices (cut edges seed the boundary store) and host one engine
+        // per shard behind the router.
+        let path = args.positional(0, "graph")?;
+        let g = load_graph(path)?;
+        let n = g.num_vertices();
+        let edges = g.collect_edges();
+        let plan = ShardPlan::new(n, shards);
+        let config = ServeConfig::builder()
+            .policy(BatchPolicy {
+                max_edges,
+                max_delay: Duration::from_millis(max_delay_ms),
+                apply_delay: None,
+            })
+            .max_queue_depth(max_queue_depth)
+            .wal_root(wal_dir.clone())
+            .wal_snapshot_every(snapshot_every)
+            .build()
+            .map_err(|e| format!("invalid configuration: {e}"))?;
+        let routed = plan.split_batch(&edges);
+        let cluster = LocalCluster::new(&plan, &routed.per_shard, &config)
+            .map_err(|e| format!("start shards: {e}"))?;
+        let boundary = boundary_store(n, wal_dir.as_deref())?;
+        boundary.observe_batch(&routed.cut);
+        let banner = format!(
+            "serving {path} across {shards} shard(s): {n} vertices, {} edges ({} cut)",
+            edges.len(),
+            routed.cut.len()
+        );
+        let router = Router::new(plan, boundary, cluster, read_deadline);
+        serve_router(&router, addr, workers, metrics_addr, &banner)
+    }
+
+    /// The router's boundary store: persistent under `--wal-dir`
+    /// (replaying `boundary.log` from a previous incarnation), purely
+    /// in-memory otherwise.
+    fn boundary_store(
+        n: usize,
+        wal_dir: Option<&Path>,
+    ) -> Result<afforest_shard::BoundaryStore, String> {
+        match wal_dir {
+            Some(root) => {
+                let path = root.join(afforest_shard::BOUNDARY_LOG);
+                let store = afforest_shard::BoundaryStore::with_log(n, &path)
+                    .map_err(|e| format!("boundary log {}: {e}", path.display()))?;
+                let replayed = store.edge_count();
+                if replayed > 0 {
+                    println!("recovered {replayed} boundary edge(s)");
+                }
+                Ok(store)
+            }
+            None => Ok(afforest_shard::BoundaryStore::new(n)),
+        }
+    }
+
+    /// Binds, announces, serves and reports for a router front-end,
+    /// mirroring the standalone flow (same stdout lines the smoke tests
+    /// parse).
+    fn serve_router<B: afforest_shard::ShardBackend>(
+        router: &afforest_shard::Router<B>,
+        addr: &str,
+        workers: usize,
+        metrics_addr: Option<&str>,
+        banner: &str,
+    ) -> Result<String, String> {
+        use afforest_serve::{Request, Response};
+
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        let metrics_http = match metrics_addr {
+            Some(maddr) => {
+                let http =
+                    MetricsHttp::spawn(maddr).map_err(|e| format!("bind metrics {maddr}: {e}"))?;
+                println!("metrics on http://{}/metrics", http.local_addr());
+                Some(http)
+            }
+            None => None,
+        };
+        println!("{banner}");
+        println!("listening on {local} ({workers} workers)");
+        let _ = std::io::stdout().flush();
+
+        router
+            .serve_tcp(listener, workers)
+            .map_err(|e| format!("serve: {e}"))?;
+        // Shutdown was requested: drain every shard, then report.
+        router.flush(Duration::from_secs(30));
+        let stats = match router.handle(&Request::Stats) {
+            Response::Stats(s) => Some(s),
+            _ => None,
+        };
+        let boundary_edges = router.boundary().edge_count();
+        router.shutdown_backend();
+        drop(metrics_http);
+
+        let mut out = String::new();
+        if let Some(s) = stats {
+            let _ = writeln!(out, "shutdown after epoch {}", s.epoch);
+            let _ = writeln!(
+                out,
+                "ingested {} edge(s) over {} published epoch(s)",
+                s.edges_ingested, s.epochs_published
+            );
+        } else {
+            let _ = writeln!(out, "shutdown");
+        }
+        let _ = writeln!(out, "boundary holds {boundary_edges} cut edge(s)");
         Ok(out)
     }
 }
@@ -748,6 +930,8 @@ pub mod loadgen {
             "seed",
             "max-retries",
             "retry-backoff-us",
+            "write-shards",
+            "local-pct",
             "json-out",
             "trace-out",
         ])?;
@@ -765,10 +949,15 @@ pub mod loadgen {
             retry_backoff: std::time::Duration::from_micros(
                 args.flag_parsed("retry-backoff-us", 500u64)?,
             ),
+            write_shards: args.flag_parsed("write-shards", 0usize)?,
+            local_pct: args.flag_parsed("local-pct", 90u32)?,
             tenant,
         };
         if cfg.read_pct > 100 {
             return Err("--read-pct must be 0..=100".into());
+        }
+        if cfg.local_pct > 100 {
+            return Err("--local-pct must be 0..=100".into());
         }
         if cfg.requests == 0 {
             return Err("--requests must be positive".into());
@@ -826,6 +1015,67 @@ pub mod loadgen {
                 report.errors
             ));
         }
+        Ok(out)
+    }
+}
+
+/// `afforest distrib-cc <graph> [--ranks P] [--partition block|hash|bfs]`
+/// — run the BSP forest-merge connectivity algorithm over a simulated
+/// `P`-rank partition and report components plus exact communication
+/// volume ([`CommStats`](afforest_distrib::CommStats)).
+pub mod distrib_cc {
+    use super::*;
+    use afforest_distrib::{distributed_cc_forest, PartitionKind, VertexPartition};
+
+    pub fn run(argv: &[String]) -> Result<String, String> {
+        let args = ParsedArgs::parse(argv)?;
+        args.allow_flags(&["ranks", "partition"])?;
+        let path = args.positional(0, "graph")?;
+        let ranks: usize = args.flag_parsed("ranks", 4usize)?;
+        if ranks == 0 {
+            return Err("--ranks must be positive".into());
+        }
+        if ranks > u16::MAX as usize {
+            return Err("--ranks must fit in 16 bits".into());
+        }
+        let g = load_graph(path)?;
+        let scheme = args.flag("partition").unwrap_or("block");
+        let part = match scheme {
+            "block" => VertexPartition::new(g.num_vertices(), ranks, PartitionKind::Block),
+            "hash" => VertexPartition::new(g.num_vertices(), ranks, PartitionKind::Hash),
+            "bfs" => VertexPartition::bfs_grow(&g, ranks),
+            other => {
+                return Err(format!(
+                    "--partition: unknown scheme '{other}' (block|hash|bfs)"
+                ))
+            }
+        };
+        let t = Instant::now();
+        let (labels, comm) = distributed_cc_forest(&g, &part);
+        let dt = t.elapsed().as_secs_f64();
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "graph:       {path} ({} vertices, {} edges)",
+            g.num_vertices(),
+            g.num_edges()
+        );
+        let _ = writeln!(
+            out,
+            "ranks:       {ranks} ({scheme} partition, cut fraction {:.3})",
+            part.cut_fraction(&g)
+        );
+        let _ = writeln!(out, "components:  {}", labels.num_components());
+        let _ = writeln!(
+            out,
+            "largest:     {} of {} vertices",
+            labels.largest_component_size(),
+            labels.len()
+        );
+        let _ = writeln!(out, "supersteps:  {}", comm.supersteps);
+        let _ = writeln!(out, "messages:    {} ({} bytes)", comm.messages, comm.bytes);
+        let _ = writeln!(out, "time:        {dt:.6}s");
         Ok(out)
     }
 }
@@ -1470,6 +1720,88 @@ mod tests {
         drop(http);
         let err = top::run(&argv(&["127.0.0.1:1", "--count", "1"])).unwrap_err();
         assert!(err.contains("connect"), "{err}");
+    }
+
+    #[test]
+    fn distrib_cc_reports_components_and_comm() {
+        let p = sample_graph_file("distribcc.el");
+        // The BSP run must agree with the sequential count and report
+        // exact communication accounting for every scheme.
+        let expected = {
+            let g = crate::load::load_graph(&p).unwrap();
+            afforest_core::afforest(&g, &Default::default()).num_components()
+        };
+        for scheme in ["block", "hash", "bfs"] {
+            let out = distrib_cc::run(&argv(&[&p, "--ranks", "3", "--partition", scheme])).unwrap();
+            assert!(
+                out.contains(&format!("components:  {expected}")),
+                "{scheme}: {out}"
+            );
+            assert!(out.contains("ranks:       3"), "{out}");
+            assert!(out.contains("supersteps:"), "{out}");
+            assert!(out.contains("messages:"), "{out}");
+        }
+        let err = distrib_cc::run(&argv(&[&p, "--partition", "voronoi"])).unwrap_err();
+        assert!(err.contains("unknown scheme"), "{err}");
+        let err = distrib_cc::run(&argv(&[&p, "--ranks", "0"])).unwrap_err();
+        assert!(err.contains("--ranks"), "{err}");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn serve_sharded_validates_its_flags() {
+        // A router needs the global vertex count to build its plan.
+        let err = serve::run(&argv(&["--shard-addrs", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("--vertices"), "{err}");
+        let err = serve::run(&argv(&[
+            "x.el",
+            "--shard-addrs",
+            "127.0.0.1:1",
+            "--vertices",
+            "8",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = serve::run(&argv(&["--shard-addrs", " , ", "--vertices", "8"])).unwrap_err();
+        assert!(err.contains("no addresses"), "{err}");
+        // Dialing a worker that is not there is a clean error.
+        let err =
+            serve::run(&argv(&["--shard-addrs", "127.0.0.1:1", "--vertices", "8"])).unwrap_err();
+        assert!(err.contains("connect shards"), "{err}");
+        // In-process sharding still needs a graph.
+        let err = serve::run(&argv(&["--shards", "2"])).unwrap_err();
+        assert!(err.contains("graph"), "{err}");
+    }
+
+    #[test]
+    fn serve_sharded_rejects_unbindable_addr() {
+        let p = sample_graph_file("servesharded.el");
+        let err =
+            serve::run(&argv(&[&p, "--shards", "2", "--addr", "999.999.999.999:0"])).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(err.contains("bind"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_sharded_write_flags_parse_and_run() {
+        let p = sample_graph_file("loadgenshard.el");
+        let out = loadgen::run(&argv(&[
+            "--graph",
+            &p,
+            "--requests",
+            "200",
+            "--read-pct",
+            "0",
+            "--write-shards",
+            "4",
+            "--local-pct",
+            "95",
+        ]))
+        .unwrap();
+        assert!(out.contains("throughput"), "{out}");
+        let err = loadgen::run(&argv(&["--graph", &p, "--local-pct", "101"])).unwrap_err();
+        assert!(err.contains("local-pct"), "{err}");
+        std::fs::remove_file(&p).unwrap();
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! afforest serve    <graph> [--addr HOST:PORT] [--workers N] [--wal-dir PATH]
 //!                   [--max-queue-depth N] [--faults SPEC]
 //!                   [--metrics-addr HOST:PORT] [--events-out PATH]
-//!                   [--trace-out PATH]
+//!                   [--trace-out PATH] [--shards N]
+//! afforest serve    --vertices N [--addr HOST:PORT] …   (shard worker)
+//! afforest serve    --shard-addrs A,B,… --vertices N …  (shard router)
+//! afforest distrib-cc <graph> [--ranks P] [--partition block|hash|bfs]
 //! afforest recover  [<graph>] [--wal-dir PATH] [--events PATH]
 //! afforest loadgen  (<host:port> | --graph PATH) [--connections N] [--requests N]
 //!                   [--read-pct P] [--max-retries N] [--json-out PATH]
@@ -58,6 +61,14 @@ commands:
            [--events-out PATH]              flight-recorder dump on panic and
                                             shutdown (default <wal-dir>/flight.json)
            [--trace-out PATH]
+           [--shards N]                     split the graph across N in-process
+                                            shard engines behind a router
+           [--vertices N]                   no graph: serve an empty N-vertex
+                                            slice (a shard worker)
+           [--shard-addrs A,B,…]            route to running shard workers
+                                            (requires --vertices; no graph)
+  distrib-cc <graph> [--ranks P]            BSP forest-merge connectivity with
+           [--partition block|hash|bfs]     exact communication accounting
   recover  [<graph>] [--wal-dir PATH]       offline WAL replay report (no serving)
            [--events PATH]                  and/or flight-recording summary
   loadgen  (<host:port> | --graph PATH)     mixed read/write workload driver
@@ -65,6 +76,8 @@ commands:
            [--read-pct P] [--insert-batch N]
            [--seed S] [--max-retries N]
            [--retry-backoff-us US]
+           [--write-shards K]               confine writes to K block slices,
+           [--local-pct P]                  P% of them slice-local
            [--json-out PATH] [--trace-out PATH]
   top      <host:port> [--interval-ms MS]   live dashboard over a server's
            [--count N] [--clear BOOL]       --metrics-addr scrape endpoint
@@ -93,6 +106,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "convert" => commands::convert::run(rest),
         "bench" => commands::bench::run(rest),
         "serve" => commands::serve::run(rest),
+        "distrib-cc" => commands::distrib_cc::run(rest),
         "recover" => commands::recover::run(rest),
         "loadgen" => commands::loadgen::run(rest),
         "top" => commands::top::run(rest),

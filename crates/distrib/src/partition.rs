@@ -168,14 +168,79 @@ impl VertexPartition {
         sizes
     }
 
+    /// The rank that owns — i.e. stores and links — the undirected edge
+    /// `(u, v)`.
+    ///
+    /// **Owner rule (load-bearing, pinned by tests):** an edge belongs
+    /// to the rank owning its *lower-numbered* endpoint,
+    /// `owner(min(u, v))`. The rule is symmetric in argument order, so
+    /// `(u, v)` and `(v, u)` always land on the same rank and the
+    /// global edge multiset partitions into per-rank lists with each
+    /// edge delivered exactly once — the invariant Theorem 1's
+    /// spanning-forest merge needs, and the one the shard router relies
+    /// on to route `InsertEdges` deterministically.
+    #[inline]
+    pub fn edge_owner(&self, u: Node, v: Node) -> usize {
+        self.owner(u.min(v))
+    }
+
+    /// Whether `(u, v)` is a *cut* edge — its endpoints live on
+    /// different ranks. Cut edges are still owned by exactly one rank
+    /// (see [`Self::edge_owner`]), but a sharded deployment must also
+    /// record them in a boundary structure because neither rank alone
+    /// can see the component they merge.
+    #[inline]
+    pub fn is_cut(&self, u: Node, v: Node) -> bool {
+        self.owner(u) != self.owner(v)
+    }
+
     /// Assigns every undirected edge to the rank owning its lower
-    /// endpoint; returns per-rank edge lists.
+    /// endpoint (the [`Self::edge_owner`] rule); returns per-rank edge
+    /// lists whose concatenation is exactly the input edge multiset.
     pub fn partition_edges(&self, g: &CsrGraph) -> Vec<Vec<Edge>> {
         let mut per_rank: Vec<Vec<Edge>> = vec![Vec::new(); self.num_ranks];
         for (u, v) in g.edges() {
-            per_rank[self.owner(u.min(v))].push((u, v));
+            per_rank[self.edge_owner(u, v)].push((u, v));
         }
         per_rank
+    }
+
+    /// Splits the edge multiset into per-rank *internal* lists (both
+    /// endpoints on the owning rank) and one global *cut* list (edges
+    /// straddling ranks). Every edge appears exactly once across the
+    /// two return values: internal edges under [`Self::edge_owner`],
+    /// cut edges once in the boundary list. This is the ingest shape a
+    /// sharded deployment wants — internal edges go to one shard's
+    /// queue, cut edges to the boundary store.
+    pub fn split_edges(&self, g: &CsrGraph) -> (Vec<Vec<Edge>>, Vec<Edge>) {
+        let mut per_rank: Vec<Vec<Edge>> = vec![Vec::new(); self.num_ranks];
+        let mut cut = Vec::new();
+        for (u, v) in g.edges() {
+            if self.is_cut(u, v) {
+                cut.push((u, v));
+            } else {
+                per_rank[self.edge_owner(u, v)].push((u, v));
+            }
+        }
+        (per_rank, cut)
+    }
+
+    /// The contiguous global-index range owned by `rank`, if that
+    /// rank's vertices form one contiguous run (always true for
+    /// [`PartitionKind::Block`]; usually false for `Hash`). Returns an
+    /// empty range at the partition's end for ranks that own nothing.
+    pub fn rank_range(&self, rank: usize) -> Option<std::ops::Range<Node>> {
+        let r = rank as u16;
+        let start = self.owner.iter().position(|&o| o == r);
+        let Some(start) = start else {
+            return Some(self.owner.len() as Node..self.owner.len() as Node);
+        };
+        let len = self.owner[start..].iter().take_while(|&&o| o == r).count();
+        // Contiguity: no vertex of this rank may appear after the run.
+        if self.owner[start + len..].contains(&r) {
+            return None;
+        }
+        Some(start as Node..(start + len) as Node)
     }
 
     /// Fraction of edges whose endpoints live on different ranks.
@@ -229,6 +294,57 @@ mod tests {
         let per_rank = p.partition_edges(&g);
         let total: usize = per_rank.iter().map(|e| e.len()).sum();
         assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn owner_rule_is_min_endpoint_and_symmetric() {
+        // Pins the documented rule: an edge goes to the rank owning its
+        // lower endpoint, regardless of the order the endpoints are
+        // named in.
+        let p = VertexPartition::new(10, 2, PartitionKind::Block);
+        assert_eq!(p.owner(4), 0);
+        assert_eq!(p.owner(5), 1);
+        assert_eq!(p.edge_owner(4, 5), 0);
+        assert_eq!(p.edge_owner(5, 4), 0);
+        assert!(p.is_cut(4, 5));
+        assert!(!p.is_cut(5, 6));
+        // A cut edge is still delivered exactly once, to min's owner.
+        let g = afforest_graph::GraphBuilder::from_edges(10, &[(4, 5), (8, 9)]).build();
+        let per_rank = p.partition_edges(&g);
+        assert_eq!(per_rank[0], vec![(4, 5)]);
+        assert_eq!(per_rank[1], vec![(8, 9)]);
+    }
+
+    #[test]
+    fn split_edges_delivers_each_edge_exactly_once() {
+        let g = uniform_random(500, 2_000, 11);
+        let p = VertexPartition::new(500, 4, PartitionKind::Hash);
+        let (internal, cut) = p.split_edges(&g);
+        let total: usize = internal.iter().map(|e| e.len()).sum::<usize>() + cut.len();
+        assert_eq!(total, g.num_edges());
+        for (r, edges) in internal.iter().enumerate() {
+            for &(u, v) in edges {
+                assert_eq!(p.owner(u), r);
+                assert_eq!(p.owner(v), r);
+            }
+        }
+        for &(u, v) in &cut {
+            assert!(p.is_cut(u, v));
+        }
+    }
+
+    #[test]
+    fn rank_range_reports_block_slices() {
+        let p = VertexPartition::new(10, 3, PartitionKind::Block);
+        assert_eq!(p.rank_range(0), Some(0..4));
+        assert_eq!(p.rank_range(1), Some(4..7));
+        assert_eq!(p.rank_range(2), Some(7..10));
+        // An interleaved assignment has no contiguous range.
+        let q = VertexPartition::from_owners(vec![0, 1, 0, 1], 2);
+        assert_eq!(q.rank_range(0), None);
+        // A rank owning nothing gets the empty range at the end.
+        let r = VertexPartition::new(3, 8, PartitionKind::Block);
+        assert_eq!(r.rank_range(7), Some(3..3));
     }
 
     #[test]

@@ -93,7 +93,11 @@ struct EngineShared {
 /// One tenant's connectivity service: an epoch-snapshot store, a
 /// single-writer ingest queue, and (optionally) a WAL, all scoped to
 /// that tenant.
-pub(crate) struct Engine {
+///
+/// Public so that embedders (the shard router in `afforest-shard`) can
+/// run engines directly without a TCP front-end; construct one with
+/// [`Engine::standalone`].
+pub struct Engine {
     shared: Arc<EngineShared>,
     tenant: TenantId,
     vertices: usize,
@@ -144,8 +148,24 @@ impl Engine {
         })
     }
 
+    /// Builds a self-contained engine that is not part of any registry:
+    /// it gets its own admission backstop (sized from
+    /// `config.max_total_queue_depth`) and ordinal 0. This is the
+    /// constructor for embedders — the shard subsystem runs one
+    /// standalone engine per vertex slice, each with its own WAL
+    /// namespace, without a `Server` in front.
+    pub fn standalone(
+        tenant: TenantId,
+        cc: IncrementalCc,
+        config: &ServeConfig,
+        wal: Option<Wal>,
+    ) -> Result<Engine, ServeError> {
+        let backstop = Arc::new(Backstop::new(config.max_total_queue_depth));
+        Engine::start(tenant, 0, cc, config, wal, backstop)
+    }
+
     /// This engine's tenant.
-    pub(crate) fn tenant(&self) -> &TenantId {
+    pub fn tenant(&self) -> &TenantId {
         &self.tenant
     }
 
@@ -155,7 +175,7 @@ impl Engine {
     }
 
     /// The tenant's currently served epoch.
-    pub(crate) fn snapshot(&self) -> Arc<Snapshot> {
+    pub fn snapshot(&self) -> Arc<Snapshot> {
         self.shared.store.load()
     }
 
@@ -172,7 +192,7 @@ impl Engine {
     /// Evaluates one *data* request (reads and inserts) against this
     /// tenant. Admin requests (tenant ops, metrics, shutdown) are the
     /// server's business and answer `Err` here.
-    pub(crate) fn handle(&self, req: &Request) -> Response {
+    pub fn handle(&self, req: &Request) -> Response {
         match req {
             Request::Connected(u, v) => match self.snapshot().connected(*u, *v) {
                 Some(b) => Response::Connected(b),
@@ -259,7 +279,7 @@ impl Engine {
 
     /// Builds this tenant's stats answer; `tenants` is the registry
     /// size (the engine cannot see its siblings).
-    pub(crate) fn stats_report(&self, tenants: u64) -> StatsReport {
+    pub fn stats_report(&self, tenants: u64) -> StatsReport {
         let snap = self.snapshot();
         StatsReport {
             epoch: snap.epoch,
@@ -281,7 +301,7 @@ impl Engine {
 
     /// Waits until every queued edge has been applied and published (or
     /// `timeout` elapses). Returns whether the queue fully drained.
-    pub(crate) fn flush(&self, timeout: Duration) -> bool {
+    pub fn flush(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
             if self.shared.ingest.depth() == 0 && !self.shared.stats.is_applying() {
@@ -298,7 +318,7 @@ impl Engine {
     /// joins it. Idempotent; callable through a shared reference, which
     /// is what lets the registry drop a tenant without tearing down the
     /// server.
-    pub(crate) fn join_writer(&self) {
+    pub fn join_writer(&self) {
         self.shared.ingest.shutdown();
         let handle = self.writer.lock().unwrap_or_else(|e| e.into_inner()).take();
         if let Some(h) = handle {

@@ -15,9 +15,11 @@
 //!   `Arc` swap; the read path is two array loads.
 //! - [`ingest`] — size/deadline-coalesced insert batches (the ConnectIt
 //!   batch-dynamic pattern) feeding a single writer per tenant.
-//! - `engine` *(internal)* — one engine per tenant (snapshot store,
-//!   ingest queue, writer thread, WAL) plus the registry that routes to
-//!   them and the process-wide admission backstop.
+//! - `engine` — one engine per tenant (snapshot store, ingest queue,
+//!   writer thread, WAL) plus the registry that routes to them and the
+//!   process-wide admission backstop. The [`Engine`] type itself is
+//!   re-exported so embedders (the shard router) can run engines
+//!   without a TCP front-end via [`Engine::standalone`].
 //! - [`server`] — tenant lifecycle, the transport-independent request
 //!   evaluator, and a worker-pool TCP front-end over `std::net`.
 //! - [`client`] — the typed protocol client: connect / per-request
@@ -72,6 +74,7 @@ pub mod wal;
 
 pub use client::{Client, ClientError, RetryPolicy};
 pub use config::{ServeConfig, ServeConfigBuilder, ServeConfigError};
+pub use engine::Engine;
 pub use events::{Dump, DumpEvent, EventKind};
 pub use faults::{FaultConfig, FaultPlan, InjectedCounts, WalFault};
 pub use http::MetricsHttp;

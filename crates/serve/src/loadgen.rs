@@ -80,6 +80,17 @@ pub struct LoadgenConfig {
     /// [`Client`]s with it; the in-process test transport routes to
     /// `default` regardless.
     pub tenant: Option<TenantId>,
+    /// Shard-locality for writes: when `> 1`, the vertex space is
+    /// treated as that many contiguous `Block` slices
+    /// (`distrib::VertexPartition`) and a `local_pct` share of insert
+    /// batches draw both endpoints inside one randomly chosen slice —
+    /// the workload shape a sharded router rewards. `0` or `1` keeps
+    /// writes uniform over the whole vertex space.
+    pub write_shards: usize,
+    /// Percentage (0–100) of insert batches that are shard-local when
+    /// `write_shards > 1`; the remainder stay uniform and so are mostly
+    /// cut edges.
+    pub local_pct: u32,
 }
 
 impl Default for LoadgenConfig {
@@ -93,6 +104,8 @@ impl Default for LoadgenConfig {
             max_retries: 3,
             retry_backoff: Duration::from_micros(500),
             tenant: None,
+            write_shards: 0,
+            local_pct: 90,
         }
     }
 }
@@ -352,6 +365,21 @@ where
         ..Default::default()
     };
     let n = vertices as Node;
+    // Contiguous Block slices for shard-local writes; computed once per
+    // connection (the partition itself is O(n) to build).
+    let slices: Vec<std::ops::Range<Node>> = if cfg.write_shards > 1 {
+        let part = afforest_distrib::VertexPartition::new(
+            vertices,
+            cfg.write_shards,
+            afforest_distrib::PartitionKind::Block,
+        );
+        (0..cfg.write_shards)
+            .filter_map(|k| part.rank_range(k))
+            .filter(|r| !r.is_empty())
+            .collect()
+    } else {
+        Vec::new()
+    };
     for _ in 0..share {
         let is_read = rng.random_bool(f64::from(cfg.read_pct.min(100)) / 100.0);
         let req = if is_read {
@@ -362,9 +390,22 @@ where
                 _ => Request::NumComponents,
             }
         } else {
-            let edges = (0..cfg.insert_batch.max(1))
-                .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
-                .collect();
+            let local = !slices.is_empty() && rng.random_range(0u32..100) < cfg.local_pct.min(100);
+            let edges = if local {
+                let slice = slices[rng.random_range(0..slices.len())].clone();
+                (0..cfg.insert_batch.max(1))
+                    .map(|_| {
+                        (
+                            rng.random_range(slice.clone()),
+                            rng.random_range(slice.clone()),
+                        )
+                    })
+                    .collect()
+            } else {
+                (0..cfg.insert_batch.max(1))
+                    .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+                    .collect()
+            };
             Request::InsertEdges(edges)
         };
         let resp = call_with_retry(cfg, &mut transport, &req, &mut rng, &mut tally, || {
@@ -636,6 +677,74 @@ mod tests {
         assert_eq!(report.requests, 600);
         assert_eq!(report.errors, 0, "{}", report.render());
         assert_eq!(report.gave_up, 0, "{}", report.render());
+    }
+
+    #[test]
+    fn shard_local_writes_stay_inside_one_block() {
+        use crate::protocol::StatsReport;
+        use std::sync::{Arc, Mutex};
+
+        // A transport that records every inserted edge, so the locality
+        // of the generated workload is directly observable.
+        struct Recorder {
+            vertices: u64,
+            edges: Arc<Mutex<Vec<(Node, Node)>>>,
+        }
+        impl Transport for Recorder {
+            fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+                match req {
+                    Request::Stats => Ok(Response::Stats(StatsReport {
+                        epoch: 0,
+                        vertices: self.vertices,
+                        num_components: self.vertices,
+                        edges_ingested: 0,
+                        epochs_published: 0,
+                        queue_depth: 0,
+                        requests_shed: 0,
+                        wal_records: 0,
+                        faults_injected: 0,
+                        tenants: 1,
+                    })),
+                    Request::InsertEdges(es) => {
+                        self.edges.lock().unwrap().extend(es.iter().copied());
+                        Ok(Response::Accepted {
+                            edges: es.len() as u32,
+                        })
+                    }
+                    _ => Ok(Response::NumComponents(self.vertices)),
+                }
+            }
+        }
+
+        let edges = Arc::new(Mutex::new(Vec::new()));
+        let cfg = LoadgenConfig {
+            connections: 2,
+            requests: 200,
+            read_pct: 0,
+            insert_batch: 8,
+            seed: 9,
+            write_shards: 4,
+            local_pct: 100,
+            ..LoadgenConfig::default()
+        };
+        run(&cfg, |_| {
+            Ok(Recorder {
+                vertices: 1_000,
+                edges: Arc::clone(&edges),
+            })
+        })
+        .unwrap();
+
+        // With local_pct=100 every edge must be internal to one of the
+        // four Block slices — the partition's own owner rule agrees.
+        let part = afforest_distrib::VertexPartition::new(
+            1_000,
+            4,
+            afforest_distrib::PartitionKind::Block,
+        );
+        let recorded = edges.lock().unwrap().clone();
+        assert_eq!(recorded.len(), 200 * 8);
+        assert!(recorded.iter().all(|&(u, v)| !part.is_cut(u, v)));
     }
 
     #[test]

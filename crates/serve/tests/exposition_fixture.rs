@@ -10,10 +10,13 @@
 //!   fixture, and the fixture itself still parses with the scrape
 //!   parser.
 //!
+//! The fixture also carries the sharded router's metric set, which this
+//! crate cannot register (serve does not depend on `afforest-shard`), so
+//! the regeneration authority is the shard crate's twin of this test.
 //! Regenerate after adding a metric:
 //!
 //! ```text
-//! UPDATE_FIXTURE=1 cargo test -p afforest-serve --test exposition_fixture
+//! UPDATE_FIXTURE=1 cargo test -p afforest-shard --test exposition_fixture
 //! ```
 //!
 //! Own test file on purpose: the registry is process-global.
@@ -38,14 +41,6 @@ fn every_registered_metric_is_named_in_the_fixture() {
     let live = registry::expose();
 
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/exposition.txt");
-    if std::env::var_os("UPDATE_FIXTURE").is_some() {
-        let header = "# A live scrape of the full serving metric set (see \
-                      tests/exposition_fixture.rs).\n# Regenerate: \
-                      UPDATE_FIXTURE=1 cargo test -p afforest-serve --test exposition_fixture\n";
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, format!("{header}{live}")).unwrap();
-    }
-
     let fixture = std::fs::read_to_string(&path)
         .expect("fixture missing: regenerate with UPDATE_FIXTURE=1 (see module docs)");
     let scrape = registry::parse_exposition(&fixture).expect("fixture parses as exposition");

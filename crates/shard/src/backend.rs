@@ -1,0 +1,39 @@
+//! The router's view of its shard workers.
+//!
+//! The router composes global answers out of per-shard requests; it
+//! does not care whether a shard is an in-process [`Engine`] or a
+//! remote worker reached over the wire protocol. [`ShardBackend`]
+//! abstracts that choice: [`LocalCluster`](crate::LocalCluster) hosts
+//! every shard engine in the router process (one writer thread each),
+//! [`RemoteShards`](crate::RemoteShards) dials N worker processes.
+//!
+//! [`Engine`]: afforest_serve::Engine
+
+use std::time::Duration;
+
+use afforest_serve::{Request, Response};
+
+/// A set of shard workers the router can query.
+///
+/// `call` must answer every *data* request ([`Request::Connected`],
+/// [`Request::Component`], [`Request::ComponentSize`],
+/// [`Request::NumComponents`], [`Request::InsertEdges`]) plus
+/// [`Request::Stats`], all phrased in the shard's **local** vertex
+/// ids. Failures are reported in-band as [`Response::Err`] (or
+/// [`Response::Overloaded`] for backpressure) so the router can relay
+/// them to its client unchanged.
+pub trait ShardBackend: Sync {
+    /// Number of shard workers.
+    fn num_shards(&self) -> usize;
+
+    /// Sends `req` to shard `shard` and returns its answer.
+    fn call(&self, shard: usize, req: &Request) -> Response;
+
+    /// Waits until every shard has applied and published all queued
+    /// edges, or `timeout` elapses. Returns whether all drained.
+    fn flush(&self, timeout: Duration) -> bool;
+
+    /// Asks every shard to stop (joins in-process writers, sends
+    /// `Shutdown` to remote workers). Idempotent.
+    fn shutdown(&self);
+}

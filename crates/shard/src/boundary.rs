@@ -1,0 +1,224 @@
+//! Boundary edge store: the router-side record of cut edges.
+//!
+//! Edges whose endpoints live on two different shards cannot be given
+//! to either shard's engine (each engine only knows its own local
+//! vertex range). The router records them here instead. The store
+//! keeps a *spanning forest* of the cut edges — an edge is stored only
+//! if it merges two components of the union-find maintained over cut
+//! edges alone. A dropped edge is safe to drop: its endpoints are
+//! already connected by stored cut edges, so every composite
+//! connectivity answer derived from the stored set equals the answer
+//! derived from the full set.
+//!
+//! The store carries a monotonically increasing `version` (bumped once
+//! per *stored* edge) which the router uses, together with per-shard
+//! epochs, to key its composite-connectivity cache.
+//!
+//! With [`BoundaryStore::with_log`] every stored edge is also appended
+//! to a log file as an 8-byte little-endian `(u32, u32)` record, and
+//! reloading the store replays the log (truncating a torn tail), so a
+//! router restart does not forget cross-shard connectivity.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use afforest_core::IncrementalCc;
+use afforest_graph::Node;
+
+/// File name of the boundary log inside a router's WAL namespace.
+pub const BOUNDARY_LOG: &str = "boundary.log";
+
+struct BoundaryInner {
+    uf: IncrementalCc,
+    stored: Vec<(Node, Node)>,
+    version: u64,
+    log: Option<fs::File>,
+    log_errors: u64,
+}
+
+/// Thread-safe spanning-forest store for cut edges over the *global*
+/// vertex space.
+pub struct BoundaryStore {
+    vertices: usize,
+    inner: Mutex<BoundaryInner>,
+}
+
+impl BoundaryStore {
+    /// An empty, memory-only store over `n` global vertices.
+    pub fn new(n: usize) -> BoundaryStore {
+        BoundaryStore {
+            vertices: n,
+            inner: Mutex::new(BoundaryInner {
+                uf: IncrementalCc::new(n),
+                stored: Vec::new(),
+                version: 0,
+                log: None,
+                log_errors: 0,
+            }),
+        }
+    }
+
+    /// A store backed by an append-only log at `path`. An existing log
+    /// is replayed (records past a torn 8-byte boundary are discarded
+    /// and the file truncated to the clean prefix); new stored edges
+    /// are appended.
+    pub fn with_log(n: usize, path: &Path) -> io::Result<BoundaryStore> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut uf = IncrementalCc::new(n);
+        let mut stored = Vec::new();
+        let mut version = 0u64;
+        if path.exists() {
+            let bytes = fs::read(path)?;
+            let torn = bytes.len() % 8;
+            for rec in bytes.chunks_exact(8) {
+                let (a, b) = rec.split_at(4);
+                let (Ok(ua), Ok(va)) = (<[u8; 4]>::try_from(a), <[u8; 4]>::try_from(b)) else {
+                    break;
+                };
+                let u = Node::from_le_bytes(ua);
+                let v = Node::from_le_bytes(va);
+                if (u as usize) < n && (v as usize) < n && uf.insert(u, v) {
+                    stored.push((u, v));
+                    version += 1;
+                }
+            }
+            if torn != 0 {
+                let (clean, _) = bytes.split_at(bytes.len() - torn);
+                fs::write(path, clean)?;
+            }
+        }
+        let log = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(BoundaryStore {
+            vertices: n,
+            inner: Mutex::new(BoundaryInner {
+                uf,
+                stored,
+                version,
+                log: Some(log),
+                log_errors: 0,
+            }),
+        })
+    }
+
+    /// Global vertex count the store validates edges against.
+    pub fn vertices(&self) -> usize {
+        self.vertices
+    }
+
+    /// Offers a batch of cut edges. Edges that merge two components of
+    /// the cut-edge forest are stored (and logged, if a log is
+    /// attached); the rest are dropped as redundant. Out-of-range
+    /// endpoints are ignored. Returns how many edges were stored.
+    pub fn observe_batch(&self, edges: &[(Node, Node)]) -> usize {
+        let n = self.vertices as u64;
+        let valid: Vec<(Node, Node)> = edges
+            .iter()
+            .copied()
+            .filter(|&(u, v)| (u as u64) < n && (v as u64) < n)
+            .collect();
+        if valid.is_empty() {
+            return 0;
+        }
+        let mut stored_now = 0usize;
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for (u, v) in valid {
+            if g.uf.insert(u, v) {
+                g.stored.push((u, v));
+                g.version += 1;
+                stored_now += 1;
+                let mut rec = Vec::with_capacity(8);
+                rec.extend_from_slice(&u.to_le_bytes());
+                rec.extend_from_slice(&v.to_le_bytes());
+                if let Some(f) = g.log.as_mut() {
+                    if f.write_all(&rec).is_err() {
+                        g.log_errors += 1;
+                    }
+                }
+            }
+        }
+        stored_now
+    }
+
+    /// The current version and a copy of the stored forest edges,
+    /// read atomically.
+    pub fn snapshot_edges(&self) -> (u64, Vec<(Node, Node)>) {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (g.version, g.stored.clone())
+    }
+
+    /// Number of edges currently stored.
+    pub fn edge_count(&self) -> usize {
+        self.snapshot_edges().1.len()
+    }
+
+    /// Number of failed log appends since the store was opened.
+    pub fn log_write_errors(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .log_errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redundant_cut_edges_are_dropped() {
+        let store = BoundaryStore::new(10);
+        assert_eq!(store.observe_batch(&[(0, 5), (5, 9)]), 2);
+        // (0, 9) closes a cycle in the cut-edge forest: dropped.
+        assert_eq!(store.observe_batch(&[(0, 9)]), 0);
+        let (version, edges) = store.snapshot_edges();
+        assert_eq!(version, 2);
+        assert_eq!(edges, vec![(0, 5), (5, 9)]);
+    }
+
+    #[test]
+    fn out_of_range_endpoints_are_ignored() {
+        let store = BoundaryStore::new(4);
+        assert_eq!(store.observe_batch(&[(0, 99), (1, 2)]), 1);
+        assert_eq!(store.edge_count(), 1);
+    }
+
+    #[test]
+    fn log_roundtrip_preserves_forest() {
+        let dir = std::env::temp_dir().join(format!("afforest-boundary-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join(BOUNDARY_LOG);
+        {
+            let store = BoundaryStore::with_log(10, &path).unwrap();
+            store.observe_batch(&[(0, 5), (5, 9), (0, 9)]);
+        }
+        let store = BoundaryStore::with_log(10, &path).unwrap();
+        let (version, edges) = store.snapshot_edges();
+        assert_eq!(version, 2);
+        assert_eq!(edges, vec![(0, 5), (5, 9)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let dir =
+            std::env::temp_dir().join(format!("afforest-boundary-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join(BOUNDARY_LOG);
+        {
+            let store = BoundaryStore::with_log(10, &path).unwrap();
+            store.observe_batch(&[(0, 5)]);
+        }
+        // Simulate a crash mid-append: 3 garbage bytes past the record.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+        drop(f);
+        let store = BoundaryStore::with_log(10, &path).unwrap();
+        assert_eq!(store.snapshot_edges().1, vec![(0, 5)]);
+        assert_eq!(fs::read(&path).unwrap().len(), 8);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

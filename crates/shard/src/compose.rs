@@ -1,0 +1,153 @@
+//! Composite connectivity: merging per-shard forests with the
+//! boundary graph.
+//!
+//! Each shard engine maintains a spanning forest over its own slice,
+//! so a shard answers `Component(local)` with the *component-minimum
+//! local id*. Cross-shard connectivity is decided by a small auxiliary
+//! structure built here:
+//!
+//! 1. Every endpoint of a stored cut edge is resolved to its
+//!    **representative** `(shard, local component label)`.
+//! 2. A union-find over the distinct representatives is seeded with
+//!    one union per stored cut edge, producing equivalence **classes**
+//!    of local components that are glued together across shards.
+//! 3. A class's global label is the minimum `to_global(shard, label)`
+//!    over its member representatives, and its size is the sum of the
+//!    members' `ComponentSize` answers. Because the block partition is
+//!    order-preserving, this equals the component-minimum global label
+//!    a single unsharded engine would report.
+//!
+//! Vertices whose local component touches no cut edge never appear in
+//! the class map; their shard's own answer is already global truth.
+//! The global component count follows by inclusion–exclusion:
+//! `sum(local components) - (representatives - classes)`.
+
+use std::collections::HashMap;
+
+use afforest_core::IncrementalCc;
+use afforest_graph::Node;
+use afforest_serve::{Request, Response, StatsReport};
+
+use crate::backend::ShardBackend;
+use crate::plan::ShardPlan;
+
+/// One equivalence class of cross-shard-glued local components.
+#[derive(Debug, Clone, Copy)]
+pub struct CompositeClass {
+    /// Global component label: the minimum global id over members.
+    pub label: Node,
+    /// Total vertices across member local components.
+    pub size: u64,
+}
+
+/// The merged view of per-shard forests and the boundary graph,
+/// cached by the router and keyed on (boundary version, shard epochs).
+#[derive(Debug)]
+pub struct Composite {
+    /// Boundary store version this view was built from.
+    pub boundary_version: u64,
+    /// Published epoch of each shard at build time.
+    pub epochs: Vec<u64>,
+    /// Global component count.
+    pub num_components: u64,
+    rep_class: HashMap<(usize, Node), usize>,
+    classes: Vec<CompositeClass>,
+}
+
+impl Composite {
+    /// The class containing local component `rep = (shard, label)`,
+    /// or `None` when that component touches no cut edge.
+    pub fn class_of(&self, rep: (usize, Node)) -> Option<usize> {
+        self.rep_class.get(&rep).copied()
+    }
+
+    /// Class by index.
+    pub fn class(&self, idx: usize) -> Option<&CompositeClass> {
+        self.classes.get(idx)
+    }
+}
+
+/// Builds a [`Composite`] by querying the shards for the component
+/// label and size of every cut-edge endpoint. `cut` is the boundary
+/// store's forest snapshot at `boundary_version`; `stats` the
+/// per-shard stats sweep whose epochs key the cache.
+pub fn build<B: ShardBackend + ?Sized>(
+    plan: &ShardPlan,
+    backend: &B,
+    boundary_version: u64,
+    cut: &[(Node, Node)],
+    stats: &[StatsReport],
+) -> Result<Composite, String> {
+    // Resolve each distinct endpoint to its (shard, local label) rep.
+    let mut rep_of: HashMap<Node, (usize, Node)> = HashMap::new();
+    for &(u, v) in cut {
+        for w in [u, v] {
+            if rep_of.contains_key(&w) {
+                continue;
+            }
+            let s = plan.owner(w);
+            match backend.call(s, &Request::Component(plan.to_local(w))) {
+                Response::Component(label) => {
+                    rep_of.insert(w, (s, label));
+                }
+                other => {
+                    return Err(format!("shard {s} component query answered {other:?}"));
+                }
+            }
+        }
+    }
+
+    // Distinct reps, their sizes, and a union-find over them.
+    let mut rep_idx: HashMap<(usize, Node), usize> = HashMap::new();
+    let mut reps: Vec<(usize, Node)> = Vec::new();
+    for rep in rep_of.values() {
+        if !rep_idx.contains_key(rep) {
+            rep_idx.insert(*rep, reps.len());
+            reps.push(*rep);
+        }
+    }
+    let mut sizes = Vec::with_capacity(reps.len());
+    for &(s, label) in &reps {
+        match backend.call(s, &Request::ComponentSize(label)) {
+            Response::ComponentSize(sz) => sizes.push(sz),
+            other => {
+                return Err(format!("shard {s} size query answered {other:?}"));
+            }
+        }
+    }
+    let mut uf = IncrementalCc::new(reps.len());
+    for &(u, v) in cut {
+        uf.insert(rep_idx[&rep_of[&u]] as Node, rep_idx[&rep_of[&v]] as Node);
+    }
+
+    // Collapse union-find roots into classes with global labels.
+    let labels = uf.labels();
+    let mut class_of_label: HashMap<Node, usize> = HashMap::new();
+    let mut classes: Vec<CompositeClass> = Vec::new();
+    let mut rep_class = HashMap::new();
+    for (i, rep) in reps.iter().enumerate() {
+        let idx = *class_of_label
+            .entry(labels.label(i as Node))
+            .or_insert_with(|| {
+                classes.push(CompositeClass {
+                    label: Node::MAX,
+                    size: 0,
+                });
+                classes.len() - 1
+            });
+        let global = plan.to_global(rep.0, rep.1);
+        classes[idx].label = classes[idx].label.min(global);
+        classes[idx].size += sizes[i];
+        rep_class.insert(*rep, idx);
+    }
+
+    let total_local: u64 = stats.iter().map(|s| s.num_components).sum();
+    let merged = reps.len() as u64 - classes.len() as u64;
+    Ok(Composite {
+        boundary_version,
+        epochs: stats.iter().map(|s| s.epoch).collect(),
+        num_components: total_local - merged,
+        rep_class,
+        classes,
+    })
+}

@@ -1,0 +1,55 @@
+//! Sharded scale-out serving for the Afforest connectivity service.
+//!
+//! The [serve](afforest_serve) crate runs one engine per tenant: one
+//! snapshot chain, one ingest queue, one writer thread, over the whole
+//! vertex space. This crate splits a single logical graph across **N
+//! shard workers** instead — each an independent engine owning a
+//! contiguous slice of the vertex space — and puts a **router** in
+//! front that speaks the existing wire protocol, so clients cannot
+//! tell a sharded deployment from a standalone server.
+//!
+//! Module map:
+//!
+//! - [`plan`] — the [`ShardPlan`]: block partition, global/local id
+//!   translation, batch splitting.
+//! - [`boundary`] — the [`BoundaryStore`]: a persistent spanning
+//!   forest of the *cut* edges (endpoints on two shards), the only
+//!   state the router owns itself.
+//! - [`compose`] — merging per-shard forest labels with the boundary
+//!   graph into global `Connected` / `Component` / `NumComponents`
+//!   answers.
+//! - [`backend`] — the [`ShardBackend`] trait; [`cluster`] hosts every
+//!   shard engine in-process ([`LocalCluster`]), [`remote`] dials
+//!   worker processes over the wire ([`RemoteShards`]).
+//! - [`router`] — the [`Router`]: request dispatch, the composite
+//!   cache, and the TCP front-end.
+//! - [`metrics`] — `{shard="k"}`-labelled series merged into the
+//!   process-wide `/metrics` exposition.
+//!
+//! Consistency model: shards publish epoch snapshots independently, so
+//! a read may observe shard A's newest epoch next to an older epoch of
+//! shard B. Answers are eventually consistent exactly like a single
+//! engine's — flush all shards and the composite equals what one
+//! unsharded engine would say (property-tested against an
+//! [`IncrementalCc`](afforest_core::IncrementalCc) oracle).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod backend;
+pub mod boundary;
+pub mod cluster;
+pub mod compose;
+pub mod metrics;
+pub mod plan;
+pub mod remote;
+pub mod router;
+
+pub use backend::ShardBackend;
+pub use boundary::{BoundaryStore, BOUNDARY_LOG};
+pub use cluster::{shard_tenant_name, LocalCluster};
+pub use compose::{Composite, CompositeClass};
+pub use metrics::{router_metrics, RouterMetrics, ShardSeries};
+pub use plan::{RoutedEdges, ShardPlan};
+pub use remote::RemoteShards;
+pub use router::Router;

@@ -1,0 +1,65 @@
+//! Router metric handles.
+//!
+//! Per-shard series are labelled `{shard="<k>"}` on shared metric
+//! names, so one `/metrics` scrape of the router process shows every
+//! shard side by side. All handles are resolved once at router
+//! construction — this both keeps the hot path to plain atomic
+//! operations and guarantees every per-shard series exists in the
+//! exposition before the first request arrives (the sharded smoke
+//! scrapes for them immediately after startup).
+
+use afforest_obs::registry::{self, Counter, Gauge};
+
+/// Labelled handles for one shard's series.
+pub struct ShardSeries {
+    /// Requests the router sent to this shard.
+    pub requests: &'static Counter,
+    /// Internal edges routed into this shard's ingest queue.
+    pub edges_routed: &'static Counter,
+    /// The shard's last observed published epoch.
+    pub epoch: &'static Gauge,
+    /// The shard's last observed ingest queue depth.
+    pub queue_depth: &'static Gauge,
+}
+
+/// All router metric handles: global counters plus one labelled
+/// [`ShardSeries`] per shard.
+pub struct RouterMetrics {
+    /// Requests the router accepted from clients.
+    pub requests: &'static Counter,
+    /// Cut edges routed to the boundary store (before dedup).
+    pub cut_edges: &'static Counter,
+    /// Composite connectivity rebuilds (cache misses).
+    pub composite_rebuilds: &'static Counter,
+    /// Edges currently stored in the boundary forest.
+    pub boundary_edges: &'static Gauge,
+    /// Per-shard labelled series, indexed by shard id.
+    pub shards: Vec<ShardSeries>,
+}
+
+/// Registers (or re-resolves) every router series for `num_shards`
+/// shards.
+pub fn router_metrics(num_shards: usize) -> RouterMetrics {
+    let shards = (0..num_shards)
+        .map(|k| {
+            let k = k.to_string();
+            ShardSeries {
+                requests: registry::labeled_counter("afforest_shard_requests_total", "shard", &k),
+                edges_routed: registry::labeled_counter(
+                    "afforest_shard_edges_routed_total",
+                    "shard",
+                    &k,
+                ),
+                epoch: registry::labeled_gauge("afforest_shard_epoch", "shard", &k),
+                queue_depth: registry::labeled_gauge("afforest_shard_queue_depth", "shard", &k),
+            }
+        })
+        .collect();
+    RouterMetrics {
+        requests: registry::counter("afforest_router_requests_total"),
+        cut_edges: registry::counter("afforest_router_cut_edges_total"),
+        composite_rebuilds: registry::counter("afforest_router_composite_rebuilds_total"),
+        boundary_edges: registry::gauge("afforest_boundary_edges"),
+        shards,
+    }
+}

@@ -1,0 +1,95 @@
+//! Remote shard workers reached over the wire protocol.
+//!
+//! Each shard is a separate `afforest serve` process (typically
+//! started with `--vertices N_k` for an empty slice plus a WAL
+//! directory). The router holds one [`Client`] per shard and relays
+//! shard-local requests verbatim — the workers speak the same protocol
+//! as a standalone server, so nothing shard-specific runs on them.
+//!
+//! Calls go through [`Client::call_retrying`], which reconnects and
+//! retries on disconnects, timeouts and `Overloaded` answers. That is
+//! what makes the cluster survive a SIGKILLed worker: once the worker
+//! is restarted (recovering its state from its WAL namespace), the
+//! router's next retry lands on the fresh process.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use afforest_serve::{Client, Request, Response, RetryPolicy, WireError};
+
+use crate::backend::ShardBackend;
+
+/// One wire client per shard worker, each behind its own mutex so
+/// router connection threads can fan out to distinct shards in
+/// parallel.
+pub struct RemoteShards {
+    clients: Vec<Mutex<Client>>,
+}
+
+impl RemoteShards {
+    /// Dials one worker per address. `retry` governs reconnect/retry
+    /// behaviour for every subsequent call; `read_timeout` bounds how
+    /// long a single answer may take (None blocks forever, which a
+    /// killed worker would inherit — prefer a bound).
+    pub fn connect(
+        addrs: &[String],
+        retry: RetryPolicy,
+        read_timeout: Option<Duration>,
+    ) -> Result<RemoteShards, WireError> {
+        let mut clients = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let client = Client::connect(addr.as_str())?
+                .with_read_timeout(read_timeout)?
+                .with_retry(retry);
+            clients.push(Mutex::new(client));
+        }
+        Ok(RemoteShards { clients })
+    }
+}
+
+impl ShardBackend for RemoteShards {
+    fn num_shards(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn call(&self, shard: usize, req: &Request) -> Response {
+        if shard >= self.clients.len() {
+            return Response::Err(format!("no such shard {shard}"));
+        }
+        let outcome = self.clients[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .call_retrying(req);
+        match outcome {
+            Ok(Some(resp)) => resp,
+            // Retries exhausted while the shard kept shedding.
+            Ok(None) => Response::Overloaded { queue_depth: 0 },
+            Err(e) => Response::Err(format!("shard {shard} unavailable: {e}")),
+        }
+    }
+
+    fn flush(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        for k in 0..self.clients.len() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            let drained = self.clients[k]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .flush(left)
+                .unwrap_or(false);
+            if !drained {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn shutdown(&self) {
+        for c in &self.clients {
+            let _ = c
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .call(&Request::Shutdown);
+        }
+    }
+}

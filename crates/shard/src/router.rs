@@ -1,0 +1,632 @@
+//! The router front-end: one protocol endpoint over N shards.
+//!
+//! The router speaks the same wire protocol (v1 and v2) as a
+//! standalone server, so existing clients and the load generator work
+//! against it unchanged. Reads are answered by composing per-shard
+//! answers with the boundary graph (see [`crate::compose`]);
+//! `InsertEdges` batches are split by the plan — internal edges go to
+//! the owning shard's ingest queue in local ids, cut edges go to the
+//! boundary store.
+//!
+//! Failure relay: a shard answering `Overloaded` or `Err` aborts the
+//! batch and relays the answer to the client verbatim. A client that
+//! retries the whole batch is safe — edge insertion is idempotent on a
+//! union-find, and the boundary store dedups cut edges — so partial
+//! delivery before the error cannot corrupt connectivity.
+//!
+//! The composite view is cached and keyed on (boundary version, shard
+//! epoch vector): any shard publishing a new epoch, or a new cut edge
+//! being stored, invalidates it. Answers are therefore eventually
+//! consistent with the same lag a single engine's epoch snapshots
+//! already have.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use afforest_graph::Node;
+use afforest_serve::protocol::{
+    decode_request_any, encode_response, encode_response_v2, read_frame, write_frame,
+};
+use afforest_serve::{Request, Response, ServeError, StatsReport, WireError, WireVersion};
+
+use crate::backend::ShardBackend;
+use crate::boundary::BoundaryStore;
+use crate::compose::{self, Composite};
+use crate::metrics::{router_metrics, RouterMetrics};
+use crate::plan::ShardPlan;
+
+/// How long a blocked worker sleeps between accept attempts / shutdown
+/// checks.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Per-connection read timeout, so a parked reader re-checks the
+/// shutdown flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// A protocol-compatible front-end routing requests across shards.
+pub struct Router<B: ShardBackend> {
+    plan: ShardPlan,
+    boundary: BoundaryStore,
+    backend: B,
+    cache: Mutex<Option<Arc<Composite>>>,
+    metrics: RouterMetrics,
+    shutdown: AtomicBool,
+    read_deadline: Option<Duration>,
+}
+
+impl<B: ShardBackend> Router<B> {
+    /// Builds a router over `backend`'s shards. Registers every router
+    /// and per-shard metric series immediately so a `/metrics` scrape
+    /// sees them before the first request. `read_deadline` bounds how
+    /// long an idle connection is kept (None keeps it forever).
+    pub fn new(
+        plan: ShardPlan,
+        boundary: BoundaryStore,
+        backend: B,
+        read_deadline: Option<Duration>,
+    ) -> Router<B> {
+        let metrics = router_metrics(plan.num_shards());
+        metrics.boundary_edges.set(boundary.edge_count() as u64);
+        Router {
+            plan,
+            boundary,
+            backend,
+            cache: Mutex::new(None),
+            metrics,
+            shutdown: AtomicBool::new(false),
+            read_deadline,
+        }
+    }
+
+    /// The sharding plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The shard backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The boundary edge store.
+    pub fn boundary(&self) -> &BoundaryStore {
+        &self.boundary
+    }
+
+    /// Whether a `Shutdown` request has been received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Requests shutdown (same effect as a `Shutdown` frame).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits until every shard drained its ingest queue.
+    pub fn flush(&self, timeout: Duration) -> bool {
+        self.backend.flush(timeout)
+    }
+
+    /// Winds the shard workers down (joins in-process writers, sends
+    /// `Shutdown` to remote ones).
+    pub fn shutdown_backend(&self) {
+        self.backend.shutdown();
+    }
+
+    /// Evaluates one request. Never panics; unanswerable requests
+    /// become [`Response::Err`]. Tenant administration is refused —
+    /// the shard set is fixed at startup.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.metrics.requests.inc();
+        match req {
+            Request::Connected(u, v) => self.connected(*u, *v),
+            Request::Component(u) => self.component(*u),
+            Request::ComponentSize(u) => self.component_size(*u),
+            Request::NumComponents => self.num_components(),
+            Request::InsertEdges(edges) => self.insert(edges),
+            Request::Stats => self.stats(),
+            Request::Metrics => Response::Metrics(afforest_obs::registry::expose()),
+            Request::ListTenants => Response::Tenants(
+                (0..self.backend.num_shards())
+                    .map(crate::cluster::shard_tenant_name)
+                    .collect(),
+            ),
+            Request::Shutdown => {
+                self.request_shutdown();
+                Response::Bye
+            }
+            Request::CreateTenant { .. } | Request::DropTenant { .. } => Response::Err(
+                "tenant administration is not available through the shard router".to_string(),
+            ),
+        }
+    }
+
+    fn check_range(&self, v: Node) -> Option<Response> {
+        if (v as usize) < self.plan.vertices() {
+            None
+        } else {
+            Some(Response::Err(format!(
+                "vertex {v} out of range for {} vertices",
+                self.plan.vertices()
+            )))
+        }
+    }
+
+    /// Resolves global vertex `v` to its representative: the owning
+    /// shard and the local component label there.
+    fn local_component(&self, v: Node) -> Result<(usize, Node), Response> {
+        let s = self.plan.owner(v);
+        if let Some(ms) = self.metrics.shards.get(s) {
+            ms.requests.inc();
+        }
+        match self
+            .backend
+            .call(s, &Request::Component(self.plan.to_local(v)))
+        {
+            Response::Component(label) => Ok((s, label)),
+            Response::Err(e) => Err(Response::Err(e)),
+            other => Err(Response::Err(format!(
+                "shard {s} answered {other:?} to a component query"
+            ))),
+        }
+    }
+
+    fn connected(&self, u: Node, v: Node) -> Response {
+        if let Some(e) = self.check_range(u).or_else(|| self.check_range(v)) {
+            return e;
+        }
+        let ru = match self.local_component(u) {
+            Ok(r) => r,
+            Err(e) => return e,
+        };
+        let rv = match self.local_component(v) {
+            Ok(r) => r,
+            Err(e) => return e,
+        };
+        if ru == rv {
+            return Response::Connected(true);
+        }
+        let comp = match self.composite() {
+            Ok(c) => c,
+            Err(e) => return e,
+        };
+        match (comp.class_of(ru), comp.class_of(rv)) {
+            (Some(a), Some(b)) => Response::Connected(a == b),
+            // A component no cut edge touches is connected to nothing
+            // outside its shard.
+            _ => Response::Connected(false),
+        }
+    }
+
+    fn component(&self, u: Node) -> Response {
+        if let Some(e) = self.check_range(u) {
+            return e;
+        }
+        let rep = match self.local_component(u) {
+            Ok(r) => r,
+            Err(e) => return e,
+        };
+        let comp = match self.composite() {
+            Ok(c) => c,
+            Err(e) => return e,
+        };
+        match comp.class_of(rep).and_then(|i| comp.class(i)) {
+            Some(class) => Response::Component(class.label),
+            None => Response::Component(self.plan.to_global(rep.0, rep.1)),
+        }
+    }
+
+    fn component_size(&self, u: Node) -> Response {
+        if let Some(e) = self.check_range(u) {
+            return e;
+        }
+        let rep = match self.local_component(u) {
+            Ok(r) => r,
+            Err(e) => return e,
+        };
+        let comp = match self.composite() {
+            Ok(c) => c,
+            Err(e) => return e,
+        };
+        if let Some(class) = comp.class_of(rep).and_then(|i| comp.class(i)) {
+            return Response::ComponentSize(class.size);
+        }
+        match self.backend.call(rep.0, &Request::ComponentSize(rep.1)) {
+            Response::ComponentSize(sz) => Response::ComponentSize(sz),
+            Response::Err(e) => Response::Err(e),
+            other => Response::Err(format!(
+                "shard {} answered {other:?} to a size query",
+                rep.0
+            )),
+        }
+    }
+
+    fn num_components(&self) -> Response {
+        match self.composite() {
+            Ok(c) => Response::NumComponents(c.num_components),
+            Err(e) => e,
+        }
+    }
+
+    fn insert(&self, edges: &[(Node, Node)]) -> Response {
+        let n = self.plan.vertices();
+        if let Some(&(u, v)) = edges
+            .iter()
+            .find(|&&(u, v)| u as usize >= n || v as usize >= n)
+        {
+            return Response::Err(format!("edge ({u}, {v}) out of range for {n} vertices"));
+        }
+        let routed = self.plan.split_batch(edges);
+        for (k, batch) in routed.per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let len = batch.len() as u64;
+            match self.backend.call(k, &Request::InsertEdges(batch)) {
+                Response::Accepted { .. } => {
+                    if let Some(ms) = self.metrics.shards.get(k) {
+                        ms.requests.inc();
+                        ms.edges_routed.add(len);
+                    }
+                }
+                Response::Overloaded { queue_depth } => {
+                    return Response::Overloaded { queue_depth };
+                }
+                Response::Err(e) => return Response::Err(e),
+                other => {
+                    return Response::Err(format!("shard {k} answered {other:?} to an insert"));
+                }
+            }
+        }
+        if !routed.cut.is_empty() {
+            self.metrics.cut_edges.add(routed.cut.len() as u64);
+            self.boundary.observe_batch(&routed.cut);
+            self.metrics
+                .boundary_edges
+                .set(self.boundary.edge_count() as u64);
+        }
+        Response::Accepted {
+            edges: edges.len() as u32,
+        }
+    }
+
+    fn stats(&self) -> Response {
+        let stats = match self.sweep_stats() {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let num_components = match self.composite() {
+            Ok(c) => c.num_components,
+            Err(e) => return e,
+        };
+        let mut agg = StatsReport {
+            epoch: 0,
+            vertices: self.plan.vertices() as u64,
+            num_components,
+            edges_ingested: 0,
+            epochs_published: 0,
+            queue_depth: 0,
+            requests_shed: 0,
+            wal_records: 0,
+            faults_injected: 0,
+            tenants: self.backend.num_shards() as u64,
+        };
+        for s in &stats {
+            agg.epoch = agg.epoch.max(s.epoch);
+            agg.edges_ingested += s.edges_ingested;
+            agg.epochs_published += s.epochs_published;
+            agg.queue_depth += s.queue_depth;
+            agg.requests_shed += s.requests_shed;
+            agg.wal_records += s.wal_records;
+            agg.faults_injected += s.faults_injected;
+        }
+        Response::Stats(agg)
+    }
+
+    /// Queries every shard's stats, refreshing the per-shard epoch and
+    /// queue-depth gauges along the way.
+    fn sweep_stats(&self) -> Result<Vec<StatsReport>, Response> {
+        let mut out = Vec::with_capacity(self.backend.num_shards());
+        for k in 0..self.backend.num_shards() {
+            match self.backend.call(k, &Request::Stats) {
+                Response::Stats(s) => {
+                    if let Some(ms) = self.metrics.shards.get(k) {
+                        ms.epoch.set(s.epoch);
+                        ms.queue_depth.set(s.queue_depth);
+                    }
+                    out.push(s);
+                }
+                Response::Err(e) => return Err(Response::Err(e)),
+                other => {
+                    return Err(Response::Err(format!(
+                        "shard {k} answered {other:?} to a stats query"
+                    )));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The composite view for the current (boundary version, epoch
+    /// vector), rebuilt on cache miss.
+    fn composite(&self) -> Result<Arc<Composite>, Response> {
+        let (version, cut) = self.boundary.snapshot_edges();
+        let stats = self.sweep_stats()?;
+        let epochs: Vec<u64> = stats.iter().map(|s| s.epoch).collect();
+        if let Some(c) = self.cached() {
+            if c.boundary_version == version && c.epochs == epochs {
+                return Ok(c);
+            }
+        }
+        let built = compose::build(&self.plan, &self.backend, version, &cut, &stats)
+            .map_err(Response::Err)?;
+        self.metrics.composite_rebuilds.inc();
+        let built = Arc::new(built);
+        self.store_cache(Arc::clone(&built));
+        Ok(built)
+    }
+
+    fn cached(&self) -> Option<Arc<Composite>> {
+        let g = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        g.clone()
+    }
+
+    fn store_cache(&self, c: Arc<Composite>) {
+        let mut g = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        *g = Some(c);
+    }
+
+    /// Serves `listener` with a pool of `workers` accept threads until
+    /// a `Shutdown` request arrives. Mirrors the standalone server's
+    /// TCP front-end (same polling accept, same per-version answers).
+    pub fn serve_tcp(&self, listener: TcpListener, workers: usize) -> Result<(), ServeError> {
+        listener.set_nonblocking(true)?;
+        let mut spawn_failed = false;
+        thread::scope(|s| {
+            for i in 0..workers.max(1) {
+                let listener = &listener;
+                let spawned = thread::Builder::new()
+                    .name(format!("afforest-router-worker-{i}"))
+                    .spawn_scoped(s, move || self.accept_loop(listener));
+                if spawned.is_err() {
+                    spawn_failed = true;
+                    self.request_shutdown();
+                    break;
+                }
+            }
+        });
+        if spawn_failed {
+            return Err(ServeError::Spawn {
+                what: "router worker",
+            });
+        }
+        Ok(())
+    }
+
+    fn accept_loop(&self, listener: &TcpListener) {
+        while !self.shutdown_requested() {
+            match listener.accept() {
+                Ok((stream, _peer)) => self.serve_connection(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                Err(_) => thread::sleep(ACCEPT_POLL),
+            }
+        }
+    }
+
+    /// Runs one connection's request/response loop until the peer
+    /// closes, the stream desynchronizes, or shutdown is requested.
+    /// Each frame is answered in the wire version it arrived in.
+    fn serve_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        let _ = stream.set_nodelay(true);
+        let mut last_activity = Instant::now();
+        while !self.shutdown_requested() {
+            let payload = match read_frame(&mut stream) {
+                Ok(Some(payload)) => payload,
+                Ok(None) => return,
+                Err(WireError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if let Some(deadline) = self.read_deadline {
+                        if last_activity.elapsed() >= deadline {
+                            return;
+                        }
+                    }
+                    continue;
+                }
+                Err(WireError::Io(_)) => return,
+                // Unframeable bytes desynchronize the stream: report,
+                // then drop the connection.
+                Err(WireError::Frame(e)) => {
+                    let err = Response::Err(e.to_string());
+                    let _ = write_frame(&mut stream, &encode_response(&err));
+                    return;
+                }
+            };
+            last_activity = Instant::now();
+            // The router has exactly one logical tenant namespace; the
+            // v2 tenant field is accepted and ignored so multi-tenant
+            // clients can point at a router unchanged.
+            let (encoded, done) = match decode_request_any(&payload) {
+                Ok((version, _tenant, req)) => {
+                    let resp = self.handle(&req);
+                    let done = matches!(resp, Response::Bye);
+                    let encoded = match version {
+                        WireVersion::V1 => encode_response(&resp),
+                        WireVersion::V2 => encode_response_v2(&resp),
+                    };
+                    (encoded, done)
+                }
+                Err(e) => (encode_response(&Response::Err(e.to_string())), false),
+            };
+            if write_frame(&mut stream, &encoded).is_err() {
+                return;
+            }
+            if done {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::LocalCluster;
+    use afforest_serve::ServeConfig;
+
+    fn router(n: usize, shards: usize) -> Router<LocalCluster> {
+        let plan = ShardPlan::new(n, shards);
+        let config = ServeConfig::builder().build().unwrap();
+        let cluster = LocalCluster::new(&plan, &[], &config).unwrap();
+        Router::new(plan, BoundaryStore::new(n), cluster, None)
+    }
+
+    fn flushed(r: &Router<LocalCluster>) {
+        assert!(r.flush(Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn internal_edges_reach_their_shard() {
+        let r = router(8, 2);
+        assert_eq!(
+            r.handle(&Request::InsertEdges(vec![(0, 1), (4, 5)])),
+            Response::Accepted { edges: 2 }
+        );
+        flushed(&r);
+        assert_eq!(
+            r.handle(&Request::Connected(0, 1)),
+            Response::Connected(true)
+        );
+        assert_eq!(
+            r.handle(&Request::Connected(4, 5)),
+            Response::Connected(true)
+        );
+        assert_eq!(
+            r.handle(&Request::Connected(0, 4)),
+            Response::Connected(false)
+        );
+        assert_eq!(
+            r.handle(&Request::NumComponents),
+            Response::NumComponents(6)
+        );
+        r.shutdown_backend();
+    }
+
+    #[test]
+    fn cut_edges_connect_across_shards() {
+        let r = router(8, 2);
+        r.handle(&Request::InsertEdges(vec![(0, 1), (4, 5), (1, 4)]));
+        flushed(&r);
+        assert_eq!(
+            r.handle(&Request::Connected(0, 5)),
+            Response::Connected(true)
+        );
+        assert_eq!(
+            r.handle(&Request::NumComponents),
+            Response::NumComponents(5)
+        );
+        // Global label of the glued component is the global minimum, 0.
+        assert_eq!(r.handle(&Request::Component(5)), Response::Component(0));
+        assert_eq!(
+            r.handle(&Request::ComponentSize(5)),
+            Response::ComponentSize(4)
+        );
+        assert_eq!(r.boundary().edge_count(), 1);
+        r.shutdown_backend();
+    }
+
+    #[test]
+    fn redundant_cut_edges_do_not_grow_the_boundary() {
+        let r = router(8, 4);
+        // 0|1 cut, then a parallel path making (1, 2) redundant… but
+        // only after (0,2),(0,1) are stored.
+        r.handle(&Request::InsertEdges(vec![(0, 2), (0, 1)]));
+        r.handle(&Request::InsertEdges(vec![(1, 2)]));
+        flushed(&r);
+        assert_eq!(r.boundary().edge_count(), 2);
+        assert_eq!(
+            r.handle(&Request::Connected(0, 2)),
+            Response::Connected(true)
+        );
+        r.shutdown_backend();
+    }
+
+    #[test]
+    fn out_of_range_answers_err() {
+        let r = router(4, 2);
+        for req in [
+            Request::Connected(0, 9),
+            Request::Component(4),
+            Request::ComponentSize(u32::MAX),
+            Request::InsertEdges(vec![(0, 4)]),
+        ] {
+            match r.handle(&req) {
+                Response::Err(msg) => assert!(msg.contains("out of range"), "{msg}"),
+                other => panic!("{req:?} answered {other:?}"),
+            }
+        }
+        r.shutdown_backend();
+    }
+
+    #[test]
+    fn stats_aggregates_all_shards() {
+        let r = router(12, 3);
+        r.handle(&Request::InsertEdges(vec![(0, 1), (4, 5), (8, 9), (3, 4)]));
+        flushed(&r);
+        match r.handle(&Request::Stats) {
+            Response::Stats(s) => {
+                assert_eq!(s.vertices, 12);
+                assert_eq!(s.tenants, 3);
+                // 3 internal edges; the cut edge lives in the boundary.
+                assert_eq!(s.edges_ingested, 3);
+                assert_eq!(s.num_components, 8);
+                assert_eq!(s.queue_depth, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        r.shutdown_backend();
+    }
+
+    #[test]
+    fn tenant_admin_is_refused_and_list_names_shards() {
+        let r = router(4, 2);
+        match r.handle(&Request::CreateTenant {
+            name: afforest_serve::TenantId::new("x").unwrap(),
+            vertices: 4,
+        }) {
+            Response::Err(msg) => assert!(msg.contains("not available"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            r.handle(&Request::ListTenants),
+            Response::Tenants(vec!["shard-0".to_string(), "shard-1".to_string()])
+        );
+        r.shutdown_backend();
+    }
+
+    #[test]
+    fn composite_cache_is_reused_until_invalidated() {
+        let r = router(8, 2);
+        r.handle(&Request::InsertEdges(vec![(1, 4)]));
+        flushed(&r);
+        let _ = r.handle(&Request::NumComponents);
+        let rebuilds = r.metrics.composite_rebuilds.get();
+        let _ = r.handle(&Request::NumComponents);
+        let _ = r.handle(&Request::Connected(0, 7));
+        assert_eq!(r.metrics.composite_rebuilds.get(), rebuilds);
+        // A new cut edge bumps the boundary version: rebuild.
+        r.handle(&Request::InsertEdges(vec![(0, 7)]));
+        flushed(&r);
+        let _ = r.handle(&Request::NumComponents);
+        assert!(r.metrics.composite_rebuilds.get() > rebuilds);
+        r.shutdown_backend();
+    }
+}

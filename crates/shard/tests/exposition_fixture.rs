@@ -1,0 +1,71 @@
+//! Regeneration authority for the exposition fixture
+//! (`crates/serve/tests/fixtures/exposition.txt`).
+//!
+//! The fixture is the reviewed list of every service metric — standalone
+//! *and* sharded — in real exposition text. The serve crate's own
+//! `exposition_fixture` test checks its metric set against the fixture,
+//! but cannot register the router series (serve does not depend on this
+//! crate), so the combined scrape is produced here: this crate sits on
+//! top of both `afforest-serve` and `afforest-obs`, registers the full
+//! standalone set plus the `{shard="k"}`-labelled router series, and is
+//! the only test allowed to rewrite the fixture.
+//!
+//! Regenerate after adding a metric anywhere in the serving stack:
+//!
+//! ```text
+//! UPDATE_FIXTURE=1 cargo test -p afforest-shard --test exposition_fixture
+//! ```
+//!
+//! Own test file on purpose: the registry is process-global.
+
+use afforest_obs::registry;
+use std::path::Path;
+
+#[test]
+fn every_registered_metric_is_named_in_the_fixture() {
+    // The standalone serving metric set, exactly as the serve crate's
+    // fixture test registers it: a sample in each histogram makes the
+    // fixture show bucket/sum/count lines like a real scrape would.
+    let m = afforest_serve::metrics::metrics();
+    for h in m.latency {
+        h.record(1_500);
+    }
+    m.epoch_publish_lag.record(2_000_000);
+    afforest_serve::metrics::tenant_metrics("default");
+    registry::counter("afforest_client_retries_total").inc();
+    // The sharded layer on top: router globals plus the per-shard
+    // labelled families for a two-shard deployment.
+    afforest_shard::metrics::router_metrics(2);
+    let live = registry::expose();
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../serve/tests/fixtures/exposition.txt");
+    if std::env::var_os("UPDATE_FIXTURE").is_some() {
+        let header = "# A live scrape of the full serving metric set, standalone + sharded\n\
+                      # (see crates/shard/tests/exposition_fixture.rs).\n# Regenerate: \
+                      UPDATE_FIXTURE=1 cargo test -p afforest-shard --test exposition_fixture\n";
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, format!("{header}{live}")).unwrap();
+    }
+
+    let fixture = std::fs::read_to_string(&path)
+        .expect("fixture missing: regenerate with UPDATE_FIXTURE=1 (see module docs)");
+    let scrape = registry::parse_exposition(&fixture).expect("fixture parses as exposition");
+    assert!(!scrape.values.is_empty() && !scrape.histograms.is_empty());
+
+    let fixture_names: Vec<&str> = fixture
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    for name in live
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+    {
+        assert!(
+            fixture_names.contains(&name),
+            "{name} is registered but missing from the fixture; regenerate \
+             with UPDATE_FIXTURE=1 (see module docs)"
+        );
+    }
+}

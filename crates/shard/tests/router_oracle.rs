@@ -1,0 +1,121 @@
+//! Satellite: the router's answers over random interleaved ingest
+//! across shards must match a single-engine `IncrementalCc` oracle —
+//! including queries that straddle a just-applied cross-shard edge.
+
+use std::time::Duration;
+
+use afforest_core::IncrementalCc;
+use afforest_graph::Node;
+use afforest_serve::{Request, Response, ServeConfig};
+use afforest_shard::{BoundaryStore, LocalCluster, Router, ShardPlan};
+use proptest::prelude::*;
+
+fn router(n: usize, shards: usize) -> Router<LocalCluster> {
+    let plan = ShardPlan::new(n, shards);
+    let config = ServeConfig::builder().build().unwrap();
+    let cluster = LocalCluster::new(&plan, &[], &config).unwrap();
+    Router::new(plan, BoundaryStore::new(n), cluster, None)
+}
+
+fn insert_ok(r: &Router<LocalCluster>, batch: &[(Node, Node)]) {
+    // The in-process cluster may shed under a full queue; retry until
+    // the batch lands (idempotent, see router docs).
+    for _ in 0..1000 {
+        match r.handle(&Request::InsertEdges(batch.to_vec())) {
+            Response::Accepted { .. } => return,
+            Response::Overloaded { .. } => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            other => panic!("insert answered {other:?}"),
+        }
+    }
+    panic!("insert kept shedding");
+}
+
+fn assert_matches_oracle(
+    r: &Router<LocalCluster>,
+    oracle: &mut IncrementalCc,
+    n: usize,
+    probes: &[(Node, Node)],
+) {
+    assert!(r.flush(Duration::from_secs(10)), "shards did not drain");
+    match r.handle(&Request::NumComponents) {
+        Response::NumComponents(c) => {
+            assert_eq!(c, oracle.num_components() as u64, "NumComponents diverged")
+        }
+        other => panic!("NumComponents answered {other:?}"),
+    }
+    let labels = oracle.labels();
+    let mut size_of_label = std::collections::HashMap::new();
+    for &l in labels.as_slice() {
+        *size_of_label.entry(l).or_insert(0u64) += 1;
+    }
+    for &(u, v) in probes {
+        match r.handle(&Request::Connected(u, v)) {
+            Response::Connected(b) => {
+                assert_eq!(b, oracle.connected(u, v), "Connected({u}, {v}) diverged")
+            }
+            other => panic!("Connected answered {other:?}"),
+        }
+    }
+    for u in 0..n as Node {
+        match r.handle(&Request::Component(u)) {
+            Response::Component(l) => {
+                assert_eq!(l, labels.label(u), "Component({u}) diverged")
+            }
+            other => panic!("Component answered {other:?}"),
+        }
+        match r.handle(&Request::ComponentSize(u)) {
+            Response::ComponentSize(s) => assert_eq!(
+                s,
+                *size_of_label.get(&labels.label(u)).unwrap_or(&0),
+                "ComponentSize({u}) diverged"
+            ),
+            other => panic!("ComponentSize answered {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn router_matches_single_engine_oracle(
+        n in 8usize..48,
+        shards in 1usize..5,
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0u32..48, 0u32..48), 1..12),
+            1..8,
+        ),
+        probe_seed in proptest::collection::vec((0u32..48, 0u32..48), 8),
+    ) {
+        let r = router(n, shards);
+        let plan = ShardPlan::new(n, shards);
+        let mut oracle = IncrementalCc::new(n);
+        let clamp = |v: u32| v % n as u32;
+        for batch in &batches {
+            let batch: Vec<(Node, Node)> = batch.iter().map(|&(u, v)| (clamp(u), clamp(v))).collect();
+            insert_ok(&r, &batch);
+            oracle.insert_batch(&batch);
+            // Straddle check: immediately after applying, query the
+            // endpoints of every cross-shard edge in this batch.
+            let straddlers: Vec<(Node, Node)> = batch
+                .iter()
+                .copied()
+                .filter(|&(u, v)| plan.is_cut(u, v))
+                .collect();
+            if !straddlers.is_empty() {
+                prop_assert!(r.flush(Duration::from_secs(10)));
+                for &(u, v) in &straddlers {
+                    match r.handle(&Request::Connected(u, v)) {
+                        Response::Connected(b) => prop_assert!(b, "just-applied cut edge ({u}, {v}) not connected"),
+                        other => panic!("Connected answered {other:?}"),
+                    }
+                }
+            }
+        }
+        let probes: Vec<(Node, Node)> = probe_seed.iter().map(|&(u, v)| (clamp(u), clamp(v))).collect();
+        assert_matches_oracle(&r, &mut oracle, n, &probes);
+        r.shutdown_backend();
+    }
+}

@@ -11,14 +11,16 @@
 //!   suite both without and with the observability feature (`obs`), the
 //!   loopback serving smoke test ([`smoke`], also with obs off and on),
 //!   the crash-recovery smoke test ([`crash`], clean and with chaos
-//!   faults injected), the telemetry scrape smoke ([`metrics`]), and the
-//!   schedule-exploring model checker (`ci.sh` is a thin wrapper around
-//!   this).
+//!   faults injected), the telemetry scrape smoke ([`metrics`]), the
+//!   sharded serving smoke ([`shard_smoke`]: router + workers + a worker
+//!   SIGKILL), and the schedule-exploring model checker (`ci.sh` is a
+//!   thin wrapper around this).
 
 #![forbid(unsafe_code)]
 
 mod crash;
 mod metrics;
+mod shard_smoke;
 mod smoke;
 
 use afforest_analysis::diag::{to_json, Severity};
@@ -189,6 +191,13 @@ fn run_ci() -> ExitCode {
     if !metrics::run_metrics(&root) {
         return ExitCode::FAILURE;
     }
+    // Sharded serving smoke: router + 2 shard workers over the wire,
+    // SIGKILL one worker, restart from its WAL namespace, compare with a
+    // single-engine oracle and require per-shard labelled metrics.
+    println!("==> sharded serving smoke");
+    if !shard_smoke::run_shard(&root) {
+        return ExitCode::FAILURE;
+    }
     println!("==> ci passed");
     ExitCode::SUCCESS
 }
@@ -244,12 +253,22 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("shard") => {
+            // The sharded serving smoke alone (also part of `ci`).
+            println!("==> sharded serving smoke");
+            if shard_smoke::run_shard(&workspace_root()) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         _ => {
-            eprintln!("usage: cargo xtask <lint|ci|crash|metrics>");
+            eprintln!("usage: cargo xtask <lint|ci|crash|metrics|shard>");
             eprintln!("  lint     the static analysis battery (crates/analysis, DESIGN.md section 13); --json <path> writes the report, --list-passes enumerates passes");
-            eprintln!("  ci       analysis battery + fmt --check + clippy -D warnings + tests (with and without obs) + model checker + serve/crash/metrics smokes");
+            eprintln!("  ci       analysis battery + fmt --check + clippy -D warnings + tests (with and without obs) + model checker + serve/crash/metrics/shard smokes");
             eprintln!("  crash    the WAL crash-recovery smoke alone");
             eprintln!("  metrics  the telemetry scrape smoke alone");
+            eprintln!("  shard    the sharded serving smoke alone (router + workers + SIGKILL)");
             ExitCode::FAILURE
         }
     }

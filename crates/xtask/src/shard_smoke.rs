@@ -1,0 +1,366 @@
+//! Sharded serving smoke test for `cargo xtask ci`.
+//!
+//! The `crates/shard` contract end to end, across real processes: start
+//! two shard workers (`afforest serve --vertices N_k`, each with its own
+//! WAL namespace), put a router in front (`--shard-addrs`), ingest a
+//! deterministic edge mix — shard-local and cross-shard — over the wire,
+//! and require the router's answers to equal a single-engine
+//! `IncrementalCc` oracle. Then SIGKILL one worker mid-serve, restart it
+//! from its WAL namespace on the same port, and require the router —
+//! whose per-shard clients reconnect and retry — to answer identically
+//! again. The router's `/metrics` sidecar must expose the
+//! `{shard="k"}`-labelled series throughout.
+
+use crate::smoke::{cli_cmd, connect, shutdown_and_reap, Reaper};
+use afforest_core::IncrementalCc;
+use afforest_serve::http::http_get;
+use afforest_serve::RetryPolicy;
+use afforest_shard::ShardPlan;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::Stdio;
+use std::time::{Duration, Instant};
+
+/// Global vertex universe, split across [`SHARDS`] workers.
+const N: usize = 2000;
+const SHARDS: usize = 2;
+/// Edges ingested over the wire (the workers start empty).
+const INSERTS: usize = 240;
+
+/// Runs the sharded serving smoke; returns success.
+pub fn run_shard(root: &Path) -> bool {
+    match shard(root) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("==> sharded serving smoke failed: {e}");
+            false
+        }
+    }
+}
+
+/// The deterministic ingest workload (shared with the oracle). The
+/// multipliers mod `N` land on both sides of the slice boundary, so the
+/// mix always contains shard-local and cross-shard edges.
+fn inserted_edges() -> Vec<(u32, u32)> {
+    (0..INSERTS as u32)
+        .map(|i| ((i * 37) % N as u32, (i * 61 + 1) % N as u32))
+        .collect()
+}
+
+/// A worker's stdout reader. Kept alive for the worker's lifetime: the
+/// child prints its shutdown report at exit, and a closed pipe would
+/// turn that print into a panic.
+type WorkerOut = BufReader<std::process::ChildStdout>;
+
+/// Starts one shard worker serving an empty `vertices`-vertex slice on
+/// `addr` with WAL namespace `wal`; returns the reaper, the bound
+/// address parsed from its announcement, and the live stdout reader.
+fn spawn_worker(
+    root: &Path,
+    vertices: usize,
+    addr: &str,
+    wal: &str,
+) -> Result<(Reaper, String, WorkerOut), String> {
+    let vertices = vertices.to_string();
+    let mut child = Reaper(
+        cli_cmd(root, false)
+            .args([
+                "serve",
+                "--vertices",
+                &vertices,
+                "--addr",
+                addr,
+                "--workers",
+                "2",
+                "--max-batch-edges",
+                "64",
+                "--max-batch-delay-ms",
+                "1",
+                "--wal-dir",
+                wal,
+                "--wal-snapshot-every",
+                "8",
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn worker: {e}"))?,
+    );
+    let stdout = child.0.stdout.take().ok_or("worker stdout not captured")?;
+    let mut reader = BufReader::new(stdout);
+    loop {
+        let mut line = String::new();
+        let read = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read worker stdout: {e}"))?;
+        if read == 0 {
+            return Err("worker exited before announcing its address".into());
+        }
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            let bound = rest
+                .split_whitespace()
+                .next()
+                .ok_or("malformed listen line")?
+                .to_string();
+            return Ok((child, bound, reader));
+        }
+    }
+}
+
+/// Restarts a killed worker on its original (now fixed) address,
+/// retrying while the kernel releases the port.
+fn respawn_worker(
+    root: &Path,
+    vertices: usize,
+    addr: &str,
+    wal: &str,
+) -> Result<(Reaper, WorkerOut), String> {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match spawn_worker(root, vertices, addr, wal) {
+            Ok((child, _, reader)) => return Ok((child, reader)),
+            Err(e) if Instant::now() > deadline => return Err(format!("restart worker: {e}")),
+            Err(_) => std::thread::sleep(Duration::from_millis(250)),
+        }
+    }
+}
+
+/// Waits for a clean process exit (the shutdown cascade reaches workers
+/// through the router's backend teardown).
+fn wait_exit(name: &str, child: &mut Reaper) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.0.try_wait().map_err(|e| e.to_string())? {
+            Some(s) if s.success() => return Ok(()),
+            Some(s) => return Err(format!("{name} exited with {s}")),
+            None if Instant::now() > deadline => {
+                return Err(format!("{name} did not exit within 30 s of shutdown"))
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// The labelled and router-global series every scrape must contain.
+const REQUIRED_SERIES: [&str; 6] = [
+    "afforest_shard_requests_total{shard=\"0\"}",
+    "afforest_shard_requests_total{shard=\"1\"}",
+    "afforest_shard_epoch{shard=\"0\"}",
+    "afforest_shard_epoch{shard=\"1\"}",
+    "afforest_router_requests_total",
+    "afforest_boundary_edges",
+];
+
+fn scrape_has_series(scrape_addr: &str) -> Result<(), String> {
+    let (status, scrape) = http_get(scrape_addr, "/metrics")?;
+    if status != 200 {
+        return Err(format!("scrape answered HTTP {status}"));
+    }
+    for series in REQUIRED_SERIES {
+        if !scrape.contains(series) {
+            return Err(format!("scrape is missing the series {series}"));
+        }
+    }
+    Ok(())
+}
+
+fn shard(root: &Path) -> Result<(), String> {
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let wal: Vec<String> = (0..SHARDS)
+        .map(|k| {
+            tmp.join(format!("afforest-shard-smoke-w{k}-{pid}"))
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    let router_wal = tmp
+        .join(format!("afforest-shard-smoke-router-{pid}"))
+        .to_string_lossy()
+        .into_owned();
+    for dir in wal.iter().chain([&router_wal]) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // 1. Two shard workers on ephemeral ports, each an empty slice of
+    // the plan plus a private WAL namespace.
+    let plan = ShardPlan::new(N, SHARDS);
+    let (mut w0, a0, _out0) = spawn_worker(root, plan.shard_len(0), "127.0.0.1:0", &wal[0])?;
+    let (mut w1, a1, _out1) = spawn_worker(root, plan.shard_len(1), "127.0.0.1:0", &wal[1])?;
+
+    // 2. The router, dialing both workers, with the metrics sidecar. A
+    // generous retry budget is the point: it is what absorbs the worker
+    // kill below.
+    let shard_addrs = format!("{a0},{a1}");
+    let n_s = N.to_string();
+    let mut router = Reaper(
+        cli_cmd(root, false)
+            .args([
+                "serve",
+                "--shard-addrs",
+                &shard_addrs,
+                "--vertices",
+                &n_s,
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "4",
+                "--metrics-addr",
+                "127.0.0.1:0",
+                "--wal-dir",
+                &router_wal,
+                "--max-retries",
+                "60",
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn router: {e}"))?,
+    );
+    let stdout = router.0.stdout.take().ok_or("router stdout not captured")?;
+    let mut lines = BufReader::new(stdout).lines();
+    let mut addr = None;
+    let mut scrape_addr = None;
+    while addr.is_none() || scrape_addr.is_none() {
+        let line = lines
+            .next()
+            .ok_or("router exited before announcing its addresses")?
+            .map_err(|e| format!("read router stdout: {e}"))?;
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            addr = rest.split_whitespace().next().map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("metrics on http://") {
+            scrape_addr = rest.strip_suffix("/metrics").map(str::to_string);
+        }
+    }
+    let (addr, scrape_addr) = (addr.unwrap(), scrape_addr.unwrap());
+
+    // 3. Ingest the deterministic workload through the router. The
+    // client retries, and re-inserting an edge is idempotent for
+    // connectivity, so the oracle comparison below stays exact.
+    let edges = inserted_edges();
+    let cut = edges.iter().filter(|&&(u, v)| plan.is_cut(u, v)).count();
+    if cut == 0 || cut == edges.len() {
+        return Err(format!(
+            "workload degenerated: {cut} of {} edges cross shards",
+            edges.len()
+        ));
+    }
+    let mut client = connect(&addr)?.with_retry(RetryPolicy {
+        max_retries: 12,
+        backoff: Duration::from_millis(20),
+    });
+    for chunk in edges.chunks(10) {
+        let accepted = client
+            .insert_edges(chunk)
+            .map_err(|e| format!("insert: {e}"))?;
+        if accepted as usize != chunk.len() {
+            return Err(format!(
+                "insert accepted {accepted} of {} edge(s)",
+                chunk.len()
+            ));
+        }
+    }
+
+    // 4. Wait until every admitted internal edge has been applied by its
+    // shard: aggregated queue empty and the ingested counter stable
+    // (retried inserts may re-apply, so `>=`, not `==`). Applied ⇒
+    // logged, so from here a worker kill loses nothing.
+    let internal = (edges.len() - cut) as u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut last_ingested = u64::MAX;
+    loop {
+        let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+        if stats.queue_depth == 0
+            && stats.edges_ingested >= internal
+            && stats.edges_ingested == last_ingested
+        {
+            break;
+        }
+        last_ingested = stats.edges_ingested;
+        if Instant::now() > deadline {
+            return Err(format!(
+                "ingest never settled: {} applied of {internal} internal, queue depth {}",
+                stats.edges_ingested, stats.queue_depth
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    }
+
+    // 5. Oracle: one unsharded union-find over the same edges. Component
+    // count, per-vertex labels around the slice boundary, and a
+    // cross-shard connectivity probe must all agree.
+    let mut oracle = IncrementalCc::new(N);
+    oracle.insert_batch(&edges);
+    let expected = oracle.num_components() as u64;
+    if expected <= 1 {
+        return Err("oracle degenerated to one component; the assertion has no teeth".into());
+    }
+    let got = client
+        .num_components()
+        .map_err(|e| format!("num_components: {e}"))?;
+    if got != expected {
+        return Err(format!(
+            "router reports {got} component(s), oracle has {expected}"
+        ));
+    }
+    let labels = oracle.labels();
+    let boundary = plan.shard_len(0) as u32;
+    for u in [0, boundary - 1, boundary, (N - 1) as u32] {
+        let label = client.component(u).map_err(|e| format!("component: {e}"))?;
+        if label != labels.label(u) {
+            return Err(format!(
+                "Component({u}) = {label}, oracle says {}",
+                labels.label(u)
+            ));
+        }
+    }
+    let &(cu, cv) = edges
+        .iter()
+        .find(|&&(u, v)| plan.is_cut(u, v))
+        .ok_or("no cut edge despite the count above")?;
+    if !client
+        .connected(cu, cv)
+        .map_err(|e| format!("connected: {e}"))?
+    {
+        return Err(format!("cross-shard edge ({cu}, {cv}) not connected"));
+    }
+    scrape_has_series(&scrape_addr)?;
+
+    // 6. SIGKILL worker 1 — no drain, no goodbye — and restart it from
+    // its WAL namespace on the same port. The router's shard client
+    // reconnects on the next call; answers must be unchanged.
+    w1.0.kill().map_err(|e| format!("kill worker: {e}"))?;
+    let _ = w1.0.wait();
+    let (mut w1, _out1b) = respawn_worker(root, plan.shard_len(1), &a1, &wal[1])?;
+    let got = client
+        .num_components()
+        .map_err(|e| format!("num_components after restart: {e}"))?;
+    if got != expected {
+        return Err(format!(
+            "after worker restart the router reports {got} component(s), oracle has {expected}"
+        ));
+    }
+    if !client
+        .connected(cu, cv)
+        .map_err(|e| format!("connected after restart: {e}"))?
+    {
+        return Err(format!(
+            "cross-shard edge ({cu}, {cv}) lost across the worker restart"
+        ));
+    }
+    scrape_has_series(&scrape_addr)?;
+
+    // 7. One Shutdown frame to the router tears the whole cluster down:
+    // the router drains, stops its backend (which forwards Shutdown to
+    // every worker), and all three processes exit cleanly.
+    shutdown_and_reap(&addr, &mut router)?;
+    wait_exit("worker 0", &mut w0)?;
+    wait_exit("worker 1", &mut w1)?;
+
+    for dir in wal.iter().chain([&router_wal]) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    println!(
+        "==> sharded serving smoke: router + {SHARDS} workers served {INSERTS} edges ({cut} cut), \
+         survived a worker SIGKILL, {expected} component(s) == oracle"
+    );
+    Ok(())
+}
