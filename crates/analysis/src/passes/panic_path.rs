@@ -38,15 +38,20 @@ pub const ID: &str = "panic-path";
 
 /// Files on the wire/disk byte path. Request framing and decode
 /// (`protocol.rs`), WAL append/recovery (`wal.rs`), the ingest queue
-/// between them (`ingest.rs`), and the shard router front-end plus its
+/// between them (`ingest.rs`), the shard router front-end plus its
 /// boundary-edge log (`router.rs`, `boundary.rs`), which parse the same
-/// wire frames and their own on-disk record format.
+/// wire frames and their own on-disk record format, and the failure
+/// domain that must stay total precisely when things are going wrong:
+/// the health machine (`health.rs`) and the park log, which replays
+/// arbitrary post-crash disk bytes (`park.rs`).
 pub const PANIC_PATH_FILES: &[&str] = &[
     "crates/serve/src/protocol.rs",
     "crates/serve/src/wal.rs",
     "crates/serve/src/ingest.rs",
     "crates/shard/src/router.rs",
     "crates/shard/src/boundary.rs",
+    "crates/shard/src/health.rs",
+    "crates/shard/src/park.rs",
 ];
 
 /// Identifiers that panic (as methods or macro names).

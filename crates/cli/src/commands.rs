@@ -356,6 +356,11 @@ pub mod bench {
 /// [--max-total-queue-depth N] [--max-tenants N] [--read-deadline-ms MS]
 /// [--faults SPEC] [--metrics-addr HOST:PORT] [--events-out PATH]
 /// [--trace-out PATH]`.
+///
+/// Sharded modes add `--shards N` (in-process cluster) or
+/// `--shard-addrs LIST --vertices N` (remote workers), with the
+/// failure-domain knobs `--suspect-after N`, `--down-after N` and
+/// `--probe-interval-ms MS` (see DESIGN.md §15).
 pub mod serve {
     use super::*;
     use afforest_core::IncrementalCc;
@@ -392,6 +397,9 @@ pub mod serve {
             "vertices",
             "max-retries",
             "retry-backoff-us",
+            "suspect-after",
+            "down-after",
+            "probe-interval-ms",
         ])?;
         // Sharded modes: `--shards N` hosts N shard engines in-process
         // behind a router; `--shard-addrs LIST` routes to remote shard
@@ -576,7 +584,7 @@ pub mod serve {
     /// The sharded serving modes behind `--shards` / `--shard-addrs`.
     fn run_sharded(args: &ParsedArgs, shards: usize) -> Result<String, String> {
         use afforest_serve::RetryPolicy;
-        use afforest_shard::{LocalCluster, RemoteShards, Router, ShardPlan};
+        use afforest_shard::{HealthConfig, LocalCluster, RemoteShards, Router, ShardPlan};
 
         let addr = args.flag("addr").unwrap_or("127.0.0.1:7878");
         let workers: usize = args.flag_parsed("workers", 8)?;
@@ -591,6 +599,24 @@ pub mod serve {
         let read_deadline = (read_deadline_ms > 0).then(|| Duration::from_millis(read_deadline_ms));
         let wal_dir = args.flag("wal-dir").map(PathBuf::from);
         let metrics_addr = args.flag("metrics-addr");
+        // Failure-domain knobs: consecutive transport failures before a
+        // shard is Suspect / Down, and how long the breaker stays open
+        // between probes.
+        let defaults = HealthConfig::default();
+        let health = HealthConfig {
+            suspect_after: args.flag_parsed("suspect-after", defaults.suspect_after)?,
+            down_after: args.flag_parsed("down-after", defaults.down_after)?,
+            probe_interval: Duration::from_millis(args.flag_parsed(
+                "probe-interval-ms",
+                defaults.probe_interval.as_millis() as u64,
+            )?),
+        };
+        // As with the standalone server, the flight recorder dumps next
+        // to the WAL unless pointed elsewhere.
+        let events_out: Option<PathBuf> = args
+            .flag("events-out")
+            .map(PathBuf::from)
+            .or_else(|| wal_dir.as_deref().map(|d| d.join("flight.json")));
 
         if let Some(list) = args.flag("shard-addrs") {
             // Remote workers own the data; the router holds only wire
@@ -615,15 +641,26 @@ pub mod serve {
                 backoff: Duration::from_micros(args.flag_parsed("retry-backoff-us", 500u64)?),
             };
             let plan = ShardPlan::new(n, addrs.len());
-            let backend = RemoteShards::connect(&addrs, retry, Some(Duration::from_secs(5)))
-                .map_err(|e| format!("connect shards: {e}"))?;
+            let shard_lens: Vec<usize> = (0..addrs.len()).map(|k| plan.shard_len(k)).collect();
+            // Connection is lazy: a worker that is down at boot leaves
+            // its shard Down (writes park, reads degrade) instead of
+            // failing the whole router.
+            let backend = RemoteShards::connect(&addrs, retry, Some(Duration::from_secs(5)));
+            let down = backend.down_at_boot();
             let boundary = boundary_store(n, wal_dir.as_deref())?;
+            let park = park_set(&shard_lens, wal_dir.as_deref())?;
             let banner = format!(
                 "routing {n} vertices across {} shard worker(s)",
                 addrs.len()
             );
-            let router = Router::new(plan, boundary, backend, read_deadline);
-            return serve_router(&router, addr, workers, metrics_addr, &banner);
+            let router = Router::new(plan, boundary, backend, read_deadline)
+                .with_health_config(health)
+                .with_park(park);
+            for k in down {
+                println!("shard {k} unreachable; parking its writes until it returns");
+                router.mark_shard_down(k);
+            }
+            return serve_router(&router, addr, workers, metrics_addr, &banner, &events_out);
         }
 
         // In-process cluster: split the seed graph into shard-local
@@ -655,8 +692,41 @@ pub mod serve {
             edges.len(),
             routed.cut.len()
         );
-        let router = Router::new(plan, boundary, cluster, read_deadline);
-        serve_router(&router, addr, workers, metrics_addr, &banner)
+        let router = Router::new(plan, boundary, cluster, read_deadline).with_health_config(health);
+        serve_router(&router, addr, workers, metrics_addr, &banner, &events_out)
+    }
+
+    /// The router's parked-write backlog: durable per-shard `park-<k>.log`
+    /// files under `--wal-dir` (replaying anything a previous incarnation
+    /// left parked), purely in-memory otherwise.
+    fn park_set(
+        shard_lens: &[usize],
+        wal_dir: Option<&Path>,
+    ) -> Result<afforest_shard::ParkSet, String> {
+        use afforest_shard::ParkSet;
+        match wal_dir {
+            Some(root) => {
+                let park = ParkSet::with_root(root, shard_lens)
+                    .map_err(|e| format!("park logs at {}: {e}", root.display()))?;
+                for k in 0..park.num_shards() {
+                    let rec = park.recovery(k);
+                    if rec.batches > 0 || rec.truncated {
+                        println!(
+                            "recovered {} parked batch(es), {} edge(s) for shard {k}{}",
+                            rec.batches,
+                            rec.edges,
+                            if rec.truncated {
+                                "; torn tail truncated"
+                            } else {
+                                ""
+                            }
+                        );
+                    }
+                }
+                Ok(park)
+            }
+            None => Ok(ParkSet::in_memory(shard_lens.len())),
+        }
     }
 
     /// The router's boundary store: persistent under `--wal-dir`
@@ -690,6 +760,7 @@ pub mod serve {
         workers: usize,
         metrics_addr: Option<&str>,
         banner: &str,
+        events_out: &Option<PathBuf>,
     ) -> Result<String, String> {
         use afforest_serve::{Request, Response};
 
@@ -704,6 +775,9 @@ pub mod serve {
             }
             None => None,
         };
+        if let Some(dest) = events_out {
+            events::install_panic_hook(dest.clone());
+        }
         println!("{banner}");
         println!("listening on {local} ({workers} workers)");
         let _ = std::io::stdout().flush();
@@ -715,13 +789,33 @@ pub mod serve {
         router.flush(Duration::from_secs(30));
         let stats = match router.handle(&Request::Stats) {
             Response::Stats(s) => Some(s),
+            // A shard can be down at shutdown; the surviving shards'
+            // aggregate still makes a useful report.
+            Response::Degraded(inner) => match *inner {
+                Response::Stats(s) => Some(s),
+                _ => None,
+            },
             _ => None,
         };
+        let parked: Vec<(usize, usize, usize)> = (0..router.park().num_shards())
+            .map(|k| (k, router.park().depth(k), router.park().parked_edges(k)))
+            .filter(|&(_, batches, _)| batches > 0)
+            .collect();
         let boundary_edges = router.boundary().edge_count();
         router.shutdown_backend();
         drop(metrics_http);
 
         let mut out = String::new();
+        if let Some(dest) = events_out {
+            match events::write_dump(dest) {
+                Ok(()) => {
+                    let _ = writeln!(out, "flight recording written to {}", dest.display());
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "warning: flight recording {}: {e}", dest.display());
+                }
+            }
+        }
         if let Some(s) = stats {
             let _ = writeln!(out, "shutdown after epoch {}", s.epoch);
             let _ = writeln!(
@@ -733,15 +827,22 @@ pub mod serve {
             let _ = writeln!(out, "shutdown");
         }
         let _ = writeln!(out, "boundary holds {boundary_edges} cut edge(s)");
+        for (k, batches, edges) in parked {
+            let _ = writeln!(
+                out,
+                "shard {k} still down: {batches} batch(es) ({edges} edge(s)) parked for replay"
+            );
+        }
         Ok(out)
     }
 }
 
 /// `afforest recover [<graph>] [--wal-dir PATH] [--events PATH]` —
 /// offline post-mortem: replay a write-ahead log (over the seed graph)
-/// and report what came back, and/or summarize a flight recording dumped
-/// by a crashed or cleanly stopped server. The log's torn tail, if any,
-/// is truncated exactly as a restarting server would.
+/// and report what came back, report any parked-write backlogs a
+/// sharded router left behind (`park-<k>.log`), and/or summarize a
+/// flight recording dumped by a crashed or cleanly stopped server. Torn
+/// tails, if any, are truncated exactly as a restarting server would.
 pub mod recover {
     use super::*;
     use afforest_serve::events::{self, Dump, EventKind};
@@ -755,7 +856,19 @@ pub mod recover {
         let events_path = args.flag("events");
         let mut out = String::new();
         match args.flag("wal-dir") {
-            Some(dir) => out.push_str(&wal_report(&args, dir)?),
+            Some(dir) => {
+                let root = Path::new(dir);
+                // A router's wal-dir holds park logs (and a boundary
+                // log) but not necessarily a WAL tree; report whatever
+                // is actually there.
+                let park = park_report(root)?;
+                if wal::exists(&wal::default_wal_dir(root)) {
+                    out.push_str(&wal_report(&args, dir)?);
+                } else if park.is_empty() && events_path.is_none() {
+                    return Err(format!("no write-ahead log at {}", root.display()));
+                }
+                out.push_str(&park);
+            }
             None if events_path.is_none() => {
                 return Err(
                     "recover requires --wal-dir PATH (WAL replay) and/or --events PATH \
@@ -769,6 +882,39 @@ pub mod recover {
             let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
             let dump = events::parse_dump(&text).map_err(|e| format!("{p}: {e}"))?;
             out.push_str(&render_flight(p, &dump));
+        }
+        Ok(out)
+    }
+
+    /// Parked-write backlogs (`park-<k>.log`) a sharded router left
+    /// behind for shards that were still down at shutdown. Reads with
+    /// the same torn-tail truncation a restarting router performs; ids
+    /// are shard-local so range validation is skipped offline.
+    fn park_report(root: &Path) -> Result<String, String> {
+        use afforest_shard::{park_path, ParkSet};
+        let mut lens = Vec::new();
+        while park_path(root, lens.len()).exists() {
+            lens.push(u32::MAX as usize);
+        }
+        if lens.is_empty() {
+            return Ok(String::new());
+        }
+        let set = ParkSet::with_root(root, &lens)
+            .map_err(|e| format!("park logs at {}: {e}", root.display()))?;
+        let mut out = String::new();
+        for k in 0..set.num_shards() {
+            let rec = set.recovery(k);
+            let _ = writeln!(
+                out,
+                "park shard {k}: {} batch(es), {} edge(s) awaiting replay{}",
+                rec.batches,
+                rec.edges,
+                if rec.truncated {
+                    "; torn tail truncated"
+                } else {
+                    ""
+                }
+            );
         }
         Ok(out)
     }
@@ -1764,10 +1910,20 @@ mod tests {
         assert!(err.contains("mutually exclusive"), "{err}");
         let err = serve::run(&argv(&["--shard-addrs", " , ", "--vertices", "8"])).unwrap_err();
         assert!(err.contains("no addresses"), "{err}");
-        // Dialing a worker that is not there is a clean error.
-        let err =
-            serve::run(&argv(&["--shard-addrs", "127.0.0.1:1", "--vertices", "8"])).unwrap_err();
-        assert!(err.contains("connect shards"), "{err}");
+        // Dialing a worker that is not there is no longer a boot error:
+        // the shard comes up Down (writes park until it returns). Boot
+        // proceeds all the way to the bind, which this test points
+        // somewhere invalid to regain control.
+        let err = serve::run(&argv(&[
+            "--shard-addrs",
+            "127.0.0.1:1",
+            "--vertices",
+            "8",
+            "--addr",
+            "999.999.999.999:0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bind"), "{err}");
         // In-process sharding still needs a graph.
         let err = serve::run(&argv(&["--shards", "2"])).unwrap_err();
         assert!(err.contains("graph"), "{err}");

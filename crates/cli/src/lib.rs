@@ -67,10 +67,14 @@ commands:
                                             slice (a shard worker)
            [--shard-addrs A,B,…]            route to running shard workers
                                             (requires --vertices; no graph)
+           [--suspect-after N]              shard health: failures before
+           [--down-after N]                 Suspect / before the breaker opens
+           [--probe-interval-ms MS]         and the probe cadence while Down
   distrib-cc <graph> [--ranks P]            BSP forest-merge connectivity with
            [--partition block|hash|bfs]     exact communication accounting
-  recover  [<graph>] [--wal-dir PATH]       offline WAL replay report (no serving)
-           [--events PATH]                  and/or flight-recording summary
+  recover  [<graph>] [--wal-dir PATH]       offline WAL replay + parked-write
+           [--events PATH]                  report (no serving) and/or
+                                            flight-recording summary
   loadgen  (<host:port> | --graph PATH)     mixed read/write workload driver
            [--connections N] [--requests N]
            [--read-pct P] [--insert-batch N]

@@ -125,6 +125,8 @@ pub struct Client {
     retry: RetryPolicy,
     read_timeout: Option<Duration>,
     rng: SmallRng,
+    last_degraded: bool,
+    degraded_answers: u64,
 }
 
 impl Client {
@@ -142,6 +144,8 @@ impl Client {
             retry: RetryPolicy::default(),
             read_timeout: None,
             rng: SmallRng::seed_from_u64(u64::from(std::process::id()) ^ 0x5EED_C11E),
+            last_degraded: false,
+            degraded_answers: 0,
         })
     }
 
@@ -224,11 +228,36 @@ impl Client {
         Ok(())
     }
 
+    /// Whether the most recent typed answer arrived wrapped in the
+    /// degraded tag (the cluster answered with shards missing). Reset by
+    /// every typed call.
+    pub fn last_answer_degraded(&self) -> bool {
+        self.last_degraded
+    }
+
+    /// Total degraded answers this client has received.
+    pub fn degraded_answers(&self) -> u64 {
+        self.degraded_answers
+    }
+
     fn typed(&mut self, req: &Request) -> Result<Response, ClientError> {
-        match self.call_retrying(req)? {
-            Some(Response::Err(msg)) => Err(ClientError::Server(msg)),
-            Some(resp) => Ok(resp),
-            None => Err(ClientError::Exhausted),
+        self.last_degraded = false;
+        let resp = match self.call_retrying(req)? {
+            Some(Response::Degraded(inner)) => {
+                // Unwrap so callers keep their typed signatures; the
+                // partial-answer flag stays observable per call and in
+                // the client's metrics.
+                self.last_degraded = true;
+                self.degraded_answers += 1;
+                afforest_obs::registry::counter("afforest_client_degraded_total").inc();
+                *inner
+            }
+            Some(resp) => resp,
+            None => return Err(ClientError::Exhausted),
+        };
+        match resp {
+            Response::Err(msg) => Err(ClientError::Server(msg)),
+            resp => Ok(resp),
         }
     }
 

@@ -63,10 +63,18 @@ pub enum EventKind {
     /// A tenant was removed from the engine registry.
     /// Fields: tenant ordinal.
     TenantDropped = 9,
+    /// A shard's health state machine transitioned (router process).
+    /// Fields: shard, old state code, new state code (0 = healthy,
+    /// 1 = suspect, 2 = down, 3 = probing).
+    ShardHealthChanged = 10,
+    /// The router replayed a shard's parked write batches after the
+    /// shard returned to healthy.
+    /// Fields: shard, batches replayed, edges replayed.
+    ParkReplayed = 11,
 }
 
 /// All kinds, for exhaustive iteration in tests and docs.
-pub const KINDS: [EventKind; 9] = [
+pub const KINDS: [EventKind; 11] = [
     EventKind::EpochPublished,
     EventKind::BatchApplied,
     EventKind::WalCompaction,
@@ -76,6 +84,8 @@ pub const KINDS: [EventKind; 9] = [
     EventKind::WalError,
     EventKind::TenantCreated,
     EventKind::TenantDropped,
+    EventKind::ShardHealthChanged,
+    EventKind::ParkReplayed,
 ];
 
 impl EventKind {
@@ -91,6 +101,8 @@ impl EventKind {
             EventKind::WalError => "wal_error",
             EventKind::TenantCreated => "tenant_created",
             EventKind::TenantDropped => "tenant_dropped",
+            EventKind::ShardHealthChanged => "shard_health_changed",
+            EventKind::ParkReplayed => "park_replayed",
         }
     }
 
@@ -107,6 +119,8 @@ impl EventKind {
             EventKind::WalError => &["epoch"],
             EventKind::TenantCreated => &["tenant", "vertices"],
             EventKind::TenantDropped => &["tenant"],
+            EventKind::ShardHealthChanged => &["shard", "from", "to"],
+            EventKind::ParkReplayed => &["shard", "batches", "edges"],
         }
     }
 
@@ -127,6 +141,14 @@ pub mod fault_site {
     pub const TORN_FRAME: u64 = 4;
     /// An accept worker was killed (detail: 0).
     pub const KILL_WORKER: u64 = 5;
+    /// A cluster fault plan killed a shard worker (detail: shard).
+    pub const SHARD_KILL: u64 = 6;
+    /// A cluster fault plan hung a shard worker (detail: shard).
+    pub const SHARD_HANG: u64 = 7;
+    /// A cluster fault plan slowed a shard worker (detail: shard).
+    pub const SHARD_SLOW: u64 = 8;
+    /// A cluster fault plan partitioned a shard worker (detail: shard).
+    pub const SHARD_PARTITION: u64 = 9;
 
     /// Human name for a site code ("?" if unknown).
     pub fn name(code: u64) -> &'static str {
@@ -136,6 +158,10 @@ pub mod fault_site {
             APPLY_DELAY => "apply_delay",
             TORN_FRAME => "torn_frame",
             KILL_WORKER => "kill_worker",
+            SHARD_KILL => "shard_kill",
+            SHARD_HANG => "shard_hang",
+            SHARD_SLOW => "shard_slow",
+            SHARD_PARTITION => "shard_partition",
             _ => "?",
         }
     }

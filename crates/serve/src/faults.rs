@@ -19,6 +19,13 @@
 //!   misbehaving peer.
 //! - **Worker threads** ([`FaultPlan::should_kill_worker`]): make an
 //!   accept worker exit as if it had died; the pool must keep serving.
+//! - **Cluster steps** ([`FaultPlan::on_cluster_step`]): pick a whole
+//!   shard worker to kill, hang, slow, or partition at a seeded point of
+//!   a chaos schedule. These fire in the *harness* process (the thing
+//!   driving a multi-process cluster), not inside a server, so they are
+//!   counted and flight-recorded locally but publish no server-side
+//!   registry counters — the router's own health/park/degraded metrics
+//!   are the externally visible evidence.
 //!
 //! Each site also counts how often it fired ([`FaultPlan::injected`]),
 //! so tests can assert the chaos actually happened. Every firing is
@@ -52,6 +59,19 @@ pub struct FaultConfig {
     /// Probability (checked once per connection served) that an accept
     /// worker dies.
     pub kill_worker: f64,
+    /// Probability (per cluster step) that a shard worker is killed.
+    pub shard_kill: f64,
+    /// Probability (per cluster step) that a shard worker hangs for
+    /// [`FaultConfig::shard_fault`] (harness: `SIGSTOP` … `SIGCONT`).
+    pub shard_hang: f64,
+    /// Probability (per cluster step) that a shard worker runs slow for
+    /// [`FaultConfig::shard_fault`] (harness: short stop/cont pulses).
+    pub shard_slow: f64,
+    /// Probability (per cluster step) that a shard worker is partitioned
+    /// from the router for [`FaultConfig::shard_fault`].
+    pub shard_partition: f64,
+    /// How long a hang/slow/partition cluster fault lasts.
+    pub shard_fault: Duration,
 }
 
 /// What a fault site should do to the current WAL append.
@@ -68,6 +88,52 @@ pub enum WalFault {
     },
 }
 
+/// One fault drawn at a cluster step of a chaos schedule: what to do to
+/// which shard worker. The harness process interprets these — the plan
+/// only decides; it never touches a process itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterFault {
+    /// SIGKILL the shard's worker (the harness restarts it later).
+    Kill {
+        /// Index of the doomed shard.
+        shard: usize,
+    },
+    /// Pause the worker for `pause`, then resume it.
+    Hang {
+        /// Index of the hung shard.
+        shard: usize,
+        /// How long the worker stays stopped.
+        pause: Duration,
+    },
+    /// Run the worker slowly for `pause` (intermittent stop pulses).
+    Slow {
+        /// Index of the slowed shard.
+        shard: usize,
+        /// How long the slowdown lasts.
+        pause: Duration,
+    },
+    /// Cut the worker off from the router for `pause` (emulated by
+    /// stopping it past the router's read deadline).
+    Partition {
+        /// Index of the partitioned shard.
+        shard: usize,
+        /// How long the partition lasts.
+        pause: Duration,
+    },
+}
+
+impl ClusterFault {
+    /// The shard this fault targets.
+    pub fn shard(&self) -> usize {
+        match *self {
+            ClusterFault::Kill { shard }
+            | ClusterFault::Hang { shard, .. }
+            | ClusterFault::Slow { shard, .. }
+            | ClusterFault::Partition { shard, .. } => shard,
+        }
+    }
+}
+
 /// Counts of injected faults, for test assertions and operator logs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct InjectedCounts {
@@ -81,6 +147,14 @@ pub struct InjectedCounts {
     pub torn_frames: u64,
     /// Worker threads killed.
     pub worker_kills: u64,
+    /// Shard workers killed (cluster scope).
+    pub shard_kills: u64,
+    /// Shard workers hung (cluster scope).
+    pub shard_hangs: u64,
+    /// Shard workers slowed (cluster scope).
+    pub shard_slows: u64,
+    /// Shard workers partitioned (cluster scope).
+    pub shard_partitions: u64,
 }
 
 impl InjectedCounts {
@@ -91,6 +165,10 @@ impl InjectedCounts {
             + self.apply_delays
             + self.torn_frames
             + self.worker_kills
+            + self.shard_kills
+            + self.shard_hangs
+            + self.shard_slows
+            + self.shard_partitions
     }
 }
 
@@ -107,6 +185,10 @@ pub struct FaultPlan {
     apply_delays: AtomicU64,
     torn_frames: AtomicU64,
     worker_kills: AtomicU64,
+    shard_kills: AtomicU64,
+    shard_hangs: AtomicU64,
+    shard_slows: AtomicU64,
+    shard_partitions: AtomicU64,
 }
 
 impl FaultPlan {
@@ -120,6 +202,10 @@ impl FaultPlan {
             apply_delays: AtomicU64::new(0),
             torn_frames: AtomicU64::new(0),
             worker_kills: AtomicU64::new(0),
+            shard_kills: AtomicU64::new(0),
+            shard_hangs: AtomicU64::new(0),
+            shard_slows: AtomicU64::new(0),
+            shard_partitions: AtomicU64::new(0),
         }
     }
 
@@ -149,10 +235,18 @@ impl FaultPlan {
                 }
                 "torn_frame" => cfg.torn_frame = value.parse().map_err(|_| bad())?,
                 "kill_worker" => cfg.kill_worker = value.parse().map_err(|_| bad())?,
+                "shard_kill" => cfg.shard_kill = value.parse().map_err(|_| bad())?,
+                "shard_hang" => cfg.shard_hang = value.parse().map_err(|_| bad())?,
+                "shard_slow" => cfg.shard_slow = value.parse().map_err(|_| bad())?,
+                "shard_partition" => cfg.shard_partition = value.parse().map_err(|_| bad())?,
+                "shard_fault_ms" => {
+                    cfg.shard_fault = Duration::from_millis(value.parse().map_err(|_| bad())?);
+                }
                 other => {
                     return Err(format!(
                         "unknown fault key '{other}' (allowed: seed wal_drop wal_short_write \
-                         apply_delay_ms apply_delay_prob torn_frame kill_worker)"
+                         apply_delay_ms apply_delay_prob torn_frame kill_worker shard_kill \
+                         shard_hang shard_slow shard_partition shard_fault_ms)"
                     ))
                 }
             }
@@ -173,6 +267,10 @@ impl FaultPlan {
             apply_delays: self.apply_delays.load(Ordering::Relaxed),
             torn_frames: self.torn_frames.load(Ordering::Relaxed),
             worker_kills: self.worker_kills.load(Ordering::Relaxed),
+            shard_kills: self.shard_kills.load(Ordering::Relaxed),
+            shard_hangs: self.shard_hangs.load(Ordering::Relaxed),
+            shard_slows: self.shard_slows.load(Ordering::Relaxed),
+            shard_partitions: self.shard_partitions.load(Ordering::Relaxed),
         }
     }
 
@@ -257,6 +355,64 @@ impl FaultPlan {
         }
     }
 
+    /// Draws the cluster-scope decision for one step of a chaos schedule
+    /// over `num_shards` workers. Sites are consulted in a fixed order
+    /// (kill, hang, slow, partition) and at most one fault fires per
+    /// step, so a `(seed, probabilities)` pair replays the same schedule.
+    /// Counted and flight-recorded in the calling (harness) process; no
+    /// registry counters — see the module docs.
+    pub fn on_cluster_step(&self, num_shards: usize) -> Option<ClusterFault> {
+        if num_shards == 0 {
+            return None;
+        }
+        if self.chance(self.cfg.shard_kill) {
+            let shard = (self.next() as usize) % num_shards;
+            self.shard_kills.fetch_add(1, Ordering::Relaxed);
+            events::record(
+                EventKind::FaultInjected,
+                [fault_site::SHARD_KILL, shard as u64, 0],
+            );
+            return Some(ClusterFault::Kill { shard });
+        }
+        if self.chance(self.cfg.shard_hang) {
+            let shard = (self.next() as usize) % num_shards;
+            self.shard_hangs.fetch_add(1, Ordering::Relaxed);
+            events::record(
+                EventKind::FaultInjected,
+                [fault_site::SHARD_HANG, shard as u64, 0],
+            );
+            return Some(ClusterFault::Hang {
+                shard,
+                pause: self.cfg.shard_fault,
+            });
+        }
+        if self.chance(self.cfg.shard_slow) {
+            let shard = (self.next() as usize) % num_shards;
+            self.shard_slows.fetch_add(1, Ordering::Relaxed);
+            events::record(
+                EventKind::FaultInjected,
+                [fault_site::SHARD_SLOW, shard as u64, 0],
+            );
+            return Some(ClusterFault::Slow {
+                shard,
+                pause: self.cfg.shard_fault,
+            });
+        }
+        if self.chance(self.cfg.shard_partition) {
+            let shard = (self.next() as usize) % num_shards;
+            self.shard_partitions.fetch_add(1, Ordering::Relaxed);
+            events::record(
+                EventKind::FaultInjected,
+                [fault_site::SHARD_PARTITION, shard as u64, 0],
+            );
+            return Some(ClusterFault::Partition {
+                shard,
+                pause: self.cfg.shard_fault,
+            });
+        }
+        None
+    }
+
     /// Whether the calling worker thread should die now.
     pub fn should_kill_worker(&self) -> bool {
         if self.chance(self.cfg.kill_worker) {
@@ -337,6 +493,37 @@ mod tests {
         let p = plan("seed=2,apply_delay_ms=7");
         assert_eq!(p.on_apply(), Some(Duration::from_millis(7)));
         assert_eq!(p.config().apply_delay_prob, 1.0);
+    }
+
+    #[test]
+    fn cluster_steps_replay_identically_and_target_valid_shards() {
+        let spec = "seed=11,shard_kill=0.1,shard_hang=0.1,shard_slow=0.1,\
+                    shard_partition=0.1,shard_fault_ms=40";
+        let a = plan(spec);
+        let b = plan(spec);
+        let steps_a: Vec<_> = (0..400).map(|_| a.on_cluster_step(3)).collect();
+        let steps_b: Vec<_> = (0..400).map(|_| b.on_cluster_step(3)).collect();
+        assert_eq!(steps_a, steps_b);
+        let fired: Vec<_> = steps_a.iter().flatten().collect();
+        assert!(!fired.is_empty(), "no cluster fault fired in 400 steps");
+        assert!(fired.iter().all(|f| f.shard() < 3));
+        // Every flavor shows up at p=0.1 over 400 draws, with its pause.
+        assert!(fired.iter().any(|f| matches!(f, ClusterFault::Kill { .. })));
+        assert!(fired.iter().any(
+            |f| matches!(f, ClusterFault::Hang { pause, .. } if *pause == Duration::from_millis(40))
+        ));
+        assert!(fired.iter().any(|f| matches!(f, ClusterFault::Slow { .. })));
+        assert!(fired
+            .iter()
+            .any(|f| matches!(f, ClusterFault::Partition { .. })));
+        let counts = a.injected();
+        assert_eq!(
+            counts.total(),
+            counts.shard_kills + counts.shard_hangs + counts.shard_slows + counts.shard_partitions
+        );
+        assert_eq!(counts.total(), fired.len() as u64);
+        // A zero-shard cluster draws nothing.
+        assert_eq!(plan(spec).on_cluster_step(0), None);
     }
 
     #[test]

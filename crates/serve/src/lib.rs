@@ -30,8 +30,9 @@
 //!   publish (one namespace per tenant under the WAL root), with
 //!   snapshot compaction and truncate-at-first-bad-record recovery.
 //! - [`faults`] — seeded deterministic chaos injection (dropped/torn WAL
-//!   writes, delayed applies, torn frames, killed workers) for testing
-//!   the recovery and overload paths.
+//!   writes, delayed applies, torn frames, killed workers, and
+//!   cluster-scope shard kill/hang/slow/partition draws) for testing
+//!   the recovery, overload, and partial-failure paths.
 //! - [`metrics`] — the always-on metric set (per-op request counters and
 //!   latency histograms, WAL/epoch/queue gauges, `tenant="..."`-labelled
 //!   per-tenant series) in the process-global `afforest_obs::registry`.
@@ -76,7 +77,7 @@ pub use client::{Client, ClientError, RetryPolicy};
 pub use config::{ServeConfig, ServeConfigBuilder, ServeConfigError};
 pub use engine::Engine;
 pub use events::{Dump, DumpEvent, EventKind};
-pub use faults::{FaultConfig, FaultPlan, InjectedCounts, WalFault};
+pub use faults::{ClusterFault, FaultConfig, FaultPlan, InjectedCounts, WalFault};
 pub use http::MetricsHttp;
 pub use ingest::{BatchPolicy, ServeStats};
 pub use loadgen::{LoadgenConfig, LoadgenReport, Transport};

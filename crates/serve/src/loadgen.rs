@@ -276,6 +276,17 @@ where
         loop {
             match probe.call(&Request::Stats) {
                 Ok(Response::Stats(s)) => break s.vertices as usize,
+                // A sharded router with a dead shard degrades the
+                // aggregate; the surviving shards still carry the
+                // vertex count, which is all the probe wants.
+                Ok(Response::Degraded(inner)) => match *inner {
+                    Response::Stats(s) => break s.vertices as usize,
+                    other => {
+                        return Err(WireError::Io(std::io::Error::other(format!(
+                            "stats probe answered Degraded({other:?})"
+                        ))))
+                    }
+                },
                 Ok(other) => {
                     return Err(WireError::Io(std::io::Error::other(format!(
                         "stats probe answered {other:?}"

@@ -135,6 +135,14 @@ pub enum Response {
     /// Answer to [`Request::ListTenants`]: registered tenant names,
     /// sorted.
     Tenants(Vec<String>),
+    /// A *degraded* answer: correct for the reachable part of the
+    /// cluster, but computed while one or more shards were unavailable
+    /// (see the shard router's failure model, DESIGN.md §15). The inner
+    /// response is never itself `Degraded`. Only wire v2 can carry the
+    /// tag; a v1 frame renders a degraded answer as the conservative
+    /// [`Response::Err`] instead, because a pre-v2 client has no way to
+    /// learn the answer is partial.
+    Degraded(Box<Response>),
 }
 
 /// Server-side statistics, answering [`Request::Stats`] for one tenant.
@@ -304,6 +312,7 @@ const OP_R_METRICS: u8 = 0x89;
 const OP_R_TENANT_CREATED: u8 = 0x8A;
 const OP_R_TENANT_DROPPED: u8 = 0x8B;
 const OP_R_TENANTS: u8 = 0x8C;
+const OP_R_DEGRADED: u8 = 0x8D;
 const OP_R_ERR: u8 = 0xC0;
 
 /// Incremental little-endian payload reader with typed errors.
@@ -616,6 +625,24 @@ fn encode_response_with(resp: &Response, version: WireVersion) -> Vec<u8> {
                 out.extend_from_slice(name.as_bytes());
             }
         }
+        Response::Degraded(inner) => match version {
+            // The degraded tag wraps the inner response's own encoding.
+            WireVersion::V2 => {
+                out.push(OP_R_DEGRADED);
+                out.extend_from_slice(&encode_response_with(inner, version));
+            }
+            // v1 predates the tag: a partial answer a client cannot
+            // recognize as partial must not look authoritative, so it
+            // degrades to an in-band error.
+            WireVersion::V1 => {
+                out.push(OP_R_ERR);
+                out.extend_from_slice(
+                    "degraded answer (one or more shards unavailable); \
+                     wire v2 clients receive the partial result"
+                        .as_bytes(),
+                );
+            }
+        },
     }
     out
 }
@@ -723,6 +750,17 @@ fn decode_response_with(payload: &[u8], version: WireVersion) -> Result<Response
                 names.push(name.to_string());
             }
             Response::Tenants(names)
+        }
+        OP_R_DEGRADED => {
+            let rest = c.rest();
+            // Reject nesting before recursing: a payload of repeated
+            // degraded tags must not recurse once per byte.
+            if rest.first() == Some(&OP_R_DEGRADED) {
+                return Err(FrameError::BadPayload("nested degraded response"));
+            }
+            // The inner decoder consumes (and `finish`es) the rest.
+            let inner = decode_response_with(rest, version)?;
+            return Ok(Response::Degraded(Box::new(inner)));
         }
         op => return Err(FrameError::UnknownOpcode(op)),
     };
@@ -1074,6 +1112,59 @@ mod tests {
             decode_response_v2(&bad).unwrap_err(),
             FrameError::BadPayload("unsupported stats version")
         );
+    }
+
+    #[test]
+    fn degraded_roundtrips_v2_and_degrades_to_err_on_v1() {
+        let samples = vec![
+            Response::Degraded(Box::new(Response::Connected(false))),
+            Response::Degraded(Box::new(Response::Component(7))),
+            Response::Degraded(Box::new(Response::ComponentSize(0))),
+            Response::Degraded(Box::new(Response::NumComponents(3))),
+            Response::Degraded(Box::new(Response::Stats(StatsReport {
+                epoch: 2,
+                tenants: 3,
+                ..StatsReport::default()
+            }))),
+        ];
+        for resp in &samples {
+            // v2: tagged, lossless.
+            let v2 = encode_response_v2(resp);
+            assert_eq!(v2[0], OP_R_DEGRADED);
+            assert_eq!(decode_response_v2(&v2).unwrap(), *resp, "{resp:?}");
+            // v1: a partial answer must not look authoritative.
+            let v1 = encode_response(resp);
+            match decode_response(&v1).unwrap() {
+                Response::Err(msg) => assert!(msg.contains("degraded"), "{msg}"),
+                other => panic!("v1 degraded decoded as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_decode_rejects_nesting_truncation_and_trailing() {
+        // Nesting is rejected before recursing, so a payload of repeated
+        // tags cannot recurse once per byte.
+        let nested = vec![OP_R_DEGRADED, OP_R_DEGRADED, OP_R_CONNECTED, 1];
+        assert_eq!(
+            decode_response_v2(&nested).unwrap_err(),
+            FrameError::BadPayload("nested degraded response")
+        );
+        // A payload that is nothing but degraded tags must error, not
+        // overflow the stack.
+        assert!(decode_response_v2(&[OP_R_DEGRADED; 64]).is_err());
+        // Every strict prefix of a fixed-width inner payload errors.
+        let enc = encode_response_v2(&Response::Degraded(Box::new(Response::NumComponents(9))));
+        for cut in 0..enc.len() {
+            assert!(decode_response_v2(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage after the inner payload is still caught.
+        let mut trailing = enc;
+        trailing.push(0xAB);
+        assert!(matches!(
+            decode_response_v2(&trailing).unwrap_err(),
+            FrameError::Trailing { .. }
+        ));
     }
 
     #[test]

@@ -9,9 +9,58 @@
 //!
 //! [`Engine`]: afforest_serve::Engine
 
+use std::fmt;
 use std::time::Duration;
 
 use afforest_serve::{Request, Response};
+
+/// Why a shard could not answer a call at all.
+///
+/// This is the *transport*-level failure channel, distinct from an
+/// in-band [`Response::Err`] (the shard answered, with an error) and
+/// from [`Response::Overloaded`] (the shard answered, shedding load).
+/// The distinction matters to the router's failure-domain layer: only
+/// [`ShardUnavailable::Dead`] feeds the health state machine
+/// (DESIGN.md §15); shedding is backpressure, not sickness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardUnavailable {
+    /// The shard is up but shed the request (bounded-queue admission);
+    /// retries were exhausted without an answer. Not a health signal.
+    Shedding {
+        /// Index of the shedding shard.
+        shard: usize,
+    },
+    /// The shard could not be reached: connect refused, peer vanished
+    /// mid-call, read deadline exceeded, or the shard id is unknown.
+    Dead {
+        /// Index of the unreachable shard.
+        shard: usize,
+        /// Human-readable cause, for logs and relayed `Err` responses.
+        reason: String,
+    },
+}
+
+impl ShardUnavailable {
+    /// The shard this outcome is about.
+    pub fn shard(&self) -> usize {
+        match *self {
+            ShardUnavailable::Shedding { shard } | ShardUnavailable::Dead { shard, .. } => shard,
+        }
+    }
+}
+
+impl fmt::Display for ShardUnavailable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardUnavailable::Shedding { shard } => {
+                write!(f, "shard {shard} shed the request (retries exhausted)")
+            }
+            ShardUnavailable::Dead { shard, reason } => {
+                write!(f, "shard {shard} unavailable: {reason}")
+            }
+        }
+    }
+}
 
 /// A set of shard workers the router can query.
 ///
@@ -19,15 +68,16 @@ use afforest_serve::{Request, Response};
 /// [`Request::Component`], [`Request::ComponentSize`],
 /// [`Request::NumComponents`], [`Request::InsertEdges`]) plus
 /// [`Request::Stats`], all phrased in the shard's **local** vertex
-/// ids. Failures are reported in-band as [`Response::Err`] (or
-/// [`Response::Overloaded`] for backpressure) so the router can relay
-/// them to its client unchanged.
+/// ids. A shard that answers — even with [`Response::Err`] or
+/// [`Response::Overloaded`] — yields `Ok`; `Err(ShardUnavailable)` is
+/// reserved for calls that produced *no* answer, so the router can
+/// tell a sick shard from a request it should relay unchanged.
 pub trait ShardBackend: Sync {
     /// Number of shard workers.
     fn num_shards(&self) -> usize;
 
     /// Sends `req` to shard `shard` and returns its answer.
-    fn call(&self, shard: usize, req: &Request) -> Response;
+    fn call(&self, shard: usize, req: &Request) -> Result<Response, ShardUnavailable>;
 
     /// Waits until every shard has applied and published all queued
     /// edges, or `timeout` elapses. Returns whether all drained.

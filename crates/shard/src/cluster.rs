@@ -18,7 +18,7 @@ use afforest_core::IncrementalCc;
 use afforest_graph::Node;
 use afforest_serve::{wal, Engine, Request, Response, ServeConfig, ServeError, TenantId, Wal};
 
-use crate::backend::ShardBackend;
+use crate::backend::{ShardBackend, ShardUnavailable};
 use crate::plan::ShardPlan;
 
 /// All shard engines hosted in the current process.
@@ -86,14 +86,17 @@ impl ShardBackend for LocalCluster {
         self.engines.len()
     }
 
-    fn call(&self, shard: usize, req: &Request) -> Response {
+    fn call(&self, shard: usize, req: &Request) -> Result<Response, ShardUnavailable> {
         let Some(engine) = self.engines.get(shard) else {
-            return Response::Err(format!("no such shard {shard}"));
+            return Err(ShardUnavailable::Dead {
+                shard,
+                reason: "no such shard".into(),
+            });
         };
-        match req {
+        Ok(match req {
             Request::Stats => Response::Stats(engine.stats_report(1)),
             other => engine.handle(other),
-        }
+        })
     }
 
     fn flush(&self, timeout: Duration) -> bool {
@@ -125,18 +128,18 @@ mod tests {
         let cluster = LocalCluster::new(&plan, &[], &config()).unwrap();
         assert_eq!(cluster.num_shards(), 2);
         match cluster.call(1, &Request::InsertEdges(vec![(0, 3)])) {
-            Response::Accepted { edges } => assert_eq!(edges, 1),
+            Ok(Response::Accepted { edges }) => assert_eq!(edges, 1),
             other => panic!("unexpected {other:?}"),
         }
         assert!(cluster.flush(Duration::from_secs(5)));
         // Local vertices 0 and 3 of shard 1 are globals 4 and 7.
         match cluster.call(1, &Request::Connected(0, 3)) {
-            Response::Connected(b) => assert!(b),
+            Ok(Response::Connected(b)) => assert!(b),
             other => panic!("unexpected {other:?}"),
         }
         // Shard 0 is untouched.
         match cluster.call(0, &Request::NumComponents) {
-            Response::NumComponents(c) => assert_eq!(c, 4),
+            Ok(Response::NumComponents(c)) => assert_eq!(c, 4),
             other => panic!("unexpected {other:?}"),
         }
         cluster.shutdown();
@@ -147,18 +150,18 @@ mod tests {
         let plan = ShardPlan::new(8, 2);
         let cluster = LocalCluster::new(&plan, &[], &config()).unwrap();
         match cluster.call(0, &Request::Stats) {
-            Response::Stats(s) => assert_eq!(s.vertices, 4),
+            Ok(Response::Stats(s)) => assert_eq!(s.vertices, 4),
             other => panic!("unexpected {other:?}"),
         }
         cluster.shutdown();
     }
 
     #[test]
-    fn unknown_shard_answers_err() {
+    fn unknown_shard_is_typed_dead() {
         let plan = ShardPlan::new(8, 2);
         let cluster = LocalCluster::new(&plan, &[], &config()).unwrap();
         match cluster.call(7, &Request::NumComponents) {
-            Response::Err(_) => {}
+            Err(ShardUnavailable::Dead { shard: 7, .. }) => {}
             other => panic!("unexpected {other:?}"),
         }
         cluster.shutdown();

@@ -21,6 +21,21 @@
 //! the class map; their shard's own answer is already global truth.
 //! The global component count follows by inclusion–exclusion:
 //! `sum(local components) - (representatives - classes)`.
+//!
+//! ## Degraded composition (DESIGN.md §15)
+//!
+//! A build may run while some shards are Down (`stats[k] == None`, or
+//! a shard dies mid-build). Instead of failing, the build **degrades**:
+//! a cut endpoint owned by a down shard becomes a *pseudo
+//! representative* `(shard, local id of the endpoint itself)` with
+//! size 1 — each pseudo rep is a distinct real vertex of the true
+//! graph, so unions through it are real connectivity (the cut edges
+//! incident to it exist) and sizes are lower bounds. Nothing is ever
+//! invented: a degraded `connected == true` is always true in the full
+//! graph; `false` may be conservative, which is exactly why the router
+//! tags such answers [`Degraded`](afforest_serve::Response::Degraded).
+//! The census covers live shards only, with down shards' epochs pinned
+//! to `u64::MAX` so the cache stays valid while they are away.
 
 use std::collections::HashMap;
 
@@ -36,7 +51,8 @@ use crate::plan::ShardPlan;
 pub struct CompositeClass {
     /// Global component label: the minimum global id over members.
     pub label: Node,
-    /// Total vertices across member local components.
+    /// Total vertices across member local components (a lower bound
+    /// when the composite is degraded).
     pub size: u64,
 }
 
@@ -46,17 +62,25 @@ pub struct CompositeClass {
 pub struct Composite {
     /// Boundary store version this view was built from.
     pub boundary_version: u64,
-    /// Published epoch of each shard at build time.
+    /// Published epoch of each shard at build time (`u64::MAX` for a
+    /// shard that was down, so the cache key stays stable while it is).
     pub epochs: Vec<u64>,
-    /// Global component count.
+    /// Component count over the **live** shards (global truth when not
+    /// degraded).
     pub num_components: u64,
+    /// Whether any shard was down during the build. Answers composed
+    /// from a degraded view must be tagged `Response::Degraded`.
+    pub degraded: bool,
+    down: Vec<bool>,
     rep_class: HashMap<(usize, Node), usize>,
     classes: Vec<CompositeClass>,
 }
 
 impl Composite {
     /// The class containing local component `rep = (shard, label)`,
-    /// or `None` when that component touches no cut edge.
+    /// or `None` when that component touches no cut edge. For a down
+    /// shard the key is the pseudo representative
+    /// `(shard, local id of the cut endpoint)`.
     pub fn class_of(&self, rep: (usize, Node)) -> Option<usize> {
         self.rep_class.get(&rep).copied()
     }
@@ -65,55 +89,96 @@ impl Composite {
     pub fn class(&self, idx: usize) -> Option<&CompositeClass> {
         self.classes.get(idx)
     }
+
+    /// Whether `shard` was down when this view was built.
+    pub fn shard_down(&self, shard: usize) -> bool {
+        self.down.get(shard).copied().unwrap_or(false)
+    }
 }
 
 /// Builds a [`Composite`] by querying the shards for the component
 /// label and size of every cut-edge endpoint. `cut` is the boundary
 /// store's forest snapshot at `boundary_version`; `stats` the
-/// per-shard stats sweep whose epochs key the cache.
+/// per-shard stats sweep whose epochs key the cache — `None` marks a
+/// shard that did not answer the sweep (Down), which degrades the
+/// build instead of failing it (see module docs). In-band anomalies
+/// (a shard *answering* nonsense) remain hard errors.
 pub fn build<B: ShardBackend + ?Sized>(
     plan: &ShardPlan,
     backend: &B,
     boundary_version: u64,
     cut: &[(Node, Node)],
-    stats: &[StatsReport],
+    stats: &[Option<StatsReport>],
 ) -> Result<Composite, String> {
-    // Resolve each distinct endpoint to its (shard, local label) rep.
-    let mut rep_of: HashMap<Node, (usize, Node)> = HashMap::new();
-    for &(u, v) in cut {
-        for w in [u, v] {
-            if rep_of.contains_key(&w) {
+    let mut down: Vec<bool> = (0..plan.num_shards())
+        .map(|k| stats.get(k).is_none_or(Option::is_none))
+        .collect();
+
+    // Resolve each distinct endpoint to its (shard, local label) rep —
+    // or a (shard, local id) pseudo-rep when the owner is down. If a
+    // shard dies mid-resolution the pass restarts with it marked down,
+    // so every key for that shard is consistently a pseudo-rep; each
+    // restart marks one more shard, bounding the loop.
+    let mut rep_of: HashMap<Node, (usize, Node)>;
+    let mut sizes: Vec<u64>;
+    let mut reps: Vec<(usize, Node)>;
+    let mut rep_idx: HashMap<(usize, Node), usize>;
+    'resolve: loop {
+        rep_of = HashMap::new();
+        for &(u, v) in cut {
+            for w in [u, v] {
+                if rep_of.contains_key(&w) {
+                    continue;
+                }
+                let s = plan.owner(w);
+                let local = plan.to_local(w);
+                if down[s] {
+                    rep_of.insert(w, (s, local));
+                    continue;
+                }
+                match backend.call(s, &Request::Component(local)) {
+                    Ok(Response::Component(label)) => {
+                        rep_of.insert(w, (s, label));
+                    }
+                    Ok(other) => {
+                        return Err(format!("shard {s} component query answered {other:?}"));
+                    }
+                    Err(_) => {
+                        down[s] = true;
+                        continue 'resolve;
+                    }
+                }
+            }
+        }
+
+        // Distinct reps, their sizes (1 for pseudo-reps: the endpoint
+        // vertex itself — a lower bound that never overcounts).
+        rep_idx = HashMap::new();
+        reps = Vec::new();
+        for rep in rep_of.values() {
+            if !rep_idx.contains_key(rep) {
+                rep_idx.insert(*rep, reps.len());
+                reps.push(*rep);
+            }
+        }
+        sizes = Vec::with_capacity(reps.len());
+        for &(s, label) in &reps {
+            if down[s] {
+                sizes.push(1);
                 continue;
             }
-            let s = plan.owner(w);
-            match backend.call(s, &Request::Component(plan.to_local(w))) {
-                Response::Component(label) => {
-                    rep_of.insert(w, (s, label));
+            match backend.call(s, &Request::ComponentSize(label)) {
+                Ok(Response::ComponentSize(sz)) => sizes.push(sz),
+                Ok(other) => {
+                    return Err(format!("shard {s} size query answered {other:?}"));
                 }
-                other => {
-                    return Err(format!("shard {s} component query answered {other:?}"));
+                Err(_) => {
+                    down[s] = true;
+                    continue 'resolve;
                 }
             }
         }
-    }
-
-    // Distinct reps, their sizes, and a union-find over them.
-    let mut rep_idx: HashMap<(usize, Node), usize> = HashMap::new();
-    let mut reps: Vec<(usize, Node)> = Vec::new();
-    for rep in rep_of.values() {
-        if !rep_idx.contains_key(rep) {
-            rep_idx.insert(*rep, reps.len());
-            reps.push(*rep);
-        }
-    }
-    let mut sizes = Vec::with_capacity(reps.len());
-    for &(s, label) in &reps {
-        match backend.call(s, &Request::ComponentSize(label)) {
-            Response::ComponentSize(sz) => sizes.push(sz),
-            other => {
-                return Err(format!("shard {s} size query answered {other:?}"));
-            }
-        }
+        break;
     }
     let mut uf = IncrementalCc::new(reps.len());
     for &(u, v) in cut {
@@ -124,6 +189,7 @@ pub fn build<B: ShardBackend + ?Sized>(
     let labels = uf.labels();
     let mut class_of_label: HashMap<Node, usize> = HashMap::new();
     let mut classes: Vec<CompositeClass> = Vec::new();
+    let mut live_in_class: Vec<u64> = Vec::new();
     let mut rep_class = HashMap::new();
     for (i, rep) in reps.iter().enumerate() {
         let idx = *class_of_label
@@ -133,20 +199,43 @@ pub fn build<B: ShardBackend + ?Sized>(
                     label: Node::MAX,
                     size: 0,
                 });
+                live_in_class.push(0);
                 classes.len() - 1
             });
         let global = plan.to_global(rep.0, rep.1);
         classes[idx].label = classes[idx].label.min(global);
         classes[idx].size += sizes[i];
+        if !down[rep.0] {
+            live_in_class[idx] += 1;
+        }
         rep_class.insert(*rep, idx);
     }
 
-    let total_local: u64 = stats.iter().map(|s| s.num_components).sum();
-    let merged = reps.len() as u64 - classes.len() as u64;
+    // Census over live shards only: merges are counted per live rep
+    // glued into a class that holds at least one live rep, so classes
+    // made solely of down-shard pseudo-reps do not enter at all.
+    let total_local: u64 = stats
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| !down[*k])
+        .filter_map(|(_, s)| s.as_ref().map(|s| s.num_components))
+        .sum();
+    let live_reps: u64 = reps.iter().filter(|(s, _)| !down[*s]).count() as u64;
+    let live_classes: u64 = live_in_class.iter().filter(|&&n| n > 0).count() as u64;
+    let degraded = down.iter().any(|&d| d);
     Ok(Composite {
         boundary_version,
-        epochs: stats.iter().map(|s| s.epoch).collect(),
-        num_components: total_local - merged,
+        epochs: stats
+            .iter()
+            .enumerate()
+            .map(|(k, s)| match s {
+                Some(s) if !down[k] => s.epoch,
+                _ => u64::MAX,
+            })
+            .collect(),
+        num_components: total_local - (live_reps - live_classes),
+        degraded,
+        down,
         rep_class,
         classes,
     })

@@ -1,0 +1,371 @@
+//! Per-shard health tracking and circuit breaking (DESIGN.md §15).
+//!
+//! The router asks [`HealthTracker::gate`] before every backend call.
+//! While a shard is **Down** the gate answers [`Gate::FailFast`] —
+//! callers do not burn a retry budget on a shard known to be dead —
+//! except once per probe interval, when a single caller is elected to
+//! [`Gate::Probe`] (its ordinary request doubles as the probe). The
+//! state machine:
+//!
+//! ```text
+//! Healthy ──failure×suspect_after──▶ Suspect ──failure×down_after──▶ Down
+//!    ▲                                  │                             │
+//!    │ success                          │ success                     │ probe interval elapsed
+//!    ├──────────────────────────────────┘                             ▼
+//!    └──────────── probe succeeds ──────────────────────────────── Probing
+//!                                        (probe fails: back to Down, timer reset)
+//! ```
+//!
+//! Only *transport* failures ([`ShardUnavailable::Dead`]) feed the
+//! machine; an in-band `Err`/`Overloaded` answer proves the shard is
+//! alive. The tracker is deliberately pure state: it publishes no
+//! metrics and records no events itself — every method returns the
+//! [`Transition`] it caused (if any), and the router maps transitions
+//! to the `afforest_shard_health` gauge, `shard_health_changed` flight
+//! events, and park-log replay. That keeps this file trivially
+//! lock-ordered (no calls out while holding a shard's state lock).
+//!
+//! [`ShardUnavailable::Dead`]: crate::ShardUnavailable::Dead
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Where a shard sits in the failure-domain state machine.
+///
+/// The discriminants are the values exported on the
+/// `afforest_shard_health{shard}` gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum HealthState {
+    /// Answering normally.
+    Healthy = 0,
+    /// Recent consecutive failures; still queried.
+    Suspect = 1,
+    /// Circuit open: calls fail fast instead of dialing.
+    Down = 2,
+    /// One elected probe call is in flight.
+    Probing = 3,
+}
+
+impl HealthState {
+    /// Gauge value for this state (the `repr` discriminant).
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+
+    /// Stable lowercase name, for logs and flight-dump readers.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Down => "down",
+            HealthState::Probing => "probing",
+        }
+    }
+}
+
+/// What the caller holding a request for a shard should do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// Call the shard normally.
+    Allow,
+    /// Circuit open: do not call; answer degraded/parked instead.
+    FailFast,
+    /// Call the shard; this request is the elected health probe.
+    Probe,
+}
+
+/// One state change, `from != to`. Returned instead of published so
+/// the router owns all telemetry (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// State before the change.
+    pub from: HealthState,
+    /// State after the change.
+    pub to: HealthState,
+}
+
+impl Transition {
+    /// Whether this transition re-opened a shard for writes — the
+    /// moment the router must replay the shard's park log.
+    pub fn recovered(&self) -> bool {
+        self.to == HealthState::Healthy && self.from != HealthState::Suspect
+    }
+}
+
+/// Thresholds and timing of the state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive transport failures before Healthy → Suspect.
+    pub suspect_after: u32,
+    /// Consecutive transport failures before → Down (circuit opens).
+    pub down_after: u32,
+    /// How long the circuit stays open between probes.
+    pub probe_interval: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            suspect_after: 1,
+            down_after: 3,
+            probe_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Clamps the thresholds into a usable shape: at least one failure
+    /// to leave Healthy, and `down_after >= suspect_after`.
+    pub fn normalized(self) -> Self {
+        let suspect_after = self.suspect_after.max(1);
+        HealthConfig {
+            suspect_after,
+            down_after: self.down_after.max(suspect_after),
+            probe_interval: self.probe_interval,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ShardHealth {
+    state: HealthState,
+    /// Consecutive transport failures since the last success.
+    failures: u32,
+    /// When the shard entered Down (probe timer origin).
+    down_since: Instant,
+}
+
+/// Health state for every shard of one router (see module docs).
+#[derive(Debug)]
+pub struct HealthTracker {
+    cfg: HealthConfig,
+    shards: Vec<Mutex<ShardHealth>>,
+}
+
+impl HealthTracker {
+    /// A tracker with every shard Healthy.
+    pub fn new(num_shards: usize, cfg: HealthConfig) -> Self {
+        let cfg = cfg.normalized();
+        let now = Instant::now();
+        HealthTracker {
+            cfg,
+            shards: (0..num_shards)
+                .map(|_| {
+                    Mutex::new(ShardHealth {
+                        state: HealthState::Healthy,
+                        failures: 0,
+                        down_since: now,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// The configuration in force (post-normalization).
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Number of tracked shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn slot(&self, shard: usize) -> Option<std::sync::MutexGuard<'_, ShardHealth>> {
+        self.shards
+            .get(shard)
+            .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Current state of `shard` (Healthy for out-of-range ids).
+    pub fn state(&self, shard: usize) -> HealthState {
+        self.slot(shard).map_or(HealthState::Healthy, |s| s.state)
+    }
+
+    /// Snapshot of every shard's state, indexed by shard id.
+    pub fn states(&self) -> Vec<HealthState> {
+        (0..self.shards.len()).map(|k| self.state(k)).collect()
+    }
+
+    /// Admission decision for one call to `shard`. May transition
+    /// Down → Probing (electing the caller as the probe); the
+    /// transition, if any, is returned for the router to publish.
+    pub fn gate(&self, shard: usize) -> (Gate, Option<Transition>) {
+        let Some(mut s) = self.slot(shard) else {
+            return (Gate::Allow, None);
+        };
+        match s.state {
+            HealthState::Healthy | HealthState::Suspect => (Gate::Allow, None),
+            HealthState::Probing => (Gate::FailFast, None),
+            HealthState::Down => {
+                if s.down_since.elapsed() >= self.cfg.probe_interval {
+                    s.state = HealthState::Probing;
+                    (
+                        Gate::Probe,
+                        Some(Transition {
+                            from: HealthState::Down,
+                            to: HealthState::Probing,
+                        }),
+                    )
+                } else {
+                    (Gate::FailFast, None)
+                }
+            }
+        }
+    }
+
+    /// Records a call that produced an answer (any answer — an in-band
+    /// error still proves the shard alive).
+    pub fn record_success(&self, shard: usize) -> Option<Transition> {
+        let mut s = self.slot(shard)?;
+        s.failures = 0;
+        self.enter(&mut s, HealthState::Healthy)
+    }
+
+    /// Records a transport failure (a [`Dead`] outcome — *not*
+    /// shedding, which is backpressure).
+    ///
+    /// [`Dead`]: crate::ShardUnavailable::Dead
+    pub fn record_failure(&self, shard: usize) -> Option<Transition> {
+        let mut s = self.slot(shard)?;
+        match s.state {
+            // A failed probe re-opens the circuit and restarts the timer.
+            HealthState::Probing => {
+                s.down_since = Instant::now();
+                self.enter(&mut s, HealthState::Down)
+            }
+            HealthState::Down => None,
+            HealthState::Healthy | HealthState::Suspect => {
+                s.failures = s.failures.saturating_add(1);
+                if s.failures >= self.cfg.down_after {
+                    s.down_since = Instant::now();
+                    self.enter(&mut s, HealthState::Down)
+                } else if s.failures >= self.cfg.suspect_after {
+                    self.enter(&mut s, HealthState::Suspect)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Forces `shard` Down immediately (boot-time seeding: the worker
+    /// was unreachable when the router started). The probe timer starts
+    /// expired, so the very next call probes.
+    pub fn mark_down(&self, shard: usize) -> Option<Transition> {
+        let mut s = self.slot(shard)?;
+        s.failures = self.cfg.down_after;
+        s.down_since = Instant::now()
+            .checked_sub(self.cfg.probe_interval)
+            .unwrap_or_else(Instant::now);
+        self.enter(&mut s, HealthState::Down)
+    }
+
+    fn enter(&self, s: &mut ShardHealth, to: HealthState) -> Option<Transition> {
+        if s.state == to {
+            return None;
+        }
+        let from = s.state;
+        s.state = to;
+        Some(Transition { from, to })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(probe: Duration) -> HealthTracker {
+        HealthTracker::new(
+            2,
+            HealthConfig {
+                suspect_after: 1,
+                down_after: 3,
+                probe_interval: probe,
+            },
+        )
+    }
+
+    #[test]
+    fn escalates_suspect_then_down_and_fails_fast() {
+        let t = tracker(Duration::from_secs(3600));
+        assert_eq!(t.gate(0), (Gate::Allow, None));
+        assert_eq!(
+            t.record_failure(0),
+            Some(Transition {
+                from: HealthState::Healthy,
+                to: HealthState::Suspect
+            })
+        );
+        assert_eq!(t.record_failure(0), None); // still Suspect
+        assert_eq!(
+            t.record_failure(0),
+            Some(Transition {
+                from: HealthState::Suspect,
+                to: HealthState::Down
+            })
+        );
+        // Circuit open, probe interval far away: every gate fails fast.
+        for _ in 0..10 {
+            assert_eq!(t.gate(0).0, Gate::FailFast);
+        }
+        // The other shard is untouched.
+        assert_eq!(t.state(1), HealthState::Healthy);
+        assert_eq!(t.states(), vec![HealthState::Down, HealthState::Healthy]);
+    }
+
+    #[test]
+    fn probe_election_is_exclusive_and_failure_reopens() {
+        let t = tracker(Duration::ZERO);
+        for _ in 0..3 {
+            t.record_failure(0);
+        }
+        // First gate after the interval is the probe; contenders fail fast.
+        let (g, tr) = t.gate(0);
+        assert_eq!(g, Gate::Probe);
+        assert_eq!(tr.map(|t| t.to), Some(HealthState::Probing));
+        assert_eq!(t.gate(0).0, Gate::FailFast);
+        // Failed probe: back to Down, and (interval=0) probing again next.
+        assert_eq!(t.record_failure(0).map(|t| t.to), Some(HealthState::Down));
+        assert_eq!(t.gate(0).0, Gate::Probe);
+        // Successful probe recovers, and the recovery triggers replay.
+        let tr = t.record_success(0).unwrap();
+        assert_eq!(tr.to, HealthState::Healthy);
+        assert!(tr.recovered());
+        assert_eq!(t.gate(0).0, Gate::Allow);
+    }
+
+    #[test]
+    fn success_from_suspect_is_not_a_recovery() {
+        let t = tracker(Duration::from_secs(1));
+        t.record_failure(0);
+        let tr = t.record_success(0).unwrap();
+        assert_eq!(tr.from, HealthState::Suspect);
+        assert!(!tr.recovered());
+        // Failure counting restarts after a success.
+        t.record_failure(0);
+        t.record_failure(0);
+        assert_eq!(t.state(0), HealthState::Suspect);
+    }
+
+    #[test]
+    fn mark_down_probes_immediately_and_config_normalizes() {
+        let t = tracker(Duration::from_secs(3600));
+        assert_eq!(t.mark_down(1).map(|t| t.to), Some(HealthState::Down));
+        // Timer starts expired: first call is the probe despite the huge
+        // interval.
+        assert_eq!(t.gate(1).0, Gate::Probe);
+        let c = HealthConfig {
+            suspect_after: 0,
+            down_after: 0,
+            probe_interval: Duration::ZERO,
+        }
+        .normalized();
+        assert_eq!((c.suspect_after, c.down_after), (1, 1));
+        // Out-of-range shards are inert.
+        assert_eq!(t.gate(9), (Gate::Allow, None));
+        assert_eq!(t.record_failure(9), None);
+        assert_eq!(t.record_success(9), None);
+    }
+}

@@ -18,11 +18,19 @@
 //! - [`compose`] — merging per-shard forest labels with the boundary
 //!   graph into global `Connected` / `Component` / `NumComponents`
 //!   answers.
-//! - [`backend`] — the [`ShardBackend`] trait; [`cluster`] hosts every
-//!   shard engine in-process ([`LocalCluster`]), [`remote`] dials
-//!   worker processes over the wire ([`RemoteShards`]).
+//! - [`backend`] — the [`ShardBackend`] trait with its typed
+//!   [`ShardUnavailable`] outcome; [`cluster`] hosts every shard
+//!   engine in-process ([`LocalCluster`]), [`remote`] dials worker
+//!   processes over the wire ([`RemoteShards`], lazily — a worker
+//!   down at boot does not fail the router).
+//! - [`health`] — the per-shard health machine
+//!   (Healthy → Suspect → Down → Probing) whose circuit breaker makes
+//!   a dead shard fail fast instead of burning retry budgets.
+//! - [`park`] — durable per-shard parking of insert batches destined
+//!   for a Down shard, replayed in order on recovery (WAL record
+//!   format, torn-tail tolerant).
 //! - [`router`] — the [`Router`]: request dispatch, the composite
-//!   cache, and the TCP front-end.
+//!   cache, degraded reads and write parking, and the TCP front-end.
 //! - [`metrics`] — `{shard="k"}`-labelled series merged into the
 //!   process-wide `/metrics` exposition.
 //!
@@ -40,16 +48,20 @@ pub mod backend;
 pub mod boundary;
 pub mod cluster;
 pub mod compose;
+pub mod health;
 pub mod metrics;
+pub mod park;
 pub mod plan;
 pub mod remote;
 pub mod router;
 
-pub use backend::ShardBackend;
+pub use backend::{ShardBackend, ShardUnavailable};
 pub use boundary::{BoundaryStore, BOUNDARY_LOG};
 pub use cluster::{shard_tenant_name, LocalCluster};
 pub use compose::{Composite, CompositeClass};
+pub use health::{Gate, HealthConfig, HealthState, HealthTracker, Transition};
 pub use metrics::{router_metrics, RouterMetrics, ShardSeries};
+pub use park::{park_path, ParkRecovery, ParkSet};
 pub use plan::{RoutedEdges, ShardPlan};
 pub use remote::RemoteShards;
 pub use router::Router;

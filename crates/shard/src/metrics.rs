@@ -20,6 +20,11 @@ pub struct ShardSeries {
     pub epoch: &'static Gauge,
     /// The shard's last observed ingest queue depth.
     pub queue_depth: &'static Gauge,
+    /// The shard's health state (0 healthy, 1 suspect, 2 down,
+    /// 3 probing — [`HealthState::code`](crate::HealthState::code)).
+    pub health: &'static Gauge,
+    /// Insert batches currently parked for this shard.
+    pub parked: &'static Gauge,
 }
 
 /// All router metric handles: global counters plus one labelled
@@ -33,6 +38,8 @@ pub struct RouterMetrics {
     pub composite_rebuilds: &'static Counter,
     /// Edges currently stored in the boundary forest.
     pub boundary_edges: &'static Gauge,
+    /// Reads answered from a degraded composite (some shard Down).
+    pub degraded_reads: &'static Counter,
     /// Per-shard labelled series, indexed by shard id.
     pub shards: Vec<ShardSeries>,
 }
@@ -52,6 +59,8 @@ pub fn router_metrics(num_shards: usize) -> RouterMetrics {
                 ),
                 epoch: registry::labeled_gauge("afforest_shard_epoch", "shard", &k),
                 queue_depth: registry::labeled_gauge("afforest_shard_queue_depth", "shard", &k),
+                health: registry::labeled_gauge("afforest_shard_health", "shard", &k),
+                parked: registry::labeled_gauge("afforest_parked_batches", "shard", &k),
             }
         })
         .collect();
@@ -60,6 +69,7 @@ pub fn router_metrics(num_shards: usize) -> RouterMetrics {
         cut_edges: registry::counter("afforest_router_cut_edges_total"),
         composite_rebuilds: registry::counter("afforest_router_composite_rebuilds_total"),
         boundary_edges: registry::gauge("afforest_boundary_edges"),
+        degraded_reads: registry::counter("afforest_degraded_reads"),
         shards,
     }
 }

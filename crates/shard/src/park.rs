@@ -1,0 +1,412 @@
+//! Write parking for Down shards (DESIGN.md §15).
+//!
+//! When the circuit breaker has a shard open, `InsertEdges` batches
+//! destined for it are *parked* instead of dropped or blocked on: each
+//! batch is kept in order in memory and appended to a per-shard park
+//! log `<root>/park-<k>.log` using the WAL's record format —
+//! `[u32 len][u64 fnv1a checksum][payload]` with an edge-batch payload
+//! of `[0x01][u32 count][count × (u32,u32) LE]`, all ids **shard
+//! local**. When the shard transitions back to Healthy the router
+//! replays the parked batches in arrival order and then clears the
+//! log.
+//!
+//! Durability mirrors the WAL's trade-off: writes go straight to the
+//! OS (survives a process kill, not power loss), and recovery is a
+//! total function — any byte string in a park log yields a valid
+//! prefix of batches, with the first torn/corrupt record truncated
+//! away. Replay is idempotent (union-find inserts are), so a crash
+//! between "replayed" and "cleared" only costs re-replaying.
+//!
+//! Like [`health`](crate::health), this module is pure bookkeeping: it
+//! publishes no metrics and records no events. The router owns the
+//! `afforest_parked_batches{shard}` gauge and the `park_replayed`
+//! flight event, and never holds a park lock across a backend call.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use afforest_graph::io::checksum64;
+use afforest_graph::Node;
+
+/// Payload tag of an edge-batch record (the WAL's value).
+const TAG_EDGE_BATCH: u8 = 0x01;
+
+/// Largest record payload recovery will accept (the WAL's bound).
+const MAX_RECORD_LEN: usize = 1 << 26;
+
+/// The park-log file name for shard `k` under the router's state root.
+pub fn park_path(root: &Path, shard: usize) -> PathBuf {
+    root.join(format!("park-{shard}.log"))
+}
+
+/// What recovery found in one shard's park log.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParkRecovery {
+    /// Batches recovered (in append order).
+    pub batches: u64,
+    /// Total edges across the recovered batches.
+    pub edges: u64,
+    /// Whether a torn/corrupt tail was truncated away.
+    pub truncated: bool,
+}
+
+/// A parked batch: shard-local edge pairs, in arrival order.
+type Batch = Vec<(Node, Node)>;
+
+struct ParkShard {
+    /// Parked batches, oldest first, shard-local ids.
+    queue: Vec<Batch>,
+    /// Append handle when the set is durable.
+    file: Option<File>,
+    /// Appends that failed with an I/O error (batch stays in memory).
+    write_errors: u64,
+}
+
+/// Per-shard parked-write queues, optionally backed by park logs.
+pub struct ParkSet {
+    shards: Vec<Mutex<ParkShard>>,
+    recoveries: Vec<ParkRecovery>,
+}
+
+impl ParkSet {
+    /// A volatile park set (no logs) — for in-process clusters and tests.
+    pub fn in_memory(num_shards: usize) -> ParkSet {
+        ParkSet {
+            shards: (0..num_shards)
+                .map(|_| {
+                    Mutex::new(ParkShard {
+                        queue: Vec::new(),
+                        file: None,
+                        write_errors: 0,
+                    })
+                })
+                .collect(),
+            recoveries: vec![ParkRecovery::default(); num_shards],
+        }
+    }
+
+    /// A durable park set rooted at `root` (created if missing). An
+    /// existing `park-<k>.log` is recovered first — shard `k`'s queue
+    /// starts with the surviving prefix of batches, torn tail truncated
+    /// — so parked writes outlive a router restart. `shard_lens[k]`
+    /// bounds shard `k`'s local id space; records naming ids outside it
+    /// are treated as corruption.
+    pub fn with_root(root: &Path, shard_lens: &[usize]) -> std::io::Result<ParkSet> {
+        std::fs::create_dir_all(root)?;
+        let mut shards = Vec::with_capacity(shard_lens.len());
+        let mut recoveries = Vec::with_capacity(shard_lens.len());
+        for (k, &n) in shard_lens.iter().enumerate() {
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(park_path(root, k))?;
+            let (queue, recovery) = recover_log(&mut file, n)?;
+            recoveries.push(recovery);
+            shards.push(Mutex::new(ParkShard {
+                queue,
+                file: Some(file),
+                write_errors: 0,
+            }));
+        }
+        Ok(ParkSet { shards, recoveries })
+    }
+
+    /// Number of shards this set tracks.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// What recovery found for `shard` when the set was opened.
+    pub fn recovery(&self, shard: usize) -> ParkRecovery {
+        self.recoveries.get(shard).cloned().unwrap_or_default()
+    }
+
+    fn slot(&self, shard: usize) -> Option<std::sync::MutexGuard<'_, ParkShard>> {
+        self.shards
+            .get(shard)
+            .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Parks one batch (shard-local ids) for `shard`. The batch always
+    /// lands in memory; a failed log append is counted, not fatal.
+    /// Returns the shard's new queue depth (0 if `shard` is unknown).
+    pub fn park(&self, shard: usize, edges: &[(Node, Node)]) -> usize {
+        let Some(mut s) = self.slot(shard) else {
+            return 0;
+        };
+        s.queue.push(edges.to_vec());
+        if let Some(file) = &mut s.file {
+            let record = encode_record(edges);
+            if file.write_all(&record).and_then(|()| file.flush()).is_err() {
+                s.write_errors += 1;
+            }
+        }
+        s.queue.len()
+    }
+
+    /// Parked batches for `shard` right now.
+    pub fn depth(&self, shard: usize) -> usize {
+        self.slot(shard).map_or(0, |s| s.queue.len())
+    }
+
+    /// Total parked edges for `shard` right now.
+    pub fn parked_edges(&self, shard: usize) -> usize {
+        self.slot(shard)
+            .map_or(0, |s| s.queue.iter().map(Vec::len).sum())
+    }
+
+    /// Log appends that failed with an I/O error, across all shards.
+    pub fn write_errors(&self) -> u64 {
+        (0..self.shards.len())
+            .filter_map(|k| self.slot(k))
+            .map(|s| s.write_errors)
+            .sum()
+    }
+
+    /// A copy of `shard`'s queue, oldest first, for replay. The caller
+    /// must *not* hold this snapshot's shard locked while replaying —
+    /// take the copy, drop straight into backend calls, then
+    /// [`ParkSet::clear`] on full success.
+    pub fn snapshot(&self, shard: usize) -> Vec<Vec<(Node, Node)>> {
+        self.slot(shard).map_or_else(Vec::new, |s| s.queue.clone())
+    }
+
+    /// Drops the first `batches` parked batches of `shard` (the prefix
+    /// a replay delivered) and rewrites the log to the survivors. With
+    /// a partial replay the remaining suffix stays parked, in order.
+    pub fn clear(&self, shard: usize, batches: usize) {
+        let Some(mut s) = self.slot(shard) else {
+            return;
+        };
+        let cut = batches.min(s.queue.len());
+        let keep = s.queue.split_off(cut);
+        s.queue = keep;
+        let mut bytes = Vec::new();
+        for batch in &s.queue {
+            bytes.extend_from_slice(&encode_record(batch));
+        }
+        if let Some(file) = &mut s.file {
+            let rewrite = file
+                .set_len(0)
+                .and_then(|()| file.seek(SeekFrom::Start(0)))
+                .and_then(|_| file.write_all(&bytes))
+                .and_then(|()| file.flush());
+            if rewrite.is_err() {
+                s.write_errors += 1;
+            }
+        }
+    }
+}
+
+/// Encodes one batch in the WAL record format (see module docs).
+fn encode_record(edges: &[(Node, Node)]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(5 + edges.len() * 8);
+    payload.push(TAG_EDGE_BATCH);
+    payload.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+    for &(u, v) in edges {
+        payload.extend_from_slice(&u.to_le_bytes());
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut record = Vec::with_capacity(12 + payload.len());
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(&checksum64(&payload).to_le_bytes());
+    record.extend_from_slice(&payload);
+    record
+}
+
+/// Reads `n`-bounded batches until EOF or the first bad record, then
+/// truncates the file there. Total over arbitrary file contents.
+fn recover_log(file: &mut File, n: usize) -> std::io::Result<(Vec<Batch>, ParkRecovery)> {
+    let mut bytes = Vec::new();
+    file.seek(SeekFrom::Start(0))?;
+    file.read_to_end(&mut bytes)?;
+    let mut queue = Vec::new();
+    let mut recovery = ParkRecovery::default();
+    let mut at = 0usize;
+    loop {
+        let Some(prefix) = bytes.get(at..at + 12) else {
+            recovery.truncated = at < bytes.len();
+            break;
+        };
+        let len = read_u32(prefix, 0) as usize;
+        let declared = read_u64(prefix, 4);
+        if !(5..=MAX_RECORD_LEN).contains(&len) {
+            recovery.truncated = true;
+            break;
+        }
+        let Some(payload) = bytes.get(at + 12..at + 12 + len) else {
+            recovery.truncated = true;
+            break;
+        };
+        if checksum64(payload) != declared {
+            recovery.truncated = true;
+            break;
+        }
+        let Some(batch) = decode_batch(payload, n) else {
+            recovery.truncated = true;
+            break;
+        };
+        recovery.batches += 1;
+        recovery.edges += batch.len() as u64;
+        queue.push(batch);
+        at += 12 + len;
+    }
+    if recovery.truncated {
+        file.set_len(at as u64)?;
+    }
+    file.seek(SeekFrom::End(0))?;
+    Ok((queue, recovery))
+}
+
+/// Little-endian u32 at `at`; 0 if out of range (callers pre-slice).
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    match bytes.get(at..at + 4).map(TryInto::try_into) {
+        Some(Ok(arr)) => u32::from_le_bytes(arr),
+        _ => 0,
+    }
+}
+
+/// Little-endian u64 at `at`; 0 if out of range (callers pre-slice).
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    match bytes.get(at..at + 8).map(TryInto::try_into) {
+        Some(Ok(arr)) => u64::from_le_bytes(arr),
+        _ => 0,
+    }
+}
+
+/// Decodes an edge-batch payload whose ids must fall in `0..n`.
+fn decode_batch(payload: &[u8], n: usize) -> Option<Vec<(Node, Node)>> {
+    if payload.first() != Some(&TAG_EDGE_BATCH) {
+        return None;
+    }
+    let count = read_u32(payload.get(1..5)?, 0) as usize;
+    let body = payload.get(5..)?;
+    if body.len() != count * 8 {
+        return None;
+    }
+    let mut edges = Vec::with_capacity(count);
+    for pair in body.chunks_exact(8) {
+        let u = read_u32(pair, 0);
+        let v = read_u32(pair, 4);
+        if u as usize >= n || v as usize >= n {
+            return None;
+        }
+        edges.push((u, v));
+    }
+    Some(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("afforest-park-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn parks_in_order_and_survives_reopen() {
+        let dir = tempdir("reopen");
+        let set = ParkSet::with_root(dir.as_path(), &[8, 8]).unwrap();
+        assert_eq!(set.park(0, &[(0, 1)]), 1);
+        assert_eq!(set.park(0, &[(2, 3), (3, 4)]), 2);
+        assert_eq!(set.park(1, &[(5, 6)]), 1);
+        assert_eq!(set.depth(0), 2);
+        assert_eq!(set.parked_edges(0), 3);
+        drop(set);
+
+        let set = ParkSet::with_root(dir.as_path(), &[8, 8]).unwrap();
+        assert_eq!(set.recovery(0).batches, 2);
+        assert!(!set.recovery(0).truncated);
+        assert_eq!(
+            set.snapshot(0),
+            vec![vec![(0, 1)], vec![(2, 3), (3, 4)]],
+            "replay order is arrival order"
+        );
+        assert_eq!(set.snapshot(1), vec![vec![(5, 6)]]);
+    }
+
+    #[test]
+    fn clear_drops_a_replayed_prefix_and_rewrites_the_log() {
+        let dir = tempdir("clear");
+        let set = ParkSet::with_root(dir.as_path(), &[16]).unwrap();
+        for i in 0..4u32 {
+            set.park(0, &[(i, i + 1)]);
+        }
+        set.clear(0, 2);
+        assert_eq!(set.snapshot(0), vec![vec![(2, 3)], vec![(3, 4)]]);
+        drop(set);
+        // The rewritten log holds exactly the surviving suffix.
+        let set = ParkSet::with_root(dir.as_path(), &[16]).unwrap();
+        assert_eq!(set.snapshot(0), vec![vec![(2, 3)], vec![(3, 4)]]);
+        set.clear(0, usize::MAX);
+        assert_eq!(set.depth(0), 0);
+        assert_eq!(
+            std::fs::metadata(park_path(dir.as_path(), 0))
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn recovery_truncates_torn_and_corrupt_tails() {
+        let dir = tempdir("corrupt");
+        let set = ParkSet::with_root(dir.as_path(), &[8]).unwrap();
+        set.park(0, &[(1, 2)]);
+        set.park(0, &[(3, 4)]);
+        drop(set);
+        let path = park_path(dir.as_path(), 0);
+        let clean = std::fs::read(&path).unwrap();
+
+        // Torn tail: a few bytes of a half-written record header.
+        let mut torn = clean.clone();
+        torn.extend_from_slice(&clean[..5]);
+        std::fs::write(&path, &torn).unwrap();
+        let set = ParkSet::with_root(dir.as_path(), &[8]).unwrap();
+        assert_eq!(set.recovery(0).batches, 2);
+        assert!(set.recovery(0).truncated);
+        drop(set);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            clean,
+            "tail cut at a record boundary"
+        );
+
+        // Corrupt byte inside the second record: first survives.
+        let mut flipped = clean.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        let set = ParkSet::with_root(dir.as_path(), &[8]).unwrap();
+        assert_eq!(set.recovery(0).batches, 1);
+        assert_eq!(set.snapshot(0), vec![vec![(1, 2)]]);
+        drop(set);
+
+        // An id outside the shard's space is corruption too.
+        std::fs::write(&path, encode_record(&[(7, 9)])).unwrap();
+        let set = ParkSet::with_root(dir.as_path(), &[8]).unwrap();
+        assert_eq!(set.recovery(0).batches, 0);
+        assert!(set.recovery(0).truncated);
+    }
+
+    #[test]
+    fn in_memory_set_parks_without_any_files() {
+        let set = ParkSet::in_memory(1);
+        set.park(0, &[(0, 1)]);
+        assert_eq!(set.depth(0), 1);
+        set.clear(0, 1);
+        assert_eq!(set.depth(0), 0);
+        assert_eq!(set.write_errors(), 0);
+        // Unknown shards are inert.
+        assert_eq!(set.park(9, &[(0, 1)]), 0);
+        assert_eq!(set.depth(9), 0);
+    }
+}

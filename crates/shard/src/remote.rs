@@ -2,48 +2,89 @@
 //!
 //! Each shard is a separate `afforest serve` process (typically
 //! started with `--vertices N_k` for an empty slice plus a WAL
-//! directory). The router holds one [`Client`] per shard and relays
+//! directory). The router holds one client slot per shard and relays
 //! shard-local requests verbatim — the workers speak the same protocol
 //! as a standalone server, so nothing shard-specific runs on them.
 //!
-//! Calls go through [`Client::call_retrying`], which reconnects and
-//! retries on disconnects, timeouts and `Overloaded` answers. That is
-//! what makes the cluster survive a SIGKILLed worker: once the worker
-//! is restarted (recovering its state from its WAL namespace), the
-//! router's next retry lands on the fresh process.
+//! Connection is **lazy**: [`RemoteShards::connect`] tries every
+//! address once but never fails the router boot — a worker that is
+//! down at startup leaves an empty slot (reported by
+//! [`RemoteShards::down_at_boot`], which the router seeds into its
+//! health tracker as Down) and is dialed again on the first call that
+//! reaches the shard, i.e. the breaker's probe. Calls that do connect
+//! go through [`Client::call_retrying`], which reconnects and retries
+//! on disconnects, timeouts and `Overloaded` answers; when retries are
+//! exhausted the outcome is a typed [`ShardUnavailable`] — never a
+//! fabricated in-band response — so the router can tell backpressure
+//! ([`ShardUnavailable::Shedding`]) from death
+//! ([`ShardUnavailable::Dead`], which also drops the cached client so
+//! the next call redials).
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use afforest_serve::{Client, Request, Response, RetryPolicy, WireError};
+use afforest_serve::{Client, Request, Response, RetryPolicy};
 
-use crate::backend::ShardBackend;
+use crate::backend::{ShardBackend, ShardUnavailable};
 
-/// One wire client per shard worker, each behind its own mutex so
+/// One wire-client slot per shard worker, each behind its own mutex so
 /// router connection threads can fan out to distinct shards in
-/// parallel.
+/// parallel. `None` means "not currently connected".
 pub struct RemoteShards {
-    clients: Vec<Mutex<Client>>,
+    addrs: Vec<String>,
+    retry: RetryPolicy,
+    read_timeout: Option<Duration>,
+    clients: Vec<Mutex<Option<Client>>>,
 }
 
 impl RemoteShards {
-    /// Dials one worker per address. `retry` governs reconnect/retry
-    /// behaviour for every subsequent call; `read_timeout` bounds how
-    /// long a single answer may take (None blocks forever, which a
+    /// Prepares one slot per address and tries an initial dial of
+    /// each. Down workers do **not** fail the boot; their shard ids
+    /// come back from [`RemoteShards::down_at_boot`]. `retry` governs
+    /// reconnect/retry behaviour for every call; `read_timeout` bounds
+    /// how long a single answer may take (None blocks forever, which a
     /// killed worker would inherit — prefer a bound).
     pub fn connect(
         addrs: &[String],
         retry: RetryPolicy,
         read_timeout: Option<Duration>,
-    ) -> Result<RemoteShards, WireError> {
-        let mut clients = Vec::with_capacity(addrs.len());
-        for addr in addrs {
-            let client = Client::connect(addr.as_str())?
-                .with_read_timeout(read_timeout)?
-                .with_retry(retry);
-            clients.push(Mutex::new(client));
+    ) -> RemoteShards {
+        let shards = RemoteShards {
+            addrs: addrs.to_vec(),
+            retry,
+            read_timeout,
+            clients: addrs.iter().map(|_| Mutex::new(None)).collect(),
+        };
+        for k in 0..shards.addrs.len() {
+            if let Some(mut slot) = shards.slot(k) {
+                *slot = shards.dial(k);
+            }
         }
-        Ok(RemoteShards { clients })
+        shards
+    }
+
+    /// Shards whose worker was unreachable at boot (slot still empty).
+    /// The router marks these Down so the breaker probes them instead
+    /// of every request timing out against a dead address.
+    pub fn down_at_boot(&self) -> Vec<usize> {
+        (0..self.clients.len())
+            .filter(|&k| self.slot(k).is_some_and(|s| s.is_none()))
+            .collect()
+    }
+
+    fn slot(&self, shard: usize) -> Option<std::sync::MutexGuard<'_, Option<Client>>> {
+        self.clients
+            .get(shard)
+            .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// One dial attempt for shard `shard`.
+    fn dial(&self, shard: usize) -> Option<Client> {
+        let addr = self.addrs.get(shard)?;
+        Client::connect(addr.as_str())
+            .and_then(|c| c.with_read_timeout(self.read_timeout))
+            .map(|c| c.with_retry(self.retry))
+            .ok()
     }
 }
 
@@ -52,19 +93,36 @@ impl ShardBackend for RemoteShards {
         self.clients.len()
     }
 
-    fn call(&self, shard: usize, req: &Request) -> Response {
-        if shard >= self.clients.len() {
-            return Response::Err(format!("no such shard {shard}"));
+    fn call(&self, shard: usize, req: &Request) -> Result<Response, ShardUnavailable> {
+        let Some(mut slot) = self.slot(shard) else {
+            return Err(ShardUnavailable::Dead {
+                shard,
+                reason: "no such shard".into(),
+            });
+        };
+        if slot.is_none() {
+            // Lazy (re)connect: this call doubles as the dial.
+            *slot = self.dial(shard);
         }
-        let outcome = self.clients[shard]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .call_retrying(req);
-        match outcome {
-            Ok(Some(resp)) => resp,
-            // Retries exhausted while the shard kept shedding.
-            Ok(None) => Response::Overloaded { queue_depth: 0 },
-            Err(e) => Response::Err(format!("shard {shard} unavailable: {e}")),
+        let Some(client) = slot.as_mut() else {
+            return Err(ShardUnavailable::Dead {
+                shard,
+                reason: "connect refused".into(),
+            });
+        };
+        match client.call_retrying(req) {
+            Ok(Some(resp)) => Ok(resp),
+            // Retries exhausted while the shard kept shedding: the
+            // worker is alive, just saturated. Not a health signal.
+            Ok(None) => Err(ShardUnavailable::Shedding { shard }),
+            Err(e) => {
+                // Drop the broken client so the next call redials.
+                *slot = None;
+                Err(ShardUnavailable::Dead {
+                    shard,
+                    reason: e.to_string(),
+                })
+            }
         }
     }
 
@@ -72,12 +130,11 @@ impl ShardBackend for RemoteShards {
         let deadline = Instant::now() + timeout;
         for k in 0..self.clients.len() {
             let left = deadline.saturating_duration_since(Instant::now());
-            let drained = self.clients[k]
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .flush(left)
-                .unwrap_or(false);
-            if !drained {
+            let drained = self
+                .slot(k)
+                .and_then(|mut s| s.as_mut().map(|c| c.flush(left).unwrap_or(false)));
+            // Disconnected shards have nothing queued here to drain.
+            if drained == Some(false) {
                 return false;
             }
         }
@@ -85,11 +142,12 @@ impl ShardBackend for RemoteShards {
     }
 
     fn shutdown(&self) {
-        for c in &self.clients {
-            let _ = c
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .call(&Request::Shutdown);
+        for k in 0..self.clients.len() {
+            if let Some(mut slot) = self.slot(k) {
+                if let Some(client) = slot.as_mut() {
+                    let _ = client.call(&Request::Shutdown);
+                }
+            }
         }
     }
 }

@@ -33,6 +33,7 @@ fn every_registered_metric_is_named_in_the_fixture() {
     m.epoch_publish_lag.record(2_000_000);
     afforest_serve::metrics::tenant_metrics("default");
     registry::counter("afforest_client_retries_total").inc();
+    registry::counter("afforest_client_degraded_total").inc();
     // The sharded layer on top: router globals plus the per-shard
     // labelled families for a two-shard deployment.
     afforest_shard::metrics::router_metrics(2);

@@ -1,0 +1,163 @@
+//! Tentpole: parked writes replay into oracle-exact connectivity.
+//!
+//! Drives a router whose backend kills and revives shards at scripted
+//! points while random batches stream in. Batches destined for a dead
+//! shard park (the insert answer is tagged Degraded); once every shard
+//! is back and the backlogs have replayed, the composite answers must
+//! equal a single-engine `IncrementalCc` oracle that saw every edge —
+//! parking must lose nothing, reorder nothing visible, and tolerate
+//! repeated partial replays across several kill/revive cycles.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use afforest_core::IncrementalCc;
+use afforest_graph::Node;
+use afforest_serve::{Request, Response, ServeConfig};
+use afforest_shard::{
+    BoundaryStore, HealthConfig, LocalCluster, Router, ShardBackend, ShardPlan, ShardUnavailable,
+};
+use proptest::prelude::*;
+
+/// A backend whose shards can be scripted dead (typed `Dead` outcome)
+/// and alive again, deterministically.
+struct Scripted {
+    inner: LocalCluster,
+    dead: Mutex<Vec<bool>>,
+}
+
+impl Scripted {
+    fn new(inner: LocalCluster) -> Scripted {
+        let n = inner.num_shards();
+        Scripted {
+            inner,
+            dead: Mutex::new(vec![false; n]),
+        }
+    }
+
+    fn set_dead(&self, shard: usize, dead: bool) {
+        self.dead.lock().unwrap()[shard] = dead;
+    }
+}
+
+impl ShardBackend for Scripted {
+    fn num_shards(&self) -> usize {
+        self.inner.num_shards()
+    }
+
+    fn call(&self, shard: usize, req: &Request) -> Result<Response, ShardUnavailable> {
+        if self
+            .dead
+            .lock()
+            .unwrap()
+            .get(shard)
+            .copied()
+            .unwrap_or(false)
+        {
+            return Err(ShardUnavailable::Dead {
+                shard,
+                reason: "scripted kill".into(),
+            });
+        }
+        self.inner.call(shard, req)
+    }
+
+    fn flush(&self, timeout: Duration) -> bool {
+        self.inner.flush(timeout)
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown();
+    }
+}
+
+fn insert_ok(r: &Router<Scripted>, batch: &[(Node, Node)]) {
+    for _ in 0..1000 {
+        match r.handle(&Request::InsertEdges(batch.to_vec())) {
+            // Parked halves come back tagged; both count as accepted.
+            Response::Accepted { .. } => return,
+            Response::Degraded(inner) => {
+                assert!(matches!(*inner, Response::Accepted { .. }));
+                return;
+            }
+            Response::Overloaded { .. } => std::thread::sleep(Duration::from_millis(1)),
+            other => panic!("insert answered {other:?}"),
+        }
+    }
+    panic!("insert kept shedding");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn replayed_parked_writes_converge_to_the_oracle(
+        n in 8usize..48,
+        shards in 2usize..5,
+        steps in proptest::collection::vec(
+            (
+                proptest::collection::vec((0u32..48, 0u32..48), 1..10),
+                // Scripted fault before the batch:
+                // (fires?, target shard, kill-or-revive).
+                (any::<bool>(), 0usize..5, any::<bool>()),
+            ),
+            1..10,
+        ),
+        probe_seed in proptest::collection::vec((0u32..48, 0u32..48), 8),
+    ) {
+        let plan = ShardPlan::new(n, shards);
+        let config = ServeConfig::builder().build().unwrap();
+        let cluster = LocalCluster::new(&plan, &[], &config).unwrap();
+        let r = Router::new(
+            plan,
+            BoundaryStore::new(n),
+            Scripted::new(cluster),
+            None,
+        )
+        .with_health_config(HealthConfig {
+            suspect_after: 1,
+            down_after: 1,
+            probe_interval: Duration::ZERO,
+        });
+        let mut oracle = IncrementalCc::new(n);
+        let clamp = |v: u32| v % n as u32;
+        for (batch, (fires, k, dead)) in &steps {
+            if *fires {
+                r.backend().set_dead(k % shards, *dead);
+            }
+            let batch: Vec<(Node, Node)> =
+                batch.iter().map(|&(u, v)| (clamp(u), clamp(v))).collect();
+            insert_ok(&r, &batch);
+            oracle.insert_batch(&batch);
+        }
+
+        // Everyone comes back; a stats sweep probes each breaker open
+        // shard, which replays its backlog.
+        for k in 0..shards {
+            r.backend().set_dead(k, false);
+        }
+        let _ = r.handle(&Request::Stats);
+        for k in 0..shards {
+            prop_assert_eq!(r.park().depth(k), 0, "shard {} backlog not drained", k);
+        }
+        prop_assert!(r.flush(Duration::from_secs(10)), "shards did not drain");
+
+        // Oracle-exact, and no longer degraded.
+        match r.handle(&Request::NumComponents) {
+            Response::NumComponents(c) => {
+                prop_assert_eq!(c, oracle.num_components() as u64, "census diverged")
+            }
+            other => panic!("NumComponents answered {other:?}"),
+        }
+        for &(u, v) in &probe_seed {
+            let (u, v) = (clamp(u), clamp(v));
+            match r.handle(&Request::Connected(u, v)) {
+                Response::Connected(b) => {
+                    prop_assert_eq!(b, oracle.connected(u, v), "Connected({}, {}) diverged", u, v)
+                }
+                other => panic!("Connected answered {other:?}"),
+            }
+        }
+        r.shutdown_backend();
+    }
+}

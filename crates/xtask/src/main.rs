@@ -13,11 +13,15 @@
 //!   the crash-recovery smoke test ([`crash`], clean and with chaos
 //!   faults injected), the telemetry scrape smoke ([`metrics`]), the
 //!   sharded serving smoke ([`shard_smoke`]: router + workers + a worker
-//!   SIGKILL), and the schedule-exploring model checker (`ci.sh` is a
-//!   thin wrapper around this).
+//!   SIGKILL), the cluster chaos soak ([`chaos_soak`]: a scripted
+//!   kill/hang/slow/partition fault matrix against a 3-shard cluster,
+//!   asserting parked-write replay, degraded reads and oracle-exact
+//!   convergence), and the schedule-exploring model checker (`ci.sh` is
+//!   a thin wrapper around this).
 
 #![forbid(unsafe_code)]
 
+mod chaos_soak;
 mod crash;
 mod metrics;
 mod shard_smoke;
@@ -198,6 +202,12 @@ fn run_ci() -> ExitCode {
     if !shard_smoke::run_shard(&root) {
         return ExitCode::FAILURE;
     }
+    // Cluster chaos soak: the failure-domain layer under a scripted
+    // fault matrix — breaker, parked writes, degraded reads, recovery.
+    println!("==> cluster chaos soak");
+    if !chaos_soak::run_chaos(&root) {
+        return ExitCode::FAILURE;
+    }
     println!("==> ci passed");
     ExitCode::SUCCESS
 }
@@ -253,6 +263,15 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("chaos") => {
+            // The cluster chaos soak alone (also part of `ci`).
+            println!("==> cluster chaos soak");
+            if chaos_soak::run_chaos(&workspace_root()) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         Some("shard") => {
             // The sharded serving smoke alone (also part of `ci`).
             println!("==> sharded serving smoke");
@@ -263,12 +282,13 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: cargo xtask <lint|ci|crash|metrics|shard>");
+            eprintln!("usage: cargo xtask <lint|ci|crash|metrics|shard|chaos>");
             eprintln!("  lint     the static analysis battery (crates/analysis, DESIGN.md section 13); --json <path> writes the report, --list-passes enumerates passes");
-            eprintln!("  ci       analysis battery + fmt --check + clippy -D warnings + tests (with and without obs) + model checker + serve/crash/metrics/shard smokes");
+            eprintln!("  ci       analysis battery + fmt --check + clippy -D warnings + tests (with and without obs) + model checker + serve/crash/metrics/shard smokes + chaos soak");
             eprintln!("  crash    the WAL crash-recovery smoke alone");
             eprintln!("  metrics  the telemetry scrape smoke alone");
             eprintln!("  shard    the sharded serving smoke alone (router + workers + SIGKILL)");
+            eprintln!("  chaos    the cluster chaos soak alone (scripted fault matrix, parked-write replay)");
             ExitCode::FAILURE
         }
     }

@@ -50,12 +50,12 @@ fn inserted_edges() -> Vec<(u32, u32)> {
 /// A worker's stdout reader. Kept alive for the worker's lifetime: the
 /// child prints its shutdown report at exit, and a closed pipe would
 /// turn that print into a panic.
-type WorkerOut = BufReader<std::process::ChildStdout>;
+pub(crate) type WorkerOut = BufReader<std::process::ChildStdout>;
 
 /// Starts one shard worker serving an empty `vertices`-vertex slice on
 /// `addr` with WAL namespace `wal`; returns the reaper, the bound
 /// address parsed from its announcement, and the live stdout reader.
-fn spawn_worker(
+pub(crate) fn spawn_worker(
     root: &Path,
     vertices: usize,
     addr: &str,
@@ -108,7 +108,7 @@ fn spawn_worker(
 
 /// Restarts a killed worker on its original (now fixed) address,
 /// retrying while the kernel releases the port.
-fn respawn_worker(
+pub(crate) fn respawn_worker(
     root: &Path,
     vertices: usize,
     addr: &str,
@@ -126,7 +126,7 @@ fn respawn_worker(
 
 /// Waits for a clean process exit (the shutdown cascade reaches workers
 /// through the router's backend teardown).
-fn wait_exit(name: &str, child: &mut Reaper) -> Result<(), String> {
+pub(crate) fn wait_exit(name: &str, child: &mut Reaper) -> Result<(), String> {
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
         match child.0.try_wait().map_err(|e| e.to_string())? {
