@@ -359,8 +359,9 @@ pub mod bench {
 ///
 /// Sharded modes add `--shards N` (in-process cluster) or
 /// `--shard-addrs LIST --vertices N` (remote workers), with the
-/// failure-domain knobs `--suspect-after N`, `--down-after N` and
-/// `--probe-interval-ms MS` (see DESIGN.md §15).
+/// failure-domain knobs `--suspect-after N`, `--down-after N`,
+/// `--probe-interval-ms MS` and `--probe-deadline-ms MS` (see
+/// DESIGN.md §15).
 pub mod serve {
     use super::*;
     use afforest_core::IncrementalCc;
@@ -400,6 +401,7 @@ pub mod serve {
             "suspect-after",
             "down-after",
             "probe-interval-ms",
+            "probe-deadline-ms",
         ])?;
         // Sharded modes: `--shards N` hosts N shard engines in-process
         // behind a router; `--shard-addrs LIST` routes to remote shard
@@ -600,8 +602,9 @@ pub mod serve {
         let wal_dir = args.flag("wal-dir").map(PathBuf::from);
         let metrics_addr = args.flag("metrics-addr");
         // Failure-domain knobs: consecutive transport failures before a
-        // shard is Suspect / Down, and how long the breaker stays open
-        // between probes.
+        // shard is Suspect / Down, how long the breaker stays open
+        // between probes, and how long an elected probe may hang before
+        // another caller reclaims it.
         let defaults = HealthConfig::default();
         let health = HealthConfig {
             suspect_after: args.flag_parsed("suspect-after", defaults.suspect_after)?,
@@ -609,6 +612,10 @@ pub mod serve {
             probe_interval: Duration::from_millis(args.flag_parsed(
                 "probe-interval-ms",
                 defaults.probe_interval.as_millis() as u64,
+            )?),
+            probe_deadline: Duration::from_millis(args.flag_parsed(
+                "probe-deadline-ms",
+                defaults.probe_deadline.as_millis() as u64,
             )?),
         };
         // As with the standalone server, the flight recorder dumps next

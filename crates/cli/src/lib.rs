@@ -70,6 +70,7 @@ commands:
            [--suspect-after N]              shard health: failures before
            [--down-after N]                 Suspect / before the breaker opens
            [--probe-interval-ms MS]         and the probe cadence while Down
+           [--probe-deadline-ms MS]         reclaim a hung probe after MS
   distrib-cc <graph> [--ranks P]            BSP forest-merge connectivity with
            [--partition block|hash|bfs]     exact communication accounting
   recover  [<graph>] [--wal-dir PATH]       offline WAL replay + parked-write

@@ -127,6 +127,7 @@ pub struct Client {
     rng: SmallRng,
     last_degraded: bool,
     degraded_answers: u64,
+    last_shed_depth: u64,
 }
 
 impl Client {
@@ -146,6 +147,7 @@ impl Client {
             rng: SmallRng::seed_from_u64(u64::from(std::process::id()) ^ 0x5EED_C11E),
             last_degraded: false,
             degraded_answers: 0,
+            last_shed_depth: 0,
         })
     }
 
@@ -198,7 +200,7 @@ impl Client {
         let mut attempt = 0u32;
         loop {
             match self.call(req) {
-                Ok(Response::Overloaded { .. }) => {}
+                Ok(Response::Overloaded { queue_depth }) => self.last_shed_depth = queue_depth,
                 Ok(resp) => return Ok(Some(resp)),
                 Err(WireError::Io(e))
                     if matches!(
@@ -238,6 +240,14 @@ impl Client {
     /// Total degraded answers this client has received.
     pub fn degraded_answers(&self) -> u64 {
         self.degraded_answers
+    }
+
+    /// Queue depth reported by the most recent `Overloaded` answer —
+    /// the last honest backpressure signal seen before
+    /// [`Client::call_retrying`] abandoned a request as shed (0 until
+    /// the first such answer).
+    pub fn last_shed_queue_depth(&self) -> u64 {
+        self.last_shed_depth
     }
 
     fn typed(&mut self, req: &Request) -> Result<Response, ClientError> {

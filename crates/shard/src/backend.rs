@@ -29,6 +29,10 @@ pub enum ShardUnavailable {
     Shedding {
         /// Index of the shedding shard.
         shard: usize,
+        /// Queue depth from the shard's last `Overloaded` answer — its
+        /// most recent honest backpressure signal, carried so a relayed
+        /// `Overloaded` never fabricates a depth.
+        queue_depth: u64,
     },
     /// The shard could not be reached: connect refused, peer vanished
     /// mid-call, read deadline exceeded, or the shard id is unknown.
@@ -44,7 +48,9 @@ impl ShardUnavailable {
     /// The shard this outcome is about.
     pub fn shard(&self) -> usize {
         match *self {
-            ShardUnavailable::Shedding { shard } | ShardUnavailable::Dead { shard, .. } => shard,
+            ShardUnavailable::Shedding { shard, .. } | ShardUnavailable::Dead { shard, .. } => {
+                shard
+            }
         }
     }
 }
@@ -52,8 +58,11 @@ impl ShardUnavailable {
 impl fmt::Display for ShardUnavailable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ShardUnavailable::Shedding { shard } => {
-                write!(f, "shard {shard} shed the request (retries exhausted)")
+            ShardUnavailable::Shedding { shard, queue_depth } => {
+                write!(
+                    f,
+                    "shard {shard} shed the request (retries exhausted, last queue depth {queue_depth})"
+                )
             }
             ShardUnavailable::Dead { shard, reason } => {
                 write!(f, "shard {shard} unavailable: {reason}")

@@ -16,6 +16,11 @@
 //!                                        (probe fails: back to Down, timer reset)
 //! ```
 //!
+//! A probe that neither succeeds nor fails within `probe_deadline` —
+//! its backend call hung with no read timeout — is presumed lost:
+//! `gate` re-elects the next caller as the probe instead of leaving the
+//! shard wedged in Probing with every other caller failing fast.
+//!
 //! Only *transport* failures ([`ShardUnavailable::Dead`]) feed the
 //! machine; an in-band `Err`/`Overloaded` answer proves the shard is
 //! alive. The tracker is deliberately pure state: it publishes no
@@ -102,6 +107,12 @@ pub struct HealthConfig {
     pub down_after: u32,
     /// How long the circuit stays open between probes.
     pub probe_interval: Duration,
+    /// How long an elected probe may stay unresolved before another
+    /// caller reclaims the election. Without it, a probe whose backend
+    /// call hangs (no read timeout) would wedge the shard in Probing
+    /// forever, fail-fasting everyone else. Zero means "use the
+    /// default" (see [`HealthConfig::normalized`]).
+    pub probe_deadline: Duration,
 }
 
 impl Default for HealthConfig {
@@ -110,19 +121,27 @@ impl Default for HealthConfig {
             suspect_after: 1,
             down_after: 3,
             probe_interval: Duration::from_millis(500),
+            probe_deadline: Duration::from_secs(5),
         }
     }
 }
 
 impl HealthConfig {
     /// Clamps the thresholds into a usable shape: at least one failure
-    /// to leave Healthy, and `down_after >= suspect_after`.
+    /// to leave Healthy, `down_after >= suspect_after`, and a nonzero
+    /// probe deadline (zero would let every caller probe at once,
+    /// which is exactly the retry stampede the breaker exists to stop).
     pub fn normalized(self) -> Self {
         let suspect_after = self.suspect_after.max(1);
         HealthConfig {
             suspect_after,
             down_after: self.down_after.max(suspect_after),
             probe_interval: self.probe_interval,
+            probe_deadline: if self.probe_deadline.is_zero() {
+                HealthConfig::default().probe_deadline
+            } else {
+                self.probe_deadline
+            },
         }
     }
 }
@@ -134,6 +153,8 @@ struct ShardHealth {
     failures: u32,
     /// When the shard entered Down (probe timer origin).
     down_since: Instant,
+    /// When the current probe was elected (reclaim timer origin).
+    probe_started: Instant,
 }
 
 /// Health state for every shard of one router (see module docs).
@@ -156,6 +177,7 @@ impl HealthTracker {
                         state: HealthState::Healthy,
                         failures: 0,
                         down_since: now,
+                        probe_started: now,
                     })
                 })
                 .collect(),
@@ -197,10 +219,24 @@ impl HealthTracker {
         };
         match s.state {
             HealthState::Healthy | HealthState::Suspect => (Gate::Allow, None),
-            HealthState::Probing => (Gate::FailFast, None),
+            HealthState::Probing => {
+                if s.probe_started.elapsed() >= self.cfg.probe_deadline {
+                    // The elected probe never resolved — its backend
+                    // call is presumed hung (e.g. no read timeout).
+                    // Re-elect this caller so the shard has a path back
+                    // to Down/Healthy; the stale probe's eventual
+                    // outcome still lands harmlessly (success heals,
+                    // failure re-arms Down).
+                    s.probe_started = Instant::now();
+                    (Gate::Probe, None)
+                } else {
+                    (Gate::FailFast, None)
+                }
+            }
             HealthState::Down => {
                 if s.down_since.elapsed() >= self.cfg.probe_interval {
                     s.state = HealthState::Probing;
+                    s.probe_started = Instant::now();
                     (
                         Gate::Probe,
                         Some(Transition {
@@ -283,6 +319,7 @@ mod tests {
                 suspect_after: 1,
                 down_after: 3,
                 probe_interval: probe,
+                ..HealthConfig::default()
             },
         )
     }
@@ -337,6 +374,33 @@ mod tests {
     }
 
     #[test]
+    fn hung_probe_is_reclaimed_after_the_deadline() {
+        let t = HealthTracker::new(
+            1,
+            HealthConfig {
+                suspect_after: 1,
+                down_after: 1,
+                probe_interval: Duration::ZERO,
+                probe_deadline: Duration::from_millis(5),
+            },
+        );
+        t.record_failure(0);
+        assert_eq!(t.gate(0).0, Gate::Probe);
+        // Within the deadline the election is exclusive.
+        assert_eq!(t.gate(0).0, Gate::FailFast);
+        std::thread::sleep(Duration::from_millis(10));
+        // The probe never resolved: the next caller reclaims it (no
+        // transition — the shard never left Probing).
+        let (g, tr) = t.gate(0);
+        assert_eq!(g, Gate::Probe);
+        assert_eq!(tr, None);
+        // The new election is exclusive again…
+        assert_eq!(t.gate(0).0, Gate::FailFast);
+        // …and the stale probe's late success still heals the shard.
+        assert!(t.record_success(0).unwrap().recovered());
+    }
+
+    #[test]
     fn success_from_suspect_is_not_a_recovery() {
         let t = tracker(Duration::from_secs(1));
         t.record_failure(0);
@@ -360,9 +424,11 @@ mod tests {
             suspect_after: 0,
             down_after: 0,
             probe_interval: Duration::ZERO,
+            probe_deadline: Duration::ZERO,
         }
         .normalized();
         assert_eq!((c.suspect_after, c.down_after), (1, 1));
+        assert_eq!(c.probe_deadline, HealthConfig::default().probe_deadline);
         // Out-of-range shards are inert.
         assert_eq!(t.gate(9), (Gate::Allow, None));
         assert_eq!(t.record_failure(9), None);

@@ -15,7 +15,10 @@
 //! total function — any byte string in a park log yields a valid
 //! prefix of batches, with the first torn/corrupt record truncated
 //! away. Replay is idempotent (union-find inserts are), so a crash
-//! between "replayed" and "cleared" only costs re-replaying.
+//! between "replayed" and "cleared" only costs re-replaying. Clearing
+//! rewrites the log via a sibling tmp file renamed into place: a kill
+//! mid-clear leaves the old log whole (never a half-rewrite that
+//! durably drops undelivered batches).
 //!
 //! Like [`health`](crate::health), this module is pure bookkeeping: it
 //! publishes no metrics and records no events. The router owns the
@@ -60,6 +63,8 @@ struct ParkShard {
     queue: Vec<Batch>,
     /// Append handle when the set is durable.
     file: Option<File>,
+    /// Log path when the set is durable (rewrite-by-rename target).
+    path: Option<PathBuf>,
     /// Appends that failed with an I/O error (batch stays in memory).
     write_errors: u64,
 }
@@ -79,6 +84,7 @@ impl ParkSet {
                     Mutex::new(ParkShard {
                         queue: Vec::new(),
                         file: None,
+                        path: None,
                         write_errors: 0,
                     })
                 })
@@ -98,17 +104,22 @@ impl ParkSet {
         let mut shards = Vec::with_capacity(shard_lens.len());
         let mut recoveries = Vec::with_capacity(shard_lens.len());
         for (k, &n) in shard_lens.iter().enumerate() {
+            let path = park_path(root, k);
+            // A tmp file can only be a rewrite that died before its
+            // rename landed; the log it was replacing is still whole.
+            let _ = std::fs::remove_file(tmp_path(&path));
             let mut file = OpenOptions::new()
                 .read(true)
                 .write(true)
                 .create(true)
                 .truncate(false)
-                .open(park_path(root, k))?;
+                .open(&path)?;
             let (queue, recovery) = recover_log(&mut file, n)?;
             recoveries.push(recovery);
             shards.push(Mutex::new(ParkShard {
                 queue,
                 file: Some(file),
+                path: Some(path),
                 write_errors: 0,
             }));
         }
@@ -178,6 +189,12 @@ impl ParkSet {
     /// Drops the first `batches` parked batches of `shard` (the prefix
     /// a replay delivered) and rewrites the log to the survivors. With
     /// a partial replay the remaining suffix stays parked, in order.
+    ///
+    /// The rewrite goes through a sibling tmp file renamed over
+    /// `park-<k>.log`, so a process kill mid-rewrite leaves either the
+    /// old log (the delivered prefix re-parks on restart — replay is
+    /// idempotent) or the new one — never a truncated window with the
+    /// undelivered suffix durably gone.
     pub fn clear(&self, shard: usize, batches: usize) {
         let Some(mut s) = self.slot(shard) else {
             return;
@@ -185,21 +202,43 @@ impl ParkSet {
         let cut = batches.min(s.queue.len());
         let keep = s.queue.split_off(cut);
         s.queue = keep;
+        let Some(path) = s.path.clone() else {
+            return;
+        };
         let mut bytes = Vec::new();
         for batch in &s.queue {
             bytes.extend_from_slice(&encode_record(batch));
         }
-        if let Some(file) = &mut s.file {
-            let rewrite = file
-                .set_len(0)
-                .and_then(|()| file.seek(SeekFrom::Start(0)))
-                .and_then(|_| file.write_all(&bytes))
-                .and_then(|()| file.flush());
-            if rewrite.is_err() {
-                s.write_errors += 1;
-            }
+        match write_replace(&path, &bytes) {
+            Ok(file) => s.file = Some(file),
+            // The rename did not land: the old log (and its handle,
+            // still positioned at the end) stays authoritative —
+            // over-complete, which idempotent replay absorbs.
+            Err(_) => s.write_errors += 1,
         }
     }
+}
+
+/// Sibling tmp path for an atomic rewrite of `path`.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Atomically replaces `path`'s contents with `bytes`: write a sibling
+/// tmp file, flush, rename over, reopen positioned at the end for
+/// appends.
+fn write_replace(path: &Path, bytes: &[u8]) -> std::io::Result<File> {
+    let tmp = tmp_path(path);
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.flush()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    file.seek(SeekFrom::End(0))?;
+    Ok(file)
 }
 
 /// Encodes one batch in the WAL record format (see module docs).
@@ -354,6 +393,34 @@ mod tests {
                 .len(),
             0
         );
+    }
+
+    #[test]
+    fn clear_renames_atomically_and_appends_keep_working() {
+        let dir = tempdir("rename");
+        let set = ParkSet::with_root(dir.as_path(), &[16]).unwrap();
+        for i in 0..3u32 {
+            set.park(0, &[(i, i + 1)]);
+        }
+        set.clear(0, 1);
+        // No tmp residue, and post-clear appends land in the renamed log.
+        assert!(!tmp_path(&park_path(dir.as_path(), 0)).exists());
+        set.park(0, &[(9, 10)]);
+        assert_eq!(set.write_errors(), 0);
+        drop(set);
+        let set = ParkSet::with_root(dir.as_path(), &[16]).unwrap();
+        assert_eq!(
+            set.snapshot(0),
+            vec![vec![(1, 2)], vec![(2, 3)], vec![(9, 10)]]
+        );
+        drop(set);
+
+        // A tmp file left by a rewrite killed before its rename is
+        // swept on open; the log it was replacing is untouched.
+        std::fs::write(tmp_path(&park_path(dir.as_path(), 0)), b"half a rewrite").unwrap();
+        let set = ParkSet::with_root(dir.as_path(), &[16]).unwrap();
+        assert_eq!(set.depth(0), 3);
+        assert!(!tmp_path(&park_path(dir.as_path(), 0)).exists());
     }
 
     #[test]

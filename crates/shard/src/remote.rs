@@ -113,8 +113,13 @@ impl ShardBackend for RemoteShards {
         match client.call_retrying(req) {
             Ok(Some(resp)) => Ok(resp),
             // Retries exhausted while the shard kept shedding: the
-            // worker is alive, just saturated. Not a health signal.
-            Ok(None) => Err(ShardUnavailable::Shedding { shard }),
+            // worker is alive, just saturated. Not a health signal; the
+            // last Overloaded answer's depth rides along so relays stay
+            // honest.
+            Ok(None) => Err(ShardUnavailable::Shedding {
+                shard,
+                queue_depth: client.last_shed_queue_depth(),
+            }),
             Err(e) => {
                 // Drop the broken client so the next call redials.
                 *slot = None;

@@ -68,6 +68,12 @@ pub struct Router<B: ShardBackend> {
     backend: B,
     health: HealthTracker,
     park: ParkSet,
+    /// Per-shard replay serialization: `ParkSet::clear` drops a
+    /// count-based prefix of the live queue, which is only correct
+    /// while a single replayer clears — two concurrent replays could
+    /// each deliver the same snapshot and together clear past a batch
+    /// parked in between, dropping an acknowledged write.
+    replaying: Vec<Mutex<()>>,
     cache: Mutex<Option<Arc<Composite>>>,
     metrics: RouterMetrics,
     shutdown: AtomicBool,
@@ -92,12 +98,14 @@ impl<B: ShardBackend> Router<B> {
         metrics.boundary_edges.set(boundary.edge_count() as u64);
         let health = HealthTracker::new(plan.num_shards(), HealthConfig::default());
         let park = ParkSet::in_memory(plan.num_shards());
+        let replaying = (0..plan.num_shards()).map(|_| Mutex::new(())).collect();
         Router {
             plan,
             boundary,
             backend,
             health,
             park,
+            replaying,
             cache: Mutex::new(None),
             metrics,
             shutdown: AtomicBool::new(false),
@@ -256,7 +264,21 @@ impl<B: ShardBackend> Router<B> {
     /// prefix that was delivered. Runs without holding any park lock
     /// across backend calls; a failure mid-replay leaves the suffix
     /// parked for the next recovery (re-replay is idempotent).
+    ///
+    /// At most one replay per shard runs at a time: the count-prefix
+    /// `clear` below assumes this replayer is the queue's only
+    /// consumer (parks append behind the snapshot, so the delivered
+    /// prefix stays stable). A caller that loses the race skips —
+    /// any leftover backlog drains on the next successful call.
     fn replay_parked(&self, shard: usize) {
+        let Some(lock) = self.replaying.get(shard) else {
+            return;
+        };
+        let _guard = match lock.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return,
+        };
         let batches = self.park.snapshot(shard);
         let mut delivered = 0usize;
         let mut edges = 0u64;
@@ -486,9 +508,9 @@ impl<B: ShardBackend> Router<B> {
                 }
                 // The shard is alive but kept shedding through the
                 // retry budget: honest backpressure, relayed in-band
-                // (its queue depth is unknown from here).
-                Err(ShardUnavailable::Shedding { .. }) => {
-                    return Response::Overloaded { queue_depth: 0 };
+                // with the depth its last Overloaded answer reported.
+                Err(ShardUnavailable::Shedding { queue_depth, .. }) => {
+                    return Response::Overloaded { queue_depth };
                 }
                 // Dead (or circuit open): park and keep going — live
                 // shards' ingest must not stall behind a dead one.
@@ -929,6 +951,7 @@ mod tests {
                 suspect_after: 1,
                 down_after: 2,
                 probe_interval: Duration::from_secs(3600),
+                ..HealthConfig::default()
             },
         );
         r.backend().kill(1);
@@ -961,6 +984,7 @@ mod tests {
                 suspect_after: 1,
                 down_after: 1,
                 probe_interval: Duration::ZERO,
+                ..HealthConfig::default()
             },
         );
         r.handle(&Request::InsertEdges(vec![(0, 1)]));
@@ -1005,6 +1029,88 @@ mod tests {
         r.shutdown_backend();
     }
 
+    /// Regression: two threads finishing calls on a recovering shard
+    /// could both run the park replay; each cleared a count-based
+    /// prefix of the live queue, so a batch parked between the two
+    /// clears — already acknowledged Degraded(Accepted) — was dropped.
+    /// Replay is serialized per shard now; under kill/revive flapping
+    /// with concurrent writers every acknowledged edge must survive.
+    #[test]
+    fn concurrent_replays_never_drop_an_acknowledged_write() {
+        let r = flaky_router(
+            64,
+            2,
+            HealthConfig {
+                suspect_after: 1,
+                down_after: 1,
+                probe_interval: Duration::ZERO,
+                ..HealthConfig::default()
+            },
+        );
+        let r = &r;
+        let stop = &AtomicBool::new(false);
+        thread::scope(|s| {
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    r.backend().kill(1);
+                    thread::sleep(Duration::from_micros(50));
+                    r.backend().revive(1);
+                    thread::sleep(Duration::from_micros(50));
+                }
+            });
+            // Four writers, each building one chain inside shard 1
+            // (global ids 32..64), while the shard flaps.
+            let workers: Vec<_> = (0..4u32)
+                .map(|t| {
+                    s.spawn(move || {
+                        let base = 32 + 8 * t;
+                        for i in 0..7u32 {
+                            let edge = (base + i, base + i + 1);
+                            loop {
+                                match r.handle(&Request::InsertEdges(vec![edge])) {
+                                    Response::Accepted { .. } => break,
+                                    Response::Degraded(inner) => {
+                                        assert!(matches!(*inner, Response::Accepted { .. }));
+                                        break;
+                                    }
+                                    Response::Overloaded { .. } => {
+                                        thread::sleep(Duration::from_millis(1));
+                                    }
+                                    other => panic!("insert answered {other:?}"),
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        r.backend().revive(1);
+        // Drain whatever backlog the final kill left parked.
+        for _ in 0..1000 {
+            if r.park().depth(1) == 0 {
+                break;
+            }
+            let _ = r.handle(&Request::Stats);
+        }
+        assert_eq!(r.park().depth(1), 0, "backlog never drained");
+        flushed(r);
+        // Every acknowledged edge must have landed: each chain is
+        // connected end to end.
+        for t in 0..4u32 {
+            let base = 32 + 8 * t;
+            assert_eq!(
+                r.handle(&Request::Connected(base, base + 7)),
+                Response::Connected(true),
+                "chain {t} lost an acknowledged edge"
+            );
+        }
+        r.shutdown_backend();
+    }
+
     #[test]
     fn degraded_reads_compose_surviving_shards_with_the_boundary() {
         let r = flaky_router(
@@ -1014,6 +1120,7 @@ mod tests {
                 suspect_after: 1,
                 down_after: 1,
                 probe_interval: Duration::from_secs(3600),
+                ..HealthConfig::default()
             },
         );
         r.handle(&Request::InsertEdges(vec![(0, 1), (4, 5), (1, 4)]));
@@ -1054,6 +1161,7 @@ mod tests {
                 suspect_after: 1,
                 down_after: 1,
                 probe_interval: Duration::from_secs(3600),
+                ..HealthConfig::default()
             },
         );
         // Boot-time seeding (the CLI does this for unreachable

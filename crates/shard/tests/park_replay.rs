@@ -118,6 +118,7 @@ proptest! {
             suspect_after: 1,
             down_after: 1,
             probe_interval: Duration::ZERO,
+            ..HealthConfig::default()
         });
         let mut oracle = IncrementalCc::new(n);
         let clamp = |v: u32| v % n as u32;
