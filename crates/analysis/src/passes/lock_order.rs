@@ -70,6 +70,14 @@ pub const LOCK_ORDER_EDGES: &[(&str, &str, &str)] = &[
          the snapshot loop as `EngineRegistry::get`; the metric registry never touches the \
          engine map, and the phantom order registry -> map is acyclic either way",
     ),
+    (
+        "reqtrace::GATE",
+        "recorder::GATE",
+        "over-approximation: bare-name call expansion reads `RootSpan::begin`/`StageSpan::begin` \
+         under the reqtrace test gate as the flight recorder's session `begin`; the tracing \
+         runtime never touches the recorder, and the phantom order test-gate -> recorder is \
+         acyclic either way",
+    ),
 ];
 
 /// A discovered lock: identity, declaring file, line, primitive kind.

@@ -10,6 +10,7 @@ pub mod ordering;
 pub mod panic_path;
 pub mod safety;
 pub mod seqcst;
+pub mod stage_doc;
 
 use crate::pass::Pass;
 
@@ -24,5 +25,6 @@ pub fn all() -> Vec<Box<dyn Pass>> {
         Box::new(panic_path::PanicPath),
         Box::new(audit::AuditDrift),
         Box::new(opcode::OpcodeConsistency),
+        Box::new(stage_doc::StageDoc),
     ]
 }

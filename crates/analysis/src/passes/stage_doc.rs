@@ -1,0 +1,225 @@
+//! `stage-doc`: the request-tracing stage taxonomy and the DESIGN.md
+//! §16 stage table agree name-for-name.
+//!
+//! The tracing subsystem's only human-facing vocabulary is the stage
+//! tag (`router_request`, `wal_fsync`, …): it labels every span in
+//! `afforest trace` output, every slow-log line, and every per-stage
+//! self-time row. The tags are declared once — the `STAGE_NAMES` array
+//! in [`REQTRACE_FILE`] — and documented once, in the DESIGN.md
+//! "Request tracing" section's stage table. A tag added to the code but
+//! not the table (or renamed on one side only) would ship spans nobody
+//! can look up. This pass cross-checks two surfaces:
+//!
+//! 1. **Declarations** — every string literal in the `STAGE_NAMES`
+//!    array. Names must be unique, non-empty snake_case.
+//! 2. **The DESIGN.md stage table** — rows of the form
+//!    `` | `stage_name` | … `` inside the "Request tracing" section
+//!    must be a bijection with the declarations.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::pass::{Context, Pass};
+use std::collections::BTreeMap;
+
+/// Pass id.
+pub const ID: &str = "stage-doc";
+
+/// Where the stage taxonomy is declared.
+pub const REQTRACE_FILE: &str = "crates/obs/src/reqtrace.rs";
+
+/// The DESIGN.md heading that opens the stage documentation; the table
+/// must appear between it and the next same-level heading.
+pub const SECTION_MARKER: &str = "Request tracing";
+
+/// The `STAGE_NAMES` string literals: `(name, line)` in declaration
+/// order. Collected by walking tokens from the `STAGE_NAMES` identifier
+/// to the closing `]` of its array initializer.
+pub fn declared_stages(f: &crate::pass::SourceFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let Some(start) = (0..f.tokens.len()).find(|&i| {
+        f.tokens[i].kind == TokenKind::Ident && f.text_of(&f.tokens[i]) == "STAGE_NAMES"
+    }) else {
+        return out;
+    };
+    // Skip the type annotation (`: [&str; STAGES] =`) by walking to the
+    // `=`, then collect strings until the initializer's `]`.
+    let mut i = start;
+    while i < f.tokens.len() && !f.tokens[i].is_punct(&f.text, '=') {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    while i < f.tokens.len() {
+        let t = &f.tokens[i];
+        if t.is_punct(&f.text, '[') {
+            depth += 1;
+        } else if t.is_punct(&f.text, ']') {
+            if depth <= 1 {
+                break;
+            }
+            depth -= 1;
+        } else if depth > 0 && t.kind == TokenKind::Str {
+            let name = f.text_of(t).trim_matches('"').to_string();
+            out.push((name, t.line));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Stage table rows in the document's "Request tracing" section:
+/// `(name, line)` for every `` | `stage_name` | … `` markdown row
+/// between the section heading and the next same-level heading.
+pub fn table_rows(doc: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in doc.lines().enumerate() {
+        if let Some(rest) = line.strip_prefix("## ") {
+            in_section = rest.contains(SECTION_MARKER);
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let mut cells = line.split('|').map(str::trim);
+        let Some("") = cells.next() else { continue };
+        let Some(name_cell) = cells.next() else {
+            continue;
+        };
+        let name = name_cell.trim_matches('`');
+        if name_cell == name || name.is_empty() {
+            continue; // not backticked: a header or separator row
+        }
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            continue; // some other table in the section (flags, paths, …)
+        }
+        out.push((name.to_string(), idx + 1));
+    }
+    out
+}
+
+/// See module docs.
+pub struct StageDoc;
+
+impl Pass for StageDoc {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "the STAGE_NAMES tracing taxonomy and the DESIGN.md stage table agree name-for-name"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let Some(f) = ctx.file(REQTRACE_FILE) else {
+            return diags; // nothing to check in trees without the obs crate
+        };
+
+        // 1. Declarations.
+        let stages = declared_stages(f);
+        if stages.is_empty() {
+            return diags; // no taxonomy declared (or the array moved — the
+                          // smoke test in tests/battery.rs pins the path)
+        }
+        let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+        for (name, line) in &stages {
+            if let Some(prev) = seen.insert(name, *line) {
+                diags.push(Diagnostic::error(
+                    ID,
+                    REQTRACE_FILE,
+                    *line,
+                    0,
+                    format!("stage tag \"{name}\" is declared twice (first on line {prev})"),
+                ));
+            }
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            {
+                diags.push(Diagnostic::error(
+                    ID,
+                    REQTRACE_FILE,
+                    *line,
+                    0,
+                    format!("stage tag \"{name}\" is not snake_case"),
+                ));
+            }
+        }
+
+        // 2. The DESIGN.md stage table.
+        let Some(design) = ctx.docs.get("DESIGN.md") else {
+            diags.push(
+                Diagnostic::error(
+                    ID,
+                    "DESIGN.md",
+                    0,
+                    0,
+                    "DESIGN.md is missing, so the tracing stage table cannot be checked",
+                )
+                .with_note(format!(
+                    "the \"{SECTION_MARKER}\" section must carry a `| \\`stage\\` | … |` table \
+                     mirroring STAGE_NAMES"
+                )),
+            );
+            return diags;
+        };
+        let rows = table_rows(design);
+        if rows.is_empty() {
+            diags.push(
+                Diagnostic::error(
+                    ID,
+                    "DESIGN.md",
+                    0,
+                    0,
+                    format!("no stage table found in DESIGN.md's \"{SECTION_MARKER}\" section"),
+                )
+                .with_note(format!(
+                    "every literal in {REQTRACE_FILE}'s STAGE_NAMES must appear as a \
+                     `| \\`stage\\` | … |` row"
+                )),
+            );
+            return diags;
+        }
+        let documented: BTreeMap<&str, usize> =
+            rows.iter().map(|(n, l)| (n.as_str(), *l)).collect();
+        for (name, line) in &rows {
+            if !seen.contains_key(name.as_str()) {
+                diags.push(Diagnostic::error(
+                    ID,
+                    "DESIGN.md",
+                    *line,
+                    0,
+                    format!(
+                        "stage table names `{name}`, which is not in {REQTRACE_FILE}'s \
+                         STAGE_NAMES"
+                    ),
+                ));
+            }
+        }
+        for (name, line) in &stages {
+            if !documented.contains_key(name.as_str()) {
+                diags.push(
+                    Diagnostic::error(
+                        ID,
+                        REQTRACE_FILE,
+                        *line,
+                        0,
+                        format!(
+                            "stage tag \"{name}\" is missing from DESIGN.md's \
+                             \"{SECTION_MARKER}\" stage table"
+                        ),
+                    )
+                    .with_note(
+                        "spans tagged with an undocumented stage cannot be looked up by \
+                         whoever reads the trace",
+                    ),
+                );
+            }
+        }
+        diags
+    }
+}

@@ -19,6 +19,7 @@ const EXPOSITION: &str = include_str!("fixtures/exposition_fixture.txt");
 const LOCK_BAD: &str = include_str!("fixtures/lock_bad.rs");
 const LOCK_GOOD: &str = include_str!("fixtures/lock_good.rs");
 const LOCK_RECORDER: &str = include_str!("fixtures/lock_recorder.rs");
+const LOCK_REQTRACE: &str = include_str!("fixtures/lock_reqtrace.rs");
 const LOCK_ENGINE: &str = include_str!("fixtures/lock_engine.rs");
 const LOCK_INGEST: &str = include_str!("fixtures/lock_ingest.rs");
 const LOCK_REGISTRY: &str = include_str!("fixtures/lock_registry.rs");
@@ -30,6 +31,10 @@ const OPCODE_DESIGN_BAD: &str = include_str!("fixtures/opcode_design_bad.md");
 const OPCODE_DESIGN_GOOD: &str = include_str!("fixtures/opcode_design_good.md");
 const AUDIT_DESIGN_BAD: &str = include_str!("fixtures/audit_design_bad.md");
 const AUDIT_DESIGN_GOOD: &str = include_str!("fixtures/audit_design_good.md");
+const STAGE_BAD: &str = include_str!("fixtures/stage_bad.rs");
+const STAGE_GOOD: &str = include_str!("fixtures/stage_good.rs");
+const STAGE_DESIGN_BAD: &str = include_str!("fixtures/stage_design_bad.md");
+const STAGE_DESIGN_GOOD: &str = include_str!("fixtures/stage_design_good.md");
 
 /// A root module that satisfies the hygiene rule for crates with unsafe.
 const DENY_ROOT: &str = "#![deny(unsafe_op_in_unsafe_fn)]\n";
@@ -251,6 +256,7 @@ fn lock_order_silent_on_temporaries_drops_and_condvar_wait() {
         vec![
             ("crates/serve/src/queue.rs", LOCK_GOOD),
             ("crates/obs/src/recorder.rs", LOCK_RECORDER),
+            ("crates/obs/src/reqtrace.rs", LOCK_REQTRACE),
             ("crates/serve/src/engine.rs", LOCK_ENGINE),
             ("crates/serve/src/ingest.rs", LOCK_INGEST),
             ("crates/obs/src/registry.rs", LOCK_REGISTRY),
@@ -263,8 +269,8 @@ fn lock_order_silent_on_temporaries_drops_and_condvar_wait() {
 #[test]
 fn lock_order_reports_stale_allowlist_edge() {
     // The engine/ingest/registry fixtures evidence their edges, but no
-    // recorder is in the tree: the allowlisted GATE -> STATE edge has
-    // no remaining evidence and must be reported as stale.
+    // recorder is in the tree: both allowlisted edges that involve the
+    // recorder's GATE lose their evidence and must be reported stale.
     let diags = run_pass(
         &passes::lock_order::LockOrder,
         vec![
@@ -275,9 +281,16 @@ fn lock_order_reports_stale_allowlist_edge() {
         ],
         vec![],
     );
-    assert_eq!(diags.len(), 1, "{}", messages(&diags));
-    assert!(diags[0].message.contains("no remaining evidence"));
-    assert!(diags[0].message.contains("recorder::GATE"));
+    assert_eq!(diags.len(), 2, "{}", messages(&diags));
+    for d in &diags {
+        assert!(d.message.contains("no remaining evidence"), "{}", d.message);
+    }
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("`recorder::GATE` -> `recorder::STATE`")));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("`reqtrace::GATE` -> `recorder::GATE`")));
 }
 
 // ------------------------------------------------------------ panic path
@@ -437,6 +450,62 @@ fn opcode_requires_a_table_when_opcodes_exist() {
     );
 }
 
+// -------------------------------------------------------------- stage-doc
+
+#[test]
+fn stage_doc_silent_when_taxonomy_and_table_agree() {
+    let diags = run_pass(
+        &passes::stage_doc::StageDoc,
+        vec![(passes::stage_doc::REQTRACE_FILE, STAGE_GOOD)],
+        vec![("DESIGN.md", STAGE_DESIGN_GOOD)],
+    );
+    assert!(diags.is_empty(), "{}", messages(&diags));
+}
+
+#[test]
+fn stage_doc_fires_on_every_drift_mode() {
+    let diags = run_pass(
+        &passes::stage_doc::StageDoc,
+        vec![(passes::stage_doc::REQTRACE_FILE, STAGE_BAD)],
+        vec![("DESIGN.md", STAGE_DESIGN_BAD)],
+    );
+    let msgs = messages(&diags);
+    // Duplicate declaration.
+    assert!(msgs.contains("declared twice"), "{msgs}");
+    // Non-snake_case tag.
+    assert!(msgs.contains("not snake_case"), "{msgs}");
+    // Declared but undocumented.
+    assert!(
+        msgs.contains("\"secret_stage\" is missing from DESIGN.md"),
+        "{msgs}"
+    );
+    // Documented but never declared.
+    assert!(msgs.contains("`ghost_stage`"), "{msgs}");
+}
+
+#[test]
+fn stage_doc_requires_a_table_when_stages_exist() {
+    let diags = run_pass(
+        &passes::stage_doc::StageDoc,
+        vec![(passes::stage_doc::REQTRACE_FILE, STAGE_GOOD)],
+        vec![("DESIGN.md", "# No tracing section here\n")],
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("no stage table")),
+        "{}",
+        messages(&diags)
+    );
+}
+
+#[test]
+fn stage_doc_ignores_tables_outside_the_tracing_section() {
+    // `not_a_stage` appears in a table under a different heading in the
+    // good fixture; it must not be reported.
+    let rows = passes::stage_doc::table_rows(STAGE_DESIGN_GOOD);
+    assert!(rows.iter().all(|(n, _)| n != "not_a_stage"), "{rows:?}");
+    assert_eq!(rows.len(), 3, "{rows:?}");
+}
+
 // ------------------------------------------------------------ the driver
 
 #[test]
@@ -446,7 +515,7 @@ fn full_battery_report_shape_and_json() {
         vec![("DESIGN.md", AUDIT_DESIGN_GOOD)],
     );
     let report = afforest_analysis::run(&ctx);
-    assert_eq!(report.passes.len(), 8);
+    assert_eq!(report.passes.len(), 9);
     assert_eq!(report.files_scanned, 1);
     assert!(report.has_errors());
     let json = afforest_analysis::diag::to_json(&report);

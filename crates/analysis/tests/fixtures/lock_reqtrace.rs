@@ -1,0 +1,16 @@
+// Companion fixture supplying evidence for the allowlisted
+// over-approximation edge (`reqtrace::GATE` -> `recorder::GATE`),
+// mirroring the real crates/obs/src/reqtrace.rs shape: a test holds
+// the tracing test gate and calls a span constructor named `begin`,
+// which bare-name call expansion reads as the recorder's `begin`.
+// Lock-order tests include this file (together with the recorder
+// fixture) so the "stale allowlist edge" rule stays quiet.
+
+use std::sync::Mutex;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn disabled_tracing_is_inert() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let _span = begin();
+}

@@ -1,0 +1,9 @@
+//! Fixture: every stage-taxonomy drift mode at once — a duplicated
+//! tag, a non-snake_case tag, and a tag the DESIGN.md table omits.
+
+pub const STAGE_NAMES: [&str; 4] = [
+    "router_request",
+    "router_request",
+    "Bad-Tag",
+    "secret_stage",
+];

@@ -1,0 +1,9 @@
+//! Fixture: a stage taxonomy whose DESIGN.md table agrees exactly.
+
+pub const STAGES: usize = 3;
+
+pub const STAGE_NAMES: [&str; STAGES] = [
+    "router_request",
+    "queue_wait",
+    "wal_fsync",
+];

@@ -95,6 +95,52 @@ fn write_trace(path: &str, json: &str, spans: usize, out: &mut String) -> Result
     Ok(())
 }
 
+/// Nanoseconds, humanized (`850ns`, `4.2us`, `1.3ms`, `2.0s`). Shared
+/// by the `top` dashboard and the `trace` tree renderer.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.1}s", ns as f64 / 1e9),
+    }
+}
+
+/// One slow-log line (schema 1): the retained span tree of a single
+/// traced request — root span first, as handed to the slow sink — as a
+/// self-contained JSON object. `serve --slow-log` appends these to
+/// `<wal-dir>/slowlog.jsonl`. Pure, so tests and offline tooling can
+/// pin the format (see DESIGN.md §16 for the schema).
+pub fn slowlog_line(tree: &[afforest_obs::reqtrace::Span]) -> String {
+    use afforest_obs::reqtrace;
+    let root = tree.first().copied().unwrap_or_default();
+    let mut out = format!(
+        "{{\"schema\":1,\"trace_id\":\"{:016x}\",\"node\":\"{}\",\"root\":\"{}\",\
+         \"dur_ns\":{},\"spans\":[",
+        root.trace_id,
+        reqtrace::node(),
+        reqtrace::stage_name(root.stage),
+        root.dur_ns
+    );
+    for (i, s) in tree.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"parent\":{},\"stage\":\"{}\",\"arg\":{},\"start_us\":{},\"dur_ns\":{}}}",
+            s.span_id,
+            s.parent_span,
+            s.stage_name(),
+            s.arg,
+            s.start_us,
+            s.dur_ns
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Every algorithm name, in `bench` display order.
 pub const ALGORITHM_NAMES: [&str; 13] = [
     "afforest",
@@ -393,6 +439,7 @@ pub mod serve {
             "metrics-addr",
             "events-out",
             "trace-out",
+            "slow-log",
             "shards",
             "shard-addrs",
             "vertices",
@@ -410,6 +457,7 @@ pub mod serve {
         if args.flag("shard-addrs").is_some() || shards > 0 {
             return run_sharded(&args, shards.max(1));
         }
+        let slow_log = enable_slow_log(&args, "serve")?;
         let vertices: usize = args.flag_parsed("vertices", 0usize)?;
         let (path, n, edges) = if args.num_positionals() == 0 && vertices > 0 {
             // Worker mode: an empty graph of `--vertices` vertices whose
@@ -529,6 +577,11 @@ pub mod serve {
         if let Some(dest) = &events_out {
             events::install_panic_hook(dest.clone());
         }
+        if let Some(p) = &slow_log {
+            println!("slow request traces -> {}", p.display());
+        }
+        // Recovery and tenant replay are done; tell /readyz so.
+        afforest_serve::http::set_ready(true);
 
         // Announce before blocking: `dispatch` only prints on return, but
         // clients (and the CI smoke test) need the bound address now —
@@ -546,6 +599,7 @@ pub mod serve {
             .serve_tcp(listener, workers)
             .map_err(|e| format!("serve: {e}"))?;
         // Shutdown was requested: let queued inserts finish, then report.
+        afforest_serve::http::set_ready(false);
         server.flush(Duration::from_secs(30));
         let trace = session.map(|s| s.end());
         drop(metrics_http);
@@ -583,11 +637,52 @@ pub mod serve {
         Ok(out)
     }
 
+    /// `--slow-log MS`: turns request tracing on with an `MS`-millisecond
+    /// retention threshold (0 retains every traced request), names this
+    /// process's spans `node`, and sinks each retained tree as one JSON
+    /// line (schema 1, [`slowlog_line`]) appended to
+    /// `<wal-dir>/slowlog.jsonl` — `slowlog.jsonl` in the working
+    /// directory when there is no WAL. Returns the sink path when
+    /// tracing was enabled.
+    fn enable_slow_log(args: &ParsedArgs, node: &str) -> Result<Option<PathBuf>, String> {
+        use afforest_obs::reqtrace;
+        let Some(raw) = args.flag("slow-log") else {
+            return Ok(None);
+        };
+        let ms: u64 = raw
+            .parse()
+            .map_err(|_| format!("--slow-log: '{raw}' is not a number of milliseconds"))?;
+        reqtrace::set_node(node);
+        let path = match args.flag("wal-dir") {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+                Path::new(dir).join("slowlog.jsonl")
+            }
+            None => PathBuf::from("slowlog.jsonl"),
+        };
+        let sink = path.clone();
+        reqtrace::set_slow_sink(move |tree| {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&sink)
+            {
+                let _ = writeln!(f, "{}", super::slowlog_line(tree));
+            }
+        });
+        reqtrace::configure(Some(Duration::from_millis(ms)));
+        Ok(Some(path))
+    }
+
     /// The sharded serving modes behind `--shards` / `--shard-addrs`.
     fn run_sharded(args: &ParsedArgs, shards: usize) -> Result<String, String> {
         use afforest_serve::RetryPolicy;
         use afforest_shard::{HealthConfig, LocalCluster, RemoteShards, Router, ShardPlan};
 
+        let slow_log = enable_slow_log(args, "router")?;
+        if let Some(p) = &slow_log {
+            println!("slow request traces -> {}", p.display());
+        }
         let addr = args.flag("addr").unwrap_or("127.0.0.1:7878");
         let workers: usize = args.flag_parsed("workers", 8)?;
         let max_edges: usize = args.flag_parsed("max-batch-edges", 4096)?;
@@ -789,10 +884,14 @@ pub mod serve {
         println!("listening on {local} ({workers} workers)");
         let _ = std::io::stdout().flush();
 
+        // Boot (park/boundary replay, shard dial) is done. A shard that
+        // came up Down still pulls /readyz to 503 via its health gauge.
+        afforest_serve::http::set_ready(true);
         router
             .serve_tcp(listener, workers)
             .map_err(|e| format!("serve: {e}"))?;
         // Shutdown was requested: drain every shard, then report.
+        afforest_serve::http::set_ready(false);
         router.flush(Duration::from_secs(30));
         let stats = match router.handle(&Request::Stats) {
             Response::Stats(s) => Some(s),
@@ -1087,6 +1186,7 @@ pub mod loadgen {
             "local-pct",
             "json-out",
             "trace-out",
+            "traced",
         ])?;
         let tenant = match args.flag("tenant") {
             Some(name) => Some(TenantId::new(name).map_err(|e| format!("--tenant: {e}"))?),
@@ -1116,6 +1216,10 @@ pub mod loadgen {
             return Err("--requests must be positive".into());
         }
         let trace_out = args.flag("trace-out");
+        // `--traced true`: every request carries a fresh trace id in its
+        // envelope, so a server running with `--slow-log` retains trees
+        // for the slow ones (`afforest trace` renders them).
+        let traced: bool = args.flag_parsed("traced", false)?;
         let session = trace_out.map(|_| afforest_obs::Session::begin());
 
         let report = match args.flag("graph") {
@@ -1127,6 +1231,9 @@ pub mod loadgen {
                 }
                 if cfg.tenant.is_some() {
                     return Err("--tenant needs a remote server (<host:port>)".into());
+                }
+                if traced {
+                    return Err("--traced needs a remote server (<host:port>)".into());
                 }
                 let g = load_graph(path)?;
                 let config = ServeConfig::builder()
@@ -1142,11 +1249,14 @@ pub mod loadgen {
                 let addr = args.positional(0, "host:port")?;
                 let tenant = cfg.tenant.clone();
                 run_load(&cfg, |_| {
-                    let client = Client::connect(addr)?;
-                    Ok(match &tenant {
-                        Some(t) => client.with_tenant(t.clone()),
-                        None => client,
-                    })
+                    let mut client = Client::connect(addr)?;
+                    if let Some(t) = &tenant {
+                        client = client.with_tenant(t.clone());
+                    }
+                    if traced {
+                        client = client.with_tracing();
+                    }
+                    Ok(client)
                 })
                 .map_err(|e| format!("loadgen against {addr}: {e}"))?
             }
@@ -1281,16 +1391,6 @@ pub mod top {
         Ok(format!("{frames} scrape(s) of {addr}\n"))
     }
 
-    /// Nanoseconds, humanized (`850ns`, `4.2us`, `1.3ms`, `2.0s`).
-    fn fmt_ns(ns: u64) -> String {
-        match ns {
-            0..=999 => format!("{ns}ns"),
-            1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
-            1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
-            _ => format!("{:.1}s", ns as f64 / 1e9),
-        }
-    }
-
     /// A counter's per-second rate between two scrapes, `-` on the first
     /// frame (no previous sample to diff against).
     fn rate(prev: Option<&Scrape>, cur: &Scrape, name: &str, dt: Option<f64>) -> String {
@@ -1336,16 +1436,48 @@ pub mod top {
                 );
             }
         }
+        // Sharded routers export per-shard health (0 healthy, 1 suspect,
+        // 2 down, 3 probing), the parked-write backlog and the
+        // degraded-read count; one line covers the failure domain.
+        let mut shards: Vec<(String, u64)> = cur
+            .values
+            .iter()
+            .filter_map(|(name, value)| {
+                name.strip_prefix("afforest_shard_health{shard=\"")
+                    .and_then(|r| r.strip_suffix("\"}"))
+                    .map(|k| (k.to_string(), *value))
+            })
+            .collect();
+        if !shards.is_empty() {
+            shards.sort();
+            let mut line = String::from("shards:");
+            for (k, code) in &shards {
+                let state = match code {
+                    0 => "healthy",
+                    1 => "suspect",
+                    2 => "down",
+                    3 => "probing",
+                    _ => "unknown",
+                };
+                let _ = write!(line, "  {k}:{state}");
+                let parked = v(&format!("afforest_parked_batches{{shard=\"{k}\"}}"));
+                if parked > 0 {
+                    let _ = write!(line, " ({parked} parked)");
+                }
+            }
+            let _ = write!(line, "  degraded reads {}", v("afforest_degraded_reads"));
+            let _ = writeln!(out, "{line}");
+        }
         let _ = writeln!(
             out,
-            "{:<16} {:>10} {:>9} {:>8} {:>8} {:>8}",
+            "{:<16} {:>10} {:>9} {:>8} {:>8} {:>8}  p99 trace",
             "op", "total", "req/s", "p50", "p95", "p99"
         );
         for op in OP_NAMES {
             let total_name = format!("afforest_requests_{op}_total");
             let total = v(&total_name);
-            let (p50, p95, p99) = match cur.histogram(&format!("afforest_request_latency_{op}_ns"))
-            {
+            let hist_name = format!("afforest_request_latency_{op}_ns");
+            let (p50, p95, p99) = match cur.histogram(&hist_name) {
                 Some(h) if h.count > 0 => (
                     fmt_ns(h.percentile(0.50)),
                     fmt_ns(h.percentile(0.95)),
@@ -1353,9 +1485,13 @@ pub mod top {
                 ),
                 _ => ("-".into(), "-".into(), "-".into()),
             };
+            // The histogram's top occupied bucket carries an exemplar —
+            // the last retained trace id that slow; paste it into
+            // `afforest trace --trace-id` to see where the time went.
+            let exemplar = cur.exemplar(&hist_name).unwrap_or("-");
             let _ = writeln!(
                 out,
-                "{op:<16} {total:>10} {:>9} {p50:>8} {p95:>8} {p99:>8}",
+                "{op:<16} {total:>10} {:>9} {p50:>8} {p95:>8} {p99:>8}  {exemplar}",
                 rate(prev, cur, &total_name, dt)
             );
         }
@@ -1377,6 +1513,161 @@ pub mod top {
             );
         }
         out
+    }
+}
+
+/// `afforest trace <host:port> [--shards A,B,…] [--trace-id HEX]` —
+/// pull the retained span rings of a server or router (plus, with
+/// `--shards`, its remote shard workers) over the `DumpTraces` wire op
+/// and render one request's merged cross-process span tree with
+/// per-stage self-times. Without `--trace-id` the newest retained
+/// trace is rendered.
+pub mod trace {
+    use super::*;
+    use afforest_obs::reqtrace::{stage_name, Span};
+    use afforest_serve::Client;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    pub fn run(argv: &[String]) -> Result<String, String> {
+        let args = ParsedArgs::parse(argv)?;
+        args.allow_flags(&["shards", "trace-id"])?;
+        let addr = args.positional(0, "host:port")?;
+        let want = match args.flag("trace-id") {
+            Some(text) => Some(parse_trace_id(text)?),
+            None => None,
+        };
+        let mut addrs = vec![addr.to_string()];
+        if let Some(list) = args.flag("shards") {
+            addrs.extend(
+                list.split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty()),
+            );
+        }
+        // Each source is labeled `node@addr`: two shard workers both
+        // call themselves "serve", so the address disambiguates.
+        let mut sources = Vec::new();
+        for a in &addrs {
+            let mut client =
+                Client::connect(a.as_str()).map_err(|e| format!("connect {a}: {e}"))?;
+            let (node, spans) = client
+                .dump_traces()
+                .map_err(|e| format!("dump traces from {a}: {e}"))?;
+            sources.push((format!("{node}@{a}"), spans));
+        }
+        render(&sources, want)
+    }
+
+    /// Parses a `--trace-id` value: up to 16 hex digits, `0x` optional.
+    pub fn parse_trace_id(text: &str) -> Result<u64, String> {
+        let digits = text.trim().trim_start_matches("0x");
+        u64::from_str_radix(digits, 16)
+            .map_err(|_| format!("--trace-id: '{text}' is not a hex trace id"))
+    }
+
+    /// Renders one trace's merged tree from per-source span dumps.
+    /// Children nest under their parent in start order; a span whose
+    /// parent was retained only on a process that was not scraped (or
+    /// whose tree missed that process's threshold) renders as an extra
+    /// top-level root rather than being dropped. Self time is a span's
+    /// duration minus its direct children's. Pure, for the tests.
+    pub fn render(sources: &[(String, Vec<Span>)], want: Option<u64>) -> Result<String, String> {
+        let mut all: Vec<(usize, Span)> = Vec::new();
+        for (i, (_, spans)) in sources.iter().enumerate() {
+            all.extend(spans.iter().map(|s| (i, *s)));
+        }
+        if all.is_empty() {
+            return Err(
+                "no retained spans (start the server with --slow-log MS and send traced \
+                 requests, e.g. `afforest loadgen … --traced true`)"
+                    .into(),
+            );
+        }
+        // Newest trace = the one holding the most recently started span.
+        let trace_id = match want {
+            Some(id) => id,
+            None => {
+                all.iter()
+                    .max_by_key(|(_, s)| s.start_us)
+                    .expect("nonempty")
+                    .1
+                    .trace_id
+            }
+        };
+        let mut spans: Vec<(usize, Span)> = all
+            .iter()
+            .copied()
+            .filter(|(_, s)| s.trace_id == trace_id)
+            .collect();
+        if spans.is_empty() {
+            return Err(format!(
+                "trace {trace_id:016x} not found in any retained ring"
+            ));
+        }
+        // Scraping the same process under two addresses must not
+        // duplicate the tree: span ids are unique within a trace.
+        spans.sort_by_key(|&(i, s)| (s.span_id, i));
+        spans.dedup_by_key(|&mut (_, s)| s.span_id);
+        spans.sort_by_key(|&(_, s)| (s.start_us, s.span_id));
+
+        let retained: BTreeSet<u64> = all.iter().map(|(_, s)| s.trace_id).collect();
+        let contributing: BTreeSet<usize> = spans.iter().map(|&(i, _)| i).collect();
+        let present: BTreeSet<u64> = spans.iter().map(|&(_, s)| s.span_id).collect();
+        let t0 = spans
+            .iter()
+            .map(|&(_, s)| s.start_us)
+            .min()
+            .expect("nonempty");
+        let mut roots: Vec<usize> = Vec::new();
+        let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (idx, &(_, s)) in spans.iter().enumerate() {
+            if s.parent_span != 0 && present.contains(&s.parent_span) {
+                children.entry(s.parent_span).or_default().push(idx);
+            } else {
+                roots.push(idx);
+            }
+        }
+
+        let mut out = format!(
+            "trace {trace_id:016x}: {} span(s) from {} of {} source(s); {} trace(s) retained\n",
+            spans.len(),
+            contributing.len(),
+            sources.len(),
+            retained.len()
+        );
+        // Depth-first in start order, accumulating per-stage self time.
+        let mut stage_self: BTreeMap<&'static str, (u64, usize)> = BTreeMap::new();
+        let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+        while let Some((idx, depth)) = stack.pop() {
+            let (src, s) = spans[idx];
+            let kids = children.get(&s.span_id).cloned().unwrap_or_default();
+            let child_ns: u64 = kids.iter().map(|&k| spans[k].1.dur_ns).sum();
+            let self_ns = s.dur_ns.saturating_sub(child_ns);
+            let entry = stage_self.entry(stage_name(s.stage)).or_insert((0, 0));
+            entry.0 += self_ns;
+            entry.1 += 1;
+            let label = if s.arg != 0 {
+                format!("{}{} ({})", "  ".repeat(depth), s.stage_name(), s.arg)
+            } else {
+                format!("{}{}", "  ".repeat(depth), s.stage_name())
+            };
+            let _ = writeln!(
+                out,
+                "{:>12}  {label:<34} {:>9}  self {:>9}  [{}]",
+                format!("+{}us", s.start_us.saturating_sub(t0)),
+                fmt_ns(s.dur_ns),
+                fmt_ns(self_ns),
+                sources[src].0
+            );
+            for &k in kids.iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+        let _ = writeln!(out, "stage self-times:");
+        for (name, (ns, n)) in &stage_self {
+            let _ = writeln!(out, "  {name:<18} {:>9}  ({n} span(s))", fmt_ns(*ns));
+        }
+        Ok(out)
     }
 }
 
@@ -1965,6 +2256,195 @@ mod tests {
         let err = loadgen::run(&argv(&["--graph", &p, "--local-pct", "101"])).unwrap_err();
         assert!(err.contains("local-pct"), "{err}");
         std::fs::remove_file(&p).unwrap();
+    }
+
+    /// Canned spans for the trace-render and slow-log tests: a
+    /// router-side tree (request → decode + fan-out) plus a worker-side
+    /// subtree (shard request → WAL fsync) parented under the fan-out
+    /// span, exactly as cross-process propagation produces.
+    fn canned_trace() -> Vec<(String, Vec<afforest_obs::reqtrace::Span>)> {
+        use afforest_obs::reqtrace::Span;
+        let span = |span_id, parent_span, stage, arg, start_us, dur_ns| Span {
+            trace_id: 0xABCD,
+            span_id,
+            parent_span,
+            stage,
+            arg,
+            start_us,
+            dur_ns,
+        };
+        vec![
+            (
+                "router@127.0.0.1:7878".to_string(),
+                vec![
+                    span(1, 0, 1, 0, 1_000, 9_000_000), // router_request
+                    span(2, 1, 2, 48, 1_001, 5_000),    // router_decode
+                    span(3, 1, 4, 0, 1_010, 8_000_000), // shard_fanout
+                ],
+            ),
+            (
+                "serve@127.0.0.1:7001".to_string(),
+                vec![
+                    span(100, 3, 6, 0, 1_020, 7_000_000),    // shard_request
+                    span(101, 100, 8, 16, 1_030, 2_000_000), // wal_fsync
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn trace_render_merges_sources_into_one_tree() {
+        let sources = canned_trace();
+        let out = trace::render(&sources, None).unwrap();
+        assert!(out.contains("trace 000000000000abcd"), "{out}");
+        assert!(out.contains("5 span(s) from 2 of 2 source(s)"), "{out}");
+        // The worker's subtree nests under the router's fan-out span.
+        let lines: Vec<&str> = out.lines().collect();
+        let pos = |needle: &str| {
+            lines
+                .iter()
+                .position(|l| l.contains(needle))
+                .unwrap_or_else(|| panic!("missing {needle}: {out}"))
+        };
+        assert!(pos("router_request") < pos("shard_fanout"), "{out}");
+        assert!(pos("shard_fanout") < pos("shard_request"), "{out}");
+        assert!(pos("shard_request") < pos("wal_fsync"), "{out}");
+        // Each span names the process it came from.
+        assert!(
+            lines[pos("wal_fsync")].contains("[serve@127.0.0.1:7001]"),
+            "{out}"
+        );
+        assert!(
+            lines[pos("router_request")].contains("[router@127.0.0.1:7878]"),
+            "{out}"
+        );
+        // Self time subtracts direct children: the 9 ms root spent
+        // 8.005 ms in its children, leaving 995 us of its own.
+        assert!(lines[pos("router_request")].contains("995.0us"), "{out}");
+        // Per-stage attribution footer.
+        assert!(out.contains("stage self-times:"), "{out}");
+        assert!(out.contains("wal_fsync"), "{out}");
+    }
+
+    #[test]
+    fn trace_render_honors_trace_id_and_rejects_unknown() {
+        let mut sources = canned_trace();
+        // A second, newer trace retained on the worker only.
+        sources[1].1.push(afforest_obs::reqtrace::Span {
+            trace_id: 0xEEEE,
+            span_id: 200,
+            parent_span: 0,
+            stage: 6,
+            arg: 0,
+            start_us: 9_999,
+            dur_ns: 1_000,
+        });
+        // Default: the newest trace wins.
+        let out = trace::render(&sources, None).unwrap();
+        assert!(out.contains("trace 000000000000eeee"), "{out}");
+        assert!(out.contains("2 trace(s) retained"), "{out}");
+        // Explicit --trace-id picks the older one.
+        let out = trace::render(&sources, Some(0xABCD)).unwrap();
+        assert!(out.contains("trace 000000000000abcd"), "{out}");
+        let err = trace::render(&sources, Some(0x1234)).unwrap_err();
+        assert!(err.contains("not found"), "{err}");
+        let err = trace::render(&[("x".into(), vec![])], None).unwrap_err();
+        assert!(err.contains("no retained spans"), "{err}");
+    }
+
+    #[test]
+    fn trace_render_keeps_orphans_as_roots() {
+        // Only the worker's dump is available: its subtree's parent
+        // (the router fan-out span) is absent, so it renders as a root
+        // instead of vanishing.
+        let sources = vec![canned_trace().remove(1)];
+        let out = trace::render(&sources, None).unwrap();
+        assert!(out.contains("shard_request"), "{out}");
+        assert!(out.contains("wal_fsync"), "{out}");
+    }
+
+    #[test]
+    fn trace_cli_validates_its_args() {
+        let err = trace::run(&argv(&[])).unwrap_err();
+        assert!(err.contains("host:port"), "{err}");
+        let err = trace::run(&argv(&["127.0.0.1:9", "--trace-id", "zz"])).unwrap_err();
+        assert!(err.contains("hex trace id"), "{err}");
+        assert_eq!(trace::parse_trace_id("0xAb12").unwrap(), 0xAB12);
+        // A dead endpoint is a clean error, not a hang.
+        let err = trace::run(&argv(&["127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("connect"), "{err}");
+    }
+
+    #[test]
+    fn slowlog_line_is_one_parseable_json_object() {
+        let tree = &canned_trace()[0].1;
+        let line = slowlog_line(tree);
+        let value = afforest_obs::json::parse(&line).expect("slow-log line parses");
+        let afforest_obs::json::Value::Obj(map) = value else {
+            panic!("expected a JSON object: {line}");
+        };
+        assert!(map.contains_key("schema"), "{line}");
+        assert!(map.contains_key("trace_id"), "{line}");
+        assert!(map.contains_key("spans"), "{line}");
+        assert!(line.contains("\"trace_id\":\"000000000000abcd\""), "{line}");
+        assert!(line.contains("\"root\":\"router_request\""), "{line}");
+        assert!(line.contains("\"stage\":\"router_decode\""), "{line}");
+        // No trailing newline: the sink appends one per line.
+        assert!(!line.ends_with('\n'), "{line}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_slow_log() {
+        let p = sample_graph_file("serveslowbad.el");
+        let err = serve::run(&argv(&[&p, "--slow-log", "soon"])).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(err.contains("--slow-log"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_traced_needs_a_remote_server() {
+        let p = sample_graph_file("loadgentraced.el");
+        let err = loadgen::run(&argv(&["--graph", &p, "--traced", "true"])).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert!(err.contains("--traced"), "{err}");
+    }
+
+    #[test]
+    fn top_render_surfaces_shard_health_and_exemplars() {
+        let s = scrape_of(
+            "# TYPE afforest_shard_health gauge\n\
+             afforest_shard_health{shard=\"0\"} 0\n\
+             afforest_shard_health{shard=\"1\"} 2\n\
+             # TYPE afforest_parked_batches gauge\n\
+             afforest_parked_batches{shard=\"1\"} 3\n\
+             # TYPE afforest_degraded_reads counter\n\
+             afforest_degraded_reads 7\n\
+             # TYPE afforest_request_latency_connected_ns histogram\n\
+             afforest_request_latency_connected_ns_bucket{le=\"1023\"} 250 # {trace_id=\"00c0ffee00c0ffee\"}\n\
+             afforest_request_latency_connected_ns_bucket{le=\"+Inf\"} 250\n\
+             afforest_request_latency_connected_ns_sum 200000\n\
+             afforest_request_latency_connected_ns_count 250\n",
+        );
+        let frame = top::render("h:1", None, &s, None);
+        assert!(
+            frame.contains("shards:  0:healthy  1:down (3 parked)  degraded reads 7"),
+            "{frame}"
+        );
+        // The p99 exemplar rides the op row, ready for `afforest trace`.
+        let connected = frame
+            .lines()
+            .find(|l| l.starts_with("connected"))
+            .expect("connected row");
+        assert!(connected.contains("00c0ffee00c0ffee"), "{frame}");
+        // Ops without a retained exemplar show a dash.
+        let stats_row = frame
+            .lines()
+            .find(|l| l.starts_with("stats"))
+            .expect("stats row");
+        assert!(stats_row.trim_end().ends_with('-'), "{frame}");
+        // No shard gauges → no shard line.
+        let plain = scrape_of("# TYPE afforest_epoch gauge\nafforest_epoch 1\n");
+        assert!(!top::render("h:1", None, &plain, None).contains("shards:"));
     }
 
     #[test]

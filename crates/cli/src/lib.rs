@@ -17,8 +17,9 @@
 //! afforest recover  [<graph>] [--wal-dir PATH] [--events PATH]
 //! afforest loadgen  (<host:port> | --graph PATH) [--connections N] [--requests N]
 //!                   [--read-pct P] [--max-retries N] [--json-out PATH]
-//!                   [--trace-out PATH]
+//!                   [--trace-out PATH] [--traced BOOL]
 //! afforest top      <host:port> [--interval-ms MS] [--count N] [--clear BOOL]
+//! afforest trace    <host:port> [--shards A,B,…] [--trace-id HEX]
 //! afforest help
 //! ```
 //!
@@ -61,6 +62,8 @@ commands:
            [--events-out PATH]              flight-recorder dump on panic and
                                             shutdown (default <wal-dir>/flight.json)
            [--trace-out PATH]
+           [--slow-log MS]                  retain request traces slower than MS
+                                            (0 = all) -> <wal-dir>/slowlog.jsonl
            [--shards N]                     split the graph across N in-process
                                             shard engines behind a router
            [--vertices N]                   no graph: serve an empty N-vertex
@@ -84,8 +87,12 @@ commands:
            [--write-shards K]               confine writes to K block slices,
            [--local-pct P]                  P% of them slice-local
            [--json-out PATH] [--trace-out PATH]
+           [--traced BOOL]                  mint a trace id per request (pair
+                                            with a server's --slow-log)
   top      <host:port> [--interval-ms MS]   live dashboard over a server's
            [--count N] [--clear BOOL]       --metrics-addr scrape endpoint
+  trace    <host:port> [--shards A,B,…]     render the newest retained request
+           [--trace-id HEX]                 trace as a cross-process span tree
   help                                      this message
 
 `--trace-out` writes a JSON phase trace of the best trial (build with
@@ -115,6 +122,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "recover" => commands::recover::run(rest),
         "loadgen" => commands::loadgen::run(rest),
         "top" => commands::top::run(rest),
+        "trace" => commands::trace::run(rest),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown command '{other}'")),
     }

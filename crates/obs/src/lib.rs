@@ -56,6 +56,7 @@ pub mod json;
 #[cfg(feature = "enabled")]
 mod recorder;
 pub mod registry;
+pub mod reqtrace;
 mod trace;
 
 pub use trace::{base_of, Histogram, PhaseTotal, SpanRecord, Trace};

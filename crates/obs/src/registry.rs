@@ -137,6 +137,10 @@ pub struct Hist {
     min: AtomicU64,
     max: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
+    /// Last trace id observed per bucket (0 = none): the OpenMetrics
+    /// exemplar, linking an aggregate bucket back to one concrete
+    /// retained trace (DESIGN.md §16).
+    exemplars: [AtomicU64; BUCKETS],
 }
 
 impl Hist {
@@ -147,18 +151,41 @@ impl Hist {
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
             buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            exemplars: [const { AtomicU64::new(0) }; BUCKETS],
         }
     }
 
     /// Records one observation (Relaxed fetch-ops; never blocks).
     #[inline]
     pub fn record(&self, v: u64) {
+        self.record_traced(v, 0);
+    }
+
+    /// [`Hist::record`] plus an exemplar: a nonzero `trace_id` becomes
+    /// the bucket's exemplar (last writer wins).
+    #[inline]
+    pub fn record_traced(&self, v: u64, trace_id: u64) {
         let bucket = 63u32.saturating_sub(v.max(1).leading_zeros()) as usize;
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        if trace_id != 0 {
+            self.exemplars[bucket].store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// The exemplar trace ids of occupied buckets, as `(bucket, id)`.
+    pub fn exemplars(&self) -> Vec<(u32, u64)> {
+        self.exemplars
+            .iter()
+            .enumerate()
+            .filter_map(|(b, e)| {
+                let id = e.load(Ordering::Relaxed);
+                (id != 0).then_some((b as u32, id))
+            })
+            .collect()
     }
 
     /// Number of observations so far.
@@ -359,27 +386,31 @@ pub enum MetricValue {
 pub fn snapshot() -> Vec<(&'static str, MetricValue)> {
     snapshot_grouped()
         .into_iter()
-        .map(|(_, full, value)| (full, value))
+        .map(|(_, full, value, _)| (full, value))
         .collect()
 }
 
-/// [`snapshot`] with the `# TYPE` grouping key: `(base, full, value)`,
-/// sorted by `(base, full)` so every labelled series sits next to its
-/// base name.
-fn snapshot_grouped() -> Vec<(&'static str, &'static str, MetricValue)> {
+/// One grouped sample: `(base, full, value, exemplars)` — the `# TYPE`
+/// grouping key, the full labelled name, the read value, and any
+/// `(bucket, trace_id)` exemplar pairs a histogram carries.
+type GroupedSample = (&'static str, &'static str, MetricValue, Vec<(u32, u64)>);
+
+/// [`snapshot`] with the `# TYPE` grouping key: sorted by
+/// `(base, full)` so every labelled series sits next to its base name.
+fn snapshot_grouped() -> Vec<GroupedSample> {
     let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
-    let mut out: Vec<(&'static str, &'static str, MetricValue)> = reg
+    let mut out: Vec<GroupedSample> = reg
         .iter()
         .map(|e| {
-            let value = match &e.slot {
-                Slot::Counter(c) => MetricValue::Counter(c.get()),
-                Slot::Gauge(g) => MetricValue::Gauge(g.get()),
-                Slot::Hist(h) => MetricValue::Histogram(h.snapshot(e.full)),
+            let (value, exemplars) = match &e.slot {
+                Slot::Counter(c) => (MetricValue::Counter(c.get()), Vec::new()),
+                Slot::Gauge(g) => (MetricValue::Gauge(g.get()), Vec::new()),
+                Slot::Hist(h) => (MetricValue::Histogram(h.snapshot(e.full)), h.exemplars()),
             };
-            (e.base, e.full, value)
+            (e.base, e.full, value, exemplars)
         })
         .collect();
-    out.sort_by_key(|(base, full, _)| (*base, *full));
+    out.sort_by_key(|(base, full, _, _)| (*base, *full));
     out
 }
 
@@ -400,7 +431,7 @@ pub fn expose() -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let mut last_base = "";
-    for (base, name, value) in snapshot_grouped() {
+    for (base, name, value, exemplars) in snapshot_grouped() {
         let fresh_base = base != last_base;
         last_base = base;
         match value {
@@ -421,11 +452,19 @@ pub fn expose() -> String {
                 let mut cum = 0u64;
                 for &(bucket, n) in &h.buckets {
                     cum += n;
-                    let _ = writeln!(
+                    let _ = write!(
                         out,
                         "{name}_bucket{{le=\"{}\"}} {cum}",
                         bucket_upper_edge(bucket)
                     );
+                    // OpenMetrics exemplar: the last retained trace that
+                    // landed in this bucket.
+                    match exemplars.iter().find(|(b, _)| *b == bucket) {
+                        Some(&(_, id)) => {
+                            let _ = writeln!(out, " # {{trace_id=\"{id:016x}\"}}");
+                        }
+                        None => out.push('\n'),
+                    }
                 }
                 let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
                 let _ = writeln!(out, "{name}_sum {}", h.sum_ns);
@@ -447,6 +486,9 @@ pub struct Scrape {
     /// `min_ns`/`max_ns` are approximated by the occupied bucket edges
     /// (the text format does not carry exact extrema).
     pub histograms: Vec<crate::Histogram>,
+    /// OpenMetrics exemplars, `(full bucket sample name, trace id hex)`
+    /// in exposition order (so per histogram, ascending bucket edge).
+    pub exemplars: Vec<(String, String)>,
 }
 
 impl Scrape {
@@ -458,6 +500,17 @@ impl Scrape {
     /// Looks up a reconstructed histogram by name.
     pub fn histogram(&self, name: &str) -> Option<&crate::Histogram> {
         self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The exemplar trace id (hex) of histogram `name`'s highest
+    /// occupied bucket — the slowest retained request it observed.
+    pub fn exemplar(&self, name: &str) -> Option<&str> {
+        let prefix = format!("{name}_bucket{{le=\"");
+        self.exemplars
+            .iter()
+            .rev()
+            .find(|(n, _)| n.starts_with(&prefix))
+            .map(|(_, id)| id.as_str())
     }
 }
 
@@ -481,11 +534,26 @@ pub fn parse_exposition(text: &str) -> Result<Scrape, String> {
             continue;
         }
         let err = |msg: &str| format!("line {}: {msg}: {line:?}", lineno + 1);
+        // An OpenMetrics exemplar rides after the sample value as
+        // ` # {trace_id="…"}`; split it off before the value parse.
+        let (line, exemplar) = match line.split_once(" # ") {
+            Some((data, ex)) => {
+                let id = ex
+                    .strip_prefix("{trace_id=\"")
+                    .and_then(|r| r.strip_suffix("\"}"))
+                    .ok_or_else(|| err("malformed exemplar"))?;
+                (data.trim(), Some(id.to_string()))
+            }
+            None => (line, None),
+        };
         let (name_part, value_part) = line
             .rsplit_once(' ')
             .ok_or_else(|| err("expected `name value`"))?;
         let name_part = name_part.trim();
         let value_part = value_part.trim();
+        if let Some(id) = exemplar {
+            scrape.exemplars.push((name_part.to_string(), id));
+        }
 
         if let Some((base, rest)) = name_part.split_once("_bucket{le=\"") {
             let le = rest
@@ -655,6 +723,27 @@ mod tests {
         // Reconstructed buckets carry the same per-bucket counts.
         let snap = h.snapshot("x");
         assert_eq!(hist.buckets, snap.buckets);
+    }
+
+    #[test]
+    fn exemplars_ride_bucket_lines_and_roundtrip() {
+        let h = histogram("test_reg_exemplar_latency_ns");
+        h.record(100); // no trace: bucket line stays bare
+        h.record_traced(100_000, 0xDEAD_BEEF);
+        h.record_traced(100_000, 0xFEED_F00D); // last writer wins
+        let text = expose();
+        assert!(text.contains("# {trace_id=\"00000000feedf00d\"}"), "{text}");
+        let scrape = parse_exposition(&text).expect("exemplars parse");
+        assert_eq!(
+            scrape.exemplar("test_reg_exemplar_latency_ns"),
+            Some("00000000feedf00d")
+        );
+        assert_eq!(scrape.exemplar("test_reg_expo_no_such_hist"), None);
+        // The histogram itself still reconstructs.
+        let hist = scrape.histogram("test_reg_exemplar_latency_ns").unwrap();
+        assert_eq!(hist.count, 3);
+        // A mangled exemplar errors instead of corrupting the value.
+        assert!(parse_exposition("lat_bucket{le=\"3\"} 1 # {oops}\n").is_err());
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Span-ring properties: the seqlock protocol never surfaces a torn
+//! span, and wraparound keeps exactly the newest `CAPACITY` records.
+//!
+//! Tearing is the failure mode the stamp protocol exists to prevent: a
+//! reader overlapping a writer must either see the slot's previous
+//! complete span or skip the slot, never a mix of two spans' fields.
+//! Every span written here derives all seven fields from one seed, so a
+//! single cross-field consistency check detects any mix.
+
+use afforest_obs::reqtrace::{Span, SpanRing, CAPACITY};
+use proptest::prelude::*;
+
+/// A span whose every field is a pure function of `seed` (stage is
+/// allowed to be an arbitrary u16: the ring stores codes, not the
+/// enum).
+fn span_of(seed: u64) -> Span {
+    Span {
+        trace_id: seed,
+        span_id: seed.wrapping_mul(3),
+        parent_span: seed.wrapping_mul(5),
+        stage: (seed % 10 + 1) as u16,
+        arg: seed.wrapping_mul(7),
+        start_us: seed.wrapping_mul(11),
+        dur_ns: seed.wrapping_mul(13),
+    }
+}
+
+/// Whether `s` is some `span_of(seed)` — i.e. internally consistent. A
+/// torn slot mixing two different seeds fails at least one equation.
+fn consistent(s: &Span) -> bool {
+    *s == span_of(s.trace_id)
+}
+
+proptest! {
+    /// Sequential wraparound: after `n` records the snapshot holds
+    /// exactly the newest `min(n, CAPACITY)` spans, in good order.
+    #[test]
+    fn wraparound_keeps_the_newest_spans(extra in 0usize..(2 * CAPACITY)) {
+        let ring = SpanRing::new();
+        let n = CAPACITY / 2 + extra;
+        for seed in 0..n as u64 {
+            ring.record(span_of(seed));
+        }
+        let snap = ring.snapshot();
+        let kept = n.min(CAPACITY);
+        prop_assert_eq!(snap.len(), kept);
+        let oldest = (n - kept) as u64;
+        for (i, s) in snap.iter().enumerate() {
+            prop_assert!(consistent(s));
+            prop_assert_eq!(s.trace_id, oldest + i as u64);
+        }
+    }
+
+    /// Concurrent writers with a racing reader: every snapshot taken
+    /// while writes are in flight contains only complete spans (a torn
+    /// read inside the reader thread panics, which fails the test).
+    #[test]
+    fn concurrent_writers_never_tear(writers in 2usize..5, per_writer in 50usize..400) {
+        let ring = SpanRing::new();
+        let total = (writers * per_writer) as u64;
+        let snaps = std::thread::scope(|scope| {
+            for w in 0..writers {
+                let ring = &ring;
+                // Disjoint nonzero seed ranges per writer, so any mix of
+                // two writers' fields breaks consistency.
+                let base = ((w as u64) + 1) << 32;
+                scope.spawn(move || {
+                    for k in 0..per_writer as u64 {
+                        ring.record(span_of(base + k));
+                    }
+                });
+            }
+            // The reader races the writers until the cursor shows every
+            // record has landed; `recorded()` doubles as the stop flag.
+            let reader = scope.spawn(|| {
+                let mut snaps = 0usize;
+                loop {
+                    for s in ring.snapshot() {
+                        assert!(consistent(&s), "torn span surfaced: {s:?}");
+                    }
+                    snaps += 1;
+                    if ring.recorded() >= total {
+                        break;
+                    }
+                }
+                snaps
+            });
+            reader.join().expect("reader panicked")
+        });
+        prop_assert!(snaps > 0);
+        prop_assert_eq!(ring.recorded(), total);
+        let snap = ring.snapshot();
+        prop_assert_eq!(snap.len(), (total as usize).min(CAPACITY));
+        for s in &snap {
+            prop_assert!(consistent(s));
+        }
+    }
+}

@@ -23,6 +23,7 @@
 use crate::protocol::{self, Request, Response, StatsReport, WireError};
 use crate::tenant::TenantId;
 use afforest_graph::Node;
+use afforest_obs::reqtrace::{self, Span, TraceCtx};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -128,6 +129,8 @@ pub struct Client {
     last_degraded: bool,
     degraded_answers: u64,
     last_shed_depth: u64,
+    tracing: bool,
+    last_trace_id: u64,
 }
 
 impl Client {
@@ -148,6 +151,8 @@ impl Client {
             last_degraded: false,
             degraded_answers: 0,
             last_shed_depth: 0,
+            tracing: false,
+            last_trace_id: 0,
         })
     }
 
@@ -162,6 +167,22 @@ impl Client {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Mints a fresh trace id per call and sends it in the request
+    /// envelope, so the server (and everything it fans out to) records
+    /// spans under that trace. Forces the v2 wire encoding — traced
+    /// tenant-less requests ride a `default`-tenant envelope.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// The trace id the most recent traced call was sent under (0 until
+    /// the first one). Lets callers correlate a slow answer with the
+    /// server-side trace tree.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
     }
 
     /// Sets the socket read timeout (re-applied after reconnects).
@@ -182,8 +203,23 @@ impl Client {
 
     /// Performs one blocking request/response exchange — a single
     /// attempt, no retries. Encodes v2 when a tenant is set, v1
-    /// otherwise.
+    /// otherwise. A trace context is attached when tracing is on (a
+    /// fresh root id per attempt) or when the calling thread already has
+    /// one in scope (in-process forwarding: the router's shard fan-out
+    /// propagates its request context this way).
     pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        let ctx = if self.tracing {
+            let ctx = TraceCtx::root(reqtrace::mint());
+            self.last_trace_id = ctx.trace_id;
+            ctx
+        } else {
+            reqtrace::current()
+        };
+        if ctx.sampled() {
+            let default = TenantId::default_tenant();
+            let tenant = self.tenant.as_ref().unwrap_or(&default);
+            return protocol::call_traced(&mut self.stream, tenant, ctx, req);
+        }
         match &self.tenant {
             Some(t) => protocol::call_v2(&mut self.stream, t, req),
             None => protocol::call(&mut self.stream, req),
@@ -353,6 +389,15 @@ impl Client {
         match self.typed(&Request::ListTenants)? {
             Response::Tenants(names) => Ok(names),
             other => Err(unexpected("ListTenants", &other)),
+        }
+    }
+
+    /// Fetches the server's retained span ring (newest spans, oldest
+    /// evicted) along with the node name it records spans under.
+    pub fn dump_traces(&mut self) -> Result<(String, Vec<Span>), ClientError> {
+        match self.typed(&Request::DumpTraces)? {
+            Response::Traces { node, spans } => Ok((node, spans)),
+            other => Err(unexpected("DumpTraces", &other)),
         }
     }
 

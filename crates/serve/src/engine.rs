@@ -31,6 +31,7 @@ use crate::tenant::TenantId;
 use crate::wal::Wal;
 use afforest_core::IncrementalCc;
 use afforest_graph::Node;
+use afforest_obs::reqtrace::{self, Stage, StageSpan};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -461,8 +462,12 @@ fn writer_loop(
 ) {
     let mut epoch = 0u64;
     loop {
-        let (batch, oldest) = match shared.ingest.next_batch(policy) {
-            Drained::Batch { edges, oldest } => (edges, oldest),
+        let (batch, oldest, trace) = match shared.ingest.next_batch(policy) {
+            Drained::Batch {
+                edges,
+                oldest,
+                trace,
+            } => (edges, oldest, trace),
             Drained::Shutdown => {
                 // Shutdown fully drained the queue: the final Stats answer
                 // must say 0, not the depth of the last pre-drain push.
@@ -475,7 +480,22 @@ fn writer_loop(
             }
         };
         shared.backstop.release(batch.len() as u64);
+        // Pipeline stages below are attributed to the batch's
+        // representative traced request (the first sampled push since the
+        // last drain). Writer-side spans go straight to the ring — the
+        // batch already coalesced many requests, so tail sampling is the
+        // request thread's business, not ours.
+        let _trace_scope = reqtrace::scoped(trace);
+        let wait = oldest.elapsed();
+        reqtrace::record(
+            trace,
+            Stage::QueueWait,
+            batch.len() as u64,
+            reqtrace::now_us().saturating_sub(wait.as_micros() as u64),
+            wait.as_nanos() as u64,
+        );
         if let Some(w) = wal.as_mut() {
+            let _wal_span = StageSpan::begin_with(Stage::WalFsync, batch.len() as u64);
             // A failed append does not block the batch: the service stays
             // available and the gap surfaces in wal_errors instead.
             match w.append(&batch) {
@@ -496,13 +516,17 @@ fn writer_loop(
         let apply_start = Instant::now();
         {
             let _span = afforest_obs::span!("ingest-batch[{epoch}]");
-            cc.insert_batch(&batch);
-            if let Some(d) = policy.apply_delay {
-                thread::sleep(d);
+            {
+                let _apply = StageSpan::begin_with(Stage::BatchApply, applied);
+                cc.insert_batch(&batch);
+                if let Some(d) = policy.apply_delay {
+                    thread::sleep(d);
+                }
+                if let Some(d) = shared.faults.as_deref().and_then(|f| f.on_apply()) {
+                    thread::sleep(d);
+                }
             }
-            if let Some(d) = shared.faults.as_deref().and_then(|f| f.on_apply()) {
-                thread::sleep(d);
-            }
+            let _publish = StageSpan::begin_with(Stage::EpochPublish, epoch);
             shared.store.publish(Snapshot::new(epoch, &cc.labels()));
         }
         shared.stats.applying.store(false, Ordering::Relaxed);

@@ -1,4 +1,5 @@
-//! A minimal HTTP/1.0 sidecar exposing `GET /metrics`.
+//! A minimal HTTP/1.0 sidecar exposing `GET /metrics`, `/healthz`, and
+//! `/readyz`.
 //!
 //! Prometheus-style scrapers speak HTTP, not our binary frame protocol,
 //! so `afforest serve --metrics-addr` starts this listener next to the
@@ -7,9 +8,16 @@
 //! request is answered from [`afforest_obs::registry::expose`], which
 //! snapshots atomics without pausing writers.
 //!
+//! The probe endpoints follow the usual split: `/healthz` answers 200
+//! whenever the sidecar itself is alive (liveness), while `/readyz`
+//! answers 200 only once the process has marked itself ready via
+//! [`set_ready`] (recovery / WAL replay complete) *and* no shard health
+//! gauge reports `Down` — a router with a dead shard keeps serving
+//! degraded reads but tells its load balancer to stop sending new work.
+//!
 //! The protocol support is deliberately tiny — HTTP/1.0, one request per
 //! connection, `Connection: close` — which is all a scraper or `curl`
-//! needs. Anything that is not `GET /metrics` gets a proper 404/405 so
+//! needs. Anything that is not a known GET path gets a proper 404/405 so
 //! misconfigured scrapers fail loudly.
 
 use std::io::{Read, Write};
@@ -28,6 +36,33 @@ const IO_TIMEOUT: Duration = Duration::from_millis(500);
 
 /// Largest request head we will buffer before answering 400.
 const MAX_HEAD: usize = 8 * 1024;
+
+/// Process-global readiness: `/readyz` answers 503 until this is set.
+static READY: AtomicBool = AtomicBool::new(false);
+
+/// Marks the process ready (or not) for `/readyz`. Call after startup
+/// work — WAL recovery, tenant replay, shard boot — completes.
+pub fn set_ready(ready: bool) {
+    READY.store(ready, Ordering::Relaxed);
+}
+
+/// The `/readyz` verdict: the ready flag is set and no shard health
+/// gauge reports `Down` (code 2; see `afforest-shard`'s health machine).
+/// Processes without shard gauges — plain servers, workers — reduce to
+/// the flag alone.
+fn readiness() -> (bool, String) {
+    if !READY.load(Ordering::Relaxed) {
+        return (false, "not ready: startup incomplete\n".to_string());
+    }
+    for (name, value) in afforest_obs::registry::snapshot() {
+        if let afforest_obs::registry::MetricValue::Gauge(code) = value {
+            if name.starts_with("afforest_shard_health{") && code == 2 {
+                return (false, format!("not ready: {name} is down\n"));
+            }
+        }
+    }
+    (true, "ok\n".to_string())
+}
 
 /// A running metrics sidecar. Dropping it stops the listener thread.
 pub struct MetricsHttp {
@@ -99,6 +134,11 @@ fn serve_one(mut stream: TcpStream) {
     };
     let (status, body) = match parse_request_line(&head) {
         Some(("GET", "/metrics")) => ("200 OK", afforest_obs::registry::expose()),
+        Some(("GET", "/healthz")) => ("200 OK", "ok\n".to_string()),
+        Some(("GET", "/readyz")) => match readiness() {
+            (true, body) => ("200 OK", body),
+            (false, body) => ("503 Service Unavailable", body),
+        },
         Some(("GET", path)) => ("404 Not Found", format!("no such path: {path}\n")),
         Some((method, _)) => (
             "405 Method Not Allowed",
@@ -190,6 +230,37 @@ mod tests {
 
         let (status, _) = http_get(&addr, "/nope").expect("404 path");
         assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn health_and_ready_probes_answer_separately() {
+        let http = MetricsHttp::spawn("127.0.0.1:0").expect("bind sidecar");
+        let addr = http.local_addr().to_string();
+
+        // Liveness is unconditional.
+        let (status, body) = http_get(&addr, "/healthz").expect("healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+
+        // Readiness follows the flag...
+        set_ready(false);
+        let (status, _) = http_get(&addr, "/readyz").expect("readyz");
+        assert_eq!(status, 503);
+        set_ready(true);
+        let (status, _) = http_get(&addr, "/readyz").expect("readyz");
+        assert_eq!(status, 200);
+
+        // ...and a Down shard (health code 2) pulls it even when set.
+        let g =
+            afforest_obs::registry::labeled_gauge("afforest_shard_health", "shard", "readyz-test");
+        g.set(2);
+        let (status, body) = http_get(&addr, "/readyz").expect("readyz");
+        assert_eq!(status, 503);
+        assert!(body.contains("readyz-test"), "{body}");
+        g.set(0);
+        let (status, _) = http_get(&addr, "/readyz").expect("readyz");
+        assert_eq!(status, 200);
+        set_ready(false);
     }
 
     #[test]

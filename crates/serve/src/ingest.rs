@@ -13,6 +13,7 @@
 //! `queue_depth`) additionally flow into traces when obs is compiled in.
 
 use afforest_graph::Node;
+use afforest_obs::reqtrace::{self, TraceCtx};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -95,6 +96,11 @@ pub enum Drained {
         /// Arrival time of the batch's oldest edge — the anchor the
         /// writer measures epoch publish lag from.
         oldest: Instant,
+        /// Trace context of the first *sampled* push coalesced into this
+        /// batch ([`TraceCtx::NONE`] when no pusher was traced). The
+        /// writer attributes the batch's pipeline stages (queue wait,
+        /// WAL, apply, publish) to this representative request.
+        trace: TraceCtx,
     },
     /// The queue was shut down and fully drained: exit.
     Shutdown,
@@ -105,6 +111,8 @@ struct QueueState {
     edges: VecDeque<(Node, Node)>,
     /// Arrival time of the oldest pending edge (deadline anchor).
     oldest: Option<Instant>,
+    /// Trace context of the first sampled push since the last drain.
+    trace: TraceCtx,
     shutdown: bool,
 }
 
@@ -138,6 +146,9 @@ impl IngestQueue {
         s.edges.extend(edges.iter().copied());
         if s.oldest.is_none() && !s.edges.is_empty() {
             s.oldest = Some(Instant::now());
+        }
+        if !s.trace.sampled() {
+            s.trace = reqtrace::current();
         }
         let depth = s.edges.len();
         drop(s);
@@ -205,6 +216,7 @@ impl IngestQueue {
         Drained::Batch {
             edges: s.edges.drain(..).collect(),
             oldest,
+            trace: std::mem::take(&mut s.trace),
         }
     }
 }
@@ -246,7 +258,7 @@ mod tests {
         q.push(&[(0, 1)]);
         let t = Instant::now();
         match q.next_batch(&policy(1_000_000, 20)) {
-            Drained::Batch { edges, oldest } => {
+            Drained::Batch { edges, oldest, .. } => {
                 assert_eq!(edges, vec![(0, 1)]);
                 // The lag anchor is the push time, so by drain time the
                 // full deadline has elapsed since `oldest`.

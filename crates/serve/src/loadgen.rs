@@ -170,6 +170,15 @@ impl LoadgenReport {
         } else {
             0.0
         };
+        // An empty histogram's percentiles are the NO_SAMPLES sentinel;
+        // "0ns" would read as a real measurement, so show dashes.
+        let quantile = |v: u64| {
+            if self.latency.count > 0 {
+                fmt_ns(v)
+            } else {
+                "-".to_string()
+            }
+        };
         format!(
             "loadgen: {} requests ({:.0}% reads) over {} connections in {:.3} s\n\
              throughput: {:.0} req/s\n\
@@ -181,14 +190,10 @@ impl LoadgenReport {
             self.connections,
             self.elapsed.as_secs_f64(),
             self.throughput_rps(),
-            fmt_ns(p50),
-            fmt_ns(p95),
-            fmt_ns(p99),
-            fmt_ns(if self.latency.count > 0 {
-                self.latency.max_ns
-            } else {
-                0
-            }),
+            quantile(p50),
+            quantile(p95),
+            quantile(p99),
+            quantile(self.latency.max_ns),
             self.errors,
             self.shed,
             self.timeouts,
@@ -515,6 +520,24 @@ mod tests {
         assert!(report.reads > report.writes);
         assert_eq!(report.latency.count, 3_000);
         assert!(report.throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn empty_report_renders_dashes_not_zero_latency() {
+        let server = tiny_server(10);
+        let report = run(
+            &LoadgenConfig {
+                connections: 1,
+                requests: 0,
+                ..LoadgenConfig::default()
+            },
+            |_| Ok(&server),
+        )
+        .unwrap();
+        assert_eq!(report.latency.count, 0);
+        let text = report.render();
+        // The NO_SAMPLES sentinel must not surface as a "0ns" reading.
+        assert!(text.contains("p50 -  p95 -  p99 -  max -"), "{text}");
     }
 
     #[test]

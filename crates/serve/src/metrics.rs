@@ -18,7 +18,7 @@ use afforest_obs::registry::{self, Counter, Gauge, Hist};
 use std::sync::OnceLock;
 
 /// Number of request opcodes tracked per-op.
-pub const OPS: usize = 11;
+pub const OPS: usize = 12;
 
 /// Exposition-name suffix per op, indexed like [`op_index`].
 pub const OP_NAMES: [&str; OPS] = [
@@ -33,6 +33,7 @@ pub const OP_NAMES: [&str; OPS] = [
     "create_tenant",
     "drop_tenant",
     "list_tenants",
+    "dump_traces",
 ];
 
 /// The per-op metric index of a request.
@@ -49,6 +50,7 @@ pub fn op_index(req: &Request) -> usize {
         Request::CreateTenant { .. } => 8,
         Request::DropTenant { .. } => 9,
         Request::ListTenants => 10,
+        Request::DumpTraces => 11,
     }
 }
 
@@ -155,6 +157,7 @@ pub fn metrics() -> &'static ServeMetrics {
             registry::counter("afforest_requests_create_tenant_total"),
             registry::counter("afforest_requests_drop_tenant_total"),
             registry::counter("afforest_requests_list_tenants_total"),
+            registry::counter("afforest_requests_dump_traces_total"),
         ],
         latency: [
             registry::histogram("afforest_request_latency_connected_ns"),
@@ -168,6 +171,7 @@ pub fn metrics() -> &'static ServeMetrics {
             registry::histogram("afforest_request_latency_create_tenant_ns"),
             registry::histogram("afforest_request_latency_drop_tenant_ns"),
             registry::histogram("afforest_request_latency_list_tenants_ns"),
+            registry::histogram("afforest_request_latency_dump_traces_ns"),
         ],
         bytes_read: registry::counter("afforest_bytes_read_total"),
         bytes_written: registry::counter("afforest_bytes_written_total"),
@@ -216,6 +220,7 @@ mod tests {
                 name: crate::tenant::TenantId::new("t").unwrap(),
             },
             Request::ListTenants,
+            Request::DumpTraces,
         ];
         let mut seen = [false; OPS];
         for r in &reqs {

@@ -28,9 +28,26 @@
 //! shapes except `Stats`, whose v2 payload is the versioned
 //! self-describing encoding (see [`StatsReport`]); the server answers
 //! each frame in the version it arrived in.
+//!
+//! ## Trace context
+//!
+//! A v2 envelope may carry a request's trace context (DESIGN.md §16)
+//! between the tenant name and the inner payload, tagged by
+//! [`TRACE_MARKER`] — a byte outside both the request-op range and the
+//! envelope marker, so its presence is unambiguous from one byte:
+//!
+//! ```text
+//! [0x7E][2][tenant_len][tenant][0x7D][trace_id: u64][parent_span: u64][v1 payload]
+//! ```
+//!
+//! The field is optional: contextless v2 frames (and all v1 frames)
+//! decode exactly as before, with [`TraceCtx::NONE`]. This keeps the
+//! version byte at [`WIRE_V2`] — adding the field is not a version
+//! bump, because old payloads remain a strict subset.
 
 use crate::tenant::TenantId;
 use afforest_graph::Node;
+use afforest_obs::reqtrace::{Span, TraceCtx};
 use std::io::{Read, Write};
 
 /// Hard ceiling on payload size (16 MiB ≈ 2M edges per insert frame). A
@@ -45,6 +62,12 @@ pub const ENVELOPE_MARKER: u8 = 0x7E;
 
 /// The version byte carried inside a v2 envelope.
 pub const WIRE_V2: u8 = 2;
+
+/// Tag of the optional trace-context block inside a v2 envelope.
+/// Reserved like [`ENVELOPE_MARKER`]: no request op will ever be
+/// assigned this value, so the byte after the tenant name alone tells
+/// whether a context rides along.
+pub const TRACE_MARKER: u8 = 0x7D;
 
 /// Version byte of the self-describing `Stats` payload (v2 frames only;
 /// v1 frames keep the frozen nine-`u64` layout).
@@ -94,6 +117,11 @@ pub enum Request {
     },
     /// List registered tenants.
     ListTenants,
+    /// Snapshot this process's retained span ring (DESIGN.md §16);
+    /// answered with [`Response::Traces`]. Served by routers and
+    /// workers alike, so `afforest trace` can merge one tree across
+    /// processes.
+    DumpTraces,
 }
 
 /// A server response.
@@ -135,6 +163,14 @@ pub enum Response {
     /// Answer to [`Request::ListTenants`]: registered tenant names,
     /// sorted.
     Tenants(Vec<String>),
+    /// Answer to [`Request::DumpTraces`]: the retained spans of this
+    /// process's ring, oldest first.
+    Traces {
+        /// The answering process's node name (`"router"`, `"serve"`).
+        node: String,
+        /// Retained spans, oldest first.
+        spans: Vec<Span>,
+    },
     /// A *degraded* answer: correct for the reachable part of the
     /// cluster, but computed while one or more shards were unavailable
     /// (see the shard router's failure model, DESIGN.md §15). The inner
@@ -188,6 +224,10 @@ pub struct StatsReport {
     /// `Stats` answer cannot carry this field and decodes it as 0).
     pub tenants: u64,
 }
+
+/// Bytes of one encoded span in a [`Response::Traces`] payload: seven
+/// fixed-width `u64` fields.
+const SPAN_WIRE_BYTES: usize = 7 * 8;
 
 // Field tags of the self-describing v2 `Stats` payload. Tags are stable;
 // new fields take fresh tags and old decoders skip them.
@@ -298,6 +338,7 @@ const OP_METRICS: u8 = 0x08;
 const OP_CREATE_TENANT: u8 = 0x09;
 const OP_DROP_TENANT: u8 = 0x0A;
 const OP_LIST_TENANTS: u8 = 0x0B;
+const OP_DUMP_TRACES: u8 = 0x0C;
 
 // Response opcodes.
 const OP_R_CONNECTED: u8 = 0x81;
@@ -313,6 +354,7 @@ const OP_R_TENANT_CREATED: u8 = 0x8A;
 const OP_R_TENANT_DROPPED: u8 = 0x8B;
 const OP_R_TENANTS: u8 = 0x8C;
 const OP_R_DEGRADED: u8 = 0x8D;
+const OP_R_TRACES: u8 = 0x8E;
 const OP_R_ERR: u8 = 0xC0;
 
 /// Incremental little-endian payload reader with typed errors.
@@ -346,6 +388,11 @@ impl<'a> Cursor<'a> {
     fn u8(&mut self) -> Result<u8, FrameError> {
         // PANIC-OK: `take(1)` returned exactly one byte.
         Ok(self.take(1)?[0])
+    }
+
+    /// The next byte without consuming it (`None` at end of payload).
+    fn peek(&self) -> Option<u8> {
+        self.buf.get(self.pos).copied()
     }
 
     fn u32(&mut self) -> Result<u32, FrameError> {
@@ -446,30 +493,53 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             push_tenant(&mut out, name);
         }
         Request::ListTenants => out.push(OP_LIST_TENANTS),
+        Request::DumpTraces => out.push(OP_DUMP_TRACES),
     }
     out
 }
 
 /// Encodes a v2 request payload: the tenant envelope wrapping the v1
-/// encoding of `req`.
+/// encoding of `req`, with no trace context.
 pub fn encode_request_v2(tenant: &TenantId, req: &Request) -> Vec<u8> {
+    encode_request_traced(tenant, TraceCtx::NONE, req)
+}
+
+/// Encodes a v2 request payload carrying `ctx` (omitted when
+/// unsampled, so an untraced call is byte-identical to
+/// [`encode_request_v2`]).
+pub fn encode_request_traced(tenant: &TenantId, ctx: TraceCtx, req: &Request) -> Vec<u8> {
     let inner = encode_request(req);
-    let mut out = Vec::with_capacity(3 + tenant.as_str().len() + inner.len());
+    let mut out = Vec::with_capacity(20 + tenant.as_str().len() + inner.len());
     out.push(ENVELOPE_MARKER);
     out.push(WIRE_V2);
     push_tenant(&mut out, tenant);
+    if ctx.sampled() {
+        out.push(TRACE_MARKER);
+        push_u64(&mut out, ctx.trace_id);
+        push_u64(&mut out, ctx.parent_span);
+    }
     out.extend_from_slice(&inner);
     out
 }
 
 /// Decodes a request payload of either wire version: enveloped payloads
 /// yield their tenant, bare (v1) payloads route to `default`. Total
-/// function, like [`decode_request`].
+/// function, like [`decode_request`]. Drops any trace context; servers
+/// use [`decode_request_traced`].
 pub fn decode_request_any(payload: &[u8]) -> Result<(WireVersion, TenantId, Request), FrameError> {
+    decode_request_traced(payload).map(|(ver, tenant, _, req)| (ver, tenant, req))
+}
+
+/// [`decode_request_any`] plus the envelope's trace context
+/// ([`TraceCtx::NONE`] for v1 and contextless v2 payloads).
+pub fn decode_request_traced(
+    payload: &[u8],
+) -> Result<(WireVersion, TenantId, TraceCtx, Request), FrameError> {
     if payload.first() != Some(&ENVELOPE_MARKER) {
         return Ok((
             WireVersion::V1,
             TenantId::default_tenant(),
+            TraceCtx::NONE,
             decode_request(payload)?,
         ));
     }
@@ -480,8 +550,16 @@ pub fn decode_request_any(payload: &[u8]) -> Result<(WireVersion, TenantId, Requ
         return Err(FrameError::BadPayload("unsupported wire version"));
     }
     let tenant = take_tenant(&mut c)?;
+    let mut ctx = TraceCtx::NONE;
+    if c.peek() == Some(TRACE_MARKER) {
+        let _tag = c.u8()?;
+        ctx = TraceCtx {
+            trace_id: c.u64()?,
+            parent_span: c.u64()?,
+        };
+    }
     let req = decode_request(c.rest())?;
-    Ok((WireVersion::V2, tenant, req))
+    Ok((WireVersion::V2, tenant, ctx, req))
 }
 
 /// Decodes a request payload. Total function: every byte string yields
@@ -523,6 +601,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
             name: take_tenant(&mut c)?,
         },
         OP_LIST_TENANTS => Request::ListTenants,
+        OP_DUMP_TRACES => Request::DumpTraces,
         op => return Err(FrameError::UnknownOpcode(op)),
     };
     c.finish()?;
@@ -623,6 +702,23 @@ fn encode_response_with(resp: &Response, version: WireVersion) -> Vec<u8> {
             for name in names {
                 out.push(name.len() as u8);
                 out.extend_from_slice(name.as_bytes());
+            }
+        }
+        Response::Traces { node, spans } => {
+            out.reserve(6 + node.len() + spans.len() * SPAN_WIRE_BYTES);
+            out.push(OP_R_TRACES);
+            out.push(node.len().min(255) as u8);
+            // PANIC-OK: min(len, 255) never exceeds the slice length.
+            out.extend_from_slice(&node.as_bytes()[..node.len().min(255)]);
+            push_u32(&mut out, spans.len() as u32);
+            for s in spans {
+                push_u64(&mut out, s.trace_id);
+                push_u64(&mut out, s.span_id);
+                push_u64(&mut out, s.parent_span);
+                push_u64(&mut out, u64::from(s.stage));
+                push_u64(&mut out, s.arg);
+                push_u64(&mut out, s.start_us);
+                push_u64(&mut out, s.dur_ns);
             }
         }
         Response::Degraded(inner) => match version {
@@ -751,6 +847,38 @@ fn decode_response_with(payload: &[u8], version: WireVersion) -> Result<Response
             }
             Response::Tenants(names)
         }
+        OP_R_TRACES => {
+            let node_len = c.u8()? as usize;
+            let raw = c.take(node_len)?;
+            let node = std::str::from_utf8(raw)
+                .map_err(|_| FrameError::BadPayload("node name is not UTF-8"))?
+                .to_string();
+            let count = c.u32()? as usize;
+            // Fixed-width spans: a lying count is caught against the
+            // payload length before any allocation.
+            let declared = count
+                .checked_mul(SPAN_WIRE_BYTES)
+                .ok_or(FrameError::BadPayload("span count overflows"))?;
+            if payload.len() < 6 + node_len + declared {
+                return Err(FrameError::Truncated {
+                    needed: 6 + node_len + declared,
+                    got: payload.len(),
+                });
+            }
+            let mut spans = Vec::with_capacity(count);
+            for _ in 0..count {
+                spans.push(Span {
+                    trace_id: c.u64()?,
+                    span_id: c.u64()?,
+                    parent_span: c.u64()?,
+                    stage: c.u64()? as u16,
+                    arg: c.u64()?,
+                    start_us: c.u64()?,
+                    dur_ns: c.u64()?,
+                });
+            }
+            Response::Traces { node, spans }
+        }
         OP_R_DEGRADED => {
             let rest = c.rest();
             // Reject nesting before recursing: a payload of repeated
@@ -839,7 +967,17 @@ pub fn call_v2(
     tenant: &TenantId,
     req: &Request,
 ) -> Result<Response, WireError> {
-    write_frame(stream, &encode_request_v2(tenant, req))?;
+    call_traced(stream, tenant, TraceCtx::NONE, req)
+}
+
+/// [`call_v2`] carrying a trace context in the envelope.
+pub fn call_traced(
+    stream: &mut (impl Read + Write),
+    tenant: &TenantId,
+    ctx: TraceCtx,
+    req: &Request,
+) -> Result<Response, WireError> {
+    write_frame(stream, &encode_request_traced(tenant, ctx, req))?;
     let payload = read_frame(stream)?.ok_or_else(closed_early)?;
     Ok(decode_response_v2(&payload)?)
 }
@@ -874,7 +1012,20 @@ mod tests {
                 name: TenantId::new("tenant-a").unwrap(),
             },
             Request::ListTenants,
+            Request::DumpTraces,
         ]
+    }
+
+    fn sample_span(i: u64) -> Span {
+        Span {
+            trace_id: 0xAB00 + i,
+            span_id: (7 << 48) | i,
+            parent_span: i / 2,
+            stage: (i % 10 + 1) as u16,
+            arg: i * 3,
+            start_us: 1_700_000_000_000_000 + i,
+            dur_ns: 42_000 + i,
+        }
     }
 
     fn sample_responses() -> Vec<Response> {
@@ -907,6 +1058,14 @@ mod tests {
             Response::TenantDropped,
             Response::Tenants(vec![]),
             Response::Tenants(vec!["default".into(), "tenant-a".into()]),
+            Response::Traces {
+                node: "router".into(),
+                spans: vec![],
+            },
+            Response::Traces {
+                node: "serve".into(),
+                spans: (0..5).map(sample_span).collect(),
+            },
         ]
     }
 
@@ -1063,6 +1222,65 @@ mod tests {
             decode_request_any(&trailing).unwrap_err(),
             FrameError::Trailing { extra: 1 }
         );
+    }
+
+    #[test]
+    fn traced_envelopes_roundtrip_and_contextless_frames_stay_none() {
+        let tenant = TenantId::new("tenant-a").unwrap();
+        let ctx = TraceCtx {
+            trace_id: 0xDEAD_BEEF_CAFE_0001,
+            parent_span: (9 << 48) | 3,
+        };
+        for req in sample_requests() {
+            let enc = encode_request_traced(&tenant, ctx, &req);
+            let (ver, got_tenant, got_ctx, got) =
+                decode_request_traced(&enc).expect("traced v2 decodes");
+            assert_eq!(ver, WireVersion::V2);
+            assert_eq!(got_tenant, tenant);
+            assert_eq!(got_ctx, ctx, "{req:?}");
+            assert_eq!(got, req);
+            // Every strict prefix errors, never panics.
+            for cut in 0..enc.len() {
+                assert!(decode_request_traced(&enc[..cut]).is_err(), "cut {cut}");
+            }
+            // Trailing garbage after the inner payload is still caught.
+            let mut trailing = enc;
+            trailing.push(0xAB);
+            assert!(decode_request_traced(&trailing).is_err());
+        }
+        // An unsampled context encodes to the plain v2 envelope …
+        let plain = encode_request_v2(&tenant, &Request::Stats);
+        assert_eq!(
+            encode_request_traced(&tenant, TraceCtx::NONE, &Request::Stats),
+            plain
+        );
+        // … and contextless v2 / bare v1 payloads decode with NONE.
+        let (_, _, got_ctx, _) = decode_request_traced(&plain).unwrap();
+        assert_eq!(got_ctx, TraceCtx::NONE);
+        let (ver, tenant, got_ctx, req) =
+            decode_request_traced(&encode_request(&Request::NumComponents)).unwrap();
+        assert_eq!(ver, WireVersion::V1);
+        assert!(tenant.is_default());
+        assert_eq!(got_ctx, TraceCtx::NONE);
+        assert_eq!(req, Request::NumComponents);
+    }
+
+    #[test]
+    fn traces_decode_rejects_lying_counts_and_bad_node_names() {
+        // Claims 1M spans but carries none: caught before allocation.
+        let mut enc = vec![OP_R_TRACES, 1, b'r'];
+        enc.extend_from_slice(&1_000_000u32.to_le_bytes());
+        assert!(matches!(
+            decode_response_v2(&enc).unwrap_err(),
+            FrameError::Truncated { .. }
+        ));
+        // Node name must be UTF-8.
+        let mut bad = vec![OP_R_TRACES, 1, 0xFF];
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_response_v2(&bad).unwrap_err(),
+            FrameError::BadPayload(_)
+        ));
     }
 
     #[test]

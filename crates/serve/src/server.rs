@@ -24,14 +24,15 @@ use crate::events::{self, EventKind};
 use crate::ingest::ServeStats;
 use crate::metrics::{metrics, op_index};
 use crate::protocol::{
-    decode_request_any, encode_response, encode_response_v2, read_frame, write_frame, FrameError,
-    Request, Response, StatsReport, WireError, WireVersion,
+    decode_request_traced, encode_response, encode_response_v2, read_frame, write_frame,
+    FrameError, Request, Response, StatsReport, WireError, WireVersion,
 };
 use crate::snapshot::Snapshot;
 use crate::tenant::TenantId;
 use crate::wal::{self, Wal, WalError};
 use afforest_core::IncrementalCc;
 use afforest_graph::Node;
+use afforest_obs::reqtrace::{self, RootSpan, Stage};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -270,7 +271,12 @@ impl Server {
         let resp = self.handle_inner(tenant, req);
         let m = metrics();
         m.requests[op].inc();
-        m.latency[op].record(start.elapsed().as_nanos() as u64);
+        // The latency sample doubles as the histogram's exemplar when the
+        // request is traced: /metrics then links p99 to a trace id.
+        m.latency[op].record_traced(
+            start.elapsed().as_nanos() as u64,
+            reqtrace::current().trace_id,
+        );
         resp
     }
 
@@ -280,6 +286,10 @@ impl Server {
             Request::DropTenant { name } => self.drop_tenant(name),
             Request::ListTenants => Response::Tenants(self.registry.list()),
             Request::Metrics => Response::Metrics(afforest_obs::registry::expose()),
+            Request::DumpTraces => Response::Traces {
+                node: reqtrace::node().to_string(),
+                spans: reqtrace::ring().snapshot(),
+            },
             Request::Shutdown => {
                 self.request_shutdown();
                 Response::Bye
@@ -499,9 +509,21 @@ impl Server {
             let _span = afforest_obs::span!("serve-request");
             // A malformed payload inside a well-delimited frame keeps the
             // stream in sync: answer Err and keep going.
-            let (encoded, done) = match decode_request_any(&payload) {
-                Ok((version, tenant, req)) => {
+            let (encoded, done) = match decode_request_traced(&payload) {
+                Ok((version, tenant, ctx, req)) => {
+                    // One root span per frame: children recorded while it
+                    // is open (queue pushes, the engine's writer stages)
+                    // hang off it, and the whole tree is retained only if
+                    // the request was slow or degraded (tail sampling).
+                    let root = RootSpan::begin(ctx, Stage::ShardRequest);
+                    let _trace_scope = reqtrace::scoped(root.ctx());
                     let resp = self.handle_for(&tenant, &req);
+                    if matches!(
+                        resp,
+                        Response::Err(_) | Response::Overloaded { .. } | Response::Degraded(_)
+                    ) {
+                        root.force_retain();
+                    }
                     let done = matches!(resp, Response::Bye);
                     let encoded = match version {
                         WireVersion::V1 => encode_response(&resp),

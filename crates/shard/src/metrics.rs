@@ -8,7 +8,7 @@
 //! exposition before the first request arrives (the sharded smoke
 //! scrapes for them immediately after startup).
 
-use afforest_obs::registry::{self, Counter, Gauge};
+use afforest_obs::registry::{self, Counter, Gauge, Hist};
 
 /// Labelled handles for one shard's series.
 pub struct ShardSeries {
@@ -32,6 +32,11 @@ pub struct ShardSeries {
 pub struct RouterMetrics {
     /// Requests the router accepted from clients.
     pub requests: &'static Counter,
+    /// End-to-end router request latency (decode through response
+    /// encode). Sampled requests attach their trace id as the bucket's
+    /// OpenMetrics exemplar, so a scrape links the p99 to a retained
+    /// trace renderable with `afforest trace`.
+    pub latency: &'static Hist,
     /// Cut edges routed to the boundary store (before dedup).
     pub cut_edges: &'static Counter,
     /// Composite connectivity rebuilds (cache misses).
@@ -66,6 +71,7 @@ pub fn router_metrics(num_shards: usize) -> RouterMetrics {
         .collect();
     RouterMetrics {
         requests: registry::counter("afforest_router_requests_total"),
+        latency: registry::histogram("afforest_router_latency_ns"),
         cut_edges: registry::counter("afforest_router_cut_edges_total"),
         composite_rebuilds: registry::counter("afforest_router_composite_rebuilds_total"),
         boundary_edges: registry::gauge("afforest_boundary_edges"),

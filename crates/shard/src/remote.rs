@@ -19,6 +19,12 @@
 //! ([`ShardUnavailable::Shedding`]) from death
 //! ([`ShardUnavailable::Dead`], which also drops the cached client so
 //! the next call redials).
+//!
+//! Trace propagation is implicit: the router's per-shard fan-out span
+//! installs its context as the calling thread's current one
+//! (`afforest_obs::reqtrace`), and [`Client::call`] attaches whatever
+//! context is in scope to the outgoing envelope — so worker-side spans
+//! parent under the router's fan-out span with no plumbing here.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};

@@ -39,9 +39,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use afforest_graph::Node;
+use afforest_obs::reqtrace::{self, RootSpan, Stage, StageSpan};
 use afforest_serve::events::{self, EventKind};
 use afforest_serve::protocol::{
-    decode_request_any, encode_response, encode_response_v2, read_frame, write_frame,
+    decode_request_traced, encode_response, encode_response_v2, read_frame, write_frame,
 };
 use afforest_serve::{Request, Response, ServeError, StatsReport, WireError, WireVersion};
 
@@ -209,6 +210,10 @@ impl<B: ShardBackend> Router<B> {
                 self.request_shutdown();
                 Response::Bye
             }
+            Request::DumpTraces => Response::Traces {
+                node: reqtrace::node().to_string(),
+                spans: reqtrace::ring().snapshot(),
+            },
             Request::CreateTenant { .. } | Request::DropTenant { .. } => Response::Err(
                 "tenant administration is not available through the shard router".to_string(),
             ),
@@ -233,7 +238,16 @@ impl<B: ShardBackend> Router<B> {
     /// success. While the circuit is open this fails fast with a
     /// synthetic `Dead` outcome instead of dialing.
     fn shard_call(&self, shard: usize, req: &Request) -> Result<Response, ShardUnavailable> {
-        let (gate, t) = self.health.gate(shard);
+        // The fan-out span fathers everything the shard records for this
+        // call: its context is installed as the thread's current one, so
+        // a remote backend's Client forwards it over the wire and the
+        // worker's spans parent under it.
+        let fanout = StageSpan::begin_with(Stage::ShardFanout, shard as u64);
+        let _fanout_scope = reqtrace::scoped(fanout.ctx());
+        let (gate, t) = {
+            let _gate = StageSpan::begin_with(Stage::BreakerGate, shard as u64);
+            self.health.gate(shard)
+        };
         self.publish_transition(shard, t);
         if gate == Gate::FailFast {
             return Err(ShardUnavailable::Dead {
@@ -603,8 +617,11 @@ impl<B: ShardBackend> Router<B> {
                 return Ok(c);
             }
         }
-        let built = compose::build(&self.plan, &self.backend, version, &cut, &stats)
-            .map_err(Response::Err)?;
+        let built = {
+            let _compose = StageSpan::begin_with(Stage::BoundaryCompose, cut.len() as u64);
+            compose::build(&self.plan, &self.backend, version, &cut, &stats)
+                .map_err(Response::Err)?
+        };
         self.metrics.composite_rebuilds.inc();
         let built = Arc::new(built);
         self.store_cache(Arc::clone(&built));
@@ -695,14 +712,43 @@ impl<B: ShardBackend> Router<B> {
             // The router has exactly one logical tenant namespace; the
             // v2 tenant field is accepted and ignored so multi-tenant
             // clients can point at a router unchanged.
-            let (encoded, done) = match decode_request_any(&payload) {
-                Ok((version, _tenant, req)) => {
+            let decode_start = Instant::now();
+            let decoded = decode_request_traced(&payload);
+            let decode_ns = decode_start.elapsed().as_nanos() as u64;
+            let (encoded, done) = match decoded {
+                Ok((version, _tenant, ctx, req)) => {
+                    // The root spans the whole request at the router;
+                    // decode is recorded retroactively because the trace
+                    // context is only known once decode succeeds.
+                    let root = RootSpan::begin(ctx, Stage::RouterRequest);
+                    let _trace_scope = reqtrace::scoped(root.ctx());
+                    reqtrace::record(
+                        root.ctx(),
+                        Stage::RouterDecode,
+                        payload.len() as u64,
+                        reqtrace::now_us().saturating_sub(decode_ns / 1_000),
+                        decode_ns,
+                    );
                     let resp = self.handle(&req);
+                    if matches!(
+                        resp,
+                        Response::Err(_) | Response::Overloaded { .. } | Response::Degraded(_)
+                    ) {
+                        root.force_retain();
+                    }
                     let done = matches!(resp, Response::Bye);
                     let encoded = match version {
                         WireVersion::V1 => encode_response(&resp),
                         WireVersion::V2 => encode_response_v2(&resp),
                     };
+                    self.metrics.latency.record_traced(
+                        decode_start.elapsed().as_nanos() as u64,
+                        if root.sampled() {
+                            root.ctx().trace_id
+                        } else {
+                            0
+                        },
+                    );
                     (encoded, done)
                 }
                 Err(e) => (encode_response(&Response::Err(e.to_string())), false),

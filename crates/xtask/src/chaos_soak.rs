@@ -161,7 +161,7 @@ fn chaos(root: &Path) -> Result<(), String> {
     let plan = ShardPlan::new(N, SHARDS);
     let mut workers = Vec::new();
     for (k, wal) in worker_wals.iter().enumerate() {
-        let (child, addr, out) = spawn_worker(root, plan.shard_len(k), "127.0.0.1:0", wal)?;
+        let (child, addr, out) = spawn_worker(root, plan.shard_len(k), "127.0.0.1:0", wal, &[])?;
         workers.push(Worker {
             child,
             addr,

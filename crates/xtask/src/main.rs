@@ -13,7 +13,8 @@
 //!   the crash-recovery smoke test ([`crash`], clean and with chaos
 //!   faults injected), the telemetry scrape smoke ([`metrics`]), the
 //!   sharded serving smoke ([`shard_smoke`]: router + workers + a worker
-//!   SIGKILL), the cluster chaos soak ([`chaos_soak`]: a scripted
+//!   SIGKILL), the request-tracing smoke ([`tracesmoke`]: one traced
+//!   insert stitched into a cross-process span tree), the cluster chaos soak ([`chaos_soak`]: a scripted
 //!   kill/hang/slow/partition fault matrix against a 3-shard cluster,
 //!   asserting parked-write replay, degraded reads and oracle-exact
 //!   convergence), and the schedule-exploring model checker (`ci.sh` is
@@ -26,6 +27,7 @@ mod crash;
 mod metrics;
 mod shard_smoke;
 mod smoke;
+mod tracesmoke;
 
 use afforest_analysis::diag::{to_json, Severity};
 use std::path::{Path, PathBuf};
@@ -202,6 +204,13 @@ fn run_ci() -> ExitCode {
     if !shard_smoke::run_shard(&root) {
         return ExitCode::FAILURE;
     }
+    // Request-tracing smoke: one traced insert stitched into a single
+    // cross-process span tree (router + 2 workers), exemplar in the
+    // scrape, slow-log on disk.
+    println!("==> tracing smoke");
+    if !tracesmoke::run_tracesmoke(&root) {
+        return ExitCode::FAILURE;
+    }
     // Cluster chaos soak: the failure-domain layer under a scripted
     // fault matrix — breaker, parked writes, degraded reads, recovery.
     println!("==> cluster chaos soak");
@@ -281,13 +290,23 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("tracesmoke") => {
+            // The request-tracing smoke alone (also part of `ci`).
+            println!("==> tracing smoke");
+            if tracesmoke::run_tracesmoke(&workspace_root()) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         _ => {
-            eprintln!("usage: cargo xtask <lint|ci|crash|metrics|shard|chaos>");
+            eprintln!("usage: cargo xtask <lint|ci|crash|metrics|shard|tracesmoke|chaos>");
             eprintln!("  lint     the static analysis battery (crates/analysis, DESIGN.md section 13); --json <path> writes the report, --list-passes enumerates passes");
             eprintln!("  ci       analysis battery + fmt --check + clippy -D warnings + tests (with and without obs) + model checker + serve/crash/metrics/shard smokes + chaos soak");
             eprintln!("  crash    the WAL crash-recovery smoke alone");
             eprintln!("  metrics  the telemetry scrape smoke alone");
             eprintln!("  shard    the sharded serving smoke alone (router + workers + SIGKILL)");
+            eprintln!("  tracesmoke  the request-tracing smoke alone (cross-process span tree + exemplar + slow-log)");
             eprintln!("  chaos    the cluster chaos soak alone (scripted fault matrix, parked-write replay)");
             ExitCode::FAILURE
         }

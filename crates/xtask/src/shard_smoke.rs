@@ -53,13 +53,15 @@ fn inserted_edges() -> Vec<(u32, u32)> {
 pub(crate) type WorkerOut = BufReader<std::process::ChildStdout>;
 
 /// Starts one shard worker serving an empty `vertices`-vertex slice on
-/// `addr` with WAL namespace `wal`; returns the reaper, the bound
+/// `addr` with WAL namespace `wal` (plus any `extra` serve flags, e.g.
+/// `--slow-log` for the trace smoke); returns the reaper, the bound
 /// address parsed from its announcement, and the live stdout reader.
 pub(crate) fn spawn_worker(
     root: &Path,
     vertices: usize,
     addr: &str,
     wal: &str,
+    extra: &[&str],
 ) -> Result<(Reaper, String, WorkerOut), String> {
     let vertices = vertices.to_string();
     let mut child = Reaper(
@@ -81,6 +83,7 @@ pub(crate) fn spawn_worker(
                 "--wal-snapshot-every",
                 "8",
             ])
+            .args(extra)
             .stdout(Stdio::piped())
             .spawn()
             .map_err(|e| format!("spawn worker: {e}"))?,
@@ -116,7 +119,7 @@ pub(crate) fn respawn_worker(
 ) -> Result<(Reaper, WorkerOut), String> {
     let deadline = Instant::now() + Duration::from_secs(20);
     loop {
-        match spawn_worker(root, vertices, addr, wal) {
+        match spawn_worker(root, vertices, addr, wal, &[]) {
             Ok((child, _, reader)) => return Ok((child, reader)),
             Err(e) if Instant::now() > deadline => return Err(format!("restart worker: {e}")),
             Err(_) => std::thread::sleep(Duration::from_millis(250)),
@@ -184,8 +187,8 @@ fn shard(root: &Path) -> Result<(), String> {
     // 1. Two shard workers on ephemeral ports, each an empty slice of
     // the plan plus a private WAL namespace.
     let plan = ShardPlan::new(N, SHARDS);
-    let (mut w0, a0, _out0) = spawn_worker(root, plan.shard_len(0), "127.0.0.1:0", &wal[0])?;
-    let (mut w1, a1, _out1) = spawn_worker(root, plan.shard_len(1), "127.0.0.1:0", &wal[1])?;
+    let (mut w0, a0, _out0) = spawn_worker(root, plan.shard_len(0), "127.0.0.1:0", &wal[0], &[])?;
+    let (mut w1, a1, _out1) = spawn_worker(root, plan.shard_len(1), "127.0.0.1:0", &wal[1], &[])?;
 
     // 2. The router, dialing both workers, with the metrics sidecar. A
     // generous retry budget is the point: it is what absorbs the worker

@@ -1,0 +1,223 @@
+//! End-to-end request-tracing smoke test for `cargo xtask ci`.
+//!
+//! The tracing contract across real processes: start two shard workers
+//! and a router, all with `--slow-log 0` (retain every request trace),
+//! drive one traced `InsertEdges` whose edges land on both shards plus a
+//! traced read, and require
+//!
+//! 1. `afforest trace <router> --shards <w0>,<w1> --trace-id <id>` to
+//!    render ONE merged tree for the insert's trace id containing the
+//!    router-side stages (`router_request`, `shard_fanout`), the
+//!    worker-side request stage (`shard_request`), and the worker
+//!    writer-thread durability stage (`wal_fsync`) — spans from all
+//!    three processes, stitched by the trace context that rode the wire;
+//! 2. the router's `/metrics` scrape to carry at least one OpenMetrics
+//!    histogram exemplar (`# {trace_id="…"}`);
+//! 3. the router's slow-log (`<wal-dir>/slowlog.jsonl`) to contain a
+//!    JSON line for the insert's trace.
+
+use crate::shard_smoke::{spawn_worker, wait_exit};
+use crate::smoke::{cli_cmd, connect, shutdown_and_reap, Reaper};
+use afforest_serve::http::http_get;
+use afforest_shard::ShardPlan;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::Stdio;
+use std::time::Duration;
+
+/// Global vertex universe, split across two workers.
+const N: usize = 1000;
+
+/// Runs the tracing smoke; returns success.
+pub fn run_tracesmoke(root: &Path) -> bool {
+    match tracesmoke(root) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("==> tracing smoke failed: {e}");
+            false
+        }
+    }
+}
+
+fn tracesmoke(root: &Path) -> Result<(), String> {
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let wal: Vec<String> = (0..2)
+        .map(|k| {
+            tmp.join(format!("afforest-trace-smoke-w{k}-{pid}"))
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    let router_wal = tmp
+        .join(format!("afforest-trace-smoke-router-{pid}"))
+        .to_string_lossy()
+        .into_owned();
+    for dir in wal.iter().chain([&router_wal]) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // 1. Two workers and a router, every process retaining all traces
+    // (`--slow-log 0`); the router also runs the scrape sidecar.
+    let plan = ShardPlan::new(N, 2);
+    let slow = ["--slow-log", "0"];
+    let (mut w0, a0, _out0) = spawn_worker(root, plan.shard_len(0), "127.0.0.1:0", &wal[0], &slow)?;
+    let (mut w1, a1, _out1) = spawn_worker(root, plan.shard_len(1), "127.0.0.1:0", &wal[1], &slow)?;
+    let shard_addrs = format!("{a0},{a1}");
+    let n_s = N.to_string();
+    let mut router = Reaper(
+        cli_cmd(root, false)
+            .args([
+                "serve",
+                "--shard-addrs",
+                &shard_addrs,
+                "--vertices",
+                &n_s,
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--metrics-addr",
+                "127.0.0.1:0",
+                "--wal-dir",
+                &router_wal,
+                "--slow-log",
+                "0",
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn router: {e}"))?,
+    );
+    let stdout = router.0.stdout.take().ok_or("router stdout not captured")?;
+    let mut lines = BufReader::new(stdout).lines();
+    let mut addr = None;
+    let mut scrape_addr = None;
+    while addr.is_none() || scrape_addr.is_none() {
+        let line = lines
+            .next()
+            .ok_or("router exited before announcing its addresses")?
+            .map_err(|e| format!("read router stdout: {e}"))?;
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            addr = rest.split_whitespace().next().map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("metrics on http://") {
+            scrape_addr = rest.strip_suffix("/metrics").map(str::to_string);
+        }
+    }
+    let (addr, scrape_addr) = (addr.unwrap(), scrape_addr.unwrap());
+
+    // 2. One traced insert whose edges straddle the slice boundary, so
+    // both workers apply a batch attributed to this trace (the writer
+    // thread's representative request), plus a traced read. The insert's
+    // id is the one the tree assertion pins below.
+    let boundary = plan.shard_len(0) as u32;
+    let edges = [
+        (0, 1),                       // shard 0 local
+        (boundary, boundary + 1),     // shard 1 local
+        (boundary - 1, boundary + 2), // cut edge -> boundary store
+    ];
+    let mut client = connect(&addr)?.with_tracing();
+    let accepted = client
+        .insert_edges(&edges)
+        .map_err(|e| format!("insert: {e}"))?;
+    if accepted as usize != edges.len() {
+        return Err(format!(
+            "insert accepted {accepted} of {} edge(s)",
+            edges.len()
+        ));
+    }
+    let insert_trace = client.last_trace_id();
+    if insert_trace == 0 {
+        return Err("traced client did not mint a trace id".into());
+    }
+    if !client
+        .flush(Duration::from_secs(30))
+        .map_err(|e| format!("flush: {e}"))?
+    {
+        return Err("ingest queue never drained".into());
+    }
+    if !client
+        .connected(0, 1)
+        .map_err(|e| format!("connected: {e}"))?
+    {
+        return Err("edge (0, 1) not connected after flush".into());
+    }
+
+    // 3. The merged cross-process tree for the insert's trace.
+    let id_hex = format!("{insert_trace:016x}");
+    let out = cli_cmd(root, false)
+        .args([
+            "trace",
+            &addr,
+            "--shards",
+            &shard_addrs,
+            "--trace-id",
+            &id_hex,
+        ])
+        .output()
+        .map_err(|e| format!("spawn trace: {e}"))?;
+    let tree = String::from_utf8_lossy(&out.stdout);
+    if !out.status.success() {
+        return Err(format!(
+            "afforest trace failed ({}):\n{tree}\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    for needle in [
+        id_hex.as_str(),  // the header names the pinned trace
+        "router_request", // router ingress
+        "shard_fanout",   // router per-shard relay
+        "shard_request",  // worker ingress
+        "wal_fsync",      // worker writer-thread durability
+        "stage self-times:",
+    ] {
+        if !tree.contains(needle) {
+            return Err(format!("trace output is missing '{needle}':\n{tree}"));
+        }
+    }
+    // Spans from all three processes: the router plus each worker, each
+    // tagged with the source it was scraped from.
+    for source in [
+        "router@".to_string(),
+        format!("serve@{a0}"),
+        format!("serve@{a1}"),
+    ] {
+        if !tree.contains(&source) {
+            return Err(format!("trace output has no spans from {source}:\n{tree}"));
+        }
+    }
+
+    // 4. The scrape carries a histogram exemplar for a retained trace.
+    let (status, scrape) = http_get(&scrape_addr, "/metrics")?;
+    if status != 200 {
+        return Err(format!("scrape answered HTTP {status}"));
+    }
+    if !scrape.contains("# {trace_id=\"") {
+        return Err("scrape has no histogram exemplar (`# {trace_id=\"…\"}`)".into());
+    }
+
+    // 5. With `--slow-log 0` every request is slow: the router's
+    // slow-log must hold a JSON line for the insert's trace.
+    let slowlog = Path::new(&router_wal).join("slowlog.jsonl");
+    let log =
+        std::fs::read_to_string(&slowlog).map_err(|e| format!("{}: {e}", slowlog.display()))?;
+    if !log.contains(&format!("\"trace_id\":\"{id_hex}\"")) {
+        return Err(format!(
+            "router slow-log has no entry for trace {id_hex}:\n{log}"
+        ));
+    }
+
+    // 6. Clean teardown through the router.
+    shutdown_and_reap(&addr, &mut router)?;
+    wait_exit("worker 0", &mut w0)?;
+    wait_exit("worker 1", &mut w1)?;
+
+    for dir in wal.iter().chain([&router_wal]) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    println!(
+        "==> tracing smoke: trace {id_hex} stitched across router + 2 workers \
+         (router_request/shard_fanout/shard_request/wal_fsync), exemplar scraped, slow-log written"
+    );
+    Ok(())
+}
